@@ -1,0 +1,67 @@
+// Command heatmap renders an MPI point-to-point communication matrix (the
+// dst,src,bytes CSV that ZeroSum logs per §3.6) as terminal character art
+// or a PGM image — the paper's Figure 5 without matplotlib.
+//
+// Usage:
+//
+//	heatmap -size 512 [-in comm.csv] [-pgm out.pgm] [-bins 64]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"zerosum/internal/analysis"
+	"zerosum/internal/export"
+)
+
+func main() {
+	var (
+		size = flag.Int("size", 0, "communicator size (required)")
+		in   = flag.String("in", "-", "input CSV (dst,src,bytes); - for stdin")
+		pgm  = flag.String("pgm", "", "also write a PGM image to this path")
+		bins = flag.Int("bins", 64, "terminal downsample bins")
+	)
+	flag.Parse()
+	if *size <= 0 {
+		fmt.Fprintln(os.Stderr, "heatmap: -size is required")
+		os.Exit(2)
+	}
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	matrix, err := export.ReadCommCSV(r, *size)
+	if err != nil {
+		fatal(err)
+	}
+	hm := analysis.FromMatrix(matrix)
+	fmt.Printf("total bytes: %.4e  max cell: %.4e  nearest-neighbour fraction: %.3f\n",
+		hm.Total(), hm.Max(), hm.BandFraction(1))
+	if err := hm.WriteASCII(os.Stdout, *bins); err != nil {
+		fatal(err)
+	}
+	if *pgm != "" {
+		f, err := os.Create(*pgm)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := hm.WritePGM(f); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *pgm)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "heatmap:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,34 @@
+// Command lstopo prints the hardware topology of a preset machine in the
+// hwloc lstopo text style, reproducing the paper's Listing 1. ZeroSum
+// prints this at startup so users can see how cores, caches, NUMA domains,
+// hardware threads and GPUs are organised before choosing a thread
+// placement strategy.
+//
+// Usage:
+//
+//	lstopo [-preset frontier|summit|perlmutter|aurora|laptop]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"zerosum/internal/topology"
+)
+
+func main() {
+	preset := flag.String("preset", "laptop", "machine preset: "+strings.Join(topology.PresetNames(), ", "))
+	flag.Parse()
+	m, err := topology.ByName(*preset)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lstopo:", err)
+		os.Exit(2)
+	}
+	fmt.Println("HWLOC Node topology:")
+	if err := topology.WriteLstopo(os.Stdout, m); err != nil {
+		fmt.Fprintln(os.Stderr, "lstopo:", err)
+		os.Exit(1)
+	}
+}

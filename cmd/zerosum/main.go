@@ -1,0 +1,160 @@
+// Command zerosum is the live-host monitor: the user-space equivalent of
+// the paper's `zerosum-mpi <application>` wrapper. It launches a child
+// command (or attaches to an existing PID), samples its threads, the
+// host's hardware threads and memory through the real /proc once per
+// period, and prints the utilization + contention report when the child
+// exits. All periodic samples can be dumped as CSV for time-series
+// analysis.
+//
+// Usage:
+//
+//	zerosum [-period 1s] [-csv PREFIX] [-heartbeat N] [--] command args...
+//	zerosum -pid 1234 -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"time"
+
+	"zerosum/internal/core"
+	"zerosum/internal/crash"
+	"zerosum/internal/proc"
+	"zerosum/internal/report"
+)
+
+func main() {
+	var (
+		period    = flag.Duration("period", time.Second, "sampling period")
+		pid       = flag.Int("pid", 0, "attach to an existing process instead of launching one")
+		duration  = flag.Duration("duration", 0, "with -pid: how long to monitor (0 = until the process exits)")
+		csvPrefix = flag.String("csv", "", "dump sample CSVs to PREFIX.{lwp,hwt,mem}.csv")
+		heartbeat = flag.Int("heartbeat", 0, "print a heartbeat every N samples")
+		backtrace = flag.Bool("backtrace", true, "install the abnormal-exit backtrace handler")
+	)
+	flag.Parse()
+
+	fs := proc.NewRealFS()
+	var child *exec.Cmd
+	targetPID := *pid
+	if targetPID == 0 {
+		args := flag.Args()
+		if len(args) == 0 {
+			fmt.Fprintln(os.Stderr, "zerosum: need a command to run or -pid")
+			os.Exit(2)
+		}
+		child = exec.Command(args[0], args[1:]...)
+		child.Stdout = os.Stdout
+		child.Stderr = os.Stderr
+		child.Stdin = os.Stdin
+		if err := child.Start(); err != nil {
+			fatal(err)
+		}
+		targetPID = child.Process.Pid
+	}
+
+	mon, err := core.New(core.Config{
+		Period:         *period,
+		HeartbeatEvery: *heartbeat,
+		Heartbeat:      os.Stderr,
+		KeepSeries:     true,
+	}, core.Deps{
+		FS:    &pidFS{RealFS: fs, pid: targetPID},
+		Clock: time.Now,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *backtrace {
+		h := crash.New(os.Stderr)
+		h.OnReport(func(w io.Writer) {
+			_ = report.Write(w, mon.Snapshot(), report.Options{})
+		})
+		h.Install(nil)
+	}
+
+	done := make(chan struct{})
+	if child != nil {
+		go func() {
+			_ = child.Wait()
+			close(done)
+		}()
+	} else if *duration > 0 {
+		go func() {
+			time.Sleep(*duration)
+			close(done)
+		}()
+	}
+
+	ticker := time.NewTicker(*period)
+	defer ticker.Stop()
+	exitCode := 0
+loop:
+	for {
+		select {
+		case <-done:
+			break loop
+		case <-ticker.C:
+			if err := mon.Tick(); err != nil {
+				// The target exited between samples: finish up.
+				break loop
+			}
+		}
+	}
+	mon.Finish()
+	if child != nil && child.ProcessState != nil {
+		exitCode = child.ProcessState.ExitCode()
+	}
+
+	fmt.Fprintln(os.Stderr)
+	if err := report.Write(os.Stderr, mon.Snapshot(), report.Options{Contention: true, Memory: true}); err != nil {
+		fatal(err)
+	}
+	if *csvPrefix != "" {
+		if err := dumpCSVs(mon, *csvPrefix); err != nil {
+			fatal(err)
+		}
+	}
+	os.Exit(exitCode)
+}
+
+// pidFS retargets a RealFS at another process's /proc entries.
+type pidFS struct {
+	*proc.RealFS
+	pid int
+}
+
+func (p *pidFS) SelfPID() int { return p.pid }
+
+func dumpCSVs(mon *core.Monitor, prefix string) error {
+	for _, d := range []struct {
+		suffix string
+		fn     func(f *os.File) error
+	}{
+		{".lwp.csv", func(f *os.File) error { return mon.WriteLWPCSV(f) }},
+		{".hwt.csv", func(f *os.File) error { return mon.WriteHWTCSV(f) }},
+		{".mem.csv", func(f *os.File) error { return mon.WriteMemCSV(f) }},
+	} {
+		f, err := os.Create(prefix + d.suffix)
+		if err != nil {
+			return err
+		}
+		if err := d.fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "zerosum:", err)
+	os.Exit(1)
+}

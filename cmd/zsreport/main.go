@@ -1,0 +1,219 @@
+// Command zsreport post-processes ZeroSum's per-process logs (the CSV
+// dumps from zsrun/zerosum, or the staged .zsbp stream) into utilization
+// time-series charts and summaries — Figures 6 and 7 of the paper, from
+// recorded data instead of a live run.
+//
+// Usage:
+//
+//	zsreport -lwp logs/zerosum.rank000.lwp.csv [-hwt ...hwt.csv] [-tsv]
+//	zsreport -staged logs/zerosum.rank000.zsbp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"zerosum/internal/analysis"
+	"zerosum/internal/export"
+)
+
+func main() {
+	var (
+		lwpPath    = flag.String("lwp", "", "LWP sample CSV")
+		hwtPath    = flag.String("hwt", "", "HWT sample CSV")
+		memPath    = flag.String("mem", "", "memory sample CSV")
+		stagedPath = flag.String("staged", "", "staged .zsbp stream")
+		tsv        = flag.Bool("tsv", false, "emit TSV instead of sparklines")
+	)
+	flag.Parse()
+	if *lwpPath == "" && *hwtPath == "" && *memPath == "" && *stagedPath == "" {
+		fmt.Fprintln(os.Stderr, "zsreport: give at least one of -lwp, -hwt, -mem, -staged")
+		os.Exit(2)
+	}
+	if *lwpPath != "" {
+		if err := reportLWP(*lwpPath, *tsv); err != nil {
+			fatal(err)
+		}
+	}
+	if *hwtPath != "" {
+		if err := reportHWT(*hwtPath, *tsv); err != nil {
+			fatal(err)
+		}
+	}
+	if *memPath != "" {
+		if err := reportMem(*memPath); err != nil {
+			fatal(err)
+		}
+	}
+	if *stagedPath != "" {
+		if err := reportStaged(*stagedPath, *tsv); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func reportLWP(path string, tsv bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	samples, err := export.ReadLWPCSV(f)
+	if err != nil {
+		return err
+	}
+	chart := analysis.NewStackedChart("LWP (threads) utilization over time — " + path)
+	series := map[int]*analysis.Series{}
+	kinds := map[int]string{}
+	for _, s := range samples {
+		sr := series[s.TID]
+		if sr == nil {
+			sr = &analysis.Series{Name: fmt.Sprintf("LWP %d user%%", s.TID)}
+			series[s.TID] = sr
+			chart.Add(sr)
+		}
+		sr.Append(s.TimeSec, s.UserPct)
+		kinds[s.TID] = s.Kind
+	}
+	if tsv {
+		return chart.WriteTSV(os.Stdout)
+	}
+	if err := chart.WriteSparklines(os.Stdout, 100); err != nil {
+		return err
+	}
+	// Contention quick-look: final cumulative context switches per thread.
+	last := map[int]export.LWPSample{}
+	for _, s := range samples {
+		last[s.TID] = s
+	}
+	tids := make([]int, 0, len(last))
+	for tid := range last {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	fmt.Println("\nfinal counters:")
+	for _, tid := range tids {
+		s := last[tid]
+		fmt.Printf("  LWP %-8d %-14s nvctx %8d  vctx %8d  last CPU %d\n",
+			tid, s.Kind, s.NVCtx, s.VCtx, s.CPU)
+	}
+	return nil
+}
+
+func reportHWT(path string, tsv bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	samples, err := export.ReadHWTCSV(f)
+	if err != nil {
+		return err
+	}
+	chart := analysis.NewStackedChart("CPU core utilization over time — " + path)
+	series := map[int]*analysis.Series{}
+	for _, s := range samples {
+		sr := series[s.CPU]
+		if sr == nil {
+			sr = &analysis.Series{Name: fmt.Sprintf("CPU %d user%%", s.CPU)}
+			series[s.CPU] = sr
+			chart.Add(sr)
+		}
+		sr.Append(s.TimeSec, s.UserPct)
+	}
+	if tsv {
+		return chart.WriteTSV(os.Stdout)
+	}
+	return chart.WriteSparklines(os.Stdout, 100)
+}
+
+func reportMem(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	samples, err := export.ReadMemCSV(f)
+	if err != nil {
+		return err
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("no memory samples in %s", path)
+	}
+	minFree := samples[0].FreeKB
+	var peakRSS uint64
+	var frees []float64
+	for _, s := range samples {
+		if s.FreeKB < minFree {
+			minFree = s.FreeKB
+		}
+		if s.ProcRSSKB > peakRSS {
+			peakRSS = s.ProcRSSKB
+		}
+		frees = append(frees, float64(s.FreeKB>>10))
+	}
+	fmt.Printf("memory — %s\n", path)
+	fmt.Printf("  system free (MB) %s\n", analysis.Sparkline(frees, 0))
+	fmt.Printf("  minimum free: %d MB of %d MB; peak process RSS: %d MB\n",
+		minFree>>10, samples[len(samples)-1].TotalKB>>10, peakRSS>>10)
+	return nil
+}
+
+func reportStaged(path string, tsv bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := export.NewStagedReader(f)
+	if err != nil {
+		return err
+	}
+	steps, err := r.ReadAllSteps()
+	if err != nil {
+		return err
+	}
+	if len(steps) == 0 {
+		return fmt.Errorf("no steps in %s", path)
+	}
+	// Build one series per variable.
+	chart := analysis.NewStackedChart("staged stream — " + path)
+	series := map[string]*analysis.Series{}
+	for _, st := range steps {
+		for name, vals := range st.Vars {
+			if len(vals) == 0 {
+				continue
+			}
+			sr := series[name]
+			if sr == nil {
+				sr = &analysis.Series{Name: name}
+				series[name] = sr
+				chart.Add(sr)
+			}
+			sr.Append(st.Time, vals[0])
+		}
+	}
+	fmt.Printf("%d steps, %d variables\n", len(steps), len(series))
+	if tsv {
+		return chart.WriteTSV(os.Stdout)
+	}
+	// Sparkline only percentage-like variables to keep output readable.
+	filtered := analysis.NewStackedChart(chart.Title)
+	for _, sr := range chart.Series {
+		if strings.HasSuffix(sr.Name, "_pct") {
+			filtered.Add(sr)
+		}
+	}
+	if len(filtered.Series) == 0 {
+		filtered = chart
+	}
+	return filtered.WriteSparklines(os.Stdout, 100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "zsreport:", err)
+	os.Exit(1)
+}

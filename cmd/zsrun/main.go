@@ -1,0 +1,276 @@
+// Command zsrun is an srun-style front end for the simulated testbed: it
+// translates launcher flags into a simulated job on a preset machine, runs
+// the selected proxy application under ZeroSum monitoring, and writes the
+// per-rank reports and CSV logs the paper's tool produces.
+//
+// Usage:
+//
+//	zsrun -n 8 -c 7 [-machine frontier] [-app miniqmc|pic|synthetic]
+//	      [-threads-per-core 1] [-gpus-per-task 0] [-gpu-bind closest]
+//	      [-omp-num-threads N] [-omp-proc-bind spread] [-omp-places cores]
+//	      [-steps 96] [-no-monitor] [-logdir DIR] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"zerosum/internal/advisor"
+	"zerosum/internal/core"
+	"zerosum/internal/export"
+	"zerosum/internal/openmp"
+	"zerosum/internal/report"
+	"zerosum/internal/sim"
+	"zerosum/internal/slurm"
+	"zerosum/internal/topology"
+	"zerosum/internal/workload"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 8, "number of MPI ranks")
+		c        = flag.Int("c", 0, "cores per task (srun -c)")
+		tpc      = flag.Int("threads-per-core", 1, "--threads-per-core")
+		gpus     = flag.Int("gpus-per-task", 0, "--gpus-per-task")
+		gpuBind  = flag.String("gpu-bind", "closest", "--gpu-bind: closest or none")
+		machine  = flag.String("machine", "frontier", "machine preset")
+		nodes    = flag.Int("nodes", 0, "node count (0 = auto)")
+		app      = flag.String("app", "miniqmc", "workload: miniqmc, pic or synthetic")
+		steps    = flag.Int("steps", 0, "override workload step count")
+		ompN     = flag.Int("omp-num-threads", 0, "OMP_NUM_THREADS")
+		ompBind  = flag.String("omp-proc-bind", "", "OMP_PROC_BIND: false, master, close, spread")
+		ompPlace = flag.String("omp-places", "", "OMP_PLACES: threads, cores, sockets")
+		noMon    = flag.Bool("no-monitor", false, "run without the ZeroSum thread")
+		period   = flag.Duration("period", 0, "sampling period (default 1s)")
+		logdir   = flag.String("logdir", "", "write per-rank logs and CSVs here")
+		staged   = flag.Bool("staged", false, "with -logdir: also write per-rank staged .zsbp streams")
+		trace    = flag.String("trace", "", "write the node-0 scheduling trace (Chrome trace JSON) here")
+		advise   = flag.Bool("advise", false, "run the configuration advisor on the rank-0 report")
+		summary  = flag.Bool("summary", true, "print the job-wide aggregated summary")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		verbose  = flag.Bool("v", false, "print every rank's report (default: rank 0 only)")
+	)
+	flag.Parse()
+
+	mk := func() *topology.Machine {
+		m, err := topology.ByName(*machine)
+		if err != nil {
+			fatal(err)
+		}
+		return m
+	}
+	env, err := openmp.ParseEnv(itoa(*ompN), *ompBind, *ompPlace)
+	if err != nil {
+		fatal(err)
+	}
+	bind := slurm.GPUBindClosest
+	if *gpuBind == "none" {
+		bind = slurm.GPUBindNone
+	}
+
+	var job workload.App
+	switch *app {
+	case "miniqmc":
+		mq := workload.DefaultMiniQMC()
+		if env.NumThreads > 0 {
+			mq.Threads = env.NumThreads
+		}
+		if *steps > 0 {
+			mq.Steps = *steps
+		}
+		job = mq
+	case "pic":
+		pic := workload.DefaultPICHalo()
+		if *steps > 0 {
+			pic.Steps = *steps
+		}
+		job = pic
+	case "synthetic":
+		job = &workload.Synthetic{Threads: env.NumThreads, Work: 500 * sim.Millisecond, Repeats: maxInt(*steps, 1)}
+	default:
+		fatal(fmt.Errorf("unknown app %q", *app))
+	}
+
+	mc := workload.MonitorConfig{Enabled: !*noMon, CPU: -1, Heartbeat: os.Stderr, HeartbeatEvery: 10}
+	if *period > 0 {
+		mc.Period = sim.Time(period.Nanoseconds())
+	}
+	// Staged streams: one sink per rank, fed live from the monitor's
+	// sample stream (the ADIOS2-style output path).
+	type stagedRank struct {
+		file *os.File
+		sink *export.StagedSink
+	}
+	stagedSinks := map[int]*stagedRank{}
+	if *staged && *logdir != "" && !*noMon {
+		if err := os.MkdirAll(*logdir, 0o755); err != nil {
+			fatal(err)
+		}
+		mc.StreamFor = func(rank int) *export.Stream {
+			path := filepath.Join(*logdir, fmt.Sprintf("zerosum.rank%03d.zsbp", rank))
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			w, err := export.NewStagedWriter(f)
+			if err != nil {
+				fatal(err)
+			}
+			sink := export.NewStagedSink(w)
+			stagedSinks[rank] = &stagedRank{file: f, sink: sink}
+			var stream export.Stream
+			stream.Subscribe(sink.Subscriber())
+			return &stream
+		}
+	}
+	cfg := workload.Config{
+		Machine: mk,
+		Nodes:   *nodes,
+		App:     job,
+		Srun: slurm.Options{
+			NTasks: *n, CoresPerTask: *c, ThreadsPerCore: *tpc,
+			GPUsPerTask: *gpus, GPUBind: bind,
+		},
+		OMP:     env,
+		Monitor: mc,
+		Seed:    *seed,
+	}
+	if *trace != "" {
+		cfg.TraceEvents = 2_000_000
+	}
+	fmt.Printf("# %s (simulated on %s)\n", cfg.Srun.CommandLine(*app), *machine)
+	res, err := workload.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# job complete: %.3f s application runtime, %d ranks\n\n", res.WallSeconds, len(res.Ranks))
+
+	for _, rr := range res.Ranks {
+		if rr.Monitor == nil {
+			continue
+		}
+		// Rank 0 writes the summary to stdout; all ranks write their
+		// detailed report + CSVs to log files (paper §3.4/§3.6).
+		if rr.Rank == 0 || *verbose {
+			if err := report.Write(os.Stdout, rr.Snapshot, report.Options{Contention: true, Memory: true}); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		if *logdir != "" {
+			if err := writeRankLogs(*logdir, rr); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if !*noMon && *summary {
+		var snaps []core.Snapshot
+		for _, rr := range res.Ranks {
+			snaps = append(snaps, rr.Snapshot)
+		}
+		if js, err := report.Aggregate(snaps, core.EvalThresholds{}); err == nil {
+			if err := report.WriteJobSummary(os.Stdout, js); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+	}
+	if !*noMon && *advise {
+		machine := mk()
+		fmt.Println("Configuration advice (rank 0):")
+		advice := advisor.Advise(advisor.Input{
+			Snapshot: res.Ranks[0].Snapshot,
+			Machine:  machine,
+			Srun:     cfg.Srun,
+			OMP:      env,
+		})
+		if len(advice) == 0 {
+			fmt.Println("  launch configuration looks good")
+		}
+		for _, a := range advice {
+			fmt.Println(a)
+		}
+		fmt.Println()
+	}
+	for rank, sr := range stagedSinks {
+		if err := sr.sink.Close(); err != nil {
+			fatal(fmt.Errorf("staged rank %d: %w", rank, err))
+		}
+		if err := sr.file.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *logdir != "" {
+		fmt.Println("# logs written to", *logdir)
+	}
+	if *trace != "" && len(res.Traces) > 0 {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := res.Traces[0].WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		fmt.Println("# scheduling trace written to", *trace)
+	}
+}
+
+func writeRankLogs(dir string, rr workload.RankResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	base := filepath.Join(dir, fmt.Sprintf("zerosum.rank%03d", rr.Rank))
+	logF, err := os.Create(base + ".log")
+	if err != nil {
+		return err
+	}
+	defer logF.Close()
+	if err := report.Write(logF, rr.Snapshot, report.Options{Contention: true, Memory: true}); err != nil {
+		return err
+	}
+	type dump struct {
+		suffix string
+		fn     func(f *os.File) error
+	}
+	for _, d := range []dump{
+		{".lwp.csv", func(f *os.File) error { return rr.Monitor.WriteLWPCSV(f) }},
+		{".hwt.csv", func(f *os.File) error { return rr.Monitor.WriteHWTCSV(f) }},
+		{".mem.csv", func(f *os.File) error { return rr.Monitor.WriteMemCSV(f) }},
+		{".gpu.csv", func(f *os.File) error { return rr.Monitor.WriteGPUCSV(f) }},
+	} {
+		f, err := os.Create(base + d.suffix)
+		if err != nil {
+			return err
+		}
+		if err := d.fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "zsrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+package zerosum_test
+
+import (
+	"fmt"
+	"os"
+
+	"zerosum"
+
+	"zerosum/internal/openmp"
+	"zerosum/internal/topology"
+)
+
+// ExampleLstopo prints the hwloc-style topology of the paper's Listing 1
+// test system.
+func ExampleLstopo() {
+	m, _ := zerosum.MachineByName("laptop")
+	fmt.Print(zerosum.Lstopo(m))
+	// Output:
+	// Machine L#0 (16GB)
+	//   Package L#0
+	//     L3Cache L#0 12MB
+	//       L2Cache L#0 1280KB
+	//         L1Cache L#0 48KB
+	//           Core L#0
+	//             PU L#0 P#0
+	//             PU L#1 P#4
+	//       L2Cache L#1 1280KB
+	//         L1Cache L#1 48KB
+	//           Core L#1
+	//             PU L#2 P#1
+	//             PU L#3 P#5
+	//       L2Cache L#2 1280KB
+	//         L1Cache L#2 48KB
+	//           Core L#2
+	//             PU L#4 P#2
+	//             PU L#5 P#6
+	//       L2Cache L#3 1280KB
+	//         L1Cache L#3 48KB
+	//           Core L#3
+	//             PU L#6 P#3
+	//             PU L#7 P#7
+}
+
+// ExampleWelchTTest compares two runtime distributions the way the paper's
+// overhead experiment does.
+func ExampleWelchTTest() {
+	baseline := []float64{27.31, 27.35, 27.33, 27.36, 27.32}
+	withTool := []float64{27.32, 27.34, 27.33, 27.35, 27.33}
+	r, _ := zerosum.WelchTTest(baseline, withTool)
+	fmt.Printf("indistinguishable: %v\n", r.P > 0.05)
+	// Output:
+	// indistinguishable: true
+}
+
+// ExampleRunJob launches a tiny simulated MPI+OpenMP job on a Frontier node
+// under ZeroSum monitoring and evaluates its configuration.
+func ExampleRunJob() {
+	app := zerosum.DefaultMiniQMC()
+	app.Steps = 4
+	res, err := zerosum.RunJob(zerosum.JobConfig{
+		Machine: topology.Frontier,
+		App:     app,
+		Srun:    zerosum.SrunOptions{NTasks: 2, CoresPerTask: 7},
+		OMP: zerosum.OMPEnv{NumThreads: 7, Bind: openmp.BindSpread,
+			Places: openmp.PlacesCores},
+		Monitor: zerosum.JobMonitor{Enabled: true},
+		Seed:    1,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	snap := res.Ranks[0].Snapshot
+	fmt.Printf("ranks: %d\n", len(res.Ranks))
+	fmt.Printf("rank 0 cpuset: [%s]\n", snap.ProcessAff)
+	fmt.Printf("misconfigurations: %d\n", len(zerosum.Evaluate(snap, zerosum.EvalThresholds{})))
+	// Output:
+	// ranks: 2
+	// rank 0 cpuset: [1-7]
+	// misconfigurations: 0
+}
+
+// ExampleAdvise diagnoses the paper's Table 1 default launch and proposes
+// the -c7 + spread/cores fix.
+func ExampleAdvise() {
+	app := zerosum.DefaultMiniQMC()
+	app.Steps = 6
+	bad := zerosum.SrunOptions{NTasks: 8}
+	badEnv := zerosum.OMPEnv{NumThreads: 7}
+	res, err := zerosum.RunJob(zerosum.JobConfig{
+		Machine: topology.Frontier,
+		App:     app,
+		Srun:    bad,
+		OMP:     badEnv,
+		Monitor: zerosum.JobMonitor{Enabled: true},
+		Seed:    1,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	advice := zerosum.Advise(zerosum.AdvisorInput{
+		Snapshot: res.Ranks[0].Snapshot,
+		Machine:  topology.Frontier(),
+		Srun:     bad,
+		OMP:      badEnv,
+	})
+	for _, a := range advice {
+		if a.Srun != nil {
+			fmt.Println(a.Srun.CommandLine("miniqmc"))
+		}
+	}
+	// Output:
+	// srun -n8 -c7 miniqmc
+}

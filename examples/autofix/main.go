@@ -1,0 +1,83 @@
+// autofix demonstrates the two configuration-repair paths built on top of
+// ZeroSum's evaluation (§3.2 + the §3.1 future-work idea):
+//
+//  1. The advisor: run a misconfigured job, turn the monitor's findings
+//     into a corrected srun/OMP configuration, re-run, compare.
+//  2. Auto-rebind: let the monitor itself spread piled-up threads across
+//     the cpuset mid-run.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zerosum/internal/advisor"
+	"zerosum/internal/openmp"
+	"zerosum/internal/sched"
+	"zerosum/internal/sim"
+	"zerosum/internal/slurm"
+	"zerosum/internal/topology"
+	"zerosum/internal/workload"
+)
+
+func run(srun slurm.Options, env openmp.Env, rebindAfter int) *workload.Result {
+	mq := workload.DefaultMiniQMC()
+	mq.Steps = 24
+	res, err := workload.Run(workload.Config{
+		Machine: topology.Frontier,
+		App:     mq,
+		Srun:    srun,
+		OMP:     env,
+		Monitor: workload.MonitorConfig{Enabled: true, CPU: -1, RebindAfter: rebindAfter},
+		Sched:   sched.Params{Quantum: 200 * sim.Microsecond, Timeslice: 400 * sim.Microsecond},
+		Seed:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	badSrun := slurm.Options{NTasks: 8}
+	badEnv := openmp.Env{NumThreads: 7}
+
+	fmt.Println("== 1. The misconfigured default launch ==")
+	bad := run(badSrun, badEnv, 0)
+	fmt.Printf("%s -> %.2f s\n\n", badSrun.CommandLine("miniqmc"), bad.WallSeconds)
+
+	fmt.Println("== 2. What the advisor says ==")
+	advice := advisor.Advise(advisor.Input{
+		Snapshot: bad.Ranks[0].Snapshot,
+		Machine:  topology.Frontier(),
+		Srun:     badSrun,
+		OMP:      badEnv,
+	})
+	var fix *advisor.Advice
+	for i := range advice {
+		fmt.Println(advice[i])
+		if advice[i].Srun != nil && fix == nil {
+			fix = &advice[i]
+		}
+	}
+	if fix == nil {
+		log.Fatal("no launch fix proposed")
+	}
+
+	fmt.Println("\n== 3. Re-run with the advised configuration ==")
+	good := run(*fix.Srun, *fix.OMP, 0)
+	fmt.Printf("%s -> %.2f s (%.2fx faster)\n\n",
+		fix.Srun.CommandLine("miniqmc"), good.WallSeconds, bad.WallSeconds/good.WallSeconds)
+
+	fmt.Println("== 4. Auto-rebind: fix a bad OMP_PROC_BIND=master binding mid-run ==")
+	masterEnv := openmp.Env{NumThreads: 7, Bind: openmp.BindMaster, Places: openmp.PlacesCores}
+	c7 := slurm.Options{NTasks: 8, CoresPerTask: 7}
+	stuck := run(c7, masterEnv, 0)
+	healed := run(c7, masterEnv, 3)
+	fmt.Printf("master binding, no intervention: %.2f s\n", stuck.WallSeconds)
+	fmt.Printf("master binding, auto-rebind on : %.2f s (%.2fx faster)\n",
+		healed.WallSeconds, stuck.WallSeconds/healed.WallSeconds)
+	for _, ev := range healed.Ranks[0].Monitor.Rebinds() {
+		fmt.Println("  ", ev)
+	}
+}

@@ -1,0 +1,44 @@
+// miniqmc reproduces the paper's central story (§4, Tables 1-3): the same
+// miniQMC application launched three ways on a Frontier node, with ZeroSum
+// exposing why the default configuration is 2-3x slower — every thread
+// time-slicing one core — and how -c7 plus OMP_PROC_BIND=spread fixes it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"zerosum/internal/core"
+	"zerosum/internal/experiments"
+	"zerosum/internal/report"
+)
+
+func main() {
+	const scale = 0.25 // quarter of the paper's run length
+	fmt.Println("miniQMC on a simulated Frontier node, three launch configurations")
+	fmt.Printf("(workload at %.0f%% of the paper's scale)\n\n", scale*100)
+
+	var labels []string
+	var snaps []core.Snapshot
+	for i, run := range []func(float64, uint64) (*experiments.TableResult, error){
+		experiments.Table1, experiments.Table2, experiments.Table3,
+	} {
+		tr, err := run(scale, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d. %-62s %6.2f s  (paper: %.2f s)\n", i+1, tr.Command, tr.WallSeconds, tr.PaperSeconds)
+		labels = append(labels, tr.Label)
+		snaps = append(snaps, tr.Snapshot)
+	}
+	fmt.Println()
+	if err := report.WriteComparison(os.Stdout, labels, snaps); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("What ZeroSum's configuration evaluation says about the default launch:")
+	for _, w := range core.Evaluate(snaps[0], core.EvalThresholds{}) {
+		fmt.Println(" ", w)
+	}
+}

@@ -1,0 +1,45 @@
+// Quickstart: run a small simulated MPI+OpenMP job on a Frontier node under
+// ZeroSum monitoring and print the rank-0 utilization report.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"zerosum"
+
+	"zerosum/internal/openmp"
+	"zerosum/internal/topology"
+)
+
+func main() {
+	app := zerosum.DefaultMiniQMC()
+	app.Steps = 12 // keep the demo quick
+
+	res, err := zerosum.RunJob(zerosum.JobConfig{
+		Machine: topology.Frontier,
+		App:     app,
+		// The paper's well-configured launch: srun -n8 -c7 with one
+		// OpenMP thread pinned per core.
+		Srun: zerosum.SrunOptions{NTasks: 8, CoresPerTask: 7},
+		OMP: zerosum.OMPEnv{
+			NumThreads: 7,
+			Bind:       openmp.BindSpread,
+			Places:     openmp.PlacesCores,
+		},
+		Monitor: zerosum.JobMonitor{Enabled: true},
+		Seed:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("application runtime: %.3f s across %d ranks\n\n", res.WallSeconds, len(res.Ranks))
+	if err := zerosum.WriteReport(os.Stdout, res.Ranks[0].Snapshot, zerosum.ReportOptions{
+		Contention: true,
+		Memory:     true,
+	}); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module zerosum
+
+go 1.22

@@ -1,0 +1,205 @@
+// Package advisor implements the configuration-evaluation step the paper
+// scopes as future work (§3.2: "a diagnosis would require an evaluation of
+// the existing configuration as well as a comparison to a known good
+// configuration"): it turns a ZeroSum snapshot plus knowledge of the
+// machine into concrete launch-configuration changes — a corrected srun
+// line and OpenMP environment — and can verify its own advice by measuring
+// the reconfigured job.
+package advisor
+
+import (
+	"fmt"
+	"strings"
+
+	"zerosum/internal/core"
+	"zerosum/internal/openmp"
+	"zerosum/internal/slurm"
+	"zerosum/internal/topology"
+)
+
+// Advice is one recommended configuration change.
+type Advice struct {
+	// Finding is the evaluation result the advice addresses.
+	Finding core.Warning
+	// Explanation says why the change should help, in user terms.
+	Explanation string
+	// Srun and OMP, when non-nil, are the corrected launch settings.
+	Srun *slurm.Options
+	// OMP is the corrected OpenMP environment.
+	OMP *openmp.Env
+}
+
+func (a Advice) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n  -> %s", a.Finding, a.Explanation)
+	if a.Srun != nil {
+		fmt.Fprintf(&b, "\n  -> launch: %s", a.Srun.CommandLine("<app>"))
+	}
+	if a.OMP != nil {
+		fmt.Fprintf(&b, "\n  -> environment: OMP_NUM_THREADS=%d OMP_PROC_BIND=%s OMP_PLACES=%s",
+			a.OMP.NumThreads, a.OMP.Bind, a.OMP.Places)
+	}
+	return b.String()
+}
+
+// Input bundles what the advisor reasons over.
+type Input struct {
+	// Snapshot is rank 0's (or any representative rank's) monitor output.
+	Snapshot core.Snapshot
+	// Machine describes the node.
+	Machine *topology.Machine
+	// Srun is the launch configuration the job actually used.
+	Srun slurm.Options
+	// OMP is the OpenMP environment the job actually used.
+	OMP openmp.Env
+	// Thresholds tunes the underlying evaluation.
+	Thresholds core.EvalThresholds
+}
+
+// Advise evaluates the snapshot and proposes fixes, most impactful first.
+func Advise(in Input) []Advice {
+	warnings := core.Evaluate(in.Snapshot, in.Thresholds)
+	var out []Advice
+	for _, w := range warnings {
+		switch w.Kind {
+		case core.WarnSingleCore:
+			if a := fixSingleCore(in, w); a != nil {
+				out = append(out, *a)
+			}
+		case core.WarnThreadMigration:
+			out = append(out, fixMigration(in, w))
+		case core.WarnUnderutilized:
+			if a := fixUnderutilized(in, w); a != nil {
+				out = append(out, *a)
+			}
+		case core.WarnIdleGPU:
+			out = append(out, Advice{
+				Finding: w,
+				Explanation: "the assigned GPU is nearly idle; drop --gpus-per-task " +
+					"or move more work onto the device so the allocation is not wasted",
+			})
+		case core.WarnLowMemory:
+			out = append(out, Advice{
+				Finding: w,
+				Explanation: "system memory headroom is nearly exhausted; reduce ranks " +
+					"per node or the per-rank working set before the OOM killer intervenes",
+			})
+		case core.WarnDeadlockHint:
+			out = append(out, Advice{
+				Finding:     w,
+				Explanation: "no thread has made CPU progress for several sampling periods; attach a debugger or inspect the ZeroSum backtrace report",
+			})
+		}
+	}
+	return out
+}
+
+// busyAppThreads counts application threads doing real work.
+func busyAppThreads(snap core.Snapshot) int {
+	n := 0
+	for _, l := range snap.LWPs {
+		if l.Kind != core.KindMain && l.Kind != core.KindOpenMP {
+			continue
+		}
+		if l.UTimePct+l.STimePct >= 5 {
+			n++
+		}
+	}
+	return n
+}
+
+// fixSingleCore handles the Table 1 disaster: N busy threads confined to
+// one core. The fix depends on whether the confinement comes from the
+// process cpuset (ask Slurm for more cores) or from thread binding within
+// a large cpuset (fix OMP_PROC_BIND).
+func fixSingleCore(in Input, w core.Warning) *Advice {
+	threads := busyAppThreads(in.Snapshot)
+	if threads <= 1 {
+		return nil
+	}
+	cpusetCores := coresIn(in.Machine, in.Snapshot.ProcessAff)
+	if cpusetCores <= 1 {
+		// The launcher only granted one core: ask for one per thread.
+		usable := 0
+		for _, c := range in.Machine.Cores() {
+			if !c.Reserved {
+				usable++
+			}
+		}
+		want := threads
+		if in.Srun.NTasks > 0 && want*in.Srun.NTasks > usable {
+			want = usable / in.Srun.NTasks
+		}
+		if want <= 1 {
+			return &Advice{Finding: w, Explanation: "the node cannot grant more cores; reduce OMP_NUM_THREADS instead"}
+		}
+		srun := in.Srun
+		srun.CoresPerTask = want
+		omp := in.OMP
+		omp.Bind = openmp.BindSpread
+		omp.Places = openmp.PlacesCores
+		return &Advice{
+			Finding: w,
+			Explanation: fmt.Sprintf(
+				"%d busy threads share one core because the launcher granted a single-core cpuset; request -c%d and pin one thread per core",
+				threads, want),
+			Srun: &srun,
+			OMP:  &omp,
+		}
+	}
+	// The cpuset is large but binding piled threads up (OMP_PROC_BIND=
+	// master, or a runtime default gone wrong): spread over cores.
+	omp := in.OMP
+	omp.Bind = openmp.BindSpread
+	omp.Places = openmp.PlacesCores
+	return &Advice{
+		Finding: w,
+		Explanation: fmt.Sprintf(
+			"the cpuset spans %d cores but thread binding stacked %d busy threads on one of them; use OMP_PROC_BIND=spread OMP_PLACES=cores",
+			cpusetCores, threads),
+		OMP: &omp,
+	}
+}
+
+// fixMigration handles unbound threads bouncing between cores (Table 2 ->
+// Table 3).
+func fixMigration(in Input, w core.Warning) Advice {
+	omp := in.OMP
+	omp.Bind = openmp.BindSpread
+	omp.Places = openmp.PlacesCores
+	return Advice{
+		Finding: w,
+		Explanation: "threads migrate between cores, losing cache state; pin them with " +
+			"OMP_PROC_BIND=spread OMP_PLACES=cores",
+		OMP: &omp,
+	}
+}
+
+// fixUnderutilized handles allocations larger than the work.
+func fixUnderutilized(in Input, w core.Warning) *Advice {
+	threads := busyAppThreads(in.Snapshot)
+	cores := coresIn(in.Machine, in.Snapshot.ProcessAff)
+	if threads == 0 || cores <= threads {
+		return nil
+	}
+	srun := in.Srun
+	srun.CoresPerTask = threads
+	return &Advice{
+		Finding: w,
+		Explanation: fmt.Sprintf(
+			"only %d of %d allocated cores do work; request -c%d (or raise OMP_NUM_THREADS to %d) so the allocation is not wasted",
+			threads, cores, threads, cores),
+		Srun: &srun,
+	}
+}
+
+// coresIn counts distinct cores covered by a cpuset.
+func coresIn(m *topology.Machine, set topology.CPUSet) int {
+	seen := map[*topology.Core]bool{}
+	for _, pu := range set.List() {
+		if c := m.CoreOf(pu); c != nil {
+			seen[c] = true
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,193 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"zerosum/internal/core"
+	"zerosum/internal/openmp"
+	"zerosum/internal/sched"
+	"zerosum/internal/sim"
+	"zerosum/internal/slurm"
+	"zerosum/internal/topology"
+	"zerosum/internal/workload"
+)
+
+// runJob executes a scaled miniQMC with the given launch settings and
+// returns the result plus rank-0 snapshot.
+func runJob(t *testing.T, srun slurm.Options, env openmp.Env, schedP sched.Params) (*workload.Result, core.Snapshot) {
+	t.Helper()
+	mq := workload.DefaultMiniQMC()
+	mq.Steps = 10
+	mq.WorkPerStep = 20 * sim.Millisecond
+	res, err := workload.Run(workload.Config{
+		Machine: topology.Frontier,
+		App:     mq,
+		Srun:    srun,
+		OMP:     env,
+		Monitor: workload.MonitorConfig{Enabled: true, Period: 100 * sim.Millisecond, CPU: -1},
+		Sched:   schedP,
+		Seed:    21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, res.Ranks[0].Snapshot
+}
+
+// TestAdviceFixesDefaultLaunch closes the loop on the paper's central
+// story: measure the misconfigured default launch (Table 1), take the
+// advisor's recommendation, re-run with it, and verify the speedup the
+// paper demonstrates by hand.
+func TestAdviceFixesDefaultLaunch(t *testing.T) {
+	badSrun := slurm.Options{NTasks: 8}
+	badEnv := openmp.Env{NumThreads: 7}
+	badSched := sched.Params{Quantum: 100 * sim.Microsecond, Timeslice: 200 * sim.Microsecond}
+	resBad, snapBad := runJob(t, badSrun, badEnv, badSched)
+
+	advice := Advise(Input{
+		Snapshot: snapBad,
+		Machine:  topology.Frontier(),
+		Srun:     badSrun,
+		OMP:      badEnv,
+	})
+	if len(advice) == 0 {
+		t.Fatal("advisor found nothing wrong with the Table 1 launch")
+	}
+	var fix *Advice
+	for i := range advice {
+		if advice[i].Srun != nil {
+			fix = &advice[i]
+			break
+		}
+	}
+	if fix == nil {
+		t.Fatalf("no launch fix among: %v", advice)
+	}
+	if fix.Srun.CoresPerTask != 7 {
+		t.Fatalf("recommended -c%d, want -c7", fix.Srun.CoresPerTask)
+	}
+	if fix.OMP == nil || fix.OMP.Bind != openmp.BindSpread || fix.OMP.Places != openmp.PlacesCores {
+		t.Fatalf("recommended OMP = %+v, want spread/cores", fix.OMP)
+	}
+	// Apply the advice and measure.
+	resFixed, snapFixed := runJob(t, *fix.Srun, *fix.OMP, sched.Params{})
+	speedup := resBad.WallSeconds / resFixed.WallSeconds
+	if speedup < 2.0 {
+		t.Fatalf("advised config speedup = %.2fx, want >= 2x (paper: 2.3x)", speedup)
+	}
+	// And the fixed run is clean.
+	remaining := Advise(Input{
+		Snapshot: snapFixed,
+		Machine:  topology.Frontier(),
+		Srun:     *fix.Srun,
+		OMP:      *fix.OMP,
+	})
+	for _, a := range remaining {
+		if a.Finding.Kind == core.WarnSingleCore {
+			t.Fatalf("single-core finding persists after the fix: %v", a)
+		}
+	}
+}
+
+// TestAdviceFixesMasterBinding: a large cpuset with OMP_PROC_BIND=master
+// stacks the whole team on one core; the advisor must recommend a binding
+// change, not more cores.
+func TestAdviceFixesMasterBinding(t *testing.T) {
+	srun := slurm.Options{NTasks: 8, CoresPerTask: 7}
+	env := openmp.Env{NumThreads: 7, Bind: openmp.BindMaster, Places: openmp.PlacesCores}
+	schedP := sched.Params{Quantum: 100 * sim.Microsecond, Timeslice: 200 * sim.Microsecond}
+	resBad, snap := runJob(t, srun, env, schedP)
+
+	advice := Advise(Input{Snapshot: snap, Machine: topology.Frontier(), Srun: srun, OMP: env})
+	var fix *Advice
+	for i := range advice {
+		if advice[i].Finding.Kind == core.WarnSingleCore {
+			fix = &advice[i]
+			break
+		}
+	}
+	if fix == nil {
+		t.Fatalf("master-binding pileup not diagnosed: %v", advice)
+	}
+	if fix.Srun != nil {
+		t.Fatalf("should fix binding, not cores: %v", fix)
+	}
+	if fix.OMP == nil || fix.OMP.Bind != openmp.BindSpread {
+		t.Fatalf("want spread binding, got %v", fix.OMP)
+	}
+	if !strings.Contains(fix.Explanation, "binding") {
+		t.Fatalf("explanation should mention binding: %s", fix.Explanation)
+	}
+	resFixed, _ := runJob(t, srun, *fix.OMP, sched.Params{})
+	if speedup := resBad.WallSeconds / resFixed.WallSeconds; speedup < 2.0 {
+		t.Fatalf("binding fix speedup = %.2fx, want >= 2x", speedup)
+	}
+}
+
+// TestAdviceUnderutilized: a 7-core cpuset running 2 threads wastes cores.
+func TestAdviceUnderutilized(t *testing.T) {
+	srun := slurm.Options{NTasks: 8, CoresPerTask: 7}
+	env := openmp.Env{NumThreads: 2, Bind: openmp.BindSpread, Places: openmp.PlacesCores}
+	// A 2-thread job finishes fast; give the monitor enough samples to
+	// observe per-thread utilization (a single observation reads as 0%).
+	mq := workload.DefaultMiniQMC()
+	mq.Steps = 40
+	mq.WorkPerStep = 20 * sim.Millisecond
+	res, err := workload.Run(workload.Config{
+		Machine: topology.Frontier,
+		App:     mq,
+		Srun:    srun,
+		OMP:     env,
+		Monitor: workload.MonitorConfig{Enabled: true, Period: 100 * sim.Millisecond, CPU: -1},
+		Seed:    21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Ranks[0].Snapshot
+	advice := Advise(Input{Snapshot: snap, Machine: topology.Frontier(), Srun: srun, OMP: env})
+	var found *Advice
+	for i := range advice {
+		if advice[i].Finding.Kind == core.WarnUnderutilized {
+			found = &advice[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("underutilization not diagnosed: %v", advice)
+	}
+	if found.Srun == nil || found.Srun.CoresPerTask != 2 {
+		t.Fatalf("want -c2 recommendation, got %v", found)
+	}
+}
+
+// TestAdviceCleanRunQuiet: a healthy run generates no launch changes.
+func TestAdviceCleanRunQuiet(t *testing.T) {
+	srun := slurm.Options{NTasks: 8, CoresPerTask: 7}
+	env := openmp.Env{NumThreads: 7, Bind: openmp.BindSpread, Places: openmp.PlacesCores}
+	_, snap := runJob(t, srun, env, sched.Params{})
+	advice := Advise(Input{Snapshot: snap, Machine: topology.Frontier(), Srun: srun, OMP: env})
+	for _, a := range advice {
+		if a.Srun != nil || a.Finding.Kind == core.WarnSingleCore {
+			t.Fatalf("clean run got launch advice: %v", a)
+		}
+	}
+}
+
+// TestAdviceString renders usable text.
+func TestAdviceString(t *testing.T) {
+	srun := slurm.Options{NTasks: 8, CoresPerTask: 7}
+	env := openmp.Env{NumThreads: 7, Bind: openmp.BindSpread, Places: openmp.PlacesCores}
+	a := Advice{
+		Finding:     core.Warning{Kind: core.WarnSingleCore, Message: "pileup"},
+		Explanation: "do the thing",
+		Srun:        &srun,
+		OMP:         &env,
+	}
+	s := a.String()
+	for _, want := range []string{"single-core", "do the thing", "-c7", "OMP_PROC_BIND=spread"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("advice text missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Heatmap is a dense 2D matrix with rendering helpers, used for the MPI
+// point-to-point communication matrix (Figure 5: receiver on one axis,
+// sender on the other, cell value = bytes).
+type Heatmap struct {
+	N     int
+	Cells []float64 // row-major: Cells[dst*N+src]
+}
+
+// NewHeatmap creates an N x N zero heatmap.
+func NewHeatmap(n int) *Heatmap {
+	if n <= 0 {
+		panic("analysis: heatmap size must be positive")
+	}
+	return &Heatmap{N: n, Cells: make([]float64, n*n)}
+}
+
+// FromMatrix builds a heatmap from a rank x rank byte matrix.
+func FromMatrix(m [][]uint64) *Heatmap {
+	h := NewHeatmap(len(m))
+	for d, row := range m {
+		for s, v := range row {
+			h.Set(d, s, float64(v))
+		}
+	}
+	return h
+}
+
+// Set stores a cell value.
+func (h *Heatmap) Set(dst, src int, v float64) { h.Cells[dst*h.N+src] = v }
+
+// At reads a cell value.
+func (h *Heatmap) At(dst, src int) float64 { return h.Cells[dst*h.N+src] }
+
+// Add accumulates into a cell.
+func (h *Heatmap) Add(dst, src int, v float64) { h.Cells[dst*h.N+src] += v }
+
+// Max returns the largest cell value.
+func (h *Heatmap) Max() float64 {
+	m := 0.0
+	for _, v := range h.Cells {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Total returns the sum of all cells.
+func (h *Heatmap) Total() float64 {
+	t := 0.0
+	for _, v := range h.Cells {
+		t += v
+	}
+	return t
+}
+
+// Downsample bins the heatmap into a bins x bins grid by summing cells, for
+// terminal display of large matrices (512 ranks into an 64x64 view).
+func (h *Heatmap) Downsample(bins int) *Heatmap {
+	if bins <= 0 || bins > h.N {
+		bins = h.N
+	}
+	out := NewHeatmap(bins)
+	for d := 0; d < h.N; d++ {
+		bd := d * bins / h.N
+		for s := 0; s < h.N; s++ {
+			bs := s * bins / h.N
+			out.Add(bd, bs, h.At(d, s))
+		}
+	}
+	return out
+}
+
+// BandFraction reports the fraction of total volume within |dst-src| <= w
+// (with wraparound), quantifying the "strong nearest-neighbor pattern along
+// the central diagonal" the paper reads off Figure 5.
+func (h *Heatmap) BandFraction(w int) float64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	band := 0.0
+	for d := 0; d < h.N; d++ {
+		for s := 0; s < h.N; s++ {
+			dist := d - s
+			if dist < 0 {
+				dist = -dist
+			}
+			if wrap := h.N - dist; wrap < dist {
+				dist = wrap
+			}
+			if dist <= w {
+				band += h.At(d, s)
+			}
+		}
+	}
+	return band / total
+}
+
+// asciiRamp maps intensity to characters, darkest last.
+const asciiRamp = " .:-=+*#%@"
+
+// WriteASCII renders the heatmap as character art (one cell per character),
+// downsampling to at most maxSize first.
+func (h *Heatmap) WriteASCII(w io.Writer, maxSize int) error {
+	hm := h
+	if maxSize > 0 && h.N > maxSize {
+		hm = h.Downsample(maxSize)
+	}
+	peak := hm.Max()
+	var b strings.Builder
+	for d := 0; d < hm.N; d++ {
+		for s := 0; s < hm.N; s++ {
+			idx := 0
+			if peak > 0 {
+				idx = int(hm.At(d, s) / peak * float64(len(asciiRamp)-1))
+			}
+			b.WriteByte(asciiRamp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WritePGM renders the heatmap as a binary-free plain PGM (P2) image, a
+// dependency-free stand-in for the paper's matplotlib figure.
+func (h *Heatmap) WritePGM(w io.Writer) error {
+	peak := h.Max()
+	if _, err := fmt.Fprintf(w, "P2\n%d %d\n255\n", h.N, h.N); err != nil {
+		return err
+	}
+	for d := 0; d < h.N; d++ {
+		var row strings.Builder
+		for s := 0; s < h.N; s++ {
+			v := 0
+			if peak > 0 {
+				v = int(h.At(d, s) / peak * 255)
+			}
+			if s > 0 {
+				row.WriteByte(' ')
+			}
+			fmt.Fprintf(&row, "%d", v)
+		}
+		row.WriteByte('\n')
+		if _, err := io.WriteString(w, row.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

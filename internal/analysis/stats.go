@@ -1,0 +1,182 @@
+// Package analysis provides the statistical and post-processing tools the
+// paper's evaluation uses: sample statistics and Welch's t-test for the
+// overhead experiment (Figure 8), communication-heatmap binning (Figure 5),
+// and stacked time-series assembly for the utilization charts (Figures 6-7).
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds sample statistics.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes sample statistics. It panics on an empty sample: a
+// caller asking for statistics of nothing is a bug.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("analysis: empty sample")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4f ± %.4f (n=%d, min %.4f, max %.4f)", s.Mean, s.Std, s.N, s.Min, s.Max)
+}
+
+// TTestResult is the outcome of Welch's unequal-variance t-test.
+type TTestResult struct {
+	T  float64 // t statistic
+	DF float64 // Welch–Satterthwaite degrees of freedom
+	P  float64 // two-sided p-value
+}
+
+// WelchTTest compares two independent samples, as the paper does for the
+// with/without-ZeroSum runtime distributions ("The t-test score comparing
+// the two distributions is 0.998", §4.1).
+func WelchTTest(a, b []float64) (TTestResult, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{}, fmt.Errorf("analysis: t-test needs >= 2 samples per group (got %d, %d)", len(a), len(b))
+	}
+	sa, sb := Summarize(a), Summarize(b)
+	va := sa.Std * sa.Std / float64(sa.N)
+	vb := sb.Std * sb.Std / float64(sb.N)
+	se := math.Sqrt(va + vb)
+	if se == 0 {
+		// Identical constant samples: indistinguishable distributions.
+		if sa.Mean == sb.Mean {
+			return TTestResult{T: 0, DF: float64(sa.N + sb.N - 2), P: 1}, nil
+		}
+		return TTestResult{T: math.Inf(1), DF: float64(sa.N + sb.N - 2), P: 0}, nil
+	}
+	t := (sa.Mean - sb.Mean) / se
+	df := (va + vb) * (va + vb) /
+		(va*va/float64(sa.N-1) + vb*vb/float64(sb.N-1))
+	p := 2 * studentTCDFUpper(math.Abs(t), df)
+	return TTestResult{T: t, DF: df, P: p}, nil
+}
+
+// studentTCDFUpper returns P(T > t) for Student's t with df degrees of
+// freedom, via the regularized incomplete beta function.
+func studentTCDFUpper(t, df float64) float64 {
+	if t <= 0 {
+		return 0.5
+	}
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a,b)
+// with the standard continued-fraction expansion (Numerical Recipes betacf).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	ln := lgamma(a+b) - lgamma(a) - lgamma(b) + a*math.Log(x) + b*math.Log(1-x)
+	front := math.Exp(ln)
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		aa := float64(m) * (b - float64(m)) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// RelativeOverhead returns (mean(b)-mean(a))/mean(a): the fractional cost
+// of b over baseline a.
+func RelativeOverhead(baseline, with []float64) float64 {
+	sa, sb := Summarize(baseline), Summarize(with)
+	if sa.Mean == 0 {
+		return 0
+	}
+	return (sb.Mean - sa.Mean) / sa.Mean
+}

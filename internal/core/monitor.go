@@ -1,0 +1,647 @@
+// Package core implements the ZeroSum monitor: the paper's primary
+// contribution. A Monitor periodically samples a process's lightweight
+// processes (threads) through the /proc filesystem interface, the hardware
+// threads of its cpuset through /proc/stat, system and process memory
+// through /proc/meminfo and /proc/<pid>/status, and GPU devices through an
+// SMI — then produces the utilization report (paper §3.4, Listing 2), the
+// contention report (§3.5), heartbeats (§3.3), configuration evaluation
+// (§3.2) and CSV/stream exports (§3.6).
+//
+// The monitor is substrate-agnostic: it consumes proc.FS and gpu.SMI
+// interfaces, so exactly the same code observes the kernel simulator and
+// the live /proc of a real Linux host.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"zerosum/internal/export"
+	"zerosum/internal/gpu"
+	"zerosum/internal/proc"
+	"zerosum/internal/topology"
+)
+
+// ThreadKind classifies an LWP in reports.
+type ThreadKind int
+
+// Thread kinds, in report precedence order.
+const (
+	KindOther ThreadKind = iota
+	KindOpenMP
+	KindZeroSum
+	KindMain
+)
+
+func (k ThreadKind) String() string {
+	switch k {
+	case KindMain:
+		return "Main"
+	case KindOpenMP:
+		return "OpenMP"
+	case KindZeroSum:
+		return "ZeroSum"
+	default:
+		return "Other"
+	}
+}
+
+// Config tunes the monitor.
+type Config struct {
+	// Period is the sampling interval (the paper's default: 1 s).
+	Period time.Duration
+	// HeartbeatEvery emits a progress line every N samples (0 disables).
+	HeartbeatEvery int
+	// Heartbeat is where heartbeats go (nil disables).
+	Heartbeat io.Writer
+	// DeadlockSamples is how many consecutive all-idle samples trigger a
+	// possible-deadlock hint (0 disables).
+	DeadlockSamples int
+	// Stream, when non-nil, receives every sample as it is taken.
+	Stream *export.Stream
+	// KeepSeries retains every periodic sample for CSV export (default
+	// true; large runs may disable it and rely on the stream).
+	KeepSeries bool
+	// RebindAfter, with a Rebinder in Deps, spreads piled-up busy threads
+	// across the cpuset after this many consecutive pileup samples
+	// (0 disables). The paper's "automatically (re)assign threads to HWT
+	// based on detection of bad configurations" future work.
+	RebindAfter int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Period <= 0 {
+		c.Period = time.Second
+	}
+	return c
+}
+
+// Deps are the monitor's data sources.
+type Deps struct {
+	FS    proc.FS
+	SMI   gpu.SMI // nil when no GPUs are visible
+	Clock func() time.Time
+	// Machine, when known, lets the monitor reason about cores vs HWTs
+	// (hwloc's role in the paper's tool).
+	Machine *topology.Machine
+	// Rebinder, with Config.RebindAfter, enables automatic re-affinity.
+	Rebinder Rebinder
+}
+
+// threadState is the per-LWP tracking record.
+type threadState struct {
+	tid        int
+	comm       string
+	kind       ThreadKind
+	alsoOpenMP bool // main thread participating in the OpenMP team
+
+	firstSeen time.Time
+	lastSeen  time.Time
+
+	firstUTime, firstSTime uint64 // jiffies at first observation
+	lastUTime, lastSTime   uint64
+	prevUTime, prevSTime   uint64 // previous sample, for per-interval %
+
+	vctx, nvctx    uint64
+	minflt, majflt uint64
+	lastUserPct    float64
+	lastSysPct     float64
+	nswap          uint64
+	lastCPU        int
+	state          proc.TaskState
+
+	affinity     topology.CPUSet
+	observedCPUs topology.CPUSet
+	cpuChanges   int // observed migrations between samples
+	affChanges   int // affinity list changed while running
+	gone         bool
+}
+
+// Monitor observes one process.
+type Monitor struct {
+	cfg  Config
+	deps Deps
+
+	pid      int
+	host     string
+	started  time.Time
+	finished time.Time
+	done     bool
+
+	rank, size int // -1 until MPI is detected
+	selfTID    int // the monitor's own LWP, reported as ZeroSum kind
+
+	threads map[int]*threadState
+	order   []int // TIDs in discovery order
+
+	prevCPU  map[int]proc.CPUTimes // previous /proc/stat rows
+	procAff  topology.CPUSet
+	procComm string
+
+	samples      int
+	lastIO       proc.TaskIO
+	ioSeen       bool
+	ioSeries     []export.IOSample
+	lwpSeries    []export.LWPSample
+	hwtSeries    []export.HWTSample
+	gpuSeries    []export.GPUSample
+	memSeries    []export.MemSample
+	gpuAgg       []map[string]*MinAvgMax // per device, per metric
+	gpuInfo      []gpu.DeviceInfo
+	memMinFreeKB uint64
+	memPeakRSSKB uint64
+
+	idleStreak   int
+	deadlockHint bool
+	pileupStreak int
+	rebound      bool
+	rebinds      []RebindEvent
+
+	// MPI point-to-point accounting (this rank's row of the heatmap).
+	sentBytes map[int]uint64
+	recvBytes map[int]uint64
+
+	kindHints map[int]ThreadKind
+	ompHints  map[int]bool
+}
+
+// New creates a monitor for the process served by deps.FS. Call Tick
+// periodically (or Run in real time), then Finish and Report.
+func New(cfg Config, deps Deps) (*Monitor, error) {
+	if deps.FS == nil {
+		return nil, fmt.Errorf("core: Deps.FS is required")
+	}
+	if deps.Clock == nil {
+		return nil, fmt.Errorf("core: Deps.Clock is required")
+	}
+	m := &Monitor{
+		cfg:          cfg.withDefaults(),
+		deps:         deps,
+		pid:          deps.FS.SelfPID(),
+		host:         deps.FS.Hostname(),
+		started:      deps.Clock(),
+		rank:         -1,
+		size:         -1,
+		selfTID:      -1,
+		threads:      make(map[int]*threadState),
+		prevCPU:      make(map[int]proc.CPUTimes),
+		sentBytes:    make(map[int]uint64),
+		recvBytes:    make(map[int]uint64),
+		kindHints:    make(map[int]ThreadKind),
+		ompHints:     make(map[int]bool),
+		memMinFreeKB: ^uint64(0),
+	}
+	if deps.SMI != nil {
+		n := deps.SMI.DeviceCount()
+		m.gpuAgg = make([]map[string]*MinAvgMax, n)
+		for i := 0; i < n; i++ {
+			m.gpuAgg[i] = make(map[string]*MinAvgMax)
+			info, err := deps.SMI.Info(i)
+			if err != nil {
+				return nil, fmt.Errorf("core: query GPU %d: %w", i, err)
+			}
+			m.gpuInfo = append(m.gpuInfo, info)
+		}
+	}
+	// Detect the process-level configuration once at startup (§3.1).
+	if raw, err := deps.FS.ProcessStatus(m.pid); err == nil {
+		if st, err := proc.ParseTaskStatus(string(raw)); err == nil {
+			m.procAff = st.CpusAllowed
+			m.procComm = st.Name
+		}
+	}
+	return m, nil
+}
+
+// PID returns the monitored process id.
+func (m *Monitor) PID() int { return m.pid }
+
+// Hostname returns the node name recorded at startup.
+func (m *Monitor) Hostname() string { return m.host }
+
+// SetMPIInfo records the communicator rank and size once the asynchronous
+// thread observes MPI_Initialized (paper §3.1.3).
+func (m *Monitor) SetMPIInfo(rank, size int) {
+	m.rank, m.size = rank, size
+}
+
+// SetSelfTID identifies the monitor's own LWP so reports classify it as the
+// ZeroSum thread.
+func (m *Monitor) SetSelfTID(tid int) { m.selfTID = tid }
+
+// HintKind classifies a thread from external knowledge (OMPT callbacks, GPU
+// runtime registration). OpenMP hints on the main thread set its
+// "Main, OpenMP" dual label instead of replacing Main.
+func (m *Monitor) HintKind(tid int, kind ThreadKind) {
+	if kind == KindOpenMP {
+		m.ompHints[tid] = true
+		return
+	}
+	m.kindHints[tid] = kind
+}
+
+// RecordP2P is the PMPI wrapper entry point: it accumulates point-to-point
+// bytes per peer rank (paper §3.1.3; Figure 5's heatmap row).
+func (m *Monitor) RecordP2P(send bool, peer int, bytes uint64) {
+	if send {
+		m.sentBytes[peer] += bytes
+	} else {
+		m.recvBytes[peer] += bytes
+	}
+}
+
+// RecvBytes returns this rank's received-bytes row keyed by source rank.
+func (m *Monitor) RecvBytes() map[int]uint64 { return m.recvBytes }
+
+// SentBytes returns this rank's sent-bytes row keyed by destination rank.
+func (m *Monitor) SentBytes() map[int]uint64 { return m.sentBytes }
+
+// Samples returns how many sampling ticks have run.
+func (m *Monitor) Samples() int { return m.samples }
+
+// elapsedSec returns seconds since the monitor started.
+func (m *Monitor) elapsedSec(now time.Time) float64 {
+	return now.Sub(m.started).Seconds()
+}
+
+// Tick takes one sample: threads, hardware threads, memory, GPUs. The
+// asynchronous ZeroSum thread calls this once per period.
+func (m *Monitor) Tick() error {
+	if m.done {
+		return fmt.Errorf("core: monitor already finished")
+	}
+	now := m.deps.Clock()
+	t := m.elapsedSec(now)
+	m.samples++
+
+	if err := m.sampleThreads(now, t); err != nil {
+		return err
+	}
+	if err := m.sampleHWTs(t); err != nil {
+		return err
+	}
+	if err := m.sampleMemory(t); err != nil {
+		return err
+	}
+	if err := m.sampleGPUs(t); err != nil {
+		return err
+	}
+	m.sampleIO(t)
+	m.maybeHeartbeat(t)
+	m.checkDeadlock()
+	m.maybeRebind(t)
+	return nil
+}
+
+func (m *Monitor) sampleThreads(now time.Time, t float64) error {
+	tids, err := m.deps.FS.Tasks(m.pid)
+	if err != nil {
+		return fmt.Errorf("core: list tasks: %w", err)
+	}
+	seen := make(map[int]bool, len(tids))
+	for _, tid := range tids {
+		seen[tid] = true
+		rawStat, err := m.deps.FS.TaskStat(m.pid, tid)
+		if err != nil {
+			continue // transient thread: died between listing and read
+		}
+		st, err := proc.ParseTaskStat(string(rawStat))
+		if err != nil {
+			return fmt.Errorf("core: parse stat of %d: %w", tid, err)
+		}
+		rawStatus, err := m.deps.FS.TaskStatus(m.pid, tid)
+		if err != nil {
+			continue
+		}
+		status, err := proc.ParseTaskStatus(string(rawStatus))
+		if err != nil {
+			return fmt.Errorf("core: parse status of %d: %w", tid, err)
+		}
+
+		ts := m.threads[tid]
+		if ts == nil {
+			ts = &threadState{
+				tid: tid, comm: st.Comm, firstSeen: now,
+				firstUTime: st.UTime, firstSTime: st.STime,
+				prevUTime: st.UTime, prevSTime: st.STime,
+				lastCPU: st.Processor,
+			}
+			ts.kind = m.classify(tid)
+			m.threads[tid] = ts
+			m.order = append(m.order, tid)
+		}
+		if m.ompHints[tid] {
+			if ts.kind == KindMain {
+				ts.alsoOpenMP = true
+			} else if ts.kind == KindOther {
+				ts.kind = KindOpenMP
+			}
+		}
+		// Per-interval utilization percentages.
+		interval := m.cfg.Period.Seconds()
+		if interval <= 0 {
+			interval = 1
+		}
+		du := float64(st.UTime-ts.prevUTime) / proc.ClockTick
+		ds := float64(st.STime-ts.prevSTime) / proc.ClockTick
+		userPct := du / interval * 100
+		sysPct := ds / interval * 100
+
+		if st.Processor != ts.lastCPU {
+			ts.cpuChanges++
+		}
+		if !status.CpusAllowed.Equal(ts.affinity) && !ts.affinity.Empty() {
+			ts.affChanges++
+		}
+		ts.lastSeen = now
+		ts.prevUTime, ts.prevSTime = st.UTime, st.STime
+		ts.lastUTime, ts.lastSTime = st.UTime, st.STime
+		ts.vctx = status.VoluntaryCtxt
+		ts.nvctx = status.NonvoluntaryCtx
+		ts.minflt, ts.majflt = st.MinFlt, st.MajFlt
+		ts.nswap = st.NSwap
+		ts.lastCPU = st.Processor
+		ts.state = st.State
+		ts.affinity = status.CpusAllowed
+		ts.lastUserPct, ts.lastSysPct = userPct, sysPct
+		ts.observedCPUs.Set(st.Processor)
+
+		sample := export.LWPSample{
+			TimeSec: t, TID: tid, Kind: m.kindLabel(ts), State: byte(st.State),
+			UserPct: userPct, SysPct: sysPct,
+			VCtx: status.VoluntaryCtxt, NVCtx: status.NonvoluntaryCtx,
+			MinFlt: st.MinFlt, MajFlt: st.MajFlt, NSwap: st.NSwap,
+			CPU: st.Processor,
+		}
+		if m.cfg.KeepSeries {
+			m.lwpSeries = append(m.lwpSeries, sample)
+		}
+		m.publish(export.Event{Kind: export.EventLWP, TimeSec: t, LWP: &sample})
+	}
+	for tid, ts := range m.threads {
+		if !seen[tid] {
+			ts.gone = true
+		}
+	}
+	return nil
+}
+
+func (m *Monitor) sampleHWTs(t float64) error {
+	raw, err := m.deps.FS.Stat()
+	if err != nil {
+		return fmt.Errorf("core: read /proc/stat: %w", err)
+	}
+	st, err := proc.ParseStat(string(raw))
+	if err != nil {
+		return fmt.Errorf("core: parse /proc/stat: %w", err)
+	}
+	for _, row := range st.PerCPU {
+		prev, ok := m.prevCPU[row.CPU]
+		m.prevCPU[row.CPU] = row
+		if !ok {
+			continue // first sample establishes the baseline
+		}
+		dTotal := float64(row.Total() - prev.Total())
+		if dTotal <= 0 {
+			continue
+		}
+		sample := export.HWTSample{
+			TimeSec: t,
+			CPU:     row.CPU,
+			IdlePct: float64(row.Idle-prev.Idle) / dTotal * 100,
+			SysPct:  float64(row.System-prev.System) / dTotal * 100,
+			UserPct: float64(row.User-prev.User) / dTotal * 100,
+		}
+		if m.cfg.KeepSeries {
+			m.hwtSeries = append(m.hwtSeries, sample)
+		}
+		m.publish(export.Event{Kind: export.EventHWT, TimeSec: t, HWT: &sample})
+	}
+	return nil
+}
+
+func (m *Monitor) sampleMemory(t float64) error {
+	rawMem, err := m.deps.FS.Meminfo()
+	if err != nil {
+		return fmt.Errorf("core: read meminfo: %w", err)
+	}
+	mi, err := proc.ParseMeminfo(string(rawMem))
+	if err != nil {
+		return fmt.Errorf("core: parse meminfo: %w", err)
+	}
+	var rss, hwm uint64
+	if raw, err := m.deps.FS.ProcessStatus(m.pid); err == nil {
+		if st, err := proc.ParseTaskStatus(string(raw)); err == nil {
+			rss, hwm = st.VmRSSKB, st.VmHWMKB
+			m.procAff = st.CpusAllowed
+		}
+	}
+	if mi.MemFreeKB < m.memMinFreeKB {
+		m.memMinFreeKB = mi.MemFreeKB
+	}
+	if rss > m.memPeakRSSKB {
+		m.memPeakRSSKB = rss
+	}
+	sample := export.MemSample{
+		TimeSec: t, TotalKB: mi.MemTotalKB, FreeKB: mi.MemFreeKB,
+		AvailKB: mi.MemAvailableKB, ProcRSSKB: rss, ProcHWMKB: hwm,
+	}
+	if m.cfg.KeepSeries {
+		m.memSeries = append(m.memSeries, sample)
+	}
+	m.publish(export.Event{Kind: export.EventMem, TimeSec: t, Mem: &sample})
+	return nil
+}
+
+func (m *Monitor) sampleGPUs(t float64) error {
+	if m.deps.SMI == nil {
+		return nil
+	}
+	for i := 0; i < m.deps.SMI.DeviceCount(); i++ {
+		metrics, err := m.deps.SMI.Sample(i)
+		if err != nil {
+			return fmt.Errorf("core: sample GPU %d: %w", i, err)
+		}
+		values := metrics.Values()
+		for j, name := range gpu.MetricNames {
+			agg := m.gpuAgg[i][name]
+			if agg == nil {
+				agg = &MinAvgMax{}
+				m.gpuAgg[i][name] = agg
+			}
+			agg.Add(values[j])
+			sample := export.GPUSample{TimeSec: t, GPU: i, Metric: name, Value: values[j]}
+			if m.cfg.KeepSeries {
+				m.gpuSeries = append(m.gpuSeries, sample)
+			}
+			m.publish(export.Event{Kind: export.EventGPU, TimeSec: t, GPU: &sample})
+		}
+	}
+	return nil
+}
+
+// sampleIO reads /proc/<pid>/io; hosts without the file (permissions,
+// non-Linux) are tolerated silently, like the paper's optional collectors.
+func (m *Monitor) sampleIO(t float64) {
+	raw, err := m.deps.FS.ProcessIO(m.pid)
+	if err != nil {
+		return
+	}
+	io, err := proc.ParseTaskIO(string(raw))
+	if err != nil {
+		return
+	}
+	m.lastIO = io
+	m.ioSeen = true
+	sample := export.IOSample{
+		TimeSec: t, RChar: io.RChar, WChar: io.WChar,
+		SyscR: io.SyscR, SyscW: io.SyscW,
+		ReadBytes: io.ReadBytes, WriteBytes: io.WriteBytes,
+	}
+	if m.cfg.KeepSeries {
+		m.ioSeries = append(m.ioSeries, sample)
+	}
+	m.publish(export.Event{Kind: export.EventIO, TimeSec: t, IO: &sample})
+}
+
+func (m *Monitor) maybeHeartbeat(t float64) {
+	if m.cfg.HeartbeatEvery <= 0 || m.cfg.Heartbeat == nil {
+		return
+	}
+	if m.samples%m.cfg.HeartbeatEvery == 0 {
+		fmt.Fprintf(m.cfg.Heartbeat, "ZeroSum: heartbeat t=%.1fs samples=%d threads=%d\n",
+			t, m.samples, m.liveThreadCount())
+	}
+}
+
+// checkDeadlock implements the §3.3 future-work idea: if every application
+// thread has been sleeping with no CPU progress for several consecutive
+// samples, flag a possible deadlock.
+func (m *Monitor) checkDeadlock() {
+	if m.cfg.DeadlockSamples <= 0 {
+		return
+	}
+	allIdle := true
+	active := 0
+	for _, ts := range m.threads {
+		if ts.gone || ts.kind == KindZeroSum {
+			continue
+		}
+		active++
+		progressed := ts.lastUTime != ts.firstUTime || ts.lastSTime != ts.firstSTime
+		_ = progressed
+		if ts.state == proc.StateRunning {
+			allIdle = false
+		}
+		// Progress in the last interval also clears the streak.
+		if ts.lastUTime != ts.prevUTime || ts.lastSTime != ts.prevSTime {
+			allIdle = false
+		}
+	}
+	if active == 0 {
+		allIdle = false
+	}
+	if allIdle {
+		m.idleStreak++
+		if m.idleStreak >= m.cfg.DeadlockSamples {
+			m.deadlockHint = true
+		}
+	} else {
+		m.idleStreak = 0
+	}
+}
+
+// DeadlockSuspected reports whether the deadlock heuristic fired.
+func (m *Monitor) DeadlockSuspected() bool { return m.deadlockHint }
+
+func (m *Monitor) liveThreadCount() int {
+	n := 0
+	for _, ts := range m.threads {
+		if !ts.gone {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *Monitor) classify(tid int) ThreadKind {
+	if k, ok := m.kindHints[tid]; ok {
+		return k
+	}
+	if tid == m.pid {
+		return KindMain
+	}
+	if tid == m.selfTID {
+		return KindZeroSum
+	}
+	return KindOther
+}
+
+func (m *Monitor) kindLabel(ts *threadState) string {
+	if ts.kind == KindMain && ts.alsoOpenMP {
+		return "Main, OpenMP"
+	}
+	return ts.kind.String()
+}
+
+func (m *Monitor) publish(ev export.Event) {
+	if m.cfg.Stream != nil {
+		m.cfg.Stream.Publish(ev)
+	}
+}
+
+// Finish freezes the monitor; further Ticks fail.
+func (m *Monitor) Finish() {
+	if !m.done {
+		m.done = true
+		m.finished = m.deps.Clock()
+	}
+}
+
+// Duration returns the observed execution time.
+func (m *Monitor) Duration() time.Duration {
+	end := m.finished
+	if !m.done {
+		end = m.deps.Clock()
+	}
+	return end.Sub(m.started)
+}
+
+// WriteLWPCSV dumps the thread time series.
+func (m *Monitor) WriteLWPCSV(w io.Writer) error { return export.WriteLWPCSV(w, m.lwpSeries) }
+
+// WriteHWTCSV dumps the hardware-thread time series.
+func (m *Monitor) WriteHWTCSV(w io.Writer) error { return export.WriteHWTCSV(w, m.hwtSeries) }
+
+// WriteGPUCSV dumps the GPU metric time series.
+func (m *Monitor) WriteGPUCSV(w io.Writer) error { return export.WriteGPUCSV(w, m.gpuSeries) }
+
+// WriteMemCSV dumps the memory time series.
+func (m *Monitor) WriteMemCSV(w io.Writer) error { return export.WriteMemCSV(w, m.memSeries) }
+
+// WriteIOCSV dumps the process I/O time series.
+func (m *Monitor) WriteIOCSV(w io.Writer) error { return export.WriteIOCSV(w, m.ioSeries) }
+
+// IOSeries exposes the collected I/O samples.
+func (m *Monitor) IOSeries() []export.IOSample { return m.ioSeries }
+
+// LWPSeries exposes the collected thread samples (for analysis/examples).
+func (m *Monitor) LWPSeries() []export.LWPSample { return m.lwpSeries }
+
+// HWTSeries exposes the collected hardware-thread samples.
+func (m *Monitor) HWTSeries() []export.HWTSample { return m.hwtSeries }
+
+// MemSeries exposes the collected memory samples.
+func (m *Monitor) MemSeries() []export.MemSample { return m.memSeries }
+
+// GPUSeries exposes the collected GPU samples.
+func (m *Monitor) GPUSeries() []export.GPUSample { return m.gpuSeries }
+
+// sortedTIDs returns thread ids in discovery order (stable reports).
+func (m *Monitor) sortedTIDs() []int {
+	out := append([]int(nil), m.order...)
+	sort.Ints(out)
+	return out
+}

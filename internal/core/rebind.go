@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"zerosum/internal/topology"
+)
+
+// Rebinder applies an affinity change to a live thread. The simulator's
+// kernel provides one (sched_setaffinity semantics); on a real Linux host
+// LinuxRebinder issues the actual syscall.
+type Rebinder interface {
+	SetAffinity(tid int, cpus topology.CPUSet) error
+}
+
+// RebindEvent records one automatic re-affinity action for the report.
+type RebindEvent struct {
+	TimeSec float64
+	TID     int
+	From    topology.CPUSet
+	To      topology.CPUSet
+}
+
+func (e RebindEvent) String() string {
+	return fmt.Sprintf("t=%.1fs rebound LWP %d [%s] -> [%s]", e.TimeSec, e.TID, e.From, e.To)
+}
+
+// maybeRebind implements the paper's §3.1 future-work idea: when several
+// consecutive samples show busy threads piled onto fewer cores than the
+// process cpuset offers, spread them one per core, like a corrected
+// OMP_PROC_BIND would have. It acts once per process.
+func (m *Monitor) maybeRebind(t float64) {
+	if m.deps.Rebinder == nil || m.cfg.RebindAfter <= 0 || m.rebound {
+		return
+	}
+	busy := m.pileupCandidates()
+	if len(busy) < 2 {
+		m.pileupStreak = 0
+		return
+	}
+	// Distinct PUs the busy threads are currently allowed to use.
+	var used topology.CPUSet
+	for _, ts := range busy {
+		used = used.Or(ts.affinity)
+	}
+	usedCores := m.coreCount(used)
+	availCores := m.coreCount(m.procAff)
+	if usedCores >= len(busy) || availCores < len(busy) {
+		m.pileupStreak = 0
+		return
+	}
+	m.pileupStreak++
+	if m.pileupStreak < m.cfg.RebindAfter {
+		return
+	}
+	// Spread: one target core per busy thread, ascending over the cpuset.
+	targets := m.spreadTargets(len(busy))
+	if len(targets) < len(busy) {
+		return
+	}
+	for i, ts := range busy {
+		ev := RebindEvent{TimeSec: t, TID: ts.tid, From: ts.affinity.Clone(), To: targets[i]}
+		if err := m.deps.Rebinder.SetAffinity(ts.tid, targets[i]); err != nil {
+			continue // thread may have exited between sample and rebind
+		}
+		m.rebinds = append(m.rebinds, ev)
+	}
+	m.rebound = true
+}
+
+// pileupCandidates returns live application threads with meaningful
+// utilization in the last interval, in discovery order.
+func (m *Monitor) pileupCandidates() []*threadState {
+	var out []*threadState
+	for _, tid := range m.sortedTIDs() {
+		ts := m.threads[tid]
+		if ts.gone || ts.kind == KindZeroSum || ts.kind == KindOther {
+			continue
+		}
+		if ts.lastUserPct+ts.lastSysPct >= 5 {
+			out = append(out, ts)
+		}
+	}
+	return out
+}
+
+// coreCount counts cores covered by a cpuset when the machine is known,
+// else distinct PUs.
+func (m *Monitor) coreCount(set topology.CPUSet) int {
+	if m.deps.Machine == nil {
+		return set.Count()
+	}
+	seen := map[*topology.Core]bool{}
+	for _, pu := range set.List() {
+		if c := m.deps.Machine.CoreOf(pu); c != nil {
+			seen[c] = true
+		}
+	}
+	return len(seen)
+}
+
+// spreadTargets picks n single-PU targets across distinct cores of the
+// process cpuset (first hardware thread of each core when topology is
+// known).
+func (m *Monitor) spreadTargets(n int) []topology.CPUSet {
+	var out []topology.CPUSet
+	if m.deps.Machine != nil {
+		seen := map[*topology.Core]bool{}
+		for _, pu := range m.procAff.List() {
+			c := m.deps.Machine.CoreOf(pu)
+			if c == nil || seen[c] {
+				continue
+			}
+			seen[c] = true
+			out = append(out, topology.NewCPUSet(pu))
+			if len(out) == n {
+				return out
+			}
+		}
+		return out
+	}
+	for _, pu := range m.procAff.List() {
+		out = append(out, topology.NewCPUSet(pu))
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// Rebinds returns the automatic re-affinity actions taken this run.
+func (m *Monitor) Rebinds() []RebindEvent { return m.rebinds }

@@ -1,0 +1,39 @@
+//go:build linux
+
+package core
+
+import (
+	"fmt"
+	"syscall"
+	"unsafe"
+
+	"zerosum/internal/topology"
+)
+
+// LinuxRebinder applies affinity changes to real threads of this process
+// via the sched_setaffinity(2) syscall — the live-host side of the
+// auto-rebind feature. It only works on threads the caller is allowed to
+// retarget (same user, typically the monitored process itself).
+type LinuxRebinder struct{}
+
+// SetAffinity implements Rebinder with the raw syscall (stdlib only: the
+// x/sys wrapper is off-limits in this module).
+func (LinuxRebinder) SetAffinity(tid int, cpus topology.CPUSet) error {
+	last := cpus.Last()
+	if last < 0 {
+		return fmt.Errorf("core: empty cpuset for tid %d", tid)
+	}
+	words := make([]uint64, last/64+1)
+	for _, pu := range cpus.List() {
+		words[pu/64] |= 1 << uint(pu%64)
+	}
+	size := uintptr(len(words) * 8)
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		uintptr(tid), size, uintptr(unsafe.Pointer(&words[0])))
+	if errno != 0 {
+		return fmt.Errorf("core: sched_setaffinity(%d): %v", tid, errno)
+	}
+	return nil
+}
+
+var _ Rebinder = LinuxRebinder{}

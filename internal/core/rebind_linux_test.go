@@ -1,0 +1,65 @@
+//go:build linux
+
+package core
+
+import (
+	"os"
+	"runtime"
+	"syscall"
+	"testing"
+
+	"zerosum/internal/proc"
+	"zerosum/internal/topology"
+)
+
+// TestLinuxRebinderOnSelf pins the calling OS thread via the real syscall
+// and reads the result back from the live /proc.
+func TestLinuxRebinderOnSelf(t *testing.T) {
+	if _, err := os.Stat("/proc/self/status"); err != nil {
+		t.Skip("no /proc")
+	}
+	runtime.LockOSThread()
+	defer runtime.LockOSThread() // stay locked; the thread's mask is dirty now
+
+	tid := syscall.Gettid()
+	fs := proc.NewRealFS()
+	raw, err := fs.TaskStatus(os.Getpid(), tid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := proc.ParseTaskStatus(string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.CpusAllowed.Empty() {
+		t.Fatal("no affinity visible")
+	}
+	target := topology.NewCPUSet(before.CpusAllowed.First())
+
+	var rb LinuxRebinder
+	if err := rb.SetAffinity(tid, target); err != nil {
+		t.Fatalf("sched_setaffinity: %v", err)
+	}
+	raw, err = fs.TaskStatus(os.Getpid(), tid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := proc.ParseTaskStatus(string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.CpusAllowed.Equal(target) {
+		t.Fatalf("affinity after rebind = %s, want %s", after.CpusAllowed, target)
+	}
+	// Restore.
+	if err := rb.SetAffinity(tid, before.CpusAllowed); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+}
+
+func TestLinuxRebinderEmptySet(t *testing.T) {
+	var rb LinuxRebinder
+	if err := rb.SetAffinity(syscall.Gettid(), topology.CPUSet{}); err == nil {
+		t.Fatal("empty cpuset should error")
+	}
+}

@@ -1,0 +1,26 @@
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// Run samples in real time every cfg.Period until the context is cancelled,
+// then finishes the monitor. This is the live-host mode (monitoring a real
+// Linux process through proc.RealFS); the simulator drives Tick directly
+// from its asynchronous-thread task instead.
+func (m *Monitor) Run(ctx context.Context) error {
+	ticker := time.NewTicker(m.cfg.Period)
+	defer ticker.Stop()
+	defer m.Finish()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+			if err := m.Tick(); err != nil {
+				return err
+			}
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"zerosum/internal/core"
+)
+
+const testScale = 0.08
+
+func TestListing1Shape(t *testing.T) {
+	out := Listing1()
+	for _, want := range []string{
+		"HWLOC Node topology:",
+		"Machine L#0",
+		"L3Cache L#0 12MB",
+		"PU L#1 P#4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing 1 missing %q", want)
+		}
+	}
+}
+
+func TestTablesShapeCriteria(t *testing.T) {
+	t1, err := Table1(testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Table2(testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, err := Table3(testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape criterion 1: T1 slowest by >= 2x.
+	if ratio := t1.WallSeconds / t3.WallSeconds; ratio < 2.0 || ratio > 4.0 {
+		t.Errorf("T1/T3 = %.2f, want 2-4x (paper 2.3x)", ratio)
+	}
+	// Shape criterion 2: T2 and T3 within a few percent.
+	if r := t2.WallSeconds / t3.WallSeconds; r < 0.9 || r > 1.1 {
+		t.Errorf("T2/T3 = %.2f, want ~1", r)
+	}
+	// Shape criterion 3: T1 nvctx orders of magnitude above T3.
+	maxNV := func(tr *TableResult, skipMonitorCore bool) uint64 {
+		var m uint64
+		for _, l := range tr.Snapshot.LWPs {
+			if l.Kind != core.KindOpenMP && l.Kind != core.KindMain {
+				continue
+			}
+			if skipMonitorCore && l.Affinity.Contains(7) {
+				continue
+			}
+			if l.NVCtx > m {
+				m = l.NVCtx
+			}
+		}
+		return m
+	}
+	nv1 := maxNV(t1, false)
+	nv3 := maxNV(t3, true)
+	if nv1 < 10000 {
+		t.Errorf("T1 max nvctx = %d, want >= 10^4 at scale %.2f", nv1, testScale)
+	}
+	if nv3 != 0 {
+		t.Errorf("T3 non-victim nvctx = %d, want 0", nv3)
+	}
+	// Shape criterion 4: T2's unbound threads migrate; T3's pinned ones
+	// never do.
+	migrated := 0
+	for _, l := range t2.Snapshot.LWPs {
+		if l.Kind == core.KindOpenMP && l.ObservedCPUs.Count() > 1 {
+			migrated++
+		}
+	}
+	if migrated == 0 {
+		t.Error("T2: expected at least one migrated OpenMP thread")
+	}
+	for _, l := range t3.Snapshot.LWPs {
+		if (l.Kind == core.KindOpenMP || l.Kind == core.KindMain) && l.ObservedCPUs.Count() > 1 {
+			t.Errorf("T3: LWP %d migrated (observed %s)", l.TID, l.ObservedCPUs)
+		}
+	}
+	// Shape criterion 5: runtimes near the scaled paper values (+/- 25%).
+	for _, tr := range []*TableResult{t1, t2, t3} {
+		if tr.WallSeconds < tr.PaperSeconds*0.75 || tr.WallSeconds > tr.PaperSeconds*1.25 {
+			t.Errorf("%s: measured %.2f s vs paper-scaled %.2f s", tr.Label, tr.WallSeconds, tr.PaperSeconds)
+		}
+	}
+}
+
+func TestListing2Shape(t *testing.T) {
+	tr, err := Listing2(0.03, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := tr.Snapshot
+	if len(snap.GPUs) != 1 || snap.GPUs[0].TrueIndex != 4 {
+		t.Fatalf("rank 0 must see GCD true index 4, got %+v", snap.GPUs)
+	}
+	var busy, vram, clock *core.GPUMetric
+	for i := range snap.GPUs[0].Metrics {
+		m := &snap.GPUs[0].Metrics[i]
+		switch m.Name {
+		case "Device Busy %":
+			busy = m
+		case "Used VRAM Bytes":
+			vram = m
+		case "Clock Frequency, GLX (MHz)":
+			clock = m
+		}
+	}
+	if busy == nil || busy.Agg.Avg() < 5 || busy.Agg.Avg() > 60 {
+		t.Errorf("GPU busy avg = %v, want moderate (paper 14.6)", busy)
+	}
+	if vram == nil || vram.Agg.Max < 4.5e9 {
+		t.Errorf("VRAM max = %+v, want ~4.97e9", vram)
+	}
+	if clock == nil || clock.Agg.Avg() < 1200 {
+		t.Errorf("clock avg = %+v, want ramped near peak", clock)
+	}
+	// Walkers: substantial stime from launches, high vctx from syncs.
+	for _, l := range snap.LWPs {
+		if l.Kind != core.KindOpenMP && l.Kind != core.KindMain {
+			continue
+		}
+		if l.STimePct < 5 {
+			t.Errorf("walker %d stime = %.2f, want >= 5 (offload syscalls)", l.TID, l.STimePct)
+		}
+		if l.VCtx < 1000 {
+			t.Errorf("walker %d vctx = %d, want thousands of kernel syncs", l.TID, l.VCtx)
+		}
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	hm, res, err := Figure5(64, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallSeconds <= 0 {
+		t.Fatal("no runtime")
+	}
+	if frac := hm.BandFraction(1); frac < 0.7 {
+		t.Errorf("nearest-neighbour fraction = %.3f, want > 0.7", frac)
+	}
+	if hm.BandFraction(16) <= hm.BandFraction(1) {
+		t.Error("secondary band (±16) should add volume")
+	}
+	if hm.Total() == 0 {
+		t.Error("empty heatmap")
+	}
+}
+
+func TestFigures6And7Shape(t *testing.T) {
+	sr, err := Figures6And7(0.15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.LWP.Series) < 8 {
+		t.Fatalf("LWP series = %d, want >= 8 (7 walkers + monitor + helper)", len(sr.LWP.Series))
+	}
+	if len(sr.HWT.Series) != 7 {
+		t.Fatalf("HWT series = %d, want 7 (cpuset CPUs)", len(sr.HWT.Series))
+	}
+	// Busy series must carry signal.
+	busy := 0
+	for _, s := range sr.HWT.Series {
+		if s.Mean() > 50 {
+			busy++
+		}
+	}
+	if busy != 7 {
+		t.Errorf("busy HWT series = %d, want 7", busy)
+	}
+	var tsv strings.Builder
+	if err := sr.LWP.WriteTSV(&tsv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(tsv.String(), "time\t") {
+		t.Error("TSV header missing")
+	}
+}
+
+func TestFigure8ShapeSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead experiment is slow")
+	}
+	// 4 runs at 30% scale: assert mechanics and the direction of the
+	// asymmetry; full significance is checked at paper scale by
+	// cmd/experiments (see EXPERIMENTS.md).
+	scens, err := Figure8(4, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sc := range scens {
+		if len(sc.Baseline) != 4 || len(sc.WithZeroSum) != 4 {
+			t.Fatalf("scenario %d sample sizes wrong", i)
+		}
+		if sc.BaselineStats.Std == 0 {
+			t.Errorf("scenario %d: no run-to-run noise", i)
+		}
+	}
+	// 2 t/core runs ~2x longer (double walkers, bandwidth-bound).
+	if r := scens[1].BaselineStats.Mean / scens[0].BaselineStats.Mean; r < 1.7 || r > 2.4 {
+		t.Errorf("2t/1t runtime ratio = %.2f, want ~2", r)
+	}
+	// The overhead asymmetry: 2 t/core pays visibly more than 1 t/core.
+	if scens[1].OverheadFrac < scens[0].OverheadFrac {
+		t.Errorf("overhead 2t (%.4f) should exceed 1t (%.4f)",
+			scens[1].OverheadFrac, scens[0].OverheadFrac)
+	}
+	if scens[1].OverheadFrac < 0.001 {
+		t.Errorf("2t overhead = %.4f%%, want >= 0.1%%", scens[1].OverheadFrac*100)
+	}
+}
+
+func TestAblationsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations run many jobs")
+	}
+	abl, err := Ablations(2, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(abl) != 4 {
+		t.Fatalf("ablations = %d", len(abl))
+	}
+	byName := map[string]Ablation{}
+	for _, a := range abl {
+		byName[a.Name] = a
+		if a.String() == "" {
+			t.Fatalf("%s renders empty", a.Name)
+		}
+	}
+	// The bandwidth cap keeps T1/T3 near the paper; removing it blows the
+	// ratio up toward the core count.
+	bw := byName["bandwidth-cap"]
+	if bw.With > 3.5 || bw.Without < 5 {
+		t.Fatalf("bandwidth ablation: with=%.2f without=%.2f", bw.With, bw.Without)
+	}
+	// SMT: without the model, doubling threads per core is free.
+	smt := byName["smt-slowdown"]
+	if smt.With < 1.3 || smt.Without > 1.1 {
+		t.Fatalf("smt ablation: with=%.2f without=%.2f", smt.With, smt.Without)
+	}
+	// Wake noise produces migrations; without it there are none.
+	wn := byName["wake-noise"]
+	if wn.With == 0 || wn.Without != 0 {
+		t.Fatalf("wake-noise ablation: with=%v without=%v", wn.With, wn.Without)
+	}
+	// Refill creates overhead; without it the monitor is ~free. At this
+	// tiny scale only the ordering is stable.
+	rf := byName["preempt-refill"]
+	if rf.With <= rf.Without {
+		t.Fatalf("refill ablation: with=%v without=%v", rf.With, rf.Without)
+	}
+}

@@ -1,0 +1,57 @@
+package export
+
+// EventKind tags stream events.
+type EventKind int
+
+// Stream event kinds.
+const (
+	EventLWP EventKind = iota
+	EventHWT
+	EventGPU
+	EventMem
+	EventIO
+	EventHeartbeat
+)
+
+// Event is one published observation. Exactly one payload pointer matching
+// Kind is non-nil (Heartbeat events carry only the time).
+type Event struct {
+	Kind    EventKind
+	TimeSec float64
+	LWP     *LWPSample
+	HWT     *HWTSample
+	GPU     *GPUSample
+	Mem     *MemSample
+	IO      *IOSample
+}
+
+// Subscriber consumes stream events.
+type Subscriber func(Event)
+
+// Stream is ZeroSum's in-process data-service hook: tools that would, in a
+// production deployment, forward samples to LDMS/ADIOS2/TAU subscribe here
+// and receive every sample as it is taken (paper §3.6 and §6). The zero
+// value is ready to use. It is not safe for concurrent use; the simulated
+// monitor is single-threaded by construction.
+type Stream struct {
+	subs []Subscriber
+	n    uint64
+}
+
+// Subscribe registers a consumer for all subsequent events.
+func (s *Stream) Subscribe(fn Subscriber) {
+	if fn != nil {
+		s.subs = append(s.subs, fn)
+	}
+}
+
+// Publish delivers an event to every subscriber.
+func (s *Stream) Publish(ev Event) {
+	s.n++
+	for _, fn := range s.subs {
+		fn(ev)
+	}
+}
+
+// Published returns the number of events published so far.
+func (s *Stream) Published() uint64 { return s.n }

@@ -1,0 +1,165 @@
+package fsio
+
+import (
+	"errors"
+	"testing"
+
+	"zerosum/internal/proc"
+	"zerosum/internal/sched"
+	"zerosum/internal/sim"
+	"zerosum/internal/topology"
+)
+
+func testFS(clockVal *sim.Time, p Params) *FileSystem {
+	return New(p, func() sim.Time { return *clockVal })
+}
+
+func TestTransferSerializes(t *testing.T) {
+	var now sim.Time
+	fs := testFS(&now, Params{BytesPerSec: 1e9, LatencyPerOp: sim.Millisecond})
+	// 1 GB at 1 GB/s = 1s + 1ms latency.
+	d1, err := fs.Write(nil, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d1.Seconds(); got < 1.0 || got > 1.01 {
+		t.Fatalf("first write completes at %v, want ~1.001s", got)
+	}
+	// Second write queues behind the first.
+	d2, err := fs.Write(nil, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.Seconds(); got < 2.0 || got > 2.02 {
+		t.Fatalf("second write completes at %v, want ~2.002s", got)
+	}
+}
+
+func TestQuotaEnforced(t *testing.T) {
+	var now sim.Time
+	fs := testFS(&now, Params{BytesPerSec: 1e9, QuotaBytes: 1000})
+	if _, err := fs.Write(nil, 900); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Write(nil, 200); !errors.Is(err, ErrQuota) {
+		t.Fatalf("want quota error, got %v", err)
+	}
+	fs.Remove(500)
+	if _, err := fs.Write(nil, 200); err != nil {
+		t.Fatalf("after removal: %v", err)
+	}
+	if fs.UsedBytes() != 600 {
+		t.Fatalf("used = %d", fs.UsedBytes())
+	}
+	fs.Remove(10000) // over-remove clamps
+	if fs.UsedBytes() != 0 {
+		t.Fatal("over-remove should clamp to 0")
+	}
+}
+
+func TestReadsDoNotConsumeQuota(t *testing.T) {
+	var now sim.Time
+	fs := testFS(&now, Params{BytesPerSec: 1e9, QuotaBytes: 100})
+	if _, err := fs.Read(nil, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	if fs.UsedBytes() != 0 {
+		t.Fatal("reads should not consume quota")
+	}
+	r, w, ro, wo := fs.Stats()
+	if r != 1e6 || w != 0 || ro != 1 || wo != 0 {
+		t.Fatalf("stats = %d %d %d %d", r, w, ro, wo)
+	}
+}
+
+func TestProcessCountersAdvance(t *testing.T) {
+	m := topology.Laptop4Core()
+	var q sim.Queue
+	k := sched.NewKernel(m, &q, sim.NewRNG(1), sched.Params{})
+	p := k.NewProcess("app", topology.NewCPUSet(0))
+	var now sim.Time
+	fs := testFS(&now, DefaultParams())
+	if _, err := fs.Write(p, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Read(p, 8192); err != nil {
+		t.Fatal(err)
+	}
+	if p.IO.WriteBytes != 4096 || p.IO.ReadBytes != 8192 {
+		t.Fatalf("proc io = %+v", p.IO)
+	}
+	if p.IO.SyscW != 1 || p.IO.SyscR != 1 {
+		t.Fatalf("syscall counts = %+v", p.IO)
+	}
+	// The counters render through /proc/<pid>/io and parse back.
+	pfs := k.ProcFS(p.PID)
+	raw, err := pfs.ProcessIO(p.PID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := proc.ParseTaskIO(string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != p.IO {
+		t.Fatalf("round trip: %+v vs %+v", parsed, p.IO)
+	}
+}
+
+func TestWriteActionBlocksTask(t *testing.T) {
+	m := topology.Laptop4Core()
+	var q sim.Queue
+	k := sched.NewKernel(m, &q, sim.NewRNG(1), sched.Params{})
+	p := k.NewProcess("app", topology.NewCPUSet(0))
+	fs := New(Params{BytesPerSec: 1e9, LatencyPerOp: sim.Millisecond},
+		func() sim.Time { return q.Now() })
+
+	var acts []sched.Action
+	acts = append(acts, sched.Compute{Work: 10 * sim.Millisecond})
+	acts = append(acts, fs.WriteAction(p, 500e6, nil)...) // 0.5s transfer
+	acts = append(acts, sched.Compute{Work: 10 * sim.Millisecond})
+	task := k.NewTask(p, "writer", sched.Seq(acts...))
+	if err := k.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// Wall: ~10ms + 0.501s + 10ms; CPU: only ~20ms + syscall sliver.
+	if got := k.Now().Seconds(); got < 0.5 || got > 0.56 {
+		t.Fatalf("wall = %v, want ~0.52s", got)
+	}
+	if cpu := (task.UTime + task.STime).Seconds(); cpu > 0.03 {
+		t.Fatalf("cpu = %v, want ~0.02s (blocked during transfer)", cpu)
+	}
+	if task.VCtx == 0 {
+		t.Fatal("blocking I/O should register voluntary switches")
+	}
+	if p.IO.WriteBytes != 500e6 {
+		t.Fatalf("io counters: %+v", p.IO)
+	}
+}
+
+func TestWriteActionQuotaError(t *testing.T) {
+	m := topology.Laptop4Core()
+	var q sim.Queue
+	k := sched.NewKernel(m, &q, sim.NewRNG(1), sched.Params{})
+	p := k.NewProcess("app", topology.NewCPUSet(0))
+	fs := New(Params{BytesPerSec: 1e9, QuotaBytes: 10}, func() sim.Time { return q.Now() })
+	var gotErr error
+	acts := fs.WriteAction(p, 1000, func(err error) { gotErr = err })
+	acts = append(acts, sched.Compute{Work: sim.Millisecond})
+	k.NewTask(p, "writer", sched.Seq(acts...))
+	if err := k.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(gotErr, ErrQuota) {
+		t.Fatalf("quota error not delivered: %v", gotErr)
+	}
+}
+
+func TestNilClockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil clock should panic")
+		}
+	}()
+	New(DefaultParams(), nil)
+}

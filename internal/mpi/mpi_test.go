@@ -1,0 +1,307 @@
+package mpi
+
+import (
+	"testing"
+
+	"zerosum/internal/sched"
+	"zerosum/internal/sim"
+	"zerosum/internal/topology"
+)
+
+// twoRankWorld builds a world with two ranks on one laptop node.
+func twoRankWorld(t *testing.T) (*World, *sched.Kernel, [2]*Rank, [2]*sched.Process) {
+	t.Helper()
+	m := topology.Laptop4Core()
+	var q sim.Queue
+	k := sched.NewKernel(m, &q, sim.NewRNG(1), sched.Params{})
+	w := NewWorld(&q, 2, DefaultNet())
+	var ranks [2]*Rank
+	var procs [2]*sched.Process
+	for i := 0; i < 2; i++ {
+		procs[i] = k.NewProcess("app", topology.NewCPUSet(i))
+		ranks[i] = w.Attach(i, k, procs[i])
+		ranks[i].Init()
+	}
+	return w, k, ranks, procs
+}
+
+func TestRankBasics(t *testing.T) {
+	w, _, ranks, _ := twoRankWorld(t)
+	if w.Size() != 2 {
+		t.Fatal("size")
+	}
+	if !ranks[0].Initialized() || ranks[0].Size() != 2 {
+		t.Fatal("init/size")
+	}
+	if ranks[0].Hostname() == "" {
+		t.Fatal("hostname")
+	}
+	if w.Rank(5) != nil || w.Rank(-1) != nil {
+		t.Fatal("out-of-range rank should be nil")
+	}
+}
+
+func TestAttachValidation(t *testing.T) {
+	w, k, _, procs := twoRankWorld(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double attach should panic")
+		}
+	}()
+	w.Attach(0, k, procs[0])
+}
+
+func TestSendRecvAccounting(t *testing.T) {
+	w, k, ranks, procs := twoRankWorld(t)
+	var sends, recvs []uint64
+	ranks[0].OnP2P(func(kind P2PKind, peer int, bytes uint64) {
+		if kind == OpSend {
+			if peer != 1 {
+				t.Errorf("send peer = %d", peer)
+			}
+			sends = append(sends, bytes)
+		}
+	})
+	ranks[1].OnP2P(func(kind P2PKind, peer int, bytes uint64) {
+		if kind == OpRecv {
+			if peer != 0 {
+				t.Errorf("recv peer = %d", peer)
+			}
+			recvs = append(recvs, bytes)
+		}
+	})
+	acts := []sched.Action{ranks[0].SendAction(1, 1<<20), sched.Compute{Work: sim.Millisecond}}
+	k.NewTask(procs[0], "sender", sched.Seq(acts...))
+	racts := append([]sched.Action{sched.Compute{Work: sim.Millisecond}}, ranks[1].RecvActions(0)...)
+	k.NewTask(procs[1], "receiver", sched.Seq(racts...))
+	if err := k.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(sends) != 1 || sends[0] != 1<<20 {
+		t.Fatalf("send hook: %v", sends)
+	}
+	if len(recvs) != 1 || recvs[0] != 1<<20 {
+		t.Fatalf("recv hook: %v", recvs)
+	}
+	if w.RecvMatrix()[1][0] != 1<<20 {
+		t.Fatalf("matrix[1][0] = %d", w.RecvMatrix()[1][0])
+	}
+	if w.TotalBytes() != 1<<20 {
+		t.Fatalf("total = %d", w.TotalBytes())
+	}
+}
+
+func TestSendBeforeRecvCredits(t *testing.T) {
+	// An eager send that completes delivery before the receiver posts the
+	// recv must not deadlock (gate credits).
+	w, k, ranks, procs := twoRankWorld(t)
+	k.NewTask(procs[0], "sender", sched.Seq(
+		ranks[0].SendAction(1, 4096),
+		sched.Compute{Work: sim.Millisecond},
+	))
+	late := append([]sched.Action{sched.Compute{Work: 500 * sim.Millisecond}}, ranks[1].RecvActions(0)...)
+	k.NewTask(procs[1], "receiver", sched.Seq(late...))
+	if err := k.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if w.RecvMatrix()[1][0] != 4096 {
+		t.Fatal("late recv lost the message")
+	}
+}
+
+func TestSendToInvalidRank(t *testing.T) {
+	_, _, ranks, _ := twoRankWorld(t)
+	if err := ranks[0].Send(7, 10); err == nil {
+		t.Fatal("invalid destination should error")
+	}
+}
+
+func TestTransferTimeIntraVsInter(t *testing.T) {
+	var q sim.Queue
+	mA := topology.Laptop4Core()
+	mB := topology.Laptop4Core()
+	kA := sched.NewKernel(mA, &q, sim.NewRNG(1), sched.Params{})
+	kB := sched.NewKernel(mB, &q, sim.NewRNG(2), sched.Params{})
+	w := NewWorld(&q, 3, DefaultNet())
+	pA0 := kA.NewProcess("a0", topology.NewCPUSet(0))
+	pA1 := kA.NewProcess("a1", topology.NewCPUSet(1))
+	pB0 := kB.NewProcess("b0", topology.NewCPUSet(0))
+	r0 := w.Attach(0, kA, pA0)
+	r1 := w.Attach(1, kA, pA1)
+	r2 := w.Attach(2, kB, pB0)
+	intra := w.transferTime(r0, r1, 1<<20)
+	inter := w.transferTime(r0, r2, 1<<20)
+	if intra >= inter {
+		t.Fatalf("intra %v should beat inter %v", intra, inter)
+	}
+}
+
+func TestNeighborExchangeMatrixShape(t *testing.T) {
+	// 8 ranks in a ring exchanging with ±1: the recv matrix must be
+	// band-diagonal (wrapping), i.e. nonzero exactly at dst = src±1 mod n.
+	m := topology.Frontier()
+	var q sim.Queue
+	k := sched.NewKernel(m, &q, sim.NewRNG(1), sched.Params{})
+	const n = 8
+	w := NewWorld(&q, n, DefaultNet())
+	// Attach every rank before starting any task: sends at t=0 must find
+	// their peers.
+	var rs [n]*Rank
+	var ps [n]*sched.Process
+	for i := 0; i < n; i++ {
+		ps[i] = k.NewProcess("pic", topology.NewCPUSet(1+i))
+		rs[i] = w.Attach(i, k, ps[i])
+		rs[i].Init()
+	}
+	for i := 0; i < n; i++ {
+		acts := rs[i].NeighborExchange([]int{-1, 1}, 1000)
+		acts = append(acts, sched.Compute{Work: sim.Millisecond})
+		k.NewTask(ps[i], "pic", sched.Seq(acts...))
+	}
+	if err := k.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	mat := w.RecvMatrix()
+	for d := 0; d < n; d++ {
+		for s := 0; s < n; s++ {
+			want := uint64(0)
+			if s == (d+1)%n || s == (d+n-1)%n {
+				want = 1000
+			}
+			if mat[d][s] != want {
+				t.Fatalf("matrix[%d][%d] = %d, want %d", d, s, mat[d][s], want)
+			}
+		}
+	}
+}
+
+func TestProgressThreadShape(t *testing.T) {
+	// The helper thread must be unbound (huge affinity), mostly idle, with
+	// a small number of context switches — the "Other" row of the tables.
+	m := topology.Frontier()
+	var q sim.Queue
+	k := sched.NewKernel(m, &q, sim.NewRNG(1), sched.Params{})
+	w := NewWorld(&q, 1, DefaultNet())
+	p := k.NewProcess("app", topology.RangeCPUSet(1, 7))
+	r := w.Attach(0, k, p)
+	k.NewTask(p, "app", sched.Seq(sched.Compute{Work: 3 * sim.Second}))
+	helper := r.SpawnProgressThread(3 * sim.Second)
+	if err := k.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := helper.Affinity.Count(); got != m.UsableSet(0).Count() {
+		t.Fatalf("helper affinity %d PUs, want unbound %d", got, m.UsableSet(0).Count())
+	}
+	busy := (helper.UTime + helper.STime).Seconds()
+	if busy > 0.01 {
+		t.Fatalf("helper used %vs CPU, want ~idle", busy)
+	}
+	if helper.VCtx == 0 || helper.VCtx > 100 {
+		t.Fatalf("helper vctx = %d, want a handful", helper.VCtx)
+	}
+}
+
+func TestWorldValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero size should panic")
+		}
+	}()
+	var q sim.Queue
+	NewWorld(&q, 0, DefaultNet())
+}
+
+func TestNICContentionSerializesTransfers(t *testing.T) {
+	// Two nodes; ranks 1 and 2 both send 100 MB to rank 0 at the same
+	// instant. With a 10 GB/s NIC the second transfer queues behind the
+	// first at rank 0's NIC.
+	var q sim.Queue
+	mA := topology.Laptop4Core()
+	mB := topology.Laptop4Core()
+	kA := sched.NewKernel(mA, &q, sim.NewRNG(1), sched.Params{})
+	kB := sched.NewKernel(mB, &q, sim.NewRNG(2), sched.Params{})
+	net := DefaultNet()
+	net.InterNodeBW = 1e12 // wire not the bottleneck
+	net.NICBytesPerSec = 10e9
+	w := NewWorld(&q, 3, net)
+	p0 := kA.NewProcess("r0", topology.NewCPUSet(0))
+	p1 := kB.NewProcess("r1", topology.NewCPUSet(0))
+	p2 := kB.NewProcess("r2", topology.NewCPUSet(1))
+	r0 := w.Attach(0, kA, p0)
+	r1 := w.Attach(1, kB, p1)
+	r2 := w.Attach(2, kB, p2)
+	const msg = 100 << 20 // 100 MB -> 10 ms on the NIC
+	k := kA
+	acts := []sched.Action{}
+	acts = append(acts, r0.RecvActions(1)...)
+	acts = append(acts, r0.RecvActions(2)...)
+	acts = append(acts, sched.Compute{Work: sim.Millisecond})
+	recvDone := sim.Time(0)
+	acts = append(acts, sched.Call{Fn: func(now sim.Time) { recvDone = now }})
+	k.NewTask(p0, "recv", sched.Seq(acts...))
+	kB.NewTask(p1, "send1", sched.Seq(r1.SendAction(0, msg), sched.Compute{Work: sim.Millisecond}))
+	kB.NewTask(p2, "send2", sched.Seq(r2.SendAction(0, msg), sched.Compute{Work: sim.Millisecond}))
+	if err := runQueue(&q, []*sched.Kernel{kA, kB}); err != nil {
+		t.Fatal(err)
+	}
+	// Serialized: ~10ms + ~10ms (+ latency) before both receives land.
+	if got := recvDone.Seconds(); got < 0.020 || got > 0.035 {
+		t.Fatalf("both receives done at %vs, want ~0.021s (serialized NICs)", got)
+	}
+	// Without the NIC model the same exchange overlaps fully.
+	_ = r0
+}
+
+func TestNICDisabledOverlaps(t *testing.T) {
+	var q sim.Queue
+	mA := topology.Laptop4Core()
+	mB := topology.Laptop4Core()
+	kA := sched.NewKernel(mA, &q, sim.NewRNG(1), sched.Params{})
+	kB := sched.NewKernel(mB, &q, sim.NewRNG(2), sched.Params{})
+	net := DefaultNet()
+	net.InterNodeBW = 10e9
+	net.NICBytesPerSec = 0
+	w := NewWorld(&q, 3, net)
+	p0 := kA.NewProcess("r0", topology.NewCPUSet(0))
+	p1 := kB.NewProcess("r1", topology.NewCPUSet(0))
+	p2 := kB.NewProcess("r2", topology.NewCPUSet(1))
+	r0 := w.Attach(0, kA, p0)
+	r1 := w.Attach(1, kB, p1)
+	r2 := w.Attach(2, kB, p2)
+	const msg = 100 << 20
+	acts := []sched.Action{}
+	acts = append(acts, r0.RecvActions(1)...)
+	acts = append(acts, r0.RecvActions(2)...)
+	acts = append(acts, sched.Compute{Work: sim.Millisecond})
+	recvDone := sim.Time(0)
+	acts = append(acts, sched.Call{Fn: func(now sim.Time) { recvDone = now }})
+	kA.NewTask(p0, "recv", sched.Seq(acts...))
+	kB.NewTask(p1, "send1", sched.Seq(r1.SendAction(0, msg), sched.Compute{Work: sim.Millisecond}))
+	kB.NewTask(p2, "send2", sched.Seq(r2.SendAction(0, msg), sched.Compute{Work: sim.Millisecond}))
+	if err := runQueue(&q, []*sched.Kernel{kA, kB}); err != nil {
+		t.Fatal(err)
+	}
+	// Overlapped wire model: ~10.5ms.
+	if got := recvDone.Seconds(); got > 0.02 {
+		t.Fatalf("receives done at %vs, want ~0.011s (overlapping)", got)
+	}
+}
+
+// runQueue drives a shared queue until all kernels' processes exit.
+func runQueue(q *sim.Queue, ks []*sched.Kernel) error {
+	for i := 0; i < 10_000_000; i++ {
+		done := true
+		for _, k := range ks {
+			if !k.AllExited() {
+				done = false
+			}
+		}
+		if done {
+			return nil
+		}
+		if !q.Step() {
+			return nil
+		}
+	}
+	return nil
+}

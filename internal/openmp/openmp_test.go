@@ -1,0 +1,302 @@
+package openmp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"zerosum/internal/sched"
+	"zerosum/internal/sim"
+	"zerosum/internal/topology"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]Policy{
+		"": BindFalse, "false": BindFalse, "true": BindClose,
+		"close": BindClose, "CLOSE": BindClose, "spread": BindSpread,
+		"master": BindMaster, "primary": BindMaster,
+	}
+	for in, want := range cases {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParsePolicy("sideways"); err == nil {
+		t.Fatal("bad policy should error")
+	}
+}
+
+func TestParsePlaces(t *testing.T) {
+	for in, want := range map[string]PlaceKind{
+		"": PlacesThreads, "threads": PlacesThreads, "cores": PlacesCores, "sockets": PlacesSockets,
+	} {
+		got, err := ParsePlaces(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePlaces(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParsePlaces("l3"); err == nil {
+		t.Fatal("bad places should error")
+	}
+}
+
+func TestParseEnv(t *testing.T) {
+	e, err := ParseEnv("7", "spread", "cores")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumThreads != 7 || e.Bind != BindSpread || e.Places != PlacesCores {
+		t.Fatalf("env = %+v", e)
+	}
+	if _, err := ParseEnv("x", "", ""); err == nil {
+		t.Fatal("bad num threads should error")
+	}
+	if _, err := ParseEnv("", "bogus", ""); err == nil {
+		t.Fatal("bad bind should error")
+	}
+	if _, err := ParseEnv("", "", "bogus"); err == nil {
+		t.Fatal("bad places should error")
+	}
+}
+
+func TestComputePlacesFrontierCores(t *testing.T) {
+	m := topology.Frontier()
+	// The Table 3 cpuset: cores 1-7 (one HWT each enabled).
+	cpuset := topology.RangeCPUSet(1, 7)
+	places := ComputePlaces(m, cpuset, PlacesCores)
+	if len(places) != 7 {
+		t.Fatalf("places = %d, want 7", len(places))
+	}
+	for i, p := range places {
+		if p.Count() != 1 || p.First() != i+1 {
+			t.Fatalf("place %d = %s", i, p)
+		}
+	}
+	// With both HWTs enabled, a core place holds the sibling pair.
+	full := topology.RangeCPUSet(1, 7).Or(topology.RangeCPUSet(65, 71))
+	places = ComputePlaces(m, full, PlacesCores)
+	if len(places) != 7 {
+		t.Fatalf("places = %d, want 7", len(places))
+	}
+	if places[0].String() != "1,65" {
+		t.Fatalf("place 0 = %s, want 1,65", places[0])
+	}
+}
+
+func TestComputePlacesThreadsAndSockets(t *testing.T) {
+	m := topology.Laptop4Core()
+	cpuset := m.AllPUSet()
+	if got := len(ComputePlaces(m, cpuset, PlacesThreads)); got != 8 {
+		t.Fatalf("thread places = %d, want 8", got)
+	}
+	if got := len(ComputePlaces(m, cpuset, PlacesSockets)); got != 1 {
+		t.Fatalf("socket places = %d, want 1", got)
+	}
+	// Restricting the cpuset restricts places.
+	if got := len(ComputePlaces(m, topology.NewCPUSet(0, 1), PlacesCores)); got != 2 {
+		t.Fatalf("restricted core places = %d, want 2", got)
+	}
+}
+
+func TestBindingsSpreadOneThreadPerCore(t *testing.T) {
+	m := topology.Frontier()
+	cpuset := topology.RangeCPUSet(1, 7)
+	places := ComputePlaces(m, cpuset, PlacesCores)
+	b := Bindings(places, BindSpread, 7, cpuset)
+	seen := map[int]bool{}
+	for i, s := range b {
+		if s.Count() != 1 {
+			t.Fatalf("thread %d binding %s, want single core", i, s)
+		}
+		if seen[s.First()] {
+			t.Fatalf("core %d bound twice under spread", s.First())
+		}
+		seen[s.First()] = true
+	}
+}
+
+func TestBindingsSpreadFewerThreadsThanPlaces(t *testing.T) {
+	m := topology.Frontier()
+	cpuset := topology.RangeCPUSet(1, 7)
+	places := ComputePlaces(m, cpuset, PlacesCores)
+	b := Bindings(places, BindSpread, 4, cpuset)
+	// 4 threads over 7 places spread out: places 0,1,3,5.
+	want := []int{1, 2, 4, 6}
+	for i, s := range b {
+		if s.First() != want[i] {
+			t.Fatalf("thread %d -> core %d, want %d", i, s.First(), want[i])
+		}
+	}
+}
+
+func TestBindingsCloseWrapsWhenOversubscribed(t *testing.T) {
+	m := topology.Laptop4Core()
+	cpuset := topology.RangeCPUSet(0, 3)
+	places := ComputePlaces(m, cpuset, PlacesThreads)
+	b := Bindings(places, BindClose, 6, cpuset)
+	if b[4].First() != 0 || b[5].First() != 1 {
+		t.Fatalf("close wrap: b4=%s b5=%s", b[4], b[5])
+	}
+}
+
+func TestBindingsFalseAndMaster(t *testing.T) {
+	m := topology.Laptop4Core()
+	cpuset := topology.RangeCPUSet(0, 3)
+	places := ComputePlaces(m, cpuset, PlacesThreads)
+	for _, s := range Bindings(places, BindFalse, 3, cpuset) {
+		if !s.Equal(cpuset) {
+			t.Fatalf("false binding should be full cpuset, got %s", s)
+		}
+	}
+	for _, s := range Bindings(places, BindMaster, 3, cpuset) {
+		if s.First() != 0 || s.Count() != 1 {
+			t.Fatalf("master binding should be place 0, got %s", s)
+		}
+	}
+}
+
+func TestRuntimeLaunchTeam(t *testing.T) {
+	m := topology.Frontier()
+	var q sim.Queue
+	k := sched.NewKernel(m, &q, sim.NewRNG(1), sched.Params{})
+	cpuset := topology.RangeCPUSet(1, 7)
+	p := k.NewProcess("miniqmc", cpuset)
+	master := k.NewTask(p, "miniqmc", sched.Seq(sched.Compute{Work: 10 * sim.Millisecond}))
+
+	rt := NewRuntime(k, Env{NumThreads: 7, Bind: BindSpread, Places: PlacesCores})
+	var reported []int
+	rt.OnThreadBegin(func(task *sched.Task, threadNum int) {
+		reported = append(reported, threadNum)
+		if threadNum > 0 && task.Kind != sched.KindOpenMP {
+			t.Errorf("worker %d kind = %v", threadNum, task.Kind)
+		}
+	})
+	team := rt.Launch(p, master, 0, func(i int) sched.Behavior {
+		return sched.Seq(sched.Compute{Work: 10 * sim.Millisecond})
+	})
+	if len(team.Tasks) != 7 {
+		t.Fatalf("team size = %d, want 7", len(team.Tasks))
+	}
+	if len(reported) != 7 {
+		t.Fatalf("OMPT reported %d threads, want 7", len(reported))
+	}
+	// Master rebound to core 1 under spread/cores.
+	if master.Affinity.String() != "1" {
+		t.Fatalf("master affinity = %s, want 1", master.Affinity)
+	}
+	// Each worker pinned to its own core, TIDs unique.
+	tids := team.ProbeTIDs()
+	seen := map[int]bool{}
+	for _, tid := range tids {
+		if seen[tid] {
+			t.Fatalf("duplicate tid %d", tid)
+		}
+		seen[tid] = true
+	}
+	if err := k.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for i, task := range team.Tasks {
+		if task.Migrations != 0 {
+			t.Errorf("pinned team thread %d migrated", i)
+		}
+	}
+}
+
+func TestRuntimeTeamSizeDefaults(t *testing.T) {
+	m := topology.Laptop4Core()
+	var q sim.Queue
+	k := sched.NewKernel(m, &q, sim.NewRNG(1), sched.Params{})
+	rt := NewRuntime(k, Env{})
+	if got := rt.TeamSize(topology.RangeCPUSet(0, 3)); got != 4 {
+		t.Fatalf("default team size = %d, want 4 (one per PU)", got)
+	}
+	rt2 := NewRuntime(k, Env{NumThreads: 9})
+	if got := rt2.TeamSize(topology.RangeCPUSet(0, 3)); got != 9 {
+		t.Fatalf("explicit team size = %d, want 9", got)
+	}
+	if got := rt.TeamSize(topology.CPUSet{}); got != 1 {
+		t.Fatalf("empty cpuset team size = %d, want 1", got)
+	}
+}
+
+func TestTeamBarrierSynchronisesWorkers(t *testing.T) {
+	m := topology.Laptop4Core()
+	var q sim.Queue
+	k := sched.NewKernel(m, &q, sim.NewRNG(1), sched.Params{})
+	cpuset := topology.RangeCPUSet(0, 3)
+	p := k.NewProcess("app", cpuset)
+	rt := NewRuntime(k, Env{NumThreads: 4, Bind: BindSpread, Places: PlacesCores})
+
+	var order []sim.Time
+	barrier := k.NewBarrier(4)
+	mk := func(i int) sched.Behavior {
+		return sched.Seq(
+			sched.Compute{Work: sim.Time(i+1) * 20 * sim.Millisecond},
+			sched.WaitBarrier{B: barrier},
+			sched.Call{Fn: func(now sim.Time) { order = append(order, now) }},
+		)
+	}
+	master := k.NewTask(p, "app", mk(0))
+	rt.Launch(p, master, 4, func(i int) sched.Behavior { return mk(i) })
+	if err := k.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 4 {
+		t.Fatalf("barrier released %d, want 4", len(order))
+	}
+	for _, at := range order {
+		if at < 80*sim.Millisecond {
+			t.Fatalf("released at %v, before slowest arriver", at)
+		}
+	}
+}
+
+func TestQuickBindingsWithinCpuset(t *testing.T) {
+	m := topology.Frontier()
+	f := func(lo, span, n uint8, policy uint8, places uint8) bool {
+		l := int(lo) % 50
+		h := l + int(span)%14 + 1
+		cpuset := topology.RangeCPUSet(l, h)
+		kind := PlaceKind(int(places) % 3)
+		pol := Policy(int(policy) % 4)
+		count := int(n)%12 + 1
+		pls := ComputePlaces(m, cpuset, kind)
+		for _, b := range Bindings(pls, pol, count, cpuset) {
+			if b.Empty() {
+				return false
+			}
+			// Every binding stays within... the cpuset for thread/core
+			// granularity; socket places may legitimately extend beyond
+			// (hwloc intersects, and so do we).
+			if !b.And(cpuset).Equal(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSpreadDistinctWhenPossible(t *testing.T) {
+	m := topology.Frontier()
+	f := func(n uint8) bool {
+		count := int(n)%7 + 1 // <= number of places
+		cpuset := topology.RangeCPUSet(1, 7)
+		pls := ComputePlaces(m, cpuset, PlacesCores)
+		b := Bindings(pls, BindSpread, count, cpuset)
+		seen := map[int]bool{}
+		for _, s := range b {
+			if seen[s.First()] {
+				return false
+			}
+			seen[s.First()] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

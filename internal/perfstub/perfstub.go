@@ -1,0 +1,204 @@
+// Package perfstub is a PerfStubs/Caliper-style instrumentation interface
+// (paper §6: "interfaces to ZeroSum could make its data accessible to
+// application performance tools like TAU. Caliper or PerfStubs would be a
+// good candidate for this purpose"). Applications register named timers and
+// counters; a tool (ZeroSum, a profiler, a test) reads consistent snapshots
+// and correlates them with system-level samples — the joint
+// application/system context the paper argues configuration optimization
+// needs.
+//
+// The clock is injected so the same instrumentation works inside the
+// simulator (simulated time) and on a live host (wall time).
+package perfstub
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Clock returns the current time as a float64 of seconds.
+type Clock func() float64
+
+// WallClock adapts time.Now.
+func WallClock() Clock {
+	start := time.Now()
+	return func() float64 { return time.Since(start).Seconds() }
+}
+
+// Timer accumulates start/stop intervals.
+type Timer struct {
+	name    string
+	clock   Clock
+	count   uint64
+	total   float64
+	min     float64
+	max     float64
+	started bool
+	startAt float64
+}
+
+// Start begins an interval; nested Starts are an error surfaced at Stop.
+func (t *Timer) Start() {
+	if t.started {
+		return // tolerate double-start like PerfStubs; interval restarts
+	}
+	t.started = true
+	t.startAt = t.clock()
+}
+
+// Stop ends the interval and folds it into the statistics. Stop without
+// Start is a no-op.
+func (t *Timer) Stop() {
+	if !t.started {
+		return
+	}
+	t.started = false
+	d := t.clock() - t.startAt
+	if d < 0 {
+		d = 0
+	}
+	if t.count == 0 || d < t.min {
+		t.min = d
+	}
+	if t.count == 0 || d > t.max {
+		t.max = d
+	}
+	t.count++
+	t.total += d
+}
+
+// Time runs fn inside a Start/Stop pair.
+func (t *Timer) Time(fn func()) {
+	t.Start()
+	defer t.Stop()
+	fn()
+}
+
+// TimerStats is a snapshot of one timer.
+type TimerStats struct {
+	Name  string
+	Count uint64
+	Total float64
+	Min   float64
+	Max   float64
+}
+
+// Mean returns the average interval (0 when never stopped).
+func (s TimerStats) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / float64(s.Count)
+}
+
+// Counter accumulates a named value.
+type Counter struct {
+	name  string
+	value float64
+	count uint64
+}
+
+// Add folds v into the counter.
+func (c *Counter) Add(v float64) {
+	c.value += v
+	c.count++
+}
+
+// CounterStats is a snapshot of one counter.
+type CounterStats struct {
+	Name    string
+	Value   float64
+	Samples uint64
+}
+
+// Registry holds an application's instrumentation. It is not safe for
+// concurrent use; in the simulator everything is single-threaded, and live
+// applications keep one registry per goroutine or add their own locking
+// (as PerfStubs leaves threading to the tool).
+type Registry struct {
+	clock    Clock
+	timers   map[string]*Timer
+	counters map[string]*Counter
+}
+
+// NewRegistry creates a registry on the given clock.
+func NewRegistry(clock Clock) *Registry {
+	if clock == nil {
+		clock = WallClock()
+	}
+	return &Registry{
+		clock:    clock,
+		timers:   map[string]*Timer{},
+		counters: map[string]*Counter{},
+	}
+}
+
+// Timer returns (creating if needed) the named timer.
+func (r *Registry) Timer(name string) *Timer {
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{name: name, clock: r.clock}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Timers returns snapshots sorted by name.
+func (r *Registry) Timers() []TimerStats {
+	out := make([]TimerStats, 0, len(r.timers))
+	for _, t := range r.timers {
+		out = append(out, TimerStats{Name: t.name, Count: t.count, Total: t.total, Min: t.min, Max: t.max})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Counters returns snapshots sorted by name.
+func (r *Registry) Counters() []CounterStats {
+	out := make([]CounterStats, 0, len(r.counters))
+	for _, c := range r.counters {
+		out = append(out, CounterStats{Name: c.name, Value: c.value, Samples: c.count})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteReport renders the instrumentation summary in the style of the
+// ZeroSum log's application section.
+func (r *Registry) WriteReport(w io.Writer) error {
+	if len(r.timers) > 0 {
+		if _, err := fmt.Fprintf(w, "Application Timers:\n"); err != nil {
+			return err
+		}
+		for _, t := range r.Timers() {
+			if _, err := fmt.Fprintf(w, "  %-32s count: %6d total: %10.4fs mean: %10.6fs min: %10.6fs max: %10.6fs\n",
+				t.Name, t.Count, t.Total, t.Mean(), t.Min, t.Max); err != nil {
+				return err
+			}
+		}
+	}
+	if len(r.counters) > 0 {
+		if _, err := fmt.Fprintf(w, "Application Counters:\n"); err != nil {
+			return err
+		}
+		for _, c := range r.Counters() {
+			if _, err := fmt.Fprintf(w, "  %-32s value: %14.4f samples: %6d\n",
+				c.Name, c.Value, c.Samples); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

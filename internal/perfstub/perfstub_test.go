@@ -1,0 +1,136 @@
+package perfstub
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeClock is an advanceable seconds counter.
+type fakeClock struct{ now float64 }
+
+func (c *fakeClock) fn() Clock { return func() float64 { return c.now } }
+
+func TestTimerAccumulates(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRegistry(clk.fn())
+	tm := r.Timer("step")
+	for i, d := range []float64{1, 3, 2} {
+		tm.Start()
+		clk.now += d
+		tm.Stop()
+		_ = i
+	}
+	stats := r.Timers()
+	if len(stats) != 1 {
+		t.Fatalf("timers = %d", len(stats))
+	}
+	s := stats[0]
+	if s.Name != "step" || s.Count != 3 || s.Total != 6 || s.Min != 1 || s.Max != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Mean() != 2 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+}
+
+func TestTimerMisuseTolerated(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRegistry(clk.fn())
+	tm := r.Timer("x")
+	tm.Stop() // stop before start: no-op
+	tm.Start()
+	tm.Start() // double start: keeps first interval
+	clk.now += 5
+	tm.Stop()
+	tm.Stop()
+	s := r.Timers()[0]
+	if s.Count != 1 || s.Total != 5 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestTimerTimeHelper(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRegistry(clk.fn())
+	r.Timer("fn").Time(func() { clk.now += 2.5 })
+	if got := r.Timers()[0].Total; got != 2.5 {
+		t.Fatalf("total = %v", got)
+	}
+}
+
+func TestTimerIdentity(t *testing.T) {
+	r := NewRegistry(nil)
+	if r.Timer("a") != r.Timer("a") {
+		t.Fatal("same name should return the same timer")
+	}
+	if r.Timer("a") == r.Timer("b") {
+		t.Fatal("different names should differ")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	r := NewRegistry(nil)
+	c := r.Counter("bytes")
+	c.Add(100)
+	c.Add(50)
+	r.Counter("events").Add(1)
+	stats := r.Counters()
+	if len(stats) != 2 {
+		t.Fatalf("counters = %d", len(stats))
+	}
+	// Sorted by name: bytes, events.
+	if stats[0].Name != "bytes" || stats[0].Value != 150 || stats[0].Samples != 2 {
+		t.Fatalf("bytes = %+v", stats[0])
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRegistry(clk.fn())
+	tm := r.Timer("walker_step")
+	tm.Start()
+	clk.now += 0.28
+	tm.Stop()
+	r.Counter("walkers").Add(7)
+	var sb strings.Builder
+	if err := r.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Application Timers:", "walker_step", "Application Counters:", "walkers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	var sb strings.Builder
+	if err := NewRegistry(nil).WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("empty registry should write nothing, got %q", sb.String())
+	}
+}
+
+func TestWallClockMonotonic(t *testing.T) {
+	c := WallClock()
+	a := c()
+	b := c()
+	if b < a {
+		t.Fatal("wall clock went backwards")
+	}
+}
+
+func TestNegativeIntervalClamped(t *testing.T) {
+	clk := &fakeClock{now: 10}
+	r := NewRegistry(clk.fn())
+	tm := r.Timer("t")
+	tm.Start()
+	clk.now = 5 // clock anomaly
+	tm.Stop()
+	if got := r.Timers()[0].Total; got != 0 {
+		t.Fatalf("negative interval should clamp to 0, got %v", got)
+	}
+}

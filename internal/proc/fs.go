@@ -1,0 +1,104 @@
+package proc
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// FS is the view of /proc the monitor reads through. Both the kernel
+// simulator (internal/sched) and the live Linux host (RealFS) implement it.
+// All payloads are genuine /proc text so the monitor exercises identical
+// parsing either way.
+type FS interface {
+	// SelfPID returns the pid of the monitored process.
+	SelfPID() int
+	// Tasks lists the LWP (thread) ids of a process, ascending — the
+	// contents of /proc/<pid>/task.
+	Tasks(pid int) ([]int, error)
+	// TaskStat returns /proc/<pid>/task/<tid>/stat text.
+	TaskStat(pid, tid int) ([]byte, error)
+	// TaskStatus returns /proc/<pid>/task/<tid>/status text.
+	TaskStatus(pid, tid int) ([]byte, error)
+	// ProcessStatus returns /proc/<pid>/status text.
+	ProcessStatus(pid int) ([]byte, error)
+	// ProcessIO returns /proc/<pid>/io text (cumulative I/O counters).
+	ProcessIO(pid int) ([]byte, error)
+	// Meminfo returns /proc/meminfo text.
+	Meminfo() ([]byte, error)
+	// Stat returns /proc/stat text.
+	Stat() ([]byte, error)
+	// Hostname returns the node's hostname (the monitor records it in the
+	// process summary, as ZeroSum does via gethostname).
+	Hostname() string
+}
+
+// RealFS reads the live /proc of this Linux host. Root is normally "/proc";
+// tests may point it at a fixture tree.
+type RealFS struct {
+	Root string
+}
+
+// NewRealFS returns a RealFS rooted at /proc.
+func NewRealFS() *RealFS { return &RealFS{Root: "/proc"} }
+
+// SelfPID implements FS.
+func (r *RealFS) SelfPID() int { return os.Getpid() }
+
+// Tasks implements FS by listing <root>/<pid>/task.
+func (r *RealFS) Tasks(pid int) ([]int, error) {
+	entries, err := os.ReadDir(fmt.Sprintf("%s/%d/task", r.Root, pid))
+	if err != nil {
+		return nil, fmt.Errorf("proc: list tasks of %d: %w", pid, err)
+	}
+	tids := make([]int, 0, len(entries))
+	for _, e := range entries {
+		if tid, err := strconv.Atoi(e.Name()); err == nil {
+			tids = append(tids, tid)
+		}
+	}
+	sort.Ints(tids)
+	return tids, nil
+}
+
+// TaskStat implements FS.
+func (r *RealFS) TaskStat(pid, tid int) ([]byte, error) {
+	return os.ReadFile(fmt.Sprintf("%s/%d/task/%d/stat", r.Root, pid, tid))
+}
+
+// TaskStatus implements FS.
+func (r *RealFS) TaskStatus(pid, tid int) ([]byte, error) {
+	return os.ReadFile(fmt.Sprintf("%s/%d/task/%d/status", r.Root, pid, tid))
+}
+
+// ProcessStatus implements FS.
+func (r *RealFS) ProcessStatus(pid int) ([]byte, error) {
+	return os.ReadFile(fmt.Sprintf("%s/%d/status", r.Root, pid))
+}
+
+// ProcessIO implements FS.
+func (r *RealFS) ProcessIO(pid int) ([]byte, error) {
+	return os.ReadFile(fmt.Sprintf("%s/%d/io", r.Root, pid))
+}
+
+// Meminfo implements FS.
+func (r *RealFS) Meminfo() ([]byte, error) {
+	return os.ReadFile(r.Root + "/meminfo")
+}
+
+// Stat implements FS.
+func (r *RealFS) Stat() ([]byte, error) {
+	return os.ReadFile(r.Root + "/stat")
+}
+
+// Hostname implements FS.
+func (r *RealFS) Hostname() string {
+	h, err := os.Hostname()
+	if err != nil {
+		return "unknown"
+	}
+	return h
+}
+
+var _ FS = (*RealFS)(nil)

@@ -1,0 +1,297 @@
+package proc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"zerosum/internal/topology"
+)
+
+// ParseTaskStat parses the single-line /proc/<pid>/task/<tid>/stat format.
+// The comm field may contain spaces and parentheses; per the proc(5) advice
+// the parser scans for the *last* ')'.
+func ParseTaskStat(text string) (TaskStat, error) {
+	var s TaskStat
+	text = strings.TrimSpace(text)
+	open := strings.IndexByte(text, '(')
+	close_ := strings.LastIndexByte(text, ')')
+	if open < 0 || close_ < open {
+		return s, fmt.Errorf("proc: malformed stat line %q", truncate(text, 60))
+	}
+	pid, err := strconv.Atoi(strings.TrimSpace(text[:open]))
+	if err != nil {
+		return s, fmt.Errorf("proc: bad pid in stat: %v", err)
+	}
+	s.PID = pid
+	s.Comm = text[open+1 : close_]
+	rest := strings.Fields(text[close_+1:])
+	// rest[0] is field 3 (state); field n of the stat line is rest[n-3].
+	if len(rest) < 37 {
+		return s, fmt.Errorf("proc: stat line has %d fields after comm, want >= 37", len(rest))
+	}
+	field := func(n int) string { return rest[n-3] }
+	u64 := func(n int) (uint64, error) { return strconv.ParseUint(field(n), 10, 64) }
+	i64 := func(n int) (int64, error) { return strconv.ParseInt(field(n), 10, 64) }
+
+	if len(field(3)) != 1 {
+		return s, fmt.Errorf("proc: bad state %q", field(3))
+	}
+	s.State = TaskState(field(3)[0])
+	ppid, err := i64(4)
+	if err != nil {
+		return s, fmt.Errorf("proc: bad ppid: %v", err)
+	}
+	s.PPID = int(ppid)
+	type fspec struct {
+		n   int
+		dst *uint64
+	}
+	for _, f := range []fspec{
+		{10, &s.MinFlt}, {12, &s.MajFlt}, {14, &s.UTime}, {15, &s.STime},
+		{22, &s.StartTime}, {23, &s.VSize}, {36, &s.NSwap},
+	} {
+		v, err := u64(f.n)
+		if err != nil {
+			return s, fmt.Errorf("proc: bad stat field %d: %v", f.n, err)
+		}
+		*f.dst = v
+	}
+	for _, f := range []struct {
+		n   int
+		dst *int
+	}{
+		{18, &s.Priority}, {19, &s.Nice}, {20, &s.NumThrs}, {39, &s.Processor},
+	} {
+		v, err := i64(f.n)
+		if err != nil {
+			return s, fmt.Errorf("proc: bad stat field %d: %v", f.n, err)
+		}
+		*f.dst = int(v)
+	}
+	rss, err := i64(24)
+	if err != nil {
+		return s, fmt.Errorf("proc: bad rss: %v", err)
+	}
+	s.RSS = rss
+	return s, nil
+}
+
+// ParseTaskStatus parses /proc/<pid>/status text. Lines it does not model
+// are ignored, so it works against any kernel version's status file.
+func ParseTaskStatus(text string) (TaskStatus, error) {
+	var s TaskStatus
+	for _, line := range strings.Split(text, "\n") {
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		val = strings.TrimSpace(val)
+		switch key {
+		case "Name":
+			s.Name = val
+		case "State":
+			if len(val) > 0 {
+				s.State = TaskState(val[0])
+			}
+		case "Tgid":
+			s.Tgid = atoiSoft(val)
+		case "Pid":
+			s.Pid = atoiSoft(val)
+		case "PPid":
+			s.PPid = atoiSoft(val)
+		case "Threads":
+			s.Threads = atoiSoft(val)
+		case "VmPeak":
+			s.VmPeakKB = kbSoft(val)
+		case "VmSize":
+			s.VmSizeKB = kbSoft(val)
+		case "VmHWM":
+			s.VmHWMKB = kbSoft(val)
+		case "VmRSS":
+			s.VmRSSKB = kbSoft(val)
+		case "Cpus_allowed_list":
+			set, err := topology.ParseCPUList(val)
+			if err != nil {
+				return s, fmt.Errorf("proc: bad Cpus_allowed_list: %v", err)
+			}
+			s.CpusAllowed = set
+		case "Cpus_allowed":
+			// Only used if the list form is absent; the list form is
+			// parsed after and wins because it appears later in the file.
+			if s.CpusAllowed.Empty() {
+				if set, err := topology.ParseHexMask(val); err == nil {
+					s.CpusAllowed = set
+				}
+			}
+		case "voluntary_ctxt_switches":
+			s.VoluntaryCtxt = u64Soft(val)
+		case "nonvoluntary_ctxt_switches":
+			s.NonvoluntaryCtx = u64Soft(val)
+		}
+	}
+	if s.Name == "" && s.Pid == 0 {
+		return s, fmt.Errorf("proc: status text has no recognisable fields")
+	}
+	return s, nil
+}
+
+// ParseMeminfo parses /proc/meminfo text.
+func ParseMeminfo(text string) (Meminfo, error) {
+	var m Meminfo
+	seen := false
+	for _, line := range strings.Split(text, "\n") {
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		kb := kbSoft(strings.TrimSpace(val))
+		switch key {
+		case "MemTotal":
+			m.MemTotalKB = kb
+			seen = true
+		case "MemFree":
+			m.MemFreeKB = kb
+		case "MemAvailable":
+			m.MemAvailableKB = kb
+		case "Buffers":
+			m.BuffersKB = kb
+		case "Cached":
+			m.CachedKB = kb
+		case "SwapTotal":
+			m.SwapTotalKB = kb
+		case "SwapFree":
+			m.SwapFreeKB = kb
+		case "Active":
+			m.ActiveKB = kb
+		case "Inactive":
+			m.InactiveKB = kb
+		}
+	}
+	if !seen {
+		return m, fmt.Errorf("proc: meminfo text has no MemTotal")
+	}
+	return m, nil
+}
+
+// ParseTaskIO parses /proc/<pid>/io text.
+func ParseTaskIO(text string) (TaskIO, error) {
+	var io TaskIO
+	seen := false
+	for _, line := range strings.Split(text, "\n") {
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		v := u64Soft(strings.TrimSpace(val))
+		switch key {
+		case "rchar":
+			io.RChar = v
+			seen = true
+		case "wchar":
+			io.WChar = v
+		case "syscr":
+			io.SyscR = v
+		case "syscw":
+			io.SyscW = v
+		case "read_bytes":
+			io.ReadBytes = v
+		case "write_bytes":
+			io.WriteBytes = v
+		case "cancelled_write_bytes":
+			io.Cancelled = v
+		}
+	}
+	if !seen {
+		return io, fmt.Errorf("proc: io text has no rchar")
+	}
+	return io, nil
+}
+
+// ParseStat parses /proc/stat text.
+func ParseStat(text string) (Stat, error) {
+	var st Stat
+	seenAgg := false
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch {
+		case fields[0] == "cpu":
+			c, err := parseCPURow(-1, fields[1:])
+			if err != nil {
+				return st, err
+			}
+			st.Aggregate = c
+			seenAgg = true
+		case strings.HasPrefix(fields[0], "cpu"):
+			n, err := strconv.Atoi(fields[0][3:])
+			if err != nil {
+				return st, fmt.Errorf("proc: bad cpu row label %q", fields[0])
+			}
+			c, err := parseCPURow(n, fields[1:])
+			if err != nil {
+				return st, err
+			}
+			st.PerCPU = append(st.PerCPU, c)
+		case fields[0] == "ctxt" && len(fields) > 1:
+			st.Ctxt = u64Soft(fields[1])
+		case fields[0] == "btime" && len(fields) > 1:
+			st.BTime = u64Soft(fields[1])
+		case fields[0] == "processes" && len(fields) > 1:
+			st.Processes = u64Soft(fields[1])
+		case fields[0] == "procs_running" && len(fields) > 1:
+			st.Running = u64Soft(fields[1])
+		case fields[0] == "procs_blocked" && len(fields) > 1:
+			st.Blocked = u64Soft(fields[1])
+		}
+	}
+	if !seenAgg {
+		return st, fmt.Errorf("proc: stat text has no aggregate cpu row")
+	}
+	return st, nil
+}
+
+func parseCPURow(cpu int, fields []string) (CPUTimes, error) {
+	c := CPUTimes{CPU: cpu}
+	if len(fields) < 4 {
+		return c, fmt.Errorf("proc: cpu row too short (%d fields)", len(fields))
+	}
+	dst := []*uint64{&c.User, &c.Nice, &c.System, &c.Idle, &c.IOWait, &c.IRQ, &c.SoftIRQ, &c.Steal}
+	for i, d := range dst {
+		if i >= len(fields) {
+			break
+		}
+		v, err := strconv.ParseUint(fields[i], 10, 64)
+		if err != nil {
+			return c, fmt.Errorf("proc: bad cpu field %q: %v", fields[i], err)
+		}
+		*d = v
+	}
+	return c, nil
+}
+
+func atoiSoft(s string) int {
+	v, _ := strconv.Atoi(strings.Fields(s + " 0")[0])
+	return v
+}
+
+func u64Soft(s string) uint64 {
+	f := strings.Fields(s)
+	if len(f) == 0 {
+		return 0
+	}
+	v, _ := strconv.ParseUint(f[0], 10, 64)
+	return v
+}
+
+// kbSoft parses "1234 kB" (or bare "1234") into 1234.
+func kbSoft(s string) uint64 { return u64Soft(s) }
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,280 @@
+package proc
+
+import (
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"zerosum/internal/topology"
+)
+
+func TestTaskStatRoundTrip(t *testing.T) {
+	in := TaskStat{
+		PID: 51334, Comm: "miniqmc", State: StateRunning, PPID: 51000,
+		MinFlt: 12345, MajFlt: 7, UTime: 6394, STime: 1248,
+		Priority: 20, Nice: 0, NumThrs: 9, StartTime: 100200,
+		VSize: 4 << 30, RSS: 250000, Processor: 1, NSwap: 0,
+	}
+	text := RenderTaskStat(in)
+	out, err := ParseTaskStat(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestTaskStatCommWithSpacesAndParens(t *testing.T) {
+	in := TaskStat{PID: 7, Comm: "tmux: server (1)", State: StateSleeping, NumThrs: 1}
+	out, err := ParseTaskStat(RenderTaskStat(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Comm != in.Comm {
+		t.Fatalf("comm = %q, want %q", out.Comm, in.Comm)
+	}
+}
+
+func TestParseTaskStatErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"123 no-parens R 1",
+		"x (comm) R 1",
+		"1 (c) R", // too few fields
+	} {
+		if _, err := ParseTaskStat(bad); err == nil {
+			t.Errorf("ParseTaskStat(%q) should fail", bad)
+		}
+	}
+}
+
+func TestTaskStatusRoundTrip(t *testing.T) {
+	in := TaskStatus{
+		Name: "zerosum", State: StateSleeping, Tgid: 51334, Pid: 51343,
+		PPid: 51000, Threads: 9,
+		VmPeakKB: 900000, VmSizeKB: 850000, VmHWMKB: 400000, VmRSSKB: 390000,
+		CpusAllowed:   topology.RangeCPUSet(1, 7),
+		VoluntaryCtxt: 679, NonvoluntaryCtx: 9,
+	}
+	text := RenderTaskStatus(in)
+	out, err := ParseTaskStatus(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || out.State != in.State || out.Pid != in.Pid ||
+		out.Threads != in.Threads || out.VmRSSKB != in.VmRSSKB ||
+		out.VoluntaryCtxt != in.VoluntaryCtxt || out.NonvoluntaryCtx != in.NonvoluntaryCtx {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+	if !out.CpusAllowed.Equal(in.CpusAllowed) {
+		t.Fatalf("affinity mismatch: %s vs %s", out.CpusAllowed, in.CpusAllowed)
+	}
+}
+
+func TestParseTaskStatusHexFallback(t *testing.T) {
+	// A status file with only the hex mask (no _list line).
+	text := "Name:\tx\nPid:\t5\nCpus_allowed:\tff\n"
+	out, err := ParseTaskStatus(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.CpusAllowed.Equal(topology.RangeCPUSet(0, 7)) {
+		t.Fatalf("hex fallback affinity = %s", out.CpusAllowed)
+	}
+}
+
+func TestParseTaskStatusEmpty(t *testing.T) {
+	if _, err := ParseTaskStatus("garbage\nwithout fields\n"); err == nil {
+		t.Fatal("unrecognisable status should fail")
+	}
+}
+
+func TestMeminfoRoundTrip(t *testing.T) {
+	in := Meminfo{
+		MemTotalKB: 512 << 20 >> 10, MemFreeKB: 100 << 20 >> 10,
+		MemAvailableKB: 200 << 20 >> 10, BuffersKB: 1024, CachedKB: 2048,
+		SwapTotalKB: 0, SwapFreeKB: 0, ActiveKB: 5000, InactiveKB: 600,
+	}
+	out, err := ParseMeminfo(RenderMeminfo(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestParseMeminfoRejectsGarbage(t *testing.T) {
+	if _, err := ParseMeminfo("hello world"); err == nil {
+		t.Fatal("should fail without MemTotal")
+	}
+}
+
+func TestStatRoundTrip(t *testing.T) {
+	in := Stat{
+		Aggregate: CPUTimes{CPU: -1, User: 100, Nice: 1, System: 50, Idle: 900, IOWait: 3},
+		PerCPU: []CPUTimes{
+			{CPU: 0, User: 60, System: 30, Idle: 400},
+			{CPU: 1, User: 40, Nice: 1, System: 20, Idle: 500, IOWait: 3, IRQ: 1, SoftIRQ: 2, Steal: 4},
+		},
+		Ctxt: 123456, BTime: 1700000000, Processes: 999, Running: 3, Blocked: 1,
+	}
+	out, err := ParseStat(RenderStat(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Aggregate != in.Aggregate {
+		t.Fatalf("aggregate mismatch: %+v vs %+v", out.Aggregate, in.Aggregate)
+	}
+	if len(out.PerCPU) != 2 || out.PerCPU[1] != in.PerCPU[1] {
+		t.Fatalf("per-cpu mismatch: %+v", out.PerCPU)
+	}
+	if out.Ctxt != in.Ctxt || out.Running != in.Running || out.Blocked != in.Blocked {
+		t.Fatalf("counters mismatch: %+v", out)
+	}
+}
+
+func TestCPUTimesTotal(t *testing.T) {
+	c := CPUTimes{User: 1, Nice: 2, System: 3, Idle: 4, IOWait: 5, IRQ: 6, SoftIRQ: 7, Steal: 8}
+	if c.Total() != 36 {
+		t.Fatalf("Total = %d, want 36", c.Total())
+	}
+}
+
+func TestTaskStateNames(t *testing.T) {
+	cases := map[TaskState]string{
+		StateRunning: "running", StateSleeping: "sleeping", StateDisk: "disk sleep",
+		StateStopped: "stopped", StateZombie: "zombie", StateIdle: "idle",
+		TaskState('?'): "unknown",
+	}
+	for s, want := range cases {
+		if got := s.Name(); got != want {
+			t.Errorf("%c.Name() = %q, want %q", byte(s), got, want)
+		}
+	}
+}
+
+func TestQuickTaskStatRoundTrip(t *testing.T) {
+	f := func(pid uint16, minflt, majflt, utime, stime uint32, nthr uint8, cpu uint8) bool {
+		in := TaskStat{
+			PID: int(pid) + 1, Comm: "w", State: StateRunning,
+			MinFlt: uint64(minflt), MajFlt: uint64(majflt),
+			UTime: uint64(utime), STime: uint64(stime),
+			NumThrs: int(nthr), Processor: int(cpu),
+		}
+		out, err := ParseTaskStat(RenderTaskStat(in))
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRealFSLiveHost exercises the live-Linux code path the paper's tool
+// uses in production: read our own /proc entries.
+func TestRealFSLiveHost(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("requires Linux /proc")
+	}
+	if _, err := os.Stat("/proc/self/stat"); err != nil {
+		t.Skip("/proc not available")
+	}
+	fs := NewRealFS()
+	pid := fs.SelfPID()
+	tids, err := fs.Tasks(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tids) == 0 {
+		t.Fatal("expected at least one task (ourselves)")
+	}
+	raw, err := fs.TaskStat(pid, tids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ParseTaskStat(string(raw))
+	if err != nil {
+		t.Fatalf("parse live stat: %v\n%s", err, raw)
+	}
+	if st.PID != tids[0] {
+		t.Fatalf("stat pid = %d, want %d", st.PID, tids[0])
+	}
+	rawStatus, err := fs.ProcessStatus(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err := ParseTaskStatus(string(rawStatus))
+	if err != nil {
+		t.Fatalf("parse live status: %v", err)
+	}
+	if status.Pid != pid {
+		t.Fatalf("status pid = %d, want %d", status.Pid, pid)
+	}
+	if status.CpusAllowed.Empty() {
+		t.Fatal("live Cpus_allowed should be non-empty")
+	}
+	mi, err := fs.Meminfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseMeminfo(string(mi))
+	if err != nil || m.MemTotalKB == 0 {
+		t.Fatalf("live meminfo parse: %v %+v", err, m)
+	}
+	stRaw, err := fs.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stat, err := ParseStat(string(stRaw))
+	if err != nil || len(stat.PerCPU) == 0 {
+		t.Fatalf("live /proc/stat parse: %v", err)
+	}
+	if fs.Hostname() == "" {
+		t.Fatal("hostname empty")
+	}
+}
+
+func TestRealFSMissingPid(t *testing.T) {
+	fs := &RealFS{Root: t.TempDir()}
+	if _, err := fs.Tasks(1); err == nil {
+		t.Fatal("missing pid should error")
+	}
+}
+
+func TestRenderStatAggregateParsable(t *testing.T) {
+	// The aggregate "cpu" row uses a double space like real kernels; make
+	// sure our own parser is robust to it.
+	text := RenderStat(Stat{Aggregate: CPUTimes{User: 5, Idle: 10}})
+	if !strings.HasPrefix(text, "cpu  5") {
+		t.Fatalf("aggregate row format: %q", strings.SplitN(text, "\n", 2)[0])
+	}
+	st, err := ParseStat(text)
+	if err != nil || st.Aggregate.User != 5 {
+		t.Fatalf("parse: %v %+v", err, st)
+	}
+}
+
+func BenchmarkParseTaskStat(b *testing.B) {
+	text := RenderTaskStat(TaskStat{PID: 1234, Comm: "miniqmc", State: StateRunning,
+		MinFlt: 12, UTime: 6394, STime: 1248, NumThrs: 9, Processor: 5})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseTaskStat(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseTaskStatus(b *testing.B) {
+	text := RenderTaskStatus(TaskStatus{Name: "x", State: StateRunning, Pid: 1,
+		CpusAllowed: topology.RangeCPUSet(1, 7), VoluntaryCtxt: 10, NonvoluntaryCtx: 20})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseTaskStatus(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

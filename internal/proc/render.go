@@ -1,0 +1,116 @@
+package proc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTaskStat renders s in the exact single-line format of
+// /proc/<pid>/task/<tid>/stat (52 fields, kernel 5.x layout). Unmodelled
+// fields are zero, as they would be for a freshly forked task.
+func RenderTaskStat(s TaskStat) string {
+	var b strings.Builder
+	// 1 pid, 2 comm, 3 state, 4 ppid, 5 pgrp, 6 session, 7 tty_nr, 8 tpgid,
+	// 9 flags
+	fmt.Fprintf(&b, "%d (%s) %c %d %d %d 0 -1 4194304", s.PID, s.Comm, byte(s.State), s.PPID, s.PPID, s.PPID)
+	// 10 minflt 11 cminflt 12 majflt 13 cmajflt
+	fmt.Fprintf(&b, " %d 0 %d 0", s.MinFlt, s.MajFlt)
+	// 14 utime 15 stime 16 cutime 17 cstime
+	fmt.Fprintf(&b, " %d %d 0 0", s.UTime, s.STime)
+	// 18 priority 19 nice 20 num_threads 21 itrealvalue 22 starttime
+	fmt.Fprintf(&b, " %d %d %d 0 %d", s.Priority, s.Nice, s.NumThrs, s.StartTime)
+	// 23 vsize 24 rss 25 rsslim
+	fmt.Fprintf(&b, " %d %d 18446744073709551615", s.VSize, s.RSS)
+	// 26..35 startcode endcode startstack kstkesp kstkeip signal blocked
+	// sigignore sigcatch wchan
+	b.WriteString(" 0 0 0 0 0 0 0 0 0 0")
+	// 36 nswap 37 cnswap 38 exit_signal 39 processor
+	fmt.Fprintf(&b, " %d 0 17 %d", s.NSwap, s.Processor)
+	// 40 rt_priority 41 policy 42 delayacct_blkio_ticks 43 guest_time
+	// 44 cguest_time 45..52 addresses/exit_code
+	b.WriteString(" 0 0 0 0 0 0 0 0 0 0 0 0 0")
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// RenderTaskStatus renders s in the format of /proc/<pid>/status, covering
+// the lines ZeroSum parses plus the usual neighbours so that layout
+// assumptions (ordering, tabs) match a real kernel.
+func RenderTaskStatus(s TaskStatus) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Name:\t%s\n", s.Name)
+	fmt.Fprintf(&b, "State:\t%c (%s)\n", byte(s.State), s.State.Name())
+	fmt.Fprintf(&b, "Tgid:\t%d\n", s.Tgid)
+	fmt.Fprintf(&b, "Ngid:\t0\n")
+	fmt.Fprintf(&b, "Pid:\t%d\n", s.Pid)
+	fmt.Fprintf(&b, "PPid:\t%d\n", s.PPid)
+	fmt.Fprintf(&b, "TracerPid:\t0\n")
+	fmt.Fprintf(&b, "Uid:\t1000\t1000\t1000\t1000\n")
+	fmt.Fprintf(&b, "Gid:\t1000\t1000\t1000\t1000\n")
+	fmt.Fprintf(&b, "FDSize:\t256\n")
+	fmt.Fprintf(&b, "VmPeak:\t%8d kB\n", s.VmPeakKB)
+	fmt.Fprintf(&b, "VmSize:\t%8d kB\n", s.VmSizeKB)
+	fmt.Fprintf(&b, "VmHWM:\t%8d kB\n", s.VmHWMKB)
+	fmt.Fprintf(&b, "VmRSS:\t%8d kB\n", s.VmRSSKB)
+	fmt.Fprintf(&b, "Threads:\t%d\n", s.Threads)
+	fmt.Fprintf(&b, "Cpus_allowed:\t%s\n", s.CpusAllowed.HexMask())
+	fmt.Fprintf(&b, "Cpus_allowed_list:\t%s\n", s.CpusAllowed.String())
+	fmt.Fprintf(&b, "voluntary_ctxt_switches:\t%d\n", s.VoluntaryCtxt)
+	fmt.Fprintf(&b, "nonvoluntary_ctxt_switches:\t%d\n", s.NonvoluntaryCtx)
+	return b.String()
+}
+
+// RenderMeminfo renders m in the format of /proc/meminfo.
+func RenderMeminfo(m Meminfo) string {
+	var b strings.Builder
+	line := func(name string, kb uint64) {
+		fmt.Fprintf(&b, "%s%s kB\n", name, fmt.Sprintf("%*d", 15-len(name)+8, kb))
+	}
+	line("MemTotal:", m.MemTotalKB)
+	line("MemFree:", m.MemFreeKB)
+	line("MemAvailable:", m.MemAvailableKB)
+	line("Buffers:", m.BuffersKB)
+	line("Cached:", m.CachedKB)
+	line("SwapCached:", 0)
+	line("Active:", m.ActiveKB)
+	line("Inactive:", m.InactiveKB)
+	line("SwapTotal:", m.SwapTotalKB)
+	line("SwapFree:", m.SwapFreeKB)
+	return b.String()
+}
+
+// RenderTaskIO renders io in the format of /proc/<pid>/io.
+func RenderTaskIO(io TaskIO) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rchar: %d\n", io.RChar)
+	fmt.Fprintf(&b, "wchar: %d\n", io.WChar)
+	fmt.Fprintf(&b, "syscr: %d\n", io.SyscR)
+	fmt.Fprintf(&b, "syscw: %d\n", io.SyscW)
+	fmt.Fprintf(&b, "read_bytes: %d\n", io.ReadBytes)
+	fmt.Fprintf(&b, "write_bytes: %d\n", io.WriteBytes)
+	fmt.Fprintf(&b, "cancelled_write_bytes: %d\n", io.Cancelled)
+	return b.String()
+}
+
+// RenderStat renders st in the format of /proc/stat.
+func RenderStat(st Stat) string {
+	var b strings.Builder
+	row := func(label string, c CPUTimes) {
+		fmt.Fprintf(&b, "%s %d %d %d %d %d %d %d %d 0 0\n",
+			label, c.User, c.Nice, c.System, c.Idle, c.IOWait, c.IRQ, c.SoftIRQ, c.Steal)
+	}
+	// The aggregate row uses two spaces after "cpu" on real kernels.
+	fmt.Fprintf(&b, "cpu ")
+	fmt.Fprintf(&b, " %d %d %d %d %d %d %d %d 0 0\n",
+		st.Aggregate.User, st.Aggregate.Nice, st.Aggregate.System, st.Aggregate.Idle,
+		st.Aggregate.IOWait, st.Aggregate.IRQ, st.Aggregate.SoftIRQ, st.Aggregate.Steal)
+	for _, c := range st.PerCPU {
+		row(fmt.Sprintf("cpu%d", c.CPU), c)
+	}
+	fmt.Fprintf(&b, "ctxt %d\n", st.Ctxt)
+	fmt.Fprintf(&b, "btime %d\n", st.BTime)
+	fmt.Fprintf(&b, "processes %d\n", st.Processes)
+	fmt.Fprintf(&b, "procs_running %d\n", st.Running)
+	fmt.Fprintf(&b, "procs_blocked %d\n", st.Blocked)
+	return b.String()
+}

@@ -1,0 +1,145 @@
+// Package proc models the subset of the Linux /proc virtual filesystem that
+// ZeroSum reads: /proc/<pid>/status, /proc/<pid>/task/<tid>/stat,
+// /proc/meminfo and /proc/stat. It provides both renderers (used by the
+// kernel simulator to serve authentic /proc text) and parsers (used by the
+// monitor). Because the monitor always consumes the genuine text format,
+// exactly the same monitoring code runs against the simulator and against
+// the live /proc of a real Linux host (see RealFS).
+package proc
+
+import "zerosum/internal/topology"
+
+// ClockTick is USER_HZ: the jiffies-per-second unit in which /proc reports
+// utime and stime. The paper's tables report stime/utime in jiffies.
+const ClockTick = 100
+
+// TaskState is the single-letter state code from /proc stat ("R", "S", "D",
+// "T", "Z", ...).
+type TaskState byte
+
+// Task states as reported in /proc/<pid>/stat field 3.
+const (
+	StateRunning  TaskState = 'R'
+	StateSleeping TaskState = 'S' // interruptible sleep
+	StateDisk     TaskState = 'D' // uninterruptible (I/O) sleep
+	StateStopped  TaskState = 'T'
+	StateZombie   TaskState = 'Z'
+	StateIdle     TaskState = 'I' // idle kernel thread
+)
+
+// Name returns the human-readable state name used in the "State:" line of
+// /proc/<pid>/status.
+func (s TaskState) Name() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateSleeping:
+		return "sleeping"
+	case StateDisk:
+		return "disk sleep"
+	case StateStopped:
+		return "stopped"
+	case StateZombie:
+		return "zombie"
+	case StateIdle:
+		return "idle"
+	default:
+		return "unknown"
+	}
+}
+
+// TaskStat is the parsed content of /proc/<pid>/task/<tid>/stat. Only the
+// fields ZeroSum consumes are modelled; the renderer fills the rest with
+// zeros exactly where the kernel would put its values.
+type TaskStat struct {
+	PID       int       // field 1 (the tid for task-level stat)
+	Comm      string    // field 2, without parentheses
+	State     TaskState // field 3
+	PPID      int       // field 4
+	MinFlt    uint64    // field 10
+	MajFlt    uint64    // field 12
+	UTime     uint64    // field 14, jiffies
+	STime     uint64    // field 15, jiffies
+	Priority  int       // field 18
+	Nice      int       // field 19
+	NumThrs   int       // field 20
+	StartTime uint64    // field 22, jiffies since boot
+	VSize     uint64    // field 23, bytes
+	RSS       int64     // field 24, pages
+	Processor int       // field 39: CPU the task last executed on
+	NSwap     uint64    // field 36 (always 0 on modern kernels; kept because the paper's CSV includes "pages swapped")
+}
+
+// TaskStatus is the parsed content of /proc/<pid>/status (or a task's
+// status file). It carries the affinity and context-switch counters that
+// drive the paper's contention analysis.
+type TaskStatus struct {
+	Name            string
+	State           TaskState
+	Tgid            int
+	Pid             int
+	PPid            int
+	Threads         int
+	VmPeakKB        uint64
+	VmSizeKB        uint64
+	VmHWMKB         uint64
+	VmRSSKB         uint64
+	CpusAllowed     topology.CPUSet
+	VoluntaryCtxt   uint64
+	NonvoluntaryCtx uint64
+}
+
+// Meminfo is the parsed content of /proc/meminfo (the fields ZeroSum
+// monitors for system-memory contention and OOM forensics).
+type Meminfo struct {
+	MemTotalKB     uint64
+	MemFreeKB      uint64
+	MemAvailableKB uint64
+	BuffersKB      uint64
+	CachedKB       uint64
+	SwapTotalKB    uint64
+	SwapFreeKB     uint64
+	ActiveKB       uint64
+	InactiveKB     uint64
+}
+
+// TaskIO is the parsed content of /proc/<pid>/io: cumulative I/O issued by
+// the process, the counters Darshan-style filesystem monitoring reads.
+type TaskIO struct {
+	RChar      uint64 // bytes read via syscalls (page cache included)
+	WChar      uint64 // bytes written via syscalls
+	SyscR      uint64 // read syscall count
+	SyscW      uint64 // write syscall count
+	ReadBytes  uint64 // bytes actually fetched from storage
+	WriteBytes uint64 // bytes actually sent to storage
+	Cancelled  uint64 // cancelled_write_bytes
+}
+
+// CPUTimes is one "cpuN" row of /proc/stat, in jiffies.
+type CPUTimes struct {
+	CPU     int // -1 for the aggregate "cpu" row
+	User    uint64
+	Nice    uint64
+	System  uint64
+	Idle    uint64
+	IOWait  uint64
+	IRQ     uint64
+	SoftIRQ uint64
+	Steal   uint64
+}
+
+// Total returns the sum of all time buckets.
+func (c CPUTimes) Total() uint64 {
+	return c.User + c.Nice + c.System + c.Idle + c.IOWait + c.IRQ + c.SoftIRQ + c.Steal
+}
+
+// Stat is the parsed content of /proc/stat.
+type Stat struct {
+	Aggregate CPUTimes
+	PerCPU    []CPUTimes
+	Ctxt      uint64 // total context switches since boot
+	BTime     uint64 // boot time, seconds since epoch
+	Processes uint64
+	Running   uint64
+	Blocked   uint64
+}

@@ -1,0 +1,120 @@
+// Package report renders ZeroSum's end-of-run reports in the layout of the
+// paper's Listing 2: execution duration, process summary, the LWP (thread)
+// table, the hardware (per-HWT) table, and the GPU min/avg/max metric
+// table. Rank 0 writes the summary to stdout; every rank writes the same
+// report to its log file (paper §3.4).
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"zerosum/internal/core"
+)
+
+// Options control optional report sections.
+type Options struct {
+	// Contention appends the §3.5 contention report (warnings +
+	// affinity-overlap findings).
+	Contention bool
+	// Memory appends system/process memory watermarks.
+	Memory bool
+	// Thresholds tunes the evaluation when Contention is set.
+	Thresholds core.EvalThresholds
+}
+
+// Write renders the utilization report for one process snapshot.
+func Write(w io.Writer, snap core.Snapshot, opts Options) error {
+	ew := &errWriter{w: w}
+	ew.printf("Duration of execution : %.3f s\n", snap.DurationSec)
+	ew.printf("\nProcess Summary:\n")
+	rank := "---"
+	if snap.Rank >= 0 {
+		rank = fmt.Sprintf("%03d", snap.Rank)
+	}
+	ew.printf("MPI %s - PID %d - Node %s - CPUs allowed: [%s]\n",
+		rank, snap.PID, snap.Hostname, snap.ProcessAff)
+
+	ew.printf("\nLWP (thread) Summary:\n")
+	for _, l := range snap.LWPs {
+		ew.printf("LWP %d: %s - stime: %6.2f, utime: %6.2f, nv_ctx: %d, ctx: %d, CPUs: [%s]\n",
+			l.TID, l.Label, l.STimePct, l.UTimePct, l.NVCtx, l.VCtx, l.Affinity)
+	}
+
+	ew.printf("\nHardware Summary:\n")
+	for _, h := range snap.HWTs {
+		ew.printf("CPU %03d - idle: %6.2f, system: %6.2f, user: %6.2f\n",
+			h.CPU, h.IdlePct, h.SysPct, h.UserPct)
+	}
+
+	for _, g := range snap.GPUs {
+		ew.printf("\nGPU %d - (metric: min avg max)\n", g.VisibleIndex)
+		for _, metric := range g.Metrics {
+			ew.printf("    %s: %f %f %f\n",
+				metric.Name, metric.Agg.Min, metric.Agg.Avg(), metric.Agg.Max)
+		}
+	}
+
+	if opts.Memory {
+		ew.printf("\nMemory Summary:\n")
+		ew.printf("Peak process RSS: %d kB\n", snap.MemPeakRSSKB)
+		ew.printf("Minimum system free memory: %d kB of %d kB\n",
+			snap.MemMinFreeKB, snap.MemTotalKB)
+		if snap.IOReadBytes > 0 || snap.IOWriteBytes > 0 {
+			ew.printf("Filesystem I/O: read %d bytes (%d ops), wrote %d bytes (%d ops)\n",
+				snap.IOReadBytes, snap.IOReadSyscalls, snap.IOWriteBytes, snap.IOWriteSyscall)
+		}
+	}
+
+	if opts.Contention {
+		ew.printf("\nContention Report:\n")
+		warnings := core.Evaluate(snap, opts.Thresholds)
+		if len(warnings) == 0 {
+			ew.printf("no contention or misconfiguration detected\n")
+		}
+		for _, warn := range warnings {
+			ew.printf("%s\n", warn)
+		}
+	}
+	return ew.err
+}
+
+// WriteComparison renders several labelled snapshots' LWP tables side by
+// side summary statistics — the format used by cmd/experiments to print the
+// paper's Tables 1-3 one after another.
+func WriteComparison(w io.Writer, labels []string, snaps []core.Snapshot) error {
+	if len(labels) != len(snaps) {
+		return fmt.Errorf("report: %d labels for %d snapshots", len(labels), len(snaps))
+	}
+	for i, snap := range snaps {
+		if _, err := fmt.Fprintf(w, "=== %s (%.2f s) ===\n", labels[i], snap.DurationSec); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%-8s %-14s %8s %8s %10s %8s  %s\n",
+			"LWP", "Type", "stime", "utime", "nvctx", "ctx", "CPUs"); err != nil {
+			return err
+		}
+		for _, l := range snap.LWPs {
+			if _, err := fmt.Fprintf(w, "%-8d %-14s %8.2f %8.2f %10d %8d  %s\n",
+				l.TID, l.Label, l.STimePct, l.UTimePct, l.NVCtx, l.VCtx, l.Affinity); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

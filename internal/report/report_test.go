@@ -1,0 +1,129 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"zerosum/internal/core"
+	"zerosum/internal/topology"
+)
+
+func sampleSnap() core.Snapshot {
+	var busy core.MinAvgMax
+	for _, v := range []float64{0, 14.6, 52} {
+		busy.Add(v)
+	}
+	return core.Snapshot{
+		DurationSec: 210.878,
+		Rank:        0, Size: 8, PID: 51334,
+		Hostname:   "frontier09085",
+		ProcessAff: topology.RangeCPUSet(1, 7),
+		LWPs: []core.ThreadSummary{
+			{TID: 51334, Label: "Main, OpenMP", Kind: core.KindMain, STimePct: 12.48, UTimePct: 63.94,
+				NVCtx: 4, VCtx: 365488, Affinity: topology.NewCPUSet(1)},
+			{TID: 51343, Label: "ZeroSum", Kind: core.KindZeroSum, STimePct: 0.15, UTimePct: 0.26,
+				NVCtx: 9, VCtx: 679, Affinity: topology.NewCPUSet(7)},
+		},
+		HWTs: []core.HWTSummary{
+			{CPU: 1, IdlePct: 22.70, SysPct: 12.42, UserPct: 64.52},
+			{CPU: 2, IdlePct: 99.82},
+		},
+		GPUs: []core.GPUSummary{{
+			VisibleIndex: 0, TrueIndex: 4, Model: "AMD MI250X GCD",
+			Metrics: []core.GPUMetric{{Name: "Device Busy %", Agg: busy}},
+		}},
+		MemTotalKB: 512 << 20, MemMinFreeKB: 100 << 20, MemPeakRSSKB: 4 << 20,
+	}
+}
+
+func TestWriteListing2Layout(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, sampleSnap(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Duration of execution : 210.878 s",
+		"Process Summary:",
+		"MPI 000 - PID 51334 - Node frontier09085 - CPUs allowed: [1-7]",
+		"LWP (thread) Summary:",
+		"LWP 51334: Main, OpenMP - stime:  12.48, utime:  63.94, nv_ctx: 4, ctx: 365488, CPUs: [1]",
+		"LWP 51343: ZeroSum",
+		"Hardware Summary:",
+		"CPU 001 - idle:  22.70, system:  12.42, user:  64.52",
+		"CPU 002 - idle:  99.82",
+		"GPU 0 - (metric: min avg max)",
+		"Device Busy %: 0.000000 22.200000 52.000000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q\n---\n%s", want, out)
+		}
+	}
+	// No optional sections by default.
+	if strings.Contains(out, "Contention Report") || strings.Contains(out, "Memory Summary") {
+		t.Error("optional sections should be off by default")
+	}
+}
+
+func TestWriteOptionalSections(t *testing.T) {
+	var sb strings.Builder
+	snap := sampleSnap()
+	if err := Write(&sb, snap, Options{Contention: true, Memory: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Memory Summary:") {
+		t.Error("memory section missing")
+	}
+	if !strings.Contains(out, "Contention Report:") {
+		t.Error("contention section missing")
+	}
+	// This snapshot has an idle CPU 2 and a barely-busy GPU: warnings.
+	if !strings.Contains(out, "idle-gpu") && !strings.Contains(out, "underutilization") {
+		t.Errorf("expected warnings in:\n%s", out)
+	}
+}
+
+func TestWriteNoRank(t *testing.T) {
+	snap := sampleSnap()
+	snap.Rank = -1
+	var sb strings.Builder
+	if err := Write(&sb, snap, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "MPI --- - PID") {
+		t.Errorf("rankless header: %s", sb.String())
+	}
+}
+
+func TestWriteComparison(t *testing.T) {
+	var sb strings.Builder
+	snaps := []core.Snapshot{sampleSnap(), sampleSnap()}
+	if err := WriteComparison(&sb, []string{"default", "-c7"}, snaps); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "===") != 4 { // two headers, each with two markers
+		t.Errorf("comparison headers: %s", out)
+	}
+	if !strings.Contains(out, "default") || !strings.Contains(out, "-c7") {
+		t.Error("labels missing")
+	}
+	if err := WriteComparison(&sb, []string{"one"}, snaps); err == nil {
+		t.Error("mismatched labels should error")
+	}
+}
+
+func TestWriteCleanContention(t *testing.T) {
+	snap := core.Snapshot{
+		DurationSec: 1, PID: 1, Rank: -1, Hostname: "n",
+		MemTotalKB: 1 << 20, MemMinFreeKB: 1 << 19,
+	}
+	var sb strings.Builder
+	if err := Write(&sb, snap, Options{Contention: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no contention or misconfiguration detected") {
+		t.Errorf("clean report: %s", sb.String())
+	}
+}

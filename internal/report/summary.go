@@ -1,0 +1,137 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"zerosum/internal/analysis"
+	"zerosum/internal/core"
+)
+
+// JobSummary aggregates per-rank snapshots into the allocation-wide view
+// the paper motivates ("the htop view ... but for all nodes in a given
+// allocation, and for all resources at their disposal", §2).
+type JobSummary struct {
+	Ranks int
+	Nodes map[string]int // hostname -> rank count
+
+	Runtime analysis.Summary // per-rank durations
+
+	// Utilization of busy application threads across all ranks.
+	ThreadUser analysis.Summary
+	ThreadSys  analysis.Summary
+
+	// Contention totals.
+	TotalNVCtx  uint64
+	TotalVCtx   uint64
+	WorstNVCtx  uint64
+	WorstRank   int
+	SlowestRank int
+
+	// GPUBusy aggregates "Device Busy %" averages across all devices.
+	GPUBusy *analysis.Summary
+
+	// Warnings aggregates configuration-evaluation findings by kind.
+	Warnings map[core.WarningKind]int
+}
+
+// Aggregate builds a JobSummary from every rank's snapshot.
+func Aggregate(snaps []core.Snapshot, th core.EvalThresholds) (*JobSummary, error) {
+	if len(snaps) == 0 {
+		return nil, fmt.Errorf("report: no snapshots to aggregate")
+	}
+	js := &JobSummary{
+		Ranks:    len(snaps),
+		Nodes:    map[string]int{},
+		Warnings: map[core.WarningKind]int{},
+	}
+	var durations, users, syss, gpuBusy []float64
+	slowest := -1.0
+	for i, snap := range snaps {
+		js.Nodes[snap.Hostname]++
+		durations = append(durations, snap.DurationSec)
+		if snap.DurationSec > slowest {
+			slowest = snap.DurationSec
+			js.SlowestRank = rankOf(snap, i)
+		}
+		for _, l := range snap.LWPs {
+			js.TotalNVCtx += l.NVCtx
+			js.TotalVCtx += l.VCtx
+			if l.NVCtx > js.WorstNVCtx {
+				js.WorstNVCtx = l.NVCtx
+				js.WorstRank = rankOf(snap, i)
+			}
+			if l.Kind == core.KindOpenMP || l.Kind == core.KindMain {
+				users = append(users, l.UTimePct)
+				syss = append(syss, l.STimePct)
+			}
+		}
+		for _, g := range snap.GPUs {
+			for _, metric := range g.Metrics {
+				if metric.Name == "Device Busy %" {
+					gpuBusy = append(gpuBusy, metric.Agg.Avg())
+				}
+			}
+		}
+		for _, w := range core.Evaluate(snap, th) {
+			js.Warnings[w.Kind]++
+		}
+	}
+	js.Runtime = analysis.Summarize(durations)
+	if len(users) > 0 {
+		js.ThreadUser = analysis.Summarize(users)
+		js.ThreadSys = analysis.Summarize(syss)
+	}
+	if len(gpuBusy) > 0 {
+		s := analysis.Summarize(gpuBusy)
+		js.GPUBusy = &s
+	}
+	return js, nil
+}
+
+func rankOf(snap core.Snapshot, fallback int) int {
+	if snap.Rank >= 0 {
+		return snap.Rank
+	}
+	return fallback
+}
+
+// WriteJobSummary renders the aggregated view.
+func WriteJobSummary(w io.Writer, js *JobSummary) error {
+	ew := &errWriter{w: w}
+	ew.printf("Job Summary: %d ranks on %d node(s)\n", js.Ranks, len(js.Nodes))
+	hosts := make([]string, 0, len(js.Nodes))
+	for h := range js.Nodes {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	for _, h := range hosts {
+		ew.printf("  node %-24s %d rank(s)\n", h, js.Nodes[h])
+	}
+	ew.printf("Rank duration: %s (slowest: rank %d)\n", js.Runtime, js.SlowestRank)
+	if js.ThreadUser.N > 0 {
+		ew.printf("App-thread utilization: user %.2f%% ± %.2f, system %.2f%% ± %.2f (over %d threads)\n",
+			js.ThreadUser.Mean, js.ThreadUser.Std, js.ThreadSys.Mean, js.ThreadSys.Std, js.ThreadUser.N)
+	}
+	ew.printf("Context switches: %d involuntary, %d voluntary (worst LWP: %d on rank %d)\n",
+		js.TotalNVCtx, js.TotalVCtx, js.WorstNVCtx, js.WorstRank)
+	if js.GPUBusy != nil {
+		ew.printf("GPU busy: %.2f%% mean across %d device(s) (min %.2f, max %.2f)\n",
+			js.GPUBusy.Mean, js.GPUBusy.N, js.GPUBusy.Min, js.GPUBusy.Max)
+	}
+	if len(js.Warnings) > 0 {
+		ew.printf("Configuration findings across ranks:\n")
+		kinds := make([]core.WarningKind, 0, len(js.Warnings))
+		for k := range js.Warnings {
+			kinds = append(kinds, k)
+		}
+		sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+		for _, k := range kinds {
+			ew.printf("  %-18s x%d\n", k.String(), js.Warnings[k])
+		}
+	} else {
+		ew.printf("Configuration findings: none\n")
+	}
+	return ew.err
+}

@@ -1,0 +1,127 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"zerosum/internal/core"
+	"zerosum/internal/topology"
+)
+
+func multiRankSnaps() []core.Snapshot {
+	var snaps []core.Snapshot
+	for r := 0; r < 4; r++ {
+		host := "node-a"
+		if r >= 2 {
+			host = "node-b"
+		}
+		snap := core.Snapshot{
+			DurationSec: 27.0 + float64(r)*0.1,
+			Rank:        r, Size: 4, PID: 1000 + r,
+			Hostname:   host,
+			ProcessAff: topology.RangeCPUSet(1, 7),
+			MemTotalKB: 1 << 20, MemMinFreeKB: 1 << 19,
+		}
+		for i := 0; i < 7; i++ {
+			snap.LWPs = append(snap.LWPs, core.ThreadSummary{
+				TID: 100*r + i, Kind: core.KindOpenMP, Label: "OpenMP",
+				UTimePct: 95, STimePct: 1.2,
+				NVCtx:    uint64(r * 10),
+				VCtx:     50,
+				Affinity: topology.NewCPUSet(i + 1), ObservedCPUs: topology.NewCPUSet(i + 1),
+			})
+			snap.HWTs = append(snap.HWTs, core.HWTSummary{CPU: i + 1, UserPct: 95, IdlePct: 4})
+		}
+		snaps = append(snaps, snap)
+	}
+	return snaps
+}
+
+func TestAggregate(t *testing.T) {
+	snaps := multiRankSnaps()
+	js, err := Aggregate(snaps, core.EvalThresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.Ranks != 4 || len(js.Nodes) != 2 {
+		t.Fatalf("ranks=%d nodes=%d", js.Ranks, len(js.Nodes))
+	}
+	if js.Nodes["node-a"] != 2 || js.Nodes["node-b"] != 2 {
+		t.Fatalf("node counts: %v", js.Nodes)
+	}
+	if js.SlowestRank != 3 {
+		t.Fatalf("slowest = %d, want 3", js.SlowestRank)
+	}
+	if js.WorstRank != 3 || js.WorstNVCtx != 30 {
+		t.Fatalf("worst = rank %d nvctx %d", js.WorstRank, js.WorstNVCtx)
+	}
+	if js.TotalNVCtx != 7*(0+10+20+30) {
+		t.Fatalf("total nvctx = %d", js.TotalNVCtx)
+	}
+	if js.ThreadUser.N != 28 || js.ThreadUser.Mean != 95 {
+		t.Fatalf("thread user = %+v", js.ThreadUser)
+	}
+	if js.GPUBusy != nil {
+		t.Fatal("no GPUs expected")
+	}
+	if len(js.Warnings) != 0 {
+		t.Fatalf("clean job warnings: %v", js.Warnings)
+	}
+}
+
+func TestAggregateWithWarningsAndGPU(t *testing.T) {
+	snaps := multiRankSnaps()
+	// Make rank 0 misconfigured: two busy threads on one CPU.
+	snaps[0].LWPs[1].Affinity = topology.NewCPUSet(1)
+	var busy core.MinAvgMax
+	busy.Add(2.0)
+	snaps[0].GPUs = append(snaps[0].GPUs, core.GPUSummary{
+		Metrics: []core.GPUMetric{{Name: "Device Busy %", Agg: busy}},
+	})
+	js, err := Aggregate(snaps, core.EvalThresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.Warnings[core.WarnAffinityOverlap] == 0 {
+		t.Fatalf("warnings: %v", js.Warnings)
+	}
+	if js.GPUBusy == nil || js.GPUBusy.Mean != 2.0 {
+		t.Fatalf("gpu busy: %+v", js.GPUBusy)
+	}
+	var sb strings.Builder
+	if err := WriteJobSummary(&sb, js); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Job Summary: 4 ranks on 2 node(s)",
+		"node-a",
+		"slowest: rank 3",
+		"affinity-overlap",
+		"GPU busy",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	if _, err := Aggregate(nil, core.EvalThresholds{}); err == nil {
+		t.Fatal("empty aggregate should error")
+	}
+}
+
+func TestWriteJobSummaryClean(t *testing.T) {
+	js, err := Aggregate(multiRankSnaps(), core.EvalThresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteJobSummary(&sb, js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Configuration findings: none") {
+		t.Fatalf("clean summary: %s", sb.String())
+	}
+}

@@ -1,0 +1,255 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"zerosum/internal/proc"
+	"zerosum/internal/sim"
+	"zerosum/internal/topology"
+)
+
+// TestWorkConservation: total CPU time accrued across tasks equals total
+// busy time accrued across CPUs, and neither exceeds wall time x CPUs.
+func TestWorkConservation(t *testing.T) {
+	m := topology.Laptop4Core()
+	var q sim.Queue
+	k := NewKernel(m, &q, sim.NewRNG(7), Params{Timeslice: 3 * sim.Millisecond})
+	p := k.NewProcess("app", topology.RangeCPUSet(0, 3))
+	var tasks []*Task
+	for i := 0; i < 6; i++ {
+		w := sim.Time(i+1) * 100 * sim.Millisecond
+		tasks = append(tasks, k.NewTask(p, "w", Seq(
+			Compute{Work: w, SysFrac: 0.1},
+			Sleep{D: 50 * sim.Millisecond},
+			Compute{Work: w / 2},
+		)))
+	}
+	run(t, k)
+	var taskTotal sim.Time
+	for _, task := range tasks {
+		taskTotal += task.UTime + task.STime
+	}
+	var cpuTotal sim.Time
+	for _, idx := range k.cpuOrder {
+		user, sys, _ := k.cpuTimes(idx)
+		cpuTotal += user + sys
+	}
+	if taskTotal != cpuTotal {
+		t.Fatalf("task CPU %v != cpu busy %v", taskTotal, cpuTotal)
+	}
+	if maxBusy := k.Now() * sim.Time(m.NumPUs()); cpuTotal > maxBusy {
+		t.Fatalf("busy %v exceeds wall x cpus %v", cpuTotal, maxBusy)
+	}
+	// Compute-only portion: each task must accrue at least its nominal
+	// work (stretching under contention is allowed, shrinking is not).
+	for i, task := range tasks {
+		nominal := sim.Time(i+1)*100*sim.Millisecond + sim.Time(i+1)*50*sim.Millisecond
+		if got := task.UTime + task.STime; got < nominal-2*sim.Millisecond {
+			t.Fatalf("task %d accrued %v < nominal %v", i, got, nominal)
+		}
+	}
+}
+
+// TestQuickAffinityAlwaysRespected: tasks with random single-CPU pins never
+// execute elsewhere.
+func TestQuickAffinityAlwaysRespected(t *testing.T) {
+	f := func(pins []uint8, seed uint16) bool {
+		if len(pins) == 0 {
+			return true
+		}
+		if len(pins) > 12 {
+			pins = pins[:12]
+		}
+		m := topology.Laptop4Core()
+		var q sim.Queue
+		k := NewKernel(m, &q, sim.NewRNG(uint64(seed)+1), Params{
+			Timeslice:         2 * sim.Millisecond,
+			WakeAffinityNoise: 0.2,
+		})
+		p := k.NewProcess("app", m.AllPUSet())
+		var tasks []*Task
+		var want []int
+		for _, pin := range pins {
+			cpu := int(pin) % 8
+			want = append(want, cpu)
+			tasks = append(tasks, k.NewTask(p, "w", Seq(
+				Compute{Work: 20 * sim.Millisecond},
+				Sleep{D: 5 * sim.Millisecond},
+				Compute{Work: 10 * sim.Millisecond},
+			), WithAffinity(topology.NewCPUSet(cpu))))
+		}
+		if err := k.Run(50_000_000); err != nil {
+			return false
+		}
+		for i, task := range tasks {
+			if task.LastCPU != want[i] {
+				return false
+			}
+			if task.Migrations != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickContextSwitchAccounting: ctxtTotal >= sum of per-task switches
+// (exits add to the global count).
+func TestQuickContextSwitchAccounting(t *testing.T) {
+	f := func(nTasks uint8, seed uint16) bool {
+		n := int(nTasks)%6 + 1
+		m := topology.Laptop4Core()
+		var q sim.Queue
+		k := NewKernel(m, &q, sim.NewRNG(uint64(seed)+1), Params{Timeslice: sim.Millisecond})
+		p := k.NewProcess("app", topology.NewCPUSet(0, 1))
+		var tasks []*Task
+		for i := 0; i < n; i++ {
+			tasks = append(tasks, k.NewTask(p, "w", Seq(
+				Compute{Work: 30 * sim.Millisecond},
+				Sleep{D: sim.Millisecond},
+				Compute{Work: 10 * sim.Millisecond},
+			)))
+		}
+		if err := k.Run(50_000_000); err != nil {
+			return false
+		}
+		var perTask uint64
+		for _, task := range tasks {
+			perTask += task.VCtx + task.NVCtx
+		}
+		return k.ctxtTotal >= perTask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStateTransitionsVisible: /proc-visible states follow the lifecycle.
+func TestStateTransitionsVisible(t *testing.T) {
+	m := topology.Laptop4Core()
+	var q sim.Queue
+	k := NewKernel(m, &q, sim.NewRNG(1), Params{})
+	p := k.NewProcess("app", topology.NewCPUSet(0))
+	task := k.NewTask(p, "w", Seq(
+		Compute{Work: 10 * sim.Millisecond},
+		Sleep{D: 100 * sim.Millisecond},
+		Compute{Work: 10 * sim.Millisecond},
+	))
+	if task.State() != proc.StateRunning {
+		t.Fatalf("new runnable task state = %c", byte(task.State()))
+	}
+	k.RunUntil(50 * sim.Millisecond)
+	if task.State() != proc.StateSleeping {
+		t.Fatalf("sleeping task state = %c", byte(task.State()))
+	}
+	if task.OnCPU() != -1 {
+		t.Fatal("sleeping task should not be on a CPU")
+	}
+	run(t, k)
+	if task.State() != proc.StateZombie {
+		t.Fatalf("exited task state = %c", byte(task.State()))
+	}
+}
+
+// TestBandwidthWorkConservingAcrossBlocks: when one memory-bound task
+// blocks, the freed bandwidth speeds up the survivors immediately (the
+// recalcThrottle path), so the aggregate finishes in the fluid-model time.
+func TestBandwidthWorkConservingAcrossBlocks(t *testing.T) {
+	m := topology.MustBuild(topology.Spec{
+		Name: "bw", Packages: 1, NUMAPerPackage: 1, L3PerNUMA: 1,
+		CoresPerL3: 4, ThreadsPerCore: 1, MemBytes: 1 << 30,
+		L3Bytes: 1 << 20, L2Bytes: 1 << 18, L1Bytes: 1 << 15,
+		NUMABandwidth: 20e9,
+	})
+	var q sim.Queue
+	k := NewKernel(m, &q, sim.NewRNG(1), Params{})
+	p := k.NewProcess("app", topology.RangeCPUSet(0, 3))
+	// Task A: 0.5s work then done. Tasks B,C,D: 1s work each.
+	// All demand 10 GB/s; cap 20 GB/s.
+	mk := func(w sim.Time, cpu int) *Task {
+		return k.NewTask(p, "w", Seq(Compute{Work: w, BytesPerSec: 10e9}),
+			WithAffinity(topology.NewCPUSet(cpu)))
+	}
+	mk(500*sim.Millisecond, 0)
+	mk(1*sim.Second, 1)
+	mk(1*sim.Second, 2)
+	mk(1*sim.Second, 3)
+	run(t, k)
+	// Fluid model: total demand-normalized work = 3.5 task-seconds at
+	// 10 GB/s = 35 GB; capacity 20 GB/s -> >= 1.75s. Phase analysis:
+	// 4 tasks at cap (x0.5 speed) until A finishes at t=1.0; then 3 tasks
+	// (still capped at 2/3 speed) need remaining 0.5s work each:
+	// t = 1.0 + 0.5/(2/3) = 1.75s.
+	if got := k.Now().Seconds(); got < 1.70 || got > 1.85 {
+		t.Fatalf("wall = %v, want ~1.75s (work-conserving bandwidth)", got)
+	}
+}
+
+// TestThrottleFloor: absurd oversubscription of bandwidth still progresses.
+func TestThrottleFloor(t *testing.T) {
+	m := topology.MustBuild(topology.Spec{
+		Name: "bw", Packages: 1, NUMAPerPackage: 1, L3PerNUMA: 1,
+		CoresPerL3: 2, ThreadsPerCore: 1, MemBytes: 1 << 30,
+		L3Bytes: 1 << 20, L2Bytes: 1 << 18, L1Bytes: 1 << 15,
+		NUMABandwidth: 1, // 1 byte/sec: pathological
+	})
+	var q sim.Queue
+	k := NewKernel(m, &q, sim.NewRNG(1), Params{ThrottleFloor: 0.1})
+	p := k.NewProcess("app", topology.NewCPUSet(0))
+	k.NewTask(p, "w", Seq(Compute{Work: 100 * sim.Millisecond, BytesPerSec: 1e9}))
+	run(t, k)
+	// Floor 0.1: at most ~1s wall for 100ms of work.
+	if got := k.Now().Seconds(); got > 1.1 {
+		t.Fatalf("wall = %v, floor not applied", got)
+	}
+}
+
+// TestPreemptRefillChargesVictimAndSibling: the Figure 8 contention
+// mechanism adds work to the displaced thread and its SMT sibling.
+func TestPreemptRefillChargesVictimAndSibling(t *testing.T) {
+	m := topology.Laptop4Core()
+	var q sim.Queue
+	k := NewKernel(m, &q, sim.NewRNG(1), Params{
+		PreemptRefill:     10 * sim.Millisecond,
+		SiblingRefillFrac: 0.5,
+	})
+	p := k.NewProcess("app", m.AllPUSet())
+	victim := k.NewTask(p, "victim", Seq(Compute{Work: 500 * sim.Millisecond}),
+		WithAffinity(topology.NewCPUSet(0)))
+	sibling := k.NewTask(p, "sibling", Seq(Compute{Work: 500 * sim.Millisecond}),
+		WithAffinity(topology.NewCPUSet(4))) // SMT pair of CPU 0 on the laptop
+	bystander := k.NewTask(p, "bystander", Seq(Compute{Work: 500 * sim.Millisecond}),
+		WithAffinity(topology.NewCPUSet(1)))
+	// A preempting monitor wakes 5 times on CPU 0.
+	i := 0
+	k.NewTask(p, "mon", BehaviorFunc(func(t *Task, now sim.Time) Action {
+		i++
+		if i > 10 {
+			return nil
+		}
+		if i%2 == 1 {
+			return Sleep{D: 50 * sim.Millisecond}
+		}
+		return Compute{Work: sim.Millisecond}
+	}), WithAffinity(topology.NewCPUSet(0)), WithWakePreempt())
+	run(t, k)
+	// Victim: 500ms + 5 x 10ms refill (SMT-shared, so even more wall).
+	// Compare accrued CPU: victim >= 550ms-ish, sibling >= 525ms,
+	// bystander ~500ms (SMT-free core... CPU 1's sibling is CPU 5, idle).
+	v := (victim.UTime + victim.STime).Seconds()
+	s := (sibling.UTime + sibling.STime).Seconds()
+	b := (bystander.UTime + bystander.STime).Seconds()
+	if v < 0.545 {
+		t.Fatalf("victim cpu = %v, want >= 0.545 (refill charged)", v)
+	}
+	if s < 0.52 {
+		t.Fatalf("sibling cpu = %v, want >= 0.52 (half refill)", s)
+	}
+	if b > 0.51 {
+		t.Fatalf("bystander cpu = %v, want ~0.5 (unaffected)", b)
+	}
+}

@@ -1,0 +1,450 @@
+package sched
+
+import (
+	"testing"
+
+	"zerosum/internal/sim"
+	"zerosum/internal/topology"
+)
+
+func newTestKernel(t testing.TB, params Params) *Kernel {
+	t.Helper()
+	m := topology.Laptop4Core()
+	var q sim.Queue
+	return NewKernel(m, &q, sim.NewRNG(1), params)
+}
+
+// run drives the kernel to completion with a generous event budget.
+func run(t testing.TB, k *Kernel) {
+	t.Helper()
+	if err := k.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleTaskComputesAndExits(t *testing.T) {
+	k := newTestKernel(t, Params{})
+	p := k.NewProcess("app", topology.NewCPUSet(0))
+	task := k.NewTask(p, "app", Seq(Compute{Work: 100 * sim.Millisecond}))
+	run(t, k)
+	if !task.Exited || !p.Exited {
+		t.Fatal("task/process should have exited")
+	}
+	// Work of 100ms alone on a core: wall time ~100ms (quantized).
+	if got := k.Now(); got < 100*sim.Millisecond || got > 102*sim.Millisecond {
+		t.Fatalf("wall time = %v, want ~100ms", got)
+	}
+	total := task.UTime + task.STime
+	if total < 99*sim.Millisecond || total > 102*sim.Millisecond {
+		t.Fatalf("cpu time = %v, want ~100ms", total)
+	}
+	if task.NVCtx != 0 {
+		t.Fatalf("uncontended task got %d nvctx", task.NVCtx)
+	}
+	if task.LastCPU != 0 {
+		t.Fatalf("LastCPU = %d, want 0", task.LastCPU)
+	}
+}
+
+func TestSysFracAccounting(t *testing.T) {
+	k := newTestKernel(t, Params{})
+	p := k.NewProcess("app", topology.NewCPUSet(0))
+	task := k.NewTask(p, "app", Seq(Compute{Work: 1 * sim.Second, SysFrac: 0.25}))
+	run(t, k)
+	total := float64(task.UTime + task.STime)
+	if frac := float64(task.STime) / total; frac < 0.24 || frac > 0.26 {
+		t.Fatalf("stime fraction = %v, want ~0.25", frac)
+	}
+}
+
+func TestOversubscriptionContextSwitches(t *testing.T) {
+	// The paper's Table 1 phenomenon: many busy threads time-slicing one
+	// core produce enormous non-voluntary context switch counts, and each
+	// thread only gets ~1/n of the CPU.
+	k := newTestKernel(t, Params{Timeslice: 2 * sim.Millisecond})
+	cpus := topology.NewCPUSet(1)
+	p := k.NewProcess("app", cpus)
+	const n = 4
+	var tasks []*Task
+	for i := 0; i < n; i++ {
+		tasks = append(tasks, k.NewTask(p, "worker", Seq(Compute{Work: 1 * sim.Second})))
+	}
+	run(t, k)
+	// Serialized: ~4 seconds of wall time.
+	if got := k.Now().Seconds(); got < 3.9 || got > 4.2 {
+		t.Fatalf("wall = %vs, want ~4s", got)
+	}
+	var totalNV uint64
+	for _, task := range tasks {
+		if task.LastCPU != 1 {
+			t.Fatalf("task ran on CPU %d outside affinity", task.LastCPU)
+		}
+		totalNV += task.NVCtx
+	}
+	// 4s / 2ms slice = ~2000 rotations across the tasks.
+	if totalNV < 1500 || totalNV > 2500 {
+		t.Fatalf("total nvctx = %d, want ~2000", totalNV)
+	}
+	// No migrations: only one allowed CPU.
+	for _, task := range tasks {
+		if task.Migrations != 0 {
+			t.Fatalf("pinned task migrated %d times", task.Migrations)
+		}
+	}
+}
+
+func TestPinnedTasksNoContention(t *testing.T) {
+	// Table 3 phenomenon: one thread per core, each pinned: nvctx ~ 0.
+	k := newTestKernel(t, Params{})
+	p := k.NewProcess("app", topology.RangeCPUSet(0, 3))
+	var tasks []*Task
+	for i := 0; i < 4; i++ {
+		tasks = append(tasks, k.NewTask(p, "worker",
+			Seq(Compute{Work: 500 * sim.Millisecond}),
+			WithAffinity(topology.NewCPUSet(i))))
+	}
+	run(t, k)
+	if got := k.Now().Seconds(); got > 0.55 {
+		t.Fatalf("parallel wall = %vs, want ~0.5s", got)
+	}
+	for _, task := range tasks {
+		if task.NVCtx != 0 || task.Migrations != 0 {
+			t.Fatalf("%v: nvctx=%d migrations=%d, want 0/0", task, task.NVCtx, task.Migrations)
+		}
+	}
+}
+
+func TestUnboundTasksMigrateViaIdleBalance(t *testing.T) {
+	// Table 2 phenomenon: unbound threads (process-wide affinity) get
+	// placed and re-balanced; with more tasks than cores, idle balancing
+	// moves waiting work and migrations appear.
+	k := newTestKernel(t, Params{})
+	aff := topology.RangeCPUSet(0, 3)
+	p := k.NewProcess("app", aff)
+	var tasks []*Task
+	// Staggered finish times force rebalancing.
+	for i := 0; i < 6; i++ {
+		w := sim.Time(i+1) * 200 * sim.Millisecond
+		tasks = append(tasks, k.NewTask(p, "worker", Seq(Compute{Work: w})))
+	}
+	run(t, k)
+	var migrations uint64
+	for _, task := range tasks {
+		migrations += task.Migrations
+	}
+	if migrations == 0 {
+		t.Fatal("expected at least one migration from idle balancing")
+	}
+}
+
+func TestMemoryBandwidthThrottling(t *testing.T) {
+	// Build a machine with a tight NUMA bandwidth cap: 2 memory-bound
+	// tasks on 2 cores demand 2x the cap, so each runs at ~50% speed and
+	// the wall time doubles, while CPU (stall-inclusive) time stays 100%.
+	m := topology.MustBuild(topology.Spec{
+		Name: "bw", Packages: 1, NUMAPerPackage: 1, L3PerNUMA: 1,
+		CoresPerL3: 2, ThreadsPerCore: 1, MemBytes: 1 << 30,
+		L3Bytes: 1 << 20, L2Bytes: 1 << 18, L1Bytes: 1 << 15,
+		NUMABandwidth: 10e9,
+	})
+	var q sim.Queue
+	k := NewKernel(m, &q, sim.NewRNG(1), Params{})
+	p := k.NewProcess("app", topology.RangeCPUSet(0, 1))
+	comp := Compute{Work: 1 * sim.Second, BytesPerSec: 10e9}
+	t0 := k.NewTask(p, "w0", Seq(comp), WithAffinity(topology.NewCPUSet(0)))
+	t1 := k.NewTask(p, "w1", Seq(comp), WithAffinity(topology.NewCPUSet(1)))
+	run(t, k)
+	if got := k.Now().Seconds(); got < 1.9 || got > 2.1 {
+		t.Fatalf("wall = %vs, want ~2s (50%% throttle)", got)
+	}
+	// Stalls are on-CPU: each task accrues ~2s CPU for 1s of work.
+	for _, task := range []*Task{t0, t1} {
+		if cpu := (task.UTime + task.STime).Seconds(); cpu < 1.9 || cpu > 2.1 {
+			t.Fatalf("cpu time = %vs, want ~2s", cpu)
+		}
+	}
+}
+
+func TestBandwidthSingleTaskUnthrottled(t *testing.T) {
+	m := topology.MustBuild(topology.Spec{
+		Name: "bw", Packages: 1, NUMAPerPackage: 1, L3PerNUMA: 1,
+		CoresPerL3: 2, ThreadsPerCore: 1, MemBytes: 1 << 30,
+		L3Bytes: 1 << 20, L2Bytes: 1 << 18, L1Bytes: 1 << 15,
+		NUMABandwidth: 10e9,
+	})
+	var q sim.Queue
+	k := NewKernel(m, &q, sim.NewRNG(1), Params{})
+	p := k.NewProcess("app", topology.NewCPUSet(0))
+	k.NewTask(p, "w0", Seq(Compute{Work: 1 * sim.Second, BytesPerSec: 9e9}))
+	run(t, k)
+	if got := k.Now().Seconds(); got > 1.05 {
+		t.Fatalf("wall = %vs, want ~1s (below cap)", got)
+	}
+}
+
+func TestSMTSlowdown(t *testing.T) {
+	// Two tasks on the two HWTs of one core run at SMTFactor speed.
+	k := newTestKernel(t, Params{SMTFactor: 0.5})
+	p := k.NewProcess("app", topology.NewCPUSet(0, 4)) // core 0's PU pair on the laptop
+	k.NewTask(p, "w0", Seq(Compute{Work: 1 * sim.Second}), WithAffinity(topology.NewCPUSet(0)))
+	k.NewTask(p, "w1", Seq(Compute{Work: 1 * sim.Second}), WithAffinity(topology.NewCPUSet(4)))
+	run(t, k)
+	if got := k.Now().Seconds(); got < 1.9 || got > 2.1 {
+		t.Fatalf("wall = %vs, want ~2s at SMT factor 0.5", got)
+	}
+}
+
+func TestSleepAndVoluntarySwitches(t *testing.T) {
+	k := newTestKernel(t, Params{})
+	p := k.NewProcess("app", topology.NewCPUSet(0))
+	task := k.NewTask(p, "sleeper", Seq(
+		Compute{Work: 10 * sim.Millisecond},
+		Sleep{D: 500 * sim.Millisecond},
+		Compute{Work: 10 * sim.Millisecond},
+	))
+	run(t, k)
+	if task.VCtx != 1 {
+		t.Fatalf("vctx = %d, want 1 (one sleep)", task.VCtx)
+	}
+	if got := k.Now(); got < 520*sim.Millisecond || got > 530*sim.Millisecond {
+		t.Fatalf("wall = %v, want ~521ms", got)
+	}
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	k := newTestKernel(t, Params{})
+	p := k.NewProcess("app", topology.RangeCPUSet(0, 3))
+	b := k.NewBarrier(3)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		work := sim.Time(i+1) * 50 * sim.Millisecond
+		k.NewTask(p, "w", Seq(
+			Compute{Work: work},
+			WaitBarrier{B: b},
+			Call{Fn: func(sim.Time) { order = append(order, i) }},
+		), WithAffinity(topology.NewCPUSet(i)))
+	}
+	run(t, k)
+	if len(order) != 3 {
+		t.Fatalf("released %d tasks, want 3", len(order))
+	}
+	// Everyone is released at/after the slowest arriver (150ms).
+	if got := k.Now(); got < 150*sim.Millisecond {
+		t.Fatalf("barrier released too early: %v", got)
+	}
+	// Fast arrivers blocked voluntarily.
+}
+
+func TestBarrierReusable(t *testing.T) {
+	k := newTestKernel(t, Params{})
+	p := k.NewProcess("app", topology.RangeCPUSet(0, 1))
+	b := k.NewBarrier(2)
+	hits := 0
+	mk := func(cpu int) Behavior {
+		step := 0
+		return BehaviorFunc(func(t *Task, now sim.Time) Action {
+			step++
+			switch step {
+			case 1, 3:
+				return Compute{Work: 10 * sim.Millisecond}
+			case 2, 4:
+				return WaitBarrier{B: b}
+			case 5:
+				return Call{Fn: func(sim.Time) { hits++ }}
+			}
+			return nil
+		})
+	}
+	k.NewTask(p, "a", mk(0), WithAffinity(topology.NewCPUSet(0)))
+	k.NewTask(p, "b", mk(1), WithAffinity(topology.NewCPUSet(1)))
+	run(t, k)
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2 (both passed two barrier generations)", hits)
+	}
+}
+
+func TestGateSignalAndCredits(t *testing.T) {
+	k := newTestKernel(t, Params{})
+	p := k.NewProcess("app", topology.RangeCPUSet(0, 1))
+	g := k.NewGate()
+	done := false
+	k.NewTask(p, "waiter", Seq(
+		Compute{Work: 5 * sim.Millisecond},
+		WaitGate{G: g},
+		Call{Fn: func(sim.Time) { done = true }},
+	), WithAffinity(topology.NewCPUSet(0)))
+	k.NewTask(p, "signaller", Seq(
+		Compute{Work: 100 * sim.Millisecond},
+		Call{Fn: func(sim.Time) { g.Signal(1) }},
+	), WithAffinity(topology.NewCPUSet(1)))
+	run(t, k)
+	if !done {
+		t.Fatal("gated task never released")
+	}
+	// Credit path: signal first, wait later consumes without blocking.
+	g2 := k.NewGate()
+	g2.Signal(1)
+	passed := false
+	k.NewTask(p, "credit", Seq(
+		WaitGate{G: g2},
+		Call{Fn: func(sim.Time) { passed = true }},
+		Compute{Work: sim.Millisecond},
+	), WithAffinity(topology.NewCPUSet(0)))
+	run(t, k)
+	if !passed {
+		t.Fatal("credited gate should not block")
+	}
+}
+
+func TestWakePreemptingMonitor(t *testing.T) {
+	// A preempting monitor that wakes periodically on a fully busy CPU
+	// inflicts non-voluntary switches on the victim (the paper's Table 3:
+	// only the thread sharing the ZeroSum core shows nvctx).
+	k := newTestKernel(t, Params{})
+	p := k.NewProcess("app", topology.RangeCPUSet(0, 1))
+	victim := k.NewTask(p, "victim", Seq(Compute{Work: 1 * sim.Second}),
+		WithAffinity(topology.NewCPUSet(1)))
+	bystander := k.NewTask(p, "bystander", Seq(Compute{Work: 1 * sim.Second}),
+		WithAffinity(topology.NewCPUSet(0)))
+	mon := func() Behavior {
+		i := 0
+		return BehaviorFunc(func(t *Task, now sim.Time) Action {
+			i++
+			if i > 20 {
+				return nil
+			}
+			if i%2 == 1 {
+				return Sleep{D: 100 * sim.Millisecond}
+			}
+			return Compute{Work: 2 * sim.Millisecond}
+		})
+	}()
+	monitor := k.NewTask(p, "zerosum", mon,
+		WithAffinity(topology.NewCPUSet(1)), WithWakePreempt())
+	run(t, k)
+	if victim.NVCtx < 5 {
+		t.Fatalf("victim nvctx = %d, want >= 5 (one per monitor wake)", victim.NVCtx)
+	}
+	if bystander.NVCtx != 0 {
+		t.Fatalf("bystander nvctx = %d, want 0", bystander.NVCtx)
+	}
+	if monitor.NVCtx != 0 {
+		t.Fatalf("monitor should not be preempted, got %d", monitor.NVCtx)
+	}
+}
+
+func TestSetAffinityMigratesRunningTask(t *testing.T) {
+	k := newTestKernel(t, Params{})
+	p := k.NewProcess("app", topology.RangeCPUSet(0, 3))
+	task := k.NewTask(p, "w", Seq(Compute{Work: 500 * sim.Millisecond}),
+		WithAffinity(topology.NewCPUSet(0)))
+	k.Q.After(100*sim.Millisecond, func(sim.Time) {
+		k.SetAffinity(task, topology.NewCPUSet(2))
+	})
+	run(t, k)
+	if task.LastCPU != 2 {
+		t.Fatalf("LastCPU = %d, want 2 after affinity change", task.LastCPU)
+	}
+	if task.Migrations == 0 {
+		t.Fatal("affinity change should count a migration")
+	}
+	if !task.Exited {
+		t.Fatal("task should finish on the new CPU")
+	}
+}
+
+func TestMinorFaultAccrual(t *testing.T) {
+	k := newTestKernel(t, Params{})
+	p := k.NewProcess("app", topology.NewCPUSet(0))
+	task := k.NewTask(p, "w", Seq(Compute{Work: 1 * sim.Second, MinfltPerSec: 1000}))
+	run(t, k)
+	if task.MinFlt < 950 || task.MinFlt > 1050 {
+		t.Fatalf("minflt = %d, want ~1000", task.MinFlt)
+	}
+}
+
+func TestProcessRSSWatermarks(t *testing.T) {
+	k := newTestKernel(t, Params{})
+	p := k.NewProcess("app", topology.NewCPUSet(0))
+	p.SetRSS(100 << 10)
+	p.SetRSS(50 << 10)
+	if p.VmRSSKB != 50<<10 || p.VmHWMKB != 100<<10 {
+		t.Fatalf("rss=%d hwm=%d", p.VmRSSKB, p.VmHWMKB)
+	}
+	p.SetVmSize(900 << 10) // above the 512 MB default, raises the peak
+	p.SetVmSize(600 << 10)
+	if p.VmSizeKB != 600<<10 || p.VmPeakKB != 900<<10 {
+		t.Fatalf("size=%d peak=%d", p.VmSizeKB, p.VmPeakKB)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	type summary struct {
+		wall  sim.Time
+		nvctx uint64
+		mig   uint64
+	}
+	runOnce := func() summary {
+		m := topology.Laptop4Core()
+		var q sim.Queue
+		k := NewKernel(m, &q, sim.NewRNG(99), Params{Timeslice: 2 * sim.Millisecond})
+		p := k.NewProcess("app", topology.RangeCPUSet(0, 1))
+		var tasks []*Task
+		for i := 0; i < 5; i++ {
+			tasks = append(tasks, k.NewTask(p, "w", Seq(Compute{Work: 300 * sim.Millisecond})))
+		}
+		if err := k.Run(10_000_000); err != nil {
+			t.Fatal(err)
+		}
+		var s summary
+		s.wall = k.Now()
+		for _, task := range tasks {
+			s.nvctx += task.NVCtx
+			s.mig += task.Migrations
+		}
+		return s
+	}
+	a, b := runOnce(), runOnce()
+	if a != b {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestKernelDetectsDeadlock(t *testing.T) {
+	k := newTestKernel(t, Params{})
+	p := k.NewProcess("app", topology.NewCPUSet(0))
+	g := k.NewGate() // never signalled
+	k.NewTask(p, "stuck", Seq(Compute{Work: sim.Millisecond}, WaitGate{G: g}))
+	if err := k.Run(1_000_000); err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+func TestWallClockMapping(t *testing.T) {
+	k := newTestKernel(t, Params{})
+	w0 := k.WallClock()
+	p := k.NewProcess("app", topology.NewCPUSet(0))
+	k.NewTask(p, "w", Seq(Compute{Work: 2 * sim.Second}))
+	run(t, k)
+	if d := k.WallClock().Sub(w0); d < 1900e6 || d > 2100e6 {
+		t.Fatalf("wall delta = %v, want ~2s", d)
+	}
+}
+
+func BenchmarkOversubscribedSecond(b *testing.B) {
+	// Cost of simulating 1s of 8 threads time-slicing one core at 1ms
+	// quantum: the dominant regime of the Table 1 experiment.
+	for i := 0; i < b.N; i++ {
+		m := topology.Laptop4Core()
+		var q sim.Queue
+		k := NewKernel(m, &q, sim.NewRNG(1), Params{Timeslice: 2 * sim.Millisecond})
+		p := k.NewProcess("app", topology.NewCPUSet(0))
+		for j := 0; j < 8; j++ {
+			k.NewTask(p, "w", Seq(Compute{Work: 125 * sim.Millisecond}))
+		}
+		if err := k.Run(10_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

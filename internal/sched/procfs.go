@@ -1,0 +1,225 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"zerosum/internal/proc"
+	"zerosum/internal/sim"
+)
+
+// jiffies converts simulated time to USER_HZ jiffies.
+func jiffies(t sim.Time) uint64 {
+	if t < 0 {
+		return 0
+	}
+	return uint64(t / (sim.Second / proc.ClockTick))
+}
+
+// FS serves authentic /proc text rendered from live kernel state. It
+// implements proc.FS for one monitored process, so the ZeroSum monitor runs
+// the exact same parsing code against the simulator as against a real
+// Linux host.
+type FS struct {
+	k   *Kernel
+	pid int
+}
+
+// ProcFS returns the /proc view for the process with the given PID.
+func (k *Kernel) ProcFS(pid int) *FS { return &FS{k: k, pid: pid} }
+
+var _ proc.FS = (*FS)(nil)
+
+// SelfPID implements proc.FS.
+func (f *FS) SelfPID() int { return f.pid }
+
+// Hostname implements proc.FS.
+func (f *FS) Hostname() string { return f.k.Hostname() }
+
+func (f *FS) findTask(pid, tid int) (*Process, *Task, error) {
+	p := f.k.procByPID[pid]
+	if p == nil {
+		return nil, nil, fmt.Errorf("sched: no such process %d", pid)
+	}
+	for _, t := range p.Tasks {
+		if t.TID == tid && !t.Exited {
+			return p, t, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("sched: no such task %d/%d", pid, tid)
+}
+
+// Tasks implements proc.FS: the live LWP ids of a process, ascending.
+func (f *FS) Tasks(pid int) ([]int, error) {
+	p := f.k.procByPID[pid]
+	if p == nil {
+		return nil, fmt.Errorf("sched: no such process %d", pid)
+	}
+	var tids []int
+	for _, t := range p.LiveTasks() {
+		tids = append(tids, t.TID)
+	}
+	sort.Ints(tids)
+	return tids, nil
+}
+
+// TaskStat implements proc.FS.
+func (f *FS) TaskStat(pid, tid int) ([]byte, error) {
+	p, t, err := f.findTask(pid, tid)
+	if err != nil {
+		return nil, err
+	}
+	st := proc.TaskStat{
+		PID:       t.TID,
+		Comm:      t.Comm,
+		State:     t.State(),
+		PPID:      1,
+		MinFlt:    t.MinFlt,
+		MajFlt:    t.MajFlt,
+		UTime:     jiffies(t.UTime),
+		STime:     jiffies(t.STime),
+		Priority:  20,
+		Nice:      t.Nice,
+		NumThrs:   len(p.LiveTasks()),
+		StartTime: jiffies(t.StartTime),
+		VSize:     p.VmSizeKB * 1024,
+		RSS:       int64(p.VmRSSKB / 4),
+		Processor: maxInt(t.LastCPU, 0),
+	}
+	return []byte(proc.RenderTaskStat(st)), nil
+}
+
+// TaskStatus implements proc.FS.
+func (f *FS) TaskStatus(pid, tid int) ([]byte, error) {
+	p, t, err := f.findTask(pid, tid)
+	if err != nil {
+		return nil, err
+	}
+	st := proc.TaskStatus{
+		Name:            t.Comm,
+		State:           t.State(),
+		Tgid:            p.PID,
+		Pid:             t.TID,
+		PPid:            1,
+		Threads:         len(p.LiveTasks()),
+		VmPeakKB:        p.VmPeakKB,
+		VmSizeKB:        p.VmSizeKB,
+		VmHWMKB:         p.VmHWMKB,
+		VmRSSKB:         p.VmRSSKB,
+		CpusAllowed:     t.Affinity,
+		VoluntaryCtxt:   t.VCtx,
+		NonvoluntaryCtx: t.NVCtx,
+	}
+	return []byte(proc.RenderTaskStatus(st)), nil
+}
+
+// ProcessStatus implements proc.FS.
+func (f *FS) ProcessStatus(pid int) ([]byte, error) {
+	p := f.k.procByPID[pid]
+	if p == nil {
+		return nil, fmt.Errorf("sched: no such process %d", pid)
+	}
+	main := p.Main()
+	st := proc.TaskStatus{
+		Name:     p.Comm,
+		State:    proc.StateSleeping,
+		Tgid:     p.PID,
+		Pid:      p.PID,
+		PPid:     1,
+		Threads:  len(p.LiveTasks()),
+		VmPeakKB: p.VmPeakKB,
+		VmSizeKB: p.VmSizeKB,
+		VmHWMKB:  p.VmHWMKB,
+		VmRSSKB:  p.VmRSSKB,
+		// The process-level mask is the launcher's cpuset.
+		CpusAllowed: p.Affinity,
+	}
+	if main != nil {
+		st.State = main.State()
+		st.VoluntaryCtxt = main.VCtx
+		st.NonvoluntaryCtx = main.NVCtx
+	}
+	return []byte(proc.RenderTaskStatus(st)), nil
+}
+
+// ProcessIO implements proc.FS.
+func (f *FS) ProcessIO(pid int) ([]byte, error) {
+	p := f.k.procByPID[pid]
+	if p == nil {
+		return nil, fmt.Errorf("sched: no such process %d", pid)
+	}
+	return []byte(proc.RenderTaskIO(p.IO)), nil
+}
+
+// Meminfo implements proc.FS: node-wide memory derived from process RSS.
+func (f *FS) Meminfo() ([]byte, error) {
+	totalKB := f.k.Machine.MemBytes / 1024
+	usedKB := f.k.P.BaselineMemKB
+	for _, p := range f.k.procs {
+		if !p.Exited {
+			usedKB += p.VmRSSKB
+		}
+	}
+	freeKB := uint64(0)
+	if usedKB < totalKB {
+		freeKB = totalKB - usedKB
+	}
+	cachedKB := f.k.P.BaselineMemKB / 2
+	avail := freeKB + cachedKB
+	if avail > totalKB {
+		avail = totalKB
+	}
+	m := proc.Meminfo{
+		MemTotalKB:     totalKB,
+		MemFreeKB:      freeKB,
+		MemAvailableKB: avail,
+		BuffersKB:      f.k.P.BaselineMemKB / 8,
+		CachedKB:       cachedKB,
+		ActiveKB:       usedKB,
+		InactiveKB:     cachedKB / 2,
+	}
+	return []byte(proc.RenderMeminfo(m)), nil
+}
+
+// Stat implements proc.FS: per-CPU jiffy accounting from the scheduler.
+func (f *FS) Stat() ([]byte, error) {
+	var st proc.Stat
+	st.BTime = uint64(f.k.bootWall.Unix())
+	st.Ctxt = f.k.ctxtTotal
+	st.Processes = f.k.forks
+	var running, blocked uint64
+	for _, p := range f.k.procs {
+		for _, t := range p.Tasks {
+			switch t.state {
+			case stateRunning, stateReady:
+				running++
+			case stateBlocked:
+				blocked++
+			}
+		}
+	}
+	st.Running, st.Blocked = running, 0
+	_ = blocked // /proc procs_blocked counts D-state only; we model none
+	for _, idx := range f.k.cpuOrder {
+		user, sys, idle := f.k.cpuTimes(idx)
+		row := proc.CPUTimes{
+			CPU:    idx,
+			User:   jiffies(user),
+			System: jiffies(sys),
+			Idle:   jiffies(idle),
+		}
+		st.PerCPU = append(st.PerCPU, row)
+		st.Aggregate.User += row.User
+		st.Aggregate.System += row.System
+		st.Aggregate.Idle += row.Idle
+	}
+	st.Aggregate.CPU = -1
+	return []byte(proc.RenderStat(st)), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

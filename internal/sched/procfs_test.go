@@ -1,0 +1,228 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"zerosum/internal/proc"
+	"zerosum/internal/sim"
+	"zerosum/internal/topology"
+)
+
+func TestProcFSTaskListing(t *testing.T) {
+	k := newTestKernel(t, Params{})
+	p := k.NewProcess("miniqmc", topology.RangeCPUSet(0, 3))
+	main := k.NewTask(p, "miniqmc", Seq(Compute{Work: 100 * sim.Millisecond}))
+	w1 := k.NewTask(p, "omp", Seq(Compute{Work: 100 * sim.Millisecond}), WithKind(KindOpenMP))
+	fs := k.ProcFS(p.PID)
+	if fs.SelfPID() != p.PID {
+		t.Fatal("SelfPID mismatch")
+	}
+	tids, err := fs.Tasks(p.PID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tids) != 2 || tids[0] != main.TID || tids[1] != w1.TID {
+		t.Fatalf("tids = %v, want [%d %d]", tids, main.TID, w1.TID)
+	}
+	if main.TID != p.PID {
+		t.Fatalf("main TID %d != PID %d", main.TID, p.PID)
+	}
+	run(t, k)
+	// Exited tasks disappear from the listing.
+	tids, err = fs.Tasks(p.PID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tids) != 0 {
+		t.Fatalf("exited tasks still listed: %v", tids)
+	}
+	if _, err := fs.Tasks(99999); err == nil {
+		t.Fatal("unknown pid should error")
+	}
+}
+
+func TestProcFSTaskStatParsesAndAccounts(t *testing.T) {
+	k := newTestKernel(t, Params{})
+	p := k.NewProcess("app", topology.NewCPUSet(2))
+	task := k.NewTask(p, "app", nil)
+	_ = task
+	// Replace behavior: run 500ms at 20% sys then park on a gate so the
+	// task stays alive for /proc reads.
+	g := k.NewGate()
+	p2 := k.NewProcess("app2", topology.NewCPUSet(2))
+	t2 := k.NewTask(p2, "app2", Seq(
+		Compute{Work: 500 * sim.Millisecond, SysFrac: 0.2, MinfltPerSec: 100},
+		WaitGate{G: g},
+	))
+	k.RunUntil(2 * sim.Second)
+	fs := k.ProcFS(p2.PID)
+	raw, err := fs.TaskStat(p2.PID, t2.TID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := proc.ParseTaskStat(string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PID != t2.TID || st.Comm != "app2" {
+		t.Fatalf("identity wrong: %+v", st)
+	}
+	// ~500ms CPU = ~50 jiffies, 20% sys.
+	if st.UTime < 35 || st.UTime > 45 {
+		t.Fatalf("utime = %d jiffies, want ~40", st.UTime)
+	}
+	if st.STime < 8 || st.STime > 12 {
+		t.Fatalf("stime = %d jiffies, want ~10", st.STime)
+	}
+	if st.State != proc.StateSleeping {
+		t.Fatalf("state = %c, want S (parked)", byte(st.State))
+	}
+	if st.Processor != 2 {
+		t.Fatalf("processor = %d, want 2", st.Processor)
+	}
+	if st.MinFlt < 40 || st.MinFlt > 60 {
+		t.Fatalf("minflt = %d, want ~50", st.MinFlt)
+	}
+	g.Signal(1)
+}
+
+func TestProcFSTaskStatusAffinity(t *testing.T) {
+	k := newTestKernel(t, Params{})
+	p := k.NewProcess("app", topology.RangeCPUSet(1, 3))
+	g := k.NewGate()
+	task := k.NewTask(p, "pinned", Seq(Compute{Work: 10 * sim.Millisecond}, WaitGate{G: g}),
+		WithAffinity(topology.NewCPUSet(2)))
+	k.RunUntil(100 * sim.Millisecond)
+	fs := k.ProcFS(p.PID)
+	raw, err := fs.TaskStatus(p.PID, task.TID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := proc.ParseTaskStatus(string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CpusAllowed.String() != "2" {
+		t.Fatalf("task affinity = %q, want 2", st.CpusAllowed.String())
+	}
+	if st.VoluntaryCtxt != 1 {
+		t.Fatalf("vctx = %d, want 1 (the gate wait)", st.VoluntaryCtxt)
+	}
+	// Process-level status carries the launcher cpuset.
+	rawP, err := fs.ProcessStatus(p.PID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stP, err := proc.ParseTaskStatus(string(rawP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stP.CpusAllowed.String() != "1-3" {
+		t.Fatalf("process affinity = %q, want 1-3", stP.CpusAllowed.String())
+	}
+	if stP.Threads != 1 {
+		t.Fatalf("threads = %d, want 1", stP.Threads)
+	}
+	g.Signal(1)
+}
+
+func TestProcFSMeminfoTracksRSS(t *testing.T) {
+	k := newTestKernel(t, Params{})
+	p := k.NewProcess("app", topology.NewCPUSet(0))
+	fs := k.ProcFS(p.PID)
+	read := func() proc.Meminfo {
+		raw, err := fs.Meminfo()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := proc.ParseMeminfo(string(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	before := read()
+	p.SetRSS(4 << 20) // 4 GB
+	after := read()
+	if before.MemFreeKB <= after.MemFreeKB {
+		t.Fatalf("MemFree should drop with RSS growth: %d -> %d", before.MemFreeKB, after.MemFreeKB)
+	}
+	wantTotal := k.Machine.MemBytes / 1024
+	if after.MemTotalKB != wantTotal {
+		t.Fatalf("MemTotal = %d, want %d", after.MemTotalKB, wantTotal)
+	}
+	drop := before.MemFreeKB - after.MemFreeKB
+	if drop < 4<<20-(64<<10)-1000 || drop > 4<<20 {
+		t.Fatalf("free drop = %d KB, want ~4GB minus default RSS", drop)
+	}
+}
+
+func TestProcFSStatPerCPU(t *testing.T) {
+	k := newTestKernel(t, Params{})
+	p := k.NewProcess("app", topology.NewCPUSet(1))
+	k.NewTask(p, "w", Seq(Compute{Work: 1 * sim.Second, SysFrac: 0.1}))
+	run(t, k)
+	fs := k.ProcFS(p.PID)
+	raw, err := fs.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := proc.ParseStat(string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.PerCPU) != k.Machine.NumPUs() {
+		t.Fatalf("per-cpu rows = %d, want %d", len(st.PerCPU), k.Machine.NumPUs())
+	}
+	var busy *proc.CPUTimes
+	for i := range st.PerCPU {
+		if st.PerCPU[i].CPU == 1 {
+			busy = &st.PerCPU[i]
+		} else if st.PerCPU[i].User != 0 {
+			t.Fatalf("cpu %d should be idle, got %+v", st.PerCPU[i].CPU, st.PerCPU[i])
+		}
+	}
+	if busy == nil {
+		t.Fatal("no row for cpu 1")
+	}
+	if busy.User < 85 || busy.User > 95 {
+		t.Fatalf("cpu1 user = %d jiffies, want ~90", busy.User)
+	}
+	if busy.System < 8 || busy.System > 12 {
+		t.Fatalf("cpu1 system = %d jiffies, want ~10", busy.System)
+	}
+	if st.Ctxt == 0 {
+		t.Fatal("context switch counter should be positive (exit switch)")
+	}
+	if !strings.Contains(string(raw), "btime") {
+		t.Fatal("missing btime")
+	}
+}
+
+func TestProcFSErrorsOnMissing(t *testing.T) {
+	k := newTestKernel(t, Params{})
+	fs := k.ProcFS(1)
+	if _, err := fs.TaskStat(1, 1); err == nil {
+		t.Fatal("missing process should error")
+	}
+	p := k.NewProcess("app", topology.NewCPUSet(0))
+	if _, err := fs.TaskStat(p.PID, 424242); err == nil {
+		t.Fatal("missing task should error")
+	}
+	if _, err := fs.ProcessStatus(424242); err == nil {
+		t.Fatal("missing process status should error")
+	}
+}
+
+func TestJiffies(t *testing.T) {
+	if jiffies(sim.Second) != proc.ClockTick {
+		t.Fatalf("1s = %d jiffies, want %d", jiffies(sim.Second), proc.ClockTick)
+	}
+	if jiffies(-5) != 0 {
+		t.Fatal("negative time should clamp to 0")
+	}
+	if jiffies(25*sim.Millisecond) != 2 {
+		t.Fatalf("25ms = %d jiffies, want 2", jiffies(25*sim.Millisecond))
+	}
+}

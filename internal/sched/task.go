@@ -1,0 +1,304 @@
+// Package sched implements a discrete-event simulation of an operating
+// system kernel scheduler for one or more HPC compute nodes. It is the
+// substrate standing in for the Linux CFS scheduler on the paper's Frontier
+// nodes: tasks (LWPs) with affinity masks run on hardware threads, are
+// preempted at timeslice expiry (non-voluntary context switches), block
+// voluntarily on sleeps/barriers (voluntary context switches), migrate when
+// idle CPUs pull waiting work, and accrue user/system jiffies that the
+// package serves back in authentic /proc text via ProcFS.
+//
+// Two contention models shape task progress exactly as the paper's
+// miniQMC experiments require: a per-NUMA-domain memory-bandwidth cap
+// (stalled cycles still accrue CPU time, so seven memory-bound threads on
+// seven cores are only ~3x faster than seven threads time-slicing one
+// core), and an SMT slowdown when both hardware threads of a core are busy.
+package sched
+
+import (
+	"fmt"
+
+	"zerosum/internal/proc"
+	"zerosum/internal/sim"
+	"zerosum/internal/topology"
+)
+
+// ThreadKind classifies an LWP the way ZeroSum's report does.
+type ThreadKind int
+
+// Thread kinds reported in the LWP table.
+const (
+	KindMain ThreadKind = iota
+	KindOpenMP
+	KindZeroSum
+	KindOther
+)
+
+func (k ThreadKind) String() string {
+	switch k {
+	case KindMain:
+		return "Main"
+	case KindOpenMP:
+		return "OpenMP"
+	case KindZeroSum:
+		return "ZeroSum"
+	default:
+		return "Other"
+	}
+}
+
+// Action is one step of a task's life. The kernel executes the current
+// action to completion (or preemption) and then asks the task's Behavior
+// for the next one.
+type Action interface{ isAction() }
+
+// Compute burns CPU. Work is nanoseconds of full-speed execution; the
+// actual wall time stretches under SMT sharing and memory-bandwidth
+// throttling (during which CPU time still accrues, like stalled cycles on
+// real hardware).
+type Compute struct {
+	Work sim.Time
+	// SysFrac is the fraction of CPU time accounted as system time
+	// (syscalls, kernel-mediated data transfers).
+	SysFrac float64
+	// BytesPerSec is the full-speed memory-bandwidth demand; zero means
+	// the loop runs from cache and is never throttled.
+	BytesPerSec float64
+	// MinfltPerSec adds minor page faults while computing.
+	MinfltPerSec float64
+}
+
+// Sleep blocks the task for a fixed duration (voluntary context switch).
+type Sleep struct{ D sim.Time }
+
+// WaitBarrier blocks until every participant of the barrier has arrived.
+// The last arriver does not block.
+type WaitBarrier struct{ B *Barrier }
+
+// WaitGate blocks until the gate is signalled (MPI recv, GPU completion...).
+type WaitGate struct{ G *Gate }
+
+// Call runs an embedded Go callback at the current simulated instant, with
+// no simulated cost. The ZeroSum monitor's sampling logic executes through
+// Call actions; its CPU cost is modelled by surrounding Compute actions.
+type Call struct{ Fn func(now sim.Time) }
+
+// Deferred resolves to a concrete action only when the task reaches it,
+// letting an earlier Call in the same sequence compute its parameters
+// (e.g. "sleep until the I/O the Call just issued completes").
+type Deferred struct{ Fn func() Action }
+
+// Exit ends the task.
+type Exit struct{}
+
+func (Compute) isAction()     {}
+func (Deferred) isAction()    {}
+func (Sleep) isAction()       {}
+func (WaitBarrier) isAction() {}
+func (WaitGate) isAction()    {}
+func (Call) isAction()        {}
+func (Exit) isAction()        {}
+
+// Behavior produces a task's next action. Returning nil ends the task.
+type Behavior interface {
+	Next(t *Task, now sim.Time) Action
+}
+
+// BehaviorFunc adapts a function to the Behavior interface.
+type BehaviorFunc func(t *Task, now sim.Time) Action
+
+// Next implements Behavior.
+func (f BehaviorFunc) Next(t *Task, now sim.Time) Action { return f(t, now) }
+
+// SeqBehavior replays a fixed slice of actions, then exits.
+type SeqBehavior struct {
+	Actions []Action
+	i       int
+}
+
+// Next implements Behavior.
+func (s *SeqBehavior) Next(*Task, sim.Time) Action {
+	if s.i >= len(s.Actions) {
+		return nil
+	}
+	a := s.Actions[s.i]
+	s.i++
+	return a
+}
+
+// Seq builds a SeqBehavior.
+func Seq(actions ...Action) *SeqBehavior { return &SeqBehavior{Actions: actions} }
+
+// Process is a simulated OS process: a PID, a cpuset and a set of tasks.
+type Process struct {
+	PID      int
+	Comm     string
+	Affinity topology.CPUSet
+	Tasks    []*Task
+
+	// Memory footprint served through /proc/<pid>/status. VmHWM/VmPeak
+	// track high watermarks automatically via SetRSS/SetVmSize.
+	VmRSSKB  uint64
+	VmHWMKB  uint64
+	VmSizeKB uint64
+	VmPeakKB uint64
+
+	// Cumulative I/O issued by the process, served via /proc/<pid>/io.
+	IO proc.TaskIO
+
+	StartTime sim.Time
+	Exited    bool
+	kernel    *Kernel
+}
+
+// AddIO accounts a completed I/O operation against the process counters.
+func (p *Process) AddIO(read bool, bytes uint64) {
+	if read {
+		p.IO.RChar += bytes
+		p.IO.ReadBytes += bytes
+		p.IO.SyscR++
+	} else {
+		p.IO.WChar += bytes
+		p.IO.WriteBytes += bytes
+		p.IO.SyscW++
+	}
+}
+
+// SetRSS updates the resident set size, maintaining the high watermark.
+func (p *Process) SetRSS(kb uint64) {
+	p.VmRSSKB = kb
+	if kb > p.VmHWMKB {
+		p.VmHWMKB = kb
+	}
+}
+
+// SetVmSize updates the virtual size, maintaining the peak.
+func (p *Process) SetVmSize(kb uint64) {
+	p.VmSizeKB = kb
+	if kb > p.VmPeakKB {
+		p.VmPeakKB = kb
+	}
+}
+
+// Main returns the process's first task (TID == PID), or nil.
+func (p *Process) Main() *Task {
+	if len(p.Tasks) == 0 {
+		return nil
+	}
+	return p.Tasks[0]
+}
+
+// LiveTasks returns the tasks that have not exited, ascending by TID
+// (the contents of /proc/<pid>/task).
+func (p *Process) LiveTasks() []*Task {
+	var out []*Task
+	for _, t := range p.Tasks {
+		if !t.Exited {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+type runState int
+
+const (
+	stateNew runState = iota
+	stateRunning
+	stateReady   // runnable, waiting in a queue
+	stateBlocked // sleeping / waiting
+	stateExited
+)
+
+// Task is a simulated LWP (thread).
+type Task struct {
+	TID  int
+	Comm string
+	Kind ThreadKind
+	Proc *Process
+
+	// Affinity is the allowed-CPU set; SetAffinity changes it at runtime
+	// (the OpenMP runtime's binding, or a user retargeting the monitor).
+	Affinity topology.CPUSet
+
+	// WakePreempts marks interactive tasks (the ZeroSum monitor thread)
+	// whose wakeups preempt a running task when no allowed CPU is idle,
+	// as CFS wakeup preemption does for long-sleeping tasks.
+	WakePreempts bool
+
+	// Nice biases timeslice length (positive nice = shorter slices).
+	Nice int
+
+	behavior Behavior
+
+	// Accounting, visible through /proc.
+	UTime      sim.Time // user CPU
+	STime      sim.Time // system CPU
+	MinFlt     uint64
+	MajFlt     uint64
+	VCtx       uint64 // voluntary context switches
+	NVCtx      uint64 // non-voluntary context switches
+	Migrations uint64
+	LastCPU    int
+	StartTime  sim.Time
+	Exited     bool
+	ExitTime   sim.Time
+
+	state      runState
+	cpu        int // current CPU when stateRunning, else -1
+	readySince sim.Time
+	sliceUsed  sim.Time
+
+	// Current action progress.
+	cur      Action
+	workLeft sim.Time
+	fltCarry float64 // fractional minor faults carried between ticks
+
+	wakeHandle sim.Handle
+}
+
+// State returns the /proc single-letter state code.
+func (t *Task) State() proc.TaskState {
+	switch t.state {
+	case stateRunning, stateReady:
+		return proc.StateRunning
+	case stateBlocked:
+		return proc.StateSleeping
+	case stateExited:
+		return proc.StateZombie
+	default:
+		return proc.StateSleeping
+	}
+}
+
+// OnCPU reports the CPU the task is currently executing on, or -1.
+func (t *Task) OnCPU() int {
+	if t.state == stateRunning {
+		return t.cpu
+	}
+	return -1
+}
+
+func (t *Task) String() string {
+	return fmt.Sprintf("task %d (%s/%s)", t.TID, t.Comm, t.Kind)
+}
+
+// Barrier synchronises a fixed-size group of tasks; it is reusable
+// (generation-counted), like an OpenMP barrier.
+type Barrier struct {
+	k       *Kernel
+	N       int
+	waiting []*Task
+}
+
+// Gate is a one-shot-per-wait wake-up channel: tasks block on it and
+// Signal releases them. Used for GPU completions, MPI receives and joins.
+type Gate struct {
+	k       *Kernel
+	waiting []*Task
+	// Credits lets a Signal arrive before the waiter: the next Wait
+	// consumes a credit without blocking.
+	credits int
+}
+
+// Waiting returns how many tasks are currently blocked on the gate.
+func (g *Gate) Waiting() int { return len(g.waiting) }

@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"zerosum/internal/sim"
+	"zerosum/internal/topology"
+)
+
+func TestTraceRecordsSlices(t *testing.T) {
+	m := topology.Laptop4Core()
+	var q sim.Queue
+	k := NewKernel(m, &q, sim.NewRNG(1), Params{Timeslice: 5 * sim.Millisecond})
+	tr := k.EnableTrace(0)
+	p := k.NewProcess("app", topology.NewCPUSet(0))
+	a := k.NewTask(p, "alpha", Seq(Compute{Work: 30 * sim.Millisecond}))
+	b := k.NewTask(p, "beta", Seq(Compute{Work: 30 * sim.Millisecond}))
+	run(t, k)
+	tr.Flush()
+	if tr.Len() == 0 {
+		t.Fatal("no slices recorded")
+	}
+	// Two tasks time-slicing one CPU: both must have multiple slices.
+	if got := tr.SliceCountFor(a.TID); got < 2 {
+		t.Fatalf("alpha slices = %d, want >= 2", got)
+	}
+	if got := tr.SliceCountFor(b.TID); got < 2 {
+		t.Fatalf("beta slices = %d, want >= 2", got)
+	}
+	if tr.Truncated() {
+		t.Fatal("tiny run should not truncate")
+	}
+}
+
+func TestTraceChromeJSON(t *testing.T) {
+	m := topology.Laptop4Core()
+	var q sim.Queue
+	k := NewKernel(m, &q, sim.NewRNG(1), Params{})
+	tr := k.EnableTrace(0)
+	p := k.NewProcess("app", topology.RangeCPUSet(0, 1))
+	k.NewTask(p, "w", Seq(
+		Compute{Work: 10 * sim.Millisecond},
+		Sleep{D: 5 * sim.Millisecond},
+		Compute{Work: 10 * sim.Millisecond},
+	))
+	run(t, k)
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if doc.Unit != "ms" {
+		t.Fatalf("unit = %q", doc.Unit)
+	}
+	var slices, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			slices++
+			if ev["dur"].(float64) < 0 {
+				t.Fatal("negative duration")
+			}
+		case "M":
+			meta++
+		}
+	}
+	if slices < 2 {
+		t.Fatalf("slices = %d, want >= 2 (sleep splits the residency)", slices)
+	}
+	if meta != m.NumPUs() {
+		t.Fatalf("metadata rows = %d, want %d", meta, m.NumPUs())
+	}
+}
+
+func TestTraceCap(t *testing.T) {
+	m := topology.Laptop4Core()
+	var q sim.Queue
+	k := NewKernel(m, &q, sim.NewRNG(1), Params{Timeslice: sim.Millisecond})
+	tr := k.EnableTrace(5)
+	p := k.NewProcess("app", topology.NewCPUSet(0))
+	for i := 0; i < 3; i++ {
+		k.NewTask(p, "w", Seq(Compute{Work: 20 * sim.Millisecond}))
+	}
+	run(t, k)
+	tr.Flush()
+	if tr.Len() > 5 {
+		t.Fatalf("cap ignored: %d events", tr.Len())
+	}
+	if !tr.Truncated() {
+		t.Fatal("should report truncation")
+	}
+}
+
+func TestTraceClosesOnBlockNotNextStart(t *testing.T) {
+	// A task that blocks leaves the CPU idle; its slice must end at the
+	// block time, not when the next task eventually starts.
+	m := topology.Laptop4Core()
+	var q sim.Queue
+	k := NewKernel(m, &q, sim.NewRNG(1), Params{})
+	tr := k.EnableTrace(0)
+	p := k.NewProcess("app", topology.NewCPUSet(0))
+	k.NewTask(p, "early", Seq(Compute{Work: 10 * sim.Millisecond}))
+	// Second task starts long after the first exits.
+	k.Q.After(500*sim.Millisecond, func(sim.Time) {
+		k.NewTask(p, "late", Seq(Compute{Work: 10 * sim.Millisecond}))
+	})
+	run(t, k)
+	tr.Flush()
+	for _, ev := range tr.events {
+		if strings.HasPrefix(ev.Name, "early/") && ev.DurUs > 15_000 {
+			t.Fatalf("early task slice stretched into the idle gap: %v us", ev.DurUs)
+		}
+	}
+}
+
+func TestSuffixInt(t *testing.T) {
+	if suffixInt("miniqmc/1234") != 1234 {
+		t.Fatal("parse failed")
+	}
+	if suffixInt("no-slash") != -1 {
+		t.Fatal("missing slash should be -1")
+	}
+	if suffixInt("x/12a") != -1 {
+		t.Fatal("non-numeric should be -1")
+	}
+}

@@ -1,0 +1,235 @@
+// Package sim provides the discrete-event machinery underneath the kernel
+// simulator: a nanosecond clock, a binary-heap event queue, and a
+// deterministic SplitMix64/xoshiro random source. Everything here is
+// single-threaded by design; the simulated node advances one event at a time
+// so that every run with the same seed is bit-identical.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is simulated time in nanoseconds since the start of the run.
+type Time int64
+
+// Common durations in simulated nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds returns t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Duration converts t to a time.Duration (both are nanoseconds).
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// FromSeconds converts seconds to simulated Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+func (t Time) String() string {
+	return fmt.Sprintf("%.6fs", t.Seconds())
+}
+
+// Event is a scheduled callback. The sequence number breaks ties so that
+// events scheduled earlier at the same timestamp fire first (stable order,
+// required for determinism).
+type event struct {
+	at    Time
+	seq   uint64
+	fn    func(now Time)
+	index int
+	dead  bool
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ ev *event }
+
+// Cancel removes the event from the queue if it has not fired yet.
+// Cancelling an already-fired or already-cancelled event is a no-op.
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.dead = true
+	}
+}
+
+// Pending reports whether the event is still scheduled.
+func (h Handle) Pending() bool { return h.ev != nil && !h.ev.dead && h.ev.index >= 0 }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Queue is a discrete-event queue with a monotonically advancing clock.
+// The zero value is ready to use.
+type Queue struct {
+	now  Time
+	seq  uint64
+	heap eventHeap
+}
+
+// Now returns the current simulated time.
+func (q *Queue) Now() Time { return q.now }
+
+// Len returns the number of scheduled (non-cancelled) events. Cancelled
+// events still occupy queue slots until they surface, so this is an upper
+// bound used mainly by tests.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past panics:
+// that is always a simulator bug.
+func (q *Queue) At(at Time, fn func(now Time)) Handle {
+	if at < q.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, q.now))
+	}
+	ev := &event{at: at, seq: q.seq, fn: fn}
+	q.seq++
+	heap.Push(&q.heap, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (q *Queue) After(d Time, fn func(now Time)) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return q.At(q.now+d, fn)
+}
+
+// Step fires the next event. It reports false when the queue is empty.
+func (q *Queue) Step() bool {
+	for len(q.heap) > 0 {
+		ev := heap.Pop(&q.heap).(*event)
+		if ev.dead {
+			continue
+		}
+		q.now = ev.at
+		ev.fn(q.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in order until the clock would pass the deadline or
+// the queue drains. The clock is left at min(deadline, last event time).
+func (q *Queue) RunUntil(deadline Time) {
+	for len(q.heap) > 0 {
+		// Peek.
+		ev := q.heap[0]
+		if ev.dead {
+			heap.Pop(&q.heap)
+			continue
+		}
+		if ev.at > deadline {
+			break
+		}
+		heap.Pop(&q.heap)
+		q.now = ev.at
+		ev.fn(q.now)
+	}
+	if q.now < deadline {
+		q.now = deadline
+	}
+}
+
+// Run drains the queue completely, with a safety cap on event count to turn
+// runaway self-rescheduling loops into a loud failure instead of a hang.
+func (q *Queue) Run(maxEvents int) error {
+	for i := 0; ; i++ {
+		if i >= maxEvents {
+			return fmt.Errorf("sim: exceeded %d events at t=%v; runaway event loop?", maxEvents, q.now)
+		}
+		if !q.Step() {
+			return nil
+		}
+	}
+}
+
+// RNG is a small, fast, deterministic random source (SplitMix64 core).
+// It intentionally does not wrap math/rand so simulator results cannot be
+// perturbed by stdlib algorithm changes.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0,n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a normally distributed value with the given mean and standard
+// deviation (Box–Muller).
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Fork derives an independent child generator; used to give each simulated
+// task its own stream so adding a task never perturbs the others.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64() ^ 0xd1b54a32d192ed03)
+}

@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueOrdering(t *testing.T) {
+	var q Queue
+	var fired []int
+	q.At(30, func(Time) { fired = append(fired, 3) })
+	q.At(10, func(Time) { fired = append(fired, 1) })
+	q.At(20, func(Time) { fired = append(fired, 2) })
+	if err := q.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 || fired[0] != 1 || fired[1] != 2 || fired[2] != 3 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if q.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", q.Now())
+	}
+}
+
+func TestQueueTieBreakFIFO(t *testing.T) {
+	var q Queue
+	var fired []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.At(5, func(Time) { fired = append(fired, i) })
+	}
+	if err := q.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("same-time events out of FIFO order: %v", fired)
+		}
+	}
+}
+
+func TestQueuePastPanics(t *testing.T) {
+	var q Queue
+	q.At(10, func(Time) {})
+	q.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past should panic")
+		}
+	}()
+	q.At(5, func(Time) {})
+}
+
+func TestAfterNegativeClamps(t *testing.T) {
+	var q Queue
+	ran := false
+	q.After(-5, func(now Time) {
+		if now != 0 {
+			t.Errorf("now = %v, want 0", now)
+		}
+		ran = true
+	})
+	q.Step()
+	if !ran {
+		t.Fatal("event did not fire")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	ran := false
+	h := q.At(10, func(Time) { ran = true })
+	if !h.Pending() {
+		t.Fatal("handle should be pending")
+	}
+	h.Cancel()
+	if h.Pending() {
+		t.Fatal("cancelled handle should not be pending")
+	}
+	if err := q.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("cancelled event fired")
+	}
+	h.Cancel() // double cancel is fine
+}
+
+func TestRunUntil(t *testing.T) {
+	var q Queue
+	var fired []Time
+	for _, at := range []Time{5, 15, 25} {
+		q.At(at, func(now Time) { fired = append(fired, now) })
+	}
+	q.RunUntil(20)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 5 and 15 only", fired)
+	}
+	if q.Now() != 20 {
+		t.Fatalf("clock = %v, want 20 (advanced to deadline)", q.Now())
+	}
+	q.RunUntil(100)
+	if len(fired) != 3 {
+		t.Fatalf("remaining event did not fire: %v", fired)
+	}
+}
+
+func TestRunawayDetection(t *testing.T) {
+	var q Queue
+	var resched func(Time)
+	resched = func(Time) { q.After(1, resched) }
+	q.After(1, resched)
+	if err := q.Run(1000); err == nil {
+		t.Fatal("runaway loop should be detected")
+	}
+}
+
+func TestEventCanScheduleEvents(t *testing.T) {
+	var q Queue
+	depth := 0
+	q.At(1, func(now Time) {
+		q.After(1, func(now Time) {
+			depth = 2
+			if now != 2 {
+				t.Errorf("nested event at %v, want 2", now)
+			}
+		})
+		depth = 1
+	})
+	if err := q.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if depth != 2 {
+		t.Fatal("nested event did not run")
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Fatal("FromSeconds wrong")
+	}
+	if got := (2500 * Millisecond).Seconds(); got != 2.5 {
+		t.Fatalf("Seconds = %v", got)
+	}
+	if (Second).Duration().Seconds() != 1.0 {
+		t.Fatal("Duration conversion wrong")
+	}
+	if (1500 * Millisecond).String() != "1.500000s" {
+		t.Fatalf("String = %q", (1500 * Millisecond).String())
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give identical streams")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should diverge")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(9)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) over 1000 draws hit %d distinct values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(11)
+	const n = 50000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm(10, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean-10) > 0.1 {
+		t.Fatalf("mean = %v, want ~10", mean)
+	}
+	if math.Abs(std-2) > 0.1 {
+		t.Fatalf("std = %v, want ~2", std)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(13)
+	const n = 50000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exp(3)
+		if v < 0 {
+			t.Fatal("Exp returned negative")
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-3) > 0.15 {
+		t.Fatalf("mean = %v, want ~3", mean)
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	parent := NewRNG(1)
+	child := parent.Fork()
+	// Draw from the child; the parent's subsequent stream must be the same
+	// as a fresh parent that also forked once (fork consumes exactly one
+	// parent draw), regardless of how much the child is used.
+	for i := 0; i < 100; i++ {
+		child.Uint64()
+	}
+	p2 := NewRNG(1)
+	p2.Fork()
+	for i := 0; i < 50; i++ {
+		if parent.Uint64() != p2.Uint64() {
+			t.Fatal("child draws perturbed parent stream")
+		}
+	}
+}
+
+func TestQuickQueueFiresInOrder(t *testing.T) {
+	f := func(times []uint16) bool {
+		var q Queue
+		var fired []Time
+		for _, tt := range times {
+			q.At(Time(tt), func(now Time) { fired = append(fired, now) })
+		}
+		if err := q.Run(len(times) + 1); err != nil {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkQueue(b *testing.B) {
+	b.ReportAllocs()
+	var q Queue
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		q.After(Time(r.Intn(1000)), func(Time) {})
+		q.Step()
+	}
+}

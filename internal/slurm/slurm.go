@@ -1,0 +1,273 @@
+// Package slurm models the job-launcher behaviour the paper's experiments
+// vary: translating srun-style flags (-n, -c, --threads-per-core,
+// --gpus-per-task, --gpu-bind) into per-rank cpusets and GPU assignments on
+// one or more nodes, honouring cores reserved for system processes (the
+// "first core of each L3 region" on Frontier). Getting this mapping wrong
+// is precisely the misconfiguration ZeroSum exists to expose.
+package slurm
+
+import (
+	"fmt"
+
+	"zerosum/internal/topology"
+)
+
+// GPUBind selects the GPU-assignment policy.
+type GPUBind int
+
+// GPU binding policies.
+const (
+	// GPUBindClosest assigns GPUs physically connected to the rank's NUMA
+	// domain (srun --gpu-bind=closest).
+	GPUBindClosest GPUBind = iota
+	// GPUBindNone assigns GPUs round-robin regardless of locality.
+	GPUBindNone
+)
+
+// Distribution selects how ranks' cpusets are carved from a node.
+type Distribution int
+
+// Rank-to-core distributions.
+const (
+	// DistCyclicL3 assigns rank r its cores from L3 region (r mod regions)
+	// — Frontier's effective default, which gives `srun -n8 -c7` the
+	// paper's rank-0 cpuset [1-7].
+	DistCyclicL3 Distribution = iota
+	// DistBlock packs ranks into consecutive cores.
+	DistBlock
+)
+
+// Options mirrors the srun flags the paper's experiments use.
+type Options struct {
+	// NTasks is -n: the number of MPI ranks.
+	NTasks int
+	// CoresPerTask is -c in cores (0 means the Slurm default of 1).
+	CoresPerTask int
+	// ThreadsPerCore is --threads-per-core: how many HWTs of each core are
+	// schedulable (0 means 1, the low-noise default in the paper's jobs).
+	ThreadsPerCore int
+	// GPUsPerTask is --gpus-per-task.
+	GPUsPerTask int
+	// GPUBind is --gpu-bind.
+	GPUBind GPUBind
+	// Dist selects the rank-to-core layout.
+	Dist Distribution
+	// UseReservedCores schedules onto reserved cores too (normally false:
+	// facilities keep them for system daemons).
+	UseReservedCores bool
+}
+
+// Assignment is the placement of one rank.
+type Assignment struct {
+	Rank int
+	// Node indexes into the job's node list.
+	Node int
+	// CPUs is the rank's cpuset (what /proc/<pid>/status will report).
+	CPUs topology.CPUSet
+	// GPUs lists assigned devices by vendor-visible index.
+	GPUs []int
+}
+
+// Plan computes rank placements for a job on count identical nodes
+// described by m. Ranks fill nodes in blocks: ranks-per-node is the node's
+// capacity under the options.
+func Plan(m *topology.Machine, nodes int, opt Options) ([]Assignment, error) {
+	if opt.NTasks <= 0 {
+		return nil, fmt.Errorf("slurm: -n must be positive, got %d", opt.NTasks)
+	}
+	if nodes <= 0 {
+		nodes = 1
+	}
+	cores := opt.CoresPerTask
+	if cores == 0 {
+		cores = 1
+	}
+	if cores < 0 {
+		return nil, fmt.Errorf("slurm: -c must be positive, got %d", cores)
+	}
+	tpc := opt.ThreadsPerCore
+	if tpc == 0 {
+		tpc = 1
+	}
+	maxTPC := 0
+	for _, c := range m.Cores() {
+		if len(c.PUs) > maxTPC {
+			maxTPC = len(c.PUs)
+		}
+	}
+	if tpc < 0 || tpc > maxTPC {
+		return nil, fmt.Errorf("slurm: --threads-per-core=%d out of range [1,%d]", tpc, maxTPC)
+	}
+
+	regions := usableRegions(m, opt.UseReservedCores)
+	usableCores := 0
+	for _, r := range regions {
+		usableCores += len(r)
+	}
+	if usableCores == 0 {
+		return nil, fmt.Errorf("slurm: node has no usable cores")
+	}
+	perNode := usableCores / cores
+	if perNode == 0 {
+		return nil, fmt.Errorf("slurm: -c%d exceeds the node's %d usable cores", cores, usableCores)
+	}
+	if opt.NTasks > perNode*nodes {
+		return nil, fmt.Errorf("slurm: %d tasks need %d nodes (%d tasks/node), only %d given",
+			opt.NTasks, (opt.NTasks+perNode-1)/perNode, perNode, nodes)
+	}
+
+	gpuTracker := make([]map[int]bool, nodes) // node -> assigned vendor idx
+	for i := range gpuTracker {
+		gpuTracker[i] = map[int]bool{}
+	}
+
+	out := make([]Assignment, 0, opt.NTasks)
+	for rank := 0; rank < opt.NTasks; rank++ {
+		node := rank / perNode
+		local := rank % perNode
+		coreList, err := coresForRank(regions, local, cores, opt.Dist)
+		if err != nil {
+			return nil, fmt.Errorf("slurm: rank %d: %w", rank, err)
+		}
+		var cpus topology.CPUSet
+		for _, c := range coreList {
+			for i, pu := range c.PUs {
+				if i >= tpc {
+					break
+				}
+				cpus.Set(pu.OSIndex)
+			}
+		}
+		a := Assignment{Rank: rank, Node: node, CPUs: cpus}
+		if opt.GPUsPerTask > 0 {
+			gpus, err := assignGPUs(m, cpus, opt.GPUsPerTask, opt.GPUBind, gpuTracker[node])
+			if err != nil {
+				return nil, fmt.Errorf("slurm: rank %d: %w", rank, err)
+			}
+			a.GPUs = gpus
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// usableRegions groups a node's schedulable cores by L3 region, in tree
+// order.
+func usableRegions(m *topology.Machine, useReserved bool) [][]*topology.Core {
+	var regions [][]*topology.Core
+	for _, pkg := range m.Packages {
+		for _, nn := range pkg.NUMA {
+			for _, g := range nn.L3 {
+				var cs []*topology.Core
+				for _, c := range g.Cores {
+					if c.Reserved && !useReserved {
+						continue
+					}
+					cs = append(cs, c)
+				}
+				if len(cs) > 0 {
+					regions = append(regions, cs)
+				}
+			}
+		}
+	}
+	return regions
+}
+
+// coresForRank picks the rank's cores under the distribution policy.
+func coresForRank(regions [][]*topology.Core, local, cores int, dist Distribution) ([]*topology.Core, error) {
+	switch dist {
+	case DistBlock:
+		flat := flatten(regions)
+		lo := local * cores
+		if lo+cores > len(flat) {
+			return nil, fmt.Errorf("not enough cores for local rank %d", local)
+		}
+		return flat[lo : lo+cores], nil
+	case DistCyclicL3:
+		nr := len(regions)
+		start := local % nr
+		round := local / nr
+		// Take cores from the home region first, spilling forward.
+		var picked []*topology.Core
+		offset := round * cores
+		for ri := 0; len(picked) < cores && ri < nr; ri++ {
+			region := regions[(start+ri)%nr]
+			for i := offset; i < len(region) && len(picked) < cores; i++ {
+				picked = append(picked, region[i])
+			}
+			offset = 0 // spill regions start from their beginning
+		}
+		if len(picked) < cores {
+			return nil, fmt.Errorf("not enough cores for local rank %d", local)
+		}
+		return picked, nil
+	}
+	return nil, fmt.Errorf("unknown distribution %d", dist)
+}
+
+func flatten(regions [][]*topology.Core) []*topology.Core {
+	var out []*topology.Core
+	for _, r := range regions {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// assignGPUs picks n devices for a rank.
+func assignGPUs(m *topology.Machine, cpus topology.CPUSet, n int, bind GPUBind, taken map[int]bool) ([]int, error) {
+	var candidates []int
+	switch bind {
+	case GPUBindClosest:
+		candidates = m.ClosestGPUs(cpus)
+		// Fall back to remote devices only after local ones are taken.
+		for _, g := range m.GPUs {
+			candidates = appendUnique(candidates, g.VendorIndex)
+		}
+	case GPUBindNone:
+		for _, g := range m.GPUs {
+			candidates = append(candidates, g.VendorIndex)
+		}
+	}
+	var out []int
+	for _, idx := range candidates {
+		if len(out) == n {
+			break
+		}
+		if !taken[idx] {
+			taken[idx] = true
+			out = append(out, idx)
+		}
+	}
+	if len(out) < n {
+		return nil, fmt.Errorf("needed %d GPUs, node has only %d unassigned", n, len(out))
+	}
+	return out, nil
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// CommandLine renders the equivalent srun invocation, for logs and reports.
+func (o Options) CommandLine(app string) string {
+	s := fmt.Sprintf("srun -n%d", o.NTasks)
+	if o.CoresPerTask > 0 {
+		s += fmt.Sprintf(" -c%d", o.CoresPerTask)
+	}
+	if o.ThreadsPerCore > 0 {
+		s += fmt.Sprintf(" --threads-per-core=%d", o.ThreadsPerCore)
+	}
+	if o.GPUsPerTask > 0 {
+		s += fmt.Sprintf(" --gpus-per-task=%d", o.GPUsPerTask)
+		if o.GPUBind == GPUBindClosest {
+			s += " --gpu-bind=closest"
+		}
+	}
+	return s + " " + app
+}

@@ -1,0 +1,191 @@
+package slurm
+
+import (
+	"strings"
+	"testing"
+
+	"zerosum/internal/topology"
+)
+
+func TestPlanFrontierDefault(t *testing.T) {
+	// `srun -n8 miniqmc` (Table 1): each rank gets one core, rank r in L3
+	// region r, so rank 0 is pinned to core 1 (core 0 reserved).
+	m := topology.Frontier()
+	as, err := Plan(m, 1, Options{NTasks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 8 {
+		t.Fatalf("assignments = %d", len(as))
+	}
+	for r, a := range as {
+		wantCore := 8*r + 1
+		if a.CPUs.String() != topology.NewCPUSet(wantCore).String() {
+			t.Fatalf("rank %d cpus = %s, want %d", r, a.CPUs, wantCore)
+		}
+		if a.Node != 0 {
+			t.Fatalf("rank %d node = %d", r, a.Node)
+		}
+		if len(a.GPUs) != 0 {
+			t.Fatalf("no GPUs requested but rank %d got %v", r, a.GPUs)
+		}
+	}
+}
+
+func TestPlanFrontierC7(t *testing.T) {
+	// `srun -n8 -c7` (Table 2/3): rank 0 gets cores 1-7 of L3 region 0.
+	m := topology.Frontier()
+	as, err := Plan(m, 1, Options{NTasks: 8, CoresPerTask: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := as[0].CPUs.String(); got != "1-7" {
+		t.Fatalf("rank 0 cpus = %s, want 1-7 (the paper's Listing 2)", got)
+	}
+	if got := as[3].CPUs.String(); got != "25-31" {
+		t.Fatalf("rank 3 cpus = %s, want 25-31", got)
+	}
+	// No overlap between ranks.
+	for i := range as {
+		for j := i + 1; j < len(as); j++ {
+			if as[i].CPUs.Overlaps(as[j].CPUs) {
+				t.Fatalf("ranks %d and %d overlap: %s vs %s", i, j, as[i].CPUs, as[j].CPUs)
+			}
+		}
+	}
+}
+
+func TestPlanThreadsPerCore2(t *testing.T) {
+	// The overhead experiment's second scenario: two HWTs per core.
+	m := topology.Frontier()
+	as, err := Plan(m, 1, Options{NTasks: 8, CoresPerTask: 7, ThreadsPerCore: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := topology.RangeCPUSet(1, 7).Or(topology.RangeCPUSet(65, 71))
+	if !as[0].CPUs.Equal(want) {
+		t.Fatalf("rank 0 cpus = %s, want %s", as[0].CPUs, want)
+	}
+}
+
+func TestPlanGPUBindClosest(t *testing.T) {
+	// `srun -n8 -c7 --gpus-per-task=1 --gpu-bind=closest` (Listing 2):
+	// ranks 0,1 sit in NUMA 0 whose local GCDs are 4 and 5; rank 0 must
+	// see visible GCD 4 — the paper's "true index 4" for HIP device 0.
+	m := topology.Frontier()
+	as, err := Plan(m, 1, Options{NTasks: 8, CoresPerTask: 7, GPUsPerTask: 1, GPUBind: GPUBindClosest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGPU := []int{4, 5, 2, 3, 6, 7, 0, 1}
+	for r, a := range as {
+		if len(a.GPUs) != 1 || a.GPUs[0] != wantGPU[r] {
+			t.Fatalf("rank %d GPUs = %v, want [%d]", r, a.GPUs, wantGPU[r])
+		}
+	}
+}
+
+func TestPlanGPUExhaustion(t *testing.T) {
+	m := topology.Frontier()
+	if _, err := Plan(m, 1, Options{NTasks: 8, CoresPerTask: 7, GPUsPerTask: 2}); err == nil {
+		t.Fatal("16 GPUs requested on an 8-GCD node should fail")
+	}
+}
+
+func TestPlanMultiNode(t *testing.T) {
+	// 512 ranks at 8 ranks/node (c7) = 64 nodes: the Figure 5 job shape.
+	m := topology.Frontier()
+	as, err := Plan(m, 64, Options{NTasks: 512, CoresPerTask: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as[7].Node != 0 || as[8].Node != 1 || as[511].Node != 63 {
+		t.Fatalf("node packing wrong: %d %d %d", as[7].Node, as[8].Node, as[511].Node)
+	}
+	// Local cpusets repeat per node.
+	if !as[8].CPUs.Equal(as[0].CPUs) {
+		t.Fatalf("rank 8 (node 1) cpus = %s, want %s", as[8].CPUs, as[0].CPUs)
+	}
+}
+
+func TestPlanCapacityErrors(t *testing.T) {
+	m := topology.Frontier()
+	if _, err := Plan(m, 1, Options{NTasks: 0}); err == nil {
+		t.Fatal("zero tasks should fail")
+	}
+	if _, err := Plan(m, 1, Options{NTasks: 9, CoresPerTask: 7}); err == nil {
+		t.Fatal("9 ranks x 7 cores on 56 usable cores should fail")
+	}
+	if _, err := Plan(m, 1, Options{NTasks: 1, CoresPerTask: 100}); err == nil {
+		t.Fatal("-c100 should fail")
+	}
+	if _, err := Plan(m, 1, Options{NTasks: 1, ThreadsPerCore: 5}); err == nil {
+		t.Fatal("--threads-per-core=5 should fail on 2-HWT cores")
+	}
+	if _, err := Plan(m, 1, Options{NTasks: 1, CoresPerTask: -3}); err == nil {
+		t.Fatal("negative -c should fail")
+	}
+}
+
+func TestPlanUseReservedCores(t *testing.T) {
+	m := topology.Frontier()
+	as, err := Plan(m, 1, Options{NTasks: 8, CoresPerTask: 8, UseReservedCores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := as[0].CPUs.String(); got != "0-7" {
+		t.Fatalf("rank 0 cpus = %s, want 0-7 with reserved cores allowed", got)
+	}
+}
+
+func TestPlanBlockDistribution(t *testing.T) {
+	m := topology.Frontier()
+	as, err := Plan(m, 1, Options{NTasks: 4, CoresPerTask: 2, Dist: DistBlock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as[0].CPUs.String() != "1-2" || as[1].CPUs.String() != "3-4" {
+		t.Fatalf("block layout wrong: %s, %s", as[0].CPUs, as[1].CPUs)
+	}
+}
+
+func TestPlanCyclicSecondRound(t *testing.T) {
+	// More ranks than L3 regions wrap to a second round within regions.
+	m := topology.Frontier()
+	as, err := Plan(m, 1, Options{NTasks: 16, CoresPerTask: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 8 (round 1, region 0) starts after rank 0's 3 cores: 4-6.
+	if got := as[8].CPUs.String(); got != "4-6" {
+		t.Fatalf("rank 8 cpus = %s, want 4-6", got)
+	}
+	for i := range as {
+		for j := i + 1; j < len(as); j++ {
+			if as[i].CPUs.Overlaps(as[j].CPUs) {
+				t.Fatalf("ranks %d/%d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestCommandLine(t *testing.T) {
+	o := Options{NTasks: 8, CoresPerTask: 7, GPUsPerTask: 1, GPUBind: GPUBindClosest, ThreadsPerCore: 1}
+	got := o.CommandLine("miniqmc")
+	for _, want := range []string{"srun -n8", "-c7", "--gpus-per-task=1", "--gpu-bind=closest", "miniqmc"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("command %q missing %q", got, want)
+		}
+	}
+}
+
+func TestPlanLaptopSmoke(t *testing.T) {
+	m := topology.Laptop4Core()
+	as, err := Plan(m, 1, Options{NTasks: 2, CoresPerTask: 2, ThreadsPerCore: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as[0].CPUs.Count() != 4 {
+		t.Fatalf("rank 0 pus = %d, want 4 (2 cores x 2 HWT)", as[0].CPUs.Count())
+	}
+}

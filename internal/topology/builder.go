@@ -1,0 +1,137 @@
+package topology
+
+import "fmt"
+
+// Spec describes a homogeneous machine for Build. All counts are per parent
+// (NUMAPerPackage NUMA domains in each package, and so on).
+type Spec struct {
+	Name     string
+	Hostname string
+	MemBytes uint64
+
+	Packages       int
+	NUMAPerPackage int
+	L3PerNUMA      int
+	CoresPerL3     int
+	ThreadsPerCore int
+
+	L3Bytes uint64
+	L2Bytes uint64
+	L1Bytes uint64
+
+	// NUMABandwidth caps per-domain memory traffic (bytes/sec) for the
+	// kernel simulator's contention model. Zero means "unlimited".
+	NUMABandwidth float64
+
+	// ReserveFirstCorePerL3 marks the first core of every L3 region as
+	// reserved for system processes (Frontier's low-noise default).
+	ReserveFirstCorePerL3 bool
+
+	// SecondThreadOffset controls PU OS numbering: hardware thread t of
+	// core c gets OS index c + t*SecondThreadOffset. If zero, it defaults
+	// to the total core count (the Linux convention on EPYC/Frontier: core
+	// c has PUs c and c+64). The paper's laptop uses 4 (PU P#0/P#4 pair).
+	SecondThreadOffset int
+
+	// GPUs optionally attaches devices; see GPUSpec.
+	GPUs []GPUSpec
+}
+
+// GPUSpec describes one accelerator for Spec.
+type GPUSpec struct {
+	VendorIndex int
+	PhysIndex   int
+	NUMAIndex   int
+	Model       string
+	MemBytes    uint64
+	GTTBytes    uint64
+	PeakMHz     float64
+	BaseMHz     float64
+	TDPWatts    float64
+}
+
+// Build constructs a Machine from a Spec. Core OS indexes are assigned
+// sequentially in tree order; PU OS indexes follow SecondThreadOffset.
+func Build(spec Spec) (*Machine, error) {
+	if spec.Packages <= 0 || spec.NUMAPerPackage <= 0 || spec.L3PerNUMA <= 0 ||
+		spec.CoresPerL3 <= 0 || spec.ThreadsPerCore <= 0 {
+		return nil, fmt.Errorf("topology: spec counts must be positive: %+v", spec)
+	}
+	totalCores := spec.Packages * spec.NUMAPerPackage * spec.L3PerNUMA * spec.CoresPerL3
+	offset := spec.SecondThreadOffset
+	if offset == 0 {
+		offset = totalCores
+	}
+	m := &Machine{
+		Name:     spec.Name,
+		Hostname: spec.Hostname,
+		MemBytes: spec.MemBytes,
+	}
+	if m.Hostname == "" {
+		m.Hostname = spec.Name
+	}
+	numaMem := spec.MemBytes / uint64(spec.Packages*spec.NUMAPerPackage)
+	coreIdx := 0
+	numaIdx := 0
+	for p := 0; p < spec.Packages; p++ {
+		pkg := &Package{OSIndex: p}
+		for n := 0; n < spec.NUMAPerPackage; n++ {
+			nn := &NUMANode{
+				OSIndex:              numaIdx,
+				MemBytes:             numaMem,
+				BandwidthBytesPerSec: spec.NUMABandwidth,
+			}
+			numaIdx++
+			for l := 0; l < spec.L3PerNUMA; l++ {
+				grp := &CacheGroup{L3Bytes: spec.L3Bytes}
+				for c := 0; c < spec.CoresPerL3; c++ {
+					core := &Core{
+						OSIndex: coreIdx,
+						L2Bytes: spec.L2Bytes,
+						L1Bytes: spec.L1Bytes,
+					}
+					if spec.ReserveFirstCorePerL3 && c == 0 {
+						core.Reserved = true
+					}
+					for t := 0; t < spec.ThreadsPerCore; t++ {
+						core.PUs = append(core.PUs, &PU{OSIndex: coreIdx + t*offset})
+					}
+					coreIdx++
+					grp.Cores = append(grp.Cores, core)
+				}
+				nn.L3 = append(nn.L3, grp)
+			}
+			pkg.NUMA = append(pkg.NUMA, nn)
+		}
+		m.Packages = append(m.Packages, pkg)
+	}
+	for _, gs := range spec.GPUs {
+		m.GPUs = append(m.GPUs, &GPU{
+			VendorIndex:  gs.VendorIndex,
+			PhysIndex:    gs.PhysIndex,
+			NUMAIndex:    gs.NUMAIndex,
+			Model:        gs.Model,
+			MemBytes:     gs.MemBytes,
+			GTTBytes:     gs.GTTBytes,
+			PeakClockMHz: gs.PeakMHz,
+			BaseClockMHz: gs.BaseMHz,
+			TDPWatts:     gs.TDPWatts,
+		})
+	}
+	if err := m.finalize(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// MustBuild is Build that panics on error; for package presets and tests.
+func MustBuild(spec Spec) *Machine {
+	m, err := Build(spec)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

@@ -1,0 +1,96 @@
+package topology
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// formatCacheSize renders cache sizes the way hwloc's lstopo does: whole
+// megabytes as "12MB", sub-megabyte (or non-integral MB) sizes in KB.
+func formatCacheSize(b uint64) string {
+	if b >= mib && b%mib == 0 {
+		return fmt.Sprintf("%dMB", b/mib)
+	}
+	return fmt.Sprintf("%dKB", b/kib)
+}
+
+// WriteLstopo renders the machine as an lstopo-style text tree, matching the
+// paper's Listing 1 output (ZeroSum prints this at startup so users who have
+// never run lstopo still see how cores, caches, NUMA domains and HWTs are
+// organised). Logical indexes (L#) are assigned in tree order; PU lines also
+// carry the OS index (P#), which is where the logical/physical confusion the
+// listing warns about becomes visible.
+func WriteLstopo(w io.Writer, m *Machine) error {
+	bw := &errWriter{w: w}
+	bw.printf("Machine L#0 (%s)\n", formatMemSize(m.MemBytes))
+	l3 := 0
+	l2 := 0
+	l1 := 0
+	core := 0
+	numaCount := len(m.NUMANodes())
+	for _, pkg := range m.Packages {
+		bw.printf("  Package L#%d\n", pkg.OSIndex)
+		for _, nn := range pkg.NUMA {
+			indent := "    "
+			if numaCount > 1 {
+				bw.printf("    NUMANode L#%d P#%d (%s)\n", nn.OSIndex, nn.OSIndex, formatMemSize(nn.MemBytes))
+				indent = "      "
+			}
+			for _, g := range nn.L3 {
+				bw.printf("%sL3Cache L#%d %s\n", indent, l3, formatCacheSize(g.L3Bytes))
+				l3++
+				for _, c := range g.Cores {
+					bw.printf("%s  L2Cache L#%d %s\n", indent, l2, formatCacheSize(c.L2Bytes))
+					l2++
+					bw.printf("%s    L1Cache L#%d %s\n", indent, l1, formatCacheSize(c.L1Bytes))
+					l1++
+					reserved := ""
+					if c.Reserved {
+						reserved = " (reserved)"
+					}
+					bw.printf("%s      Core L#%d%s\n", indent, core, reserved)
+					core++
+					for _, pu := range c.PUs {
+						bw.printf("%s        PU L#%d P#%d\n", indent, pu.Logical, pu.OSIndex)
+					}
+				}
+			}
+		}
+	}
+	for _, g := range m.GPUs {
+		bw.printf("  GPU L#%d (%s, %s) P#%d NUMA#%d\n",
+			g.VendorIndex, g.Model, formatMemSize(g.MemBytes), g.PhysIndex, g.NUMAIndex)
+	}
+	return bw.err
+}
+
+// Lstopo returns the lstopo-style rendering as a string.
+func Lstopo(m *Machine) string {
+	var b strings.Builder
+	_ = WriteLstopo(&b, m) // strings.Builder never fails
+	return b.String()
+}
+
+func formatMemSize(b uint64) string {
+	switch {
+	case b >= gib && b%gib == 0:
+		return fmt.Sprintf("%dGB", b/gib)
+	case b >= mib:
+		return fmt.Sprintf("%dMB", b/mib)
+	default:
+		return fmt.Sprintf("%dKB", b/kib)
+	}
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,328 @@
+package topology
+
+import (
+	"fmt"
+)
+
+// Machine is the root of the hardware tree for one compute node.
+type Machine struct {
+	// Name identifies the node model, e.g. "frontier" or "laptop".
+	Name string
+	// Hostname is the network name reported to /proc and MPI.
+	Hostname string
+	// MemBytes is total system DRAM.
+	MemBytes uint64
+	// Packages are the CPU sockets.
+	Packages []*Package
+	// GPUs are the accelerator devices (GCDs count individually).
+	GPUs []*GPU
+
+	pusByOS map[int]*PU
+	pus     []*PU // logical order
+}
+
+// Package is one CPU socket.
+type Package struct {
+	OSIndex int
+	NUMA    []*NUMANode
+	Machine *Machine
+}
+
+// NUMANode is a non-uniform memory access domain.
+type NUMANode struct {
+	OSIndex int
+	// MemBytes is the DRAM local to this domain.
+	MemBytes uint64
+	// BandwidthBytesPerSec caps the aggregate memory traffic the domain's
+	// controller can serve; the kernel simulator throttles task progress
+	// against it (see internal/sched).
+	BandwidthBytesPerSec float64
+	L3                   []*CacheGroup
+	Package              *Package
+}
+
+// CacheGroup is a last-level cache region: a set of cores sharing one L3.
+type CacheGroup struct {
+	OSIndex int
+	L3Bytes uint64
+	Cores   []*Core
+	NUMA    *NUMANode
+}
+
+// Core is a physical core with per-core L2/L1 and one PU per hardware thread.
+type Core struct {
+	OSIndex int
+	L2Bytes uint64
+	L1Bytes uint64
+	PUs     []*PU
+	Group   *CacheGroup
+	// Reserved marks cores set aside for system processes by the scheduler
+	// (the paper's "first core of each L3 region" on Frontier).
+	Reserved bool
+}
+
+// PU is a processing unit (hardware thread). OSIndex is the kernel's CPU
+// number (P# in hwloc terms); Logical is the hwloc logical index (L#).
+type PU struct {
+	OSIndex int
+	Logical int
+	Core    *Core
+}
+
+// GPU is one accelerator device. On Frontier each MI250X GCD is a separate
+// GPU as seen by HIP, and VendorIndex (the "visible" index) differs from the
+// physical index; the NUMA association is likewise non-intuitive (Fig. 2).
+type GPU struct {
+	// VendorIndex is the index the vendor runtime exposes (HIP/CUDA device
+	// ordinal once all devices are visible).
+	VendorIndex int
+	// PhysIndex is the physical device/GCD index on the board.
+	PhysIndex int
+	// NUMAIndex is the NUMA domain with the local physical connection.
+	NUMAIndex int
+	Model     string
+	MemBytes  uint64
+	// GTTBytes is the host-visible aperture (graphics translation table).
+	GTTBytes uint64
+	// PeakClockMHz and BaseClockMHz bound the simulated GFX clock.
+	PeakClockMHz float64
+	BaseClockMHz float64
+	// TDPWatts is the board power limit for simulated power/energy metrics.
+	TDPWatts float64
+}
+
+// finalize wires parent pointers, assigns hwloc logical indexes in tree
+// order, and builds the OS-index lookup. Builders must call it once.
+func (m *Machine) finalize() error {
+	m.pusByOS = make(map[int]*PU)
+	m.pus = m.pus[:0]
+	logical := 0
+	coreLogical := 0
+	l3Logical := 0
+	for _, pkg := range m.Packages {
+		pkg.Machine = m
+		for _, nn := range pkg.NUMA {
+			nn.Package = pkg
+			for _, g := range nn.L3 {
+				g.NUMA = nn
+				g.OSIndex = l3Logical
+				l3Logical++
+				for _, c := range g.Cores {
+					c.Group = g
+					_ = coreLogical
+					coreLogical++
+					for _, pu := range c.PUs {
+						pu.Core = c
+						pu.Logical = logical
+						logical++
+						if _, dup := m.pusByOS[pu.OSIndex]; dup {
+							return fmt.Errorf("topology: duplicate PU OS index %d", pu.OSIndex)
+						}
+						m.pusByOS[pu.OSIndex] = pu
+						m.pus = append(m.pus, pu)
+					}
+				}
+			}
+		}
+	}
+	if logical == 0 {
+		return fmt.Errorf("topology: machine %q has no PUs", m.Name)
+	}
+	return nil
+}
+
+// PUs returns all processing units in logical (tree) order.
+func (m *Machine) PUs() []*PU { return m.pus }
+
+// NumPUs returns the number of hardware threads.
+func (m *Machine) NumPUs() int { return len(m.pus) }
+
+// PUByOS returns the PU with the given OS index, or nil.
+func (m *Machine) PUByOS(os int) *PU { return m.pusByOS[os] }
+
+// Cores returns all cores in tree order.
+func (m *Machine) Cores() []*Core {
+	var out []*Core
+	for _, pkg := range m.Packages {
+		for _, nn := range pkg.NUMA {
+			for _, g := range nn.L3 {
+				out = append(out, g.Cores...)
+			}
+		}
+	}
+	return out
+}
+
+// NumCores returns the number of physical cores.
+func (m *Machine) NumCores() int { return len(m.Cores()) }
+
+// NUMANodes returns all NUMA domains in tree order.
+func (m *Machine) NUMANodes() []*NUMANode {
+	var out []*NUMANode
+	for _, pkg := range m.Packages {
+		out = append(out, pkg.NUMA...)
+	}
+	return out
+}
+
+// NUMAByIndex returns the NUMA domain with the given OS index, or nil.
+func (m *Machine) NUMAByIndex(idx int) *NUMANode {
+	for _, nn := range m.NUMANodes() {
+		if nn.OSIndex == idx {
+			return nn
+		}
+	}
+	return nil
+}
+
+// AllPUSet returns the set of every PU OS index on the machine.
+func (m *Machine) AllPUSet() CPUSet {
+	var s CPUSet
+	for _, pu := range m.pus {
+		s.Set(pu.OSIndex)
+	}
+	return s
+}
+
+// ReservedSet returns the PUs of all reserved cores.
+func (m *Machine) ReservedSet() CPUSet {
+	var s CPUSet
+	for _, c := range m.Cores() {
+		if c.Reserved {
+			for _, pu := range c.PUs {
+				s.Set(pu.OSIndex)
+			}
+		}
+	}
+	return s
+}
+
+// UsableSet returns every PU except those on reserved cores, optionally
+// restricted to the first threadsPerCore hardware threads of each core
+// (threadsPerCore <= 0 means all).
+func (m *Machine) UsableSet(threadsPerCore int) CPUSet {
+	var s CPUSet
+	for _, c := range m.Cores() {
+		if c.Reserved {
+			continue
+		}
+		for i, pu := range c.PUs {
+			if threadsPerCore > 0 && i >= threadsPerCore {
+				break
+			}
+			s.Set(pu.OSIndex)
+		}
+	}
+	return s
+}
+
+// PUSetForNUMA returns the PUs belonging to one NUMA domain.
+func (m *Machine) PUSetForNUMA(idx int) CPUSet {
+	var s CPUSet
+	nn := m.NUMAByIndex(idx)
+	if nn == nil {
+		return s
+	}
+	for _, g := range nn.L3 {
+		for _, c := range g.Cores {
+			for _, pu := range c.PUs {
+				s.Set(pu.OSIndex)
+			}
+		}
+	}
+	return s
+}
+
+// NUMAOf returns the NUMA domain containing PU OS index, or nil.
+func (m *Machine) NUMAOf(osIdx int) *NUMANode {
+	pu := m.PUByOS(osIdx)
+	if pu == nil {
+		return nil
+	}
+	return pu.Core.Group.NUMA
+}
+
+// CoreOf returns the core containing PU OS index, or nil.
+func (m *Machine) CoreOf(osIdx int) *Core {
+	pu := m.PUByOS(osIdx)
+	if pu == nil {
+		return nil
+	}
+	return pu.Core
+}
+
+// SiblingSet returns the set of all PUs sharing a core with osIdx
+// (including osIdx itself). Empty if the PU does not exist.
+func (m *Machine) SiblingSet(osIdx int) CPUSet {
+	var s CPUSet
+	c := m.CoreOf(osIdx)
+	if c == nil {
+		return s
+	}
+	for _, pu := range c.PUs {
+		s.Set(pu.OSIndex)
+	}
+	return s
+}
+
+// GPUsForNUMA returns the GPUs physically connected to NUMA domain idx,
+// ordered by vendor index.
+func (m *Machine) GPUsForNUMA(idx int) []*GPU {
+	var out []*GPU
+	for _, g := range m.GPUs {
+		if g.NUMAIndex == idx {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// GPUByVendorIndex returns the GPU with the given vendor-visible index.
+func (m *Machine) GPUByVendorIndex(idx int) *GPU {
+	for _, g := range m.GPUs {
+		if g.VendorIndex == idx {
+			return g
+		}
+	}
+	return nil
+}
+
+// ClosestGPUs returns the vendor indexes of GPUs local to the NUMA domain of
+// the given cpuset (the semantics of Slurm's --gpu-bind=closest). If the
+// cpuset spans domains, GPUs of every covered domain are returned.
+func (m *Machine) ClosestGPUs(cpus CPUSet) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range cpus.List() {
+		nn := m.NUMAOf(p)
+		if nn == nil {
+			continue
+		}
+		for _, g := range m.GPUsForNUMA(nn.OSIndex) {
+			if !seen[g.VendorIndex] {
+				seen[g.VendorIndex] = true
+				out = append(out, g.VendorIndex)
+			}
+		}
+	}
+	return out
+}
+
+// Validate performs structural sanity checks and returns the first problem
+// found, or nil.
+func (m *Machine) Validate() error {
+	if m.NumPUs() == 0 {
+		return fmt.Errorf("topology: no PUs")
+	}
+	for _, c := range m.Cores() {
+		if len(c.PUs) == 0 {
+			return fmt.Errorf("topology: core %d has no PUs", c.OSIndex)
+		}
+	}
+	for _, g := range m.GPUs {
+		if m.NUMAByIndex(g.NUMAIndex) == nil {
+			return fmt.Errorf("topology: GPU %d references missing NUMA %d", g.VendorIndex, g.NUMAIndex)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,246 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFrontierShape(t *testing.T) {
+	m := Frontier()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.NumCores(); got != 64 {
+		t.Fatalf("cores = %d, want 64", got)
+	}
+	if got := m.NumPUs(); got != 128 {
+		t.Fatalf("PUs = %d, want 128", got)
+	}
+	if got := len(m.NUMANodes()); got != 4 {
+		t.Fatalf("NUMA domains = %d, want 4", got)
+	}
+	if got := len(m.GPUs); got != 8 {
+		t.Fatalf("GPUs/GCDs = %d, want 8", got)
+	}
+	// Core c pairs PUs c and c+64.
+	core5 := m.CoreOf(5)
+	if core5 == nil || len(core5.PUs) != 2 {
+		t.Fatal("core of PU 5 malformed")
+	}
+	if sib := m.SiblingSet(5); sib.String() != "5,69" {
+		t.Fatalf("siblings of PU 5 = %s, want 5,69", sib.String())
+	}
+	// First core of every L3 region is reserved: cores 0,8,16,...,56.
+	res := m.ReservedSet()
+	for _, c := range []int{0, 8, 16, 24, 32, 40, 48, 56} {
+		if !res.Contains(c) || !res.Contains(c+64) {
+			t.Fatalf("core %d should be reserved (both HWTs)", c)
+		}
+	}
+	if res.Count() != 16 {
+		t.Fatalf("reserved PUs = %d, want 16", res.Count())
+	}
+	// Usable with 1 thread/core: 56 PUs, none reserved, all < 64.
+	usable := m.UsableSet(1)
+	if usable.Count() != 56 {
+		t.Fatalf("usable 1t/core = %d, want 56", usable.Count())
+	}
+	if usable.Last() >= 64 {
+		t.Fatalf("1t/core should only use first HWTs, got last=%d", usable.Last())
+	}
+	if m.UsableSet(0).Count() != 112 {
+		t.Fatalf("usable all threads = %d, want 112", m.UsableSet(0).Count())
+	}
+}
+
+func TestFrontierGPUNUMAAssociation(t *testing.T) {
+	m := Frontier()
+	// Paper Fig. 2: GPU vendor pairs [[4,5],[2,3],[6,7],[0,1]] map to NUMA
+	// domains [0,1,2,3]; so GCD 0 is connected to NUMA 3, whose cores start
+	// at 48.
+	g0 := m.GPUByVendorIndex(0)
+	if g0 == nil || g0.NUMAIndex != 3 {
+		t.Fatalf("GCD 0 NUMA = %+v, want NUMA 3", g0)
+	}
+	numa3 := m.PUSetForNUMA(3)
+	if numa3.First() != 48 {
+		t.Fatalf("NUMA 3 first core = %d, want 48", numa3.First())
+	}
+	// closest GPUs for a rank pinned to NUMA 0 cores must be GCDs 4,5.
+	got := m.ClosestGPUs(RangeCPUSet(1, 7))
+	if len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Fatalf("ClosestGPUs(1-7) = %v, want [4 5]", got)
+	}
+}
+
+func TestNUMAOfAndCoreOf(t *testing.T) {
+	m := Frontier()
+	if nn := m.NUMAOf(17); nn == nil || nn.OSIndex != 1 {
+		t.Fatalf("NUMAOf(17) = %v, want domain 1", nn)
+	}
+	if nn := m.NUMAOf(17 + 64); nn == nil || nn.OSIndex != 1 {
+		t.Fatal("second HWT should map to the same NUMA domain")
+	}
+	if m.NUMAOf(999) != nil || m.CoreOf(999) != nil {
+		t.Fatal("out-of-range PU should yield nil")
+	}
+}
+
+func TestSummitShape(t *testing.T) {
+	m := Summit()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.NumCores(); got != 44 {
+		t.Fatalf("cores = %d, want 44", got)
+	}
+	if got := m.NumPUs(); got != 176 {
+		t.Fatalf("PUs = %d, want 176", got)
+	}
+	// The usable numbering skips 84..87 (the reserved core's PUs), which is
+	// why the OLCF node diagram jumps from 83 to 88.
+	if pu := m.PUByOS(84); pu == nil || !pu.Core.Reserved {
+		t.Fatal("PU 84 should exist on the reserved core of socket 0")
+	}
+	if pu := m.PUByOS(88); pu == nil || pu.Core.Reserved || pu.Core.Group.NUMA.OSIndex != 1 {
+		t.Fatal("PU 88 should be the first usable PU of socket 1")
+	}
+	if m.UsableSet(0).Contains(84) || m.UsableSet(0).Contains(87) {
+		t.Fatal("reserved-core PUs 84-87 must not be usable")
+	}
+	if got := len(m.GPUs); got != 6 {
+		t.Fatalf("GPUs = %d, want 6", got)
+	}
+}
+
+func TestPerlmutterAndAurora(t *testing.T) {
+	p := Perlmutter()
+	if p.NumCores() != 64 || len(p.GPUs) != 4 {
+		t.Fatalf("perlmutter: cores=%d gpus=%d", p.NumCores(), len(p.GPUs))
+	}
+	a := Aurora()
+	if a.NumCores() != 104 || len(a.GPUs) != 6 {
+		t.Fatalf("aurora: cores=%d gpus=%d", a.NumCores(), len(a.GPUs))
+	}
+	for _, m := range []*Machine{p, a} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range PresetNames() {
+		m, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if m.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, m.Name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown preset should error")
+	}
+}
+
+func TestBuildRejectsBadSpec(t *testing.T) {
+	if _, err := Build(Spec{Name: "bad"}); err == nil {
+		t.Fatal("zero-count spec should fail")
+	}
+	if _, err := Build(Spec{Packages: 1, NUMAPerPackage: 1, L3PerNUMA: 1, CoresPerL3: -1, ThreadsPerCore: 1}); err == nil {
+		t.Fatal("negative count should fail")
+	}
+}
+
+func TestBuildDetectsDuplicatePU(t *testing.T) {
+	// SecondThreadOffset=0 defaults to core count; offset 0 is not directly
+	// settable to collide, so construct a hand-built duplicate.
+	m := &Machine{Name: "dup"}
+	pkg := &Package{}
+	nn := &NUMANode{}
+	grp := &CacheGroup{}
+	c := &Core{PUs: []*PU{{OSIndex: 0}, {OSIndex: 0}}}
+	grp.Cores = []*Core{c}
+	nn.L3 = []*CacheGroup{grp}
+	pkg.NUMA = []*NUMANode{nn}
+	m.Packages = []*Package{pkg}
+	if err := m.finalize(); err == nil {
+		t.Fatal("duplicate PU OS index should fail finalize")
+	}
+}
+
+func TestLaptopLstopoMatchesListing1(t *testing.T) {
+	m := Laptop4Core()
+	out := Lstopo(m)
+	// Spot-check the structure of the paper's Listing 1.
+	for _, want := range []string{
+		"Machine L#0",
+		"Package L#0",
+		"L3Cache L#0 12MB",
+		"L2Cache L#0 1280KB",
+		"L1Cache L#0 48KB",
+		"Core L#0",
+		"PU L#0 P#0",
+		"PU L#1 P#4",
+		"Core L#3",
+		"PU L#6 P#3",
+		"PU L#7 P#7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("lstopo output missing %q:\n%s", want, out)
+		}
+	}
+	// One L3, four L2s.
+	if strings.Count(out, "L3Cache") != 1 {
+		t.Errorf("want exactly one L3Cache line:\n%s", out)
+	}
+	if strings.Count(out, "L2Cache") != 4 {
+		t.Errorf("want four L2Cache lines:\n%s", out)
+	}
+	if strings.Count(out, "PU L#") != 8 {
+		t.Errorf("want eight PU lines:\n%s", out)
+	}
+}
+
+func TestLstopoFrontierShowsNUMAAndGPUs(t *testing.T) {
+	out := Lstopo(Frontier())
+	if strings.Count(out, "NUMANode") != 4 {
+		t.Errorf("want 4 NUMANode lines:\n%s", out)
+	}
+	if strings.Count(out, "GPU L#") != 8 {
+		t.Errorf("want 8 GPU lines")
+	}
+	if !strings.Contains(out, "Core L#0 (reserved)") {
+		t.Errorf("reserved core annotation missing")
+	}
+	if !strings.Contains(out, "GPU L#0 (AMD MI250X GCD, 64GB) P#6 NUMA#3") {
+		t.Errorf("GCD0/NUMA3 line missing or wrong:\n%s", out)
+	}
+}
+
+func TestUsableSetLaptop(t *testing.T) {
+	m := Laptop4Core()
+	if got := m.UsableSet(0).String(); got != "0-7" {
+		t.Fatalf("usable = %q, want 0-7", got)
+	}
+	if got := m.UsableSet(1).String(); got != "0-3" {
+		t.Fatalf("usable 1t = %q, want 0-3", got)
+	}
+}
+
+func BenchmarkFrontierBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Frontier()
+	}
+}
+
+func BenchmarkLstopoFrontier(b *testing.B) {
+	m := Frontier()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Lstopo(m)
+	}
+}

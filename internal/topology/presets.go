@@ -1,0 +1,213 @@
+package topology
+
+import "fmt"
+
+// Preset names accepted by ByName and the lstopo/zsrun CLIs.
+const (
+	PresetFrontier   = "frontier"
+	PresetSummit     = "summit"
+	PresetPerlmutter = "perlmutter"
+	PresetAurora     = "aurora"
+	PresetLaptop     = "laptop"
+)
+
+const (
+	kib = 1024
+	mib = 1024 * kib
+	gib = 1024 * mib
+)
+
+// Frontier models an OLCF Frontier compute node (Fig. 2): one 64-core
+// "Optimized 3rd Gen EPYC", 2 HWT/core, 512 GB DDR4 over 4 NUMA domains of
+// 2×8-core L3 regions, and four MI250X GPUs exposing 8 GCDs. The first core
+// of each L3 region is reserved for system processes (the low-noise
+// default), and the GPU vendor indexing is the paper's non-intuitive
+// [[4,5],[2,3],[6,7],[0,1]] per NUMA domain [0,1,2,3].
+func Frontier() *Machine {
+	spec := Spec{
+		Name:                  PresetFrontier,
+		Hostname:              "frontier09085",
+		MemBytes:              512 * gib,
+		Packages:              1,
+		NUMAPerPackage:        4,
+		L3PerNUMA:             2,
+		CoresPerL3:            8,
+		ThreadsPerCore:        2,
+		L3Bytes:               32 * mib,
+		L2Bytes:               512 * kib,
+		L1Bytes:               32 * kib,
+		NUMABandwidth:         50e9, // ~50 GB/s per domain, DDR4 class
+		ReserveFirstCorePerL3: true,
+	}
+	// GCD vendor index pairs per NUMA domain, per Fig. 2.
+	pairs := [4][2]int{{4, 5}, {2, 3}, {6, 7}, {0, 1}}
+	phys := 0
+	for numa, pr := range pairs {
+		for _, v := range pr {
+			spec.GPUs = append(spec.GPUs, GPUSpec{
+				VendorIndex: v,
+				PhysIndex:   phys,
+				NUMAIndex:   numa,
+				Model:       "AMD MI250X GCD",
+				MemBytes:    64 * gib,
+				GTTBytes:    256 * gib,
+				PeakMHz:     1700,
+				BaseMHz:     800,
+				TDPWatts:    280,
+			})
+			phys++
+		}
+	}
+	return MustBuild(spec)
+}
+
+// Summit models an OLCF Summit node (Fig. 1): two POWER9 sockets with 21
+// usable cores each (one core per socket reserved, which is why the core
+// numbering in the OLCF diagram skips from 83 to 88), 4 HWT/core, 512 GB,
+// and six V100 GPUs, three per socket.
+func Summit() *Machine {
+	m := &Machine{Name: PresetSummit, Hostname: "summit0001", MemBytes: 512 * gib}
+	// POWER9 SMT4: PU OS indexes are contiguous per core (core c holds PUs
+	// 4c..4c+3), so the builder's offset convention does not apply; build
+	// by hand. Socket 1's numbering restarts at PU 88 (core 22).
+	coreBase := [2]int{0, 22}
+	for s := 0; s < 2; s++ {
+		pkg := &Package{OSIndex: s}
+		nn := &NUMANode{OSIndex: s, MemBytes: 256 * gib, BandwidthBytesPerSec: 135e9}
+		grp := &CacheGroup{L3Bytes: 110 * mib}
+		for c := 0; c < 22; c++ {
+			core := &Core{
+				OSIndex: coreBase[s] + c,
+				L2Bytes: 512 * kib,
+				L1Bytes: 32 * kib,
+			}
+			if c == 21 { // last core reserved for system use
+				core.Reserved = true
+			}
+			for t := 0; t < 4; t++ {
+				core.PUs = append(core.PUs, &PU{OSIndex: (coreBase[s]+c)*4 + t})
+			}
+			grp.Cores = append(grp.Cores, core)
+		}
+		nn.L3 = append(nn.L3, grp)
+		pkg.NUMA = append(pkg.NUMA, nn)
+		m.Packages = append(m.Packages, pkg)
+	}
+	for g := 0; g < 6; g++ {
+		m.GPUs = append(m.GPUs, &GPU{
+			VendorIndex:  g,
+			PhysIndex:    g,
+			NUMAIndex:    g / 3,
+			Model:        "NVIDIA V100",
+			MemBytes:     16 * gib,
+			GTTBytes:     0,
+			PeakClockMHz: 1530,
+			BaseClockMHz: 1290,
+			TDPWatts:     300,
+		})
+	}
+	if err := m.finalize(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Perlmutter models a NERSC Perlmutter GPU node (Fig. 3 left): one 64-core
+// AMD Milan, 2 HWT/core, 256 GB over 4 NUMA domains, four A100 GPUs. The
+// NERSC diagram gives no GPU ordering; we attach GPU i to NUMA domain i.
+func Perlmutter() *Machine {
+	spec := Spec{
+		Name:           PresetPerlmutter,
+		Hostname:       "nid001234",
+		MemBytes:       256 * gib,
+		Packages:       1,
+		NUMAPerPackage: 4,
+		L3PerNUMA:      2,
+		CoresPerL3:     8,
+		ThreadsPerCore: 2,
+		L3Bytes:        32 * mib,
+		L2Bytes:        512 * kib,
+		L1Bytes:        32 * kib,
+		NUMABandwidth:  51e9,
+	}
+	for g := 0; g < 4; g++ {
+		spec.GPUs = append(spec.GPUs, GPUSpec{
+			VendorIndex: g, PhysIndex: g, NUMAIndex: g,
+			Model: "NVIDIA A100", MemBytes: 40 * gib,
+			PeakMHz: 1410, BaseMHz: 765, TDPWatts: 400,
+		})
+	}
+	return MustBuild(spec)
+}
+
+// Aurora models an ALCF Aurora node (Fig. 3 right): two Xeon Max sockets of
+// 52 cores, 2 HWT/core, and six Intel Data Center GPU Max devices, three per
+// socket.
+func Aurora() *Machine {
+	spec := Spec{
+		Name:           PresetAurora,
+		Hostname:       "aurora-uan-01",
+		MemBytes:       1024 * gib,
+		Packages:       2,
+		NUMAPerPackage: 1,
+		L3PerNUMA:      1,
+		CoresPerL3:     52,
+		ThreadsPerCore: 2,
+		L3Bytes:        105 * mib,
+		L2Bytes:        2 * mib,
+		L1Bytes:        48 * kib,
+		NUMABandwidth:  300e9, // HBM-backed
+	}
+	for g := 0; g < 6; g++ {
+		spec.GPUs = append(spec.GPUs, GPUSpec{
+			VendorIndex: g, PhysIndex: g, NUMAIndex: g / 3,
+			Model: "Intel Data Center GPU Max", MemBytes: 128 * gib,
+			PeakMHz: 1600, BaseMHz: 900, TDPWatts: 600,
+		})
+	}
+	return MustBuild(spec)
+}
+
+// Laptop4Core models the paper's Listing-1 test system: a single Intel Core
+// i7-1165G7 with four cores, two PUs per core, a shared 12 MB L3, 1280 KB
+// L2 and 48 KB L1 per core. PU P# numbering pairs core c with P#c and
+// P#(c+4), so logical L# differs from OS P# exactly as the listing warns.
+func Laptop4Core() *Machine {
+	return MustBuild(Spec{
+		Name:               PresetLaptop,
+		Hostname:           "testbox",
+		MemBytes:           16 * gib,
+		Packages:           1,
+		NUMAPerPackage:     1,
+		L3PerNUMA:          1,
+		CoresPerL3:         4,
+		ThreadsPerCore:     2,
+		L3Bytes:            12 * mib,
+		L2Bytes:            1280 * kib,
+		L1Bytes:            48 * kib,
+		NUMABandwidth:      30e9,
+		SecondThreadOffset: 4,
+	})
+}
+
+// ByName returns the preset machine with the given name.
+func ByName(name string) (*Machine, error) {
+	switch name {
+	case PresetFrontier:
+		return Frontier(), nil
+	case PresetSummit:
+		return Summit(), nil
+	case PresetPerlmutter:
+		return Perlmutter(), nil
+	case PresetAurora:
+		return Aurora(), nil
+	case PresetLaptop:
+		return Laptop4Core(), nil
+	}
+	return nil, fmt.Errorf("topology: unknown preset %q (want one of frontier, summit, perlmutter, aurora, laptop)", name)
+}
+
+// PresetNames lists the available presets.
+func PresetNames() []string {
+	return []string{PresetFrontier, PresetSummit, PresetPerlmutter, PresetAurora, PresetLaptop}
+}

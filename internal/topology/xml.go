@@ -1,0 +1,355 @@
+package topology
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The hwloc v2 XML interchange subset: ZeroSum links against hwloc when
+// available (paper §3.1), and hwloc installations exchange topologies as
+// XML (`lstopo --of xml`). This file renders a Machine as hwloc-v2-style
+// XML and parses such XML back, so topologies captured on real systems can
+// be replayed in the simulator.
+
+// xmlObject mirrors hwloc's <object> element.
+type xmlObject struct {
+	XMLName  xml.Name    `xml:"object"`
+	Type     string      `xml:"type,attr"`
+	OSIndex  *int        `xml:"os_index,attr,omitempty"`
+	CPUSet   string      `xml:"cpuset,attr,omitempty"`
+	Name     string      `xml:"name,attr,omitempty"`
+	Size     uint64      `xml:"cache_size,attr,omitempty"`
+	Depth    int         `xml:"depth,attr,omitempty"`
+	Memory   uint64      `xml:"local_memory,attr,omitempty"`
+	Children []xmlObject `xml:"object"`
+	Infos    []xmlInfo   `xml:"info"`
+}
+
+type xmlInfo struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:"value,attr"`
+}
+
+type xmlTopology struct {
+	XMLName xml.Name  `xml:"topology"`
+	Version string    `xml:"version,attr,omitempty"`
+	Root    xmlObject `xml:"object"`
+}
+
+func intPtr(v int) *int { return &v }
+
+// MarshalXML renders the machine as hwloc-v2-style XML.
+func MarshalXML(m *Machine) ([]byte, error) {
+	root := xmlObject{
+		Type:    "Machine",
+		OSIndex: intPtr(0),
+		CPUSet:  m.AllPUSet().HexMask(),
+		Memory:  m.MemBytes,
+		Infos: []xmlInfo{
+			{Name: "HostName", Value: m.Hostname},
+			{Name: "ModelName", Value: m.Name},
+		},
+	}
+	for _, pkg := range m.Packages {
+		xp := xmlObject{Type: "Package", OSIndex: intPtr(pkg.OSIndex)}
+		for _, nn := range pkg.NUMA {
+			xn := xmlObject{
+				Type:    "NUMANode",
+				OSIndex: intPtr(nn.OSIndex),
+				Memory:  nn.MemBytes,
+			}
+			if nn.BandwidthBytesPerSec > 0 {
+				xn.Infos = append(xn.Infos, xmlInfo{
+					Name: "MemoryBandwidthBytesPerSec", Value: strconv.FormatFloat(nn.BandwidthBytesPerSec, 'f', 0, 64),
+				})
+			}
+			for _, g := range nn.L3 {
+				xg := xmlObject{Type: "L3Cache", OSIndex: intPtr(g.OSIndex), Size: g.L3Bytes, Depth: 3}
+				for _, c := range g.Cores {
+					xc := xmlObject{Type: "Core", OSIndex: intPtr(c.OSIndex)}
+					if c.Reserved {
+						xc.Infos = append(xc.Infos, xmlInfo{Name: "Reserved", Value: "1"})
+					}
+					xl2 := xmlObject{Type: "L2Cache", OSIndex: intPtr(c.OSIndex), Size: c.L2Bytes, Depth: 2}
+					xl1 := xmlObject{Type: "L1Cache", OSIndex: intPtr(c.OSIndex), Size: c.L1Bytes, Depth: 1}
+					for _, pu := range c.PUs {
+						xl1.Children = append(xl1.Children, xmlObject{
+							Type: "PU", OSIndex: intPtr(pu.OSIndex),
+							CPUSet: NewCPUSet(pu.OSIndex).HexMask(),
+						})
+					}
+					xl2.Children = append(xl2.Children, xl1)
+					xc.Children = append(xc.Children, xl2)
+					xg.Children = append(xg.Children, xc)
+				}
+				xn.Children = append(xn.Children, xg)
+			}
+			xp.Children = append(xp.Children, xn)
+		}
+		root.Children = append(root.Children, xp)
+	}
+	for _, g := range m.GPUs {
+		root.Children = append(root.Children, xmlObject{
+			Type:    "OSDev",
+			Name:    g.Model,
+			OSIndex: intPtr(g.VendorIndex),
+			Infos: []xmlInfo{
+				{Name: "Backend", Value: "GPU"},
+				{Name: "PhysIndex", Value: strconv.Itoa(g.PhysIndex)},
+				{Name: "NUMAIndex", Value: strconv.Itoa(g.NUMAIndex)},
+				{Name: "MemoryBytes", Value: strconv.FormatUint(g.MemBytes, 10)},
+				{Name: "GTTBytes", Value: strconv.FormatUint(g.GTTBytes, 10)},
+				{Name: "PeakClockMHz", Value: strconv.FormatFloat(g.PeakClockMHz, 'f', 0, 64)},
+				{Name: "BaseClockMHz", Value: strconv.FormatFloat(g.BaseClockMHz, 'f', 0, 64)},
+				{Name: "TDPWatts", Value: strconv.FormatFloat(g.TDPWatts, 'f', 0, 64)},
+			},
+		})
+	}
+	doc := xmlTopology{Version: "2.0", Root: root}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("topology: marshal xml: %w", err)
+	}
+	return append([]byte(xml.Header), append(out, '\n')...), nil
+}
+
+// WriteXML writes the hwloc-style XML to w.
+func WriteXML(w io.Writer, m *Machine) error {
+	b, err := MarshalXML(m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// UnmarshalXML parses hwloc-v2-style XML (as produced by MarshalXML, or a
+// compatible subset of real `lstopo --of xml` output) into a Machine.
+func UnmarshalXML(data []byte) (*Machine, error) {
+	var doc xmlTopology
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("topology: parse xml: %w", err)
+	}
+	if !strings.EqualFold(doc.Root.Type, "machine") {
+		return nil, fmt.Errorf("topology: root object is %q, want Machine", doc.Root.Type)
+	}
+	m := &Machine{MemBytes: doc.Root.Memory}
+	for _, info := range doc.Root.Infos {
+		switch info.Name {
+		case "HostName":
+			m.Hostname = info.Value
+		case "ModelName":
+			m.Name = info.Value
+		}
+	}
+	if m.Name == "" {
+		m.Name = "imported"
+	}
+	if m.Hostname == "" {
+		m.Hostname = m.Name
+	}
+	for _, child := range doc.Root.Children {
+		switch strings.ToLower(child.Type) {
+		case "package":
+			pkg, err := parsePackage(child)
+			if err != nil {
+				return nil, err
+			}
+			m.Packages = append(m.Packages, pkg)
+		case "osdev":
+			gpu, err := parseGPU(child)
+			if err != nil {
+				return nil, err
+			}
+			if gpu != nil {
+				m.GPUs = append(m.GPUs, gpu)
+			}
+		}
+	}
+	if err := m.finalize(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ReadXML parses hwloc-style XML from r.
+func ReadXML(r io.Reader) (*Machine, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("topology: read xml: %w", err)
+	}
+	return UnmarshalXML(data)
+}
+
+func osIdx(o xmlObject) int {
+	if o.OSIndex != nil {
+		return *o.OSIndex
+	}
+	return 0
+}
+
+func parsePackage(o xmlObject) (*Package, error) {
+	pkg := &Package{OSIndex: osIdx(o)}
+	// Packages may contain NUMANodes directly, or (on single-NUMA
+	// machines exported by real hwloc) caches/cores directly; wrap the
+	// latter in an implicit NUMA node.
+	var implicit *NUMANode
+	for _, child := range o.Children {
+		switch strings.ToLower(child.Type) {
+		case "numanode":
+			nn, err := parseNUMA(child)
+			if err != nil {
+				return nil, err
+			}
+			pkg.NUMA = append(pkg.NUMA, nn)
+		case "l3cache", "core":
+			if implicit == nil {
+				implicit = &NUMANode{OSIndex: pkg.OSIndex}
+				pkg.NUMA = append(pkg.NUMA, implicit)
+			}
+			if err := attachCacheOrCore(implicit, child); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(pkg.NUMA) == 0 {
+		return nil, fmt.Errorf("topology: package %d has no NUMA nodes or cores", pkg.OSIndex)
+	}
+	return pkg, nil
+}
+
+func parseNUMA(o xmlObject) (*NUMANode, error) {
+	nn := &NUMANode{OSIndex: osIdx(o), MemBytes: o.Memory}
+	for _, info := range o.Infos {
+		if info.Name == "MemoryBandwidthBytesPerSec" {
+			if v, err := strconv.ParseFloat(info.Value, 64); err == nil {
+				nn.BandwidthBytesPerSec = v
+			}
+		}
+	}
+	for _, child := range o.Children {
+		if err := attachCacheOrCore(nn, child); err != nil {
+			return nil, err
+		}
+	}
+	if len(nn.L3) == 0 {
+		return nil, fmt.Errorf("topology: NUMA node %d has no caches or cores", nn.OSIndex)
+	}
+	return nn, nil
+}
+
+func attachCacheOrCore(nn *NUMANode, o xmlObject) error {
+	switch strings.ToLower(o.Type) {
+	case "l3cache":
+		grp := &CacheGroup{OSIndex: osIdx(o), L3Bytes: o.Size}
+		for _, child := range o.Children {
+			if strings.EqualFold(child.Type, "core") {
+				core, err := parseCore(child)
+				if err != nil {
+					return err
+				}
+				grp.Cores = append(grp.Cores, core)
+			}
+		}
+		if len(grp.Cores) == 0 {
+			return fmt.Errorf("topology: L3 group %d has no cores", grp.OSIndex)
+		}
+		nn.L3 = append(nn.L3, grp)
+		return nil
+	case "core":
+		// Core directly under the NUMA node: implicit L3 group.
+		if len(nn.L3) == 0 {
+			nn.L3 = append(nn.L3, &CacheGroup{OSIndex: nn.OSIndex})
+		}
+		core, err := parseCore(o)
+		if err != nil {
+			return err
+		}
+		grp := nn.L3[len(nn.L3)-1]
+		grp.Cores = append(grp.Cores, core)
+		return nil
+	}
+	return nil // tolerate unknown siblings (Misc, Bridge, ...)
+}
+
+func parseCore(o xmlObject) (*Core, error) {
+	core := &Core{OSIndex: osIdx(o)}
+	for _, info := range o.Infos {
+		if info.Name == "Reserved" && info.Value == "1" {
+			core.Reserved = true
+		}
+	}
+	var walk func(xmlObject) error
+	walk = func(x xmlObject) error {
+		switch strings.ToLower(x.Type) {
+		case "l2cache":
+			core.L2Bytes = x.Size
+		case "l1cache":
+			core.L1Bytes = x.Size
+		case "pu":
+			core.PUs = append(core.PUs, &PU{OSIndex: osIdx(x)})
+			return nil
+		}
+		for _, child := range x.Children {
+			if err := walk(child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, child := range o.Children {
+		if err := walk(child); err != nil {
+			return nil, err
+		}
+	}
+	if len(core.PUs) == 0 {
+		return nil, fmt.Errorf("topology: core %d has no PUs", core.OSIndex)
+	}
+	return core, nil
+}
+
+func parseGPU(o xmlObject) (*GPU, error) {
+	infos := map[string]string{}
+	for _, info := range o.Infos {
+		infos[info.Name] = info.Value
+	}
+	if infos["Backend"] != "GPU" {
+		return nil, nil // some other OS device (NIC, block...)
+	}
+	g := &GPU{VendorIndex: osIdx(o), Model: o.Name}
+	g.PhysIndex = atoiDefault(infos["PhysIndex"], g.VendorIndex)
+	g.NUMAIndex = atoiDefault(infos["NUMAIndex"], 0)
+	g.MemBytes = u64Default(infos["MemoryBytes"], 0)
+	g.GTTBytes = u64Default(infos["GTTBytes"], 0)
+	g.PeakClockMHz = f64Default(infos["PeakClockMHz"], 0)
+	g.BaseClockMHz = f64Default(infos["BaseClockMHz"], 0)
+	g.TDPWatts = f64Default(infos["TDPWatts"], 0)
+	return g, nil
+}
+
+func atoiDefault(s string, def int) int {
+	if v, err := strconv.Atoi(s); err == nil {
+		return v
+	}
+	return def
+}
+
+func u64Default(s string, def uint64) uint64 {
+	if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+		return v
+	}
+	return def
+}
+
+func f64Default(s string, def float64) float64 {
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v
+	}
+	return def
+}

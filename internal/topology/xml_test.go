@@ -1,0 +1,198 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// machinesEquivalent compares the structural properties monitors care about.
+func machinesEquivalent(t *testing.T, a, b *Machine) {
+	t.Helper()
+	if a.NumPUs() != b.NumPUs() {
+		t.Fatalf("PUs: %d vs %d", a.NumPUs(), b.NumPUs())
+	}
+	if a.NumCores() != b.NumCores() {
+		t.Fatalf("cores: %d vs %d", a.NumCores(), b.NumCores())
+	}
+	if len(a.NUMANodes()) != len(b.NUMANodes()) {
+		t.Fatalf("NUMA: %d vs %d", len(a.NUMANodes()), len(b.NUMANodes()))
+	}
+	if len(a.GPUs) != len(b.GPUs) {
+		t.Fatalf("GPUs: %d vs %d", len(a.GPUs), len(b.GPUs))
+	}
+	if !a.AllPUSet().Equal(b.AllPUSet()) {
+		t.Fatalf("PU sets differ: %s vs %s", a.AllPUSet(), b.AllPUSet())
+	}
+	if !a.ReservedSet().Equal(b.ReservedSet()) {
+		t.Fatalf("reserved sets differ: %s vs %s", a.ReservedSet(), b.ReservedSet())
+	}
+	if a.MemBytes != b.MemBytes || a.Hostname != b.Hostname {
+		t.Fatalf("machine attrs differ")
+	}
+	for i, ga := range a.GPUs {
+		gb := b.GPUs[i]
+		if ga.VendorIndex != gb.VendorIndex || ga.NUMAIndex != gb.NUMAIndex ||
+			ga.MemBytes != gb.MemBytes || ga.Model != gb.Model {
+			t.Fatalf("GPU %d differs: %+v vs %+v", i, ga, gb)
+		}
+	}
+	// Per-PU structural mapping.
+	for _, pu := range a.PUs() {
+		pb := b.PUByOS(pu.OSIndex)
+		if pb == nil {
+			t.Fatalf("PU %d missing after round trip", pu.OSIndex)
+		}
+		if a.NUMAOf(pu.OSIndex).OSIndex != b.NUMAOf(pu.OSIndex).OSIndex {
+			t.Fatalf("PU %d NUMA mapping differs", pu.OSIndex)
+		}
+		if !a.SiblingSet(pu.OSIndex).Equal(b.SiblingSet(pu.OSIndex)) {
+			t.Fatalf("PU %d siblings differ", pu.OSIndex)
+		}
+	}
+}
+
+func TestXMLRoundTripAllPresets(t *testing.T) {
+	for _, name := range PresetNames() {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := MarshalXML(m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := UnmarshalXML(data)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		machinesEquivalent(t, m, back)
+		// The round trip preserves bandwidth (used by the simulator).
+		for i, nn := range m.NUMANodes() {
+			if back.NUMANodes()[i].BandwidthBytesPerSec != nn.BandwidthBytesPerSec {
+				t.Fatalf("%s: NUMA %d bandwidth lost", name, i)
+			}
+		}
+	}
+}
+
+func TestXMLWriteRead(t *testing.T) {
+	m := Frontier()
+	var buf bytes.Buffer
+	if err := WriteXML(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "<?xml") {
+		t.Fatal("missing xml header")
+	}
+	back, err := ReadXML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machinesEquivalent(t, m, back)
+}
+
+func TestXMLRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalXML([]byte("not xml at all")); err == nil {
+		t.Fatal("garbage should fail")
+	}
+	if _, err := UnmarshalXML([]byte(`<topology><object type="Package"/></topology>`)); err == nil {
+		t.Fatal("non-machine root should fail")
+	}
+	if _, err := UnmarshalXML([]byte(`<topology><object type="Machine"/></topology>`)); err == nil {
+		t.Fatal("machine without PUs should fail")
+	}
+}
+
+func TestXMLImplicitNUMA(t *testing.T) {
+	// Real hwloc output on single-NUMA machines puts caches directly
+	// under the Package; the parser wraps them in an implicit NUMA node.
+	xml := `<?xml version="1.0"?>
+<topology version="2.0">
+  <object type="Machine" os_index="0" local_memory="1024">
+    <info name="HostName" value="tiny"/>
+    <object type="Package" os_index="0">
+      <object type="L3Cache" os_index="0" cache_size="4194304" depth="3">
+        <object type="Core" os_index="0">
+          <object type="L2Cache" os_index="0" cache_size="262144" depth="2">
+            <object type="L1Cache" os_index="0" cache_size="32768" depth="1">
+              <object type="PU" os_index="0"/>
+              <object type="PU" os_index="1"/>
+            </object>
+          </object>
+        </object>
+      </object>
+    </object>
+  </object>
+</topology>`
+	m, err := UnmarshalXML([]byte(xml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumPUs() != 2 || m.NumCores() != 1 || len(m.NUMANodes()) != 1 {
+		t.Fatalf("shape: pus=%d cores=%d numa=%d", m.NumPUs(), m.NumCores(), len(m.NUMANodes()))
+	}
+	if m.Hostname != "tiny" {
+		t.Fatalf("hostname = %q", m.Hostname)
+	}
+	if m.Cores()[0].L2Bytes != 262144 || m.Cores()[0].L1Bytes != 32768 {
+		t.Fatal("cache sizes lost")
+	}
+}
+
+func TestXMLCoreDirectlyUnderNUMA(t *testing.T) {
+	xml := `<topology><object type="Machine" local_memory="1">
+  <object type="Package" os_index="0">
+    <object type="NUMANode" os_index="0" local_memory="1">
+      <object type="Core" os_index="0"><object type="PU" os_index="0"/></object>
+      <object type="Core" os_index="1"><object type="PU" os_index="1"/></object>
+    </object>
+  </object>
+</object></topology>`
+	m, err := UnmarshalXML([]byte(xml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCores() != 2 {
+		t.Fatalf("cores = %d", m.NumCores())
+	}
+}
+
+func TestXMLIgnoresNonGPUOSDevs(t *testing.T) {
+	xml := `<topology><object type="Machine" local_memory="1">
+  <object type="Package" os_index="0">
+    <object type="NUMANode" os_index="0">
+      <object type="Core" os_index="0"><object type="PU" os_index="0"/></object>
+    </object>
+  </object>
+  <object type="OSDev" name="eth0" os_index="0">
+    <info name="Backend" value="Network"/>
+  </object>
+</object></topology>`
+	m, err := UnmarshalXML([]byte(xml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.GPUs) != 0 {
+		t.Fatalf("network device parsed as GPU: %+v", m.GPUs)
+	}
+}
+
+func TestXMLImportedMachineRunsInSimulator(t *testing.T) {
+	// The full loop the feature exists for: export Frontier, re-import,
+	// verify the launcher plans identically on the imported machine.
+	data, err := MarshalXML(Frontier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := UnmarshalXML(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.UsableSet(1).Count(); got != 56 {
+		t.Fatalf("imported usable cores = %d, want 56", got)
+	}
+	if got := m.ClosestGPUs(RangeCPUSet(1, 7)); len(got) != 2 || got[0] != 4 {
+		t.Fatalf("imported GPU locality = %v", got)
+	}
+}

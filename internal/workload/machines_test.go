@@ -1,0 +1,239 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"zerosum/internal/core"
+	"zerosum/internal/fsio"
+	"zerosum/internal/openmp"
+	"zerosum/internal/report"
+	"zerosum/internal/sim"
+	"zerosum/internal/slurm"
+	"zerosum/internal/topology"
+)
+
+// TestSummitJob runs a 6-rank GPU job on a Summit node (2 sockets, SMT4,
+// 6 V100s): one rank per GPU, closest binding.
+func TestSummitJob(t *testing.T) {
+	mq := scaledMiniQMC()
+	mq.Threads = 4
+	mq.Offload = &Offload{
+		LaunchesPerStep: 20, KernelTime: sim.Millisecond,
+		XferBytes: 1 << 20, LaunchCPU: 100 * sim.Microsecond, LaunchSysFrac: 0.3,
+		VRAMBytes: 8 << 30,
+	}
+	res, err := Run(Config{
+		Machine: topology.Summit,
+		App:     mq,
+		Srun: slurm.Options{NTasks: 6, CoresPerTask: 7, GPUsPerTask: 1,
+			GPUBind: slurm.GPUBindClosest},
+		OMP:     openmp.Env{NumThreads: 4, Bind: openmp.BindSpread, Places: openmp.PlacesCores},
+		Monitor: fastMonitor(),
+		Seed:    11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranks) != 6 {
+		t.Fatalf("ranks = %d", len(res.Ranks))
+	}
+	// GPU locality: ranks on socket 0 get GPUs 0-2, socket 1 -> 3-5.
+	gpusSeen := map[int]bool{}
+	for _, rr := range res.Ranks {
+		if len(rr.Snapshot.GPUs) != 1 {
+			t.Fatalf("rank %d GPUs = %d", rr.Rank, len(rr.Snapshot.GPUs))
+		}
+		idx := rr.Snapshot.GPUs[0].TrueIndex
+		if gpusSeen[idx] {
+			t.Fatalf("GPU %d assigned twice", idx)
+		}
+		gpusSeen[idx] = true
+	}
+	if len(gpusSeen) != 6 {
+		t.Fatalf("distinct GPUs = %d", len(gpusSeen))
+	}
+	// SMT4 cores: the cpuset has 4 HWTs per core when tpc unlimited...
+	// here tpc defaults to 1; affinity counts 7 PUs.
+	if got := res.Ranks[0].Snapshot.ProcessAff.Count(); got != 7 {
+		t.Fatalf("rank 0 cpuset = %d PUs", got)
+	}
+}
+
+// TestPerlmutterJob exercises a CPU-only job on Perlmutter with SMT2.
+func TestPerlmutterJob(t *testing.T) {
+	mq := scaledMiniQMC()
+	mq.Threads = 8
+	res, err := Run(Config{
+		Machine: topology.Perlmutter,
+		App:     mq,
+		Srun:    slurm.Options{NTasks: 4, CoresPerTask: 4, ThreadsPerCore: 2},
+		OMP:     openmp.Env{NumThreads: 8, Bind: openmp.BindClose, Places: openmp.PlacesThreads},
+		Monitor: fastMonitor(),
+		Seed:    12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Ranks[0].Snapshot
+	// 4 cores x 2 HWT = 8 PUs in the cpuset; 8 threads bound one per HWT.
+	if got := snap.ProcessAff.Count(); got != 8 {
+		t.Fatalf("cpuset = %d PUs, want 8", got)
+	}
+	pinned := 0
+	for _, l := range snap.LWPs {
+		if l.Kind == core.KindOpenMP || l.Kind == core.KindMain {
+			if l.Affinity.Count() == 1 {
+				pinned++
+			}
+		}
+	}
+	if pinned != 8 {
+		t.Fatalf("pinned team threads = %d, want 8", pinned)
+	}
+	// SMT slows things: 8 threads on 4 cores must take longer than the
+	// same work on 8 cores would.
+	if res.WallSeconds <= 0 {
+		t.Fatal("no runtime")
+	}
+}
+
+// TestAuroraJob exercises the 2-socket Aurora preset with socket places.
+func TestAuroraJob(t *testing.T) {
+	mq := scaledMiniQMC()
+	mq.Threads = 4
+	res, err := Run(Config{
+		Machine: topology.Aurora,
+		App:     mq,
+		Srun:    slurm.Options{NTasks: 2, CoresPerTask: 8},
+		OMP:     openmp.Env{NumThreads: 4, Bind: openmp.BindClose, Places: openmp.PlacesSockets},
+		Monitor: fastMonitor(),
+		Seed:    13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Ranks[0].Snapshot
+	// Socket places: bindings cover whole sockets intersected with the
+	// cpuset, i.e. each team thread keeps the full 8-core cpuset.
+	for _, l := range snap.LWPs {
+		if l.Kind == core.KindOpenMP {
+			if l.Affinity.Count() != 8 {
+				t.Fatalf("socket-bound thread affinity = %d PUs, want 8", l.Affinity.Count())
+			}
+		}
+	}
+	var sb strings.Builder
+	if err := report.Write(&sb, snap, report.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "aurora") {
+		t.Fatalf("hostname missing: %s", sb.String())
+	}
+}
+
+// TestLaptopFullMachine runs on the Listing 1 laptop with all HWTs.
+func TestLaptopFullMachine(t *testing.T) {
+	res, err := Run(Config{
+		Machine: topology.Laptop4Core,
+		App:     &Synthetic{Threads: 8, Work: 100 * sim.Millisecond},
+		Srun:    slurm.Options{NTasks: 1, CoresPerTask: 4, ThreadsPerCore: 2},
+		OMP:     openmp.Env{NumThreads: 8, Bind: openmp.BindClose, Places: openmp.PlacesThreads},
+		Monitor: fastMonitor(),
+		Seed:    14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SMT pairs: with all 8 HWTs busy, wall stretches beyond 100ms by the
+	// SMT factor (0.62): ~161ms.
+	if res.WallSeconds < 0.14 || res.WallSeconds > 0.22 {
+		t.Fatalf("wall = %v, want ~0.16 (SMT-limited)", res.WallSeconds)
+	}
+}
+
+// TestGPUOOMPropagates: an offload app that over-allocates VRAM fails
+// loudly (the resource-exhaustion case from §3.5).
+func TestGPUOOMPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("VRAM over-allocation should panic the build")
+		}
+	}()
+	mq := scaledMiniQMC()
+	mq.Threads = 2
+	mq.Offload = &Offload{
+		LaunchesPerStep: 2, KernelTime: sim.Millisecond,
+		LaunchCPU: 100 * sim.Microsecond,
+		VRAMBytes: 1 << 40, // 1 TB on a 64 GB device
+	}
+	_, _ = Run(Config{
+		Machine: topology.Frontier,
+		App:     mq,
+		Srun: slurm.Options{NTasks: 1, CoresPerTask: 7, GPUsPerTask: 1,
+			GPUBind: slurm.GPUBindClosest},
+		OMP:  openmp.Env{NumThreads: 2},
+		Seed: 15,
+	})
+}
+
+// TestNoisyNeighborSlowsCheckpoints: the Bhatele-motivated scenario from
+// the paper's §2 — the same miniQMC checkpointing job runs alone and next
+// to I/O-hogging neighbour ranks sharing the parallel filesystem; the
+// neighbours visibly stretch the victim's runtime, and ZeroSum's I/O
+// counters attribute the victim's own traffic correctly.
+func TestNoisyNeighborSlowsCheckpoints(t *testing.T) {
+	victim := func(neighbors bool) *Result {
+		mq := scaledMiniQMC()
+		mq.Threads = 7
+		mq.Checkpoint = &Checkpoint{EverySteps: 2, Bytes: 100 << 20}
+		var app App = mq
+		ranks := 4
+		if neighbors {
+			app = &Partitioned{Split: 4, First: mq, Rest: &IOHog{Writes: 30, Bytes: 512 << 20}}
+			ranks = 8
+		}
+		res, err := Run(Config{
+			Machine: topology.Frontier,
+			App:     app,
+			Srun:    slurm.Options{NTasks: ranks, CoresPerTask: 7},
+			OMP:     openmp.Env{NumThreads: 7, Bind: openmp.BindSpread, Places: openmp.PlacesCores},
+			Monitor: fastMonitor(),
+			FS:      &fsio.Params{BytesPerSec: 3e9, LatencyPerOp: sim.Millisecond},
+			Seed:    77,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	alone := victim(false)
+	crowded := victim(true)
+	// The victim ranks are 0..3 in both runs; compare their runtimes.
+	slowest := func(res *Result) float64 {
+		worst := 0.0
+		for _, rr := range res.Ranks[:4] {
+			if rr.AppRuntime > worst {
+				worst = rr.AppRuntime
+			}
+		}
+		return worst
+	}
+	a, c := slowest(alone), slowest(crowded)
+	if c < a*1.15 {
+		t.Fatalf("neighbours should slow the victim: alone %.3fs vs crowded %.3fs", a, c)
+	}
+	// ZeroSum attributes per-process I/O: the victim's own write volume is
+	// identical in both runs (5 checkpoints x 100 MB).
+	want := uint64(5 * (100 << 20))
+	for _, res := range []*Result{alone, crowded} {
+		if got := res.Ranks[0].Snapshot.IOWriteBytes; got != want {
+			t.Fatalf("victim write bytes = %d, want %d", got, want)
+		}
+	}
+	// And the hogs' volume shows up on their own rows only.
+	hogBytes := crowded.Ranks[7].Snapshot.IOWriteBytes
+	if hogBytes != 30*(512<<20) {
+		t.Fatalf("hog write bytes = %d", hogBytes)
+	}
+}

@@ -1,0 +1,226 @@
+package workload
+
+import (
+	"zerosum/internal/sched"
+	"zerosum/internal/sim"
+)
+
+// MiniQMC is a proxy for the ECP miniQMC application the paper evaluates
+// with: an MPI+OpenMP real-space quantum Monte Carlo kernel where each
+// OpenMP thread advances one walker per step (so thread count controls
+// walker count), the inner loop is partially memory-bandwidth-bound, and a
+// variant offloads the walker update to a GPU via many small kernel
+// launches (the OpenMP target-offload build of Listing 2).
+type MiniQMC struct {
+	// Threads is the OpenMP team size (OMP_NUM_THREADS); 0 uses the
+	// runtime default (one per cpuset PU).
+	Threads int
+	// Steps is the number of Monte Carlo steps (each ends in a barrier).
+	Steps int
+	// WorkPerStep is full-speed CPU per thread per step.
+	WorkPerStep sim.Time
+	// BytesPerSec is the memory-bandwidth demand of the walker update.
+	// ~10 GB/s per thread reproduces the paper's miniQMC behaviour on a
+	// 50 GB/s NUMA domain: one core cannot saturate the controller but
+	// seven can, which is why `-c7` is only ~2.5x faster than one core.
+	BytesPerSec float64
+	// SysFrac is the syscall share of CPU time (I/O, allocator).
+	SysFrac float64
+	// JitterFrac randomizes each step's work by +/- this fraction,
+	// modelling per-walker variability.
+	JitterFrac float64
+	// RunJitter is the standard deviation of a per-run multiplicative
+	// work factor (node-level variability between runs in the same
+	// allocation: DVFS, noisy neighbours, network); it produces the
+	// run-to-run runtime spread the Figure 8 distributions measure.
+	RunJitter float64
+
+	// runFactor is the lazily drawn per-run multiplier.
+	runFactor float64
+	// MinfltPerSec adds minor page faults while computing.
+	MinfltPerSec float64
+	// RSSKB is the process footprint (default 1.5 GB).
+	RSSKB uint64
+	// Offload, when non-nil, switches to the GPU target-offload variant.
+	Offload *Offload
+	// Checkpoint, when non-nil, makes the master thread write periodic
+	// checkpoints through the job's shared filesystem.
+	Checkpoint *Checkpoint
+}
+
+// Checkpoint configures periodic state dumps (a classic HPC I/O pattern;
+// requires Config.FS on the job).
+type Checkpoint struct {
+	// EverySteps is the checkpoint interval in Monte Carlo steps.
+	EverySteps int
+	// Bytes per checkpoint per rank.
+	Bytes uint64
+}
+
+// Offload configures the GPU variant.
+type Offload struct {
+	// LaunchesPerStep is how many target-offload kernels each thread
+	// submits per step (data transfer + kernel + sync each time).
+	LaunchesPerStep int
+	// KernelTime is device time per launch.
+	KernelTime sim.Time
+	// XferBytes moves host->device per launch.
+	XferBytes uint64
+	// LaunchCPU is host CPU burned per launch (syscall-heavy: the paper's
+	// offload run shows ~12% stime from transfers/launch/sync).
+	LaunchCPU sim.Time
+	// LaunchSysFrac is the syscall share of launch CPU.
+	LaunchSysFrac float64
+	// VRAMBytes is allocated on the device at startup.
+	VRAMBytes uint64
+}
+
+// Name labels the simulated process.
+func (mq *MiniQMC) Name() string { return "miniqmc" }
+
+// DefaultMiniQMC returns the CPU configuration calibrated against the
+// paper's Frontier runs (Tables 1-3): with `srun -n8 -c7` it runs ~27 s;
+// with default srun (one core per rank) ~65 s.
+func DefaultMiniQMC() *MiniQMC {
+	return &MiniQMC{
+		Steps:        96,
+		WorkPerStep:  100 * sim.Millisecond,
+		BytesPerSec:  10e9,
+		SysFrac:      0.012,
+		JitterFrac:   0.01,
+		MinfltPerSec: 40,
+		RSSKB:        1536 << 10,
+	}
+}
+
+// Build implements App.
+func (mq *MiniQMC) Build(rc *RankCtx) error {
+	steps := mq.Steps
+	if steps <= 0 {
+		steps = 10
+	}
+	n := mq.Threads
+	if n <= 0 {
+		n = rc.OMP.TeamSize(rc.Proc.Affinity)
+	}
+	if mq.runFactor == 0 {
+		mq.runFactor = 1
+		if mq.RunJitter > 0 {
+			mq.runFactor = 1 + mq.RunJitter*rc.Job.RNG.Norm(0, 1)
+		}
+	}
+	runFactor := mq.runFactor
+	barrier := rc.K.NewBarrier(n)
+	rssKB := mq.RSSKB
+	if rssKB == 0 {
+		rssKB = 1536 << 10
+	}
+
+	// Per-thread behavior: walker updates separated by team barriers, in
+	// an explicit two-phase state machine (work, then barrier).
+	mkWalker := func(threadNum int) sched.Behavior {
+		rng := rc.RNG.Fork()
+		step := 0
+		phase := 0 // 0 = init/work, 1 = barrier
+		launch := 0
+		started := false
+		var pending []sched.Action // queued checkpoint I/O actions
+		return sched.BehaviorFunc(func(t *sched.Task, now sim.Time) sched.Action {
+			if len(pending) > 0 {
+				a := pending[0]
+				pending = pending[1:]
+				return a
+			}
+			if !started {
+				started = true
+				if threadNum == 0 {
+					return sched.Call{Fn: func(sim.Time) {
+						rc.Proc.SetRSS(rssKB)
+						rc.Proc.SetVmSize(rssKB * 2)
+						rc.MPI.Init()
+						if mq.Offload != nil && len(rc.Devices) > 0 && mq.Offload.VRAMBytes > 0 {
+							dev := rc.Devices[0]
+							if err := dev.AllocVRAM(mq.Offload.VRAMBytes); err != nil {
+								panic(err)
+							}
+							dev.SetGTT(11624448)
+						}
+					}}
+				}
+			}
+			for {
+				if step >= steps {
+					return nil
+				}
+				switch phase {
+				case 0:
+					if mq.Offload != nil {
+						off := mq.Offload
+						if launch < off.LaunchesPerStep*2 {
+							i := launch
+							launch++
+							if i%2 == 0 {
+								return sched.Compute{Work: off.LaunchCPU, SysFrac: off.LaunchSysFrac}
+							}
+							dev := rc.Devices[threadNum%max(len(rc.Devices), 1)]
+							done := dev.Submit(off.KernelTime, off.XferBytes)
+							if wait := done - now; wait > 0 {
+								return sched.Sleep{D: wait}
+							}
+							continue
+						}
+						launch = 0
+						phase = 1
+						continue
+					}
+					work := sim.Time(float64(mq.WorkPerStep) * runFactor)
+					if mq.JitterFrac > 0 {
+						work = sim.Time(float64(work) * (1 + (rng.Float64()*2-1)*mq.JitterFrac))
+					}
+					phase = 1
+					return sched.Compute{
+						Work:         work,
+						SysFrac:      mq.SysFrac,
+						BytesPerSec:  mq.BytesPerSec,
+						MinfltPerSec: mq.MinfltPerSec,
+					}
+				case 1:
+					// The master thread times steps through the PerfStubs
+					// registry (application/system correlation, paper §6):
+					// close the previous step's interval at each step end
+					// and open the next one, so steps 2..N are measured.
+					if threadNum == 0 && rc.Stubs != nil {
+						stepTimer := rc.Stubs.Timer("miniqmc.step")
+						stepTimer.Stop()
+						if step < steps-1 {
+							stepTimer.Start()
+						}
+					}
+					phase = 0
+					step++
+					// Master checkpoints through the shared filesystem.
+					if cp := mq.Checkpoint; cp != nil && threadNum == 0 && rc.FS != nil &&
+						cp.EverySteps > 0 && step%cp.EverySteps == 0 {
+						pending = append(pending, rc.FS.WriteAction(rc.Proc, cp.Bytes, nil)...)
+						pending = append(pending, sched.WaitBarrier{B: barrier})
+						a := pending[0]
+						pending = pending[1:]
+						return a
+					}
+					return sched.WaitBarrier{B: barrier}
+				}
+			}
+		})
+	}
+
+	master := rc.K.NewTask(rc.Proc, mq.Name(), mkWalker(0))
+	rc.OMP.Launch(rc.Proc, master, n, mkWalker)
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"fmt"
+
+	"zerosum/internal/sched"
+	"zerosum/internal/sim"
+)
+
+// Partitioned splits a job's ranks between two applications — the tool for
+// noisy-neighbour studies (Bhatele et al., cited in the paper's §2): the
+// ranks of interest run one workload while neighbour ranks hammer a shared
+// resource (filesystem, NIC) from the same allocation.
+type Partitioned struct {
+	// Split is the first rank that runs Rest; ranks [0, Split) run First.
+	Split int
+	First App
+	Rest  App
+}
+
+// Name labels the simulated processes.
+func (p *Partitioned) Name() string {
+	if n, ok := p.First.(interface{ Name() string }); ok {
+		return n.Name()
+	}
+	return "mixed"
+}
+
+// Build implements App.
+func (p *Partitioned) Build(rc *RankCtx) error {
+	if p.First == nil || p.Rest == nil {
+		return fmt.Errorf("workload: Partitioned needs both First and Rest")
+	}
+	if rc.Rank < p.Split {
+		return p.First.Build(rc)
+	}
+	return p.Rest.Build(rc)
+}
+
+// IOHog is a neighbour workload that repeatedly writes large buffers to the
+// shared filesystem, contending with whatever else uses it.
+type IOHog struct {
+	// Writes is how many buffers each rank writes.
+	Writes int
+	// Bytes per write.
+	Bytes uint64
+}
+
+// Name labels the simulated process.
+func (h *IOHog) Name() string { return "iohog" }
+
+// Build implements App.
+func (h *IOHog) Build(rc *RankCtx) error {
+	if rc.FS == nil {
+		return fmt.Errorf("workload: IOHog needs Config.FS")
+	}
+	writes := h.Writes
+	if writes <= 0 {
+		writes = 10
+	}
+	bytes := h.Bytes
+	if bytes == 0 {
+		bytes = 256 << 20
+	}
+	acts := []sched.Action{sched.Call{Fn: func(sim.Time) { rc.MPI.Init() }}}
+	for i := 0; i < writes; i++ {
+		acts = append(acts, sched.Compute{Work: 5 * sim.Millisecond, SysFrac: 0.5})
+		acts = append(acts, rc.FS.WriteAction(rc.Proc, bytes, func(error) {})...)
+	}
+	rc.K.NewTask(rc.Proc, h.Name(), sched.Seq(acts...))
+	return nil
+}

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"zerosum/internal/sched"
+	"zerosum/internal/sim"
+)
+
+// PICHalo is a proxy for the gyrokinetic particle-in-cell code behind the
+// paper's Figure 5: each rank advances particles, then halo-exchanges with
+// its neighbours in a 1D ring (offsets ±1 dominate, with weaker longer-range
+// exchanges), producing the strong near-diagonal structure of the
+// communication heatmap.
+type PICHalo struct {
+	// Steps is the number of simulation steps.
+	Steps int
+	// ComputePerStep is CPU work between exchanges.
+	ComputePerStep sim.Time
+	// HaloBytes is the per-neighbour message size for the ±1 exchange.
+	HaloBytes uint64
+	// FarOffsets adds longer-range neighbours (e.g. ±16 for a 2D
+	// decomposition folded into rank order) at FarBytes each.
+	FarOffsets []int
+	FarBytes   uint64
+}
+
+// Name labels the simulated process.
+func (p *PICHalo) Name() string { return "pic" }
+
+// DefaultPICHalo returns a configuration whose 512-rank heatmap matches
+// Figure 5's shape: ~1.75e10 bytes between nearest neighbours over the run
+// with a secondary band from the folded second dimension.
+func DefaultPICHalo() *PICHalo {
+	return &PICHalo{
+		Steps:          50,
+		ComputePerStep: 20 * sim.Millisecond,
+		HaloBytes:      7 << 20, // 7 MB per neighbour per step
+		FarOffsets:     []int{-16, 16},
+		FarBytes:       1 << 20,
+	}
+}
+
+// Build implements App: a single-threaded MPI rank (the paper's PIC run
+// uses 512 ranks; thread-level detail is irrelevant to the heatmap).
+func (p *PICHalo) Build(rc *RankCtx) error {
+	steps := p.Steps
+	if steps <= 0 {
+		steps = 10
+	}
+	size := rc.MPI.Size()
+	neighbours := []int{-1, 1}
+	neighbours = append(neighbours, p.FarOffsets...)
+
+	var acts []sched.Action
+	acts = append(acts, sched.Call{Fn: func(sim.Time) {
+		rc.Proc.SetRSS(512 << 10)
+		rc.MPI.Init()
+	}})
+	for s := 0; s < steps; s++ {
+		acts = append(acts, sched.Compute{Work: p.ComputePerStep, SysFrac: 0.02, BytesPerSec: 4e9})
+		// Post all sends, then drain all receives (standard halo pattern).
+		for _, off := range neighbours {
+			dst := ((rc.Rank+off)%size + size) % size
+			if dst == rc.Rank {
+				continue
+			}
+			bytes := p.HaloBytes
+			if off != -1 && off != 1 {
+				bytes = p.FarBytes
+			}
+			acts = append(acts, rc.MPI.SendAction(dst, bytes))
+		}
+		for _, off := range neighbours {
+			src := ((rc.Rank+off)%size + size) % size
+			if src == rc.Rank {
+				continue
+			}
+			acts = append(acts, rc.MPI.RecvActions(src)...)
+		}
+	}
+	rc.K.NewTask(rc.Proc, p.Name(), sched.Seq(acts...))
+	return nil
+}
+
+// Synthetic is a minimal configurable load for examples and tests: N
+// threads each burning CPU with optional memory-bandwidth demand, no
+// synchronization.
+type Synthetic struct {
+	Threads     int
+	Work        sim.Time
+	SysFrac     float64
+	BytesPerSec float64
+	// SleepEvery inserts a sleep after each Work chunk, Repeats times.
+	SleepEvery sim.Time
+	Repeats    int
+}
+
+// Name labels the simulated process.
+func (s *Synthetic) Name() string { return "synthetic" }
+
+// Build implements App.
+func (s *Synthetic) Build(rc *RankCtx) error {
+	n := s.Threads
+	if n <= 0 {
+		n = 1
+	}
+	reps := s.Repeats
+	if reps <= 0 {
+		reps = 1
+	}
+	mk := func(i int) sched.Behavior {
+		var acts []sched.Action
+		if i == 0 {
+			acts = append(acts, sched.Call{Fn: func(sim.Time) { rc.MPI.Init() }})
+		}
+		for r := 0; r < reps; r++ {
+			acts = append(acts, sched.Compute{Work: s.Work, SysFrac: s.SysFrac, BytesPerSec: s.BytesPerSec})
+			if s.SleepEvery > 0 {
+				acts = append(acts, sched.Sleep{D: s.SleepEvery})
+			}
+		}
+		return sched.Seq(acts...)
+	}
+	master := rc.K.NewTask(rc.Proc, s.Name(), mk(0))
+	if n > 1 {
+		rc.OMP.Launch(rc.Proc, master, n, mk)
+	}
+	return nil
+}
