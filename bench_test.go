@@ -12,10 +12,15 @@ package zerosum
 
 import (
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
+	"zerosum/internal/aggd"
 	"zerosum/internal/experiments"
+	"zerosum/internal/export"
 	"zerosum/internal/report"
 )
 
@@ -181,6 +186,110 @@ func BenchmarkMonitorTick(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkStreamPublish measures the monitor-side cost of publishing one
+// sample event, extending the paper's overhead claim (§4.1) to the network
+// export path: attaching an aggd node agent must keep Publish on an O(ns)
+// enqueue — no allocation, no I/O — so that streaming to an aggregator
+// costs no more than ~2x a detached stream.
+func BenchmarkStreamPublish(b *testing.B) {
+	ev := export.Event{
+		Kind:    export.EventLWP,
+		TimeSec: 1.0,
+		LWP:     &export.LWPSample{TID: 42, Kind: "Main", State: 'R', UserPct: 90, CPU: 3},
+	}
+	b.Run("Detached", func(b *testing.B) {
+		var s export.Stream
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Publish(ev)
+		}
+	})
+	b.Run("NoopSubscriber", func(b *testing.B) {
+		var s export.Stream
+		s.Subscribe(func(export.Event) {})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Publish(ev)
+		}
+	})
+	b.Run("AgentAttached", func(b *testing.B) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			io.Copy(io.Discard, r.Body)
+		}))
+		defer ts.Close()
+		agent, err := aggd.NewAgent(aggd.AgentConfig{
+			URL: ts.URL, Job: "bench", Node: "n0", Rank: 0,
+			RingCap: 1 << 14, FlushInterval: time.Hour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer agent.Close()
+		var s export.Stream
+		agent.Attach(&s)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Publish(ev)
+		}
+	})
+}
+
+// BenchmarkWireEncodeDecode measures a round trip of one 512-event batch
+// through the aggregation wire format (the per-batch cost the node agent
+// and aggregator pay off the sampling hot path).
+func BenchmarkWireEncodeDecode(b *testing.B) {
+	const batchSize = 512
+	batch := &aggd.Batch{Origin: aggd.Origin{Job: "bench", Node: "n0", Rank: 0}, Seq: 1}
+	for i := 0; i < batchSize; i++ {
+		t := float64(i) * 0.001
+		switch i % 3 {
+		case 0:
+			batch.Events = append(batch.Events, export.Event{
+				Kind: export.EventLWP, TimeSec: t,
+				LWP: &export.LWPSample{TID: 100 + i, Kind: "OpenMP", State: 'R', UserPct: 98, NVCtx: uint64(i), CPU: i % 8},
+			})
+		case 1:
+			batch.Events = append(batch.Events, export.Event{
+				Kind: export.EventHWT, TimeSec: t,
+				HWT: &export.HWTSample{CPU: i % 8, UserPct: 90, SysPct: 5, IdlePct: 5},
+			})
+		default:
+			batch.Events = append(batch.Events, export.Event{
+				Kind: export.EventMem, TimeSec: t,
+				Mem: &export.MemSample{FreeKB: 1 << 20, ProcRSSKB: 1 << 18},
+			})
+		}
+	}
+	frame, err := aggd.EncodeBatchFrame(batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	buf := make([]byte, 0, len(frame))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err = aggd.AppendBatchFrame(buf[:0], batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dec, err := aggd.DecodeBatchPayload(buf[frameHeaderLenForBench:])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(dec.Events) != batchSize {
+			b.Fatalf("decoded %d events", len(dec.Events))
+		}
+	}
+	b.ReportMetric(float64(len(frame))/batchSize, "bytes/event")
+}
+
+// frameHeaderLenForBench mirrors aggd's (unexported) frame header size:
+// 4-byte magic + version + kind + uint32 payload length.
+const frameHeaderLenForBench = 10
 
 // BenchmarkAblations runs the design-choice ablation suite at reduced
 // scale, reporting the bandwidth-model ratio gap it exists to justify.

@@ -1,0 +1,79 @@
+// Command zsaggd is the ZeroSum cluster aggregation daemon: the networked
+// data service the paper's export path anticipates (§3.6, §6). Per-process
+// node agents (aggd.Agent, wired by zsrun -agg or the zerosum library) POST
+// framed sample batches and end-of-run snapshots to it; zsaggd maintains
+// per-job sharded in-memory stores, folds snapshots through the same
+// report.Aggregate used in-process, and serves the allocation-wide views:
+//
+//	GET /metrics                 Prometheus text exposition (per-HWT
+//	                             utilization, nvctx, GPU busy %, heartbeats)
+//	GET /api/jobs                known jobs
+//	GET /api/job/<id>/summary    aggregated JobSummary (JSON)
+//	GET /api/job/<id>/heatmap    rank x rank received-bytes matrix (JSON)
+//
+// Usage:
+//
+//	zsaggd [-addr :9100] [-nvctx-per-sec N] [-v]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"zerosum/internal/aggd"
+	"zerosum/internal/core"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":9100", "listen address")
+		nvctx   = flag.Float64("nvctx-per-sec", 0, "contention threshold folded into job summaries (0 = default)")
+		verbose = flag.Bool("v", false, "log every request")
+	)
+	flag.Parse()
+
+	srv := aggd.NewServer(aggd.ServerConfig{
+		Thresholds: core.EvalThresholds{NVCtxPerSec: *nvctx},
+	})
+	handler := srv.Handler()
+	if *verbose {
+		handler = logRequests(handler)
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("zsaggd: listening on %s (POST /api/ingest, GET /metrics)", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "zsaggd:", err)
+		os.Exit(1)
+	}
+	log.Print("zsaggd: shut down")
+}
+
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s (%v)", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}

@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 
 	"zerosum/internal/advisor"
+	"zerosum/internal/aggd"
 	"zerosum/internal/core"
 	"zerosum/internal/export"
 	"zerosum/internal/openmp"
@@ -46,6 +47,8 @@ func main() {
 		period   = flag.Duration("period", 0, "sampling period (default 1s)")
 		logdir   = flag.String("logdir", "", "write per-rank logs and CSVs here")
 		staged   = flag.Bool("staged", false, "with -logdir: also write per-rank staged .zsbp streams")
+		agg      = flag.String("agg", "", "stream samples to a zsaggd aggregator at this base URL")
+		jobName  = flag.String("job", "zsrun", "job id used when streaming to -agg")
 		trace    = flag.String("trace", "", "write the node-0 scheduling trace (Chrome trace JSON) here")
 		advise   = flag.Bool("advise", false, "run the configuration advisor on the rank-0 report")
 		summary  = flag.Bool("summary", true, "print the job-wide aggregated summary")
@@ -97,32 +100,45 @@ func main() {
 	if *period > 0 {
 		mc.Period = sim.Time(period.Nanoseconds())
 	}
-	// Staged streams: one sink per rank, fed live from the monitor's
-	// sample stream (the ADIOS2-style output path).
+	// Per-rank streams feed optional sinks: staged .zsbp files (the
+	// ADIOS2-style output path) and/or an aggd node agent shipping batches
+	// to a zsaggd aggregator (the LDMS-style networked path).
 	type stagedRank struct {
 		file *os.File
 		sink *export.StagedSink
 	}
 	stagedSinks := map[int]*stagedRank{}
-	if *staged && *logdir != "" && !*noMon {
-		if err := os.MkdirAll(*logdir, 0o755); err != nil {
-			fatal(err)
+	wantStaged := *staged && *logdir != "" && !*noMon
+	var streamer *aggd.JobStreamer
+	if *agg != "" && !*noMon {
+		streamer = aggd.NewJobStreamer(aggd.AgentConfig{URL: *agg, Job: *jobName})
+	}
+	if wantStaged || streamer != nil {
+		if wantStaged {
+			if err := os.MkdirAll(*logdir, 0o755); err != nil {
+				fatal(err)
+			}
 		}
-		mc.StreamFor = func(rank int) *export.Stream {
-			path := filepath.Join(*logdir, fmt.Sprintf("zerosum.rank%03d.zsbp", rank))
-			f, err := os.Create(path)
-			if err != nil {
-				fatal(err)
+		mc.StreamFor = func(rank int, node string) *export.Stream {
+			stream := &export.Stream{}
+			if streamer != nil {
+				stream = streamer.StreamFor(rank, node)
 			}
-			w, err := export.NewStagedWriter(f)
-			if err != nil {
-				fatal(err)
+			if wantStaged {
+				path := filepath.Join(*logdir, fmt.Sprintf("zerosum.rank%03d.zsbp", rank))
+				f, err := os.Create(path)
+				if err != nil {
+					fatal(err)
+				}
+				w, err := export.NewStagedWriter(f)
+				if err != nil {
+					fatal(err)
+				}
+				sink := export.NewStagedSink(w)
+				stagedSinks[rank] = &stagedRank{file: f, sink: sink}
+				stream.Subscribe(sink.Subscriber())
 			}
-			sink := export.NewStagedSink(w)
-			stagedSinks[rank] = &stagedRank{file: f, sink: sink}
-			var stream export.Stream
-			stream.Subscribe(sink.Subscriber())
-			return &stream
+			return stream
 		}
 	}
 	cfg := workload.Config{
@@ -193,6 +209,24 @@ func main() {
 			fmt.Println(a)
 		}
 		fmt.Println()
+	}
+	if streamer != nil {
+		for _, rr := range res.Ranks {
+			if rr.Monitor == nil {
+				continue
+			}
+			if err := streamer.FinishRank(rr.Rank, rr.Snapshot, rr.Monitor.RecvBytes()); err != nil {
+				fmt.Fprintf(os.Stderr, "zsrun: snapshot for rank %d: %v\n", rr.Rank, err)
+			}
+		}
+		if err := streamer.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "zsrun:", err)
+		}
+		st := streamer.Stats()
+		fmt.Printf("# streamed %d events in %d batches to %s (dropped %d)\n",
+			st.SentEvents, st.SentBatches, *agg, st.RingDrops+st.SendDrops)
+		fmt.Printf("#   curl %s/api/job/%s/summary\n", *agg, *jobName)
+		fmt.Printf("#   curl %s/metrics\n", *agg)
 	}
 	for rank, sr := range stagedSinks {
 		if err := sr.sink.Close(); err != nil {

@@ -1,0 +1,179 @@
+package aggd
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"zerosum/internal/export"
+)
+
+func lwpEvent(t float64, tid int, nvctx uint64) export.Event {
+	return export.Event{Kind: export.EventLWP, TimeSec: t, LWP: &export.LWPSample{
+		TimeSec: t, TID: tid, Kind: "Main", State: 'R', UserPct: 90, NVCtx: nvctx,
+	}}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestAgentShipsToServer(t *testing.T) {
+	srv := NewServer(ServerConfig{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	agent, err := NewAgent(AgentConfig{
+		URL: ts.URL, Job: "j1", Node: "node-a", Rank: 0,
+		BatchSize: 8, FlushInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream export.Stream
+	agent.Attach(&stream)
+	for i := 0; i < 100; i++ {
+		stream.Publish(lwpEvent(float64(i), 100, uint64(i)))
+	}
+	waitFor(t, "events to arrive", func() bool { return srv.ingestEvents.Load() == 100 })
+	if err := agent.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := agent.Stats()
+	if st.Enqueued != 100 || st.SentEvents != 100 || agent.Dropped() != 0 {
+		t.Fatalf("stats: %+v dropped=%d", st, agent.Dropped())
+	}
+	if srv.ingestBatches.Load() == 0 || srv.lostBatches.Load() != 0 {
+		t.Fatalf("server saw %d batches, %d lost", srv.ingestBatches.Load(), srv.lostBatches.Load())
+	}
+}
+
+// TestAgentBackpressure is the acceptance check: with the aggregator down,
+// the publish hot path never blocks — the bounded ring sheds the oldest
+// events and the drops are counted.
+func TestAgentBackpressure(t *testing.T) {
+	// A listener that was closed: connections are refused immediately.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	url := dead.URL
+	dead.Close()
+
+	agent, err := NewAgent(AgentConfig{
+		URL: url, Job: "j1", Node: "node-a", Rank: 0,
+		RingCap: 64, BatchSize: 64,
+		FlushInterval: time.Hour, // only explicit kicks would flush
+		MaxRetries:    -1,        // fail fast; keep Close quick
+		BackoffBase:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream export.Stream
+	agent.Attach(&stream)
+
+	const n = 10_000
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		stream.Publish(lwpEvent(float64(i), 100, uint64(i)))
+	}
+	elapsed := time.Since(start)
+	// The hot path is a ring insert; even with the aggregator dead and the
+	// ring overflowing, 10k publishes must complete promptly (on the order
+	// of microseconds each, generously bounded here for slow CI).
+	if elapsed > 2*time.Second {
+		t.Fatalf("publishing %d events with a dead aggregator took %v", n, elapsed)
+	}
+	if err := agent.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := agent.Stats()
+	if st.Enqueued != n {
+		t.Fatalf("enqueued %d, want %d", st.Enqueued, n)
+	}
+	if agent.Dropped() == 0 {
+		t.Fatal("no drops counted with a dead aggregator")
+	}
+	if st.RingDrops == 0 {
+		t.Fatalf("ring never shed load: %+v", st)
+	}
+	if st.SentEvents != 0 {
+		t.Fatalf("sent %d events to a dead aggregator", st.SentEvents)
+	}
+	// Conservation: after Close every enqueued event was dropped either by
+	// the ring (oldest-first eviction) or after exhausting send retries.
+	if st.RingDrops+st.SendDrops != n {
+		t.Fatalf("ring %d + send %d drops != %d enqueued", st.RingDrops, st.SendDrops, n)
+	}
+}
+
+func TestAgentRetriesThenSucceeds(t *testing.T) {
+	var fails int32 = 2
+	srv := NewServer(ServerConfig{})
+	handler := srv.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fails > 0 {
+			fails--
+			http.Error(w, "try later", http.StatusServiceUnavailable)
+			return
+		}
+		handler.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	agent, err := NewAgent(AgentConfig{
+		URL: ts.URL, Job: "j1", Node: "node-a", Rank: 1,
+		BatchSize: 4, FlushInterval: 5 * time.Millisecond,
+		MaxRetries: 5, BackoffBase: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream export.Stream
+	agent.Attach(&stream)
+	for i := 0; i < 4; i++ {
+		stream.Publish(lwpEvent(float64(i), 7, 0))
+	}
+	waitFor(t, "retried batch to land", func() bool { return srv.ingestEvents.Load() == 4 })
+	agent.Close()
+	if st := agent.Stats(); st.Retries == 0 || st.SentBatches != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestAgentCloseFlushes(t *testing.T) {
+	srv := NewServer(ServerConfig{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	agent, err := NewAgent(AgentConfig{
+		URL: ts.URL, Job: "j1", Node: "node-a", Rank: 0,
+		BatchSize: 1024, FlushInterval: time.Hour, // nothing flushes until Close
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream export.Stream
+	agent.Attach(&stream)
+	for i := 0; i < 10; i++ {
+		stream.Publish(lwpEvent(float64(i), 1, 0))
+	}
+	if err := agent.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.ingestEvents.Load() != 10 {
+		t.Fatalf("server saw %d events after Close, want 10", srv.ingestEvents.Load())
+	}
+	// Publishing after Close only counts drops.
+	stream.Publish(lwpEvent(11, 1, 0))
+	if agent.Dropped() == 0 {
+		t.Fatal("post-Close publish not counted as dropped")
+	}
+}

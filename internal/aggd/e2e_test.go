@@ -1,0 +1,149 @@
+package aggd
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"zerosum/internal/core"
+	"zerosum/internal/report"
+	"zerosum/internal/sim"
+	"zerosum/internal/slurm"
+	"zerosum/internal/topology"
+	"zerosum/internal/workload"
+)
+
+// TestEndToEndJobAggregation is the tentpole acceptance test: four
+// simulated MPI ranks on two simulated nodes each run a ZeroSum monitor
+// whose stream feeds a per-rank aggd.Agent; the agents ship batches over a
+// real loopback HTTP listener into one aggregator; and the aggregator's
+// served job summary must equal the single-process report.Aggregate ground
+// truth computed from the very same snapshots.
+func TestEndToEndJobAggregation(t *testing.T) {
+	srv := NewServer(ServerConfig{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	streamer := NewJobStreamer(AgentConfig{
+		URL: ts.URL, Job: "e2e",
+		BatchSize:     64,
+		FlushInterval: 5 * time.Millisecond,
+	})
+	cfg := workload.Config{
+		Machine: topology.Laptop4Core,
+		Nodes:   2,
+		Srun:    slurm.Options{NTasks: 4, CoresPerTask: 2, ThreadsPerCore: 2},
+		App: &workload.PICHalo{
+			Steps:          6,
+			ComputePerStep: 50 * sim.Millisecond,
+			HaloBytes:      1 << 20,
+		},
+		Monitor: workload.MonitorConfig{
+			Enabled: true, Period: 100 * sim.Millisecond, CPU: -1,
+			StreamFor: streamer.StreamFor,
+		},
+		Seed: 7,
+	}
+	res, err := workload.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranks) != 4 {
+		t.Fatalf("ranks = %d", len(res.Ranks))
+	}
+	nodes := map[int]bool{}
+	for _, rr := range res.Ranks {
+		nodes[rr.Node] = true
+	}
+	if len(nodes) < 2 {
+		t.Fatalf("job used %d node(s), want >= 2", len(nodes))
+	}
+
+	// Ship each rank's end-of-run snapshot and heatmap row, then flush.
+	var snaps []core.Snapshot
+	for _, rr := range res.Ranks {
+		snaps = append(snaps, rr.Snapshot)
+		if err := streamer.FinishRank(rr.Rank, rr.Snapshot, rr.Monitor.RecvBytes()); err != nil {
+			t.Fatalf("finish rank %d: %v", rr.Rank, err)
+		}
+	}
+	if err := streamer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := streamer.Stats()
+	if st.SentEvents == 0 || st.SentBatches == 0 {
+		t.Fatalf("nothing streamed: %+v", st)
+	}
+	if st.RingDrops != 0 || st.SendDrops != 0 {
+		t.Fatalf("healthy aggregator dropped events: %+v", st)
+	}
+	if got := srv.ingestEvents.Load(); got != st.SentEvents {
+		t.Fatalf("server saw %d events, agents sent %d", got, st.SentEvents)
+	}
+
+	// Ground truth: the in-process aggregation of the same snapshots.
+	want, err := report.Aggregate(snaps, core.EvalThresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got report.JobSummary
+	getJSON(t, ts.URL+"/api/job/e2e/summary", &got)
+	assertSummariesEqual(t, want, &got)
+
+	// The served heatmap equals the world's receive matrix.
+	var hm HeatmapResponse
+	getJSON(t, ts.URL+"/api/job/e2e/heatmap", &hm)
+	truth := res.World.RecvMatrix()
+	if hm.Ranks != len(truth) {
+		t.Fatalf("heatmap size %d, want %d", hm.Ranks, len(truth))
+	}
+	var total uint64
+	for d := range truth {
+		for s := range truth[d] {
+			if hm.Bytes[d][s] != truth[d][s] {
+				t.Fatalf("heatmap[%d][%d] = %d, want %d", d, s, hm.Bytes[d][s], truth[d][s])
+			}
+			total += truth[d][s]
+		}
+	}
+	if total == 0 {
+		t.Fatal("PIC job produced no MPI traffic")
+	}
+
+	// The exposition endpoint serves valid Prometheus text carrying the
+	// job's live series.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPrometheusText(t, string(text))
+	for _, want := range []string{
+		`zerosum_hwt_user_pct{cpu=`,
+		`job="e2e"`,
+		`zerosum_lwp_nvctx_total{job="e2e"`,
+		`zerosum_heartbeat_age_seconds{job="e2e"`,
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// The summary JSON is self-consistent with what the job ran.
+	var roundTrip report.JobSummary
+	b, _ := json.Marshal(got)
+	if err := json.Unmarshal(b, &roundTrip); err != nil {
+		t.Fatal(err)
+	}
+	if roundTrip.Ranks != 4 || len(roundTrip.Nodes) != 2 {
+		t.Fatalf("summary shape: %d ranks on %d nodes", roundTrip.Ranks, len(roundTrip.Nodes))
+	}
+}

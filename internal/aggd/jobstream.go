@@ -1,0 +1,99 @@
+package aggd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"zerosum/internal/core"
+	"zerosum/internal/export"
+)
+
+// JobStreamer manages one Agent per rank of a job. Its StreamFor method has
+// the signature of workload.MonitorConfig.StreamFor, so wiring a whole
+// simulated job into an aggregator is:
+//
+//	js := aggd.NewJobStreamer(aggd.AgentConfig{URL: aggURL, Job: "run-1"})
+//	cfg.Monitor.StreamFor = js.StreamFor
+//	res, err := workload.Run(cfg)
+//	... js.FinishRank(rank, snapshot, commRow) per rank ...
+//	js.Close()
+type JobStreamer struct {
+	base AgentConfig
+
+	mu     sync.Mutex
+	agents map[int]*Agent
+	errs   []error
+}
+
+// NewJobStreamer prepares a per-rank agent factory; base.Node and base.Rank
+// are filled per rank.
+func NewJobStreamer(base AgentConfig) *JobStreamer {
+	return &JobStreamer{base: base, agents: make(map[int]*Agent)}
+}
+
+// StreamFor creates the rank's stream with a fresh agent attached.
+func (j *JobStreamer) StreamFor(rank int, node string) *export.Stream {
+	cfg := j.base
+	cfg.Node = node
+	cfg.Rank = rank
+	stream := &export.Stream{}
+	agent, err := NewAgent(cfg)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		// Launch proceeds unstreamed; the error surfaces at Close.
+		j.errs = append(j.errs, fmt.Errorf("aggd: rank %d agent: %w", rank, err))
+		return stream
+	}
+	agent.Attach(stream)
+	j.agents[rank] = agent
+	return stream
+}
+
+// Agent returns the rank's agent (nil before StreamFor ran for it).
+func (j *JobStreamer) Agent(rank int) *Agent {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.agents[rank]
+}
+
+// FinishRank ships the rank's end-of-run snapshot and communication row.
+func (j *JobStreamer) FinishRank(rank int, snap core.Snapshot, commRow map[int]uint64) error {
+	agent := j.Agent(rank)
+	if agent == nil {
+		return fmt.Errorf("aggd: no agent for rank %d", rank)
+	}
+	return agent.PushSnapshot(snap, commRow)
+}
+
+// Stats sums the per-rank agent counters.
+func (j *JobStreamer) Stats() AgentStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var total AgentStats
+	for _, a := range j.agents {
+		st := a.Stats()
+		total.Enqueued += st.Enqueued
+		total.RingDrops += st.RingDrops
+		total.SendDrops += st.SendDrops
+		total.SentBatches += st.SentBatches
+		total.SentEvents += st.SentEvents
+		total.Retries += st.Retries
+	}
+	return total
+}
+
+// Close flushes and stops every agent, reporting any agent-creation errors.
+func (j *JobStreamer) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	errs := j.errs
+	for _, a := range j.agents {
+		if err := a.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	j.errs = nil
+	return errors.Join(errs...)
+}

@@ -1,0 +1,157 @@
+package aggd
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4): the live per-job view
+// of every streamed resource — per-HWT utilization, involuntary context
+// switches, GPU busy %, memory, and per-stream heartbeat age — plus the
+// aggregator's own ingest counters.
+
+// metricFamily collects one family's series before emission so the output
+// is grouped under a single HELP/TYPE header, as the format requires.
+type metricFamily struct {
+	name string
+	help string
+	typ  string // "gauge" or "counter"
+	rows []string
+}
+
+func (f *metricFamily) add(labels string, value float64) {
+	var b strings.Builder
+	b.WriteString(f.name)
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatFloat(value, 'g', -1, 64))
+	f.rows = append(f.rows, b.String())
+}
+
+func (f *metricFamily) write(w io.Writer) error {
+	if len(f.rows) == 0 {
+		return nil
+	}
+	sort.Strings(f.rows)
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+		return err
+	}
+	for _, row := range f.rows {
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func streamLabels(job string, key rankKey) string {
+	return fmt.Sprintf(`job="%s",node="%s",rank="%d"`,
+		escapeLabel(job), escapeLabel(key.node), key.rank)
+}
+
+// WriteMetrics renders the exposition document.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	families := []*metricFamily{
+		{name: "zerosum_ingest_batches_total", help: "Event batches accepted by the aggregator.", typ: "counter"},
+		{name: "zerosum_ingest_events_total", help: "Stream events accepted by the aggregator.", typ: "counter"},
+		{name: "zerosum_ingest_snapshots_total", help: "Rank snapshots accepted by the aggregator.", typ: "counter"},
+		{name: "zerosum_ingest_errors_total", help: "Rejected ingest requests.", typ: "counter"},
+		{name: "zerosum_lost_batches_total", help: "Batch sequence gaps observed across all streams.", typ: "counter"},
+		{name: "zerosum_stream_events_total", help: "Events received per stream.", typ: "counter"},
+		{name: "zerosum_heartbeat_age_seconds", help: "Seconds since the last frame arrived from a stream.", typ: "gauge"},
+		{name: "zerosum_hwt_idle_pct", help: "Latest sampled idle share of a hardware thread.", typ: "gauge"},
+		{name: "zerosum_hwt_sys_pct", help: "Latest sampled system share of a hardware thread.", typ: "gauge"},
+		{name: "zerosum_hwt_user_pct", help: "Latest sampled user share of a hardware thread.", typ: "gauge"},
+		{name: "zerosum_lwp_nvctx_total", help: "Cumulative involuntary context switches over a rank's threads.", typ: "counter"},
+		{name: "zerosum_lwp_vctx_total", help: "Cumulative voluntary context switches over a rank's threads.", typ: "counter"},
+		{name: "zerosum_gpu_busy_pct", help: "Latest sampled Device Busy % per GPU.", typ: "gauge"},
+		{name: "zerosum_mem_free_kb", help: "Latest sampled free system memory on a rank's node.", typ: "gauge"},
+		{name: "zerosum_mem_rss_kb", help: "Latest sampled process RSS of a rank.", typ: "gauge"},
+	}
+	const (
+		fBatches = iota
+		fEvents
+		fSnaps
+		fErrors
+		fLost
+		fStreamEvents
+		fHeartbeat
+		fIdle
+		fSys
+		fUser
+		fNVCtx
+		fVCtx
+		fGPU
+		fMemFree
+		fMemRSS
+	)
+	families[fBatches].add("", float64(s.ingestBatches.Load()))
+	families[fEvents].add("", float64(s.ingestEvents.Load()))
+	families[fSnaps].add("", float64(s.ingestSnapshots.Load()))
+	families[fErrors].add("", float64(s.ingestErrors.Load()))
+	families[fLost].add("", float64(s.lostBatches.Load()))
+
+	now := s.cfg.Now()
+	s.eachJob(func(name string, js *jobStore) {
+		js.mu.Lock()
+		defer js.mu.Unlock()
+		for key, rs := range js.ranks {
+			base := streamLabels(name, key)
+			families[fStreamEvents].add(base, float64(rs.events))
+			if !rs.lastRecv.IsZero() {
+				families[fHeartbeat].add(base, now.Sub(rs.lastRecv).Seconds())
+			}
+			for cpu, hw := range rs.hwt {
+				labels := fmt.Sprintf(`cpu="%d",%s`, cpu, base)
+				families[fIdle].add(labels, hw.IdlePct)
+				families[fSys].add(labels, hw.SysPct)
+				families[fUser].add(labels, hw.UserPct)
+			}
+			var nv, v uint64
+			for _, c := range rs.nvctx {
+				nv += c
+			}
+			for _, c := range rs.vctx {
+				v += c
+			}
+			if len(rs.nvctx) > 0 {
+				families[fNVCtx].add(base, float64(nv))
+				families[fVCtx].add(base, float64(v))
+			}
+			for gpu, busy := range rs.gpuBusy {
+				families[fGPU].add(fmt.Sprintf(`gpu="%d",%s`, gpu, base), busy)
+			}
+			if rs.memFree > 0 {
+				families[fMemFree].add(base, float64(rs.memFree))
+			}
+			if rs.memRSS > 0 {
+				families[fMemRSS].add(base, float64(rs.memRSS))
+			}
+		}
+	})
+	for _, f := range families {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.WriteMetrics(w)
+}

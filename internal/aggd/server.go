@@ -1,0 +1,414 @@
+package aggd
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zerosum/internal/core"
+	"zerosum/internal/export"
+	"zerosum/internal/report"
+)
+
+// nShards fans the job map out so concurrent streams from many nodes do not
+// serialize on one lock; per-job state has its own finer lock below.
+const nShards = 16
+
+// ServerConfig tunes the aggregator.
+type ServerConfig struct {
+	// Thresholds parameterize the configuration evaluation folded into the
+	// job summary (must match the ground-truth aggregation to compare).
+	Thresholds core.EvalThresholds
+	// Now is the wall clock (injectable for tests; default time.Now).
+	Now func() time.Time
+	// MaxBody bounds one ingest request body (default 64 MiB).
+	MaxBody int64
+}
+
+// Server accepts agent streams and serves the aggregated views.
+type Server struct {
+	cfg    ServerConfig
+	shards [nShards]shard
+
+	ingestBatches   atomic.Uint64
+	ingestEvents    atomic.Uint64
+	ingestSnapshots atomic.Uint64
+	ingestErrors    atomic.Uint64
+	lostBatches     atomic.Uint64 // sequence gaps observed across all streams
+}
+
+type shard struct {
+	mu   sync.RWMutex
+	jobs map[string]*jobStore
+}
+
+// jobStore is one job's aggregation state.
+type jobStore struct {
+	mu    sync.Mutex
+	ranks map[rankKey]*rankState
+}
+
+type rankKey struct {
+	node string
+	rank int
+}
+
+// rankState is the live view of one (node, rank) stream: the latest sample
+// per resource for /metrics, plus the end-of-run snapshot for the summary.
+type rankState struct {
+	lastRecv    time.Time // server receipt time of the latest frame
+	lastSampleT float64   // largest sample timestamp seen
+	events      uint64
+	nextSeq     uint64
+	seqSeen     bool
+
+	hwt     map[int]export.HWTSample
+	gpuBusy map[int]float64
+	nvctx   map[int]uint64 // per TID, cumulative
+	vctx    map[int]uint64
+	memFree uint64
+	memRSS  uint64
+
+	snapshot *core.Snapshot
+	commRow  map[int]uint64
+}
+
+// NewServer builds an aggregator.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 64 << 20
+	}
+	s := &Server{cfg: cfg}
+	for i := range s.shards {
+		s.shards[i].jobs = make(map[string]*jobStore)
+	}
+	return s
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /api/ingest              framed batches/snapshots (gzip accepted)
+//	GET  /metrics                 Prometheus text exposition
+//	GET  /api/jobs                known jobs
+//	GET  /api/job/{id}/summary    aggregated report.JobSummary (JSON)
+//	GET  /api/job/{id}/heatmap    rank x rank received-bytes matrix (JSON)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/ingest", s.handleIngest)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /api/jobs", s.handleJobs)
+	mux.HandleFunc("GET /api/job/{id}/summary", s.handleSummary)
+	mux.HandleFunc("GET /api/job/{id}/heatmap", s.handleHeatmap)
+	return mux
+}
+
+func (s *Server) job(name string) *jobStore {
+	h := fnv.New32a()
+	io.WriteString(h, name)
+	sh := &s.shards[h.Sum32()%nShards]
+	sh.mu.RLock()
+	js := sh.jobs[name]
+	sh.mu.RUnlock()
+	if js != nil {
+		return js
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if js = sh.jobs[name]; js == nil {
+		js = &jobStore{ranks: make(map[rankKey]*rankState)}
+		sh.jobs[name] = js
+	}
+	return js
+}
+
+// lookupJob returns nil when the job is unknown.
+func (s *Server) lookupJob(name string) *jobStore {
+	h := fnv.New32a()
+	io.WriteString(h, name)
+	sh := &s.shards[h.Sum32()%nShards]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.jobs[name]
+}
+
+func (js *jobStore) rank(key rankKey) *rankState {
+	rs := js.ranks[key]
+	if rs == nil {
+		rs = &rankState{
+			hwt:     make(map[int]export.HWTSample),
+			gpuBusy: make(map[int]float64),
+			nvctx:   make(map[int]uint64),
+			vctx:    make(map[int]uint64),
+		}
+		js.ranks[key] = rs
+	}
+	return rs
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var body io.Reader = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	if r.Header.Get("Content-Encoding") == "gzip" {
+		zr, err := gzip.NewReader(body)
+		if err != nil {
+			s.ingestErrors.Add(1)
+			http.Error(w, "bad gzip body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		defer zr.Close()
+		body = zr
+	}
+	frames := 0
+	for {
+		kind, payload, err := ReadFrame(body)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			s.ingestErrors.Add(1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		switch kind {
+		case FrameBatch:
+			b, err := DecodeBatchPayload(payload)
+			if err != nil {
+				s.ingestErrors.Add(1)
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			s.applyBatch(b)
+		case FrameSnapshot:
+			msg, err := DecodeSnapshotPayload(payload)
+			if err != nil {
+				s.ingestErrors.Add(1)
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			s.applySnapshot(msg)
+		default:
+			s.ingestErrors.Add(1)
+			http.Error(w, fmt.Sprintf("aggd: unknown frame kind %d", kind), http.StatusBadRequest)
+			return
+		}
+		frames++
+	}
+	if frames == 0 {
+		s.ingestErrors.Add(1)
+		http.Error(w, "aggd: empty ingest body", http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) applyBatch(b *Batch) {
+	now := s.cfg.Now()
+	js := s.job(b.Job)
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	rs := js.rank(rankKey{node: b.Node, rank: b.Rank})
+	rs.lastRecv = now
+	rs.events += uint64(len(b.Events))
+	if rs.seqSeen && b.Seq > rs.nextSeq {
+		s.lostBatches.Add(b.Seq - rs.nextSeq)
+	}
+	rs.nextSeq = b.Seq + 1
+	rs.seqSeen = true
+	for i := range b.Events {
+		ev := &b.Events[i]
+		if ev.TimeSec > rs.lastSampleT {
+			rs.lastSampleT = ev.TimeSec
+		}
+		switch ev.Kind {
+		case export.EventLWP:
+			rs.nvctx[ev.LWP.TID] = ev.LWP.NVCtx
+			rs.vctx[ev.LWP.TID] = ev.LWP.VCtx
+		case export.EventHWT:
+			rs.hwt[ev.HWT.CPU] = *ev.HWT
+		case export.EventGPU:
+			if ev.GPU.Metric == "Device Busy %" {
+				rs.gpuBusy[ev.GPU.GPU] = ev.GPU.Value
+			}
+		case export.EventMem:
+			rs.memFree = ev.Mem.FreeKB
+			rs.memRSS = ev.Mem.ProcRSSKB
+		}
+	}
+	s.ingestBatches.Add(1)
+	s.ingestEvents.Add(uint64(len(b.Events)))
+}
+
+func (s *Server) applySnapshot(msg *SnapshotMsg) {
+	now := s.cfg.Now()
+	js := s.job(msg.Job)
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	rs := js.rank(rankKey{node: msg.Node, rank: msg.Rank})
+	rs.lastRecv = now
+	snap := msg.Snapshot
+	rs.snapshot = &snap
+	rs.commRow = msg.CommRow
+	s.ingestSnapshots.Add(1)
+}
+
+// snapshots returns the job's stored snapshots ordered by (rank, node) so
+// the fold visits them in the same order a single-process aggregation of
+// rank-sorted results would.
+func (js *jobStore) snapshots() []core.Snapshot {
+	type keyed struct {
+		key  rankKey
+		snap core.Snapshot
+	}
+	var all []keyed
+	for key, rs := range js.ranks {
+		if rs.snapshot != nil {
+			all = append(all, keyed{key: key, snap: *rs.snapshot})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].key.rank != all[j].key.rank {
+			return all[i].key.rank < all[j].key.rank
+		}
+		return all[i].key.node < all[j].key.node
+	})
+	out := make([]core.Snapshot, len(all))
+	for i, k := range all {
+		out[i] = k.snap
+	}
+	return out
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	js := s.lookupJob(id)
+	if js == nil {
+		http.Error(w, fmt.Sprintf("aggd: unknown job %q", id), http.StatusNotFound)
+		return
+	}
+	js.mu.Lock()
+	snaps := js.snapshots()
+	js.mu.Unlock()
+	if len(snaps) == 0 {
+		http.Error(w, fmt.Sprintf("aggd: job %q has no snapshots yet", id), http.StatusNotFound)
+		return
+	}
+	summary, err := report.Aggregate(snaps, s.cfg.Thresholds)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, summary)
+}
+
+// HeatmapResponse is the JSON shape of /api/job/{id}/heatmap: Bytes[dst][src]
+// is what rank dst received from rank src (Figure 5's matrix).
+type HeatmapResponse struct {
+	Job   string     `json:"job"`
+	Ranks int        `json:"ranks"`
+	Bytes [][]uint64 `json:"bytes"`
+}
+
+func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	js := s.lookupJob(id)
+	if js == nil {
+		http.Error(w, fmt.Sprintf("aggd: unknown job %q", id), http.StatusNotFound)
+		return
+	}
+	js.mu.Lock()
+	size := 0
+	rows := make(map[int]map[int]uint64)
+	for key, rs := range js.ranks {
+		if key.rank+1 > size {
+			size = key.rank + 1
+		}
+		if rs.snapshot != nil && rs.snapshot.Size > size {
+			size = rs.snapshot.Size
+		}
+		if rs.commRow != nil {
+			rows[key.rank] = rs.commRow
+			for src := range rs.commRow {
+				if src+1 > size {
+					size = src + 1
+				}
+			}
+		}
+	}
+	js.mu.Unlock()
+	resp := HeatmapResponse{Job: id, Ranks: size, Bytes: make([][]uint64, size)}
+	for dst := range resp.Bytes {
+		resp.Bytes[dst] = make([]uint64, size)
+		for src, v := range rows[dst] {
+			resp.Bytes[dst][src] = v
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// JobInfo is one entry of /api/jobs.
+type JobInfo struct {
+	Job       string `json:"job"`
+	Nodes     int    `json:"nodes"`
+	Ranks     int    `json:"ranks"`
+	Snapshots int    `json:"snapshots"`
+	Events    uint64 `json:"events"`
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	var jobs []JobInfo
+	s.eachJob(func(name string, js *jobStore) {
+		js.mu.Lock()
+		defer js.mu.Unlock()
+		info := JobInfo{Job: name, Ranks: len(js.ranks)}
+		nodes := map[string]bool{}
+		for key, rs := range js.ranks {
+			nodes[key.node] = true
+			info.Events += rs.events
+			if rs.snapshot != nil {
+				info.Snapshots++
+			}
+		}
+		info.Nodes = len(nodes)
+		jobs = append(jobs, info)
+	})
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Job < jobs[j].Job })
+	writeJSON(w, jobs)
+}
+
+// eachJob visits every job store; the callback must do its own locking.
+func (s *Server) eachJob(fn func(name string, js *jobStore)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		names := make([]string, 0, len(sh.jobs))
+		for name := range sh.jobs {
+			names = append(names, name)
+		}
+		sh.mu.RUnlock()
+		sort.Strings(names)
+		for _, name := range names {
+			sh.mu.RLock()
+			js := sh.jobs[name]
+			sh.mu.RUnlock()
+			if js != nil {
+				fn(name, js)
+			}
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

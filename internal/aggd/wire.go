@@ -1,0 +1,463 @@
+// Package aggd is ZeroSum's cluster aggregation tier: the networked
+// collection service the paper's export path anticipates (§3.6 forwards
+// periodic samples to a data service; §6 names LDMS/ADIOS2 integration as
+// future work). A per-process Agent subscribes to the monitor's
+// export.Stream, buffers samples in a bounded ring and ships them in
+// batches over HTTP to a Server, which maintains per-job sharded stores of
+// every (node, rank)'s live samples and final snapshots, folds them
+// through report.Aggregate into the allocation-wide JobSummary, and serves
+// Prometheus /metrics plus JSON summary/heatmap endpoints — the per-node
+// collector → aggregator → per-job view pipeline of job-specific
+// monitoring stacks.
+package aggd
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"zerosum/internal/core"
+	"zerosum/internal/export"
+)
+
+// Wire framing (all little endian). Every message on the wire is one frame:
+//
+//	magic   "ZSAG" (4 bytes)
+//	version uint8  (currently 1)
+//	kind    uint8  (FrameBatch | FrameSnapshot)
+//	length  uint32 (payload bytes that follow)
+//	payload
+//
+// A FrameBatch payload is the compact binary batch encoding below; a
+// FrameSnapshot payload is the JSON encoding of SnapshotMsg (snapshots are
+// sent once per rank, so compactness does not matter there). Multiple
+// frames may be concatenated in one HTTP request body.
+const (
+	// WireVersion is the current framing version; Decode rejects others.
+	WireVersion = 1
+	// MaxFramePayload bounds a frame so a corrupt or hostile length field
+	// cannot make the server allocate unbounded memory.
+	MaxFramePayload = 64 << 20
+
+	frameHeaderLen = 10
+)
+
+var wireMagic = [4]byte{'Z', 'S', 'A', 'G'}
+
+// FrameKind discriminates frame payloads.
+type FrameKind byte
+
+// Frame kinds.
+const (
+	FrameBatch    FrameKind = 1
+	FrameSnapshot FrameKind = 2
+)
+
+// Origin identifies the stream a frame belongs to.
+type Origin struct {
+	Job  string
+	Node string
+	Rank int
+}
+
+// Key renders the origin for diagnostics.
+func (o Origin) Key() string { return fmt.Sprintf("%s/%s/%d", o.Job, o.Node, o.Rank) }
+
+// Batch is one shipment of stream events from a single rank's agent. Seq
+// increases by one per batch sent, letting the server detect loss.
+type Batch struct {
+	Origin
+	Seq    uint64
+	Events []export.Event
+}
+
+// SnapshotMsg carries a rank's end-of-run (or periodic) report snapshot
+// plus its row of the communication matrix: CommRow[src] = bytes this rank
+// received from src (internal/mpi's Figure 5 accounting).
+type SnapshotMsg struct {
+	Origin
+	Snapshot core.Snapshot
+	CommRow  map[int]uint64
+}
+
+// batch payload event tags; distinct from export.EventKind so the wire
+// stays stable if the in-process enum is reordered.
+const (
+	tagLWP byte = iota + 1
+	tagHWT
+	tagGPU
+	tagMem
+	tagIO
+	tagHeartbeat
+)
+
+func appendHeader(dst []byte, kind FrameKind) []byte {
+	dst = append(dst, wireMagic[:]...)
+	dst = append(dst, WireVersion, byte(kind))
+	return binary.LittleEndian.AppendUint32(dst, 0) // patched by finishFrame
+}
+
+func finishFrame(frame []byte) ([]byte, error) {
+	payload := len(frame) - frameHeaderLen
+	if payload > MaxFramePayload {
+		return nil, fmt.Errorf("aggd: frame payload %d exceeds %d", payload, MaxFramePayload)
+	}
+	binary.LittleEndian.PutUint32(frame[frameHeaderLen-4:frameHeaderLen], uint32(payload))
+	return frame, nil
+}
+
+func appendString(dst []byte, s string) ([]byte, error) {
+	if len(s) > math.MaxUint16 {
+		return nil, fmt.Errorf("aggd: string field of %d bytes too long", len(s))
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...), nil
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// AppendBatchFrame appends the framed encoding of b to dst and returns the
+// extended slice, so a sender can reuse one scratch buffer per shipment.
+func AppendBatchFrame(dst []byte, b *Batch) ([]byte, error) {
+	start := len(dst)
+	dst = appendHeader(dst, FrameBatch)
+	var err error
+	if dst, err = appendString(dst, b.Job); err != nil {
+		return nil, err
+	}
+	if dst, err = appendString(dst, b.Node); err != nil {
+		return nil, err
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(b.Rank)))
+	dst = binary.LittleEndian.AppendUint64(dst, b.Seq)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.Events)))
+	for i := range b.Events {
+		if dst, err = appendEvent(dst, &b.Events[i]); err != nil {
+			return nil, err
+		}
+	}
+	frame, err := finishFrame(dst[start:])
+	if err != nil {
+		return nil, err
+	}
+	return dst[:start+len(frame)], nil
+}
+
+// EncodeBatchFrame encodes b as one complete frame.
+func EncodeBatchFrame(b *Batch) ([]byte, error) { return AppendBatchFrame(nil, b) }
+
+func appendEvent(dst []byte, ev *export.Event) ([]byte, error) {
+	var err error
+	switch ev.Kind {
+	case export.EventLWP:
+		l := ev.LWP
+		if l == nil {
+			return nil, fmt.Errorf("aggd: LWP event with nil payload")
+		}
+		dst = append(dst, tagLWP)
+		dst = appendF64(dst, ev.TimeSec)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(l.TID)))
+		if dst, err = appendString(dst, l.Kind); err != nil {
+			return nil, err
+		}
+		dst = append(dst, l.State)
+		dst = appendF64(dst, l.UserPct)
+		dst = appendF64(dst, l.SysPct)
+		dst = binary.LittleEndian.AppendUint64(dst, l.VCtx)
+		dst = binary.LittleEndian.AppendUint64(dst, l.NVCtx)
+		dst = binary.LittleEndian.AppendUint64(dst, l.MinFlt)
+		dst = binary.LittleEndian.AppendUint64(dst, l.MajFlt)
+		dst = binary.LittleEndian.AppendUint64(dst, l.NSwap)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(l.CPU)))
+	case export.EventHWT:
+		h := ev.HWT
+		if h == nil {
+			return nil, fmt.Errorf("aggd: HWT event with nil payload")
+		}
+		dst = append(dst, tagHWT)
+		dst = appendF64(dst, ev.TimeSec)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(h.CPU)))
+		dst = appendF64(dst, h.IdlePct)
+		dst = appendF64(dst, h.SysPct)
+		dst = appendF64(dst, h.UserPct)
+	case export.EventGPU:
+		g := ev.GPU
+		if g == nil {
+			return nil, fmt.Errorf("aggd: GPU event with nil payload")
+		}
+		dst = append(dst, tagGPU)
+		dst = appendF64(dst, ev.TimeSec)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(g.GPU)))
+		if dst, err = appendString(dst, g.Metric); err != nil {
+			return nil, err
+		}
+		dst = appendF64(dst, g.Value)
+	case export.EventMem:
+		m := ev.Mem
+		if m == nil {
+			return nil, fmt.Errorf("aggd: Mem event with nil payload")
+		}
+		dst = append(dst, tagMem)
+		dst = appendF64(dst, ev.TimeSec)
+		dst = binary.LittleEndian.AppendUint64(dst, m.TotalKB)
+		dst = binary.LittleEndian.AppendUint64(dst, m.FreeKB)
+		dst = binary.LittleEndian.AppendUint64(dst, m.AvailKB)
+		dst = binary.LittleEndian.AppendUint64(dst, m.ProcRSSKB)
+		dst = binary.LittleEndian.AppendUint64(dst, m.ProcHWMKB)
+	case export.EventIO:
+		io := ev.IO
+		if io == nil {
+			return nil, fmt.Errorf("aggd: IO event with nil payload")
+		}
+		dst = append(dst, tagIO)
+		dst = appendF64(dst, ev.TimeSec)
+		dst = binary.LittleEndian.AppendUint64(dst, io.RChar)
+		dst = binary.LittleEndian.AppendUint64(dst, io.WChar)
+		dst = binary.LittleEndian.AppendUint64(dst, io.SyscR)
+		dst = binary.LittleEndian.AppendUint64(dst, io.SyscW)
+		dst = binary.LittleEndian.AppendUint64(dst, io.ReadBytes)
+		dst = binary.LittleEndian.AppendUint64(dst, io.WriteBytes)
+	case export.EventHeartbeat:
+		dst = append(dst, tagHeartbeat)
+		dst = appendF64(dst, ev.TimeSec)
+	default:
+		return nil, fmt.Errorf("aggd: unknown event kind %d", ev.Kind)
+	}
+	return dst, nil
+}
+
+// EncodeSnapshotFrame encodes msg as one complete frame.
+func EncodeSnapshotFrame(msg *SnapshotMsg) ([]byte, error) {
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return nil, fmt.Errorf("aggd: marshal snapshot: %w", err)
+	}
+	frame := appendHeader(nil, FrameSnapshot)
+	frame = append(frame, body...)
+	return finishFrame(frame)
+}
+
+// ReadFrame reads one frame from r. io.EOF signals a clean end of stream;
+// a truncated frame yields io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) (FrameKind, []byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("aggd: frame header: %w", io.ErrUnexpectedEOF)
+	}
+	if [4]byte(hdr[:4]) != wireMagic {
+		return 0, nil, fmt.Errorf("aggd: bad frame magic %q", hdr[:4])
+	}
+	if hdr[4] != WireVersion {
+		return 0, nil, fmt.Errorf("aggd: unsupported wire version %d (want %d)", hdr[4], WireVersion)
+	}
+	kind := FrameKind(hdr[5])
+	n := binary.LittleEndian.Uint32(hdr[6:10])
+	if n > MaxFramePayload {
+		return 0, nil, fmt.Errorf("aggd: frame claims %d payload bytes (max %d)", n, MaxFramePayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("aggd: frame payload: %w", io.ErrUnexpectedEOF)
+	}
+	return kind, payload, nil
+}
+
+// decoder is a cursor over one frame payload.
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) need(n int) ([]byte, error) {
+	if d.off+n > len(d.buf) {
+		return nil, fmt.Errorf("aggd: truncated payload at offset %d (need %d of %d)", d.off, n, len(d.buf))
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+func (d *decoder) u8() (byte, error) {
+	b, err := d.need(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	b, err := d.need(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	b, err := d.need(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (d *decoder) i32() (int, error) {
+	v, err := d.u32()
+	return int(int32(v)), err
+}
+
+func (d *decoder) f64() (float64, error) {
+	v, err := d.u64()
+	return math.Float64frombits(v), err
+}
+
+func (d *decoder) str() (string, error) {
+	b, err := d.need(2)
+	if err != nil {
+		return "", err
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	s, err := d.need(n)
+	return string(s), err
+}
+
+// DecodeBatchPayload parses a FrameBatch payload.
+func DecodeBatchPayload(payload []byte) (*Batch, error) {
+	d := &decoder{buf: payload}
+	var b Batch
+	var err error
+	if b.Job, err = d.str(); err != nil {
+		return nil, err
+	}
+	if b.Node, err = d.str(); err != nil {
+		return nil, err
+	}
+	if b.Rank, err = d.i32(); err != nil {
+		return nil, err
+	}
+	if b.Seq, err = d.u64(); err != nil {
+		return nil, err
+	}
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > len(payload) { // every event takes >1 byte: cheap sanity cap
+		return nil, fmt.Errorf("aggd: batch claims %d events in %d bytes", n, len(payload))
+	}
+	b.Events = make([]export.Event, 0, n)
+	for i := uint32(0); i < n; i++ {
+		ev, err := decodeEvent(d)
+		if err != nil {
+			return nil, fmt.Errorf("aggd: event %d: %w", i, err)
+		}
+		b.Events = append(b.Events, ev)
+	}
+	if d.off != len(payload) {
+		return nil, fmt.Errorf("aggd: %d trailing bytes after batch", len(payload)-d.off)
+	}
+	return &b, nil
+}
+
+func decodeEvent(d *decoder) (export.Event, error) {
+	var ev export.Event
+	tag, err := d.u8()
+	if err != nil {
+		return ev, err
+	}
+	if ev.TimeSec, err = d.f64(); err != nil {
+		return ev, err
+	}
+	switch tag {
+	case tagLWP:
+		ev.Kind = export.EventLWP
+		l := &export.LWPSample{TimeSec: ev.TimeSec}
+		if l.TID, err = d.i32(); err != nil {
+			return ev, err
+		}
+		if l.Kind, err = d.str(); err != nil {
+			return ev, err
+		}
+		if l.State, err = d.u8(); err != nil {
+			return ev, err
+		}
+		for _, dst := range []*float64{&l.UserPct, &l.SysPct} {
+			if *dst, err = d.f64(); err != nil {
+				return ev, err
+			}
+		}
+		for _, dst := range []*uint64{&l.VCtx, &l.NVCtx, &l.MinFlt, &l.MajFlt, &l.NSwap} {
+			if *dst, err = d.u64(); err != nil {
+				return ev, err
+			}
+		}
+		if l.CPU, err = d.i32(); err != nil {
+			return ev, err
+		}
+		ev.LWP = l
+	case tagHWT:
+		ev.Kind = export.EventHWT
+		h := &export.HWTSample{TimeSec: ev.TimeSec}
+		if h.CPU, err = d.i32(); err != nil {
+			return ev, err
+		}
+		for _, dst := range []*float64{&h.IdlePct, &h.SysPct, &h.UserPct} {
+			if *dst, err = d.f64(); err != nil {
+				return ev, err
+			}
+		}
+		ev.HWT = h
+	case tagGPU:
+		ev.Kind = export.EventGPU
+		g := &export.GPUSample{TimeSec: ev.TimeSec}
+		if g.GPU, err = d.i32(); err != nil {
+			return ev, err
+		}
+		if g.Metric, err = d.str(); err != nil {
+			return ev, err
+		}
+		if g.Value, err = d.f64(); err != nil {
+			return ev, err
+		}
+		ev.GPU = g
+	case tagMem:
+		ev.Kind = export.EventMem
+		m := &export.MemSample{TimeSec: ev.TimeSec}
+		for _, dst := range []*uint64{&m.TotalKB, &m.FreeKB, &m.AvailKB, &m.ProcRSSKB, &m.ProcHWMKB} {
+			if *dst, err = d.u64(); err != nil {
+				return ev, err
+			}
+		}
+		ev.Mem = m
+	case tagIO:
+		ev.Kind = export.EventIO
+		io := &export.IOSample{TimeSec: ev.TimeSec}
+		for _, dst := range []*uint64{&io.RChar, &io.WChar, &io.SyscR, &io.SyscW, &io.ReadBytes, &io.WriteBytes} {
+			if *dst, err = d.u64(); err != nil {
+				return ev, err
+			}
+		}
+		ev.IO = io
+	case tagHeartbeat:
+		ev.Kind = export.EventHeartbeat
+	default:
+		return ev, fmt.Errorf("unknown event tag %d", tag)
+	}
+	return ev, nil
+}
+
+// DecodeSnapshotPayload parses a FrameSnapshot payload.
+func DecodeSnapshotPayload(payload []byte) (*SnapshotMsg, error) {
+	var msg SnapshotMsg
+	if err := json.Unmarshal(payload, &msg); err != nil {
+		return nil, fmt.Errorf("aggd: unmarshal snapshot: %w", err)
+	}
+	return &msg, nil
+}

@@ -1,5 +1,8 @@
 package export
 
+import "sync"
+import "sync/atomic"
+
 // EventKind tags stream events.
 type EventKind int
 
@@ -31,27 +34,64 @@ type Subscriber func(Event)
 // Stream is ZeroSum's in-process data-service hook: tools that would, in a
 // production deployment, forward samples to LDMS/ADIOS2/TAU subscribe here
 // and receive every sample as it is taken (paper §3.6 and §6). The zero
-// value is ready to use. It is not safe for concurrent use; the simulated
-// monitor is single-threaded by construction.
+// value is ready to use.
+//
+// Stream is safe for concurrent use: Subscribe may race with Publish (the
+// aggd node agent consumes the stream from outside the monitor loop), and
+// multiple goroutines may Publish. Subscribers registered concurrently with
+// a Publish in flight receive only subsequent events. A subscriber that
+// panics does not kill the publishing (sampling) loop: the panic is
+// recovered, the event counts as dropped for that subscriber, and delivery
+// to the remaining subscribers continues.
 type Stream struct {
-	subs []Subscriber
-	n    uint64
+	mu      sync.Mutex                   // guards Subscribe's copy-on-write
+	subs    atomic.Pointer[[]Subscriber] // immutable snapshot read by Publish
+	n       atomic.Uint64
+	dropped atomic.Uint64
 }
 
 // Subscribe registers a consumer for all subsequent events.
 func (s *Stream) Subscribe(fn Subscriber) {
-	if fn != nil {
-		s.subs = append(s.subs, fn)
+	if fn == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var next []Subscriber
+	if old := s.subs.Load(); old != nil {
+		next = append(next, *old...)
+	}
+	next = append(next, fn)
+	s.subs.Store(&next)
+}
+
+// Publish delivers an event to every subscriber. The hot path is one atomic
+// increment plus one atomic load when nobody is subscribed.
+func (s *Stream) Publish(ev Event) {
+	s.n.Add(1)
+	subs := s.subs.Load()
+	if subs == nil {
+		return
+	}
+	for _, fn := range *subs {
+		s.deliver(fn, ev)
 	}
 }
 
-// Publish delivers an event to every subscriber.
-func (s *Stream) Publish(ev Event) {
-	s.n++
-	for _, fn := range s.subs {
-		fn(ev)
-	}
+// deliver isolates one subscriber call so its panic cannot unwind into the
+// sampling loop.
+func (s *Stream) deliver(fn Subscriber, ev Event) {
+	defer func() {
+		if recover() != nil {
+			s.dropped.Add(1)
+		}
+	}()
+	fn(ev)
 }
 
 // Published returns the number of events published so far.
-func (s *Stream) Published() uint64 { return s.n }
+func (s *Stream) Published() uint64 { return s.n.Load() }
+
+// Dropped returns how many subscriber deliveries were lost to recovered
+// subscriber panics.
+func (s *Stream) Dropped() uint64 { return s.dropped.Load() }

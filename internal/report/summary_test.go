@@ -106,6 +106,100 @@ func TestAggregateWithWarningsAndGPU(t *testing.T) {
 	}
 }
 
+// TestAggregateHeterogeneousNodes feeds Aggregate the shape the cluster
+// aggregator produces: ranks from different node types reporting different
+// hardware-thread counts, different thread counts, and GPU samples on only
+// a subset of the ranks.
+func TestAggregateHeterogeneousNodes(t *testing.T) {
+	mkRank := func(rank int, host string, hwts, lwps int) core.Snapshot {
+		snap := core.Snapshot{
+			DurationSec: 10 + float64(rank),
+			Rank:        rank, Size: 3, PID: 2000 + rank,
+			Hostname:   host,
+			ProcessAff: topology.RangeCPUSet(0, hwts-1),
+			MemTotalKB: 1 << 20, MemMinFreeKB: 1 << 19,
+		}
+		for i := 0; i < lwps; i++ {
+			snap.LWPs = append(snap.LWPs, core.ThreadSummary{
+				TID: 100*rank + i, Kind: core.KindOpenMP, Label: "OpenMP",
+				UTimePct: 90 + float64(rank), STimePct: 1,
+				NVCtx:    uint64(rank),
+				VCtx:     10,
+				Affinity: topology.NewCPUSet(i), ObservedCPUs: topology.NewCPUSet(i),
+			})
+		}
+		for i := 0; i < hwts; i++ {
+			snap.HWTs = append(snap.HWTs, core.HWTSummary{CPU: i, UserPct: 80, IdlePct: 15})
+		}
+		return snap
+	}
+	// A fat GPU node, a thin CPU-only node, and a rank whose monitor
+	// produced no per-thread data at all (e.g. it was sampled too briefly).
+	fat := mkRank(0, "gpu-node", 16, 8)
+	var busy core.MinAvgMax
+	busy.Add(70)
+	busy.Add(90)
+	fat.GPUs = append(fat.GPUs, core.GPUSummary{
+		Metrics: []core.GPUMetric{{Name: "Device Busy %", Agg: busy}},
+	})
+	thin := mkRank(1, "cpu-node", 4, 2)
+	bare := mkRank(2, "cpu-node", 4, 0)
+
+	js, err := Aggregate([]core.Snapshot{fat, thin, bare}, core.EvalThresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.Ranks != 3 || len(js.Nodes) != 2 {
+		t.Fatalf("ranks=%d nodes=%v", js.Ranks, js.Nodes)
+	}
+	if js.Nodes["gpu-node"] != 1 || js.Nodes["cpu-node"] != 2 {
+		t.Fatalf("node counts: %v", js.Nodes)
+	}
+	// Thread stats pool across ranks regardless of per-rank thread count:
+	// 8 busy threads from the fat rank plus 2 from the thin one.
+	if js.ThreadUser.N != 10 {
+		t.Fatalf("thread user N = %d, want 10", js.ThreadUser.N)
+	}
+	if js.ThreadUser.Min != 90 || js.ThreadUser.Max != 91 {
+		t.Fatalf("thread user spread: %+v", js.ThreadUser)
+	}
+	// GPU stats come only from ranks that reported GPU samples.
+	if js.GPUBusy == nil || js.GPUBusy.N != 1 || js.GPUBusy.Mean != 80 {
+		t.Fatalf("gpu busy: %+v", js.GPUBusy)
+	}
+	if js.SlowestRank != 2 {
+		t.Fatalf("slowest = %d, want 2 (the bare rank)", js.SlowestRank)
+	}
+	if js.TotalNVCtx != 0*8+1*2+2*0 {
+		t.Fatalf("total nvctx = %d", js.TotalNVCtx)
+	}
+	var sb strings.Builder
+	if err := WriteJobSummary(&sb, js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "3 ranks on 2 node(s)") {
+		t.Fatalf("summary: %s", sb.String())
+	}
+}
+
+// TestAggregateUnrankedSnapshots covers snapshots that never learned their
+// MPI rank (Rank < 0): slowest/worst attribution falls back to slice order.
+func TestAggregateUnrankedSnapshots(t *testing.T) {
+	snaps := multiRankSnaps()[:2]
+	for i := range snaps {
+		snaps[i].Rank = -1
+	}
+	snaps[1].DurationSec = 99
+	snaps[1].LWPs[0].NVCtx = 1234
+	js, err := Aggregate(snaps, core.EvalThresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.SlowestRank != 1 || js.WorstRank != 1 {
+		t.Fatalf("fallback attribution: slowest=%d worst=%d", js.SlowestRank, js.WorstRank)
+	}
+}
+
 func TestAggregateEmpty(t *testing.T) {
 	if _, err := Aggregate(nil, core.EvalThresholds{}); err == nil {
 		t.Fatal("empty aggregate should error")

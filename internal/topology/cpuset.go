@@ -227,6 +227,22 @@ func (s CPUSet) String() string {
 	return b.String()
 }
 
+// MarshalText encodes the set in cpu-list format so CPUSet fields survive
+// JSON/text serialization (the aggd wire layer ships core.Snapshot as JSON).
+func (s CPUSet) MarshalText() ([]byte, error) {
+	return []byte(s.String()), nil
+}
+
+// UnmarshalText parses the cpu-list format written by MarshalText.
+func (s *CPUSet) UnmarshalText(text []byte) error {
+	parsed, err := ParseCPUList(string(text))
+	if err != nil {
+		return err
+	}
+	*s = parsed
+	return nil
+}
+
 // HexMask renders the set in the Linux comma-grouped hexadecimal mask format
 // used by /proc/<pid>/status Cpus_allowed, e.g. "ff" or "ffffffff,fffffffe".
 // Groups of 32 bits are comma separated, most significant first.

@@ -50,8 +50,10 @@ type MonitorConfig struct {
 	// Stream receives every sample (data-service hook).
 	Stream *export.Stream
 	// StreamFor, when non-nil, supplies a per-rank stream and overrides
-	// Stream (per-rank staged logs need distinct sinks).
-	StreamFor func(rank int) *export.Stream
+	// Stream (per-rank staged logs and aggd node agents need distinct,
+	// origin-labelled sinks). node is the simulated hostname the rank was
+	// placed on.
+	StreamFor func(rank int, node string) *export.Stream
 	// KeepSeries retains the full time series (default true).
 	DropSeries bool
 	// DeadlockSamples enables the deadlock hint after N all-idle samples.
@@ -419,7 +421,7 @@ func injectMonitor(rc *RankCtx, mc MonitorConfig) error {
 	fs := rc.K.ProcFS(rc.Proc.PID)
 	stream := mc.Stream
 	if mc.StreamFor != nil {
-		stream = mc.StreamFor(rc.Rank)
+		stream = mc.StreamFor(rc.Rank, rc.K.Hostname())
 	}
 	mon, err := core.New(core.Config{
 		Period:          mc.Period.Duration(),
