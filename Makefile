@@ -1,11 +1,14 @@
 # Standard local gate: `make check` is what CI runs and what every change
 # should pass before review. Individual steps are available as targets.
+#
+#   make lint   runs zslint, the repo-specific static checks (docs/lint.md);
+#               machine-readable output: $(GO) run ./cmd/zslint -json ./...
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench lint
 
-check: fmt vet build race
+check: fmt vet build race lint
 
 # gofmt -l prints offending files; fail if it prints anything.
 fmt:
@@ -28,3 +31,9 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# zslint enforces the //zerosum:* conventions: hot-path purity, error
+# handling in the sampling tiers, goroutine lifecycles, wire codec
+# synchronization, and injected clocks. See docs/lint.md.
+lint:
+	$(GO) run ./cmd/zslint ./...

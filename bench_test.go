@@ -309,3 +309,25 @@ func BenchmarkAblations(b *testing.B) {
 		}
 	}
 }
+
+// TestStreamPublishZeroAlloc pins the hot-path contract as a test rather
+// than a benchmark number someone has to read: publishing with a
+// subscriber attached must not allocate. AllocsPerRun counts
+// process-global mallocs, so the subscriber is a plain closure with no
+// background machinery behind it.
+func TestStreamPublishZeroAlloc(t *testing.T) {
+	ev := export.Event{
+		Kind:    export.EventLWP,
+		TimeSec: 1.0,
+		LWP:     &export.LWPSample{TID: 42, Kind: "Main", State: 'R', UserPct: 90, CPU: 3},
+	}
+	var s export.Stream
+	delivered := 0
+	s.Subscribe(func(export.Event) { delivered++ })
+	if avg := testing.AllocsPerRun(1000, func() { s.Publish(ev) }); avg != 0 {
+		t.Errorf("Stream.Publish allocates %.1f times per op with a subscriber attached, want 0", avg)
+	}
+	if delivered == 0 {
+		t.Error("subscriber never ran")
+	}
+}

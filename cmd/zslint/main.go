@@ -1,0 +1,68 @@
+// Command zslint runs ZeroSum's repo-specific static checks (hotpath,
+// errcheck, goleak, wiresync, clock) over the module containing the given
+// directory. It is stdlib-only — parsing and type-checking use go/parser
+// and go/types with the source importer, so it needs no network and no
+// tools beyond the Go distribution.
+//
+// Usage:
+//
+//	zslint [-json] [dir]
+//
+// dir defaults to "."; the conventional spelling `zslint ./...` also works
+// (the whole module is always analyzed). Exit status is 0 when clean, 1
+// when there are findings, 2 on load/usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"zerosum/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: zslint [-json] [dir]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	dir := "."
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		// Accept the conventional ./... spelling; the analyzer always
+		// covers the whole module.
+		dir = strings.TrimSuffix(flag.Arg(0), "...")
+		dir = strings.TrimSuffix(dir, "/")
+		if dir == "" {
+			dir = "."
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	prog, err := lint.Load(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zslint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(prog, lint.Checks(lint.DefaultOptions()))
+
+	if *jsonOut {
+		err = lint.WriteJSON(os.Stdout, diags)
+	} else {
+		err = lint.WriteText(os.Stdout, diags)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zslint:", err)
+		os.Exit(2)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

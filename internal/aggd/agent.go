@@ -253,6 +253,8 @@ func (a *Agent) ship(events []export.Event) {
 }
 
 // post sends one frame with gzip and retry-with-exponential-backoff.
+//
+//zerosum:wallclock retry backoff waits on real network latency, not sampled time
 func (a *Agent) post(frame []byte) error {
 	body := frame
 	encoding := ""
@@ -277,8 +279,10 @@ func (a *Agent) post(frame []byte) error {
 		}
 		resp, err := a.cfg.Client.Do(req)
 		if err == nil {
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
+			// Drain so the transport can reuse the connection; a failed
+			// drain only costs keep-alive, never data.
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
 			if resp.StatusCode/100 == 2 {
 				return nil
 			}

@@ -71,6 +71,7 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		{name: "zerosum_ingest_snapshots_total", help: "Rank snapshots accepted by the aggregator.", typ: "counter"},
 		{name: "zerosum_ingest_errors_total", help: "Rejected ingest requests.", typ: "counter"},
 		{name: "zerosum_lost_batches_total", help: "Batch sequence gaps observed across all streams.", typ: "counter"},
+		{name: "zerosum_response_write_errors_total", help: "Response bodies that failed mid-write (client hangups).", typ: "counter"},
 		{name: "zerosum_stream_events_total", help: "Events received per stream.", typ: "counter"},
 		{name: "zerosum_heartbeat_age_seconds", help: "Seconds since the last frame arrived from a stream.", typ: "gauge"},
 		{name: "zerosum_hwt_idle_pct", help: "Latest sampled idle share of a hardware thread.", typ: "gauge"},
@@ -88,6 +89,7 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		fSnaps
 		fErrors
 		fLost
+		fWriteErrors
 		fStreamEvents
 		fHeartbeat
 		fIdle
@@ -104,6 +106,7 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	families[fSnaps].add("", float64(s.ingestSnapshots.Load()))
 	families[fErrors].add("", float64(s.ingestErrors.Load()))
 	families[fLost].add("", float64(s.lostBatches.Load()))
+	families[fWriteErrors].add("", float64(s.writeErrors.Load()))
 
 	now := s.cfg.Now()
 	s.eachJob(func(name string, js *jobStore) {
@@ -153,5 +156,8 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.WriteMetrics(w)
+	if err := s.WriteMetrics(w); err != nil {
+		// Headers are already out; all we can do is count the broken scrape.
+		s.writeErrors.Add(1)
+	}
 }

@@ -42,6 +42,7 @@ type Server struct {
 	ingestSnapshots atomic.Uint64
 	ingestErrors    atomic.Uint64
 	lostBatches     atomic.Uint64 // sequence gaps observed across all streams
+	writeErrors     atomic.Uint64 // response bodies that failed mid-write
 }
 
 type shard struct {
@@ -114,7 +115,7 @@ func (s *Server) Handler() http.Handler {
 
 func (s *Server) job(name string) *jobStore {
 	h := fnv.New32a()
-	io.WriteString(h, name)
+	_, _ = io.WriteString(h, name) // hash.Hash Write is documented never to fail
 	sh := &s.shards[h.Sum32()%nShards]
 	sh.mu.RLock()
 	js := sh.jobs[name]
@@ -134,7 +135,7 @@ func (s *Server) job(name string) *jobStore {
 // lookupJob returns nil when the job is unknown.
 func (s *Server) lookupJob(name string) *jobStore {
 	h := fnv.New32a()
-	io.WriteString(h, name)
+	_, _ = io.WriteString(h, name) // hash.Hash Write is documented never to fail
 	sh := &s.shards[h.Sum32()%nShards]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
@@ -306,7 +307,7 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	writeJSON(w, summary)
+	s.writeJSON(w, summary)
 }
 
 // HeatmapResponse is the JSON shape of /api/job/{id}/heatmap: Bytes[dst][src]
@@ -351,7 +352,7 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 			resp.Bytes[dst][src] = v
 		}
 	}
-	writeJSON(w, resp)
+	s.writeJSON(w, resp)
 }
 
 // JobInfo is one entry of /api/jobs.
@@ -381,7 +382,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		jobs = append(jobs, info)
 	})
 	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Job < jobs[j].Job })
-	writeJSON(w, jobs)
+	s.writeJSON(w, jobs)
 }
 
 // eachJob visits every job store; the callback must do its own locking.
@@ -406,9 +407,15 @@ func (s *Server) eachJob(fn func(name string, js *jobStore)) {
 	}
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// writeJSON renders a response body. Encoding failures here are almost
+// always the client hanging up mid-response; the status line is already
+// gone, so the error is counted (zerosum_response_write_errors_total)
+// rather than reported.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.writeErrors.Add(1)
+	}
 }

@@ -122,6 +122,9 @@ func appendF64(dst []byte, v float64) []byte {
 
 // AppendBatchFrame appends the framed encoding of b to dst and returns the
 // extended slice, so a sender can reuse one scratch buffer per shipment.
+//
+//zerosum:hotpath
+//zerosum:wire-encode batch
 func AppendBatchFrame(dst []byte, b *Batch) ([]byte, error) {
 	start := len(dst)
 	dst = appendHeader(dst, FrameBatch)
@@ -150,6 +153,8 @@ func AppendBatchFrame(dst []byte, b *Batch) ([]byte, error) {
 // EncodeBatchFrame encodes b as one complete frame.
 func EncodeBatchFrame(b *Batch) ([]byte, error) { return AppendBatchFrame(nil, b) }
 
+//zerosum:hotpath
+//zerosum:wire-encode event
 func appendEvent(dst []byte, ev *export.Event) ([]byte, error) {
 	var err error
 	switch ev.Kind {
@@ -329,6 +334,8 @@ func (d *decoder) str() (string, error) {
 }
 
 // DecodeBatchPayload parses a FrameBatch payload.
+//
+//zerosum:wire-decode batch
 func DecodeBatchPayload(payload []byte) (*Batch, error) {
 	d := &decoder{buf: payload}
 	var b Batch
@@ -366,6 +373,7 @@ func DecodeBatchPayload(payload []byte) (*Batch, error) {
 	return &b, nil
 }
 
+//zerosum:wire-decode event
 func decodeEvent(d *decoder) (export.Event, error) {
 	var ev export.Event
 	tag, err := d.u8()

@@ -140,18 +140,20 @@ type Monitor struct {
 	procAff  topology.CPUSet
 	procComm string
 
-	samples      int
-	lastIO       proc.TaskIO
-	ioSeen       bool
-	ioSeries     []export.IOSample
-	lwpSeries    []export.LWPSample
-	hwtSeries    []export.HWTSample
-	gpuSeries    []export.GPUSample
-	memSeries    []export.MemSample
-	gpuAgg       []map[string]*MinAvgMax // per device, per metric
-	gpuInfo      []gpu.DeviceInfo
-	memMinFreeKB uint64
-	memPeakRSSKB uint64
+	samples       int
+	lwpReadSkips  uint64 // task stat/status vanished between listing and read
+	lwpParseSkips uint64 // task stat/status present but malformed
+	lastIO        proc.TaskIO
+	ioSeen        bool
+	ioSeries      []export.IOSample
+	lwpSeries     []export.LWPSample
+	hwtSeries     []export.HWTSample
+	gpuSeries     []export.GPUSample
+	memSeries     []export.MemSample
+	gpuAgg        []map[string]*MinAvgMax // per device, per metric
+	gpuInfo       []gpu.DeviceInfo
+	memMinFreeKB  uint64
+	memPeakRSSKB  uint64
 
 	idleStreak   int
 	deadlockHint bool
@@ -261,6 +263,13 @@ func (m *Monitor) SentBytes() map[int]uint64 { return m.sentBytes }
 // Samples returns how many sampling ticks have run.
 func (m *Monitor) Samples() int { return m.samples }
 
+// SampleSkips reports per-thread rows dropped during sampling: reads counts
+// tasks that vanished between listing and read, parses counts rows that were
+// present but malformed. Non-zero parses on a real host deserve a look.
+func (m *Monitor) SampleSkips() (reads, parses uint64) {
+	return m.lwpReadSkips, m.lwpParseSkips
+}
+
 // elapsedSec returns seconds since the monitor started.
 func (m *Monitor) elapsedSec(now time.Time) float64 {
 	return now.Sub(m.started).Seconds()
@@ -268,6 +277,8 @@ func (m *Monitor) elapsedSec(now time.Time) float64 {
 
 // Tick takes one sample: threads, hardware threads, memory, GPUs. The
 // asynchronous ZeroSum thread calls this once per period.
+//
+//zerosum:hotpath
 func (m *Monitor) Tick() error {
 	if m.done {
 		return fmt.Errorf("core: monitor already finished")
@@ -305,19 +316,25 @@ func (m *Monitor) sampleThreads(now time.Time, t float64) error {
 		seen[tid] = true
 		rawStat, err := m.deps.FS.TaskStat(m.pid, tid)
 		if err != nil {
-			continue // transient thread: died between listing and read
+			m.lwpReadSkips++ // transient thread: died between listing and read
+			continue
 		}
 		st, err := proc.ParseTaskStat(string(rawStat))
 		if err != nil {
-			return fmt.Errorf("core: parse stat of %d: %w", tid, err)
+			// One malformed row (e.g. torn read of an exiting task) must not
+			// lose the whole sample; count it and keep going.
+			m.lwpParseSkips++
+			continue
 		}
 		rawStatus, err := m.deps.FS.TaskStatus(m.pid, tid)
 		if err != nil {
+			m.lwpReadSkips++
 			continue
 		}
 		status, err := proc.ParseTaskStatus(string(rawStatus))
 		if err != nil {
-			return fmt.Errorf("core: parse status of %d: %w", tid, err)
+			m.lwpParseSkips++
+			continue
 		}
 
 		ts := m.threads[tid]
@@ -506,6 +523,10 @@ func (m *Monitor) sampleIO(t float64) {
 	m.publish(export.Event{Kind: export.EventIO, TimeSec: t, IO: &sample})
 }
 
+// maybeHeartbeat formats a progress line; rate-limited by HeartbeatEvery,
+// so it is off the steady-state sampling path.
+//
+//zerosum:coldpath
 func (m *Monitor) maybeHeartbeat(t float64) {
 	if m.cfg.HeartbeatEvery <= 0 || m.cfg.Heartbeat == nil {
 		return
@@ -586,6 +607,7 @@ func (m *Monitor) kindLabel(ts *threadState) string {
 	return ts.kind.String()
 }
 
+//zerosum:hotpath
 func (m *Monitor) publish(ev export.Event) {
 	if m.cfg.Stream != nil {
 		m.cfg.Stream.Publish(ev)

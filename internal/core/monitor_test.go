@@ -624,3 +624,43 @@ func TestAutoRebindRespectsHealthyRuns(t *testing.T) {
 		t.Fatalf("healthy run rebound: %v", rb.calls)
 	}
 }
+
+// corruptFS wraps fakeFS to return a garbage stat row for chosen tasks,
+// modelling a torn read of an exiting thread's /proc entry.
+type corruptFS struct {
+	*fakeFS
+	badStat map[int]bool
+}
+
+func (c *corruptFS) TaskStat(pid, tid int) ([]byte, error) {
+	if c.badStat[tid] {
+		return []byte("not a stat line"), nil
+	}
+	return c.fakeFS.TaskStat(pid, tid)
+}
+
+func TestTickCountsSkippedThreads(t *testing.T) {
+	base := newFakeFS()
+	base.addThread(1001, "good", proc.StateRunning, topology.NewCPUSet(1))
+	base.addThread(1002, "torn", proc.StateRunning, topology.NewCPUSet(2))
+	base.addThread(1003, "vanishing", proc.StateRunning, topology.NewCPUSet(3))
+	base.failTask[1003] = true // read error between listing and read
+	fs := &corruptFS{fakeFS: base, badStat: map[int]bool{1002: true}}
+
+	m, _ := newTestMonitor(t, fs, Config{Period: time.Second, KeepSeries: true})
+	if err := m.Tick(); err != nil {
+		t.Fatalf("a torn row must not abort the sample: %v", err)
+	}
+	reads, parses := m.SampleSkips()
+	if reads != 1 || parses != 1 {
+		t.Fatalf("SampleSkips() = (%d, %d), want (1, 1)", reads, parses)
+	}
+	// The healthy threads were still sampled this tick.
+	if got := len(m.LWPSeries()); got != 2 {
+		t.Fatalf("sampled %d threads, want 2", got)
+	}
+	snap := m.Snapshot()
+	if snap.LWPReadSkips != 1 || snap.LWPParseSkips != 1 {
+		t.Fatalf("snapshot skips = (%d, %d), want (1, 1)", snap.LWPReadSkips, snap.LWPParseSkips)
+	}
+}

@@ -106,6 +106,10 @@ type Snapshot struct {
 
 	DeadlockSuspected bool
 	Samples           int
+	// LWPReadSkips / LWPParseSkips count per-thread rows dropped during
+	// sampling (task vanished mid-read / row was malformed).
+	LWPReadSkips  uint64
+	LWPParseSkips uint64
 }
 
 // Snapshot assembles the report data from everything observed so far.
@@ -126,6 +130,8 @@ func (m *Monitor) Snapshot() Snapshot {
 		MemPeakRSSKB:      m.memPeakRSSKB,
 		DeadlockSuspected: m.deadlockHint,
 		Samples:           m.samples,
+		LWPReadSkips:      m.lwpReadSkips,
+		LWPParseSkips:     m.lwpParseSkips,
 	}
 	if m.memMinFreeKB != ^uint64(0) {
 		snap.MemMinFreeKB = m.memMinFreeKB

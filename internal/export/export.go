@@ -15,7 +15,7 @@ import (
 // field list the paper describes: state, utilization split, context
 // switches, page faults, pages swapped, and the CPU the LWP last ran on.
 type LWPSample struct {
-	TimeSec float64
+	TimeSec float64 //zerosum:nowire carried by the enclosing Event frame header
 	TID     int
 	Kind    string // Main, OpenMP, ZeroSum, Other
 	State   byte   // R, S, D, Z...
@@ -31,7 +31,7 @@ type LWPSample struct {
 
 // HWTSample is one periodic observation of one hardware thread.
 type HWTSample struct {
-	TimeSec float64
+	TimeSec float64 //zerosum:nowire carried by the enclosing Event frame header
 	CPU     int
 	IdlePct float64
 	SysPct  float64
@@ -40,7 +40,7 @@ type HWTSample struct {
 
 // GPUSample is one periodic observation of one GPU metric.
 type GPUSample struct {
-	TimeSec float64
+	TimeSec float64 //zerosum:nowire carried by the enclosing Event frame header
 	GPU     int
 	Metric  string
 	Value   float64
@@ -48,7 +48,7 @@ type GPUSample struct {
 
 // MemSample is one periodic observation of system and process memory.
 type MemSample struct {
-	TimeSec   float64
+	TimeSec   float64 //zerosum:nowire carried by the enclosing Event frame header
 	TotalKB   uint64
 	FreeKB    uint64
 	AvailKB   uint64
@@ -59,7 +59,7 @@ type MemSample struct {
 // IOSample is one periodic observation of the process's cumulative I/O
 // counters from /proc/<pid>/io.
 type IOSample struct {
-	TimeSec    float64
+	TimeSec    float64 //zerosum:nowire carried by the enclosing Event frame header
 	RChar      uint64
 	WChar      uint64
 	SyscR      uint64

@@ -67,6 +67,8 @@ func (s *Stream) Subscribe(fn Subscriber) {
 
 // Publish delivers an event to every subscriber. The hot path is one atomic
 // increment plus one atomic load when nobody is subscribed.
+//
+//zerosum:hotpath
 func (s *Stream) Publish(ev Event) {
 	s.n.Add(1)
 	subs := s.subs.Load()

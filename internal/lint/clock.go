@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// clockCheck bans raw wall-clock reads in the packages that take an
+// injected clock (core.Config.Clock, sim's virtual time, aggd's cfg.Now):
+// a stray time.Now in those tiers splits behaviour between the simulator
+// and the live host and breaks deterministic replay. Referencing time.Now
+// as a value (wiring it in as the default clock) is fine — only calls are
+// findings. time.NewTicker is allowed: tickers are handed to the runner as
+// an injectable interval source. A function that legitimately needs the
+// wall clock (e.g. a retry backoff against real external latency) opts
+// out with //zerosum:wallclock <why>.
+type clockCheck struct {
+	scope []string
+}
+
+func (clockCheck) Name() string { return "clock" }
+
+func (c clockCheck) Run(p *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range p.Pkgs {
+		if !inScope(pkg.Rel, c.scope) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if _, ok := directives(fd.Doc)["wallclock"]; ok {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if bad := wallClockCall(calleeFunc(pkg.Info, call)); bad != "" {
+						diags = append(diags, p.Diag("clock", call.Pos(),
+							"call to %s in a clock-injected package; use the injected clock, or annotate the function //zerosum:wallclock <why>", bad))
+					}
+					return true
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// wallClockCall names the violation when f reads or waits on the wall clock.
+func wallClockCall(f *types.Func) string {
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "time" {
+		return ""
+	}
+	switch f.Name() {
+	case "Now", "Sleep", "Tick", "After", "AfterFunc":
+		return "time." + f.Name()
+	}
+	return ""
+}

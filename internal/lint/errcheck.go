@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errcheckCheck flags silently discarded error results in the scoped
+// packages — the sampling, wire, and export tiers, where a dropped error
+// means silently missing samples or corrupt batches. A bare call statement
+// (or go statement) whose callee returns an error is a finding; assigning
+// the error to _ is the explicit, greppable acknowledgment and is allowed,
+// as are deferred calls (close-on-error-path convention) and writes into
+// strings.Builder / bytes.Buffer, which are documented not to fail.
+type errcheckCheck struct {
+	scope []string
+}
+
+func (errcheckCheck) Name() string { return "errcheck" }
+
+func (c errcheckCheck) Run(p *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range p.Pkgs {
+		if !inScope(pkg.Rel, c.scope) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = n.X.(*ast.CallExpr)
+				case *ast.GoStmt:
+					call = n.Call
+				}
+				if call == nil || !discardsError(pkg.Info, call) {
+					return true
+				}
+				name := "call"
+				if f := calleeFunc(pkg.Info, call); f != nil {
+					name = shortName(f)
+				}
+				diags = append(diags, p.Diag("errcheck", call.Pos(),
+					"error result of %s is silently discarded; handle it, count it, or assign it to _ explicitly", name))
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// discardsError reports whether the statement-position call returns an
+// error that the statement drops, modulo the documented exemptions.
+func discardsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || !returnsError(tv.Type) {
+		return false
+	}
+	f := calleeFunc(info, call)
+	if f == nil {
+		return true // function values still drop the error
+	}
+	full := f.FullName()
+	if strings.HasPrefix(full, "(*strings.Builder).") || strings.HasPrefix(full, "(*bytes.Buffer).") {
+		return false
+	}
+	// fmt.Fprint* into an in-memory buffer cannot fail.
+	if f.Pkg() != nil && f.Pkg().Path() == "fmt" && strings.HasPrefix(f.Name(), "Fprint") && len(call.Args) > 0 {
+		if argTV, ok := info.Types[call.Args[0]]; ok && isMemWriter(argTV.Type) {
+			return false
+		}
+	}
+	return true
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func returnsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errorType)
+}
+
+func isMemWriter(t types.Type) bool {
+	s := t.String()
+	return s == "*strings.Builder" || s == "*bytes.Buffer"
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// goleakCheck enforces that every spawned goroutine has a visible lifecycle:
+// its body (or, for `go f()`, the body of the module function f) must
+// reference a context or a done/stop-style channel, or the go statement
+// must carry a //zerosum:detached <why> annotation. ZeroSum's backpressure
+// and crash-handling goroutines all follow the ctx/done convention; a
+// goroutine with neither is how always-on monitors leak threads across job
+// lifetimes.
+type goleakCheck struct{}
+
+func (goleakCheck) Name() string { return "goleak" }
+
+// lifecycleHints are the identifier substrings that mark a stop mechanism.
+var lifecycleHints = []string{"ctx", "done", "stop", "quit", "cancel", "exit"}
+
+func (c goleakCheck) Run(p *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range p.Pkgs {
+		for _, file := range pkg.Files {
+			covered := lineDirectives(p.Fset, file)
+			ast.Inspect(file, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				line := p.Fset.Position(g.Pos()).Line
+				if _, detached := covered[line]["detached"]; detached {
+					return true
+				}
+				if c.hasLifecycle(p, pkg, g) {
+					return true
+				}
+				diags = append(diags, p.Diag("goleak", g.Pos(),
+					"goroutine has no visible stop mechanism (no ctx/done/stop reference); thread it a context or done channel, or annotate //zerosum:detached <why>"))
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// hasLifecycle reports whether the spawned code references a lifecycle
+// value. For function literals the literal body is scanned; for named
+// module functions, that function's body.
+func (c goleakCheck) hasLifecycle(p *Program, pkg *Pkg, g *ast.GoStmt) bool {
+	// Arguments evaluated at spawn time count: `go run(ctx)` is governed.
+	for _, arg := range g.Call.Args {
+		if bodyMentionsLifecycle(pkg, arg) {
+			return true
+		}
+	}
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return bodyMentionsLifecycle(pkg, fun.Body)
+	default:
+		if f := calleeFunc(pkg.Info, g.Call); f != nil {
+			if src := p.FuncFor(f); src != nil {
+				return bodyMentionsLifecycle(src.Pkg, src.Decl.Body)
+			}
+		}
+	}
+	return false
+}
+
+func bodyMentionsLifecycle(pkg *Pkg, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		lower := strings.ToLower(id.Name)
+		for _, hint := range lifecycleHints {
+			if strings.Contains(lower, hint) {
+				found = true
+				return false
+			}
+		}
+		// A value of type context.Context is a lifecycle regardless of name.
+		if obj := pkg.Info.Uses[id]; obj != nil && obj.Type() != nil &&
+			obj.Type().String() == "context.Context" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

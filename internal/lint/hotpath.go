@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotpathCheck enforces the paper's <0.5% overhead contract (§4.1) on the
+// measurement path: a function annotated //zerosum:hotpath — and every
+// module function it calls, one level deep — may not format with the fmt
+// package (fmt.Errorf is exempt: error construction only runs on failure
+// paths, which abort sampling, whereas steady-state formatting is what
+// burns the overhead budget), read the wall clock, take a mutex, or spawn
+// goroutines. A callee annotated //zerosum:coldpath is a declared
+// off-steady-state helper (rate-limited or failure-only) and is not
+// descended into.
+type hotpathCheck struct{}
+
+func (hotpathCheck) Name() string { return "hotpath" }
+
+func (c hotpathCheck) Run(p *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range p.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if _, hot := directives(fd.Doc)["hotpath"]; !hot {
+					continue
+				}
+				diags = append(diags, c.checkHot(p, pkg, fd)...)
+			}
+		}
+	}
+	return diags
+}
+
+func (c hotpathCheck) checkHot(p *Program, pkg *Pkg, fd *ast.FuncDecl) []Diagnostic {
+	hot := funcDisplayName(fd)
+	diags := c.scanBody(p, pkg, fd.Body, hot, "")
+
+	// One level deep: module functions the hot path calls are part of it.
+	for _, callee := range c.callees(pkg, fd.Body) {
+		src := p.FuncFor(callee)
+		if src == nil {
+			continue // outside the module, or no body
+		}
+		dirs := directives(src.Decl.Doc)
+		if _, cold := dirs["coldpath"]; cold {
+			continue // declared off the steady-state path
+		}
+		if _, alsoHot := dirs["hotpath"]; alsoHot {
+			continue // gets its own depth-0 scan
+		}
+		diags = append(diags, c.scanBody(p, src.Pkg, src.Decl.Body, hot, shortName(callee))...)
+	}
+	return diags
+}
+
+// callees collects the statically resolvable functions called in body, in
+// source order, deduplicated.
+func (c hotpathCheck) callees(pkg *Pkg, body *ast.BlockStmt) []*types.Func {
+	seen := make(map[*types.Func]bool)
+	var out []*types.Func
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f := calleeFunc(pkg.Info, call); f != nil && !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+		return true
+	})
+	return out
+}
+
+// scanBody reports forbidden operations in one function body. via is the
+// callee name when scanning one level below the annotated function.
+func (c hotpathCheck) scanBody(p *Program, pkg *Pkg, body *ast.BlockStmt, hot, via string) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos ast.Node, what string) {
+		if via == "" {
+			diags = append(diags, p.Diag("hotpath", pos.Pos(),
+				"hot path %s %s (forbidden in //zerosum:hotpath functions)", hot, what))
+		} else {
+			diags = append(diags, p.Diag("hotpath", pos.Pos(),
+				"%s, called from hot path %s, %s (forbidden one level below //zerosum:hotpath; restructure or annotate the callee //zerosum:coldpath)", via, hot, what))
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			report(n, "spawns a goroutine")
+		case *ast.CallExpr:
+			if bad := forbiddenHotCall(calleeFunc(pkg.Info, n)); bad != "" {
+				report(n, "calls "+bad)
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// forbiddenHotCall names the violation when f may not run on a hot path.
+func forbiddenHotCall(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	switch f.Pkg().Path() {
+	case "fmt":
+		if f.Name() != "Errorf" {
+			return "fmt." + f.Name()
+		}
+	case "time":
+		switch f.Name() {
+		case "Now", "Sleep", "Tick", "After", "AfterFunc":
+			return "time." + f.Name()
+		}
+	}
+	switch f.FullName() {
+	case "(*sync.Mutex).Lock", "(*sync.Mutex).TryLock",
+		"(*sync.RWMutex).Lock", "(*sync.RWMutex).TryLock",
+		"(*sync.RWMutex).RLock", "(*sync.RWMutex).TryRLock":
+		return f.FullName()
+	}
+	return ""
+}

@@ -1,0 +1,34 @@
+// Package clock exercises the clock check: raw wall-clock calls versus the
+// injected-clock convention and the wallclock opt-out.
+package clock
+
+import "time"
+
+// Sampler takes an injected clock, the convention the check protects.
+type Sampler struct {
+	Now func() time.Time
+}
+
+// New wires the default clock in as a value: referencing time.Now without
+// calling it is clean.
+func New() *Sampler {
+	return &Sampler{Now: time.Now}
+}
+
+// Bad reads and waits on the wall clock directly.
+func (s *Sampler) Bad() time.Time {
+	time.Sleep(time.Millisecond) // true positive
+	return time.Now()            // true positive
+}
+
+// Good goes through the injected clock: clean.
+func (s *Sampler) Good() time.Time {
+	return s.Now()
+}
+
+// Backoff legitimately waits on real external latency.
+//
+//zerosum:wallclock retry pacing against a real network
+func Backoff() {
+	time.Sleep(time.Millisecond)
+}

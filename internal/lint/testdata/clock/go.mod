@@ -1,0 +1,3 @@
+module fixture/clock
+
+go 1.22

@@ -1,0 +1,30 @@
+// Package errcheck exercises the errcheck check: silently dropped errors
+// versus the explicit and exempted forms.
+package errcheck
+
+import (
+	"fmt"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+// Bad drops errors silently.
+func Bad() {
+	mayFail()    // true positive: bare call statement
+	go mayFail() // true positive: go statement
+}
+
+// Good handles, acknowledges, or uses exempted sinks.
+func Good() error {
+	_ = mayFail() // explicit discard: clean
+	if err := mayFail(); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("in-memory") // strings.Builder: clean
+	fmt.Fprintf(&b, "x=%d", 1) // Fprintf into a memory writer: clean
+	defer func() { _ = b }()   // keep b used
+	defer mayFail()            // deferred close-on-exit convention: clean
+	return nil
+}

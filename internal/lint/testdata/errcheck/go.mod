@@ -1,0 +1,3 @@
+module fixture/errcheck
+
+go 1.22

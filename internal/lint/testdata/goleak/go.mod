@@ -1,0 +1,3 @@
+module fixture/goleak
+
+go 1.22

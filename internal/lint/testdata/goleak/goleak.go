@@ -1,0 +1,45 @@
+// Package goleak exercises the goleak check: goroutines without a stop
+// mechanism versus governed and justified-detached ones.
+package goleak
+
+import "context"
+
+// Bad spawns a goroutine nothing can stop.
+func Bad() {
+	go func() { // true positive: no lifecycle reference
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}
+
+// GoodDone is governed by a done channel.
+func GoodDone(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+// GoodCtx passes a context at spawn time.
+func GoodCtx(c context.Context, run func(context.Context)) {
+	go run(c)
+}
+
+// Detached is a justified fire-and-forget goroutine.
+func Detached() {
+	//zerosum:detached one-shot best-effort flush on exit
+	go func() {
+		println("bye")
+	}()
+}
+
+type worker struct {
+	stop chan struct{}
+}
+
+func (w *worker) loop() { <-w.stop }
+
+// Start spawns a named method whose body references the stop channel.
+func (w *worker) Start() {
+	go w.loop()
+}

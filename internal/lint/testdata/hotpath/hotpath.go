@@ -1,0 +1,50 @@
+// Package hotpath exercises the hotpath check: forbidden operations at
+// depth 0, a violation one level down, and clean annotated functions.
+package hotpath
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+var mu sync.Mutex
+
+// Hot violates every hot-path rule at depth 0 and one at depth 1.
+//
+//zerosum:hotpath
+func Hot() {
+	fmt.Println("steady-state formatting") // true positive: fmt call
+	_ = time.Now()                         // true positive: wall clock
+	mu.Lock()                              // true positive: mutex
+	mu.Unlock()
+	go func() {}() // true positive: goroutine spawn
+	helper()       // true positive one level down (time.Sleep inside)
+}
+
+func helper() {
+	time.Sleep(time.Millisecond)
+}
+
+// Clean is annotated and clean: plain arithmetic, and fmt.Errorf on the
+// failure path is allowed.
+//
+//zerosum:hotpath
+func Clean(a, b int) error {
+	if add(a, b) < 0 {
+		return fmt.Errorf("negative sum of %d and %d", a, b)
+	}
+	return nil
+}
+
+func add(a, b int) int { return a + b }
+
+// cold is a declared off-steady-state helper; callers stay clean.
+//
+//zerosum:coldpath
+func cold() { fmt.Println("rate-limited diagnostics") }
+
+// ColdCaller is hot but only calls a coldpath helper: clean.
+//
+//zerosum:hotpath
+func ColdCaller() { cold() }

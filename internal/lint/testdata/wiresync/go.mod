@@ -1,0 +1,3 @@
+module fixture/wiresync
+
+go 1.22

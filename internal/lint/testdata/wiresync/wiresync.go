@@ -1,0 +1,52 @@
+// Package wiresync exercises the wiresync check: a drifted codec pair, a
+// synchronized one, an opted-out field, and an orphaned group.
+package wiresync
+
+import "encoding/binary"
+
+// Msg drifted: C is decoded but the encoder was never updated.
+type Msg struct {
+	A uint64
+	B uint64
+	C uint64 // true positive: decoder-only
+	D uint64 //zerosum:nowire derived from the frame length, never on the wire
+}
+
+//zerosum:wire-encode msg
+func Encode(dst []byte, m *Msg) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, m.A)
+	dst = binary.LittleEndian.AppendUint64(dst, m.B)
+	return dst
+}
+
+//zerosum:wire-decode msg
+func Decode(b []byte) Msg {
+	var m Msg
+	m.A = binary.LittleEndian.Uint64(b)
+	m.B = binary.LittleEndian.Uint64(b[8:])
+	m.C = binary.LittleEndian.Uint64(b[16:])
+	return m
+}
+
+// Pair is fully synchronized: clean.
+type Pair struct {
+	X uint32
+	Y uint32
+}
+
+//zerosum:wire-encode pair
+func EncodePair(dst []byte, p Pair) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, p.X)
+	dst = binary.LittleEndian.AppendUint32(dst, p.Y)
+	return dst
+}
+
+//zerosum:wire-decode pair
+func DecodePair(b []byte) Pair {
+	return Pair{X: binary.LittleEndian.Uint32(b), Y: binary.LittleEndian.Uint32(b[4:])}
+}
+
+// EncodeOrphan has no decoding counterpart: true positive.
+//
+//zerosum:wire-encode orphan
+func EncodeOrphan(dst []byte) []byte { return dst }

@@ -1,0 +1,234 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// wiresyncCheck keeps the aggregation wire format's encoder and decoder in
+// lockstep. Functions annotated //zerosum:wire-encode <group> and
+// //zerosum:wire-decode <group> form a codec pair; every exported,
+// non-embedded field of an exported module struct that either side touches
+// must be referenced by both sides, so adding a field to a wire struct and
+// updating only one side fails `make check` instead of silently producing
+// frames the other end misreads. A field that is deliberately carried
+// elsewhere (e.g. in the frame header) opts out with //zerosum:nowire <why>
+// on the field.
+type wiresyncCheck struct{}
+
+func (wiresyncCheck) Name() string { return "wiresync" }
+
+// wireStruct is an exported module struct whose fields a codec may touch.
+type wireStruct struct {
+	pkg    *Pkg
+	name   string
+	fields []wireField // named fields in declaration order
+}
+
+type wireField struct {
+	v    *types.Var
+	decl *ast.Field
+	name string
+}
+
+type wireGroup struct {
+	name    string
+	encoder []*FuncSource
+	decoder []*FuncSource
+}
+
+func (c wiresyncCheck) Run(p *Program) []Diagnostic {
+	var diags []Diagnostic
+	structOf := c.indexStructs(p)
+
+	groups := make(map[string]*wireGroup)
+	var names []string
+	ensure := func(name string) *wireGroup {
+		g := groups[name]
+		if g == nil {
+			g = &wireGroup{name: name}
+			groups[name] = g
+			names = append(names, name)
+		}
+		return g
+	}
+	for _, pkg := range p.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				dirs := directives(fd.Doc)
+				if group, ok := dirs["wire-encode"]; ok {
+					if group == "" {
+						diags = append(diags, p.Diag("wiresync", fd.Pos(),
+							"//zerosum:wire-encode on %s needs a group name", funcDisplayName(fd)))
+					} else {
+						g := ensure(group)
+						g.encoder = append(g.encoder, &FuncSource{Pkg: pkg, Decl: fd})
+					}
+				}
+				if group, ok := dirs["wire-decode"]; ok {
+					if group == "" {
+						diags = append(diags, p.Diag("wiresync", fd.Pos(),
+							"//zerosum:wire-decode on %s needs a group name", funcDisplayName(fd)))
+					} else {
+						g := ensure(group)
+						g.decoder = append(g.decoder, &FuncSource{Pkg: pkg, Decl: fd})
+					}
+				}
+			}
+		}
+	}
+
+	sort.Strings(names)
+	for _, name := range names {
+		g := groups[name]
+		switch {
+		case len(g.encoder) == 0:
+			diags = append(diags, p.Diag("wiresync", g.decoder[0].Decl.Pos(),
+				"wire group %q has a decoder but no function annotated //zerosum:wire-encode %s", name, name))
+			continue
+		case len(g.decoder) == 0:
+			diags = append(diags, p.Diag("wiresync", g.encoder[0].Decl.Pos(),
+				"wire group %q has an encoder but no function annotated //zerosum:wire-decode %s", name, name))
+			continue
+		}
+		enc := fieldRefs(g.encoder, structOf)
+		dec := fieldRefs(g.decoder, structOf)
+		diags = append(diags, c.compare(p, name, enc, dec, structOf)...)
+	}
+	return diags
+}
+
+// compare reports every exported field of every struct the group touches
+// that is not referenced on both sides.
+func (c wiresyncCheck) compare(p *Program, group string, enc, dec map[*types.Var]bool, structOf map[*types.Var]*wireStruct) []Diagnostic {
+	touched := make(map[*wireStruct]bool)
+	for v := range enc {
+		if ws := structOf[v]; ws != nil {
+			touched[ws] = true
+		}
+	}
+	for v := range dec {
+		if ws := structOf[v]; ws != nil {
+			touched[ws] = true
+		}
+	}
+	var structs []*wireStruct
+	for ws := range touched {
+		structs = append(structs, ws)
+	}
+	sort.Slice(structs, func(i, j int) bool {
+		if structs[i].pkg.Path != structs[j].pkg.Path {
+			return structs[i].pkg.Path < structs[j].pkg.Path
+		}
+		return structs[i].name < structs[j].name
+	})
+
+	var diags []Diagnostic
+	for _, ws := range structs {
+		for _, f := range ws.fields {
+			if !ast.IsExported(f.name) {
+				continue
+			}
+			if _, skip := fieldDirectives(f.decl)["nowire"]; skip {
+				continue
+			}
+			inEnc, inDec := enc[f.v], dec[f.v]
+			var what string
+			switch {
+			case inEnc && inDec:
+				continue
+			case inEnc:
+				what = "referenced by the encoder but not the decoder"
+			case inDec:
+				what = "referenced by the decoder but not the encoder"
+			default:
+				what = "not referenced by the encoder or the decoder"
+			}
+			diags = append(diags, p.Diag("wiresync", f.decl.Pos(),
+				"wire group %q: field %s.%s is %s; wire it through both sides or annotate the field //zerosum:nowire <why>",
+				group, ws.name, f.name, what))
+		}
+	}
+	return diags
+}
+
+// indexStructs maps every named field of every exported module struct to its
+// declaring struct.
+func (c wiresyncCheck) indexStructs(p *Program) map[*types.Var]*wireStruct {
+	structOf := make(map[*types.Var]*wireStruct)
+	for _, pkg := range p.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				ws := &wireStruct{pkg: pkg, name: ts.Name.Name}
+				for _, field := range st.Fields.List {
+					for _, name := range field.Names { // embedded fields have no names and stay out
+						v, ok := pkg.Info.Defs[name].(*types.Var)
+						if !ok {
+							continue
+						}
+						ws.fields = append(ws.fields, wireField{v: v, decl: field, name: name.Name})
+						structOf[v] = ws
+					}
+				}
+				return true
+			})
+		}
+	}
+	return structOf
+}
+
+// fieldRefs collects every struct field a set of functions references, via
+// selectors (including promoted fields), keyed composite literals, or —
+// for unkeyed composite literals — all fields of the literal's struct type.
+func fieldRefs(fns []*FuncSource, structOf map[*types.Var]*wireStruct) map[*types.Var]bool {
+	refs := make(map[*types.Var]bool)
+	for _, fn := range fns {
+		info := fn.Pkg.Info
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if v, ok := info.Uses[n].(*types.Var); ok && v.IsField() {
+					refs[v] = true
+				}
+			case *ast.CompositeLit:
+				if len(n.Elts) == 0 {
+					return true
+				}
+				if _, keyed := n.Elts[0].(*ast.KeyValueExpr); keyed {
+					return true // keys land in info.Uses above
+				}
+				// Unkeyed literal: positional initialization touches every field.
+				tv, ok := info.Types[n]
+				if !ok {
+					return true
+				}
+				if st, ok := tv.Type.Underlying().(*types.Struct); ok {
+					for i := 0; i < st.NumFields(); i++ {
+						refs[st.Field(i)] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Limit to fields the check knows how to attribute.
+	for v := range refs {
+		if structOf[v] == nil {
+			delete(refs, v)
+		}
+	}
+	return refs
+}
