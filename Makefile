@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench lint
+.PHONY: check fmt vet build test race bench lint chaos fuzz
 
-check: fmt vet build race lint
+check: fmt vet build race lint chaos fuzz
 
 # gofmt -l prints offending files; fail if it prints anything.
 fmt:
@@ -37,3 +37,19 @@ bench:
 # synchronization, and injected clocks. See docs/lint.md.
 lint:
 	$(GO) run ./cmd/zslint ./...
+
+# chaos runs the multi-agent fault-injection soak (docs/chaos.md) across a
+# range of seeds under the race detector. A failure prints the seed that
+# reproduces it: go test ./internal/chaos -run TestChaosSoak -seed=<N>
+CHAOS_SEEDS ?= 10
+chaos:
+	$(GO) test ./internal/chaos -race -run TestChaosSoak -seeds=$(CHAOS_SEEDS)
+
+# fuzz smoke-runs each native fuzz target for FUZZTIME on top of its
+# checked-in seed corpus (testdata/fuzz/). Longer exploratory runs:
+#   make fuzz FUZZTIME=10m
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/aggd -run '^$$' -fuzz FuzzWireDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/proc -run '^$$' -fuzz FuzzProcStatParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/export -run '^$$' -fuzz FuzzHeatmapParse -fuzztime $(FUZZTIME)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"compress/gzip"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"sync"
@@ -12,6 +13,7 @@ import (
 
 	"zerosum/internal/core"
 	"zerosum/internal/export"
+	"zerosum/internal/sim"
 )
 
 // AgentConfig tunes a node agent.
@@ -22,6 +24,11 @@ type AgentConfig struct {
 	Job  string
 	Node string
 	Rank int
+	// Epoch identifies this incarnation of the (job, node, rank) stream.
+	// Batch sequence numbers restart at 0 inside each epoch, so a process
+	// that restarts its agent must bump the epoch or the aggregator will
+	// discard the new stream's batches as replays of old sequence numbers.
+	Epoch uint64
 
 	// RingCap bounds the in-memory event buffer (default 8192). When the
 	// ring is full the oldest event is dropped — backpressure never
@@ -37,7 +44,9 @@ type AgentConfig struct {
 	// events are counted as dropped (default 3).
 	MaxRetries int
 	// BackoffBase is the first retry delay, doubling per attempt
-	// (default 50 ms), capped at MaxBackoff (default 2 s).
+	// (default 50 ms), capped at MaxBackoff (default 2 s). Each wait is
+	// jittered across [delay/2, delay) so a cluster of agents knocked
+	// offline by one aggregator hiccup does not reconnect in lockstep.
 	BackoffBase time.Duration
 	MaxBackoff  time.Duration
 	// DisableGzip ships batches uncompressed.
@@ -113,6 +122,12 @@ type Agent struct {
 	done   chan struct{}
 	wg     sync.WaitGroup
 	closed atomic.Bool
+	killed atomic.Bool
+
+	// jitterMu guards rng: post runs on the sender goroutine but also on
+	// whichever goroutine calls PushSnapshot.
+	jitterMu sync.Mutex
+	rng      *sim.RNG
 }
 
 // NewAgent starts an agent and its sender goroutine.
@@ -124,11 +139,18 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	if cfg.Job == "" {
 		return nil, fmt.Errorf("aggd: AgentConfig.Job is required")
 	}
+	// Seed the backoff jitter from the stream identity so replaying a run
+	// replays the same delays; the exact values only need to differ across
+	// agents, not be unpredictable.
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, cfg.Job)  // hash.Hash Write never fails
+	_, _ = io.WriteString(h, cfg.Node) // hash.Hash Write never fails
 	a := &Agent{
 		cfg:  cfg,
 		ring: make([]export.Event, cfg.RingCap),
 		kick: make(chan struct{}, 1),
 		done: make(chan struct{}),
+		rng:  sim.NewRNG(h.Sum64() ^ uint64(cfg.Rank)<<32 ^ cfg.Epoch),
 	}
 	a.wg.Add(1)
 	go a.run()
@@ -212,7 +234,9 @@ func (a *Agent) run() {
 	for {
 		select {
 		case <-a.done:
-			a.drain()
+			if !a.killed.Load() {
+				a.drain()
+			}
 			return
 		case <-tick.C:
 		case <-a.kick:
@@ -235,6 +259,7 @@ func (a *Agent) drain() {
 func (a *Agent) ship(events []export.Event) {
 	b := Batch{
 		Origin: Origin{Job: a.cfg.Job, Node: a.cfg.Node, Rank: a.cfg.Rank},
+		Epoch:  a.cfg.Epoch,
 		Seq:    a.seq,
 		Events: events,
 	}
@@ -267,8 +292,15 @@ func (a *Agent) post(frame []byte) error {
 	}
 	url := a.cfg.URL + "/api/ingest"
 	backoff := a.cfg.BackoffBase
+	maxRetries := a.cfg.MaxRetries
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		if a.killed.Load() {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("aggd: agent killed")
+			}
+			return lastErr
+		}
 		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 		if err != nil {
 			return err
@@ -289,15 +321,23 @@ func (a *Agent) post(frame []byte) error {
 			err = fmt.Errorf("aggd: aggregator returned %s", resp.Status)
 		}
 		lastErr = err
-		if attempt >= a.cfg.MaxRetries {
+		if attempt >= maxRetries {
 			return lastErr
 		}
 		a.retries.Add(1)
+		// Sleep the jittered backoff on a stoppable timer: a shutting-down
+		// agent must abandon the wait immediately instead of blocking Close
+		// behind the full (up to MaxBackoff) delay.
+		timer := time.NewTimer(a.jitter(backoff))
 		select {
-		case <-time.After(backoff):
-		case <-a.done: // closing: one final immediate attempt, then give up
-			if attempt >= a.cfg.MaxRetries-1 {
-				return lastErr
+		case <-timer.C:
+		case <-a.done:
+			timer.Stop()
+			// Closing: the events ride one final immediate attempt so a
+			// graceful shutdown still flushes through a transient error,
+			// then the retry loop ends.
+			if maxRetries > attempt+1 {
+				maxRetries = attempt + 1
 			}
 		}
 		backoff *= 2
@@ -305,6 +345,14 @@ func (a *Agent) post(frame []byte) error {
 			backoff = a.cfg.MaxBackoff
 		}
 	}
+}
+
+// jitter spreads a backoff delay uniformly across [d/2, d).
+func (a *Agent) jitter(d time.Duration) time.Duration {
+	a.jitterMu.Lock()
+	f := a.rng.Float64()
+	a.jitterMu.Unlock()
+	return d/2 + time.Duration(f*float64(d/2))
 }
 
 // PushSnapshot synchronously ships a rank's report snapshot and its
@@ -344,9 +392,12 @@ func (a *Agent) Dropped() uint64 {
 	return ringDrops + a.sendDrops.Load()
 }
 
-// Close flushes buffered events (bounded by the retry policy) and stops the
-// sender. Subscribers left attached to a stream keep counting their events
-// as dropped. Close is idempotent.
+// Close flushes buffered events and stops the sender. The flush is bounded:
+// a shipment already mid-backoff gets one final immediate attempt, and
+// whatever still cannot be delivered is counted as dropped rather than
+// blocking shutdown behind the full retry schedule. Subscribers left
+// attached to a stream keep counting their events as dropped. Close is
+// idempotent.
 func (a *Agent) Close() error {
 	if a.closed.Swap(true) {
 		return nil
@@ -354,4 +405,24 @@ func (a *Agent) Close() error {
 	close(a.done)
 	a.wg.Wait()
 	return nil
+}
+
+// Kill stops the agent the way a crash would: no final drain, no retry of
+// an in-flight shipment. Events still buffered in the ring — data a real
+// crash would silently lose — are counted as send drops so the agent's
+// conservation invariant (enqueued == sent + dropped) survives the crash;
+// the chaos harness leans on that to audit fault scenarios exactly. Kill
+// is idempotent and safe to race with Close (first caller wins).
+func (a *Agent) Kill() {
+	if a.closed.Swap(true) {
+		return
+	}
+	a.killed.Store(true)
+	close(a.done)
+	a.wg.Wait()
+	a.mu.Lock()
+	orphaned := a.count
+	a.head, a.count = 0, 0
+	a.mu.Unlock()
+	a.sendDrops.Add(uint64(orphaned))
 }

@@ -1,0 +1,109 @@
+package aggd
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"zerosum/internal/core"
+	"zerosum/internal/export"
+)
+
+// fuzzSeedFrames builds a representative set of well-formed frames plus a
+// few near-miss mutations so the fuzzer starts inside the interesting part
+// of the input space instead of hammering the magic check.
+func fuzzSeedFrames(t interface{ Fatalf(string, ...any) }) [][]byte {
+	batch := &Batch{
+		Origin: Origin{Job: "fuzz", Node: "n00", Rank: 3},
+		Epoch:  2,
+		Seq:    7,
+		Events: []export.Event{
+			{Kind: export.EventHeartbeat, TimeSec: 1.5},
+			{Kind: export.EventLWP, TimeSec: 2, LWP: &export.LWPSample{TID: 41, Kind: "Main", State: 'R', UserPct: 80, SysPct: 5, VCtx: 3, MinFlt: 9, CPU: 2}},
+			{Kind: export.EventHWT, TimeSec: 2, HWT: &export.HWTSample{CPU: 1, IdlePct: 60, SysPct: 10, UserPct: 30}},
+			{Kind: export.EventGPU, TimeSec: 2, GPU: &export.GPUSample{GPU: 0, Metric: "Device Busy %", Value: 42.5}},
+			{Kind: export.EventMem, TimeSec: 3, Mem: &export.MemSample{TotalKB: 1 << 20, FreeKB: 1 << 18, ProcRSSKB: 1 << 16}},
+			{Kind: export.EventIO, TimeSec: 3, IO: &export.IOSample{RChar: 100, WChar: 200, ReadBytes: 50}},
+		},
+	}
+	bf, err := EncodeBatchFrame(batch)
+	if err != nil {
+		t.Fatalf("seed batch: %v", err)
+	}
+	sf, err := EncodeSnapshotFrame(&SnapshotMsg{
+		Origin: Origin{Job: "fuzz", Node: "n00", Rank: 3},
+		Snapshot: core.Snapshot{
+			Rank: 3, Size: 4, Hostname: "n00", Samples: 10,
+			LWPs: []core.ThreadSummary{{TID: 41, Label: "Main", Kind: core.KindMain, UTimePct: 80}},
+			HWTs: []core.HWTSummary{{CPU: 0, IdlePct: 50, UserPct: 40, SysPct: 10}},
+		},
+		CommRow: map[int]uint64{0: 1024, 2: 4096},
+	})
+	if err != nil {
+		t.Fatalf("seed snapshot: %v", err)
+	}
+
+	truncated := append([]byte(nil), bf[:len(bf)-3]...)
+	flipped := append([]byte(nil), bf...)
+	flipped[len(flipped)/2] ^= 0x40
+	withGarbage := append([]byte("torn-write-residue"), sf...)
+	backToBack := append(append([]byte(nil), bf...), sf...)
+	return [][]byte{bf, sf, truncated, flipped, withGarbage, backToBack}
+}
+
+// FuzzWireDecode throws arbitrary bytes at the frame reader, the payload
+// decoders, and the resyncing scanner. Invariants: no panic, the scanner
+// always terminates, and any frame that decodes cleanly re-encodes to the
+// exact bytes that were consumed (wire canonical form).
+func FuzzWireDecode(f *testing.F) {
+	for _, seed := range fuzzSeedFrames(f) {
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("ZSAG"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, payload, err := ReadFrame(bytes.NewReader(data))
+		if err == nil {
+			switch kind {
+			case FrameBatch:
+				if b, err := DecodeBatchPayload(payload); err == nil {
+					re, err := EncodeBatchFrame(b)
+					if err != nil {
+						t.Fatalf("decoded batch failed to re-encode: %v", err)
+					}
+					if consumed := data[:frameHeaderLen+len(payload)]; !bytes.Equal(re, consumed) {
+						t.Fatalf("batch round-trip not canonical:\n in  %x\n out %x", consumed, re)
+					}
+				}
+			case FrameSnapshot:
+				_, _ = DecodeSnapshotPayload(payload)
+			}
+		}
+
+		// The scanner must make progress through any input: each Next call
+		// either yields a frame, reports a corrupt run, or ends the stream.
+		sc := NewFrameScanner(bytes.NewReader(data))
+		for steps := 0; ; steps++ {
+			if steps > len(data)+16 {
+				t.Fatalf("scanner failed to terminate on %d-byte input", len(data))
+			}
+			_, _, err := sc.Next()
+			if err == nil {
+				continue
+			}
+			if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				break
+			}
+			var ce *CorruptFrameError
+			if errors.As(err, &ce) {
+				if ce.Skipped == 0 {
+					t.Fatalf("corrupt-frame report skipped zero bytes: %v", ce)
+				}
+				continue
+			}
+			break // terminal transport error (truncation mid-frame)
+		}
+	})
+}

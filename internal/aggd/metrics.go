@@ -71,6 +71,9 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		{name: "zerosum_ingest_snapshots_total", help: "Rank snapshots accepted by the aggregator.", typ: "counter"},
 		{name: "zerosum_ingest_errors_total", help: "Rejected ingest requests.", typ: "counter"},
 		{name: "zerosum_lost_batches_total", help: "Batch sequence gaps observed across all streams.", typ: "counter"},
+		{name: "zerosum_recovered_batches_total", help: "Gap batches later delivered by an agent retry.", typ: "counter"},
+		{name: "zerosum_duplicate_batches_total", help: "Replayed batches skipped by sequence dedup.", typ: "counter"},
+		{name: "zerosum_corrupt_frames_total", help: "Ingest frames rejected for checksum or framing damage.", typ: "counter"},
 		{name: "zerosum_response_write_errors_total", help: "Response bodies that failed mid-write (client hangups).", typ: "counter"},
 		{name: "zerosum_stream_events_total", help: "Events received per stream.", typ: "counter"},
 		{name: "zerosum_heartbeat_age_seconds", help: "Seconds since the last frame arrived from a stream.", typ: "gauge"},
@@ -89,6 +92,9 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		fSnaps
 		fErrors
 		fLost
+		fRecovered
+		fDup
+		fCorrupt
 		fWriteErrors
 		fStreamEvents
 		fHeartbeat
@@ -106,6 +112,9 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	families[fSnaps].add("", float64(s.ingestSnapshots.Load()))
 	families[fErrors].add("", float64(s.ingestErrors.Load()))
 	families[fLost].add("", float64(s.lostBatches.Load()))
+	families[fRecovered].add("", float64(s.recoveredBatches.Load()))
+	families[fDup].add("", float64(s.dupBatches.Load()))
+	families[fCorrupt].add("", float64(s.corruptFrames.Load()))
 	families[fWriteErrors].add("", float64(s.writeErrors.Load()))
 
 	now := s.cfg.Now()

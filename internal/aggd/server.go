@@ -3,6 +3,7 @@ package aggd
 import (
 	"compress/gzip"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -37,12 +38,44 @@ type Server struct {
 	cfg    ServerConfig
 	shards [nShards]shard
 
-	ingestBatches   atomic.Uint64
-	ingestEvents    atomic.Uint64
-	ingestSnapshots atomic.Uint64
-	ingestErrors    atomic.Uint64
-	lostBatches     atomic.Uint64 // sequence gaps observed across all streams
-	writeErrors     atomic.Uint64 // response bodies that failed mid-write
+	ingestBatches    atomic.Uint64
+	ingestEvents     atomic.Uint64
+	ingestSnapshots  atomic.Uint64
+	ingestErrors     atomic.Uint64
+	lostBatches      atomic.Uint64 // sequence gaps observed across all streams
+	recoveredBatches atomic.Uint64 // gap batches that later arrived via retry
+	dupBatches       atomic.Uint64 // replayed batches skipped by dedup
+	corruptFrames    atomic.Uint64 // frames rejected for checksum/framing damage
+	writeErrors      atomic.Uint64 // response bodies that failed mid-write
+}
+
+// ServerStats is a point-in-time snapshot of the aggregator's counters; the
+// chaos soak audits fault accounting against it without scraping /metrics.
+type ServerStats struct {
+	IngestBatches    uint64
+	IngestEvents     uint64
+	IngestSnapshots  uint64
+	IngestErrors     uint64
+	LostBatches      uint64
+	RecoveredBatches uint64
+	DupBatches       uint64
+	CorruptFrames    uint64
+	WriteErrors      uint64
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		IngestBatches:    s.ingestBatches.Load(),
+		IngestEvents:     s.ingestEvents.Load(),
+		IngestSnapshots:  s.ingestSnapshots.Load(),
+		IngestErrors:     s.ingestErrors.Load(),
+		LostBatches:      s.lostBatches.Load(),
+		RecoveredBatches: s.recoveredBatches.Load(),
+		DupBatches:       s.dupBatches.Load(),
+		CorruptFrames:    s.corruptFrames.Load(),
+		WriteErrors:      s.writeErrors.Load(),
+	}
 }
 
 type shard struct {
@@ -67,8 +100,16 @@ type rankState struct {
 	lastRecv    time.Time // server receipt time of the latest frame
 	lastSampleT float64   // largest sample timestamp seen
 	events      uint64
-	nextSeq     uint64
-	seqSeen     bool
+
+	// Sequence accounting. An agent numbers batches 0,1,2,… within one
+	// epoch (incarnation); retries resend the same (epoch, seq). maxSeq is
+	// the highest applied sequence and holes records skipped-over sequence
+	// numbers still outstanding, so a late retry of a gap batch is merged
+	// exactly once while a replay of an already-applied batch is skipped.
+	epoch   uint64
+	maxSeq  uint64
+	seqSeen bool
+	holes   map[uint64]bool
 
 	hwt     map[int]export.HWTSample
 	gpuBusy map[int]float64
@@ -168,40 +209,63 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		defer zr.Close()
 		body = zr
 	}
-	frames := 0
+	// A body may interleave healthy and damaged frames (bit flips,
+	// truncation, garbage from a half-written buffer). The scanner applies
+	// every frame that survives its checksum and resynchronizes past the
+	// rest; any damage still fails the request so the agent retries the
+	// whole body, and sequence dedup makes that retry idempotent.
+	sc := NewFrameScanner(body)
+	frames, corrupt := 0, 0
+	var firstErr error
 	for {
-		kind, payload, err := ReadFrame(body)
+		kind, payload, err := sc.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			s.ingestErrors.Add(1)
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
+			corrupt++
+			s.corruptFrames.Add(1)
+			if firstErr == nil {
+				firstErr = err
+			}
+			var ce *CorruptFrameError
+			if errors.As(err, &ce) {
+				continue // scanner resynchronized; keep consuming
+			}
+			break // truncated stream or read failure: nothing left to scan
 		}
 		switch kind {
 		case FrameBatch:
 			b, err := DecodeBatchPayload(payload)
 			if err != nil {
-				s.ingestErrors.Add(1)
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
+				corrupt++
+				s.corruptFrames.Add(1)
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
 			}
 			s.applyBatch(b)
+			frames++
 		case FrameSnapshot:
 			msg, err := DecodeSnapshotPayload(payload)
 			if err != nil {
-				s.ingestErrors.Add(1)
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
+				corrupt++
+				s.corruptFrames.Add(1)
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
 			}
 			s.applySnapshot(msg)
-		default:
-			s.ingestErrors.Add(1)
-			http.Error(w, fmt.Sprintf("aggd: unknown frame kind %d", kind), http.StatusBadRequest)
-			return
+			frames++
 		}
-		frames++
+	}
+	if corrupt > 0 {
+		s.ingestErrors.Add(1)
+		http.Error(w, fmt.Sprintf("aggd: %d corrupt frame(s) in body (%d applied): %v",
+			corrupt, frames, firstErr), http.StatusBadRequest)
+		return
 	}
 	if frames == 0 {
 		s.ingestErrors.Add(1)
@@ -211,19 +275,80 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// maxTrackedHoles bounds the per-stream set of outstanding sequence gaps so
+// a pathological sender cannot grow server memory; beyond the bound, a late
+// retry of an untracked gap counts as a duplicate (data already counted
+// lost), which errs on the side of never double-merging.
+const maxTrackedHoles = 1024
+
+// admitBatch decides whether a batch is new data (true) or a replay that
+// must not be merged again (false), updating the stream's sequence
+// accounting. Caller holds the jobStore lock.
+func (s *Server) admitBatch(rs *rankState, b *Batch) bool {
+	if !rs.seqSeen || b.Epoch > rs.epoch {
+		// First contact, or the agent restarted into a new incarnation:
+		// sequence numbering starts over. Earlier batches of the new epoch
+		// that were dropped before this one arrived are gaps too.
+		rs.epoch = b.Epoch
+		rs.seqSeen = true
+		rs.maxSeq = b.Seq
+		rs.holes = nil
+		s.noteGap(rs, 0, b.Seq)
+		return true
+	}
+	if b.Epoch < rs.epoch {
+		// Replay from a dead incarnation (e.g. a retry that outlived its
+		// agent's restart): everything it carries was already accounted.
+		s.dupBatches.Add(1)
+		return false
+	}
+	switch {
+	case b.Seq == rs.maxSeq+1:
+		rs.maxSeq = b.Seq
+		return true
+	case b.Seq > rs.maxSeq+1:
+		s.noteGap(rs, rs.maxSeq+1, b.Seq)
+		rs.maxSeq = b.Seq
+		return true
+	default: // b.Seq <= rs.maxSeq: a retry — gap fill or replay?
+		if rs.holes[b.Seq] {
+			delete(rs.holes, b.Seq)
+			s.recoveredBatches.Add(1)
+			return true
+		}
+		s.dupBatches.Add(1)
+		return false
+	}
+}
+
+// noteGap records sequence numbers [lo, hi) as lost-until-proven-otherwise.
+func (s *Server) noteGap(rs *rankState, lo, hi uint64) {
+	if hi <= lo {
+		return
+	}
+	s.lostBatches.Add(hi - lo)
+	for q := lo; q < hi; q++ {
+		if len(rs.holes) >= maxTrackedHoles {
+			return
+		}
+		if rs.holes == nil {
+			rs.holes = make(map[uint64]bool)
+		}
+		rs.holes[q] = true
+	}
+}
+
 func (s *Server) applyBatch(b *Batch) {
 	now := s.cfg.Now()
 	js := s.job(b.Job)
 	js.mu.Lock()
 	defer js.mu.Unlock()
 	rs := js.rank(rankKey{node: b.Node, rank: b.Rank})
-	rs.lastRecv = now
-	rs.events += uint64(len(b.Events))
-	if rs.seqSeen && b.Seq > rs.nextSeq {
-		s.lostBatches.Add(b.Seq - rs.nextSeq)
+	rs.lastRecv = now // even a replay proves the stream is alive
+	if !s.admitBatch(rs, b) {
+		return
 	}
-	rs.nextSeq = b.Seq + 1
-	rs.seqSeen = true
+	rs.events += uint64(len(b.Events))
 	for i := range b.Events {
 		ev := &b.Events[i]
 		if ev.TimeSec > rs.lastSampleT {

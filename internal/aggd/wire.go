@@ -12,9 +12,12 @@
 package aggd
 
 import (
+	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -25,24 +28,37 @@ import (
 // Wire framing (all little endian). Every message on the wire is one frame:
 //
 //	magic   "ZSAG" (4 bytes)
-//	version uint8  (currently 1)
+//	version uint8  (currently 2)
 //	kind    uint8  (FrameBatch | FrameSnapshot)
 //	length  uint32 (payload bytes that follow)
+//	crc     uint32 (CRC-32C of the payload)
 //	payload
 //
 // A FrameBatch payload is the compact binary batch encoding below; a
 // FrameSnapshot payload is the JSON encoding of SnapshotMsg (snapshots are
 // sent once per rank, so compactness does not matter there). Multiple
 // frames may be concatenated in one HTTP request body.
+//
+// The checksum exists because the aggregation path must stay trustworthy
+// under the link-flap and partial-write regimes an always-on monitor lives
+// through: a bit flip inside a float64 payload still decodes "successfully"
+// and silently poisons the job view, so every payload is integrity-checked
+// before it is parsed. Version 2 also carries the sending agent's stream
+// epoch so the server can tell a restarted agent (sequence numbers reset)
+// from a retried batch (sequence numbers repeat).
 const (
 	// WireVersion is the current framing version; Decode rejects others.
-	WireVersion = 1
+	WireVersion = 2
 	// MaxFramePayload bounds a frame so a corrupt or hostile length field
 	// cannot make the server allocate unbounded memory.
 	MaxFramePayload = 64 << 20
 
-	frameHeaderLen = 10
+	frameHeaderLen = 14
 )
+
+// castagnoli is the CRC-32C polynomial table (hardware-accelerated on
+// amd64/arm64, so checksumming stays off the overhead budget).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 var wireMagic = [4]byte{'Z', 'S', 'A', 'G'}
 
@@ -66,9 +82,13 @@ type Origin struct {
 func (o Origin) Key() string { return fmt.Sprintf("%s/%s/%d", o.Job, o.Node, o.Rank) }
 
 // Batch is one shipment of stream events from a single rank's agent. Seq
-// increases by one per batch sent, letting the server detect loss.
+// increases by one per batch sent, letting the server detect loss and
+// deduplicate retried shipments. Epoch identifies one incarnation of the
+// sending agent: a restarted agent starts a new epoch with Seq back at 0,
+// which the server must not mistake for a replay of old sequence numbers.
 type Batch struct {
 	Origin
+	Epoch  uint64
 	Seq    uint64
 	Events []export.Event
 }
@@ -96,7 +116,8 @@ const (
 func appendHeader(dst []byte, kind FrameKind) []byte {
 	dst = append(dst, wireMagic[:]...)
 	dst = append(dst, WireVersion, byte(kind))
-	return binary.LittleEndian.AppendUint32(dst, 0) // patched by finishFrame
+	dst = binary.LittleEndian.AppendUint32(dst, 0)  // length, patched by finishFrame
+	return binary.LittleEndian.AppendUint32(dst, 0) // crc, patched by finishFrame
 }
 
 func finishFrame(frame []byte) ([]byte, error) {
@@ -104,7 +125,8 @@ func finishFrame(frame []byte) ([]byte, error) {
 	if payload > MaxFramePayload {
 		return nil, fmt.Errorf("aggd: frame payload %d exceeds %d", payload, MaxFramePayload)
 	}
-	binary.LittleEndian.PutUint32(frame[frameHeaderLen-4:frameHeaderLen], uint32(payload))
+	binary.LittleEndian.PutUint32(frame[6:10], uint32(payload))
+	binary.LittleEndian.PutUint32(frame[10:14], crc32.Checksum(frame[frameHeaderLen:], castagnoli))
 	return frame, nil
 }
 
@@ -136,6 +158,7 @@ func AppendBatchFrame(dst []byte, b *Batch) ([]byte, error) {
 		return nil, err
 	}
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(b.Rank)))
+	dst = binary.LittleEndian.AppendUint64(dst, b.Epoch)
 	dst = binary.LittleEndian.AppendUint64(dst, b.Seq)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.Events)))
 	for i := range b.Events {
@@ -246,8 +269,9 @@ func EncodeSnapshotFrame(msg *SnapshotMsg) ([]byte, error) {
 	return finishFrame(frame)
 }
 
-// ReadFrame reads one frame from r. io.EOF signals a clean end of stream;
-// a truncated frame yields io.ErrUnexpectedEOF.
+// ReadFrame reads one frame from r and verifies its payload checksum.
+// io.EOF signals a clean end of stream; a truncated frame yields
+// io.ErrUnexpectedEOF.
 func ReadFrame(r io.Reader) (FrameKind, []byte, error) {
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -267,11 +291,120 @@ func ReadFrame(r io.Reader) (FrameKind, []byte, error) {
 	if n > MaxFramePayload {
 		return 0, nil, fmt.Errorf("aggd: frame claims %d payload bytes (max %d)", n, MaxFramePayload)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	payload, err := readPayload(r, int(n))
+	if err != nil {
 		return 0, nil, fmt.Errorf("aggd: frame payload: %w", io.ErrUnexpectedEOF)
 	}
+	if sum := crc32.Checksum(payload, castagnoli); sum != binary.LittleEndian.Uint32(hdr[10:14]) {
+		return 0, nil, fmt.Errorf("aggd: frame payload checksum mismatch (corrupt frame)")
+	}
 	return kind, payload, nil
+}
+
+// readPayload reads exactly n payload bytes, growing the buffer in bounded
+// chunks so a corrupt or hostile length field costs at most one chunk of
+// allocation before the short read is detected.
+func readPayload(r io.Reader, n int) ([]byte, error) {
+	const chunk = 1 << 20
+	if n <= chunk {
+		buf := make([]byte, n)
+		_, err := io.ReadFull(r, buf)
+		return buf, err
+	}
+	buf := make([]byte, 0, chunk)
+	for len(buf) < n {
+		k := n - len(buf)
+		if k > chunk {
+			k = chunk
+		}
+		off := len(buf)
+		buf = append(buf, make([]byte, k)...)
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// CorruptFrameError reports bytes a FrameScanner had to throw away to get
+// back in sync with the frame stream. It is a recoverable condition: the
+// scanner is positioned at the next plausible frame when it is returned.
+type CorruptFrameError struct {
+	Skipped int    // bytes discarded, including any corrupt frame's own span
+	Reason  string // human-readable cause
+}
+
+func (e *CorruptFrameError) Error() string {
+	return fmt.Sprintf("aggd: corrupt frame (%s, %d bytes skipped)", e.Reason, e.Skipped)
+}
+
+// FrameScanner iterates the frames of a byte stream, resynchronizing on
+// corrupt input instead of giving up: garbage between frames is skipped up
+// to the next plausible header, and a frame whose checksum does not match
+// is reported and stepped over. Each corruption event surfaces as exactly
+// one *CorruptFrameError from Next, so a caller can count losses and keep
+// consuming the remaining healthy frames.
+type FrameScanner struct {
+	r *bufio.Reader
+}
+
+// NewFrameScanner wraps r for resynchronizing frame iteration.
+func NewFrameScanner(r io.Reader) *FrameScanner {
+	return &FrameScanner{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// plausibleHeader reports whether hdr could open a real frame.
+func plausibleHeader(hdr []byte) bool {
+	return [4]byte(hdr[:4]) == wireMagic &&
+		hdr[4] == WireVersion &&
+		(FrameKind(hdr[5]) == FrameBatch || FrameKind(hdr[5]) == FrameSnapshot) &&
+		binary.LittleEndian.Uint32(hdr[6:10]) <= MaxFramePayload
+}
+
+// Next returns the next verified frame. io.EOF signals a clean end of
+// stream; *CorruptFrameError signals skipped corruption with the scanner
+// still usable; any other error (including a truncated final frame) is
+// terminal.
+func (s *FrameScanner) Next() (FrameKind, []byte, error) {
+	skipped := 0
+	for {
+		hdr, err := s.r.Peek(frameHeaderLen)
+		if len(hdr) == 0 {
+			if err != nil && err != io.EOF {
+				return 0, nil, err
+			}
+			if skipped > 0 {
+				return 0, nil, &CorruptFrameError{Skipped: skipped, Reason: "no frame magic before end of stream"}
+			}
+			return 0, nil, io.EOF
+		}
+		if len(hdr) < frameHeaderLen {
+			// Trailing bytes too short to ever form a header.
+			n, _ := s.r.Discard(len(hdr))
+			return 0, nil, &CorruptFrameError{Skipped: skipped + n, Reason: "truncated trailing bytes"}
+		}
+		if !plausibleHeader(hdr) {
+			_, _ = s.r.Discard(1)
+			skipped++
+			continue
+		}
+		if skipped > 0 {
+			// Report the garbage run first; the valid frame is still
+			// buffered and will be returned by the next call.
+			return 0, nil, &CorruptFrameError{Skipped: skipped, Reason: "garbage before frame magic"}
+		}
+		kind, payload, err := ReadFrame(s.r)
+		if err != nil {
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				return 0, nil, err
+			}
+			// Checksum mismatch: the frame span was consumed; resume
+			// scanning from the byte after it.
+			span := frameHeaderLen + int(binary.LittleEndian.Uint32(hdr[6:10]))
+			return 0, nil, &CorruptFrameError{Skipped: span, Reason: "payload checksum mismatch"}
+		}
+		return kind, payload, nil
+	}
 }
 
 // decoder is a cursor over one frame payload.
@@ -349,6 +482,9 @@ func DecodeBatchPayload(payload []byte) (*Batch, error) {
 	if b.Rank, err = d.i32(); err != nil {
 		return nil, err
 	}
+	if b.Epoch, err = d.u64(); err != nil {
+		return nil, err
+	}
 	if b.Seq, err = d.u64(); err != nil {
 		return nil, err
 	}
@@ -356,8 +492,13 @@ func DecodeBatchPayload(payload []byte) (*Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	if int(n) > len(payload) { // every event takes >1 byte: cheap sanity cap
-		return nil, fmt.Errorf("aggd: batch claims %d events in %d bytes", n, len(payload))
+	// Every event costs at least a tag byte plus the f64 timestamp, so a
+	// count the remaining bytes cannot hold is a lie — reject it before it
+	// sizes an allocation (a hostile count of 2^32-1 would otherwise ask
+	// for hundreds of gigabytes of Event headroom).
+	const minEventLen = 9
+	if int64(n)*minEventLen > int64(len(payload)-d.off) {
+		return nil, fmt.Errorf("aggd: batch claims %d events in %d bytes", n, len(payload)-d.off)
 	}
 	b.Events = make([]export.Event, 0, n)
 	for i := uint32(0); i < n; i++ {

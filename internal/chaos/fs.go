@@ -1,0 +1,41 @@
+package chaos
+
+import (
+	"fmt"
+
+	"zerosum/internal/fsio"
+	"zerosum/internal/sim"
+)
+
+// FSProfile sets per-operation fault probabilities for a simulated shared
+// filesystem (the "increased or variable network and disk latency" and
+// transient-EIO regimes of the paper's §2).
+type FSProfile struct {
+	// ErrorRate fails the operation outright (transient EIO).
+	ErrorRate float64
+	// DelayRate stalls the operation by a uniform fraction of MaxExtra —
+	// the server-side stall occupies the filesystem, so queued operations
+	// behind it wait too.
+	DelayRate float64
+	MaxExtra  sim.Time
+}
+
+// FSInjector builds an fsio.Injector drawing from rng. Like everything in
+// fsio it runs on the single-threaded simulation loop, so the fault
+// schedule is bit-reproducible from the RNG seed. Each operation consumes
+// exactly three draws regardless of outcome, keeping schedules aligned
+// across profile changes.
+func FSInjector(rng *sim.RNG, p FSProfile) fsio.Injector {
+	return func(op string, bytes uint64) (sim.Time, error) {
+		fail := rng.Bool(p.ErrorRate)
+		slow := rng.Bool(p.DelayRate)
+		frac := rng.Float64()
+		if fail {
+			return 0, fmt.Errorf("chaos: injected %s error (%d bytes)", op, bytes)
+		}
+		if slow {
+			return sim.Time(frac * float64(p.MaxExtra)), nil
+		}
+		return 0, nil
+	}
+}

@@ -1,0 +1,94 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// TB is the sliver of *testing.T the leak checker needs, so non-test code
+// (the soak harness) can use it too.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Logf(format string, args ...any)
+}
+
+// LeakCheck captures a goroutine/file-descriptor baseline; Assert later
+// verifies the process returned to it. Usage:
+//
+//	lc := chaos.StartLeakCheck()
+//	defer lc.Assert(t)
+type LeakCheck struct {
+	goroutines int
+	fds        int
+}
+
+// StartLeakCheck records the current goroutine and FD counts.
+func StartLeakCheck() LeakCheck {
+	return LeakCheck{goroutines: runtime.NumGoroutine(), fds: NumFDs()}
+}
+
+// NumFDs counts the process's open file descriptors via /proc/self/fd,
+// returning -1 where that interface does not exist (non-Linux hosts); FD
+// assertions are skipped there.
+func NumFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	// The ReadDir traversal itself holds one descriptor open.
+	return len(ents) - 1
+}
+
+// Assert fails t unless goroutines and FDs have returned to (at most) the
+// baseline. Teardown is asynchronous — closed listeners and finished
+// senders take a few scheduler rounds to unwind — so it polls with a
+// deadline instead of sampling once.
+//
+//zerosum:wallclock teardown settling is real-host scheduling, not simulated time
+func (lc LeakCheck) Assert(t TB) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var g, f int
+	for {
+		g, f = runtime.NumGoroutine(), NumFDs()
+		if g <= lc.goroutines && (lc.fds < 0 || f <= lc.fds) {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g > lc.goroutines {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d now vs %d at baseline\n%s", g, lc.goroutines, buf[:n])
+	}
+	if lc.fds >= 0 && f > lc.fds {
+		t.Errorf("fd leak: %d open now vs %d at baseline (%s)", f, lc.fds, fdList())
+	}
+}
+
+// fdList renders the open descriptors' targets for the leak report.
+func fdList() string {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return "?"
+	}
+	out := ""
+	for _, e := range ents {
+		dst, err := os.Readlink("/proc/self/fd/" + e.Name())
+		if err != nil {
+			continue
+		}
+		if out != "" {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s→%s", e.Name(), dst)
+	}
+	return out
+}

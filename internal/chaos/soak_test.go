@@ -1,0 +1,96 @@
+package chaos
+
+import (
+	"flag"
+	"testing"
+)
+
+var (
+	flagSeed  = flag.Uint64("seed", 1, "chaos soak seed to run (replay a failure with its printed seed)")
+	flagSeeds = flag.Int("seeds", 0, "run this many consecutive seeds starting at -seed (0 = just -seed)")
+)
+
+// soakConfig is the acceptance shape: >= 8 agents, every fault class
+// enabled, agent crashes and an aggregator restart mid-run.
+func soakConfig(seed uint64, logf func(string, ...any)) SoakConfig {
+	return SoakConfig{
+		Seed:          seed,
+		Agents:        8,
+		Kills:         1,
+		RestartServer: true,
+		Profile:       AllFaults(),
+		Logf:          logf,
+	}
+}
+
+// TestChaosSoak runs the full-fault soak for one seed (-seed) or a range
+// (-seeds). Any failure names the seed that reproduces it.
+func TestChaosSoak(t *testing.T) {
+	n := *flagSeeds
+	if n <= 0 {
+		n = 1
+	}
+	for seed := *flagSeed; seed < *flagSeed+uint64(n); seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			lc := StartLeakCheck()
+			res, err := RunSoak(soakConfig(seed, t.Logf))
+			if err != nil {
+				t.Fatalf("chaos soak failed (replay: go test ./internal/chaos -run TestChaosSoak -seed=%d): %v", seed, err)
+			}
+			lc.Assert(t)
+			if res.Agent.SentEvents == 0 {
+				t.Fatalf("seed %d: soak delivered nothing: %+v", seed, res.Agent)
+			}
+		})
+	}
+}
+
+// TestChaosSoakFaultFree pins the baseline: with no faults injected,
+// nothing is dropped, nothing is retried, and the aggregator merges every
+// event exactly once.
+func TestChaosSoakFaultFree(t *testing.T) {
+	lc := StartLeakCheck()
+	res, err := RunSoak(SoakConfig{
+		Seed:   42,
+		Agents: 8,
+		Kills:  -1,
+		// Lossless ring: the baseline asserts zero drops of any kind.
+		RingCap: 4096,
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("fault-free soak failed: %v", err)
+	}
+	lc.Assert(t)
+	a := res.Agent
+	if a.SendDrops != 0 || a.RingDrops != 0 {
+		t.Fatalf("fault-free run dropped events: %+v", a)
+	}
+	if a.SentEvents != res.JobEvents {
+		t.Fatalf("fault-free run: sent %d, server merged %d", a.SentEvents, res.JobEvents)
+	}
+	if res.Server.DupBatches != 0 || res.Server.CorruptFrames != 0 {
+		t.Fatalf("fault-free run saw faults: %+v", res.Server)
+	}
+}
+
+// TestChaosSoakDeterministicSchedule verifies seed replay: two injectors
+// built from the same seed issue identical verdict sequences, so a failing
+// seed's fault schedule is reconstructed exactly.
+func TestChaosSoakDeterministicSchedule(t *testing.T) {
+	mkSeq := func() []Verdict {
+		in := NewInjector(newTestRNG(7), AllFaults())
+		out := make([]Verdict, 400)
+		for i := range out {
+			out[i] = in.Decide()
+		}
+		return out
+	}
+	a, b := mkSeq(), mkSeq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("verdict %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Injected fault errors. They are ordinary network-shaped errors: the code
+// under test must treat them exactly like a flaky datacenter would deserve.
+var (
+	ErrInjectedDrop     = errors.New("chaos: request dropped by fault injection")
+	ErrInjectedRespLoss = errors.New("chaos: response lost by fault injection")
+	ErrInjectedCut      = errors.New("chaos: connection cut by fault injection")
+)
+
+// Transport is an http.RoundTripper that subjects every request to an
+// Injector's verdict: delay, drop before send, corrupt the body in flight,
+// or complete the exchange and then lose the response. Give each client its
+// own Transport (and each Transport a forked RNG) so one client's traffic
+// never perturbs another's fault schedule.
+type Transport struct {
+	// Inner performs the real exchange (default http.DefaultTransport).
+	Inner http.RoundTripper
+	// Inj decides each request's fate.
+	Inj *Injector
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	inner := t.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	v := t.Inj.Decide()
+	if v.Delay > 0 {
+		timer := time.NewTimer(v.Delay)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	if v.DropRequest {
+		if req.Body != nil {
+			_, _ = io.Copy(io.Discard, req.Body)
+			_ = req.Body.Close()
+		}
+		return nil, ErrInjectedDrop
+	}
+	if v.Corrupt != CorruptNone && req.Body != nil {
+		body, err := io.ReadAll(req.Body)
+		_ = req.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("chaos: reading body to corrupt: %w", err)
+		}
+		body = Mangle(body, v)
+		mutated := req.Clone(req.Context())
+		mutated.Body = io.NopCloser(bytes.NewReader(body))
+		mutated.ContentLength = int64(len(body))
+		mutated.GetBody = func() (io.ReadCloser, error) {
+			return io.NopCloser(bytes.NewReader(body)), nil
+		}
+		req = mutated
+	}
+	resp, err := inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if v.DropResponse {
+		// The server finished its side; the client never learns. Drain so
+		// the connection is reusable — the fault is the lost reply, not a
+		// broken socket.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		return nil, ErrInjectedRespLoss
+	}
+	return resp, nil
+}
+
+// FlakyListener wraps a net.Listener so accepted connections can be severed
+// mid-stream by the injector's CutConn class — the server-facing half of
+// the fault surface (a request truncated inside the kernel, not at the
+// HTTP client).
+type FlakyListener struct {
+	net.Listener
+	Inj *Injector
+}
+
+// Accept wraps the next connection with fault injection.
+func (l *FlakyListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &flakyConn{Conn: c, inj: l.Inj}, nil
+}
+
+// flakyConn severs the underlying connection on an injected cut, so both
+// halves of the exchange observe a real broken socket.
+type flakyConn struct {
+	net.Conn
+	inj *Injector
+}
+
+func (c *flakyConn) Read(p []byte) (int, error) {
+	if c.inj.CutNow() {
+		_ = c.Conn.Close()
+		return 0, ErrInjectedCut
+	}
+	return c.Conn.Read(p)
+}

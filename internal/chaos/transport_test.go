@@ -1,0 +1,175 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"zerosum/internal/sim"
+)
+
+func newTestRNG(seed uint64) *sim.RNG { return sim.NewRNG(seed) }
+
+func TestMangleBitFlip(t *testing.T) {
+	body := []byte("hello, aggregation frame")
+	out := Mangle(body, Verdict{Corrupt: CorruptBitFlip, FlipBit: 13})
+	if bytes.Equal(out, body) {
+		t.Fatal("bit flip left the body unchanged")
+	}
+	diff := 0
+	for i := range body {
+		if body[i] != out[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("bit flip touched %d bytes, want 1", diff)
+	}
+	if !bytes.Equal([]byte("hello, aggregation frame"), body) {
+		t.Fatal("Mangle mutated its input")
+	}
+}
+
+func TestMangleTruncate(t *testing.T) {
+	body := []byte("0123456789")
+	out := Mangle(body, Verdict{Corrupt: CorruptTruncated, TruncFrac: 0.5})
+	if len(out) != 5 || !bytes.Equal(out, body[:5]) {
+		t.Fatalf("truncate gave %q", out)
+	}
+	// Even a fraction of 1.0 must lose at least one byte — a "truncation"
+	// that keeps everything would inject nothing.
+	if out := Mangle(body, Verdict{Corrupt: CorruptTruncated, TruncFrac: 1.0}); len(out) != len(body)-1 {
+		t.Fatalf("full-fraction truncate kept %d of %d bytes", len(out), len(body))
+	}
+}
+
+func TestMangleGarbagePrefix(t *testing.T) {
+	body := []byte("payload")
+	out := Mangle(body, Verdict{Corrupt: CorruptGarbagePrefix, GarbageSeed: 99})
+	if len(out) <= len(body) || !bytes.HasSuffix(out, body) {
+		t.Fatalf("garbage prefix gave %q", out)
+	}
+	again := Mangle(body, Verdict{Corrupt: CorruptGarbagePrefix, GarbageSeed: 99})
+	if !bytes.Equal(out, again) {
+		t.Fatal("garbage prefix not deterministic for one seed")
+	}
+}
+
+// TestTransportFaults drives requests through every verdict class against a
+// live server and checks each one's observable effect.
+func TestTransportFaults(t *testing.T) {
+	var gotBodies [][]byte
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		gotBodies = append(gotBodies, b)
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer ts.Close()
+
+	post := func(tr *Transport, body string) error {
+		client := &http.Client{Transport: tr, Timeout: time.Second}
+		resp, err := client.Post(ts.URL, "text/plain", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil
+	}
+
+	// Drop-request: client errors, server sees nothing.
+	tr := &Transport{Inj: NewInjector(newTestRNG(1), FaultProfile{DropRequest: 1})}
+	if err := post(tr, "x"); !errors.Is(err, ErrInjectedDrop) && err == nil {
+		t.Fatalf("drop-request err = %v", err)
+	}
+	if len(gotBodies) != 0 {
+		t.Fatalf("dropped request reached the server")
+	}
+
+	// Drop-response: server processes, client errors.
+	tr = &Transport{Inj: NewInjector(newTestRNG(1), FaultProfile{DropResponse: 1})}
+	if err := post(tr, "applied"); err == nil {
+		t.Fatal("drop-response returned success")
+	}
+	if len(gotBodies) != 1 || string(gotBodies[0]) != "applied" {
+		t.Fatalf("drop-response server saw %q", gotBodies)
+	}
+
+	// Corruption: server receives a different body.
+	tr = &Transport{Inj: NewInjector(newTestRNG(1), FaultProfile{CorruptFlip: 1})}
+	if err := post(tr, "fragile"); err != nil {
+		t.Fatalf("corrupted post: %v", err)
+	}
+	if len(gotBodies) != 2 || string(gotBodies[1]) == "fragile" {
+		t.Fatalf("corruption did not alter the body: %q", gotBodies[1:])
+	}
+
+	// Partition: a window of consecutive drops, then recovery.
+	tr = &Transport{Inj: NewInjector(newTestRNG(1), FaultProfile{Partition: 1, PartitionLen: 3})}
+	drops := 0
+	for i := 0; i < 8; i++ {
+		if err := post(tr, "p"); err != nil {
+			drops++
+		}
+	}
+	if drops < 3 {
+		t.Fatalf("partition dropped only %d requests", drops)
+	}
+
+	// Heal: all faults off, traffic flows.
+	tr = &Transport{Inj: NewInjector(newTestRNG(1), FaultProfile{DropRequest: 1})}
+	tr.Inj.Heal()
+	if err := post(tr, "healed"); err != nil {
+		t.Fatalf("healed transport failed: %v", err)
+	}
+}
+
+// TestInjectorScheduleAlignment checks that disabling one fault class does
+// not shift the draws of the others: the same seed must produce the same
+// delay schedule whether or not corruption is enabled.
+func TestInjectorScheduleAlignment(t *testing.T) {
+	delays := func(p FaultProfile) []time.Duration {
+		in := NewInjector(newTestRNG(5), p)
+		var out []time.Duration
+		for i := 0; i < 200; i++ {
+			out = append(out, in.Decide().Delay)
+		}
+		return out
+	}
+	base := FaultProfile{Delay: 0.5, MaxDelay: time.Millisecond}
+	withCorrupt := base
+	withCorrupt.CorruptFlip = 0.5
+	a, b := delays(base), delays(withCorrupt)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay %d shifted when corruption was enabled: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFlakyListenerCuts(t *testing.T) {
+	inj := NewInjector(newTestRNG(3), FaultProfile{CutConn: 1})
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Listener = &FlakyListener{Listener: ts.Listener, Inj: inj}
+	ts.Start()
+	defer ts.Close()
+
+	client := &http.Client{Timeout: time.Second, Transport: &http.Transport{DisableKeepAlives: true}}
+	if _, err := client.Get(ts.URL); err == nil {
+		t.Fatal("certain cut still served a response")
+	}
+	if inj.Stats().ConnCuts == 0 {
+		t.Fatal("no cut recorded")
+	}
+	inj.Heal()
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("healed listener: %v", err)
+	}
+	resp.Body.Close()
+}

@@ -269,6 +269,9 @@ func WriteCommCSV(w io.Writer, matrix [][]uint64) error {
 
 // ReadCommCSV rebuilds a size x size matrix from WriteCommCSV output.
 func ReadCommCSV(r io.Reader, size int) ([][]uint64, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("export: negative comm matrix size %d", size)
+	}
 	rows, err := readRows(r, 3, "comm")
 	if err != nil {
 		return nil, err

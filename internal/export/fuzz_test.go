@@ -1,0 +1,53 @@
+package export
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzHeatmapParse feeds arbitrary CSV at the comm-matrix reader. The matrix
+// size is an independent fuzz argument (in production it comes from the job
+// summary, which crosses the wire separately from the CSV), bounded so a
+// hostile size cannot allocate size^2 cells. Invariants: no panic, and any
+// matrix that parses cleanly survives a write/read round trip.
+func FuzzHeatmapParse(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteCommCSV(&buf, [][]uint64{{0, 5, 0}, {7, 0, 1}, {0, 2, 0}}); err != nil {
+		f.Fatalf("seed matrix: %v", err)
+	}
+	f.Add(buf.Bytes(), 3)
+	f.Add([]byte("dst,src,bytes\n"), 1)
+	f.Add([]byte("dst,src,bytes\n9,9,1\n"), 2)       // out-of-range entry
+	f.Add([]byte("dst,src,bytes\n-1,0,1\n"), 2)      // negative index
+	f.Add([]byte("dst,src,bytes\n0,0,notanum\n"), 1) // soft-parsed value
+	f.Add([]byte("dst,src\n0,0\n"), 1)               // wrong column count
+	f.Add([]byte(""), 0)
+	f.Add([]byte("x"), -1)
+
+	f.Fuzz(func(t *testing.T, data []byte, size int) {
+		// Bound the allocation, not the parser: size*size cells at 8 bytes
+		// each stays under a few hundred KiB.
+		if size > 128 {
+			size %= 128
+		}
+		m, err := ReadCommCSV(bytes.NewReader(data), size)
+		if err != nil {
+			return
+		}
+		if len(m) != size {
+			t.Fatalf("parsed matrix has %d rows, want %d", len(m), size)
+		}
+		var out bytes.Buffer
+		if err := WriteCommCSV(&out, m); err != nil {
+			t.Fatalf("re-writing parsed matrix: %v", err)
+		}
+		again, err := ReadCommCSV(bytes.NewReader(out.Bytes()), size)
+		if err != nil {
+			t.Fatalf("re-reading written matrix: %v", err)
+		}
+		if !reflect.DeepEqual(m, again) {
+			t.Fatalf("comm matrix round trip diverged:\n %v\n %v", m, again)
+		}
+	})
+}

@@ -44,25 +44,44 @@ type Subscriber func(Event)
 // recovered, the event counts as dropped for that subscriber, and delivery
 // to the remaining subscribers continues.
 type Stream struct {
-	mu      sync.Mutex                   // guards Subscribe's copy-on-write
+	mu      sync.Mutex                   // guards Subscribe/Close's copy-on-write
+	closed  bool                         // under mu
 	subs    atomic.Pointer[[]Subscriber] // immutable snapshot read by Publish
 	n       atomic.Uint64
 	dropped atomic.Uint64
 }
 
-// Subscribe registers a consumer for all subsequent events.
+// Subscribe registers a consumer for all subsequent events. Subscribing to
+// a closed stream is a no-op.
 func (s *Stream) Subscribe(fn Subscriber) {
 	if fn == nil {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
 	var next []Subscriber
 	if old := s.subs.Load(); old != nil {
 		next = append(next, *old...)
 	}
 	next = append(next, fn)
 	s.subs.Store(&next)
+}
+
+// Close detaches every subscriber and rejects future Subscribes, so a torn-
+// down consumer (e.g. a killed aggregation agent) can never be called again
+// through a stream that outlives it. Publish stays safe on a closed stream:
+// events are still counted but delivered to no one. A Publish already in
+// flight may deliver to the old subscriber snapshot it loaded before Close
+// swapped it out — callers that need a hard barrier must stop publishers
+// first. Close is idempotent.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.subs.Store(nil)
 }
 
 // Publish delivers an event to every subscriber. The hot path is one atomic

@@ -1,0 +1,40 @@
+// External test package: chaos imports fsio, so wiring the chaos injector
+// into the filesystem can only be tested from outside the package.
+package fsio_test
+
+import (
+	"testing"
+
+	"zerosum/internal/chaos"
+	"zerosum/internal/fsio"
+	"zerosum/internal/sim"
+)
+
+// TestChaosFSInjector wires the chaos package's seeded injector into the
+// filesystem and checks determinism: one seed, one fault schedule.
+func TestChaosFSInjector(t *testing.T) {
+	run := func(seed uint64) (errs uint64, delay sim.Time) {
+		var now sim.Time
+		fs := fsio.New(fsio.Params{BytesPerSec: 1e9}, func() sim.Time { return now })
+		fs.SetInjector(chaos.FSInjector(sim.NewRNG(seed), chaos.FSProfile{
+			ErrorRate: 0.3, DelayRate: 0.3, MaxExtra: sim.Millisecond,
+		}))
+		for i := 0; i < 200; i++ {
+			fs.Write(nil, 1000)
+			fs.Read(nil, 1000)
+		}
+		return fs.InjectedFaults()
+	}
+	e1, d1 := run(11)
+	e2, d2 := run(11)
+	if e1 != e2 || d1 != d2 {
+		t.Fatalf("same seed diverged: (%d,%v) vs (%d,%v)", e1, d1, e2, d2)
+	}
+	if e1 == 0 || d1 == 0 {
+		t.Fatalf("30%% rates over 400 ops injected nothing: errs=%d delay=%v", e1, d1)
+	}
+	e3, d3 := run(12)
+	if e1 == e3 && d1 == d3 {
+		t.Fatalf("different seeds produced identical schedules: errs=%d delay=%v", e1, d1)
+	}
+}

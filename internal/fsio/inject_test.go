@@ -1,0 +1,61 @@
+package fsio
+
+import (
+	"testing"
+
+	"zerosum/internal/sim"
+)
+
+// TestInjectorFaultsOps: an injected error fails the op before any transfer
+// or quota accounting; injected latency extends the completion time past the
+// modeled bandwidth, and both are tallied by InjectedFaults.
+func TestInjectorFaultsOps(t *testing.T) {
+	var now sim.Time
+	fs := testFS(&now, Params{BytesPerSec: 1e9, QuotaBytes: 1000})
+
+	fail := true
+	fs.SetInjector(func(op string, bytes uint64) (sim.Time, error) {
+		if fail {
+			return 0, &injectErr{op}
+		}
+		return sim.Second, nil
+	})
+
+	if _, err := fs.Write(nil, 100); err == nil {
+		t.Fatal("injected write error not surfaced")
+	}
+	if fs.UsedBytes() != 0 {
+		t.Fatalf("failed write consumed quota: %d bytes", fs.UsedBytes())
+	}
+	if _, w, _, wo := fs.Stats(); w != 0 || wo != 0 {
+		t.Fatalf("failed write counted in stats: %d bytes, %d ops", w, wo)
+	}
+
+	fail = false
+	done, err := fs.Write(nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 B at 1 GB/s is essentially instant; the injected second dominates.
+	if done < sim.Second {
+		t.Fatalf("injected latency not applied: done at %v", done)
+	}
+
+	errs, delay := fs.InjectedFaults()
+	if errs != 1 || delay != sim.Second {
+		t.Fatalf("InjectedFaults = (%d, %v), want (1, 1s)", errs, delay)
+	}
+
+	// Queued ops wait behind the injected stall, like a real hung device.
+	done2, err := fs.Write(nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done2 < done {
+		t.Fatalf("second op finished at %v, before the stalled first op at %v", done2, done)
+	}
+}
+
+type injectErr struct{ op string }
+
+func (e *injectErr) Error() string { return "injected " + e.op + " failure" }

@@ -62,6 +62,7 @@ func DefaultOptions() Options {
 		ClockScope: []string{
 			"internal/core", "internal/sched", "internal/sim",
 			"internal/proc", "internal/export", "internal/aggd",
+			"internal/chaos",
 		},
 	}
 }

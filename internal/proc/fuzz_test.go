@@ -1,0 +1,28 @@
+package proc
+
+import "testing"
+
+// FuzzProcStatParse feeds arbitrary text through every /proc text parser.
+// The parsers run on the monitor's sampling path against files the kernel —
+// or a hostile container runtime — controls, so the only contract is: return
+// an error, never panic, never allocate proportional to anything but the
+// input length.
+func FuzzProcStatParse(f *testing.F) {
+	f.Add("1234 (app (x) y) R 1 1234 1234 0 -1 4194304 100 0 2 0 50 10 0 0 20 0 4 0 300 10485760 2048 18446744073709551615 1 1 0 0 0 0 0 0 0 0 0 0 17 3 0 0 0 0 0")
+	f.Add("Name:\tapp\nState:\tR (running)\nTgid:\t1234\nPid:\t1234\nPPid:\t1\nThreads:\t4\nVmPeak:\t  10240 kB\nVmRSS:\t 2048 kB\nCpus_allowed:\tff\nCpus_allowed_list:\t0-7\nvoluntary_ctxt_switches:\t12\nnonvoluntary_ctxt_switches:\t3\n")
+	f.Add("MemTotal:       16384000 kB\nMemFree:         8192000 kB\nMemAvailable:   12288000 kB\nBuffers:          100000 kB\nCached:          2000000 kB\nSwapTotal:             0 kB\nSwapFree:              0 kB\n")
+	f.Add("rchar: 100\nwchar: 200\nsyscr: 10\nsyscw: 20\nread_bytes: 4096\nwrite_bytes: 8192\ncancelled_write_bytes: 0\n")
+	f.Add("cpu  10 0 20 1000 5 0 1 0 0 0\ncpu0 5 0 10 500 2 0 1 0 0 0\ncpu1 5 0 10 500 3 0 0 0 0 0\nctxt 12345\nbtime 1700000000\nprocesses 100\nprocs_running 2\nprocs_blocked 0\n")
+	f.Add("")
+	f.Add("1 () R")
+	f.Add("cpu bad row\n")
+	f.Add("Cpus_allowed_list:\t0-\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		_, _ = ParseTaskStat(text)
+		_, _ = ParseTaskStatus(text)
+		_, _ = ParseMeminfo(text)
+		_, _ = ParseTaskIO(text)
+		_, _ = ParseStat(text)
+	})
+}

@@ -219,6 +219,14 @@ func (r *RNG) Norm(mean, stddev float64) float64 {
 	return mean + stddev*z
 }
 
+// Bool returns true with probability p (clamped to [0,1]); the draw always
+// consumes exactly one value so schedules stay aligned across replays even
+// when a fault class is disabled by setting its probability to zero.
+func (r *RNG) Bool(p float64) bool {
+	v := r.Float64()
+	return p > 0 && v < p
+}
+
 // Exp returns an exponentially distributed value with the given mean.
 func (r *RNG) Exp(mean float64) float64 {
 	u := r.Float64()

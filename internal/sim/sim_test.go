@@ -286,3 +286,29 @@ func BenchmarkQueue(b *testing.B) {
 		q.Step()
 	}
 }
+
+func TestRNGBool(t *testing.T) {
+	r := NewRNG(21)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.22 || frac > 0.28 {
+		t.Fatalf("Bool(0.25) fired %.3f of the time", frac)
+	}
+	// Degenerate probabilities never fire (and p=0 must still consume a
+	// draw — fault-schedule alignment depends on it).
+	a, b := NewRNG(5), NewRNG(5)
+	if a.Bool(0) || a.Bool(-1) {
+		t.Fatal("non-positive probability fired")
+	}
+	b.Float64()
+	b.Float64()
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Bool(0) did not consume exactly one draw")
+	}
+}
