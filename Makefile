@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench lint chaos fuzz
+.PHONY: check fmt vet build test race bench bench-record lint chaos fuzz
 
 check: fmt vet build race lint chaos fuzz
 
@@ -29,8 +29,21 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the root-package benchmark suite (the paper-evaluation harness
+# in bench_test.go) and gates it against the committed baseline: a benchmark
+# more than 20% slower in ns/op, or more than 0.1% over its allocs/op
+# baseline (exact for the small deterministic hot-path counts), fails.
+# After an intentional performance change, refresh the baseline with
+# `make bench-record` and commit it. docs/perf.md explains the budgets.
+BENCH_BASELINE ?= BENCH_PR4.json
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench . -benchmem . | tee bench.out
+	$(GO) run ./cmd/zsbench -baseline $(BENCH_BASELINE) bench.out
+
+bench-record:
+	$(GO) test -run '^$$' -bench . -benchmem . | tee bench.out
+	$(GO) run ./cmd/zsbench -record $(BENCH_BASELINE) \
+		-note "recorded by make bench-record; see docs/perf.md" bench.out
 
 # zslint enforces the //zerosum:* conventions: hot-path purity, error
 # handling in the sampling tiers, goroutine lifecycles, wire codec

@@ -11,10 +11,15 @@ package zerosum
 // scale and prints the complete paper-vs-measured comparison.
 
 import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -238,12 +243,10 @@ func BenchmarkStreamPublish(b *testing.B) {
 	})
 }
 
-// BenchmarkWireEncodeDecode measures a round trip of one 512-event batch
-// through the aggregation wire format (the per-batch cost the node agent
-// and aggregator pay off the sampling hot path).
-func BenchmarkWireEncodeDecode(b *testing.B) {
-	const batchSize = 512
-	batch := &aggd.Batch{Origin: aggd.Origin{Job: "bench", Node: "n0", Rank: 0}, Seq: 1}
+// benchBatch builds one rank's 512-event LWP/HWT/Mem shipment, the batch
+// shape both wire and ingest benchmarks round-trip.
+func benchBatch(rank, batchSize int) *aggd.Batch {
+	batch := &aggd.Batch{Origin: aggd.Origin{Job: "bench", Node: "n0", Rank: rank}, Epoch: 1}
 	for i := 0; i < batchSize; i++ {
 		t := float64(i) * 0.001
 		switch i % 3 {
@@ -264,19 +267,30 @@ func BenchmarkWireEncodeDecode(b *testing.B) {
 			})
 		}
 	}
+	return batch
+}
+
+// BenchmarkWireEncodeDecode measures a round trip of one 512-event batch
+// through the aggregation wire format (the per-batch cost the node agent
+// and aggregator pay off the sampling hot path).
+func BenchmarkWireEncodeDecode(b *testing.B) {
+	const batchSize = 512
+	batch := benchBatch(0, batchSize)
+	batch.Seq = 1
 	frame, err := aggd.EncodeBatchFrame(batch)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	buf := make([]byte, 0, len(frame))
+	var bb aggd.BatchBuf // reused decode arena, as the ingest path pools them
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf, err = aggd.AppendBatchFrame(buf[:0], batch)
 		if err != nil {
 			b.Fatal(err)
 		}
-		dec, err := aggd.DecodeBatchPayload(buf[frameHeaderLenForBench:])
+		dec, err := aggd.DecodeBatchPayloadInto(buf[aggd.FrameHeaderLen:], &bb)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -287,9 +301,99 @@ func BenchmarkWireEncodeDecode(b *testing.B) {
 	b.ReportMetric(float64(len(frame))/batchSize, "bytes/event")
 }
 
-// frameHeaderLenForBench mirrors aggd's (unexported) frame header size:
-// 4-byte magic + version + kind + uint32 payload length.
-const frameHeaderLenForBench = 10
+// BenchmarkServerIngest measures aggregator ingest throughput with 8
+// concurrent node agents each shipping 512-event batches as fast as the
+// server accepts them — the job-wide collection load behind the paper's
+// always-on monitoring claim. The Gzip variant includes the senders'
+// compression cost, bounding the end-to-end path rather than isolating the
+// server.
+func BenchmarkServerIngest(b *testing.B) {
+	const agents = 8
+	const batchSize = 512
+	run := func(b *testing.B, gz bool) {
+		srv := aggd.NewServer(aggd.ServerConfig{})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		// Default transports idle only two connections per host; with 8
+		// agents that measures TCP churn, not the server.
+		ts.Client().Transport.(*http.Transport).MaxIdleConnsPerHost = agents
+		b.ReportAllocs()
+		b.ResetTimer()
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		errc := make(chan error, agents)
+		for rank := 0; rank < agents; rank++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				client := ts.Client()
+				batch := benchBatch(rank, batchSize)
+				var frame []byte
+				var zbuf bytes.Buffer
+				zw := gzip.NewWriter(io.Discard)
+				var seq uint64
+				for next.Add(1) <= int64(b.N) {
+					batch.Seq = seq
+					seq++
+					var err error
+					frame, err = aggd.AppendBatchFrame(frame[:0], batch)
+					if err != nil {
+						errc <- err
+						return
+					}
+					body, encoding := frame, ""
+					if gz {
+						zbuf.Reset()
+						zw.Reset(&zbuf)
+						if _, err := zw.Write(frame); err != nil {
+							errc <- err
+							return
+						}
+						if err := zw.Close(); err != nil {
+							errc <- err
+							return
+						}
+						body, encoding = zbuf.Bytes(), "gzip"
+					}
+					req, err := http.NewRequest(http.MethodPost, ts.URL+"/api/ingest", bytes.NewReader(body))
+					if err != nil {
+						errc <- err
+						return
+					}
+					if encoding != "" {
+						req.Header.Set("Content-Encoding", encoding)
+					}
+					resp, err := client.Do(req)
+					if err != nil {
+						errc <- err
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode/100 != 2 {
+						errc <- fmt.Errorf("ingest returned %s", resp.Status)
+						return
+					}
+				}
+			}(rank)
+		}
+		wg.Wait()
+		b.StopTimer()
+		select {
+		case err := <-errc:
+			b.Fatal(err)
+		default:
+		}
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(b.N)*batchSize/secs, "events/s")
+		}
+		if st := srv.Stats(); st.IngestBatches != uint64(b.N) || st.DupBatches != 0 || st.IngestErrors != 0 {
+			b.Fatalf("server stats after %d posts: %+v", b.N, st)
+		}
+	}
+	b.Run("Plain", func(b *testing.B) { run(b, false) })
+	b.Run("Gzip", func(b *testing.B) { run(b, true) })
+}
 
 // BenchmarkAblations runs the design-choice ablation suite at reduced
 // scale, reporting the bandwidth-model ratio gap it exists to justify.

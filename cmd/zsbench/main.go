@@ -1,0 +1,215 @@
+// Command zsbench records and compares benchmark baselines so performance
+// regressions fail the build instead of landing silently.
+//
+// It consumes the standard `go test -bench -benchmem` text output:
+//
+//	record a baseline:   go test -bench . -benchmem . | zsbench -record BENCH.json
+//	gate a change:       go test -bench . -benchmem . | zsbench -baseline BENCH.json
+//
+// The gate fails (exit 1) when any benchmark present in both runs is more
+// than -max-ns-regress slower in ns/op (default 20%, absorbing shared-runner
+// noise) or exceeds its allocs/op baseline by more than -max-allocs-regress
+// (default 0.1%). For the hot-path benchmarks, whose counts are small and
+// deterministic, 0.1% of the baseline is less than one allocation, so the
+// gate is exact there — a zero-alloc benchmark fails on its first alloc —
+// while the multi-million-alloc simulation benchmarks absorb their
+// parts-per-million goroutine-scheduling jitter.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"b_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"` // custom b.ReportMetric units
+}
+
+// Baseline is the on-disk JSON shape.
+type Baseline struct {
+	Note       string   `json:"note,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	record := flag.String("record", "", "write a baseline JSON to this path instead of comparing")
+	baseline := flag.String("baseline", "", "baseline JSON to compare the input against")
+	maxNs := flag.Float64("max-ns-regress", 0.20, "maximum tolerated fractional ns/op regression")
+	maxAllocs := flag.Float64("max-allocs-regress", 0.001, "maximum tolerated fractional allocs/op regression (sub-1 absolute slack is exact)")
+	note := flag.String("note", "", "free-text provenance stored in a recorded baseline")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fatal(fmt.Errorf("at most one input file (default stdin), got %d args", flag.NArg()))
+	}
+	results, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines in input"))
+	}
+
+	switch {
+	case *record != "":
+		if err := writeBaseline(*record, *note, results); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("zsbench: recorded %d benchmarks to %s\n", len(results), *record)
+	case *baseline != "":
+		base, err := readBaseline(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		if !compare(os.Stdout, base, results, *maxNs, *maxAllocs) {
+			os.Exit(1)
+		}
+	default:
+		// No mode: just echo the parse as JSON (useful for plumbing).
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(Baseline{Benchmarks: results}); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "zsbench:", err)
+	os.Exit(2)
+}
+
+// parseBench extracts result lines ("BenchmarkX-8  N  v unit  v unit ...")
+// from go test output, ignoring everything else.
+func parseBench(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Iterations must be an integer or this is a header/PASS line.
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue
+		}
+		res := Result{Name: trimProcSuffix(fields[0])}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// trimProcSuffix drops the trailing -GOMAXPROCS so baselines recorded on
+// hosts with different core counts still match by name.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func writeBaseline(path, note string, results []Result) error {
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	data, err := json.MarshalIndent(Baseline{Note: note, Benchmarks: results}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func readBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// compare reports per-benchmark deltas and returns false when the run
+// regresses past the gates.
+func compare(w io.Writer, base *Baseline, cur []Result, maxNs, maxAllocs float64) bool {
+	byName := make(map[string]Result, len(cur))
+	for _, r := range cur {
+		byName[r.Name] = r
+	}
+	ok, matched := true, 0
+	for _, b := range base.Benchmarks {
+		c, found := byName[b.Name]
+		if !found {
+			fmt.Fprintf(w, "zsbench: %-40s missing from this run (baseline %.0f ns/op)\n", b.Name, b.NsPerOp)
+			continue
+		}
+		matched++
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = c.NsPerOp/b.NsPerOp - 1
+		}
+		status := "ok"
+		switch {
+		case delta > maxNs:
+			status = fmt.Sprintf("FAIL ns/op regressed %.1f%% (max %.0f%%)", delta*100, maxNs*100)
+			ok = false
+		case c.AllocsPerOp > b.AllocsPerOp+b.AllocsPerOp*maxAllocs:
+			status = fmt.Sprintf("FAIL allocs/op %g > baseline %g", c.AllocsPerOp, b.AllocsPerOp)
+			ok = false
+		}
+		fmt.Fprintf(w, "zsbench: %-40s %10.0f ns/op (%+6.1f%%)  %4g allocs/op (base %g)  %s\n",
+			b.Name, c.NsPerOp, delta*100, c.AllocsPerOp, b.AllocsPerOp, status)
+	}
+	if matched == 0 {
+		fmt.Fprintln(w, "zsbench: no benchmarks matched the baseline")
+		return false
+	}
+	if ok {
+		fmt.Fprintf(w, "zsbench: %d/%d benchmarks within budget\n", matched, len(base.Benchmarks))
+	}
+	return ok
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOut = `goos: linux
+goarch: amd64
+pkg: zerosum
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkMonitorTick-8     	   19166	     62309 ns/op	         4.000 lwps	       7 B/op	       0 allocs/op
+BenchmarkServerIngest/Plain 	   25917	     87665 ns/op	   5840432 events/s	   32779 B/op	      75 allocs/op
+PASS
+ok  	zerosum	8.127s
+`
+
+func TestParseBench(t *testing.T) {
+	res, err := parseBench(strings.NewReader(sampleOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(res))
+	}
+	tick := res[0]
+	if tick.Name != "BenchmarkMonitorTick" { // -8 suffix trimmed
+		t.Errorf("name = %q", tick.Name)
+	}
+	if tick.NsPerOp != 62309 || tick.AllocsPerOp != 0 || tick.BytesPerOp != 7 {
+		t.Errorf("tick = %+v", tick)
+	}
+	if tick.Metrics["lwps"] != 4 {
+		t.Errorf("custom metric lwps = %v", tick.Metrics["lwps"])
+	}
+	if res[1].Name != "BenchmarkServerIngest/Plain" || res[1].Metrics["events/s"] != 5840432 {
+		t.Errorf("ingest = %+v", res[1])
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := &Baseline{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 5},
+		{Name: "BenchmarkB", NsPerOp: 100, AllocsPerOp: 0},
+	}}
+	cases := []struct {
+		name string
+		cur  []Result
+		ok   bool
+	}{
+		{"within budget", []Result{{Name: "BenchmarkA", NsPerOp: 115, AllocsPerOp: 5}, {Name: "BenchmarkB", NsPerOp: 90}}, true},
+		{"ns regression", []Result{{Name: "BenchmarkA", NsPerOp: 130, AllocsPerOp: 5}, {Name: "BenchmarkB", NsPerOp: 90}}, false},
+		{"alloc regression", []Result{{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 5}, {Name: "BenchmarkB", NsPerOp: 100, AllocsPerOp: 1}}, false},
+		{"fewer allocs ok", []Result{{Name: "BenchmarkA", NsPerOp: 80, AllocsPerOp: 0}, {Name: "BenchmarkB", NsPerOp: 100}}, true},
+		{"nothing matched", []Result{{Name: "BenchmarkC", NsPerOp: 1}}, false},
+	}
+	for _, tc := range cases {
+		var sb strings.Builder
+		if got := compare(&sb, base, tc.cur, 0.20, 0.001); got != tc.ok {
+			t.Errorf("%s: compare = %v, want %v\n%s", tc.name, got, tc.ok, sb.String())
+		}
+	}
+}
+
+// TestCompareAllocJitter pins down the shape of the allocs/op gate: exact for
+// small deterministic counts, fractionally tolerant for huge simulation
+// benchmarks whose counts wobble by parts per million run to run.
+func TestCompareAllocJitter(t *testing.T) {
+	base := &Baseline{Benchmarks: []Result{
+		{Name: "BenchmarkHot", NsPerOp: 100, AllocsPerOp: 75},
+		{Name: "BenchmarkSim", NsPerOp: 100, AllocsPerOp: 15_000_000},
+	}}
+	cases := []struct {
+		name string
+		cur  []Result
+		ok   bool
+	}{
+		{"sim jitter absorbed", []Result{
+			{Name: "BenchmarkHot", NsPerOp: 100, AllocsPerOp: 75},
+			{Name: "BenchmarkSim", NsPerOp: 100, AllocsPerOp: 15_000_010}}, true},
+		{"sim real regression", []Result{
+			{Name: "BenchmarkHot", NsPerOp: 100, AllocsPerOp: 75},
+			{Name: "BenchmarkSim", NsPerOp: 100, AllocsPerOp: 15_200_000}}, false},
+		{"hot path stays exact", []Result{
+			{Name: "BenchmarkHot", NsPerOp: 100, AllocsPerOp: 76},
+			{Name: "BenchmarkSim", NsPerOp: 100, AllocsPerOp: 15_000_000}}, false},
+	}
+	for _, tc := range cases {
+		var sb strings.Builder
+		if got := compare(&sb, base, tc.cur, 0.20, 0.001); got != tc.ok {
+			t.Errorf("%s: compare = %v, want %v\n%s", tc.name, got, tc.ok, sb.String())
+		}
+	}
+}

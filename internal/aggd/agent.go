@@ -2,7 +2,6 @@ package aggd
 
 import (
 	"bytes"
-	"compress/gzip"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -105,12 +104,20 @@ type Agent struct {
 	cfg AgentConfig
 
 	mu        sync.Mutex
-	ring      []export.Event
+	ring      []eventSlot
 	head      int // index of the oldest buffered event
 	count     int
 	enqueued  uint64 // events accepted from the stream (under mu: the
 	ringDrops uint64 // enqueue path already holds it, so plain fields
 	//                  beat per-event atomics on the hot path)
+
+	// Sender-goroutine scratch, reused across batches: takeBatch memmoves
+	// ring slots into slotScratch under the lock, then builds the Events
+	// view pointing into those slots outside it; ship appends the frame
+	// into frameBuf.
+	slotScratch []eventSlot
+	shipEvents  []export.Event
+	frameBuf    []byte
 
 	sendDrops   atomic.Uint64
 	sentBatches atomic.Uint64
@@ -146,11 +153,13 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	_, _ = io.WriteString(h, cfg.Job)  // hash.Hash Write never fails
 	_, _ = io.WriteString(h, cfg.Node) // hash.Hash Write never fails
 	a := &Agent{
-		cfg:  cfg,
-		ring: make([]export.Event, cfg.RingCap),
-		kick: make(chan struct{}, 1),
-		done: make(chan struct{}),
-		rng:  sim.NewRNG(h.Sum64() ^ uint64(cfg.Rank)<<32 ^ cfg.Epoch),
+		cfg:         cfg,
+		ring:        make([]eventSlot, cfg.RingCap),
+		slotScratch: make([]eventSlot, cfg.BatchSize),
+		shipEvents:  make([]export.Event, 0, cfg.BatchSize),
+		kick:        make(chan struct{}, 1),
+		done:        make(chan struct{}),
+		rng:         sim.NewRNG(h.Sum64() ^ uint64(cfg.Rank)<<32 ^ cfg.Epoch),
 	}
 	a.wg.Add(1)
 	go a.run()
@@ -183,7 +192,7 @@ func (a *Agent) enqueue(ev export.Event) {
 	if i >= len(a.ring) {
 		i -= len(a.ring)
 	}
-	a.ring[i] = ev
+	a.ring[i].store(ev)
 	a.count++
 	a.enqueued++
 	// Kick the sender only when the buffer crosses the batch threshold
@@ -199,12 +208,15 @@ func (a *Agent) enqueue(ev export.Event) {
 	}
 }
 
-// takeBatch pops up to BatchSize buffered events.
+// takeBatch pops up to BatchSize buffered events into the sender's reused
+// scratch. The returned slice (and the payloads its events point into) is
+// valid until the next takeBatch call — the sender finishes shipping each
+// batch before taking the next, so nothing is ever shipped twice.
 func (a *Agent) takeBatch() []export.Event {
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	n := a.count
 	if n == 0 {
+		a.mu.Unlock()
 		return nil
 	}
 	if n > a.cfg.BatchSize {
@@ -212,18 +224,27 @@ func (a *Agent) takeBatch() []export.Event {
 	}
 	// Two contiguous copies keep the lock hold short: enqueue blocks on
 	// this mutex, so an element-wise loop here would tax the hot path.
-	out := make([]export.Event, n)
+	slots := a.slotScratch[:n]
 	first := len(a.ring) - a.head
 	if first > n {
 		first = n
 	}
-	copy(out, a.ring[a.head:a.head+first])
-	copy(out[first:], a.ring[:n-first])
+	copy(slots, a.ring[a.head:a.head+first])
+	copy(slots[first:], a.ring[:n-first])
 	a.head += n
 	if a.head >= len(a.ring) {
 		a.head -= len(a.ring)
 	}
 	a.count -= n
+	a.mu.Unlock()
+
+	// Build the Events view outside the lock; the payload pointers target
+	// slotScratch, which never grows, so they stay valid for this batch.
+	out := a.shipEvents[:0]
+	for i := range slots {
+		out = append(out, slots[i].event())
+	}
+	a.shipEvents = out
 	return out
 }
 
@@ -263,11 +284,12 @@ func (a *Agent) ship(events []export.Event) {
 		Seq:    a.seq,
 		Events: events,
 	}
-	frame, err := EncodeBatchFrame(&b)
+	frame, err := AppendBatchFrame(a.frameBuf[:0], &b)
 	if err != nil { // unencodable events: drop, nothing to retry
 		a.sendDrops.Add(uint64(len(events)))
 		return
 	}
+	a.frameBuf = frame
 	a.seq++
 	if err := a.post(frame); err != nil {
 		a.sendDrops.Add(uint64(len(events)))
@@ -284,10 +306,15 @@ func (a *Agent) post(frame []byte) error {
 	body := frame
 	encoding := ""
 	if !a.cfg.DisableGzip {
-		var buf bytes.Buffer
-		zw := gzip.NewWriter(&buf)
-		if _, err := zw.Write(frame); err == nil && zw.Close() == nil {
-			body, encoding = buf.Bytes(), "gzip"
+		// Pooled: post runs on the sender goroutine but also on whichever
+		// goroutine calls PushSnapshot, and a gzip.Writer plus its output
+		// buffer are far too expensive to rebuild per shipment.
+		z := gzPool.Get().(*gzScratch)
+		defer gzPool.Put(z)
+		z.buf.Reset()
+		z.zw.Reset(&z.buf)
+		if _, err := z.zw.Write(frame); err == nil && z.zw.Close() == nil {
+			body, encoding = z.buf.Bytes(), "gzip"
 		}
 	}
 	url := a.cfg.URL + "/api/ingest"

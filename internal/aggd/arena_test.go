@@ -1,0 +1,169 @@
+package aggd
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"zerosum/internal/export"
+)
+
+// arenaBatch builds a batch exercising every event kind, sized and labeled
+// by seed so consecutive batches differ in shape as well as content.
+func arenaBatch(seed int) *Batch {
+	b := &Batch{
+		Origin: Origin{Job: fmt.Sprintf("job%d", seed%3), Node: fmt.Sprintf("node%d", seed%5), Rank: seed % 7},
+		Epoch:  uint64(seed%2 + 1),
+		Seq:    uint64(seed),
+	}
+	n := 16 + 13*seed
+	for i := 0; i < n; i++ {
+		t := float64(seed*1000+i) * 0.25
+		switch i % 6 {
+		case 0:
+			b.Events = append(b.Events, export.Event{Kind: export.EventLWP, TimeSec: t,
+				LWP: &export.LWPSample{TimeSec: t, TID: 100 + i, Kind: "OpenMP", State: 'R',
+					UserPct: float64(i), SysPct: 1, VCtx: uint64(i), NVCtx: uint64(2 * i),
+					MinFlt: 3, MajFlt: 4, NSwap: 5, CPU: i % 8}})
+		case 1:
+			b.Events = append(b.Events, export.Event{Kind: export.EventHWT, TimeSec: t,
+				HWT: &export.HWTSample{TimeSec: t, CPU: i % 8, IdlePct: 10, SysPct: 20, UserPct: 70}})
+		case 2:
+			b.Events = append(b.Events, export.Event{Kind: export.EventGPU, TimeSec: t,
+				GPU: &export.GPUSample{TimeSec: t, GPU: i % 4, Metric: "Device Busy %", Value: float64(i)}})
+		case 3:
+			b.Events = append(b.Events, export.Event{Kind: export.EventMem, TimeSec: t,
+				Mem: &export.MemSample{TimeSec: t, TotalKB: 1 << 24, FreeKB: uint64(i) << 10,
+					AvailKB: 1 << 22, ProcRSSKB: uint64(i), ProcHWMKB: uint64(2 * i)}})
+		case 4:
+			b.Events = append(b.Events, export.Event{Kind: export.EventIO, TimeSec: t,
+				IO: &export.IOSample{TimeSec: t, RChar: 1, WChar: 2, SyscR: 3, SyscW: 4,
+					ReadBytes: uint64(i), WriteBytes: uint64(i * 2)}})
+		default:
+			b.Events = append(b.Events, export.Event{Kind: export.EventHeartbeat, TimeSec: t})
+		}
+	}
+	return b
+}
+
+// TestDecodeBatchPayloadIntoEquivalence: the arena decoder and the one-shot
+// decoder must agree, and both must survive a re-encode byte-for-byte.
+func TestDecodeBatchPayloadIntoEquivalence(t *testing.T) {
+	batch := arenaBatch(2)
+	frame, err := EncodeBatchFrame(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := frame[FrameHeaderLen:]
+
+	fresh, err := DecodeBatchPayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bb BatchBuf
+	pooled, err := DecodeBatchPayloadInto(payload, &bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, dec := range map[string]*Batch{"fresh": fresh, "pooled": pooled} {
+		re, err := EncodeBatchFrame(dec)
+		if err != nil {
+			t.Fatalf("%s re-encode: %v", name, err)
+		}
+		if !bytes.Equal(re, frame) {
+			t.Errorf("%s decode → encode is not byte-identical to the original frame", name)
+		}
+	}
+}
+
+// TestDecodeArenaReuseByteIdentity reuses one arena across batches of
+// different shapes and sizes; every decode must re-encode byte-identically,
+// with no residue from the previous occupant.
+func TestDecodeArenaReuseByteIdentity(t *testing.T) {
+	var bb BatchBuf
+	for seed := 0; seed < 8; seed++ {
+		batch := arenaBatch(seed)
+		frame, err := EncodeBatchFrame(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := DecodeBatchPayloadInto(frame[FrameHeaderLen:], &bb)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(dec.Events) != len(batch.Events) {
+			t.Fatalf("seed %d: decoded %d events, want %d", seed, len(dec.Events), len(batch.Events))
+		}
+		re, err := EncodeBatchFrame(dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re, frame) {
+			t.Errorf("seed %d: arena decode → encode is not byte-identical", seed)
+		}
+	}
+}
+
+// TestDecodeIntoZeroSteadyStateAlloc gates the ingest half of the
+// zero-allocation contract below the HTTP layer: with a warm arena and
+// intern table, decoding a batch allocates nothing.
+func TestDecodeIntoZeroSteadyStateAlloc(t *testing.T) {
+	batch := arenaBatch(3)
+	frame, err := EncodeBatchFrame(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := frame[FrameHeaderLen:]
+	var bb BatchBuf
+	if _, err := DecodeBatchPayloadInto(payload, &bb); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := DecodeBatchPayloadInto(payload, &bb); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("warm arena decode allocates %.1f per run, want 0", avg)
+	}
+}
+
+// TestFrameScannerReuseZeroAlloc: a warm, Reset scanner iterates a healthy
+// multi-frame stream without allocating.
+func TestFrameScannerReuseZeroAlloc(t *testing.T) {
+	var stream []byte
+	for seed := 0; seed < 3; seed++ {
+		frame, err := EncodeBatchFrame(arenaBatch(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream = append(stream, frame...)
+	}
+	r := bytes.NewReader(stream)
+	sc := NewFrameScanner(r)
+	scan := func() {
+		if _, err := r.Seek(0, io.SeekStart); err != nil {
+			t.Fatal(err)
+		}
+		sc.Reset(r)
+		frames := 0
+		for {
+			_, _, err := sc.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			frames++
+		}
+		if frames != 3 {
+			t.Fatalf("scanned %d frames, want 3", frames)
+		}
+	}
+	scan() // warm the payload buffer
+	if avg := testing.AllocsPerRun(100, scan); avg != 0 {
+		t.Errorf("warm scanner pass allocates %.1f per run, want 0", avg)
+	}
+}

@@ -1,0 +1,118 @@
+package aggd_test
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"zerosum/internal/aggd"
+	"zerosum/internal/chaos"
+	"zerosum/internal/export"
+)
+
+// TestIngestPooledScratchIsolation hammers the ingest endpoint with
+// interleaved jobs, ranks, encodings, and batch shapes, so consecutive
+// requests share the pooled gzip readers, frame scanners, and decode
+// arenas. Every stream's accounting must come out exact — a stale arena or
+// scanner bleeding state across requests would misattribute events — and
+// the server must return to its goroutine/fd baseline afterwards.
+func TestIngestPooledScratchIsolation(t *testing.T) {
+	lc := chaos.StartLeakCheck()
+	srv := aggd.NewServer(aggd.ServerConfig{})
+	ts := httptest.NewServer(srv.Handler())
+
+	const jobs, ranks, rounds = 3, 4, 6
+	post := func(t *testing.T, frame []byte, gz bool) {
+		t.Helper()
+		body := frame
+		if gz {
+			var buf bytes.Buffer
+			zw := gzip.NewWriter(&buf)
+			if _, err := zw.Write(frame); err != nil {
+				t.Fatal(err)
+			}
+			if err := zw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			body = buf.Bytes()
+		}
+		req, err := http.NewRequest("POST", ts.URL+"/api/ingest", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gz {
+			req.Header.Set("Content-Encoding", "gzip")
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("ingest status %d", resp.StatusCode)
+		}
+	}
+
+	wantEvents := make(map[string]uint64)
+	sent := 0
+	for seq := 0; seq < rounds; seq++ {
+		for j := 0; j < jobs; j++ {
+			for r := 0; r < ranks; r++ {
+				job := fmt.Sprintf("job%d", j)
+				b := &aggd.Batch{
+					Origin: aggd.Origin{Job: job, Node: fmt.Sprintf("n%d", r%2), Rank: r},
+					Epoch:  1, Seq: uint64(seq),
+				}
+				// Vary batch size per stream so a leaked arena length from
+				// the previous request would show up as a count mismatch.
+				n := 1 + (j+r+seq)%5
+				for i := 0; i < n; i++ {
+					b.Events = append(b.Events, export.Event{
+						Kind: export.EventLWP, TimeSec: float64(seq) + float64(i)*0.01,
+						LWP: &export.LWPSample{TID: 100*r + i, Kind: "Main", State: 'R', NVCtx: uint64(seq)},
+					})
+				}
+				frame, err := aggd.EncodeBatchFrame(b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				post(t, frame, (j+r+seq)%2 == 0)
+				wantEvents[job] += uint64(n)
+				sent++
+			}
+		}
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/api/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []aggd.JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(infos) != jobs {
+		t.Fatalf("listed %d jobs, want %d", len(infos), jobs)
+	}
+	for _, info := range infos {
+		if info.Events != wantEvents[info.Job] {
+			t.Errorf("job %s: %d events recorded, want %d", info.Job, info.Events, wantEvents[info.Job])
+		}
+		if info.Ranks != ranks {
+			t.Errorf("job %s: %d ranks recorded, want %d", info.Job, info.Ranks, ranks)
+		}
+	}
+	stats := srv.Stats()
+	if stats.IngestBatches != uint64(sent) || stats.IngestErrors != 0 ||
+		stats.CorruptFrames != 0 || stats.DupBatches != 0 {
+		t.Errorf("stats %+v after %d clean batches", stats, sent)
+	}
+
+	ts.Close()
+	lc.Assert(t)
+}

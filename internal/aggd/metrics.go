@@ -119,9 +119,7 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 
 	now := s.cfg.Now()
 	s.eachJob(func(name string, js *jobStore) {
-		js.mu.Lock()
-		defer js.mu.Unlock()
-		for key, rs := range js.ranks {
+		js.eachRank(func(key rankKey, rs *rankState) {
 			base := streamLabels(name, key)
 			families[fStreamEvents].add(base, float64(rs.events))
 			if !rs.lastRecv.IsZero() {
@@ -153,7 +151,7 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 			if rs.memRSS > 0 {
 				families[fMemRSS].add(base, float64(rs.memRSS))
 			}
-		}
+		})
 	})
 	for _, f := range families {
 		if err := f.write(w); err != nil {

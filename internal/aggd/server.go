@@ -83,8 +83,18 @@ type shard struct {
 	jobs map[string]*jobStore
 }
 
-// jobStore is one job's aggregation state.
+// nRankShards fans one job's per-rank merge state out over independent
+// locks. Ingest touches exactly one (node, rank) stream per batch, so two
+// ranks that hash apart merge concurrently; before sharding, every stream of
+// a job serialized on a single jobStore mutex.
+const nRankShards = 8
+
+// jobStore is one job's aggregation state, sharded by rank key.
 type jobStore struct {
+	shards [nRankShards]rankShard
+}
+
+type rankShard struct {
 	mu    sync.Mutex
 	ranks map[rankKey]*rankState
 }
@@ -92,6 +102,36 @@ type jobStore struct {
 type rankKey struct {
 	node string
 	rank int
+}
+
+// shardFor hashes the rank key inline (FNV-1a over node bytes then rank
+// bytes) — the ingest hot path cannot afford a hash.Hash allocation.
+//
+//zerosum:hotpath
+func (js *jobStore) shardFor(key rankKey) *rankShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key.node); i++ {
+		h = (h ^ uint32(key.node[i])) * 16777619
+	}
+	r := uint32(key.rank)
+	for i := 0; i < 4; i++ {
+		h = (h ^ (r & 0xff)) * 16777619
+		r >>= 8
+	}
+	return &js.shards[h%nRankShards]
+}
+
+// eachRank visits every rank state, holding each shard's lock across its
+// slice of the iteration.
+func (js *jobStore) eachRank(fn func(key rankKey, rs *rankState)) {
+	for i := range js.shards {
+		sh := &js.shards[i]
+		sh.mu.Lock()
+		for key, rs := range sh.ranks {
+			fn(key, rs)
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // rankState is the live view of one (node, rank) stream: the latest sample
@@ -167,7 +207,7 @@ func (s *Server) job(name string) *jobStore {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if js = sh.jobs[name]; js == nil {
-		js = &jobStore{ranks: make(map[rankKey]*rankState)}
+		js = &jobStore{}
 		sh.jobs[name] = js
 	}
 	return js
@@ -183,8 +223,10 @@ func (s *Server) lookupJob(name string) *jobStore {
 	return sh.jobs[name]
 }
 
-func (js *jobStore) rank(key rankKey) *rankState {
-	rs := js.ranks[key]
+// rank returns the shard's state for key, creating it on first contact.
+// Caller holds sh.mu.
+func (sh *rankShard) rank(key rankKey) *rankState {
+	rs := sh.ranks[key]
 	if rs == nil {
 		rs = &rankState{
 			hwt:     make(map[int]export.HWTSample),
@@ -192,21 +234,49 @@ func (js *jobStore) rank(key rankKey) *rankState {
 			nvctx:   make(map[int]uint64),
 			vctx:    make(map[int]uint64),
 		}
-		js.ranks[key] = rs
+		if sh.ranks == nil {
+			sh.ranks = make(map[rankKey]*rankState)
+		}
+		sh.ranks[key] = rs
 	}
 	return rs
 }
 
+// Pooled ingest scratch. Every request needs a gzip inflater (its internal
+// window alone is tens of kilobytes), a frame scanner (64 KiB read buffer
+// plus payload buffer), and a batch decode arena; all three recycle across
+// requests so a steady agent fleet ingests with near-zero per-request
+// allocation. The arena is safe to reuse per frame because applyBatch copies
+// everything it keeps out of the decoded events.
+var (
+	gzrPool     sync.Pool // *gzip.Reader; no New — first use constructs from the body
+	scannerPool = sync.Pool{New: func() any { return NewFrameScanner(nil) }}
+	batchPool   = sync.Pool{New: func() any { return new(BatchBuf) }}
+)
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var body io.Reader = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
 	if r.Header.Get("Content-Encoding") == "gzip" {
-		zr, err := gzip.NewReader(body)
+		var zr *gzip.Reader
+		var err error
+		if v := gzrPool.Get(); v != nil {
+			zr = v.(*gzip.Reader)
+			err = zr.Reset(body)
+		} else {
+			zr, err = gzip.NewReader(body)
+		}
 		if err != nil {
+			if zr != nil {
+				gzrPool.Put(zr)
+			}
 			s.ingestErrors.Add(1)
 			http.Error(w, "bad gzip body: "+err.Error(), http.StatusBadRequest)
 			return
 		}
-		defer zr.Close()
+		defer func() {
+			_ = zr.Close()
+			gzrPool.Put(zr)
+		}()
 		body = zr
 	}
 	// A body may interleave healthy and damaged frames (bit flips,
@@ -214,7 +284,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// every frame that survives its checksum and resynchronizes past the
 	// rest; any damage still fails the request so the agent retries the
 	// whole body, and sequence dedup makes that retry idempotent.
-	sc := NewFrameScanner(body)
+	sc := scannerPool.Get().(*FrameScanner)
+	sc.Reset(body)
+	defer func() {
+		sc.Reset(nil) // drop the request body reference before pooling
+		scannerPool.Put(sc)
+	}()
+	bb := batchPool.Get().(*BatchBuf)
+	defer batchPool.Put(bb)
 	frames, corrupt := 0, 0
 	var firstErr error
 	for {
@@ -236,7 +313,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		switch kind {
 		case FrameBatch:
-			b, err := DecodeBatchPayload(payload)
+			b, err := DecodeBatchPayloadInto(payload, bb)
 			if err != nil {
 				corrupt++
 				s.corruptFrames.Add(1)
@@ -283,7 +360,7 @@ const maxTrackedHoles = 1024
 
 // admitBatch decides whether a batch is new data (true) or a replay that
 // must not be merged again (false), updating the stream's sequence
-// accounting. Caller holds the jobStore lock.
+// accounting. Caller holds the rank's shard lock.
 func (s *Server) admitBatch(rs *rankState, b *Batch) bool {
 	if !rs.seqSeen || b.Epoch > rs.epoch {
 		// First contact, or the agent restarted into a new incarnation:
@@ -341,9 +418,10 @@ func (s *Server) noteGap(rs *rankState, lo, hi uint64) {
 func (s *Server) applyBatch(b *Batch) {
 	now := s.cfg.Now()
 	js := s.job(b.Job)
-	js.mu.Lock()
-	defer js.mu.Unlock()
-	rs := js.rank(rankKey{node: b.Node, rank: b.Rank})
+	sh := js.shardFor(rankKey{node: b.Node, rank: b.Rank})
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rs := sh.rank(rankKey{node: b.Node, rank: b.Rank})
 	rs.lastRecv = now // even a replay proves the stream is alive
 	if !s.admitBatch(rs, b) {
 		return
@@ -376,9 +454,10 @@ func (s *Server) applyBatch(b *Batch) {
 func (s *Server) applySnapshot(msg *SnapshotMsg) {
 	now := s.cfg.Now()
 	js := s.job(msg.Job)
-	js.mu.Lock()
-	defer js.mu.Unlock()
-	rs := js.rank(rankKey{node: msg.Node, rank: msg.Rank})
+	sh := js.shardFor(rankKey{node: msg.Node, rank: msg.Rank})
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rs := sh.rank(rankKey{node: msg.Node, rank: msg.Rank})
 	rs.lastRecv = now
 	snap := msg.Snapshot
 	rs.snapshot = &snap
@@ -388,18 +467,18 @@ func (s *Server) applySnapshot(msg *SnapshotMsg) {
 
 // snapshots returns the job's stored snapshots ordered by (rank, node) so
 // the fold visits them in the same order a single-process aggregation of
-// rank-sorted results would.
+// rank-sorted results would. It takes each shard lock in turn.
 func (js *jobStore) snapshots() []core.Snapshot {
 	type keyed struct {
 		key  rankKey
 		snap core.Snapshot
 	}
 	var all []keyed
-	for key, rs := range js.ranks {
+	js.eachRank(func(key rankKey, rs *rankState) {
 		if rs.snapshot != nil {
 			all = append(all, keyed{key: key, snap: *rs.snapshot})
 		}
-	}
+	})
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].key.rank != all[j].key.rank {
 			return all[i].key.rank < all[j].key.rank
@@ -420,9 +499,7 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("aggd: unknown job %q", id), http.StatusNotFound)
 		return
 	}
-	js.mu.Lock()
 	snaps := js.snapshots()
-	js.mu.Unlock()
 	if len(snaps) == 0 {
 		http.Error(w, fmt.Sprintf("aggd: job %q has no snapshots yet", id), http.StatusNotFound)
 		return
@@ -450,10 +527,11 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("aggd: unknown job %q", id), http.StatusNotFound)
 		return
 	}
-	js.mu.Lock()
 	size := 0
 	rows := make(map[int]map[int]uint64)
-	for key, rs := range js.ranks {
+	// Reading the captured commRow maps after the shard locks drop is safe:
+	// applySnapshot replaces a rank's row wholesale, never mutates it.
+	js.eachRank(func(key rankKey, rs *rankState) {
 		if key.rank+1 > size {
 			size = key.rank + 1
 		}
@@ -468,8 +546,7 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 		}
-	}
-	js.mu.Unlock()
+	})
 	resp := HeatmapResponse{Job: id, Ranks: size, Bytes: make([][]uint64, size)}
 	for dst := range resp.Bytes {
 		resp.Bytes[dst] = make([]uint64, size)
@@ -492,17 +569,16 @@ type JobInfo struct {
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	var jobs []JobInfo
 	s.eachJob(func(name string, js *jobStore) {
-		js.mu.Lock()
-		defer js.mu.Unlock()
-		info := JobInfo{Job: name, Ranks: len(js.ranks)}
+		info := JobInfo{Job: name}
 		nodes := map[string]bool{}
-		for key, rs := range js.ranks {
+		js.eachRank(func(key rankKey, rs *rankState) {
+			info.Ranks++
 			nodes[key.node] = true
 			info.Events += rs.events
 			if rs.snapshot != nil {
 				info.Snapshots++
 			}
-		}
+		})
 		info.Nodes = len(nodes)
 		jobs = append(jobs, info)
 	})

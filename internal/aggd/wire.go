@@ -53,7 +53,12 @@ const (
 	// cannot make the server allocate unbounded memory.
 	MaxFramePayload = 64 << 20
 
-	frameHeaderLen = 14
+	// FrameHeaderLen is the fixed byte length of a frame header (magic +
+	// version + kind + payload length + payload CRC); frame[FrameHeaderLen:]
+	// is the payload of a single-frame buffer built by AppendBatchFrame.
+	FrameHeaderLen = 14
+
+	frameHeaderLen = FrameHeaderLen
 )
 
 // castagnoli is the CRC-32C polynomial table (hardware-accelerated on
@@ -344,13 +349,31 @@ func (e *CorruptFrameError) Error() string {
 // is reported and stepped over. Each corruption event surfaces as exactly
 // one *CorruptFrameError from Next, so a caller can count losses and keep
 // consuming the remaining healthy frames.
+//
+// The payload slice Next returns is only valid until the following Next or
+// Reset call: the scanner reuses one payload buffer across frames so a
+// pooled scanner serves a whole ingest stream without per-frame allocation.
 type FrameScanner struct {
-	r *bufio.Reader
+	r       *bufio.Reader
+	payload []byte // reused across Next calls; see readFrameReuse
 }
 
 // NewFrameScanner wraps r for resynchronizing frame iteration.
 func NewFrameScanner(r io.Reader) *FrameScanner {
 	return &FrameScanner{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// maxRetainedPayload caps the payload buffer a scanner keeps between streams,
+// so one oversized frame does not pin tens of megabytes inside a pool.
+const maxRetainedPayload = 4 << 20
+
+// Reset repoints the scanner at r, keeping its read buffer and (bounded)
+// payload buffer so pooled scanners are reused across ingest requests.
+func (s *FrameScanner) Reset(r io.Reader) {
+	s.r.Reset(r)
+	if cap(s.payload) > maxRetainedPayload {
+		s.payload = nil
+	}
 }
 
 // plausibleHeader reports whether hdr could open a real frame.
@@ -393,18 +416,68 @@ func (s *FrameScanner) Next() (FrameKind, []byte, error) {
 			// buffered and will be returned by the next call.
 			return 0, nil, &CorruptFrameError{Skipped: skipped, Reason: "garbage before frame magic"}
 		}
-		kind, payload, err := ReadFrame(s.r)
+		// hdr aliases the bufio buffer and is invalidated by the payload
+		// read below; take what the error path needs now.
+		span := frameHeaderLen + int(binary.LittleEndian.Uint32(hdr[6:10]))
+		kind, payload, err := s.readFrameReuse(hdr)
 		if err != nil {
 			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
 				return 0, nil, err
 			}
 			// Checksum mismatch: the frame span was consumed; resume
 			// scanning from the byte after it.
-			span := frameHeaderLen + int(binary.LittleEndian.Uint32(hdr[6:10]))
 			return 0, nil, &CorruptFrameError{Skipped: span, Reason: "payload checksum mismatch"}
 		}
 		return kind, payload, nil
 	}
+}
+
+// readFrameReuse is ReadFrame against the scanner's reusable payload
+// buffer. hdr is the full header Next already peeked (and plausibleHeader
+// already vetted), so it is parsed in place rather than re-read — re-reading
+// into a local array would heap-allocate it once per frame.
+func (s *FrameScanner) readFrameReuse(hdr []byte) (FrameKind, []byte, error) {
+	kind := FrameKind(hdr[5])
+	n := int(binary.LittleEndian.Uint32(hdr[6:10]))
+	want := binary.LittleEndian.Uint32(hdr[10:14])
+	// Cannot fail: Peek just proved frameHeaderLen buffered bytes.
+	if _, err := s.r.Discard(frameHeaderLen); err != nil {
+		return 0, nil, err
+	}
+	payload, err := s.readPayloadReuse(n)
+	if err != nil {
+		return 0, nil, fmt.Errorf("aggd: frame payload: %w", io.ErrUnexpectedEOF)
+	}
+	if sum := crc32.Checksum(payload, castagnoli); sum != want {
+		return 0, nil, fmt.Errorf("aggd: frame payload checksum mismatch (corrupt frame)")
+	}
+	return kind, payload, nil
+}
+
+// readPayloadReuse mirrors readPayload's bounded-chunk growth (a lying length
+// field costs at most one chunk before the short read surfaces) but grows the
+// scanner's own buffer, so a warm scanner reads every frame allocation-free.
+func (s *FrameScanner) readPayloadReuse(n int) ([]byte, error) {
+	const chunk = 1 << 20
+	buf := s.payload[:0]
+	if cap(buf) >= n {
+		buf = buf[:n]
+		_, err := io.ReadFull(s.r, buf)
+		return buf, err
+	}
+	for len(buf) < n {
+		k := n - len(buf)
+		if k > chunk {
+			k = chunk
+		}
+		off := len(buf)
+		buf = append(buf, make([]byte, k)...)
+		if _, err := io.ReadFull(s.r, buf[off:]); err != nil {
+			return nil, err
+		}
+	}
+	s.payload = buf
+	return buf, nil
 }
 
 // decoder is a cursor over one frame payload.
@@ -415,11 +488,17 @@ type decoder struct {
 
 func (d *decoder) need(n int) ([]byte, error) {
 	if d.off+n > len(d.buf) {
-		return nil, fmt.Errorf("aggd: truncated payload at offset %d (need %d of %d)", d.off, n, len(d.buf))
+		return nil, d.short(n)
 	}
 	b := d.buf[d.off : d.off+n]
 	d.off += n
 	return b, nil
+}
+
+// short is outlined so need (and the u8/u32/u64 readers built on it) stays
+// cheap enough to inline into the decode loop.
+func (d *decoder) short(n int) error {
+	return fmt.Errorf("aggd: truncated payload at offset %d (need %d of %d)", d.off, n, len(d.buf))
 }
 
 func (d *decoder) u8() (byte, error) {
@@ -456,27 +535,84 @@ func (d *decoder) f64() (float64, error) {
 	return math.Float64frombits(v), err
 }
 
-func (d *decoder) str() (string, error) {
+// maxInterned bounds a BatchBuf's string table so a hostile stream of
+// distinct label strings cannot grow a pooled arena without limit; overflow
+// strings still decode, they just allocate.
+const maxInterned = 1024
+
+// strInterned decodes a length-prefixed string through tab: label-like
+// fields (job, node, LWP kind, GPU metric name) repeat endlessly across
+// batches, so a warm table makes them allocation-free. The map lookup on a
+// []byte conversion does not allocate (the compiler elides the copy).
+func (d *decoder) strInterned(tab map[string]string) (string, error) {
 	b, err := d.need(2)
 	if err != nil {
 		return "", err
 	}
 	n := int(binary.LittleEndian.Uint16(b))
-	s, err := d.need(n)
-	return string(s), err
+	raw, err := d.need(n)
+	if err != nil {
+		return "", err
+	}
+	if s, ok := tab[string(raw)]; ok {
+		return s, nil
+	}
+	s := string(raw)
+	if len(tab) < maxInterned {
+		tab[s] = s
+	}
+	return s, nil
 }
 
-// DecodeBatchPayload parses a FrameBatch payload.
+// BatchBuf is a reusable decode arena for batch payloads. The events and
+// their payload structs land in slices owned by the arena, and repeated
+// strings resolve through its intern table, so a warm arena decodes a batch
+// without allocating. Everything DecodeBatchPayloadInto returns aliases the
+// arena and is only valid until its next use; a caller that reuses arenas
+// (the ingest path pools them) must copy out whatever it keeps.
+type BatchBuf struct {
+	batch Batch
+	lwp   []export.LWPSample
+	hwt   []export.HWTSample
+	gpu   []export.GPUSample
+	mem   []export.MemSample
+	io    []export.IOSample
+	strs  map[string]string
+}
+
+func (bb *BatchBuf) reset() {
+	ev := bb.batch.Events[:0]
+	bb.batch = Batch{}
+	bb.batch.Events = ev
+	bb.lwp = bb.lwp[:0]
+	bb.hwt = bb.hwt[:0]
+	bb.gpu = bb.gpu[:0]
+	bb.mem = bb.mem[:0]
+	bb.io = bb.io[:0]
+	if bb.strs == nil {
+		bb.strs = make(map[string]string)
+	}
+}
+
+// DecodeBatchPayload parses a FrameBatch payload into a fresh arena; the
+// result is independently owned by the caller.
+func DecodeBatchPayload(payload []byte) (*Batch, error) {
+	return DecodeBatchPayloadInto(payload, new(BatchBuf))
+}
+
+// DecodeBatchPayloadInto parses a FrameBatch payload into bb and returns
+// the arena's batch. See BatchBuf for the aliasing contract.
 //
 //zerosum:wire-decode batch
-func DecodeBatchPayload(payload []byte) (*Batch, error) {
+func DecodeBatchPayloadInto(payload []byte, bb *BatchBuf) (*Batch, error) {
+	bb.reset()
 	d := &decoder{buf: payload}
-	var b Batch
+	b := &bb.batch
 	var err error
-	if b.Job, err = d.str(); err != nil {
+	if b.Job, err = d.strInterned(bb.strs); err != nil {
 		return nil, err
 	}
-	if b.Node, err = d.str(); err != nil {
+	if b.Node, err = d.strInterned(bb.strs); err != nil {
 		return nil, err
 	}
 	if b.Rank, err = d.i32(); err != nil {
@@ -500,22 +636,58 @@ func DecodeBatchPayload(payload []byte) (*Batch, error) {
 	if int64(n)*minEventLen > int64(len(payload)-d.off) {
 		return nil, fmt.Errorf("aggd: batch claims %d events in %d bytes", n, len(payload)-d.off)
 	}
-	b.Events = make([]export.Event, 0, n)
+	events := b.Events
 	for i := uint32(0); i < n; i++ {
-		ev, err := decodeEvent(d)
+		ev, err := decodeEventInto(d, bb)
 		if err != nil {
 			return nil, fmt.Errorf("aggd: event %d: %w", i, err)
 		}
-		b.Events = append(b.Events, ev)
+		events = append(events, ev)
 	}
 	if d.off != len(payload) {
 		return nil, fmt.Errorf("aggd: %d trailing bytes after batch", len(payload)-d.off)
 	}
-	return &b, nil
+	b.Events = events
+	fixupEventPayloads(events, bb)
+	return b, nil
 }
 
+// fixupEventPayloads assigns each event's payload pointer into the arena.
+// This runs only after the whole batch is decoded: the per-kind appends in
+// decodeEventInto may relocate the typed slices mid-decode, so events carry
+// nil pointers until every backing array has reached its final address.
+//
 //zerosum:wire-decode event
-func decodeEvent(d *decoder) (export.Event, error) {
+func fixupEventPayloads(events []export.Event, bb *BatchBuf) {
+	var iL, iH, iG, iM, iI int
+	for i := range events {
+		switch events[i].Kind {
+		case export.EventLWP:
+			events[i].LWP = &bb.lwp[iL]
+			iL++
+		case export.EventHWT:
+			events[i].HWT = &bb.hwt[iH]
+			iH++
+		case export.EventGPU:
+			events[i].GPU = &bb.gpu[iG]
+			iG++
+		case export.EventMem:
+			events[i].Mem = &bb.mem[iM]
+			iM++
+		case export.EventIO:
+			events[i].IO = &bb.io[iI]
+			iI++
+		}
+	}
+}
+
+// decodeEventInto decodes one event, appending its payload struct to the
+// arena's per-kind slice. The returned event carries only Kind and TimeSec;
+// DecodeBatchPayloadInto's fix-up pass wires the payload pointer once the
+// arena slices stop moving.
+//
+//zerosum:wire-decode event
+func decodeEventInto(d *decoder, bb *BatchBuf) (export.Event, error) {
 	var ev export.Event
 	tag, err := d.u8()
 	if err != nil {
@@ -527,73 +699,88 @@ func decodeEvent(d *decoder) (export.Event, error) {
 	switch tag {
 	case tagLWP:
 		ev.Kind = export.EventLWP
-		l := &export.LWPSample{TimeSec: ev.TimeSec}
+		bb.lwp = append(bb.lwp, export.LWPSample{TimeSec: ev.TimeSec})
+		l := &bb.lwp[len(bb.lwp)-1]
 		if l.TID, err = d.i32(); err != nil {
 			return ev, err
 		}
-		if l.Kind, err = d.str(); err != nil {
+		if l.Kind, err = d.strInterned(bb.strs); err != nil {
 			return ev, err
 		}
 		if l.State, err = d.u8(); err != nil {
 			return ev, err
 		}
-		for _, dst := range []*float64{&l.UserPct, &l.SysPct} {
-			if *dst, err = d.f64(); err != nil {
-				return ev, err
-			}
+		// The fixed-width tail (2 floats, 5 counters) is bounds-checked once
+		// and decoded with direct loads; per-field reads dominated the
+		// ingest profile.
+		b, err := d.need(56)
+		if err != nil {
+			return ev, err
 		}
-		for _, dst := range []*uint64{&l.VCtx, &l.NVCtx, &l.MinFlt, &l.MajFlt, &l.NSwap} {
-			if *dst, err = d.u64(); err != nil {
-				return ev, err
-			}
-		}
+		l.UserPct = math.Float64frombits(binary.LittleEndian.Uint64(b[0:8]))
+		l.SysPct = math.Float64frombits(binary.LittleEndian.Uint64(b[8:16]))
+		l.VCtx = binary.LittleEndian.Uint64(b[16:24])
+		l.NVCtx = binary.LittleEndian.Uint64(b[24:32])
+		l.MinFlt = binary.LittleEndian.Uint64(b[32:40])
+		l.MajFlt = binary.LittleEndian.Uint64(b[40:48])
+		l.NSwap = binary.LittleEndian.Uint64(b[48:56])
 		if l.CPU, err = d.i32(); err != nil {
 			return ev, err
 		}
-		ev.LWP = l
 	case tagHWT:
 		ev.Kind = export.EventHWT
-		h := &export.HWTSample{TimeSec: ev.TimeSec}
+		bb.hwt = append(bb.hwt, export.HWTSample{TimeSec: ev.TimeSec})
+		h := &bb.hwt[len(bb.hwt)-1]
 		if h.CPU, err = d.i32(); err != nil {
 			return ev, err
 		}
-		for _, dst := range []*float64{&h.IdlePct, &h.SysPct, &h.UserPct} {
-			if *dst, err = d.f64(); err != nil {
-				return ev, err
-			}
+		b, err := d.need(24)
+		if err != nil {
+			return ev, err
 		}
-		ev.HWT = h
+		h.IdlePct = math.Float64frombits(binary.LittleEndian.Uint64(b[0:8]))
+		h.SysPct = math.Float64frombits(binary.LittleEndian.Uint64(b[8:16]))
+		h.UserPct = math.Float64frombits(binary.LittleEndian.Uint64(b[16:24]))
 	case tagGPU:
 		ev.Kind = export.EventGPU
-		g := &export.GPUSample{TimeSec: ev.TimeSec}
+		bb.gpu = append(bb.gpu, export.GPUSample{TimeSec: ev.TimeSec})
+		g := &bb.gpu[len(bb.gpu)-1]
 		if g.GPU, err = d.i32(); err != nil {
 			return ev, err
 		}
-		if g.Metric, err = d.str(); err != nil {
+		if g.Metric, err = d.strInterned(bb.strs); err != nil {
 			return ev, err
 		}
 		if g.Value, err = d.f64(); err != nil {
 			return ev, err
 		}
-		ev.GPU = g
 	case tagMem:
 		ev.Kind = export.EventMem
-		m := &export.MemSample{TimeSec: ev.TimeSec}
-		for _, dst := range []*uint64{&m.TotalKB, &m.FreeKB, &m.AvailKB, &m.ProcRSSKB, &m.ProcHWMKB} {
-			if *dst, err = d.u64(); err != nil {
-				return ev, err
-			}
+		bb.mem = append(bb.mem, export.MemSample{TimeSec: ev.TimeSec})
+		m := &bb.mem[len(bb.mem)-1]
+		b, err := d.need(40)
+		if err != nil {
+			return ev, err
 		}
-		ev.Mem = m
+		m.TotalKB = binary.LittleEndian.Uint64(b[0:8])
+		m.FreeKB = binary.LittleEndian.Uint64(b[8:16])
+		m.AvailKB = binary.LittleEndian.Uint64(b[16:24])
+		m.ProcRSSKB = binary.LittleEndian.Uint64(b[24:32])
+		m.ProcHWMKB = binary.LittleEndian.Uint64(b[32:40])
 	case tagIO:
 		ev.Kind = export.EventIO
-		io := &export.IOSample{TimeSec: ev.TimeSec}
-		for _, dst := range []*uint64{&io.RChar, &io.WChar, &io.SyscR, &io.SyscW, &io.ReadBytes, &io.WriteBytes} {
-			if *dst, err = d.u64(); err != nil {
-				return ev, err
-			}
+		bb.io = append(bb.io, export.IOSample{TimeSec: ev.TimeSec})
+		io := &bb.io[len(bb.io)-1]
+		b, err := d.need(48)
+		if err != nil {
+			return ev, err
 		}
-		ev.IO = io
+		io.RChar = binary.LittleEndian.Uint64(b[0:8])
+		io.WChar = binary.LittleEndian.Uint64(b[8:16])
+		io.SyscR = binary.LittleEndian.Uint64(b[16:24])
+		io.SyscW = binary.LittleEndian.Uint64(b[24:32])
+		io.ReadBytes = binary.LittleEndian.Uint64(b[32:40])
+		io.WriteBytes = binary.LittleEndian.Uint64(b[40:48])
 	case tagHeartbeat:
 		ev.Kind = export.EventHeartbeat
 	default:

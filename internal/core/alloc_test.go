@@ -1,0 +1,179 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"zerosum/internal/proc"
+	"zerosum/internal/topology"
+)
+
+// writeProcTree lays out a /proc lookalike for this test process (RealFS
+// derives the pid from os.Getpid, so the fixture must use it too).
+func writeProcTree(t *testing.T, tids ...int) (root string, pid int) {
+	t.Helper()
+	root, pid = t.TempDir(), os.Getpid()
+	cpus, err := topology.ParseCPUList("0-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	statusText := proc.RenderTaskStatus(proc.TaskStatus{
+		Name: "alloc", State: proc.StateRunning, Tgid: pid, Pid: pid,
+		Threads: len(tids), VmRSSKB: 2048, VmHWMKB: 4096, CpusAllowed: cpus,
+		VoluntaryCtxt: 3, NonvoluntaryCtx: 1,
+	})
+	for _, tid := range tids {
+		d := filepath.Join(root, strconv.Itoa(pid), "task", strconv.Itoa(tid))
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		writeFile(t, filepath.Join(d, "stat"), proc.RenderTaskStat(proc.TaskStat{
+			PID: tid, Comm: "alloc", State: proc.StateRunning,
+			UTime: 100, STime: 10, NumThrs: len(tids), Processor: tid % 4,
+		}))
+		writeFile(t, filepath.Join(d, "status"), statusText)
+	}
+	pidDir := filepath.Join(root, strconv.Itoa(pid))
+	writeFile(t, filepath.Join(pidDir, "status"), statusText)
+	writeFile(t, filepath.Join(pidDir, "io"), proc.RenderTaskIO(proc.TaskIO{
+		RChar: 1000, WChar: 500, SyscR: 10, SyscW: 5, ReadBytes: 4096, WriteBytes: 2048,
+	}))
+	writeFile(t, filepath.Join(root, "meminfo"), proc.RenderMeminfo(proc.Meminfo{
+		MemTotalKB: 16 << 20, MemFreeKB: 8 << 20, MemAvailableKB: 12 << 20,
+	}))
+	writeFile(t, filepath.Join(root, "stat"), proc.RenderStat(proc.Stat{
+		Aggregate: proc.CPUTimes{CPU: -1, User: 400, System: 40, Idle: 4000},
+		PerCPU: []proc.CPUTimes{
+			{CPU: 0, User: 100, System: 10, Idle: 1000},
+			{CPU: 1, User: 100, System: 10, Idle: 1000},
+			{CPU: 2, User: 100, System: 10, Idle: 1000},
+			{CPU: 3, User: 100, System: 10, Idle: 1000},
+		},
+	}))
+	return root, pid
+}
+
+func writeFile(t *testing.T, path, text string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMonitorTickZeroSteadyStateAlloc is the tentpole gate for the sampling
+// hot path: once the thread set is stable and every cache is warm, a full
+// Tick — task listing, per-LWP stat+status, /proc/stat, meminfo, process
+// status and io, all through the fd-cached RealFS — allocates nothing.
+// KeepSeries stays off because series retention allocates by design.
+func TestMonitorTickZeroSteadyStateAlloc(t *testing.T) {
+	root, pid := writeProcTree(t, os.Getpid(), 7001, 7002, 7003)
+	_ = pid
+	fs := &proc.RealFS{Root: root}
+	defer fs.Close()
+
+	now := time.Unix(0, 0)
+	clock := func() time.Time { now = now.Add(time.Second); return now }
+	m, err := New(Config{KeepSeries: false}, Deps{FS: fs, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Finish()
+
+	// Warmup: first tick registers threads and opens descriptors, second
+	// establishes /proc/stat baselines and settles buffer sizes.
+	for i := 0; i < 2; i++ {
+		if err := m.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if err := m.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state Tick allocates %.1f per run, want 0", avg)
+	}
+	if reads, parses := m.SampleSkips(); reads != 0 || parses != 0 {
+		t.Fatalf("sample skips = %d/%d, want 0/0", reads, parses)
+	}
+}
+
+// TestMonitorScanWorkersEquivalent runs the same fixture serially and with a
+// sharded scan phase; every published series and summary row must match.
+func TestMonitorScanWorkersEquivalent(t *testing.T) {
+	root, _ := writeProcTree(t, os.Getpid(), 7001, 7002, 7003)
+	run := func(workers int) Snapshot {
+		fs := &proc.RealFS{Root: root}
+		defer fs.Close()
+		now := time.Unix(0, 0)
+		clock := func() time.Time { now = now.Add(time.Second); return now }
+		m, err := New(Config{KeepSeries: true, ScanWorkers: workers}, Deps{FS: fs, Clock: clock})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Finish()
+		for i := 0; i < 5; i++ {
+			if err := m.Tick(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m.Snapshot()
+	}
+	serial, sharded := run(1), run(4)
+	if len(serial.LWPs) != len(sharded.LWPs) {
+		t.Fatalf("LWP rows: serial %d, sharded %d", len(serial.LWPs), len(sharded.LWPs))
+	}
+	for i := range serial.LWPs {
+		a, b := serial.LWPs[i], sharded.LWPs[i]
+		if a.TID != b.TID || a.UTimePct != b.UTimePct || a.STimePct != b.STimePct ||
+			a.VCtx != b.VCtx || a.NVCtx != b.NVCtx || !a.Affinity.Equal(b.Affinity) {
+			t.Errorf("LWP row %d differs: serial %+v, sharded %+v", i, a, b)
+		}
+	}
+	if serial.Samples != sharded.Samples || serial.MemPeakRSSKB != sharded.MemPeakRSSKB {
+		t.Errorf("summary differs: serial %+v vs sharded %+v", serial.Samples, sharded.Samples)
+	}
+}
+
+// TestMonitorThreadExitClosesReader checks fd-cache invalidation end to end:
+// when a thread disappears from the task listing its cached descriptors are
+// closed, and the monitor keeps sampling the remaining threads.
+func TestMonitorThreadExitClosesReader(t *testing.T) {
+	root, pid := writeProcTree(t, os.Getpid(), 7001)
+	fs := &proc.RealFS{Root: root}
+	defer fs.Close()
+	now := time.Unix(0, 0)
+	clock := func() time.Time { now = now.Add(time.Second); return now }
+	m, err := New(Config{KeepSeries: true}, Deps{FS: fs, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Finish()
+	if err := m.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.liveThreadCount(); got != 2 {
+		t.Fatalf("live threads = %d, want 2", got)
+	}
+	// Thread 7001 exits: its task dir vanishes from the listing.
+	if err := os.RemoveAll(filepath.Join(root, strconv.Itoa(pid), "task", "7001")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.liveThreadCount(); got != 1 {
+		t.Fatalf("live threads after exit = %d, want 1", got)
+	}
+	if ts := m.threads[7001]; ts == nil || !ts.gone || ts.reader != nil {
+		t.Fatalf("exited thread state not invalidated: %+v", ts)
+	}
+	// The exited thread still appears in the end-of-run summary.
+	if got := len(m.Snapshot().LWPs); got != 2 {
+		t.Fatalf("summary rows = %d, want 2", got)
+	}
+}

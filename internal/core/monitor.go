@@ -69,6 +69,11 @@ type Config struct {
 	// (0 disables). The paper's "automatically (re)assign threads to HWT
 	// based on detection of bad configurations" future work.
 	RebindAfter int
+	// ScanWorkers shards the per-LWP read+parse phase of each tick across a
+	// persistent worker pool (<=1 scans serially). Workers are spawned once
+	// in New and stopped by Finish; they help when a process has hundreds of
+	// threads and the sampling period is tight.
+	ScanWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -90,12 +95,32 @@ type Deps struct {
 	Rebinder Rebinder
 }
 
-// threadState is the per-LWP tracking record.
+// Scan outcomes for one thread in one tick (threadState.scan).
+const (
+	scanOK    = uint8(iota) // stat+status read and parsed
+	scanRead                // a read failed (thread likely exited mid-tick)
+	scanParse               // a row was present but malformed
+)
+
+// threadState is the per-LWP tracking record. Everything needed to resample
+// the thread lives here — the cached /proc descriptors, the read buffers and
+// the parse scratch — so steady-state ticks allocate nothing and scan
+// workers can process distinct threads concurrently without sharing.
 type threadState struct {
 	tid        int
 	comm       string
 	kind       ThreadKind
 	alsoOpenMP bool // main thread participating in the OpenMP team
+
+	// reader holds the thread's stat+status descriptors open across ticks
+	// (nil after a read error; reopened on the next tick the tid is listed).
+	reader    proc.TaskReader
+	statBuf   []byte          // raw stat text, reused across ticks
+	statusBuf []byte          // raw status text, reused across ticks
+	stat      proc.TaskStat   // parse scratch, valid when scan == scanOK
+	status    proc.TaskStatus // parse scratch, valid when scan == scanOK
+	scan      uint8           // this tick's scan outcome
+	fresh     bool            // first successful sample not yet applied
 
 	firstSeen time.Time
 	lastSeen  time.Time
@@ -123,6 +148,7 @@ type threadState struct {
 type Monitor struct {
 	cfg  Config
 	deps Deps
+	bfs  proc.BufFS // buffered view of deps.FS (fd-cached on a real host)
 
 	pid      int
 	host     string
@@ -167,6 +193,36 @@ type Monitor struct {
 
 	kindHints map[int]ThreadKind
 	ompHints  map[int]bool
+
+	// Steady-state tick scratch: every buffer, parse struct and published
+	// sample below is reused across ticks so Tick allocates nothing once the
+	// thread set is stable (the paper's <0.5 % overhead contract; gated by
+	// TestMonitorTickZeroSteadyStateAlloc).
+	tidScratch []int          // Tasks listing
+	seen       map[int]bool   // tids listed this tick, clear()ed per tick
+	scanList   []*threadState // threads to scan this tick
+
+	statBuf    []byte // raw /proc/stat
+	memBuf     []byte // raw /proc/meminfo
+	pstatusBuf []byte // raw /proc/<pid>/status
+	ioBuf      []byte // raw /proc/<pid>/io
+
+	statScratch    proc.Stat
+	memScratch     proc.Meminfo
+	pstatusScratch proc.TaskStatus
+	ioScratch      proc.TaskIO
+	gpuVals        []float64
+
+	// Published sample payloads. Event payload pointers are borrowed:
+	// subscribers must copy anything they keep past the Publish call (see
+	// export.Event), which lets the monitor reuse these across ticks.
+	lwpSample export.LWPSample
+	hwtSample export.HWTSample
+	gpuSample export.GPUSample
+	memSample export.MemSample
+	ioSample  export.IOSample
+
+	scan scanPool // worker pool for the per-LWP phase (Config.ScanWorkers)
 }
 
 // New creates a monitor for the process served by deps.FS. Call Tick
@@ -181,6 +237,7 @@ func New(cfg Config, deps Deps) (*Monitor, error) {
 	m := &Monitor{
 		cfg:          cfg.withDefaults(),
 		deps:         deps,
+		bfs:          proc.AdaptFS(deps.FS),
 		pid:          deps.FS.SelfPID(),
 		host:         deps.FS.Hostname(),
 		started:      deps.Clock(),
@@ -188,6 +245,7 @@ func New(cfg Config, deps Deps) (*Monitor, error) {
 		size:         -1,
 		selfTID:      -1,
 		threads:      make(map[int]*threadState),
+		seen:         make(map[int]bool),
 		prevCPU:      make(map[int]proc.CPUTimes),
 		sentBytes:    make(map[int]uint64),
 		recvBytes:    make(map[int]uint64),
@@ -195,6 +253,7 @@ func New(cfg Config, deps Deps) (*Monitor, error) {
 		ompHints:     make(map[int]bool),
 		memMinFreeKB: ^uint64(0),
 	}
+	m.scan.start(m.cfg.ScanWorkers)
 	if deps.SMI != nil {
 		n := deps.SMI.DeviceCount()
 		m.gpuAgg = make([]map[string]*MinAvgMax, n)
@@ -209,7 +268,7 @@ func New(cfg Config, deps Deps) (*Monitor, error) {
 	}
 	// Detect the process-level configuration once at startup (§3.1).
 	if raw, err := deps.FS.ProcessStatus(m.pid); err == nil {
-		if st, err := proc.ParseTaskStatus(string(raw)); err == nil {
+		if st, err := proc.ParseTaskStatus(raw); err == nil {
 			m.procAff = st.CpusAllowed
 			m.procComm = st.Name
 		}
@@ -306,115 +365,173 @@ func (m *Monitor) Tick() error {
 	return nil
 }
 
+// sampleThreads runs the per-LWP phase of a tick in three steps: list the
+// tids and make sure each has a threadState with open descriptors, scan
+// (read+parse, serial or sharded across the worker pool), then apply the
+// results and publish — the apply step stays serial so publication order and
+// counter updates are deterministic.
 func (m *Monitor) sampleThreads(now time.Time, t float64) error {
-	tids, err := m.deps.FS.Tasks(m.pid)
+	tids, err := m.bfs.TasksInto(m.pid, m.tidScratch[:0])
+	m.tidScratch = tids
 	if err != nil {
 		return fmt.Errorf("core: list tasks: %w", err)
 	}
-	seen := make(map[int]bool, len(tids))
+	clear(m.seen)
+	m.scanList = m.scanList[:0]
 	for _, tid := range tids {
-		seen[tid] = true
-		rawStat, err := m.deps.FS.TaskStat(m.pid, tid)
-		if err != nil {
-			m.lwpReadSkips++ // transient thread: died between listing and read
-			continue
-		}
-		st, err := proc.ParseTaskStat(string(rawStat))
-		if err != nil {
-			// One malformed row (e.g. torn read of an exiting task) must not
-			// lose the whole sample; count it and keep going.
-			m.lwpParseSkips++
-			continue
-		}
-		rawStatus, err := m.deps.FS.TaskStatus(m.pid, tid)
-		if err != nil {
-			m.lwpReadSkips++
-			continue
-		}
-		status, err := proc.ParseTaskStatus(string(rawStatus))
-		if err != nil {
-			m.lwpParseSkips++
-			continue
-		}
-
+		m.seen[tid] = true
 		ts := m.threads[tid]
 		if ts == nil {
-			ts = &threadState{
-				tid: tid, comm: st.Comm, firstSeen: now,
-				firstUTime: st.UTime, firstSTime: st.STime,
-				prevUTime: st.UTime, prevSTime: st.STime,
-				lastCPU: st.Processor,
-			}
+			// Not registered in m.threads until its first successful scan:
+			// a transient thread that dies before it is ever sampled must
+			// not appear in reports.
+			ts = &threadState{tid: tid, firstSeen: now, fresh: true}
 			ts.kind = m.classify(tid)
-			m.threads[tid] = ts
-			m.order = append(m.order, tid)
 		}
-		if m.ompHints[tid] {
-			if ts.kind == KindMain {
-				ts.alsoOpenMP = true
-			} else if ts.kind == KindOther {
-				ts.kind = KindOpenMP
+		if ts.reader == nil {
+			rd, err := m.bfs.OpenTask(m.pid, tid)
+			if err != nil {
+				m.lwpReadSkips++ // died between listing and open
+				continue
 			}
+			ts.reader = rd
 		}
-		// Per-interval utilization percentages.
-		interval := m.cfg.Period.Seconds()
-		if interval <= 0 {
-			interval = 1
-		}
-		du := float64(st.UTime-ts.prevUTime) / proc.ClockTick
-		ds := float64(st.STime-ts.prevSTime) / proc.ClockTick
-		userPct := du / interval * 100
-		sysPct := ds / interval * 100
-
-		if st.Processor != ts.lastCPU {
-			ts.cpuChanges++
-		}
-		if !status.CpusAllowed.Equal(ts.affinity) && !ts.affinity.Empty() {
-			ts.affChanges++
-		}
-		ts.lastSeen = now
-		ts.prevUTime, ts.prevSTime = st.UTime, st.STime
-		ts.lastUTime, ts.lastSTime = st.UTime, st.STime
-		ts.vctx = status.VoluntaryCtxt
-		ts.nvctx = status.NonvoluntaryCtx
-		ts.minflt, ts.majflt = st.MinFlt, st.MajFlt
-		ts.nswap = st.NSwap
-		ts.lastCPU = st.Processor
-		ts.state = st.State
-		ts.affinity = status.CpusAllowed
-		ts.lastUserPct, ts.lastSysPct = userPct, sysPct
-		ts.observedCPUs.Set(st.Processor)
-
-		sample := export.LWPSample{
-			TimeSec: t, TID: tid, Kind: m.kindLabel(ts), State: byte(st.State),
-			UserPct: userPct, SysPct: sysPct,
-			VCtx: status.VoluntaryCtxt, NVCtx: status.NonvoluntaryCtx,
-			MinFlt: st.MinFlt, MajFlt: st.MajFlt, NSwap: st.NSwap,
-			CPU: st.Processor,
-		}
-		if m.cfg.KeepSeries {
-			m.lwpSeries = append(m.lwpSeries, sample)
-		}
-		m.publish(export.Event{Kind: export.EventLWP, TimeSec: t, LWP: &sample})
+		m.scanList = append(m.scanList, ts)
+	}
+	m.scan.run(m.scanList)
+	for _, ts := range m.scanList {
+		m.applyThread(ts, now, t)
 	}
 	for tid, ts := range m.threads {
-		if !seen[tid] {
+		if !m.seen[tid] {
 			ts.gone = true
+			ts.closeReader()
 		}
 	}
 	return nil
 }
 
+// scanThread reads and parses one thread's stat+status into its own scratch.
+// Workers call this concurrently on distinct threadStates; it must not touch
+// any monitor-wide state.
+//
+//zerosum:hotpath
+func scanThread(ts *threadState) {
+	var err error
+	if ts.statBuf, err = ts.reader.StatInto(ts.statBuf); err != nil {
+		ts.scan = scanRead // transient thread: died between listing and read
+		return
+	}
+	if err = proc.ParseTaskStatInto(ts.statBuf, &ts.stat); err != nil {
+		// One malformed row (e.g. torn read of an exiting task) must not
+		// lose the whole sample; flag it and keep going.
+		ts.scan = scanParse
+		return
+	}
+	if ts.statusBuf, err = ts.reader.StatusInto(ts.statusBuf); err != nil {
+		ts.scan = scanRead
+		return
+	}
+	if err = proc.ParseTaskStatusInto(ts.statusBuf, &ts.status); err != nil {
+		ts.scan = scanParse
+		return
+	}
+	ts.scan = scanOK
+}
+
+// applyThread folds one scanned thread into the monitor state and publishes
+// its sample. Serial.
+func (m *Monitor) applyThread(ts *threadState, now time.Time, t float64) {
+	switch ts.scan {
+	case scanRead:
+		m.lwpReadSkips++
+		// The cached descriptors are dead (procfs returns ESRCH once the
+		// thread exits); drop them so a relisted tid reopens fresh ones.
+		ts.closeReader()
+		return
+	case scanParse:
+		m.lwpParseSkips++
+		if ts.fresh {
+			ts.closeReader() // unregistered: the state is dropped entirely
+		}
+		return
+	}
+	st, status := &ts.stat, &ts.status
+	if ts.fresh {
+		ts.fresh = false
+		ts.comm = st.Comm
+		ts.firstUTime, ts.firstSTime = st.UTime, st.STime
+		ts.prevUTime, ts.prevSTime = st.UTime, st.STime
+		ts.lastCPU = st.Processor
+		m.threads[ts.tid] = ts
+		m.order = append(m.order, ts.tid)
+	}
+	if m.ompHints[ts.tid] {
+		if ts.kind == KindMain {
+			ts.alsoOpenMP = true
+		} else if ts.kind == KindOther {
+			ts.kind = KindOpenMP
+		}
+	}
+	// Per-interval utilization percentages.
+	interval := m.cfg.Period.Seconds()
+	if interval <= 0 {
+		interval = 1
+	}
+	du := float64(st.UTime-ts.prevUTime) / proc.ClockTick
+	ds := float64(st.STime-ts.prevSTime) / proc.ClockTick
+	userPct := du / interval * 100
+	sysPct := ds / interval * 100
+
+	if st.Processor != ts.lastCPU {
+		ts.cpuChanges++
+	}
+	if !status.CpusAllowed.Equal(ts.affinity) && !ts.affinity.Empty() {
+		ts.affChanges++
+	}
+	ts.lastSeen = now
+	ts.prevUTime, ts.prevSTime = st.UTime, st.STime
+	ts.lastUTime, ts.lastSTime = st.UTime, st.STime
+	ts.vctx = status.VoluntaryCtxt
+	ts.nvctx = status.NonvoluntaryCtx
+	ts.minflt, ts.majflt = st.MinFlt, st.MajFlt
+	ts.nswap = st.NSwap
+	ts.lastCPU = st.Processor
+	ts.state = st.State
+	ts.affinity.CopyFrom(status.CpusAllowed)
+	ts.lastUserPct, ts.lastSysPct = userPct, sysPct
+	ts.observedCPUs.Set(st.Processor)
+
+	m.lwpSample = export.LWPSample{
+		TimeSec: t, TID: ts.tid, Kind: m.kindLabel(ts), State: byte(st.State),
+		UserPct: userPct, SysPct: sysPct,
+		VCtx: status.VoluntaryCtxt, NVCtx: status.NonvoluntaryCtx,
+		MinFlt: st.MinFlt, MajFlt: st.MajFlt, NSwap: st.NSwap,
+		CPU: st.Processor,
+	}
+	if m.cfg.KeepSeries {
+		m.lwpSeries = append(m.lwpSeries, m.lwpSample)
+	}
+	m.publish(export.Event{Kind: export.EventLWP, TimeSec: t, LWP: &m.lwpSample})
+}
+
+func (ts *threadState) closeReader() {
+	if ts.reader != nil {
+		_ = ts.reader.Close() // read-only descriptors: nothing to flush
+		ts.reader = nil
+	}
+}
+
 func (m *Monitor) sampleHWTs(t float64) error {
-	raw, err := m.deps.FS.Stat()
+	raw, err := m.bfs.StatInto(m.statBuf)
+	m.statBuf = raw
 	if err != nil {
 		return fmt.Errorf("core: read /proc/stat: %w", err)
 	}
-	st, err := proc.ParseStat(string(raw))
-	if err != nil {
+	if err := proc.ParseStatInto(raw, &m.statScratch); err != nil {
 		return fmt.Errorf("core: parse /proc/stat: %w", err)
 	}
-	for _, row := range st.PerCPU {
+	for _, row := range m.statScratch.PerCPU {
 		prev, ok := m.prevCPU[row.CPU]
 		m.prevCPU[row.CPU] = row
 		if !ok {
@@ -424,7 +541,7 @@ func (m *Monitor) sampleHWTs(t float64) error {
 		if dTotal <= 0 {
 			continue
 		}
-		sample := export.HWTSample{
+		m.hwtSample = export.HWTSample{
 			TimeSec: t,
 			CPU:     row.CPU,
 			IdlePct: float64(row.Idle-prev.Idle) / dTotal * 100,
@@ -432,27 +549,30 @@ func (m *Monitor) sampleHWTs(t float64) error {
 			UserPct: float64(row.User-prev.User) / dTotal * 100,
 		}
 		if m.cfg.KeepSeries {
-			m.hwtSeries = append(m.hwtSeries, sample)
+			m.hwtSeries = append(m.hwtSeries, m.hwtSample)
 		}
-		m.publish(export.Event{Kind: export.EventHWT, TimeSec: t, HWT: &sample})
+		m.publish(export.Event{Kind: export.EventHWT, TimeSec: t, HWT: &m.hwtSample})
 	}
 	return nil
 }
 
 func (m *Monitor) sampleMemory(t float64) error {
-	rawMem, err := m.deps.FS.Meminfo()
+	rawMem, err := m.bfs.MeminfoInto(m.memBuf)
+	m.memBuf = rawMem
 	if err != nil {
 		return fmt.Errorf("core: read meminfo: %w", err)
 	}
-	mi, err := proc.ParseMeminfo(string(rawMem))
-	if err != nil {
+	if err := proc.ParseMeminfoInto(rawMem, &m.memScratch); err != nil {
 		return fmt.Errorf("core: parse meminfo: %w", err)
 	}
+	mi := &m.memScratch
 	var rss, hwm uint64
-	if raw, err := m.deps.FS.ProcessStatus(m.pid); err == nil {
-		if st, err := proc.ParseTaskStatus(string(raw)); err == nil {
-			rss, hwm = st.VmRSSKB, st.VmHWMKB
-			m.procAff = st.CpusAllowed
+	raw, err := m.bfs.ProcessStatusInto(m.pid, m.pstatusBuf)
+	m.pstatusBuf = raw
+	if err == nil {
+		if err := proc.ParseTaskStatusInto(raw, &m.pstatusScratch); err == nil {
+			rss, hwm = m.pstatusScratch.VmRSSKB, m.pstatusScratch.VmHWMKB
+			m.procAff.CopyFrom(m.pstatusScratch.CpusAllowed)
 		}
 	}
 	if mi.MemFreeKB < m.memMinFreeKB {
@@ -461,14 +581,14 @@ func (m *Monitor) sampleMemory(t float64) error {
 	if rss > m.memPeakRSSKB {
 		m.memPeakRSSKB = rss
 	}
-	sample := export.MemSample{
+	m.memSample = export.MemSample{
 		TimeSec: t, TotalKB: mi.MemTotalKB, FreeKB: mi.MemFreeKB,
 		AvailKB: mi.MemAvailableKB, ProcRSSKB: rss, ProcHWMKB: hwm,
 	}
 	if m.cfg.KeepSeries {
-		m.memSeries = append(m.memSeries, sample)
+		m.memSeries = append(m.memSeries, m.memSample)
 	}
-	m.publish(export.Event{Kind: export.EventMem, TimeSec: t, Mem: &sample})
+	m.publish(export.Event{Kind: export.EventMem, TimeSec: t, Mem: &m.memSample})
 	return nil
 }
 
@@ -481,19 +601,19 @@ func (m *Monitor) sampleGPUs(t float64) error {
 		if err != nil {
 			return fmt.Errorf("core: sample GPU %d: %w", i, err)
 		}
-		values := metrics.Values()
+		m.gpuVals = metrics.AppendValues(m.gpuVals[:0])
 		for j, name := range gpu.MetricNames {
 			agg := m.gpuAgg[i][name]
 			if agg == nil {
 				agg = &MinAvgMax{}
 				m.gpuAgg[i][name] = agg
 			}
-			agg.Add(values[j])
-			sample := export.GPUSample{TimeSec: t, GPU: i, Metric: name, Value: values[j]}
+			agg.Add(m.gpuVals[j])
+			m.gpuSample = export.GPUSample{TimeSec: t, GPU: i, Metric: name, Value: m.gpuVals[j]}
 			if m.cfg.KeepSeries {
-				m.gpuSeries = append(m.gpuSeries, sample)
+				m.gpuSeries = append(m.gpuSeries, m.gpuSample)
 			}
-			m.publish(export.Event{Kind: export.EventGPU, TimeSec: t, GPU: &sample})
+			m.publish(export.Event{Kind: export.EventGPU, TimeSec: t, GPU: &m.gpuSample})
 		}
 	}
 	return nil
@@ -502,25 +622,26 @@ func (m *Monitor) sampleGPUs(t float64) error {
 // sampleIO reads /proc/<pid>/io; hosts without the file (permissions,
 // non-Linux) are tolerated silently, like the paper's optional collectors.
 func (m *Monitor) sampleIO(t float64) {
-	raw, err := m.deps.FS.ProcessIO(m.pid)
+	raw, err := m.bfs.ProcessIOInto(m.pid, m.ioBuf)
+	m.ioBuf = raw
 	if err != nil {
 		return
 	}
-	io, err := proc.ParseTaskIO(string(raw))
-	if err != nil {
+	if err := proc.ParseTaskIOInto(raw, &m.ioScratch); err != nil {
 		return
 	}
-	m.lastIO = io
+	io := &m.ioScratch
+	m.lastIO = *io
 	m.ioSeen = true
-	sample := export.IOSample{
+	m.ioSample = export.IOSample{
 		TimeSec: t, RChar: io.RChar, WChar: io.WChar,
 		SyscR: io.SyscR, SyscW: io.SyscW,
 		ReadBytes: io.ReadBytes, WriteBytes: io.WriteBytes,
 	}
 	if m.cfg.KeepSeries {
-		m.ioSeries = append(m.ioSeries, sample)
+		m.ioSeries = append(m.ioSeries, m.ioSample)
 	}
-	m.publish(export.Event{Kind: export.EventIO, TimeSec: t, IO: &sample})
+	m.publish(export.Event{Kind: export.EventIO, TimeSec: t, IO: &m.ioSample})
 }
 
 // maybeHeartbeat formats a progress line; rate-limited by HeartbeatEvery,
@@ -614,11 +735,16 @@ func (m *Monitor) publish(ev export.Event) {
 	}
 }
 
-// Finish freezes the monitor; further Ticks fail.
+// Finish freezes the monitor; further Ticks fail. It stops the scan worker
+// pool and releases every cached /proc descriptor.
 func (m *Monitor) Finish() {
 	if !m.done {
 		m.done = true
 		m.finished = m.deps.Clock()
+		m.scan.stop()
+		for _, ts := range m.threads {
+			ts.closeReader()
+		}
 	}
 }
 

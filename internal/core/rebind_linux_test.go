@@ -27,7 +27,7 @@ func TestLinuxRebinderOnSelf(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before, err := proc.ParseTaskStatus(string(raw))
+	before, err := proc.ParseTaskStatus(raw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestLinuxRebinderOnSelf(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	after, err := proc.ParseTaskStatus(string(raw))
+	after, err := proc.ParseTaskStatus(raw)
 	if err != nil {
 		t.Fatal(err)
 	}

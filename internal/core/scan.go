@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// scanPool shards the per-LWP read+parse phase of a tick across a small set
+// of persistent workers. The zero value scans serially; start(n) with n > 1
+// spawns the pool. Workers only ever touch distinct threadStates (each owns
+// its buffers and parse scratch), so the phase needs no locking — just an
+// atomic work index and a WaitGroup barrier per tick. The pool is persistent
+// precisely so the sampling hot path never spawns goroutines.
+type scanPool struct {
+	workers int
+	work    []*threadState // current tick's work list, set before waking
+	next    atomic.Int64   // work index shared by the workers
+	wake    chan struct{}  // one token per worker per tick
+	wg      sync.WaitGroup // barrier: all workers finished this tick
+}
+
+// start spawns n-1 workers (the tick goroutine itself is the n-th). Called
+// once from New; no-op for n <= 1.
+func (p *scanPool) start(n int) {
+	if n <= 1 {
+		return
+	}
+	p.workers = n
+	p.wake = make(chan struct{}, n)
+	for i := 0; i < n-1; i++ {
+		go p.worker()
+	}
+}
+
+func (p *scanPool) worker() {
+	for range p.wake {
+		p.drain()
+		p.wg.Done()
+	}
+}
+
+// drain claims and scans threads until the work list is exhausted.
+func (p *scanPool) drain() {
+	for {
+		i := int(p.next.Add(1)) - 1
+		if i >= len(p.work) {
+			return
+		}
+		scanThread(p.work[i])
+	}
+}
+
+// run scans every thread in the list, returning when all are done. Serial
+// when the pool was never started.
+//
+//zerosum:hotpath
+func (p *scanPool) run(list []*threadState) {
+	if p.workers <= 1 {
+		for _, ts := range list {
+			scanThread(ts)
+		}
+		return
+	}
+	p.work = list
+	p.next.Store(0)
+	p.wg.Add(p.workers - 1)
+	for i := 0; i < p.workers-1; i++ {
+		p.wake <- struct{}{}
+	}
+	// The tick goroutine pulls from the same work list instead of idling at
+	// the barrier.
+	p.drain()
+	p.wg.Wait()
+	p.work = nil
+}
+
+// stop terminates the workers. The pool must not be run again.
+func (p *scanPool) stop() {
+	if p.wake != nil {
+		close(p.wake)
+		p.wake = nil
+		p.workers = 0
+	}
+}

@@ -126,7 +126,7 @@ func (m *Monitor) Snapshot() Snapshot {
 		PID:               m.pid,
 		Hostname:          m.host,
 		Comm:              m.procComm,
-		ProcessAff:        m.procAff,
+		ProcessAff:        m.procAff.Clone(),
 		MemPeakRSSKB:      m.memPeakRSSKB,
 		DeadlockSuspected: m.deadlockHint,
 		Samples:           m.samples,
@@ -156,15 +156,17 @@ func (m *Monitor) Snapshot() Snapshot {
 			wall = 1
 		}
 		row := ThreadSummary{
-			TID:          ts.tid,
-			Label:        m.kindLabel(ts),
-			Kind:         ts.kind,
-			STimePct:     float64(ts.lastSTime-ts.firstSTime) / 100 / wall * 100,
-			UTimePct:     float64(ts.lastUTime-ts.firstUTime) / 100 / wall * 100,
-			NVCtx:        ts.nvctx,
-			VCtx:         ts.vctx,
-			Affinity:     ts.affinity,
-			ObservedCPUs: ts.observedCPUs,
+			TID:      ts.tid,
+			Label:    m.kindLabel(ts),
+			Kind:     ts.kind,
+			STimePct: float64(ts.lastSTime-ts.firstSTime) / 100 / wall * 100,
+			UTimePct: float64(ts.lastUTime-ts.firstUTime) / 100 / wall * 100,
+			NVCtx:    ts.nvctx,
+			VCtx:     ts.vctx,
+			// Cloned: the monitor mutates these sets in place every tick,
+			// and a snapshot must stay stable after it is taken.
+			Affinity:     ts.affinity.Clone(),
+			ObservedCPUs: ts.observedCPUs.Clone(),
 			CPUChanges:   ts.cpuChanges,
 			MinFlt:       ts.minflt,
 			MajFlt:       ts.majflt,

@@ -18,6 +18,12 @@ const (
 
 // Event is one published observation. Exactly one payload pointer matching
 // Kind is non-nil (Heartbeat events carry only the time).
+//
+// Payload pointers are borrowed from the publisher: they are valid only for
+// the duration of the Subscriber call, because the monitor reuses one sample
+// struct per kind across ticks to keep its hot path allocation-free. A
+// subscriber that retains an event past its return must copy the payload it
+// cares about (the aggd agent copies into its ring slots; see Agent).
 type Event struct {
 	Kind    EventKind
 	TimeSec float64

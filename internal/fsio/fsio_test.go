@@ -97,7 +97,7 @@ func TestProcessCountersAdvance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	parsed, err := proc.ParseTaskIO(string(raw))
+	parsed, err := proc.ParseTaskIO(raw)
 	if err != nil {
 		t.Fatal(err)
 	}

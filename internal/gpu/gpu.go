@@ -68,12 +68,20 @@ var MetricNames = []string{
 
 // Values returns the metric values in MetricNames order.
 func (m Metrics) Values() []float64 {
-	return []float64{
+	return m.AppendValues(make([]float64, 0, len(MetricNames)))
+}
+
+// AppendValues appends the metric values in MetricNames order, letting the
+// sampling loop reuse one scratch slice across ticks.
+//
+//zerosum:hotpath
+func (m Metrics) AppendValues(dst []float64) []float64 {
+	return append(dst,
 		m.ClockGFXMHz, m.ClockSOCMHz, m.DeviceBusyPct, m.EnergyAvgJ,
 		m.GFXActivity, m.GFXActivityPct, m.MemoryActivity, m.MemoryBusyPct,
 		m.MemCtrlActivity, m.PowerAvgW, m.TemperatureC, m.UVDActivityPct,
 		m.UsedGTTBytes, m.UsedVRAMBytes, m.UsedVisVRAMBytes, m.VoltageMV,
-	}
+	)
 }
 
 // SMI is the management-library interface the monitor samples through.

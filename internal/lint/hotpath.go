@@ -10,10 +10,14 @@ import (
 // module function it calls, one level deep — may not format with the fmt
 // package (fmt.Errorf is exempt: error construction only runs on failure
 // paths, which abort sampling, whereas steady-state formatting is what
-// burns the overhead budget), read the wall clock, take a mutex, or spawn
-// goroutines. A callee annotated //zerosum:coldpath is a declared
-// off-steady-state helper (rate-limited or failure-only) and is not
-// descended into.
+// burns the overhead budget), read the wall clock, take a mutex, spawn
+// goroutines, or call the per-call-allocating convenience readers and
+// splitters (os.ReadFile/ReadDir/Open, io.ReadAll, strings.Fields/Split,
+// bytes.Fields/Split): the sampling loop reads through cached descriptors
+// into reusable buffers and parses with index scans, and these calls are
+// how allocation sneaks back in. A callee annotated //zerosum:coldpath is a
+// declared off-steady-state helper (rate-limited or failure-only) and is
+// not descended into.
 type hotpathCheck struct{}
 
 func (hotpathCheck) Name() string { return "hotpath" }
@@ -119,6 +123,24 @@ func forbiddenHotCall(f *types.Func) string {
 		switch f.Name() {
 		case "Now", "Sleep", "Tick", "After", "AfterFunc":
 			return "time." + f.Name()
+		}
+	case "strings", "bytes":
+		// Each call allocates its result slice; hot-path parsing is written
+		// against []byte with index scans instead (internal/proc/parse.go).
+		switch f.Name() {
+		case "Fields", "FieldsFunc", "Split", "SplitN", "SplitAfter", "SplitAfterN":
+			return f.Pkg().Path() + "." + f.Name()
+		}
+	case "os":
+		// The sampling loop rereads cached descriptors (proc.BufFS); opening
+		// or slurping files per call is the allocation the fd cache removed.
+		switch f.Name() {
+		case "ReadFile", "ReadDir", "Open", "OpenFile", "Create":
+			return "os." + f.Name()
+		}
+	case "io":
+		if f.Name() == "ReadAll" {
+			return "io.ReadAll"
 		}
 	}
 	switch f.FullName() {

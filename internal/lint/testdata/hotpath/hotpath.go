@@ -3,7 +3,11 @@
 package hotpath
 
 import (
+	"bytes"
 	"fmt"
+	"io"
+	"os"
+	"strings"
 	"sync"
 	"time"
 )
@@ -48,3 +52,14 @@ func cold() { fmt.Println("rate-limited diagnostics") }
 //
 //zerosum:hotpath
 func ColdCaller() { cold() }
+
+// Slurper is hot and reaches for the per-call-allocating conveniences the
+// buffered read/parse layer exists to avoid.
+//
+//zerosum:hotpath
+func Slurper(raw []byte) int {
+	parts := strings.Fields(string(raw))       // true positive: allocates the field slice
+	data, _ := os.ReadFile("/proc/stat")       // true positive: open+alloc per call
+	all, _ := io.ReadAll(bytes.NewReader(raw)) // true positive: unbounded alloc
+	return len(parts) + len(data) + len(all)
+}

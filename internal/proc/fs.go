@@ -2,8 +2,8 @@ package proc
 
 import (
 	"fmt"
+	"io"
 	"os"
-	"sort"
 	"strconv"
 )
 
@@ -35,9 +35,29 @@ type FS interface {
 }
 
 // RealFS reads the live /proc of this Linux host. Root is normally "/proc";
-// tests may point it at a fixture tree.
+// tests may point it at a fixture tree. The zero value (plus Root) works;
+// the BufFS fd caches initialise lazily on first use and are released by
+// Close. The plain FS methods stay stateless; the BufFS methods share
+// cached descriptors and are not safe for concurrent use (see BufFS).
 type RealFS struct {
 	Root string
+
+	// Cached descriptors for the process-scoped and node-scoped files the
+	// monitor re-reads every tick. One slot per file: a monitor watches a
+	// single process, so keying by pid would only add lookups.
+	statusFile  *os.File
+	statusPID   int
+	ioFile      *os.File
+	ioPID       int
+	meminfoFile *os.File
+	statFile    *os.File
+
+	// Task-listing state for TasksInto (see fs_linux.go).
+	taskDir    *os.File
+	taskDirPID int
+	direntBuf  []byte
+
+	pathBuf []byte // scratch for building file paths without fmt
 }
 
 // NewRealFS returns a RealFS rooted at /proc.
@@ -48,18 +68,7 @@ func (r *RealFS) SelfPID() int { return os.Getpid() }
 
 // Tasks implements FS by listing <root>/<pid>/task.
 func (r *RealFS) Tasks(pid int) ([]int, error) {
-	entries, err := os.ReadDir(fmt.Sprintf("%s/%d/task", r.Root, pid))
-	if err != nil {
-		return nil, fmt.Errorf("proc: list tasks of %d: %w", pid, err)
-	}
-	tids := make([]int, 0, len(entries))
-	for _, e := range entries {
-		if tid, err := strconv.Atoi(e.Name()); err == nil {
-			tids = append(tids, tid)
-		}
-	}
-	sort.Ints(tids)
-	return tids, nil
+	return r.TasksInto(pid, nil)
 }
 
 // TaskStat implements FS.
@@ -101,4 +110,197 @@ func (r *RealFS) Hostname() string {
 	return h
 }
 
-var _ FS = (*RealFS)(nil)
+// Close releases every cached descriptor. The RealFS remains usable; caches
+// re-open lazily on the next BufFS read.
+func (r *RealFS) Close() error {
+	closeFile(&r.statusFile)
+	closeFile(&r.ioFile)
+	closeFile(&r.meminfoFile)
+	closeFile(&r.statFile)
+	closeFile(&r.taskDir)
+	return nil
+}
+
+func closeFile(f **os.File) {
+	if *f != nil {
+		_ = (*f).Close() // read-only descriptor: nothing to flush
+		*f = nil
+	}
+}
+
+// appendPidPath builds "<root>/<pid>/<file>" into r.pathBuf.
+func (r *RealFS) pidPath(pid int, file string) string {
+	b := append(r.pathBuf[:0], r.Root...)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, '/')
+	b = append(b, file...)
+	r.pathBuf = b
+	return string(b)
+}
+
+// taskPath builds "<root>/<pid>/task" or "<root>/<pid>/task/<tid>/<file>".
+func (r *RealFS) taskPath(pid, tid int, file string) string {
+	b := append(r.pathBuf[:0], r.Root...)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, "/task"...)
+	if tid >= 0 {
+		b = append(b, '/')
+		b = strconv.AppendInt(b, int64(tid), 10)
+		b = append(b, '/')
+		b = append(b, file...)
+	}
+	r.pathBuf = b
+	return string(b)
+}
+
+// cachedFile returns the cached descriptor, opening it on first use or when
+// the pid changed (pid < 0 means a node-scoped file with no pid check).
+func (r *RealFS) cachedFile(slot **os.File, slotPID *int, pid int, path func() string) (*os.File, error) {
+	if *slot != nil && (slotPID == nil || *slotPID == pid) {
+		return *slot, nil
+	}
+	closeFile(slot)
+	f, err := os.Open(path())
+	if err != nil {
+		return nil, err
+	}
+	*slot = f
+	if slotPID != nil {
+		*slotPID = pid
+	}
+	return f, nil
+}
+
+// readFileInto preads the whole file from offset 0 into buf's storage,
+// growing it only when the content does not fit. Reading from offset 0
+// makes procfs regenerate the content on every call, so one cached
+// descriptor serves the file for the thread's whole lifetime; when the
+// thread exits the pread fails (ESRCH) and the caller invalidates.
+//
+//zerosum:hotpath
+func readFileInto(f *os.File, buf []byte) ([]byte, error) {
+	if cap(buf) < 512 {
+		buf = make([]byte, 8192)
+	} else {
+		buf = buf[:cap(buf)]
+	}
+	for {
+		n, err := f.ReadAt(buf, 0)
+		if err == io.EOF {
+			return buf[:n], nil
+		}
+		if err != nil {
+			return buf[:0], err
+		}
+		// The buffer was filled exactly; the content may continue. Double
+		// and re-read from 0 so the result is one consistent snapshot.
+		buf = make([]byte, 2*len(buf))
+	}
+}
+
+// ProcessStatusInto implements BufFS.
+func (r *RealFS) ProcessStatusInto(pid int, buf []byte) ([]byte, error) {
+	f, err := r.cachedFile(&r.statusFile, &r.statusPID, pid, func() string { return r.pidPath(pid, "status") })
+	if err != nil {
+		return buf, err
+	}
+	out, err := readFileInto(f, buf)
+	if err != nil {
+		closeFile(&r.statusFile)
+		return buf, err
+	}
+	return out, nil
+}
+
+// ProcessIOInto implements BufFS.
+func (r *RealFS) ProcessIOInto(pid int, buf []byte) ([]byte, error) {
+	f, err := r.cachedFile(&r.ioFile, &r.ioPID, pid, func() string { return r.pidPath(pid, "io") })
+	if err != nil {
+		return buf, err
+	}
+	out, err := readFileInto(f, buf)
+	if err != nil {
+		closeFile(&r.ioFile)
+		return buf, err
+	}
+	return out, nil
+}
+
+// MeminfoInto implements BufFS.
+func (r *RealFS) MeminfoInto(buf []byte) ([]byte, error) {
+	f, err := r.cachedFile(&r.meminfoFile, nil, -1, func() string { return r.Root + "/meminfo" })
+	if err != nil {
+		return buf, err
+	}
+	out, err := readFileInto(f, buf)
+	if err != nil {
+		closeFile(&r.meminfoFile)
+		return buf, err
+	}
+	return out, nil
+}
+
+// StatInto implements BufFS.
+func (r *RealFS) StatInto(buf []byte) ([]byte, error) {
+	f, err := r.cachedFile(&r.statFile, nil, -1, func() string { return r.Root + "/stat" })
+	if err != nil {
+		return buf, err
+	}
+	out, err := readFileInto(f, buf)
+	if err != nil {
+		closeFile(&r.statFile)
+		return buf, err
+	}
+	return out, nil
+}
+
+// OpenTask implements BufFS: both per-LWP files are opened eagerly so a
+// vanished thread fails here rather than on the first read.
+func (r *RealFS) OpenTask(pid, tid int) (TaskReader, error) {
+	stat, err := os.Open(r.taskPath(pid, tid, "stat"))
+	if err != nil {
+		return nil, err
+	}
+	status, err := os.Open(r.taskPath(pid, tid, "status"))
+	if err != nil {
+		_ = stat.Close() // read-only descriptor: nothing to flush
+		return nil, err
+	}
+	return &realTaskReader{stat: stat, status: status}, nil
+}
+
+// realTaskReader holds one LWP's stat and status descriptors open across
+// ticks, rereading them via pread from offset 0.
+type realTaskReader struct {
+	stat, status *os.File
+}
+
+// StatInto implements TaskReader.
+//
+//zerosum:hotpath
+func (t *realTaskReader) StatInto(buf []byte) ([]byte, error) {
+	return readFileInto(t.stat, buf)
+}
+
+// StatusInto implements TaskReader.
+//
+//zerosum:hotpath
+func (t *realTaskReader) StatusInto(buf []byte) ([]byte, error) {
+	return readFileInto(t.status, buf)
+}
+
+// Close implements TaskReader.
+func (t *realTaskReader) Close() error {
+	err := t.stat.Close()
+	if err2 := t.status.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+var (
+	_ FS    = (*RealFS)(nil)
+	_ BufFS = (*RealFS)(nil)
+)

@@ -1,0 +1,95 @@
+//go:build linux
+
+package proc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"slices"
+	"syscall"
+)
+
+// TasksInto implements BufFS by scanning <root>/<pid>/task with getdents64
+// on a cached directory descriptor: the dirent names are parsed as bytes
+// (non-numeric entries skipped without a strconv error allocation) and the
+// directory is rewound with lseek instead of re-opened, so the steady-state
+// tick allocates nothing.
+//
+//zerosum:hotpath
+func (r *RealFS) TasksInto(pid int, tids []int) ([]int, error) {
+	if r.taskDir == nil || r.taskDirPID != pid {
+		if err := r.openTaskDir(pid); err != nil {
+			return tids, err
+		}
+	} else if _, err := r.taskDir.Seek(0, io.SeekStart); err != nil {
+		closeFile(&r.taskDir)
+		return tids, fmt.Errorf("proc: rewind tasks of %d: %w", pid, err)
+	}
+	if r.direntBuf == nil {
+		r.direntBuf = make([]byte, 16<<10)
+	}
+	fd := int(r.taskDir.Fd())
+	start := len(tids)
+	for {
+		n, err := syscall.ReadDirent(fd, r.direntBuf)
+		if err != nil {
+			closeFile(&r.taskDir)
+			return tids, fmt.Errorf("proc: list tasks of %d: %w", pid, err)
+		}
+		if n == 0 {
+			break
+		}
+		buf := r.direntBuf[:n]
+		for len(buf) >= direntNameOff {
+			reclen := int(binary.LittleEndian.Uint16(buf[direntReclenOff:]))
+			if reclen < direntNameOff || reclen > len(buf) {
+				closeFile(&r.taskDir)
+				return tids, fmt.Errorf("proc: malformed dirent in tasks of %d", pid)
+			}
+			if tid, ok := direntTID(buf[direntNameOff:reclen]); ok {
+				tids = append(tids, tid)
+			}
+			buf = buf[reclen:]
+		}
+	}
+	slices.Sort(tids[start:])
+	return tids, nil
+}
+
+// openTaskDir (re)opens the cached task directory descriptor. It runs on
+// first use and after pid changes or listing failures, never steady-state.
+//
+//zerosum:coldpath
+func (r *RealFS) openTaskDir(pid int) error {
+	closeFile(&r.taskDir)
+	d, err := os.Open(r.taskPath(pid, -1, ""))
+	if err != nil {
+		return fmt.Errorf("proc: list tasks of %d: %w", pid, err)
+	}
+	r.taskDir, r.taskDirPID = d, pid
+	return nil
+}
+
+// linux_dirent64 field offsets: ino(8) off(8) reclen(2) type(1) name...
+const (
+	direntReclenOff = 16
+	direntNameOff   = 19
+)
+
+// direntTID parses a NUL-terminated dirent name as a tid; any non-numeric
+// name (".", "..", stray files) reports !ok without allocating.
+func direntTID(name []byte) (int, bool) {
+	n := 0
+	for i, c := range name {
+		if c == 0 {
+			return n, i > 0
+		}
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, len(name) > 0
+}

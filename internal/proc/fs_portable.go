@@ -1,0 +1,38 @@
+//go:build !linux
+
+package proc
+
+import (
+	"fmt"
+	"os"
+	"slices"
+)
+
+// TasksInto implements BufFS on non-Linux hosts (where RealFS only ever
+// reads fixture trees) via the portable directory listing. It still skips
+// non-numeric entries without the strconv error allocation, but the listing
+// itself allocates.
+func (r *RealFS) TasksInto(pid int, tids []int) ([]int, error) {
+	entries, err := os.ReadDir(r.taskPath(pid, -1, ""))
+	if err != nil {
+		return tids, fmt.Errorf("proc: list tasks of %d: %w", pid, err)
+	}
+	start := len(tids)
+	for _, e := range entries {
+		name := e.Name()
+		tid, ok := 0, len(name) > 0
+		for i := 0; i < len(name) && ok; i++ {
+			c := name[i]
+			if c < '0' || c > '9' {
+				ok = false
+				break
+			}
+			tid = tid*10 + int(c-'0')
+		}
+		if ok {
+			tids = append(tids, tid)
+		}
+	}
+	slices.Sort(tids[start:])
+	return tids, nil
+}

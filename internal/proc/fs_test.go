@@ -1,0 +1,158 @@
+package proc
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"zerosum/internal/topology"
+)
+
+// writeFixtureTree lays out a minimal /proc lookalike for pid 42 with the
+// given tids, returning its root.
+func writeFixtureTree(t *testing.T, tids ...int) string {
+	t.Helper()
+	root := t.TempDir()
+	pidDir := filepath.Join(root, "42")
+	statText := func(tid int) string {
+		return RenderTaskStat(TaskStat{PID: tid, Comm: "fix", State: StateRunning,
+			UTime: 100, STime: 10, NumThrs: len(tids), Processor: 1})
+	}
+	statusText := RenderTaskStatus(TaskStatus{Name: "fix", State: StateRunning,
+		Tgid: 42, Pid: 42, Threads: len(tids), VmRSSKB: 1024,
+		CpusAllowed: mustCPUList(t, "0-3"), VoluntaryCtxt: 5, NonvoluntaryCtx: 2})
+	for _, tid := range tids {
+		d := filepath.Join(pidDir, "task", strconv.Itoa(tid))
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		mustWrite(t, filepath.Join(d, "stat"), statText(tid))
+		mustWrite(t, filepath.Join(d, "status"), statusText)
+	}
+	mustWrite(t, filepath.Join(pidDir, "status"), statusText)
+	mustWrite(t, filepath.Join(pidDir, "io"), RenderTaskIO(TaskIO{RChar: 100, WChar: 50}))
+	mustWrite(t, filepath.Join(root, "meminfo"), RenderMeminfo(Meminfo{MemTotalKB: 1 << 20, MemFreeKB: 1 << 19}))
+	mustWrite(t, filepath.Join(root, "stat"), RenderStat(Stat{
+		Aggregate: CPUTimes{CPU: -1, User: 10, Idle: 100},
+		PerCPU:    []CPUTimes{{CPU: 0, User: 10, Idle: 100}},
+	}))
+	return root
+}
+
+func mustWrite(t *testing.T, path, text string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustCPUList(t *testing.T, s string) topology.CPUSet {
+	t.Helper()
+	set, err := topology.ParseCPUList(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestRealFSBufReads(t *testing.T) {
+	root := writeFixtureTree(t, 42, 77, 103)
+	fs := &RealFS{Root: root}
+	defer fs.Close()
+
+	tids, err := fs.TasksInto(42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tids) != 3 || tids[0] != 42 || tids[1] != 77 || tids[2] != 103 {
+		t.Fatalf("TasksInto = %v, want [42 77 103]", tids)
+	}
+
+	rd, err := fs.OpenTask(42, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	var buf []byte
+	buf, err = rd.StatInto(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ParseTaskStat(buf)
+	if err != nil || st.PID != 77 {
+		t.Fatalf("stat via reader: %v %+v", err, st)
+	}
+
+	// A cached descriptor must observe in-place rewrites (procfs regenerates
+	// content per pread; a fixture file rewrite models the same thing).
+	mustWrite(t, filepath.Join(root, "42", "task", "77", "stat"),
+		RenderTaskStat(TaskStat{PID: 77, Comm: "fix", State: StateSleeping,
+			UTime: 222, STime: 11, NumThrs: 3, Processor: 0}))
+	buf, err = rd.StatInto(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = ParseTaskStat(buf); err != nil || st.UTime != 222 || st.State != StateSleeping {
+		t.Fatalf("reread after rewrite: %v %+v", err, st)
+	}
+
+	var mbuf []byte
+	if mbuf, err = fs.MeminfoInto(mbuf); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := ParseMeminfo(mbuf); err != nil || m.MemTotalKB != 1<<20 {
+		t.Fatalf("meminfo via cache: %v %+v", err, m)
+	}
+
+	// OpenTask on a dead tid fails.
+	if _, err := fs.OpenTask(42, 9999); err == nil {
+		t.Fatal("OpenTask on missing tid should fail")
+	}
+}
+
+// TestRealFSBufZeroAlloc pins the fd-cache contract: after the first tick
+// warms the caches, listing tasks and rereading every cached file allocates
+// nothing. This runs against a fixture tree so CI exercises it without a
+// live /proc.
+func TestRealFSBufZeroAlloc(t *testing.T) {
+	root := writeFixtureTree(t, 42, 77, 103)
+	fs := &RealFS{Root: root}
+	defer fs.Close()
+
+	var tids []int
+	rd, err := fs.OpenTask(42, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	var statBuf, statusBuf, pstatusBuf, ioBuf, memBuf, cpuBuf []byte
+	tick := func() {
+		var err error
+		if tids, err = fs.TasksInto(42, tids[:0]); err != nil {
+			t.Fatal(err)
+		}
+		if statBuf, err = rd.StatInto(statBuf); err != nil {
+			t.Fatal(err)
+		}
+		if statusBuf, err = rd.StatusInto(statusBuf); err != nil {
+			t.Fatal(err)
+		}
+		if pstatusBuf, err = fs.ProcessStatusInto(42, pstatusBuf); err != nil {
+			t.Fatal(err)
+		}
+		if ioBuf, err = fs.ProcessIOInto(42, ioBuf); err != nil {
+			t.Fatal(err)
+		}
+		if memBuf, err = fs.MeminfoInto(memBuf); err != nil {
+			t.Fatal(err)
+		}
+		if cpuBuf, err = fs.StatInto(cpuBuf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tick() // warmup: opens descriptors, sizes buffers
+	if avg := testing.AllocsPerRun(100, tick); avg != 0 {
+		t.Errorf("steady-state BufFS tick allocates %.1f per run, want 0", avg)
+	}
+}

@@ -19,10 +19,11 @@ func FuzzProcStatParse(f *testing.F) {
 	f.Add("Cpus_allowed_list:\t0-\n")
 
 	f.Fuzz(func(t *testing.T, text string) {
-		_, _ = ParseTaskStat(text)
-		_, _ = ParseTaskStatus(text)
-		_, _ = ParseMeminfo(text)
-		_, _ = ParseTaskIO(text)
-		_, _ = ParseStat(text)
+		b := []byte(text)
+		_, _ = ParseTaskStat(b)
+		_, _ = ParseTaskStatus(b)
+		_, _ = ParseMeminfo(b)
+		_, _ = ParseTaskIO(b)
+		_, _ = ParseStat(b)
 	})
 }

@@ -1,95 +1,258 @@
 package proc
 
 import (
+	"bytes"
 	"fmt"
-	"strconv"
-	"strings"
 
 	"zerosum/internal/topology"
 )
 
+// The parsers in this file run once per LWP per sampling tick, so they are
+// written against []byte with index-based field scanning: no strings.Fields
+// field slices, no substring copies, no strconv round trips through string.
+// Each ParseXxx has a ParseXxxInto variant that reuses the caller's struct
+// (and any slice/string storage inside it) so the steady-state sampling loop
+// allocates nothing; the value-returning forms are thin wrappers kept for
+// call sites off the hot path.
+
+func isSpaceByte(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func trimSpaceBytes(b []byte) []byte {
+	for len(b) > 0 && isSpaceByte(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && isSpaceByte(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// parseU64 parses an unsigned decimal; the whole input must be digits.
+func parseU64(b []byte) (uint64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + uint64(c-'0')
+	}
+	return n, true
+}
+
+// parseI64 parses a signed decimal; the whole input must be a number.
+func parseI64(b []byte) (int64, bool) {
+	neg := false
+	if len(b) > 0 && (b[0] == '-' || b[0] == '+') {
+		neg = b[0] == '-'
+		b = b[1:]
+	}
+	v, ok := parseU64(b)
+	if !ok {
+		return 0, false
+	}
+	if neg {
+		return -int64(v), true
+	}
+	return int64(v), true
+}
+
+// atoiSoft parses the leading integer of b ("1234 kB" → 1234), returning 0
+// on malformed input — the forgiving read /proc status-style lines get.
+func atoiSoft(b []byte) int {
+	b = trimSpaceBytes(b)
+	neg := false
+	if len(b) > 0 && (b[0] == '-' || b[0] == '+') {
+		neg = b[0] == '-'
+		b = b[1:]
+	}
+	n := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int(c-'0')
+	}
+	if neg {
+		return -n
+	}
+	return n
+}
+
+// u64Soft parses the leading unsigned integer of b, 0 on malformed input.
+func u64Soft(b []byte) uint64 {
+	b = trimSpaceBytes(b)
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + uint64(c-'0')
+	}
+	return n
+}
+
+// kbSoft parses "1234 kB" (or bare "1234") into 1234.
+func kbSoft(b []byte) uint64 { return u64Soft(b) }
+
+// setString reassigns *dst only when the bytes differ, so an unchanged
+// field (the overwhelmingly common case tick over tick) costs a compare
+// instead of a string allocation.
+func setString(dst *string, b []byte) {
+	if string(b) != *dst { // comparison does not allocate
+		*dst = string(b)
+	}
+}
+
+// nextLine splits b at the first newline, returning the line (without the
+// newline) and the remainder.
+func nextLine(b []byte) (line, rest []byte) {
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		return b[:i], b[i+1:]
+	}
+	return b, nil
+}
+
 // ParseTaskStat parses the single-line /proc/<pid>/task/<tid>/stat format.
 // The comm field may contain spaces and parentheses; per the proc(5) advice
 // the parser scans for the *last* ')'.
-func ParseTaskStat(text string) (TaskStat, error) {
+func ParseTaskStat(b []byte) (TaskStat, error) {
 	var s TaskStat
-	text = strings.TrimSpace(text)
-	open := strings.IndexByte(text, '(')
-	close_ := strings.LastIndexByte(text, ')')
-	if open < 0 || close_ < open {
-		return s, fmt.Errorf("proc: malformed stat line %q", truncate(text, 60))
-	}
-	pid, err := strconv.Atoi(strings.TrimSpace(text[:open]))
-	if err != nil {
-		return s, fmt.Errorf("proc: bad pid in stat: %v", err)
-	}
-	s.PID = pid
-	s.Comm = text[open+1 : close_]
-	rest := strings.Fields(text[close_+1:])
-	// rest[0] is field 3 (state); field n of the stat line is rest[n-3].
-	if len(rest) < 37 {
-		return s, fmt.Errorf("proc: stat line has %d fields after comm, want >= 37", len(rest))
-	}
-	field := func(n int) string { return rest[n-3] }
-	u64 := func(n int) (uint64, error) { return strconv.ParseUint(field(n), 10, 64) }
-	i64 := func(n int) (int64, error) { return strconv.ParseInt(field(n), 10, 64) }
+	err := ParseTaskStatInto(b, &s)
+	return s, err
+}
 
-	if len(field(3)) != 1 {
-		return s, fmt.Errorf("proc: bad state %q", field(3))
+// ParseTaskStatInto parses stat text into s, reusing s's storage: Comm is
+// only re-allocated when the thread was renamed.
+//
+//zerosum:hotpath
+func ParseTaskStatInto(b []byte, s *TaskStat) error {
+	comm := s.Comm
+	*s = TaskStat{Comm: comm}
+	b = trimSpaceBytes(b)
+	open := bytes.IndexByte(b, '(')
+	close_ := bytes.LastIndexByte(b, ')')
+	if open < 0 || close_ < open {
+		return fmt.Errorf("proc: malformed stat line %q", truncate(b, 60))
 	}
-	s.State = TaskState(field(3)[0])
-	ppid, err := i64(4)
-	if err != nil {
-		return s, fmt.Errorf("proc: bad ppid: %v", err)
+	pid, ok := parseI64(trimSpaceBytes(b[:open]))
+	if !ok {
+		return fmt.Errorf("proc: bad pid in stat %q", truncate(b, 60))
 	}
-	s.PPID = int(ppid)
-	type fspec struct {
-		n   int
-		dst *uint64
-	}
-	for _, f := range []fspec{
-		{10, &s.MinFlt}, {12, &s.MajFlt}, {14, &s.UTime}, {15, &s.STime},
-		{22, &s.StartTime}, {23, &s.VSize}, {36, &s.NSwap},
-	} {
-		v, err := u64(f.n)
-		if err != nil {
-			return s, fmt.Errorf("proc: bad stat field %d: %v", f.n, err)
+	s.PID = int(pid)
+	setString(&s.Comm, b[open+1:close_])
+	// Scan the space-separated fields after the comm by index; the first is
+	// field 3 (state) in proc(5) numbering.
+	rest := b[close_+1:]
+	field := 2
+	for i := 0; i < len(rest); {
+		for i < len(rest) && isSpaceByte(rest[i]) {
+			i++
 		}
-		*f.dst = v
-	}
-	for _, f := range []struct {
-		n   int
-		dst *int
-	}{
-		{18, &s.Priority}, {19, &s.Nice}, {20, &s.NumThrs}, {39, &s.Processor},
-	} {
-		v, err := i64(f.n)
-		if err != nil {
-			return s, fmt.Errorf("proc: bad stat field %d: %v", f.n, err)
+		if i >= len(rest) {
+			break
 		}
-		*f.dst = int(v)
+		j := i
+		for j < len(rest) && !isSpaceByte(rest[j]) {
+			j++
+		}
+		field++
+		f := rest[i:j]
+		i = j
+		if field == 3 {
+			if len(f) != 1 {
+				return fmt.Errorf("proc: bad state %q", f)
+			}
+			s.State = TaskState(f[0])
+			continue
+		}
+		var udst *uint64
+		var idst *int
+		switch field {
+		case 4:
+			idst = &s.PPID
+		case 10:
+			udst = &s.MinFlt
+		case 12:
+			udst = &s.MajFlt
+		case 14:
+			udst = &s.UTime
+		case 15:
+			udst = &s.STime
+		case 18:
+			idst = &s.Priority
+		case 19:
+			idst = &s.Nice
+		case 20:
+			idst = &s.NumThrs
+		case 22:
+			udst = &s.StartTime
+		case 23:
+			udst = &s.VSize
+		case 24:
+			v, ok := parseI64(f)
+			if !ok {
+				return fmt.Errorf("proc: bad rss %q", f)
+			}
+			s.RSS = v
+		case 36:
+			udst = &s.NSwap
+		case 39:
+			idst = &s.Processor
+		}
+		if udst != nil {
+			v, ok := parseU64(f)
+			if !ok {
+				return fmt.Errorf("proc: bad stat field %d %q", field, f)
+			}
+			*udst = v
+		}
+		if idst != nil {
+			v, ok := parseI64(f)
+			if !ok {
+				return fmt.Errorf("proc: bad stat field %d %q", field, f)
+			}
+			*idst = int(v)
+		}
 	}
-	rss, err := i64(24)
-	if err != nil {
-		return s, fmt.Errorf("proc: bad rss: %v", err)
+	if field < 39 {
+		return fmt.Errorf("proc: stat line has %d fields after comm, want >= 37", field-2)
 	}
-	s.RSS = rss
-	return s, nil
+	return nil
 }
 
 // ParseTaskStatus parses /proc/<pid>/status text. Lines it does not model
 // are ignored, so it works against any kernel version's status file.
-func ParseTaskStatus(text string) (TaskStatus, error) {
+func ParseTaskStatus(b []byte) (TaskStatus, error) {
 	var s TaskStatus
-	for _, line := range strings.Split(text, "\n") {
-		key, val, ok := strings.Cut(line, ":")
-		if !ok {
+	err := ParseTaskStatusInto(b, &s)
+	return s, err
+}
+
+// ParseTaskStatusInto parses status text into s, reusing s's storage (the
+// Name string when unchanged and the CpusAllowed word slice).
+//
+//zerosum:hotpath
+func ParseTaskStatusInto(b []byte, s *TaskStatus) error {
+	name := s.Name
+	cpus := s.CpusAllowed
+	*s = TaskStatus{Name: name}
+	s.CpusAllowed = cpus
+	s.CpusAllowed.Reset()
+	for len(b) > 0 {
+		var line []byte
+		line, b = nextLine(b)
+		colon := bytes.IndexByte(line, ':')
+		if colon < 0 {
 			continue
 		}
-		val = strings.TrimSpace(val)
-		switch key {
+		key := line[:colon]
+		val := trimSpaceBytes(line[colon+1:])
+		switch string(key) { // constant cases: the conversion does not allocate
 		case "Name":
-			s.Name = val
+			setString(&s.Name, val)
 		case "State":
 			if len(val) > 0 {
 				s.State = TaskState(val[0])
@@ -111,17 +274,17 @@ func ParseTaskStatus(text string) (TaskStatus, error) {
 		case "VmRSS":
 			s.VmRSSKB = kbSoft(val)
 		case "Cpus_allowed_list":
-			set, err := topology.ParseCPUList(val)
-			if err != nil {
-				return s, fmt.Errorf("proc: bad Cpus_allowed_list: %v", err)
+			if err := topology.ParseCPUListInto(val, &s.CpusAllowed); err != nil {
+				return fmt.Errorf("proc: bad Cpus_allowed_list: %v", err)
 			}
-			s.CpusAllowed = set
 		case "Cpus_allowed":
 			// Only used if the list form is absent; the list form is
 			// parsed after and wins because it appears later in the file.
 			if s.CpusAllowed.Empty() {
-				if set, err := topology.ParseHexMask(val); err == nil {
-					s.CpusAllowed = set
+				// A malformed mask is ignored, matching the soft treatment
+				// of the other fallback fields; Reset leaves the set empty.
+				if err := topology.ParseHexMaskInto(val, &s.CpusAllowed); err != nil {
+					s.CpusAllowed.Reset()
 				}
 			}
 		case "voluntary_ctxt_switches":
@@ -131,22 +294,34 @@ func ParseTaskStatus(text string) (TaskStatus, error) {
 		}
 	}
 	if s.Name == "" && s.Pid == 0 {
-		return s, fmt.Errorf("proc: status text has no recognisable fields")
+		return fmt.Errorf("proc: status text has no recognisable fields")
 	}
-	return s, nil
+	return nil
 }
 
 // ParseMeminfo parses /proc/meminfo text.
-func ParseMeminfo(text string) (Meminfo, error) {
+func ParseMeminfo(b []byte) (Meminfo, error) {
 	var m Meminfo
+	err := ParseMeminfoInto(b, &m)
+	return m, err
+}
+
+// ParseMeminfoInto parses meminfo text into m.
+//
+//zerosum:hotpath
+func ParseMeminfoInto(b []byte, m *Meminfo) error {
+	*m = Meminfo{}
 	seen := false
-	for _, line := range strings.Split(text, "\n") {
-		key, val, ok := strings.Cut(line, ":")
-		if !ok {
+	for len(b) > 0 {
+		var line []byte
+		line, b = nextLine(b)
+		colon := bytes.IndexByte(line, ':')
+		if colon < 0 {
 			continue
 		}
-		kb := kbSoft(strings.TrimSpace(val))
-		switch key {
+		key := line[:colon]
+		kb := kbSoft(line[colon+1:])
+		switch string(key) {
 		case "MemTotal":
 			m.MemTotalKB = kb
 			seen = true
@@ -169,22 +344,34 @@ func ParseMeminfo(text string) (Meminfo, error) {
 		}
 	}
 	if !seen {
-		return m, fmt.Errorf("proc: meminfo text has no MemTotal")
+		return fmt.Errorf("proc: meminfo text has no MemTotal")
 	}
-	return m, nil
+	return nil
 }
 
 // ParseTaskIO parses /proc/<pid>/io text.
-func ParseTaskIO(text string) (TaskIO, error) {
+func ParseTaskIO(b []byte) (TaskIO, error) {
 	var io TaskIO
+	err := ParseTaskIOInto(b, &io)
+	return io, err
+}
+
+// ParseTaskIOInto parses io text into io.
+//
+//zerosum:hotpath
+func ParseTaskIOInto(b []byte, io *TaskIO) error {
+	*io = TaskIO{}
 	seen := false
-	for _, line := range strings.Split(text, "\n") {
-		key, val, ok := strings.Cut(line, ":")
-		if !ok {
+	for len(b) > 0 {
+		var line []byte
+		line, b = nextLine(b)
+		colon := bytes.IndexByte(line, ':')
+		if colon < 0 {
 			continue
 		}
-		v := u64Soft(strings.TrimSpace(val))
-		switch key {
+		key := line[:colon]
+		v := u64Soft(line[colon+1:])
+		switch string(key) {
 		case "rchar":
 			io.RChar = v
 			seen = true
@@ -203,95 +390,111 @@ func ParseTaskIO(text string) (TaskIO, error) {
 		}
 	}
 	if !seen {
-		return io, fmt.Errorf("proc: io text has no rchar")
+		return fmt.Errorf("proc: io text has no rchar")
 	}
-	return io, nil
+	return nil
 }
 
 // ParseStat parses /proc/stat text.
-func ParseStat(text string) (Stat, error) {
+func ParseStat(b []byte) (Stat, error) {
 	var st Stat
+	err := ParseStatInto(b, &st)
+	return st, err
+}
+
+// ParseStatInto parses stat text into st, reusing st.PerCPU across calls.
+//
+//zerosum:hotpath
+func ParseStatInto(b []byte, st *Stat) error {
+	perCPU := st.PerCPU[:0]
+	*st = Stat{}
+	st.PerCPU = perCPU
 	seenAgg := false
-	for _, line := range strings.Split(text, "\n") {
-		fields := strings.Fields(line)
-		if len(fields) == 0 {
+	for len(b) > 0 {
+		var line []byte
+		line, b = nextLine(b)
+		i := 0
+		for i < len(line) && isSpaceByte(line[i]) {
+			i++
+		}
+		j := i
+		for j < len(line) && !isSpaceByte(line[j]) {
+			j++
+		}
+		label := line[i:j]
+		rest := line[j:]
+		if len(label) == 0 {
 			continue
 		}
 		switch {
-		case fields[0] == "cpu":
-			c, err := parseCPURow(-1, fields[1:])
+		case string(label) == "cpu":
+			c, err := parseCPURow(-1, rest)
 			if err != nil {
-				return st, err
+				return err
 			}
 			st.Aggregate = c
 			seenAgg = true
-		case strings.HasPrefix(fields[0], "cpu"):
-			n, err := strconv.Atoi(fields[0][3:])
-			if err != nil {
-				return st, fmt.Errorf("proc: bad cpu row label %q", fields[0])
+		case bytes.HasPrefix(label, []byte("cpu")):
+			n, ok := parseU64(label[3:])
+			if !ok {
+				return fmt.Errorf("proc: bad cpu row label %q", label)
 			}
-			c, err := parseCPURow(n, fields[1:])
+			c, err := parseCPURow(int(n), rest)
 			if err != nil {
-				return st, err
+				return err
 			}
 			st.PerCPU = append(st.PerCPU, c)
-		case fields[0] == "ctxt" && len(fields) > 1:
-			st.Ctxt = u64Soft(fields[1])
-		case fields[0] == "btime" && len(fields) > 1:
-			st.BTime = u64Soft(fields[1])
-		case fields[0] == "processes" && len(fields) > 1:
-			st.Processes = u64Soft(fields[1])
-		case fields[0] == "procs_running" && len(fields) > 1:
-			st.Running = u64Soft(fields[1])
-		case fields[0] == "procs_blocked" && len(fields) > 1:
-			st.Blocked = u64Soft(fields[1])
+		case string(label) == "ctxt":
+			st.Ctxt = u64Soft(rest)
+		case string(label) == "btime":
+			st.BTime = u64Soft(rest)
+		case string(label) == "processes":
+			st.Processes = u64Soft(rest)
+		case string(label) == "procs_running":
+			st.Running = u64Soft(rest)
+		case string(label) == "procs_blocked":
+			st.Blocked = u64Soft(rest)
 		}
 	}
 	if !seenAgg {
-		return st, fmt.Errorf("proc: stat text has no aggregate cpu row")
+		return fmt.Errorf("proc: stat text has no aggregate cpu row")
 	}
-	return st, nil
+	return nil
 }
 
-func parseCPURow(cpu int, fields []string) (CPUTimes, error) {
+// parseCPURow parses the jiffy buckets after a cpuN label.
+func parseCPURow(cpu int, b []byte) (CPUTimes, error) {
 	c := CPUTimes{CPU: cpu}
-	if len(fields) < 4 {
-		return c, fmt.Errorf("proc: cpu row too short (%d fields)", len(fields))
-	}
-	dst := []*uint64{&c.User, &c.Nice, &c.System, &c.Idle, &c.IOWait, &c.IRQ, &c.SoftIRQ, &c.Steal}
-	for i, d := range dst {
-		if i >= len(fields) {
+	dst := [...]*uint64{&c.User, &c.Nice, &c.System, &c.Idle, &c.IOWait, &c.IRQ, &c.SoftIRQ, &c.Steal}
+	n := 0
+	for i := 0; i < len(b) && n < len(dst); {
+		for i < len(b) && isSpaceByte(b[i]) {
+			i++
+		}
+		if i >= len(b) {
 			break
 		}
-		v, err := strconv.ParseUint(fields[i], 10, 64)
-		if err != nil {
-			return c, fmt.Errorf("proc: bad cpu field %q: %v", fields[i], err)
+		j := i
+		for j < len(b) && !isSpaceByte(b[j]) {
+			j++
 		}
-		*d = v
+		v, ok := parseU64(b[i:j])
+		if !ok {
+			return c, fmt.Errorf("proc: bad cpu field %q", b[i:j])
+		}
+		*dst[n] = v
+		n++
+		i = j
+	}
+	if n < 4 {
+		return c, fmt.Errorf("proc: cpu row too short (%d fields)", n)
 	}
 	return c, nil
 }
 
-func atoiSoft(s string) int {
-	v, _ := strconv.Atoi(strings.Fields(s + " 0")[0])
-	return v
-}
-
-func u64Soft(s string) uint64 {
-	f := strings.Fields(s)
-	if len(f) == 0 {
-		return 0
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(b)
 	}
-	v, _ := strconv.ParseUint(f[0], 10, 64)
-	return v
-}
-
-// kbSoft parses "1234 kB" (or bare "1234") into 1234.
-func kbSoft(s string) uint64 { return u64Soft(s) }
-
-func truncate(s string, n int) string {
-	if len(s) <= n {
-		return s
-	}
-	return s[:n] + "..."
+	return string(b[:n]) + "..."
 }

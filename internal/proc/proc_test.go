@@ -18,7 +18,7 @@ func TestTaskStatRoundTrip(t *testing.T) {
 		VSize: 4 << 30, RSS: 250000, Processor: 1, NSwap: 0,
 	}
 	text := RenderTaskStat(in)
-	out, err := ParseTaskStat(text)
+	out, err := ParseTaskStat([]byte(text))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +29,7 @@ func TestTaskStatRoundTrip(t *testing.T) {
 
 func TestTaskStatCommWithSpacesAndParens(t *testing.T) {
 	in := TaskStat{PID: 7, Comm: "tmux: server (1)", State: StateSleeping, NumThrs: 1}
-	out, err := ParseTaskStat(RenderTaskStat(in))
+	out, err := ParseTaskStat([]byte(RenderTaskStat(in)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestParseTaskStatErrors(t *testing.T) {
 		"x (comm) R 1",
 		"1 (c) R", // too few fields
 	} {
-		if _, err := ParseTaskStat(bad); err == nil {
+		if _, err := ParseTaskStat([]byte(bad)); err == nil {
 			t.Errorf("ParseTaskStat(%q) should fail", bad)
 		}
 	}
@@ -60,7 +60,7 @@ func TestTaskStatusRoundTrip(t *testing.T) {
 		VoluntaryCtxt: 679, NonvoluntaryCtx: 9,
 	}
 	text := RenderTaskStatus(in)
-	out, err := ParseTaskStatus(text)
+	out, err := ParseTaskStatus([]byte(text))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestTaskStatusRoundTrip(t *testing.T) {
 func TestParseTaskStatusHexFallback(t *testing.T) {
 	// A status file with only the hex mask (no _list line).
 	text := "Name:\tx\nPid:\t5\nCpus_allowed:\tff\n"
-	out, err := ParseTaskStatus(text)
+	out, err := ParseTaskStatus([]byte(text))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestParseTaskStatusHexFallback(t *testing.T) {
 }
 
 func TestParseTaskStatusEmpty(t *testing.T) {
-	if _, err := ParseTaskStatus("garbage\nwithout fields\n"); err == nil {
+	if _, err := ParseTaskStatus([]byte("garbage\nwithout fields\n")); err == nil {
 		t.Fatal("unrecognisable status should fail")
 	}
 }
@@ -98,7 +98,7 @@ func TestMeminfoRoundTrip(t *testing.T) {
 		MemAvailableKB: 200 << 20 >> 10, BuffersKB: 1024, CachedKB: 2048,
 		SwapTotalKB: 0, SwapFreeKB: 0, ActiveKB: 5000, InactiveKB: 600,
 	}
-	out, err := ParseMeminfo(RenderMeminfo(in))
+	out, err := ParseMeminfo([]byte(RenderMeminfo(in)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func TestMeminfoRoundTrip(t *testing.T) {
 }
 
 func TestParseMeminfoRejectsGarbage(t *testing.T) {
-	if _, err := ParseMeminfo("hello world"); err == nil {
+	if _, err := ParseMeminfo([]byte("hello world")); err == nil {
 		t.Fatal("should fail without MemTotal")
 	}
 }
@@ -122,7 +122,7 @@ func TestStatRoundTrip(t *testing.T) {
 		},
 		Ctxt: 123456, BTime: 1700000000, Processes: 999, Running: 3, Blocked: 1,
 	}
-	out, err := ParseStat(RenderStat(in))
+	out, err := ParseStat([]byte(RenderStat(in)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestQuickTaskStatRoundTrip(t *testing.T) {
 			UTime: uint64(utime), STime: uint64(stime),
 			NumThrs: int(nthr), Processor: int(cpu),
 		}
-		out, err := ParseTaskStat(RenderTaskStat(in))
+		out, err := ParseTaskStat([]byte(RenderTaskStat(in)))
 		return err == nil && out == in
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
@@ -195,7 +195,7 @@ func TestRealFSLiveHost(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := ParseTaskStat(string(raw))
+	st, err := ParseTaskStat(raw)
 	if err != nil {
 		t.Fatalf("parse live stat: %v\n%s", err, raw)
 	}
@@ -206,7 +206,7 @@ func TestRealFSLiveHost(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	status, err := ParseTaskStatus(string(rawStatus))
+	status, err := ParseTaskStatus(rawStatus)
 	if err != nil {
 		t.Fatalf("parse live status: %v", err)
 	}
@@ -220,7 +220,7 @@ func TestRealFSLiveHost(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := ParseMeminfo(string(mi))
+	m, err := ParseMeminfo(mi)
 	if err != nil || m.MemTotalKB == 0 {
 		t.Fatalf("live meminfo parse: %v %+v", err, m)
 	}
@@ -228,7 +228,7 @@ func TestRealFSLiveHost(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stat, err := ParseStat(string(stRaw))
+	stat, err := ParseStat(stRaw)
 	if err != nil || len(stat.PerCPU) == 0 {
 		t.Fatalf("live /proc/stat parse: %v", err)
 	}
@@ -251,15 +251,59 @@ func TestRenderStatAggregateParsable(t *testing.T) {
 	if !strings.HasPrefix(text, "cpu  5") {
 		t.Fatalf("aggregate row format: %q", strings.SplitN(text, "\n", 2)[0])
 	}
-	st, err := ParseStat(text)
+	st, err := ParseStat([]byte(text))
 	if err != nil || st.Aggregate.User != 5 {
 		t.Fatalf("parse: %v %+v", err, st)
 	}
 }
 
+// TestParseIntoZeroAlloc pins the hot-path contract of the Into parsers:
+// after the first call has sized the struct's internal storage, re-parsing
+// equivalent text must not allocate at all.
+func TestParseIntoZeroAlloc(t *testing.T) {
+	statText := []byte(RenderTaskStat(TaskStat{PID: 1234, Comm: "miniqmc", State: StateRunning,
+		MinFlt: 12, UTime: 6394, STime: 1248, NumThrs: 9, Processor: 5}))
+	statusText := []byte(RenderTaskStatus(TaskStatus{Name: "x", State: StateRunning, Pid: 1,
+		CpusAllowed: topology.RangeCPUSet(1, 7), VoluntaryCtxt: 10, NonvoluntaryCtx: 20}))
+	memText := []byte(RenderMeminfo(Meminfo{MemTotalKB: 16 << 20, MemFreeKB: 8 << 20}))
+	ioText := []byte(RenderTaskIO(TaskIO{RChar: 100, WChar: 200, SyscR: 10}))
+	procStatText := []byte(RenderStat(Stat{
+		Aggregate: CPUTimes{CPU: -1, User: 100, Idle: 900},
+		PerCPU:    []CPUTimes{{CPU: 0, User: 60}, {CPU: 1, User: 40}},
+	}))
+
+	var ts TaskStat
+	var st TaskStatus
+	var mi Meminfo
+	var tio TaskIO
+	var ps Stat
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"ParseTaskStatInto", func() error { return ParseTaskStatInto(statText, &ts) }},
+		{"ParseTaskStatusInto", func() error { return ParseTaskStatusInto(statusText, &st) }},
+		{"ParseMeminfoInto", func() error { return ParseMeminfoInto(memText, &mi) }},
+		{"ParseTaskIOInto", func() error { return ParseTaskIOInto(ioText, &tio) }},
+		{"ParseStatInto", func() error { return ParseStatInto(procStatText, &ps) }},
+	}
+	for _, c := range cases {
+		if err := c.fn(); err != nil { // warmup sizes internal storage
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if avg := testing.AllocsPerRun(100, func() {
+			if err := c.fn(); err != nil {
+				t.Error(err)
+			}
+		}); avg != 0 {
+			t.Errorf("%s allocates %.1f per steady-state call, want 0", c.name, avg)
+		}
+	}
+}
+
 func BenchmarkParseTaskStat(b *testing.B) {
-	text := RenderTaskStat(TaskStat{PID: 1234, Comm: "miniqmc", State: StateRunning,
-		MinFlt: 12, UTime: 6394, STime: 1248, NumThrs: 9, Processor: 5})
+	text := []byte(RenderTaskStat(TaskStat{PID: 1234, Comm: "miniqmc", State: StateRunning,
+		MinFlt: 12, UTime: 6394, STime: 1248, NumThrs: 9, Processor: 5}))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := ParseTaskStat(text); err != nil {
@@ -269,11 +313,35 @@ func BenchmarkParseTaskStat(b *testing.B) {
 }
 
 func BenchmarkParseTaskStatus(b *testing.B) {
-	text := RenderTaskStatus(TaskStatus{Name: "x", State: StateRunning, Pid: 1,
-		CpusAllowed: topology.RangeCPUSet(1, 7), VoluntaryCtxt: 10, NonvoluntaryCtx: 20})
+	text := []byte(RenderTaskStatus(TaskStatus{Name: "x", State: StateRunning, Pid: 1,
+		CpusAllowed: topology.RangeCPUSet(1, 7), VoluntaryCtxt: 10, NonvoluntaryCtx: 20}))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := ParseTaskStatus(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseTaskStatInto(b *testing.B) {
+	text := []byte(RenderTaskStat(TaskStat{PID: 1234, Comm: "miniqmc", State: StateRunning,
+		MinFlt: 12, UTime: 6394, STime: 1248, NumThrs: 9, Processor: 5}))
+	var s TaskStat
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := ParseTaskStatInto(text, &s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseTaskStatusInto(b *testing.B) {
+	text := []byte(RenderTaskStatus(TaskStatus{Name: "x", State: StateRunning, Pid: 1,
+		CpusAllowed: topology.RangeCPUSet(1, 7), VoluntaryCtxt: 10, NonvoluntaryCtx: 20}))
+	var s TaskStatus
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := ParseTaskStatusInto(text, &s); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -61,7 +61,7 @@ func TestProcFSTaskStatParsesAndAccounts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := proc.ParseTaskStat(string(raw))
+	st, err := proc.ParseTaskStat(raw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestProcFSTaskStatusAffinity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := proc.ParseTaskStatus(string(raw))
+	st, err := proc.ParseTaskStatus(raw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestProcFSTaskStatusAffinity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stP, err := proc.ParseTaskStatus(string(rawP))
+	stP, err := proc.ParseTaskStatus(rawP)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestProcFSMeminfoTracksRSS(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m, err := proc.ParseMeminfo(string(raw))
+		m, err := proc.ParseMeminfo(raw)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -168,7 +168,7 @@ func TestProcFSStatPerCPU(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := proc.ParseStat(string(raw))
+	st, err := proc.ParseStat(raw)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
-	"strconv"
 	"strings"
 )
 
@@ -271,37 +270,8 @@ func (s CPUSet) HexMask() string {
 // around entries is tolerated. An empty string yields the empty set.
 func ParseCPUList(text string) (CPUSet, error) {
 	var s CPUSet
-	text = strings.TrimSpace(text)
-	if text == "" {
-		return s, nil
-	}
-	for _, part := range strings.Split(text, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		if lo, hi, ok := strings.Cut(part, "-"); ok {
-			l, err := strconv.Atoi(strings.TrimSpace(lo))
-			if err != nil {
-				return CPUSet{}, fmt.Errorf("topology: bad cpu list %q: %v", text, err)
-			}
-			h, err := strconv.Atoi(strings.TrimSpace(hi))
-			if err != nil {
-				return CPUSet{}, fmt.Errorf("topology: bad cpu list %q: %v", text, err)
-			}
-			if l > h || l < 0 {
-				return CPUSet{}, fmt.Errorf("topology: bad cpu range %q", part)
-			}
-			for p := l; p <= h; p++ {
-				s.Set(p)
-			}
-		} else {
-			p, err := strconv.Atoi(part)
-			if err != nil {
-				return CPUSet{}, fmt.Errorf("topology: bad cpu list %q: %v", text, err)
-			}
-			s.Set(p)
-		}
+	if err := ParseCPUListInto([]byte(text), &s); err != nil {
+		return CPUSet{}, err
 	}
 	return s, nil
 }
@@ -309,26 +279,9 @@ func ParseCPUList(text string) (CPUSet, error) {
 // ParseHexMask parses the Linux comma-grouped hex mask format
 // ("ffffffff,fffffffe" or "ff").
 func ParseHexMask(text string) (CPUSet, error) {
-	text = strings.TrimSpace(text)
-	if text == "" {
-		return CPUSet{}, fmt.Errorf("topology: empty cpu mask")
-	}
-	groups := strings.Split(text, ",")
 	var s CPUSet
-	// groups[0] is the most significant.
-	n := len(groups)
-	for i, g := range groups {
-		v, err := strconv.ParseUint(strings.TrimSpace(g), 16, 64)
-		if err != nil {
-			return CPUSet{}, fmt.Errorf("topology: bad cpu mask %q: %v", text, err)
-		}
-		base := (n - 1 - i) * 32
-		for b := 0; b < 64 && v != 0; b++ {
-			if v&(1<<uint(b)) != 0 {
-				s.Set(base + b)
-				v &^= 1 << uint(b)
-			}
-		}
+	if err := ParseHexMaskInto([]byte(text), &s); err != nil {
+		return CPUSet{}, err
 	}
 	return s, nil
 }

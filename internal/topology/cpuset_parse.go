@@ -1,0 +1,158 @@
+package topology
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// In-place CPUSet operations and byte-slice parsers for the monitor's
+// sampling hot path: a thread's Cpus_allowed_list is re-parsed every tick,
+// so the parse must reuse the set's word storage instead of growing a fresh
+// slice per sample.
+
+// Reset empties the set in place, keeping its word storage for reuse.
+func (s *CPUSet) Reset() {
+	clear(s.words)
+}
+
+// CopyFrom makes s an exact copy of t, reusing s's word storage when it is
+// large enough.
+func (s *CPUSet) CopyFrom(t CPUSet) {
+	if cap(s.words) < len(t.words) {
+		s.words = make([]uint64, len(t.words))
+	}
+	s.words = s.words[:len(t.words)]
+	copy(s.words, t.words)
+}
+
+// OrWith adds every PU of t to s in place (s |= t).
+func (s *CPUSet) OrWith(t CPUSet) {
+	s.grow(len(t.words) - 1)
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func trimBytes(b []byte) []byte {
+	for len(b) > 0 && isSpace(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && isSpace(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+func atoiBytes(b []byte) (int, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	n := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+// ParseCPUListInto parses the Linux cpu-list format ("1-7,9,12-15") into s,
+// resetting it first and reusing its storage. Whitespace around entries is
+// tolerated; empty input yields the empty set.
+//
+//zerosum:hotpath
+func ParseCPUListInto(b []byte, s *CPUSet) error {
+	s.Reset()
+	b = trimBytes(b)
+	for len(b) > 0 {
+		part := b
+		if i := bytes.IndexByte(b, ','); i >= 0 {
+			part, b = b[:i], b[i+1:]
+		} else {
+			b = nil
+		}
+		part = trimBytes(part)
+		if len(part) == 0 {
+			continue
+		}
+		lo, hi := part, part
+		if i := bytes.IndexByte(part, '-'); i >= 0 {
+			lo, hi = trimBytes(part[:i]), trimBytes(part[i+1:])
+		}
+		l, ok := atoiBytes(lo)
+		if !ok {
+			return fmt.Errorf("topology: bad cpu list entry %q", part)
+		}
+		h, ok := atoiBytes(hi)
+		if !ok {
+			return fmt.Errorf("topology: bad cpu list entry %q", part)
+		}
+		if l > h {
+			return fmt.Errorf("topology: bad cpu range %q", part)
+		}
+		for p := l; p <= h; p++ {
+			s.Set(p)
+		}
+	}
+	return nil
+}
+
+// ParseHexMaskInto parses the Linux comma-grouped hex mask format
+// ("ffffffff,fffffffe" or "ff") into s, resetting it first.
+//
+//zerosum:hotpath
+func ParseHexMaskInto(b []byte, s *CPUSet) error {
+	s.Reset()
+	b = trimBytes(b)
+	if len(b) == 0 {
+		return fmt.Errorf("topology: empty cpu mask")
+	}
+	// Count groups so the first (most significant) group's bit base is known
+	// before any bits are set.
+	ngroups := 1
+	for _, c := range b {
+		if c == ',' {
+			ngroups++
+		}
+	}
+	g := 0
+	for len(b) > 0 {
+		part := b
+		if i := bytes.IndexByte(b, ','); i >= 0 {
+			part, b = b[:i], b[i+1:]
+		} else {
+			b = nil
+		}
+		part = trimBytes(part)
+		var v uint64
+		if len(part) == 0 || len(part) > 16 {
+			return fmt.Errorf("topology: bad cpu mask group %q", part)
+		}
+		for _, c := range part {
+			var d uint64
+			switch {
+			case c >= '0' && c <= '9':
+				d = uint64(c - '0')
+			case c >= 'a' && c <= 'f':
+				d = uint64(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				d = uint64(c-'A') + 10
+			default:
+				return fmt.Errorf("topology: bad cpu mask group %q", part)
+			}
+			v = v<<4 | d
+		}
+		base := (ngroups - 1 - g) * 32
+		for bit := 0; bit < 64 && v != 0; bit++ {
+			if v&(1<<uint(bit)) != 0 {
+				s.Set(base + bit)
+				v &^= 1 << uint(bit)
+			}
+		}
+		g++
+	}
+	return nil
+}
