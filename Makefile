@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-record lint chaos fuzz
+.PHONY: check fmt vet build test race bench bench-record lint chaos fuzz golden golden-update
 
-check: fmt vet build race lint chaos fuzz
+check: fmt vet build race lint chaos fuzz golden
 
 # gofmt -l prints offending files; fail if it prints anything.
 fmt:
@@ -66,3 +66,13 @@ fuzz:
 	$(GO) test ./internal/aggd -run '^$$' -fuzz FuzzWireDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/proc -run '^$$' -fuzz FuzzProcStatParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/export -run '^$$' -fuzz FuzzHeatmapParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/obs -run '^$$' -fuzz FuzzObsSpanDecode -fuzztime $(FUZZTIME)
+
+# golden gates the end-of-run report layout (paper Listing 2, including the
+# §3.3 stalled column) against internal/report/testdata/. After reviewing an
+# intentional layout change, refresh with `make golden-update` and commit.
+golden:
+	$(GO) test ./internal/report -run TestGolden
+
+golden-update:
+	$(GO) test ./internal/report -run TestGolden -update

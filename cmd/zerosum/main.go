@@ -16,24 +16,30 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/exec"
 	"time"
 
 	"zerosum/internal/core"
 	"zerosum/internal/crash"
+	"zerosum/internal/obs"
 	"zerosum/internal/proc"
 	"zerosum/internal/report"
 )
 
 func main() {
 	var (
-		period    = flag.Duration("period", time.Second, "sampling period")
-		pid       = flag.Int("pid", 0, "attach to an existing process instead of launching one")
-		duration  = flag.Duration("duration", 0, "with -pid: how long to monitor (0 = until the process exits)")
-		csvPrefix = flag.String("csv", "", "dump sample CSVs to PREFIX.{lwp,hwt,mem}.csv")
-		heartbeat = flag.Int("heartbeat", 0, "print a heartbeat every N samples")
-		backtrace = flag.Bool("backtrace", true, "install the abnormal-exit backtrace handler")
+		period     = flag.Duration("period", time.Second, "sampling period")
+		pid        = flag.Int("pid", 0, "attach to an existing process instead of launching one")
+		duration   = flag.Duration("duration", 0, "with -pid: how long to monitor (0 = until the process exits)")
+		csvPrefix  = flag.String("csv", "", "dump sample CSVs to PREFIX.{lwp,hwt,mem}.csv")
+		heartbeat  = flag.Int("heartbeat", 0, "print a heartbeat every N samples")
+		backtrace  = flag.Bool("backtrace", true, "install the abnormal-exit backtrace handler")
+		stallTicks = flag.Int("stall-ticks", 0, "flag a thread stalled after N samples with no progress (0 = off)")
+		budget     = flag.Float64("budget", 0, "self-overhead budget in percent; exceeding it degrades sampling (0 = off)")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/obs and /debug/pprof on this address while monitoring")
 	)
 	flag.Parse()
 
@@ -56,17 +62,37 @@ func main() {
 		targetPID = child.Process.Pid
 	}
 
+	rec := obs.NewRecorder(0)
 	mon, err := core.New(core.Config{
 		Period:         *period,
 		HeartbeatEvery: *heartbeat,
 		Heartbeat:      os.Stderr,
 		KeepSeries:     true,
+		StallTicks:     *stallTicks,
+		Obs:            rec,
+		Budget:         obs.Budget{Enabled: *budget > 0, MaxPct: *budget},
 	}, core.Deps{
 		FS:    &pidFS{RealFS: fs, pid: targetPID},
 		Clock: time.Now,
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	if *debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /debug/obs", obs.Handler("zerosum", rec, mon.SelfStats))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		//zerosum:detached debug server lives for the whole process; the OS reaps it at exit
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "zerosum: debug server:", err)
+			}
+		}()
 	}
 
 	if *backtrace {
@@ -92,6 +118,7 @@ func main() {
 
 	ticker := time.NewTicker(*period)
 	defer ticker.Stop()
+	cur := *period
 	exitCode := 0
 loop:
 	for {
@@ -103,6 +130,11 @@ loop:
 				// The target exited between samples: finish up.
 				break loop
 			}
+			// The overhead-budget watchdog may have degraded the rate.
+			if p := mon.CurrentPeriod(); p != cur {
+				cur = p
+				ticker.Reset(p)
+			}
 		}
 	}
 	mon.Finish()
@@ -111,7 +143,7 @@ loop:
 	}
 
 	fmt.Fprintln(os.Stderr)
-	if err := report.Write(os.Stderr, mon.Snapshot(), report.Options{Contention: true, Memory: true}); err != nil {
+	if err := report.Write(os.Stderr, mon.Snapshot(), report.Options{Contention: true, Memory: true, Self: true}); err != nil {
 		fatal(err)
 	}
 	if *csvPrefix != "" {

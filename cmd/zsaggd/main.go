@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,16 +35,29 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":9100", "listen address")
-		nvctx   = flag.Float64("nvctx-per-sec", 0, "contention threshold folded into job summaries (0 = default)")
-		verbose = flag.Bool("v", false, "log every request")
+		addr     = flag.String("addr", ":9100", "listen address")
+		nvctx    = flag.Float64("nvctx-per-sec", 0, "contention threshold folded into job summaries (0 = default)")
+		verbose  = flag.Bool("v", false, "log every request")
+		pprofSrv = flag.Bool("pprof", false, "also serve /debug/pprof profiling endpoints")
 	)
 	flag.Parse()
 
 	srv := aggd.NewServer(aggd.ServerConfig{
 		Thresholds: core.EvalThresholds{NVCtxPerSec: *nvctx},
 	})
-	handler := srv.Handler()
+	var handler http.Handler = srv.Handler()
+	if *pprofSrv {
+		// /debug/obs is always on (it's cheap JSON); CPU/heap profiling of
+		// the daemon itself is opt-in.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
 	if *verbose {
 		handler = logRequests(handler)
 	}

@@ -14,6 +14,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 
@@ -21,6 +23,7 @@ import (
 	"zerosum/internal/aggd"
 	"zerosum/internal/core"
 	"zerosum/internal/export"
+	"zerosum/internal/obs"
 	"zerosum/internal/openmp"
 	"zerosum/internal/report"
 	"zerosum/internal/sim"
@@ -54,6 +57,12 @@ func main() {
 		summary  = flag.Bool("summary", true, "print the job-wide aggregated summary")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		verbose  = flag.Bool("v", false, "print every rank's report (default: rank 0 only)")
+
+		stallTicks = flag.Int("stall-ticks", 0, "flag a thread stalled after N samples with no progress (0 = off)")
+		budget     = flag.Float64("budget", 0, "monitor self-overhead budget in percent; exceeding it degrades sampling (0 = off)")
+		selfRep    = flag.Bool("self-report", false, "include the monitor self-report section in reports")
+		obsDump    = flag.String("obs-dump", "", "write the monitor's internal-tracing dump (JSON) to this file")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/obs and /debug/pprof on this address while the job runs")
 	)
 	flag.Parse()
 
@@ -99,6 +108,27 @@ func main() {
 	mc := workload.MonitorConfig{Enabled: !*noMon, CPU: -1, Heartbeat: os.Stderr, HeartbeatEvery: 10}
 	if *period > 0 {
 		mc.Period = sim.Time(period.Nanoseconds())
+	}
+	mc.StallTicks = *stallTicks
+	mc.Budget = obs.Budget{Enabled: *budget > 0, MaxPct: *budget}
+	rec := obs.NewRecorder(0)
+	if !*noMon {
+		mc.Obs = rec
+	}
+	if *debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /debug/obs", obs.Handler("zsrun", rec, nil))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		//zerosum:detached debug server lives for the whole process; the OS reaps it at exit
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "zsrun: debug server:", err)
+			}
+		}()
 	}
 	// Per-rank streams feed optional sinks: staged .zsbp files (the
 	// ADIOS2-style output path) and/or an aggd node agent shipping batches
@@ -169,14 +199,15 @@ func main() {
 		}
 		// Rank 0 writes the summary to stdout; all ranks write their
 		// detailed report + CSVs to log files (paper §3.4/§3.6).
+		opts := report.Options{Contention: true, Memory: true, Self: *selfRep}
 		if rr.Rank == 0 || *verbose {
-			if err := report.Write(os.Stdout, rr.Snapshot, report.Options{Contention: true, Memory: true}); err != nil {
+			if err := report.Write(os.Stdout, rr.Snapshot, opts); err != nil {
 				fatal(err)
 			}
 			fmt.Println()
 		}
 		if *logdir != "" {
-			if err := writeRankLogs(*logdir, rr); err != nil {
+			if err := writeRankLogs(*logdir, rr, opts); err != nil {
 				fatal(err)
 			}
 		}
@@ -236,6 +267,21 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *obsDump != "" && !*noMon {
+		var self *obs.SelfStats
+		if len(res.Ranks) > 0 && res.Ranks[0].Monitor != nil {
+			s := res.Ranks[0].Monitor.SelfStats()
+			self = &s
+		}
+		data, err := obs.EncodeDump(obs.BuildDump("zsrun", rec, self))
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*obsDump, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("# internal-tracing dump written to", *obsDump)
+	}
 	if *logdir != "" {
 		fmt.Println("# logs written to", *logdir)
 	}
@@ -252,7 +298,7 @@ func main() {
 	}
 }
 
-func writeRankLogs(dir string, rr workload.RankResult) error {
+func writeRankLogs(dir string, rr workload.RankResult, opts report.Options) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -262,7 +308,7 @@ func writeRankLogs(dir string, rr workload.RankResult) error {
 		return err
 	}
 	defer logF.Close()
-	if err := report.Write(logF, rr.Snapshot, report.Options{Contention: true, Memory: true}); err != nil {
+	if err := report.Write(logF, rr.Snapshot, opts); err != nil {
 		return err
 	}
 	type dump struct {

@@ -12,6 +12,7 @@ import (
 
 	"zerosum/internal/core"
 	"zerosum/internal/export"
+	"zerosum/internal/obs"
 	"zerosum/internal/sim"
 )
 
@@ -52,6 +53,10 @@ type AgentConfig struct {
 	DisableGzip bool
 	// Client overrides the HTTP client (default: 5 s timeout).
 	Client *http.Client
+	// Obs, when non-nil, records one StageExport span per shipment.
+	Obs *obs.Recorder
+	// Now is the wall clock used to time shipments (default time.Now).
+	Now func() time.Time
 }
 
 func (c AgentConfig) withDefaults() AgentConfig {
@@ -80,6 +85,9 @@ func (c AgentConfig) withDefaults() AgentConfig {
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if c.Now == nil {
+		c.Now = time.Now
 	}
 	return c
 }
@@ -278,6 +286,7 @@ func (a *Agent) drain() {
 }
 
 func (a *Agent) ship(events []export.Event) {
+	shipStart := a.cfg.Now()
 	b := Batch{
 		Origin: Origin{Job: a.cfg.Job, Node: a.cfg.Node, Rank: a.cfg.Rank},
 		Epoch:  a.cfg.Epoch,
@@ -287,16 +296,19 @@ func (a *Agent) ship(events []export.Event) {
 	frame, err := AppendBatchFrame(a.frameBuf[:0], &b)
 	if err != nil { // unencodable events: drop, nothing to retry
 		a.sendDrops.Add(uint64(len(events)))
+		a.cfg.Obs.RecordError(obs.StageExport)
 		return
 	}
 	a.frameBuf = frame
 	a.seq++
 	if err := a.post(frame); err != nil {
 		a.sendDrops.Add(uint64(len(events)))
+		a.cfg.Obs.RecordError(obs.StageExport)
 		return
 	}
 	a.sentBatches.Add(1)
 	a.sentEvents.Add(uint64(len(events)))
+	a.cfg.Obs.Record(obs.StageExport, shipStart, a.cfg.Now().Sub(shipStart))
 }
 
 // post sends one frame with gzip and retry-with-exponential-backoff.

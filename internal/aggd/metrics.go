@@ -82,6 +82,7 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		{name: "zerosum_hwt_user_pct", help: "Latest sampled user share of a hardware thread.", typ: "gauge"},
 		{name: "zerosum_lwp_nvctx_total", help: "Cumulative involuntary context switches over a rank's threads.", typ: "counter"},
 		{name: "zerosum_lwp_vctx_total", help: "Cumulative voluntary context switches over a rank's threads.", typ: "counter"},
+		{name: "zerosum_lwp_stalled", help: "Threads of a rank currently flagged stalled by progress detection.", typ: "gauge"},
 		{name: "zerosum_gpu_busy_pct", help: "Latest sampled Device Busy % per GPU.", typ: "gauge"},
 		{name: "zerosum_mem_free_kb", help: "Latest sampled free system memory on a rank's node.", typ: "gauge"},
 		{name: "zerosum_mem_rss_kb", help: "Latest sampled process RSS of a rank.", typ: "gauge"},
@@ -103,6 +104,7 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		fUser
 		fNVCtx
 		fVCtx
+		fStalled
 		fGPU
 		fMemFree
 		fMemRSS
@@ -141,6 +143,7 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 			if len(rs.nvctx) > 0 {
 				families[fNVCtx].add(base, float64(nv))
 				families[fVCtx].add(base, float64(v))
+				families[fStalled].add(base, float64(len(rs.stalled)))
 			}
 			for gpu, busy := range rs.gpuBusy {
 				families[fGPU].add(fmt.Sprintf(`gpu="%d",%s`, gpu, base), busy)

@@ -15,6 +15,7 @@ import (
 
 	"zerosum/internal/core"
 	"zerosum/internal/export"
+	"zerosum/internal/obs"
 	"zerosum/internal/report"
 )
 
@@ -37,6 +38,7 @@ type ServerConfig struct {
 type Server struct {
 	cfg    ServerConfig
 	shards [nShards]shard
+	obs    *obs.Recorder // ingest spans + stage stats, served at /debug/obs
 
 	ingestBatches    atomic.Uint64
 	ingestEvents     atomic.Uint64
@@ -155,6 +157,7 @@ type rankState struct {
 	gpuBusy map[int]float64
 	nvctx   map[int]uint64 // per TID, cumulative
 	vctx    map[int]uint64
+	stalled map[int]bool // TIDs currently flagged stalled (§3.3)
 	memFree uint64
 	memRSS  uint64
 
@@ -170,12 +173,15 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = 64 << 20
 	}
-	s := &Server{cfg: cfg}
+	s := &Server{cfg: cfg, obs: obs.NewRecorder(0)}
 	for i := range s.shards {
 		s.shards[i].jobs = make(map[string]*jobStore)
 	}
 	return s
 }
+
+// Obs exposes the server's self-observability recorder (ingest spans).
+func (s *Server) Obs() *obs.Recorder { return s.obs }
 
 // Handler returns the HTTP API:
 //
@@ -184,6 +190,7 @@ func NewServer(cfg ServerConfig) *Server {
 //	GET  /api/jobs                known jobs
 //	GET  /api/job/{id}/summary    aggregated report.JobSummary (JSON)
 //	GET  /api/job/{id}/heatmap    rank x rank received-bytes matrix (JSON)
+//	GET  /debug/obs               self-observability span dump (JSON)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/ingest", s.handleIngest)
@@ -191,6 +198,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/jobs", s.handleJobs)
 	mux.HandleFunc("GET /api/job/{id}/summary", s.handleSummary)
 	mux.HandleFunc("GET /api/job/{id}/heatmap", s.handleHeatmap)
+	mux.Handle("GET /debug/obs", obs.Handler("zsaggd", s.obs, nil))
 	return mux
 }
 
@@ -233,6 +241,7 @@ func (sh *rankShard) rank(key rankKey) *rankState {
 			gpuBusy: make(map[int]float64),
 			nvctx:   make(map[int]uint64),
 			vctx:    make(map[int]uint64),
+			stalled: make(map[int]bool),
 		}
 		if sh.ranks == nil {
 			sh.ranks = make(map[rankKey]*rankState)
@@ -255,6 +264,10 @@ var (
 )
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	ingestStart := s.cfg.Now()
+	defer func() {
+		s.obs.Record(obs.StageIngest, ingestStart, s.cfg.Now().Sub(ingestStart))
+	}()
 	var body io.Reader = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
 	if r.Header.Get("Content-Encoding") == "gzip" {
 		var zr *gzip.Reader
@@ -340,12 +353,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	if corrupt > 0 {
 		s.ingestErrors.Add(1)
+		s.obs.RecordError(obs.StageIngest)
 		http.Error(w, fmt.Sprintf("aggd: %d corrupt frame(s) in body (%d applied): %v",
 			corrupt, frames, firstErr), http.StatusBadRequest)
 		return
 	}
 	if frames == 0 {
 		s.ingestErrors.Add(1)
+		s.obs.RecordError(obs.StageIngest)
 		http.Error(w, "aggd: empty ingest body", http.StatusBadRequest)
 		return
 	}
@@ -436,6 +451,11 @@ func (s *Server) applyBatch(b *Batch) {
 		case export.EventLWP:
 			rs.nvctx[ev.LWP.TID] = ev.LWP.NVCtx
 			rs.vctx[ev.LWP.TID] = ev.LWP.VCtx
+			if ev.LWP.Stalled {
+				rs.stalled[ev.LWP.TID] = true
+			} else {
+				delete(rs.stalled, ev.LWP.TID)
+			}
 		case export.EventHWT:
 			rs.hwt[ev.HWT.CPU] = *ev.HWT
 		case export.EventGPU:

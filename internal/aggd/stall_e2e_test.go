@@ -1,0 +1,106 @@
+package aggd
+
+// End-to-end §3.3 acceptance: a simulated rank with a stalled worker
+// thread streams samples through a real agent over loopback HTTP into the
+// aggregator, and the stall must be visible in the served Prometheus
+// exposition as zerosum_lwp_stalled.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"zerosum/internal/sched"
+	"zerosum/internal/sim"
+	"zerosum/internal/slurm"
+	"zerosum/internal/topology"
+	"zerosum/internal/workload"
+)
+
+// stallWorkerApp computes on its main thread for the whole run while its
+// worker blocks from 1 s to the end — stalled when the final samples ship.
+type stallWorkerApp struct{}
+
+func (stallWorkerApp) Build(rc *workload.RankCtx) error {
+	const end = 4 * sim.Second
+	main := sched.BehaviorFunc(func(t *sched.Task, now sim.Time) sched.Action {
+		if now >= end {
+			return nil
+		}
+		return sched.Compute{Work: 5 * sim.Millisecond, SysFrac: 0.05}
+	})
+	rc.K.NewTask(rc.Proc, "main", main)
+	slept := false
+	worker := sched.BehaviorFunc(func(t *sched.Task, now sim.Time) sched.Action {
+		if now < sim.Second {
+			return sched.Compute{Work: 5 * sim.Millisecond, SysFrac: 0.05}
+		}
+		if !slept {
+			slept = true
+			return sched.Sleep{D: end - now}
+		}
+		return nil
+	})
+	rc.K.NewTask(rc.Proc, "worker", worker)
+	return nil
+}
+
+func TestStalledLWPReachesAggregatorMetrics(t *testing.T) {
+	srv := NewServer(ServerConfig{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	streamer := NewJobStreamer(AgentConfig{
+		URL: ts.URL, Job: "stall-e2e",
+		BatchSize:     64,
+		FlushInterval: 5 * time.Millisecond,
+	})
+	res, err := workload.Run(workload.Config{
+		Machine: topology.Laptop4Core,
+		App:     stallWorkerApp{},
+		Srun:    slurm.Options{NTasks: 1, CoresPerTask: 4},
+		Monitor: workload.MonitorConfig{
+			Enabled: true, Period: 100 * sim.Millisecond, CPU: -1,
+			StallTicks: 5,
+			StreamFor:  streamer.StreamFor,
+		},
+		Seed: 19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := streamer.FinishRank(0, res.Ranks[0].Snapshot, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := streamer.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The worker stalled mid-run and never progressed again, so its last
+	// shipped sample carries Stalled=true and the live gauge reads 1.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gauge string
+	for _, line := range strings.Split(string(text), "\n") {
+		if strings.HasPrefix(line, "zerosum_lwp_stalled{") {
+			gauge = line
+		}
+	}
+	if gauge == "" {
+		t.Fatalf("zerosum_lwp_stalled missing from exposition:\n%s", text)
+	}
+	if !strings.Contains(gauge, `job="stall-e2e"`) || !strings.HasSuffix(gauge, " 1") {
+		t.Fatalf("stalled gauge = %q, want job=stall-e2e value 1", gauge)
+	}
+	checkPrometheusText(t, string(text))
+}

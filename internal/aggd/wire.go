@@ -45,10 +45,11 @@ import (
 // and silently poisons the job view, so every payload is integrity-checked
 // before it is parsed. Version 2 also carries the sending agent's stream
 // epoch so the server can tell a restarted agent (sequence numbers reset)
-// from a retried batch (sequence numbers repeat).
+// from a retried batch (sequence numbers repeat). Version 3 adds the LWP
+// event's stalled flag (§3.3 progress detection).
 const (
 	// WireVersion is the current framing version; Decode rejects others.
-	WireVersion = 2
+	WireVersion = 3
 	// MaxFramePayload bounds a frame so a corrupt or hostile length field
 	// cannot make the server allocate unbounded memory.
 	MaxFramePayload = 64 << 20
@@ -147,6 +148,13 @@ func appendF64(dst []byte, v float64) []byte {
 	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 }
 
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
 // AppendBatchFrame appends the framed encoding of b to dst and returns the
 // extended slice, so a sender can reuse one scratch buffer per shipment.
 //
@@ -198,6 +206,7 @@ func appendEvent(dst []byte, ev *export.Event) ([]byte, error) {
 			return nil, err
 		}
 		dst = append(dst, l.State)
+		dst = append(dst, boolByte(l.Stalled))
 		dst = appendF64(dst, l.UserPct)
 		dst = appendF64(dst, l.SysPct)
 		dst = binary.LittleEndian.AppendUint64(dst, l.VCtx)
@@ -710,6 +719,11 @@ func decodeEventInto(d *decoder, bb *BatchBuf) (export.Event, error) {
 		if l.State, err = d.u8(); err != nil {
 			return ev, err
 		}
+		var stalled byte
+		if stalled, err = d.u8(); err != nil {
+			return ev, err
+		}
+		l.Stalled = stalled != 0
 		// The fixed-width tail (2 floats, 5 counters) is bounds-checked once
 		// and decoded with direct loads; per-field reads dominated the
 		// ingest profile.

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"zerosum/internal/obs"
 	"zerosum/internal/proc"
 	"zerosum/internal/topology"
 )
@@ -99,6 +100,58 @@ func TestMonitorTickZeroSteadyStateAlloc(t *testing.T) {
 	}
 	if reads, parses := m.SampleSkips(); reads != 0 || parses != 0 {
 		t.Fatalf("sample skips = %d/%d, want 0/0", reads, parses)
+	}
+}
+
+// TestMonitorTickZeroAllocWithObs re-runs the zero-alloc gate with the
+// whole self-observability layer on: phase span recording, stall
+// detection and the budget watchdog must all stay off the heap — the
+// obs.Recorder is pure atomics and the watchdog only does arithmetic.
+func TestMonitorTickZeroAllocWithObs(t *testing.T) {
+	root, _ := writeProcTree(t, os.Getpid(), 7001, 7002, 7003)
+	fs := &proc.RealFS{Root: root}
+	defer fs.Close()
+
+	now := time.Unix(0, 0)
+	clock := func() time.Time { now = now.Add(time.Second); return now }
+	rec := obs.NewRecorder(64) // smaller than the tick count: exercises wrap
+	m, err := New(Config{
+		KeepSeries: false,
+		StallTicks: 3,
+		Obs:        rec,
+		Budget:     obs.Budget{Enabled: true},
+	}, Deps{FS: fs, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Finish()
+
+	for i := 0; i < 2; i++ {
+		if err := m.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if err := m.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("Tick with obs+stall+budget allocates %.1f per run, want 0", avg)
+	}
+	// Every tick recorded its span and phases.
+	samples := uint64(m.SelfStats().Samples)
+	if got := rec.Count(obs.StageTick); got != samples {
+		t.Errorf("tick spans = %d, samples = %d", got, samples)
+	}
+	if rec.Count(obs.StageScan) != samples || rec.Count(obs.StageSample) != samples {
+		t.Errorf("phase spans: scan=%d sample=%d, want %d each",
+			rec.Count(obs.StageScan), rec.Count(obs.StageSample), samples)
+	}
+	// The fixture's counters never change, so with StallTicks=3 every app
+	// thread is eventually flagged — but never the monitor's own LWP.
+	if m.StalledLWPs() == 0 {
+		t.Error("static fixture threads should be flagged stalled")
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 
 	"zerosum/internal/export"
 	"zerosum/internal/gpu"
+	"zerosum/internal/obs"
 	"zerosum/internal/proc"
 	"zerosum/internal/topology"
 )
@@ -74,6 +75,17 @@ type Config struct {
 	// in New and stopped by Finish; they help when a process has hundreds of
 	// threads and the sampling period is tight.
 	ScanWorkers int
+	// StallTicks marks an LWP Stalled after this many consecutive samples
+	// with no progress — no utime/stime jiffy and no context-switch delta
+	// (0 disables). The paper's §3.3 heartbeat/progress detection.
+	StallTicks int
+	// Obs, when non-nil, records tick/scan/sample spans and stage stats:
+	// the monitor's own tracing, served at /debug/obs.
+	Obs *obs.Recorder
+	// Budget configures the runtime overhead watchdog (§4.1): when the
+	// monitor's own cost exceeds Budget.MaxPct of one core, the sampling
+	// period doubles instead of violating the paper's guarantee.
+	Budget obs.Budget
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +154,14 @@ type threadState struct {
 	cpuChanges   int // observed migrations between samples
 	affChanges   int // affinity list changed while running
 	gone         bool
+
+	// Heartbeat/progress detection (§3.3). A beat is a sample in which the
+	// thread showed any CPU or scheduling delta; StallTicks beat-less
+	// samples in a row mark it stalled until the next beat.
+	beats       uint64
+	stallStreak int
+	stalled     bool
+	stallEvents int // times the thread entered the stalled state
 }
 
 // Monitor observes one process.
@@ -186,6 +206,14 @@ type Monitor struct {
 	pileupStreak int
 	rebound      bool
 	rebinds      []RebindEvent
+
+	// Self-observability (§4.1): the effective sampling period (the
+	// watchdog doubles it under overhead pressure), watchdog firings,
+	// accumulated tick wall time, and the current stalled-LWP count.
+	period       time.Duration
+	degradations int
+	tickWallNS   int64
+	stalledCount int
 
 	// MPI point-to-point accounting (this rank's row of the heatmap).
 	sentBytes map[int]uint64
@@ -253,6 +281,7 @@ func New(cfg Config, deps Deps) (*Monitor, error) {
 		ompHints:     make(map[int]bool),
 		memMinFreeKB: ^uint64(0),
 	}
+	m.period = m.cfg.Period
 	m.scan.start(m.cfg.ScanWorkers)
 	if deps.SMI != nil {
 		n := deps.SMI.DeviceCount()
@@ -346,22 +375,41 @@ func (m *Monitor) Tick() error {
 	t := m.elapsedSec(now)
 	m.samples++
 
+	rec := m.cfg.Obs
+	phaseStart := now
 	if err := m.sampleThreads(now, t); err != nil {
+		rec.RecordError(obs.StageScan)
 		return err
 	}
+	if rec != nil {
+		pm := m.deps.Clock()
+		rec.Record(obs.StageScan, phaseStart, pm.Sub(phaseStart))
+		phaseStart = pm
+	}
 	if err := m.sampleHWTs(t); err != nil {
+		rec.RecordError(obs.StageSample)
 		return err
 	}
 	if err := m.sampleMemory(t); err != nil {
+		rec.RecordError(obs.StageSample)
 		return err
 	}
 	if err := m.sampleGPUs(t); err != nil {
+		rec.RecordError(obs.StageSample)
 		return err
 	}
 	m.sampleIO(t)
+	if rec != nil {
+		rec.Record(obs.StageSample, phaseStart, m.deps.Clock().Sub(phaseStart))
+	}
 	m.maybeHeartbeat(t)
 	m.checkDeadlock()
 	m.maybeRebind(t)
+
+	end := m.deps.Clock()
+	m.tickWallNS += end.Sub(now).Nanoseconds()
+	rec.Record(obs.StageTick, now, end.Sub(now))
+	m.maybeDegrade(t)
 	return nil
 }
 
@@ -403,8 +451,14 @@ func (m *Monitor) sampleThreads(now time.Time, t float64) error {
 		m.applyThread(ts, now, t)
 	}
 	for tid, ts := range m.threads {
-		if !m.seen[tid] {
+		if !m.seen[tid] && !ts.gone {
 			ts.gone = true
+			// An exited thread is dead, not stalled; keep its stallEvents
+			// history but take it out of the live stalled count.
+			if ts.stalled {
+				ts.stalled = false
+				m.stalledCount--
+			}
 			ts.closeReader()
 		}
 	}
@@ -473,8 +527,9 @@ func (m *Monitor) applyThread(ts *threadState, now time.Time, t float64) {
 			ts.kind = KindOpenMP
 		}
 	}
-	// Per-interval utilization percentages.
-	interval := m.cfg.Period.Seconds()
+	// Per-interval utilization percentages, against the effective period
+	// (the watchdog may have degraded it from Config.Period).
+	interval := m.period.Seconds()
 	if interval <= 0 {
 		interval = 1
 	}
@@ -482,6 +537,28 @@ func (m *Monitor) applyThread(ts *threadState, now time.Time, t float64) {
 	ds := float64(st.STime-ts.prevSTime) / proc.ClockTick
 	userPct := du / interval * 100
 	sysPct := ds / interval * 100
+
+	// Heartbeat/progress detection (§3.3): any CPU-time or context-switch
+	// delta since the previous sample is a beat. The monitor's own LWP is
+	// exempt — at 1 Hz its per-interval cost rounds to zero jiffies and it
+	// would flag itself.
+	progressed := st.UTime != ts.prevUTime || st.STime != ts.prevSTime ||
+		status.VoluntaryCtxt != ts.vctx || status.NonvoluntaryCtx != ts.nvctx
+	if progressed {
+		ts.beats++
+		ts.stallStreak = 0
+		if ts.stalled {
+			ts.stalled = false
+			m.stalledCount--
+		}
+	} else if m.cfg.StallTicks > 0 && ts.kind != KindZeroSum {
+		ts.stallStreak++
+		if ts.stallStreak >= m.cfg.StallTicks && !ts.stalled {
+			ts.stalled = true
+			ts.stallEvents++
+			m.stalledCount++
+		}
+	}
 
 	if st.Processor != ts.lastCPU {
 		ts.cpuChanges++
@@ -507,7 +584,7 @@ func (m *Monitor) applyThread(ts *threadState, now time.Time, t float64) {
 		UserPct: userPct, SysPct: sysPct,
 		VCtx: status.VoluntaryCtxt, NVCtx: status.NonvoluntaryCtx,
 		MinFlt: st.MinFlt, MajFlt: st.MajFlt, NSwap: st.NSwap,
-		CPU: st.Processor,
+		CPU: st.Processor, Stalled: ts.stalled,
 	}
 	if m.cfg.KeepSeries {
 		m.lwpSeries = append(m.lwpSeries, m.lwpSample)
@@ -697,6 +774,71 @@ func (m *Monitor) checkDeadlock() {
 
 // DeadlockSuspected reports whether the deadlock heuristic fired.
 func (m *Monitor) DeadlockSuspected() bool { return m.deadlockHint }
+
+// CurrentPeriod returns the sampling period in effect right now; the
+// overhead watchdog may have doubled it from Config.Period.
+func (m *Monitor) CurrentPeriod() time.Duration { return m.period }
+
+// Degradations counts overhead-watchdog firings; each one doubled the
+// sampling period.
+func (m *Monitor) Degradations() int { return m.degradations }
+
+// StalledLWPs returns how many live threads are currently stalled.
+func (m *Monitor) StalledLWPs() int { return m.stalledCount }
+
+// SelfStats assembles the monitor's own cost accounting (§4.1): CPU time
+// consumed by the ZeroSum LWP (when identified via SetSelfTID), the
+// accumulated tick wall time, and the overhead percentage against the run
+// so far. Under the simulator ticks execute in zero simulated time, so the
+// self LWP's jiffies carry the accounting; on a real host whichever of the
+// two measures is larger is reported.
+func (m *Monitor) SelfStats() obs.SelfStats {
+	now := m.deps.Clock()
+	if m.done {
+		now = m.finished
+	}
+	var selfCPU float64
+	if ts := m.threads[m.selfTID]; ts != nil {
+		selfCPU = float64((ts.lastUTime-ts.firstUTime)+(ts.lastSTime-ts.firstSTime)) / proc.ClockTick
+	}
+	s := obs.SelfStats{
+		Samples:      m.samples,
+		SelfCPUSec:   selfCPU,
+		TickWallSec:  float64(m.tickWallNS) / 1e9,
+		ElapsedSec:   m.elapsedSec(now),
+		Degradations: m.degradations,
+		PeriodSec:    m.period.Seconds(),
+		StalledLWPs:  m.stalledCount,
+	}
+	s.OverheadPct = obs.Overhead(s.SelfCPUSec, s.TickWallSec, s.ElapsedSec)
+	if m.cfg.Budget.Enabled {
+		s.BudgetPct = m.cfg.Budget.WithDefaults().MaxPct
+	}
+	return s
+}
+
+// maybeDegrade runs the overhead-budget watchdog: when the monitor's own
+// measured cost exceeds the configured budget, double the sampling period
+// rather than violate the paper's <0.5 % contract. Fires rarely by
+// construction (Budget.MaxDegrade caps it).
+//
+//zerosum:coldpath
+func (m *Monitor) maybeDegrade(t float64) {
+	if !m.cfg.Budget.Enabled {
+		return
+	}
+	stats := m.SelfStats()
+	if !m.cfg.Budget.Exceeded(stats) {
+		return
+	}
+	m.period *= 2
+	m.degradations++
+	if m.cfg.Heartbeat != nil {
+		fmt.Fprintf(m.cfg.Heartbeat,
+			"ZeroSum: self-overhead %.2f%% over budget %.2f%%; sampling period degraded to %s (t=%.1fs)\n",
+			stats.OverheadPct, stats.BudgetPct, m.period, t)
+	}
+}
 
 func (m *Monitor) liveThreadCount() int {
 	n := 0

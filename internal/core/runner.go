@@ -10,7 +10,8 @@ import (
 // Linux process through proc.RealFS); the simulator drives Tick directly
 // from its asynchronous-thread task instead.
 func (m *Monitor) Run(ctx context.Context) error {
-	ticker := time.NewTicker(m.cfg.Period)
+	period := m.CurrentPeriod()
+	ticker := time.NewTicker(period)
 	defer ticker.Stop()
 	defer m.Finish()
 	for {
@@ -20,6 +21,11 @@ func (m *Monitor) Run(ctx context.Context) error {
 		case <-ticker.C:
 			if err := m.Tick(); err != nil {
 				return err
+			}
+			// The overhead watchdog may have degraded the period mid-run.
+			if p := m.CurrentPeriod(); p != period {
+				period = p
+				ticker.Reset(period)
 			}
 		}
 	}

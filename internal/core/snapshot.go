@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"zerosum/internal/gpu"
+	"zerosum/internal/obs"
 	"zerosum/internal/topology"
 )
 
@@ -55,6 +56,12 @@ type ThreadSummary struct {
 	CPUChanges int
 	MinFlt     uint64
 	MajFlt     uint64
+	// Beats counts samples in which the thread made progress (§3.3).
+	Beats uint64
+	// Stalled is the thread's progress state at the end of the run;
+	// StallEvents counts how many times it entered the stalled state.
+	Stalled     bool
+	StallEvents int
 }
 
 // HWTSummary is one row of the hardware report table.
@@ -110,6 +117,12 @@ type Snapshot struct {
 	// sampling (task vanished mid-read / row was malformed).
 	LWPReadSkips  uint64
 	LWPParseSkips uint64
+
+	// StalledLWPs is how many threads were stalled when the snapshot was
+	// taken (always 0 with Config.StallTicks disabled).
+	StalledLWPs int
+	// Self is the monitor's own cost accounting (§4.1).
+	Self obs.SelfStats
 }
 
 // Snapshot assembles the report data from everything observed so far.
@@ -132,6 +145,8 @@ func (m *Monitor) Snapshot() Snapshot {
 		Samples:           m.samples,
 		LWPReadSkips:      m.lwpReadSkips,
 		LWPParseSkips:     m.lwpParseSkips,
+		StalledLWPs:       m.stalledCount,
+		Self:              m.SelfStats(),
 	}
 	if m.memMinFreeKB != ^uint64(0) {
 		snap.MemMinFreeKB = m.memMinFreeKB
@@ -170,6 +185,9 @@ func (m *Monitor) Snapshot() Snapshot {
 			CPUChanges:   ts.cpuChanges,
 			MinFlt:       ts.minflt,
 			MajFlt:       ts.majflt,
+			Beats:        ts.beats,
+			Stalled:      ts.stalled,
+			StallEvents:  ts.stallEvents,
 		}
 		snap.LWPs = append(snap.LWPs, row)
 	}

@@ -26,7 +26,8 @@ type LWPSample struct {
 	MinFlt  uint64
 	MajFlt  uint64
 	NSwap   uint64
-	CPU     int // processor the LWP last executed on
+	CPU     int  // processor the LWP last executed on
+	Stalled bool // §3.3 progress detection: no beat for Config.StallTicks samples
 }
 
 // HWTSample is one periodic observation of one hardware thread.
@@ -71,7 +72,7 @@ type IOSample struct {
 // Column headers for each CSV section.
 var (
 	LWPHeader = []string{"time", "tid", "kind", "state", "user_pct", "sys_pct",
-		"vctx", "nvctx", "minflt", "majflt", "nswap", "cpu"}
+		"vctx", "nvctx", "minflt", "majflt", "nswap", "cpu", "stalled"}
 	HWTHeader = []string{"time", "cpu", "idle_pct", "sys_pct", "user_pct"}
 	GPUHeader = []string{"time", "gpu", "metric", "value"}
 	MemHeader = []string{"time", "total_kb", "free_kb", "avail_kb", "rss_kb", "hwm_kb"}
@@ -82,6 +83,13 @@ func f(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
 func u(v uint64) string  { return strconv.FormatUint(v, 10) }
 func i(v int) string     { return strconv.Itoa(v) }
 
+func b(v bool) string {
+	if v {
+		return "1"
+	}
+	return "0"
+}
+
 // WriteLWPCSV writes the thread samples with a header row.
 func WriteLWPCSV(w io.Writer, samples []LWPSample) error {
 	cw := csv.NewWriter(w)
@@ -91,7 +99,7 @@ func WriteLWPCSV(w io.Writer, samples []LWPSample) error {
 	for _, s := range samples {
 		rec := []string{f(s.TimeSec), i(s.TID), s.Kind, string(s.State),
 			f(s.UserPct), f(s.SysPct), u(s.VCtx), u(s.NVCtx),
-			u(s.MinFlt), u(s.MajFlt), u(s.NSwap), i(s.CPU)}
+			u(s.MinFlt), u(s.MajFlt), u(s.NSwap), i(s.CPU), b(s.Stalled)}
 		if err := cw.Write(rec); err != nil {
 			return err
 		}
@@ -119,6 +127,7 @@ func ReadLWPCSV(r io.Reader) ([]LWPSample, error) {
 		s.VCtx, s.NVCtx = pu(rec[6]), pu(rec[7])
 		s.MinFlt, s.MajFlt, s.NSwap = pu(rec[8]), pu(rec[9]), pu(rec[10])
 		s.CPU = pi(rec[11])
+		s.Stalled = rec[12] == "1"
 		out = append(out, s)
 	}
 	return out, nil

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRecordZeroAlloc gates the hot-path contract: recording a span must
+// not allocate, ever — Record sits inside Monitor.Tick and the aggd
+// ingest loop, both //zerosum:hotpath.
+func TestRecordZeroAlloc(t *testing.T) {
+	r := NewRecorder(32)
+	start := time.Unix(42, 0)
+	if avg := testing.AllocsPerRun(200, func() {
+		r.Record(StageTick, start, time.Millisecond)
+	}); avg != 0 {
+		t.Fatalf("Record allocates %.1f per call, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		r.RecordNS(StageScan, 1, 2)
+	}); avg != 0 {
+		t.Fatalf("RecordNS allocates %.1f per call, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		r.RecordError(StageExport)
+	}); avg != 0 {
+		t.Fatalf("RecordError allocates %.1f per call, want 0", avg)
+	}
+}
+
+// TestSpansZeroAllocWithCapacity checks the reader side reuses its
+// destination: report/debug paths poll Spans in a loop and should not
+// churn the heap once the slice has grown.
+func TestSpansZeroAllocWithCapacity(t *testing.T) {
+	r := NewRecorder(16)
+	for i := 0; i < 16; i++ {
+		r.RecordNS(StageTick, int64(i), 1)
+	}
+	buf := make([]Span, 0, 16)
+	if avg := testing.AllocsPerRun(100, func() {
+		buf = r.Spans(buf[:0])
+	}); avg != 0 {
+		t.Fatalf("Spans with capacity allocates %.1f per call, want 0", avg)
+	}
+}

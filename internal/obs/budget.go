@@ -1,0 +1,100 @@
+package obs
+
+// SelfStats is the monitor's own cost, accounted against the process it
+// observes. It is assembled by core.Monitor.SelfStats and rendered in the
+// end-of-run report and /debug/obs.
+//
+// OverheadPct is the paper's §4.1 number: the share of one core the
+// monitor consumed over the run. On a real host it comes from the monitor
+// LWP's own utime+stime jiffies; under the simulator (where Tick runs
+// inside a zero-duration callback) the accumulated tick wall time is the
+// fallback, and the larger of the two is reported.
+type SelfStats struct {
+	// Samples is how many ticks contributed to the accounting.
+	Samples int `json:"samples"`
+	// SelfCPUSec is the monitor thread's own CPU time (user+sys), seconds.
+	SelfCPUSec float64 `json:"self_cpu_sec"`
+	// TickWallSec is the summed wall-clock duration of every tick, seconds.
+	TickWallSec float64 `json:"tick_wall_sec"`
+	// ElapsedSec is the monitored run's wall-clock duration so far, seconds.
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// OverheadPct = max(SelfCPUSec, TickWallSec) / ElapsedSec * 100.
+	OverheadPct float64 `json:"overhead_pct"`
+	// BudgetPct is the configured ceiling (0 when the watchdog is off).
+	BudgetPct float64 `json:"budget_pct"`
+	// Degradations counts watchdog firings: each one doubled the period.
+	Degradations int `json:"degradations"`
+	// PeriodSec is the sampling period currently in effect.
+	PeriodSec float64 `json:"period_sec"`
+	// StalledLWPs is how many observed threads are currently stalled.
+	StalledLWPs int `json:"stalled_lwps"`
+}
+
+// Overhead computes the reported overhead percentage from its inputs; it
+// is the one formula both the monitor and its tests use.
+func Overhead(selfCPUSec, tickWallSec, elapsedSec float64) float64 {
+	if elapsedSec <= 0 {
+		return 0
+	}
+	cost := selfCPUSec
+	if tickWallSec > cost {
+		cost = tickWallSec
+	}
+	return cost / elapsedSec * 100
+}
+
+// Default watchdog parameters.
+const (
+	// DefaultBudgetPct is the paper's §4.1 overhead contract.
+	DefaultBudgetPct = 0.5
+	// DefaultBudgetMinSamples is how many ticks must elapse before the
+	// watchdog may fire: early in a run the ratio is all noise.
+	DefaultBudgetMinSamples = 5
+	// DefaultMaxDegrade caps period doubling (2^3 = 8x the configured
+	// period at most), so a pathological host still gets some samples.
+	DefaultMaxDegrade = 3
+)
+
+// Budget configures the runtime overhead watchdog. The zero value is a
+// disabled watchdog; enable it and the defaults above fill unset fields.
+type Budget struct {
+	// Enabled turns the watchdog on.
+	Enabled bool
+	// MaxPct is the overhead ceiling in percent (default 0.5).
+	MaxPct float64
+	// MinSamples is the tick count before the first check (default 5).
+	MinSamples int
+	// MaxDegrade caps how many times the period may double (default 3).
+	MaxDegrade int
+}
+
+// WithDefaults returns b with unset fields filled in.
+func (b Budget) WithDefaults() Budget {
+	if b.MaxPct <= 0 {
+		b.MaxPct = DefaultBudgetPct
+	}
+	if b.MinSamples <= 0 {
+		b.MinSamples = DefaultBudgetMinSamples
+	}
+	if b.MaxDegrade <= 0 {
+		b.MaxDegrade = DefaultMaxDegrade
+	}
+	return b
+}
+
+// Exceeded reports whether the watchdog should fire given the current
+// accounting: enabled, warmed up, over the ceiling, and not already
+// degraded to the cap. Pure so tests can table-drive it.
+func (b Budget) Exceeded(stats SelfStats) bool {
+	if !b.Enabled {
+		return false
+	}
+	b = b.WithDefaults()
+	if stats.Samples < b.MinSamples {
+		return false
+	}
+	if stats.Degradations >= b.MaxDegrade {
+		return false
+	}
+	return stats.OverheadPct > b.MaxPct
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Dump is the /debug/obs document: who is reporting, the per-stage
+// statistics, the most recent spans, and the self-cost accounting.
+type Dump struct {
+	// Name identifies the reporting component ("zsrun", "zsaggd", ...).
+	Name string `json:"name"`
+	// Stats is the cumulative per-stage accounting.
+	Stats []StageStats `json:"stats,omitempty"`
+	// Spans is the ring's current contents, oldest first.
+	Spans []SpanJSON `json:"spans,omitempty"`
+	// Self is the overhead accounting; nil for components (like the
+	// aggregator) that do not monitor a victim process.
+	Self *SelfStats `json:"self,omitempty"`
+}
+
+// SpanJSON is Span with the stage spelled out by name, the form external
+// tooling consumes.
+type SpanJSON struct {
+	Stage   string `json:"stage"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// BuildDump assembles a Dump from a recorder and optional self stats.
+// rec may be nil (empty stats/spans); self may be nil.
+func BuildDump(name string, rec *Recorder, self *SelfStats) Dump {
+	d := Dump{Name: name, Stats: rec.Stats(), Self: self}
+	for _, sp := range rec.Spans(nil) {
+		d.Spans = append(d.Spans, SpanJSON{
+			Stage:   sp.Stage.String(),
+			StartNS: sp.StartNS,
+			DurNS:   sp.DurNS,
+		})
+	}
+	return d
+}
+
+// EncodeDump renders d as JSON.
+func EncodeDump(d Dump) ([]byte, error) {
+	return json.Marshal(d)
+}
+
+// DecodeDump parses and validates a /debug/obs document. It is strict:
+// unknown stage names, negative durations or counts, and inconsistent
+// stage statistics are rejected, so a successful decode means the
+// document could have been produced by EncodeDump.
+func DecodeDump(data []byte) (Dump, error) {
+	var d Dump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return Dump{}, err
+	}
+	seen := map[string]bool{}
+	for i, s := range d.Stats {
+		if _, ok := StageByName(s.Stage); !ok {
+			return Dump{}, fmt.Errorf("obs: stats[%d]: unknown stage %q", i, s.Stage)
+		}
+		if seen[s.Stage] {
+			return Dump{}, fmt.Errorf("obs: stats[%d]: duplicate stage %q", i, s.Stage)
+		}
+		seen[s.Stage] = true
+		if s.Count == 0 && s.Errors == 0 {
+			return Dump{}, fmt.Errorf("obs: stats[%d]: empty entry for %q", i, s.Stage)
+		}
+		if s.TotalNS < 0 || s.MaxNS < 0 || s.MeanNS < 0 {
+			return Dump{}, fmt.Errorf("obs: stats[%d]: negative duration", i)
+		}
+		if s.MaxNS > s.TotalNS {
+			return Dump{}, fmt.Errorf("obs: stats[%d]: max %d exceeds total %d", i, s.MaxNS, s.TotalNS)
+		}
+		if s.Count == 0 && s.TotalNS != 0 {
+			return Dump{}, fmt.Errorf("obs: stats[%d]: duration without spans", i)
+		}
+	}
+	for i, sp := range d.Spans {
+		if _, ok := StageByName(sp.Stage); !ok {
+			return Dump{}, fmt.Errorf("obs: spans[%d]: unknown stage %q", i, sp.Stage)
+		}
+		if sp.DurNS < 0 {
+			return Dump{}, fmt.Errorf("obs: spans[%d]: negative duration", i)
+		}
+	}
+	if s := d.Self; s != nil {
+		if s.Samples < 0 || s.Degradations < 0 || s.StalledLWPs < 0 {
+			return Dump{}, fmt.Errorf("obs: self: negative count")
+		}
+		if s.SelfCPUSec < 0 || s.TickWallSec < 0 || s.ElapsedSec < 0 ||
+			s.OverheadPct < 0 || s.BudgetPct < 0 || s.PeriodSec < 0 {
+			return Dump{}, fmt.Errorf("obs: self: negative duration")
+		}
+	}
+	return d, nil
+}
+
+// Handler serves the /debug/obs endpoint. selfFn may be nil; when set it
+// is called per request so the self stats are current.
+func Handler(name string, rec *Recorder, selfFn func() SelfStats) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var self *SelfStats
+		if selfFn != nil {
+			s := selfFn()
+			self = &s
+		}
+		body, err := EncodeDump(BuildDump(name, rec, self))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	})
+}

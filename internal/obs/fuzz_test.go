@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// fuzzSeedDumps builds seed documents at runtime so the checked-in corpus
+// stays valid even if the schema evolves.
+func fuzzSeedDumps() [][]byte {
+	var seeds [][]byte
+
+	r := NewRecorder(8)
+	r.Record(StageTick, time.Unix(100, 0), 2*time.Millisecond)
+	r.Record(StageScan, time.Unix(100, 0), 300*time.Microsecond)
+	r.Record(StageExport, time.Unix(101, 0), time.Millisecond)
+	r.RecordError(StageIngest)
+	self := SelfStats{
+		Samples: 2, SelfCPUSec: 0.004, TickWallSec: 0.0033, ElapsedSec: 2,
+		OverheadPct: 0.2, BudgetPct: 0.5, PeriodSec: 1, StalledLWPs: 1,
+	}
+	if b, err := EncodeDump(BuildDump("zsrun", r, &self)); err == nil {
+		seeds = append(seeds, b)
+	}
+	if b, err := EncodeDump(BuildDump("zsaggd", r, nil)); err == nil {
+		seeds = append(seeds, b)
+	}
+	if b, err := EncodeDump(Dump{Name: "empty"}); err == nil {
+		seeds = append(seeds, b)
+	}
+	return seeds
+}
+
+// FuzzObsSpanDecode exercises the /debug/obs JSON decoder: it must never
+// panic, and any document it accepts must re-encode and re-decode to the
+// same bytes (the decoder validates everything the encoder emits).
+func FuzzObsSpanDecode(f *testing.F) {
+	for _, seed := range fuzzSeedDumps() {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{"name":"x","spans":[{"stage":"tick","start_ns":1,"dur_ns":2}]}`))
+	f.Add([]byte(`{"name":"x","stats":[{"stage":"ingest","count":3,"total_ns":9,"max_ns":4,"mean_ns":3}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"name":"x","spans":[{"stage":"nope"}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeDump(data)
+		if err != nil {
+			return
+		}
+		enc, err := EncodeDump(d)
+		if err != nil {
+			t.Fatalf("accepted dump failed to encode: %v", err)
+		}
+		d2, err := DecodeDump(enc)
+		if err != nil {
+			t.Fatalf("canonical re-encode rejected: %v\n%s", err, enc)
+		}
+		enc2, err := EncodeDump(d2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding not a fixed point:\n %s\n %s", enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package report
+
+// Golden-file tests for the end-of-run report (paper Listing 2). The
+// report is the primary user-facing artifact, so its exact layout is
+// pinned byte-for-byte: any formatting drift — including the §3.3
+// "stalled" column — must show up as a reviewable diff under testdata/.
+//
+// Regenerate with:
+//
+//	go test ./internal/report -run TestGolden -update
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"zerosum/internal/core"
+	"zerosum/internal/obs"
+	"zerosum/internal/topology"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// goldenSnap is a richer fixture than sampleSnap: it exercises every
+// section the report can render, including a stalled helper thread and
+// populated self-observability stats.
+func goldenSnap() core.Snapshot {
+	var busy core.MinAvgMax
+	for _, v := range []float64{3.5, 41.25, 98} {
+		busy.Add(v)
+	}
+	var temp core.MinAvgMax
+	for _, v := range []float64{31, 44, 63} {
+		temp.Add(v)
+	}
+	return core.Snapshot{
+		DurationSec: 120.500,
+		Rank:        2, Size: 8, PID: 40021,
+		Hostname:   "frontier00112",
+		ProcessAff: topology.RangeCPUSet(0, 7),
+		LWPs: []core.ThreadSummary{
+			{TID: 40021, Label: "Main, OpenMP", Kind: core.KindMain, STimePct: 10.25, UTimePct: 80.75,
+				NVCtx: 12, VCtx: 120400, Affinity: topology.NewCPUSet(0), Beats: 120},
+			{TID: 40022, Label: "OpenMP", Kind: core.KindOpenMP, STimePct: 0.05, UTimePct: 0.02,
+				NVCtx: 3, VCtx: 87, Affinity: topology.NewCPUSet(1),
+				Beats: 4, Stalled: true, StallEvents: 1},
+			{TID: 40030, Label: "ZeroSum", Kind: core.KindZeroSum, STimePct: 0.12, UTimePct: 0.21,
+				NVCtx: 2, VCtx: 241, Affinity: topology.NewCPUSet(7), Beats: 119},
+		},
+		HWTs: []core.HWTSummary{
+			{CPU: 0, IdlePct: 8.12, SysPct: 10.40, UserPct: 81.30},
+			{CPU: 1, IdlePct: 99.90, SysPct: 0.05, UserPct: 0.05},
+			{CPU: 7, IdlePct: 98.50, SysPct: 0.70, UserPct: 0.80},
+		},
+		GPUs: []core.GPUSummary{{
+			VisibleIndex: 0, TrueIndex: 4, Model: "AMD MI250X GCD",
+			Metrics: []core.GPUMetric{
+				{Name: "Device Busy %", Agg: busy},
+				{Name: "Temperature (Sensor edge) (C)", Agg: temp},
+			},
+		}},
+		MemTotalKB: 512 << 20, MemMinFreeKB: 100 << 20, MemPeakRSSKB: 4 << 20,
+		IOReadBytes: 1 << 22, IOReadSyscalls: 64, IOWriteBytes: 1 << 20, IOWriteSyscall: 16,
+		StalledLWPs: 1,
+		Self: obs.SelfStats{
+			Samples: 120, SelfCPUSec: 0.31, TickWallSec: 0.27,
+			ElapsedSec: 120.5, OverheadPct: 0.257, BudgetPct: 0.5,
+			Degradations: 0, PeriodSec: 1.0, StalledLWPs: 1,
+		},
+	}
+}
+
+func checkGolden(t *testing.T, name string, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatalf("update %s: %v", path, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s (run with -update to create): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("%s mismatch (run with -update after reviewing):\n--- want ---\n%s\n--- got ---\n%s",
+			name, want, got)
+	}
+}
+
+func TestGoldenReportDefault(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, goldenSnap(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report_default.golden", sb.String())
+}
+
+func TestGoldenReportFull(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, goldenSnap(), Options{Contention: true, Memory: true, Self: true}); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report_full.golden", sb.String())
+}
+
+func TestGoldenReportDegraded(t *testing.T) {
+	// A run where the watchdog fired: overhead above budget, period doubled.
+	snap := goldenSnap()
+	snap.Self.OverheadPct = 0.81
+	snap.Self.Degradations = 2
+	snap.Self.PeriodSec = 4.0
+	var sb strings.Builder
+	if err := Write(&sb, snap, Options{Self: true}); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report_degraded.golden", sb.String())
+}
+
+func TestGoldenComparison(t *testing.T) {
+	healthy := goldenSnap()
+	healthy.LWPs[1].Stalled = false
+	healthy.LWPs[1].StallEvents = 0
+	healthy.StalledLWPs = 0
+	var sb strings.Builder
+	if err := WriteComparison(&sb, []string{"default", "stalled-helper"},
+		[]core.Snapshot{healthy, goldenSnap()}); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "comparison.golden", sb.String())
+}
+
+func TestGoldenJobSummary(t *testing.T) {
+	snaps := make([]core.Snapshot, 4)
+	for i := range snaps {
+		snaps[i] = goldenSnap()
+		snaps[i].Rank = i
+		snaps[i].DurationSec = 120.5 + float64(i)*0.25
+		if i%2 == 1 {
+			snaps[i].Hostname = "frontier00113"
+		}
+	}
+	js, err := Aggregate(snaps, core.EvalThresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteJobSummary(&sb, js); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "job_summary.golden", sb.String())
+}
+
+// TestGoldenFilesAreCanonical fails if -update would change anything —
+// this is the gate `make check` relies on: goldens in the tree must match
+// what the code renders today.
+func TestGoldenFilesAreCanonical(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".golden") {
+			n++
+		}
+	}
+	if want := 5; n != want {
+		t.Errorf("expected %d golden files under testdata/, found %d", want, n)
+	}
+}
+
+// Stall rendering is also asserted directly so a golden regeneration
+// cannot silently drop the §3.3 column.
+func TestStalledColumnRendered(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, goldenSnap(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"stalled: yes",
+		"stalled: no",
+		fmt.Sprintf("WARNING: %d thread(s) made no progress", 1),
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q\n---\n%s", want, out)
+		}
+	}
+}

@@ -19,6 +19,9 @@ type Options struct {
 	Contention bool
 	// Memory appends system/process memory watermarks.
 	Memory bool
+	// Self appends the monitor's self-observability section (§4.1):
+	// measured overhead, budget state and watchdog degradations.
+	Self bool
 	// Thresholds tunes the evaluation when Contention is set.
 	Thresholds core.EvalThresholds
 }
@@ -37,8 +40,12 @@ func Write(w io.Writer, snap core.Snapshot, opts Options) error {
 
 	ew.printf("\nLWP (thread) Summary:\n")
 	for _, l := range snap.LWPs {
-		ew.printf("LWP %d: %s - stime: %6.2f, utime: %6.2f, nv_ctx: %d, ctx: %d, CPUs: [%s]\n",
-			l.TID, l.Label, l.STimePct, l.UTimePct, l.NVCtx, l.VCtx, l.Affinity)
+		ew.printf("LWP %d: %s - stime: %6.2f, utime: %6.2f, nv_ctx: %d, ctx: %d, CPUs: [%s], stalled: %s\n",
+			l.TID, l.Label, l.STimePct, l.UTimePct, l.NVCtx, l.VCtx, l.Affinity, yesNo(l.Stalled))
+	}
+	if snap.StalledLWPs > 0 {
+		ew.printf("WARNING: %d thread(s) made no progress for the configured stall window\n",
+			snap.StalledLWPs)
 	}
 
 	ew.printf("\nHardware Summary:\n")
@@ -66,6 +73,17 @@ func Write(w io.Writer, snap core.Snapshot, opts Options) error {
 		}
 	}
 
+	if opts.Self {
+		s := snap.Self
+		ew.printf("\nMonitor Self-Report:\n")
+		ew.printf("Samples: %d at period %.3f s\n", s.Samples, s.PeriodSec)
+		ew.printf("Self overhead: %.3f%% (self CPU %.4f s, tick wall %.4f s over %.3f s)\n",
+			s.OverheadPct, s.SelfCPUSec, s.TickWallSec, s.ElapsedSec)
+		if s.BudgetPct > 0 {
+			ew.printf("Overhead budget: %.2f%% - degradations: %d\n", s.BudgetPct, s.Degradations)
+		}
+	}
+
 	if opts.Contention {
 		ew.printf("\nContention Report:\n")
 		warnings := core.Evaluate(snap, opts.Thresholds)
@@ -90,13 +108,13 @@ func WriteComparison(w io.Writer, labels []string, snaps []core.Snapshot) error 
 		if _, err := fmt.Fprintf(w, "=== %s (%.2f s) ===\n", labels[i], snap.DurationSec); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%-8s %-14s %8s %8s %10s %8s  %s\n",
-			"LWP", "Type", "stime", "utime", "nvctx", "ctx", "CPUs"); err != nil {
+		if _, err := fmt.Fprintf(w, "%-8s %-14s %8s %8s %10s %8s %8s  %s\n",
+			"LWP", "Type", "stime", "utime", "nvctx", "ctx", "stalled", "CPUs"); err != nil {
 			return err
 		}
 		for _, l := range snap.LWPs {
-			if _, err := fmt.Fprintf(w, "%-8d %-14s %8.2f %8.2f %10d %8d  %s\n",
-				l.TID, l.Label, l.STimePct, l.UTimePct, l.NVCtx, l.VCtx, l.Affinity); err != nil {
+			if _, err := fmt.Fprintf(w, "%-8d %-14s %8.2f %8.2f %10d %8d %8s  %s\n",
+				l.TID, l.Label, l.STimePct, l.UTimePct, l.NVCtx, l.VCtx, yesNo(l.Stalled), l.Affinity); err != nil {
 				return err
 			}
 		}
@@ -105,6 +123,13 @@ func WriteComparison(w io.Writer, labels []string, snaps []core.Snapshot) error 
 		}
 	}
 	return nil
+}
+
+func yesNo(v bool) string {
+	if v {
+		return "yes"
+	}
+	return "no"
 }
 
 type errWriter struct {

@@ -29,6 +29,11 @@ type JobSummary struct {
 	WorstRank   int
 	SlowestRank int
 
+	// Progress detection (§3.3): threads still flagged stalled at the end
+	// of the run, and distinct stall episodes observed across the job.
+	StalledLWPs int
+	StallEvents int
+
 	// GPUBusy aggregates "Device Busy %" averages across all devices.
 	GPUBusy *analysis.Summary
 
@@ -55,9 +60,11 @@ func Aggregate(snaps []core.Snapshot, th core.EvalThresholds) (*JobSummary, erro
 			slowest = snap.DurationSec
 			js.SlowestRank = rankOf(snap, i)
 		}
+		js.StalledLWPs += snap.StalledLWPs
 		for _, l := range snap.LWPs {
 			js.TotalNVCtx += l.NVCtx
 			js.TotalVCtx += l.VCtx
+			js.StallEvents += l.StallEvents
 			if l.NVCtx > js.WorstNVCtx {
 				js.WorstNVCtx = l.NVCtx
 				js.WorstRank = rankOf(snap, i)
@@ -116,6 +123,10 @@ func WriteJobSummary(w io.Writer, js *JobSummary) error {
 	}
 	ew.printf("Context switches: %d involuntary, %d voluntary (worst LWP: %d on rank %d)\n",
 		js.TotalNVCtx, js.TotalVCtx, js.WorstNVCtx, js.WorstRank)
+	if js.StalledLWPs > 0 || js.StallEvents > 0 {
+		ew.printf("Progress: %d thread(s) stalled at end of run, %d stall episode(s) observed\n",
+			js.StalledLWPs, js.StallEvents)
+	}
 	if js.GPUBusy != nil {
 		ew.printf("GPU busy: %.2f%% mean across %d device(s) (min %.2f, max %.2f)\n",
 			js.GPUBusy.Mean, js.GPUBusy.N, js.GPUBusy.Min, js.GPUBusy.Max)

@@ -16,6 +16,7 @@ import (
 	"zerosum/internal/fsio"
 	"zerosum/internal/gpu"
 	"zerosum/internal/mpi"
+	"zerosum/internal/obs"
 	"zerosum/internal/openmp"
 	"zerosum/internal/perfstub"
 	"zerosum/internal/sched"
@@ -61,6 +62,16 @@ type MonitorConfig struct {
 	// RebindAfter enables the monitor's automatic thread re-affinity after
 	// N consecutive pileup samples (0 disables).
 	RebindAfter int
+	// StallTicks enables §3.3 progress detection: a thread with no
+	// utime/stime/ctx-switch delta for this many consecutive samples is
+	// flagged stalled (0 disables).
+	StallTicks int
+	// Budget enables the §4.1 overhead-budget watchdog on each rank's
+	// monitor; when exceeded, sampling degrades (the period doubles).
+	Budget obs.Budget
+	// Obs, when non-nil, receives internal tracing spans from every rank's
+	// monitor (the recorder is safe for concurrent writers).
+	Obs *obs.Recorder
 }
 
 func (mc MonitorConfig) withDefaults() MonitorConfig {
@@ -429,6 +440,9 @@ func injectMonitor(rc *RankCtx, mc MonitorConfig) error {
 		Heartbeat:       mc.Heartbeat,
 		DeadlockSamples: mc.DeadlockSamples,
 		RebindAfter:     mc.RebindAfter,
+		StallTicks:      mc.StallTicks,
+		Budget:          mc.Budget,
+		Obs:             mc.Obs,
 		Stream:          stream,
 		KeepSeries:      !mc.DropSeries,
 	}, core.Deps{
@@ -480,7 +494,9 @@ func startMonitorThread(rc *RankCtx, mc MonitorConfig) {
 				return nil
 			}
 			step++
-			return sched.Sleep{D: mc.Period}
+			// CurrentPeriod, not mc.Period: the overhead-budget watchdog
+			// may have degraded the sampling rate mid-run (§4.1).
+			return sched.Sleep{D: sim.Time(mon.CurrentPeriod())}
 		}
 		idx := step - 1 // position in the burst/sleep alternation
 		step++

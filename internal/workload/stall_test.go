@@ -1,0 +1,391 @@
+package workload
+
+// Deterministic stall-detector scenarios (§3.3) driven by the sched
+// simulator: a two-thread app whose worker can progress, stall, recover
+// or flap, observed through the monitor's export stream and end-of-run
+// snapshot. Also the §4.1 acceptance tests for the self-observability
+// layer: measured overhead stays under the 0.5 % budget at 1 Hz, and an
+// artificially tiny budget makes the watchdog degrade the sampling rate.
+
+import (
+	"strings"
+	"testing"
+
+	"zerosum/internal/core"
+	"zerosum/internal/export"
+	"zerosum/internal/obs"
+	"zerosum/internal/report"
+	"zerosum/internal/sched"
+	"zerosum/internal/sim"
+	"zerosum/internal/slurm"
+	"zerosum/internal/topology"
+)
+
+// stallApp runs a continuously-computing main thread until mainUntil plus
+// one worker thread with a scenario-specific behavior.
+type stallApp struct {
+	mainUntil sim.Time
+	worker    func(app *stallApp) sched.BehaviorFunc
+
+	workerTID int
+	midSnap   *core.Snapshot // captured by main at midAt when set
+	midAt     sim.Time
+	rc        *RankCtx
+}
+
+func (a *stallApp) Name() string { return "stallapp" }
+
+func (a *stallApp) Build(rc *RankCtx) error {
+	a.rc = rc
+	captured := false
+	main := sched.BehaviorFunc(func(t *sched.Task, now sim.Time) sched.Action {
+		if a.midAt > 0 && !captured && now >= a.midAt {
+			captured = true
+			return sched.Call{Fn: func(sim.Time) {
+				snap := rc.Monitor.Snapshot()
+				a.midSnap = &snap
+			}}
+		}
+		if now >= a.mainUntil {
+			return nil
+		}
+		return sched.Compute{Work: 5 * sim.Millisecond, SysFrac: 0.05}
+	})
+	rc.K.NewTask(rc.Proc, "main", main)
+	w := rc.K.NewTask(rc.Proc, "worker", a.worker(a))
+	a.workerTID = w.TID
+	return nil
+}
+
+// computeUntil keeps the worker progressing until deadline, then exits.
+func computeUntil(deadline sim.Time) sched.BehaviorFunc {
+	return func(t *sched.Task, now sim.Time) sched.Action {
+		if now >= deadline {
+			return nil
+		}
+		return sched.Compute{Work: 5 * sim.Millisecond, SysFrac: 0.05}
+	}
+}
+
+// runStallScenario runs one rank on a laptop-class node with StallTicks
+// enabled and returns the result plus the worker's streamed LWP samples in
+// arrival order.
+func runStallScenario(t *testing.T, app *stallApp, stallTicks int) (*Result, []export.LWPSample) {
+	t.Helper()
+	var stream export.Stream
+	var samples []export.LWPSample
+	workerTID := func() int { return app.workerTID }
+	stream.Subscribe(func(ev export.Event) {
+		if ev.Kind == export.EventLWP && ev.LWP.TID == workerTID() {
+			samples = append(samples, *ev.LWP)
+		}
+	})
+	res, err := Run(Config{
+		Machine: topology.Laptop4Core,
+		App:     app,
+		Srun:    slurm.Options{NTasks: 1, CoresPerTask: 4},
+		Monitor: MonitorConfig{
+			Enabled: true, Period: 100 * sim.Millisecond, CPU: -1,
+			StallTicks: stallTicks,
+			Stream:     &stream,
+		},
+		Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, samples
+}
+
+func workerSummary(t *testing.T, res *Result, tid int) core.ThreadSummary {
+	t.Helper()
+	for _, l := range res.Ranks[0].Snapshot.LWPs {
+		if l.TID == tid {
+			return l
+		}
+	}
+	t.Fatalf("worker TID %d missing from snapshot", tid)
+	return core.ThreadSummary{}
+}
+
+func TestStallScenarioProgressing(t *testing.T) {
+	app := &stallApp{
+		mainUntil: 3 * sim.Second,
+		worker:    func(*stallApp) sched.BehaviorFunc { return computeUntil(3 * sim.Second) },
+	}
+	res, samples := runStallScenario(t, app, 5)
+	if len(samples) == 0 {
+		t.Fatal("no worker samples streamed")
+	}
+	for _, s := range samples {
+		if s.Stalled {
+			t.Fatalf("progressing worker flagged stalled at t=%.2f", s.TimeSec)
+		}
+	}
+	w := workerSummary(t, res, app.workerTID)
+	if w.Stalled || w.StallEvents != 0 {
+		t.Fatalf("progressing worker: stalled=%v events=%d", w.Stalled, w.StallEvents)
+	}
+	if w.Beats == 0 {
+		t.Fatal("progressing worker recorded no heartbeats")
+	}
+	if res.Ranks[0].Snapshot.StalledLWPs != 0 {
+		t.Fatalf("StalledLWPs = %d, want 0", res.Ranks[0].Snapshot.StalledLWPs)
+	}
+}
+
+func TestStallScenarioStalled(t *testing.T) {
+	// Worker computes for 1 s, then blocks in one long sleep until the end
+	// of the run: the §3.3 detector must flag it within StallTicks samples
+	// (plus scheduling slack) of the last beat.
+	const stallTicks = 5
+	app := &stallApp{
+		mainUntil: 4 * sim.Second,
+		midAt:     3 * sim.Second,
+		worker: func(*stallApp) sched.BehaviorFunc {
+			slept := false
+			return func(t *sched.Task, now sim.Time) sched.Action {
+				if now < sim.Second {
+					return sched.Compute{Work: 5 * sim.Millisecond, SysFrac: 0.05}
+				}
+				if !slept {
+					slept = true
+					return sched.Sleep{D: 4*sim.Second - now}
+				}
+				return nil
+			}
+		},
+	}
+	res, samples := runStallScenario(t, app, stallTicks)
+
+	first := -1.0
+	for _, s := range samples {
+		if s.Stalled {
+			first = s.TimeSec
+			break
+		}
+	}
+	if first < 0 {
+		t.Fatal("stalled worker never flagged")
+	}
+	// Last beat at ~1.1 s (the sleep's voluntary switch); the flag must
+	// appear within stallTicks+3 samples of it at a 100 ms period.
+	if latest := 1.1 + float64(stallTicks+3)*0.1; first > latest {
+		t.Fatalf("stall flagged at t=%.2f, want <= %.2f", first, latest)
+	}
+	if last := samples[len(samples)-1]; !last.Stalled {
+		t.Fatalf("worker's final sample not stalled (t=%.2f)", last.TimeSec)
+	}
+	w := workerSummary(t, res, app.workerTID)
+	if w.StallEvents != 1 {
+		t.Fatalf("stall events = %d, want 1", w.StallEvents)
+	}
+
+	// The mid-run snapshot (taken while the worker was stalled) renders the
+	// stall in the Listing-2 report.
+	if app.midSnap == nil {
+		t.Fatal("mid-run snapshot not captured")
+	}
+	if app.midSnap.StalledLWPs != 1 {
+		t.Fatalf("mid-run StalledLWPs = %d, want 1", app.midSnap.StalledLWPs)
+	}
+	var sb strings.Builder
+	if err := report.Write(&sb, *app.midSnap, report.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "stalled: yes") {
+		t.Errorf("mid-run report missing stalled flag:\n%s", out)
+	}
+	if !strings.Contains(out, "made no progress") {
+		t.Errorf("mid-run report missing stall warning:\n%s", out)
+	}
+}
+
+func TestStallScenarioRecovering(t *testing.T) {
+	// Worker stalls from 1 s to 2.5 s, then resumes computing: the flag
+	// must clear and the episode must be counted exactly once.
+	app := &stallApp{
+		mainUntil: 4 * sim.Second,
+		worker: func(*stallApp) sched.BehaviorFunc {
+			slept := false
+			return func(t *sched.Task, now sim.Time) sched.Action {
+				if now < sim.Second {
+					return sched.Compute{Work: 5 * sim.Millisecond, SysFrac: 0.05}
+				}
+				if !slept {
+					slept = true
+					return sched.Sleep{D: 1500 * sim.Millisecond}
+				}
+				if now >= 4*sim.Second {
+					return nil
+				}
+				return sched.Compute{Work: 5 * sim.Millisecond, SysFrac: 0.05}
+			}
+		},
+	}
+	res, samples := runStallScenario(t, app, 5)
+
+	sawStalled, sawRecovered := false, false
+	for _, s := range samples {
+		if s.Stalled {
+			sawStalled = true
+		} else if sawStalled {
+			sawRecovered = true
+		}
+	}
+	if !sawStalled {
+		t.Fatal("worker never flagged during its 1.5 s stall")
+	}
+	if !sawRecovered {
+		t.Fatal("stall flag never cleared after the worker resumed")
+	}
+	w := workerSummary(t, res, app.workerTID)
+	if w.Stalled {
+		t.Fatal("recovered worker still flagged in the final snapshot")
+	}
+	if w.StallEvents != 1 {
+		t.Fatalf("stall events = %d, want 1", w.StallEvents)
+	}
+	if res.Ranks[0].Snapshot.StalledLWPs != 0 {
+		t.Fatalf("StalledLWPs = %d, want 0 after recovery", res.Ranks[0].Snapshot.StalledLWPs)
+	}
+}
+
+func TestStallScenarioFlapping(t *testing.T) {
+	// Worker alternates 1.2 s sleeps with short compute bursts: each cycle
+	// is one distinct stall episode.
+	app := &stallApp{
+		mainUntil: 6 * sim.Second,
+		worker: func(*stallApp) sched.BehaviorFunc {
+			step := 0
+			return func(t *sched.Task, now sim.Time) sched.Action {
+				if now >= 6*sim.Second {
+					return nil
+				}
+				step++
+				if step%2 == 1 {
+					return sched.Compute{Work: 50 * sim.Millisecond, SysFrac: 0.05}
+				}
+				return sched.Sleep{D: 1200 * sim.Millisecond}
+			}
+		},
+	}
+	res, samples := runStallScenario(t, app, 5)
+
+	transitions := 0
+	prev := false
+	for _, s := range samples {
+		if s.Stalled && !prev {
+			transitions++
+		}
+		prev = s.Stalled
+	}
+	if transitions < 2 {
+		t.Fatalf("flapping worker produced %d stall transitions, want >= 2", transitions)
+	}
+	w := workerSummary(t, res, app.workerTID)
+	if w.StallEvents < 2 {
+		t.Fatalf("stall events = %d, want >= 2", w.StallEvents)
+	}
+	if w.StallEvents != transitions {
+		t.Fatalf("snapshot counted %d episodes, stream saw %d", w.StallEvents, transitions)
+	}
+}
+
+// TestMonitorSelfOverheadWithinBudget is the §4.1 acceptance check: at the
+// paper's 1 Hz sampling rate the monitor's own measured cost stays under
+// the 0.5 % budget and the watchdog never fires.
+func TestMonitorSelfOverheadWithinBudget(t *testing.T) {
+	rec := obs.NewRecorder(0)
+	app := &stallApp{
+		mainUntil: 30 * sim.Second,
+		worker:    func(*stallApp) sched.BehaviorFunc { return computeUntil(30 * sim.Second) },
+	}
+	res, err := Run(Config{
+		Machine: topology.Laptop4Core,
+		App:     app,
+		Srun:    slurm.Options{NTasks: 1, CoresPerTask: 4},
+		Monitor: MonitorConfig{
+			Enabled: true, Period: sim.Second, CPU: -1,
+			Budget: obs.Budget{Enabled: true},
+			Obs:    rec,
+		},
+		Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := res.Ranks[0].Monitor
+	self := mon.SelfStats()
+	if self.Samples < 20 {
+		t.Fatalf("samples = %d, want ~30 at 1 Hz over 30 s", self.Samples)
+	}
+	if self.OverheadPct >= 0.5 {
+		t.Fatalf("overhead = %.3f%%, want < 0.5%%", self.OverheadPct)
+	}
+	if self.Degradations != 0 || mon.CurrentPeriod() != sim.Second.Duration() {
+		t.Fatalf("watchdog fired under budget: %d degradations, period %v",
+			self.Degradations, mon.CurrentPeriod())
+	}
+	if self.BudgetPct != obs.DefaultBudgetPct {
+		t.Fatalf("budget = %v, want default %v", self.BudgetPct, obs.DefaultBudgetPct)
+	}
+	// Internal tracing saw every tick and its phases.
+	if got := rec.Count(obs.StageTick); got != uint64(self.Samples) {
+		t.Fatalf("tick spans = %d, samples = %d", got, self.Samples)
+	}
+	if rec.Count(obs.StageScan) == 0 || rec.Count(obs.StageSample) == 0 {
+		t.Fatal("phase spans missing")
+	}
+	// The snapshot carries the same self accounting for the report.
+	if snap := res.Ranks[0].Snapshot; snap.Self.Samples != self.Samples {
+		t.Fatalf("snapshot self samples = %d, want %d", snap.Self.Samples, self.Samples)
+	}
+}
+
+// TestWatchdogDegradesSampling lowers the budget far below the monitor's
+// simulated cost: the watchdog must halve the sampling rate (double the
+// period), count each firing, and stop at MaxDegrade.
+func TestWatchdogDegradesSampling(t *testing.T) {
+	var hb strings.Builder
+	app := &stallApp{
+		mainUntil: 10 * sim.Second,
+		worker:    func(*stallApp) sched.BehaviorFunc { return computeUntil(10 * sim.Second) },
+	}
+	base := 50 * sim.Millisecond
+	res, err := Run(Config{
+		Machine: topology.Laptop4Core,
+		App:     app,
+		Srun:    slurm.Options{NTasks: 1, CoresPerTask: 4},
+		Monitor: MonitorConfig{
+			Enabled: true, Period: base, CPU: -1,
+			Heartbeat: &hb,
+			Budget:    obs.Budget{Enabled: true, MaxPct: 0.05, MinSamples: 3},
+		},
+		Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := res.Ranks[0].Monitor
+	if mon.Degradations() < 1 {
+		t.Fatalf("watchdog never fired (overhead %.3f%%)", mon.SelfStats().OverheadPct)
+	}
+	if mon.Degradations() > obs.DefaultMaxDegrade {
+		t.Fatalf("degradations = %d, want <= %d", mon.Degradations(), obs.DefaultMaxDegrade)
+	}
+	want := base.Duration() << mon.Degradations()
+	if mon.CurrentPeriod() != want {
+		t.Fatalf("period = %v after %d degradations, want %v",
+			mon.CurrentPeriod(), mon.Degradations(), want)
+	}
+	if !strings.Contains(hb.String(), "sampling period degraded") {
+		t.Fatalf("degradation not logged:\n%s", hb.String())
+	}
+	// The monitor thread actually slowed down: far fewer samples than the
+	// base rate would have taken over 10 s.
+	if s := mon.SelfStats(); s.Samples >= 200 {
+		t.Fatalf("samples = %d, want well under 10s/50ms after degradation", s.Samples)
+	}
+}

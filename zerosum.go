@@ -32,6 +32,7 @@ import (
 	"zerosum/internal/fsio"
 	"zerosum/internal/gpu"
 	"zerosum/internal/mpi"
+	"zerosum/internal/obs"
 	"zerosum/internal/openmp"
 	"zerosum/internal/perfstub"
 	"zerosum/internal/proc"
@@ -62,7 +63,17 @@ type (
 	ProcFS = proc.FS
 	// Stream is the in-process sample pub/sub hook.
 	Stream = export.Stream
+	// ObsRecorder is the monitor's internal span ring (self-observability).
+	ObsRecorder = obs.Recorder
+	// ObsBudget configures the self-overhead watchdog (§4.1).
+	ObsBudget = obs.Budget
+	// SelfStats is the monitor's own cost accounting.
+	SelfStats = obs.SelfStats
 )
+
+// NewObsRecorder creates an internal-tracing span recorder to pass in
+// MonitorConfig.Obs (capacity 0 = default ring size).
+func NewObsRecorder(capacity int) *ObsRecorder { return obs.NewRecorder(capacity) }
 
 // Simulation and experiment API (the substrate).
 type (
