@@ -81,7 +81,9 @@ func main() {
 
 	if *debugAddr != "" {
 		mux := http.NewServeMux()
-		mux.Handle("GET /debug/obs", obs.Handler("zerosum", rec, mon.SelfStats))
+		// PublishedSelfStats, not SelfStats: the handler runs on server
+		// goroutines concurrent with the Tick loop below.
+		mux.Handle("GET /debug/obs", obs.Handler("zerosum", rec, mon.PublishedSelfStats))
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

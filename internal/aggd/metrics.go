@@ -83,6 +83,7 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		{name: "zerosum_lwp_nvctx_total", help: "Cumulative involuntary context switches over a rank's threads.", typ: "counter"},
 		{name: "zerosum_lwp_vctx_total", help: "Cumulative voluntary context switches over a rank's threads.", typ: "counter"},
 		{name: "zerosum_lwp_stalled", help: "Threads of a rank currently flagged stalled by progress detection.", typ: "gauge"},
+		{name: "zerosum_lwp_stall_events_total", help: "Stall flag raises observed over a rank's threads (survives the stall clearing).", typ: "counter"},
 		{name: "zerosum_gpu_busy_pct", help: "Latest sampled Device Busy % per GPU.", typ: "gauge"},
 		{name: "zerosum_mem_free_kb", help: "Latest sampled free system memory on a rank's node.", typ: "gauge"},
 		{name: "zerosum_mem_rss_kb", help: "Latest sampled process RSS of a rank.", typ: "gauge"},
@@ -105,6 +106,7 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		fNVCtx
 		fVCtx
 		fStalled
+		fStallEvents
 		fGPU
 		fMemFree
 		fMemRSS
@@ -144,6 +146,7 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 				families[fNVCtx].add(base, float64(nv))
 				families[fVCtx].add(base, float64(v))
 				families[fStalled].add(base, float64(len(rs.stalled)))
+				families[fStallEvents].add(base, float64(rs.stallEvents))
 			}
 			for gpu, busy := range rs.gpuBusy {
 				families[fGPU].add(fmt.Sprintf(`gpu="%d",%s`, gpu, base), busy)

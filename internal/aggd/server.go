@@ -158,8 +158,12 @@ type rankState struct {
 	nvctx   map[int]uint64 // per TID, cumulative
 	vctx    map[int]uint64
 	stalled map[int]bool // TIDs currently flagged stalled (§3.3)
-	memFree uint64
-	memRSS  uint64
+	// stallEvents counts false→true transitions of the stalled flag: the
+	// gauge above drops back to zero once a stall clears (or the thread
+	// dies), so this cumulative counter is what proves a stall happened.
+	stallEvents uint64
+	memFree     uint64
+	memRSS      uint64
 
 	snapshot *core.Snapshot
 	commRow  map[int]uint64
@@ -326,7 +330,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		switch kind {
 		case FrameBatch:
-			b, err := DecodeBatchPayloadInto(payload, bb)
+			b, err := DecodeBatchPayloadVersionInto(payload, sc.Version(), bb)
 			if err != nil {
 				corrupt++
 				s.corruptFrames.Add(1)
@@ -452,6 +456,9 @@ func (s *Server) applyBatch(b *Batch) {
 			rs.nvctx[ev.LWP.TID] = ev.LWP.NVCtx
 			rs.vctx[ev.LWP.TID] = ev.LWP.VCtx
 			if ev.LWP.Stalled {
+				if !rs.stalled[ev.LWP.TID] {
+					rs.stallEvents++
+				}
 				rs.stalled[ev.LWP.TID] = true
 			} else {
 				delete(rs.stalled, ev.LWP.TID)

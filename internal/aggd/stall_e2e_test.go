@@ -79,8 +79,103 @@ func TestStalledLWPReachesAggregatorMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// The worker stalled mid-run and never progressed again, so its last
-	// shipped sample carries Stalled=true and the live gauge reads 1.
+	// The worker stalled mid-run and stayed flagged until it exited with
+	// the app, so the cumulative counter proves the stall reached the
+	// aggregator while the live gauge is back to 0: the monitor ships a
+	// final Stalled=false sample when a flagged thread goes away, so dead
+	// TIDs never pin the gauge.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gauge, counter string
+	for _, line := range strings.Split(string(text), "\n") {
+		if strings.HasPrefix(line, "zerosum_lwp_stalled{") {
+			gauge = line
+		}
+		if strings.HasPrefix(line, "zerosum_lwp_stall_events_total{") {
+			counter = line
+		}
+	}
+	if gauge == "" || counter == "" {
+		t.Fatalf("stall metrics missing from exposition:\n%s", text)
+	}
+	if !strings.Contains(counter, `job="stall-e2e"`) || !strings.HasSuffix(counter, " 1") {
+		t.Fatalf("stall counter = %q, want job=stall-e2e value 1", counter)
+	}
+	if !strings.HasSuffix(gauge, " 0") {
+		t.Fatalf("stalled gauge = %q, want 0 once the stalled worker exited", gauge)
+	}
+	checkPrometheusText(t, string(text))
+}
+
+// stallExitApp's worker stalls mid-run and then exits while still flagged;
+// main keeps computing to the end, so samples keep streaming afterwards.
+type stallExitApp struct{}
+
+func (stallExitApp) Build(rc *workload.RankCtx) error {
+	const end = 4 * sim.Second
+	main := sched.BehaviorFunc(func(t *sched.Task, now sim.Time) sched.Action {
+		if now >= end {
+			return nil
+		}
+		return sched.Compute{Work: 5 * sim.Millisecond, SysFrac: 0.05}
+	})
+	rc.K.NewTask(rc.Proc, "main", main)
+	slept := false
+	worker := sched.BehaviorFunc(func(t *sched.Task, now sim.Time) sched.Action {
+		if now < sim.Second {
+			return sched.Compute{Work: 5 * sim.Millisecond, SysFrac: 0.05}
+		}
+		if !slept {
+			slept = true
+			return sched.Sleep{D: 1500 * sim.Millisecond}
+		}
+		return nil // dies on waking, while still flagged stalled
+	})
+	rc.K.NewTask(rc.Proc, "worker", worker)
+	return nil
+}
+
+// TestStalledThreadExitClearsAggregatorGauge: a thread that dies while
+// flagged stalled must not pin zerosum_lwp_stalled — the monitor ships a
+// final Stalled=false sample for the dead TID, so the live gauge reads 0.
+func TestStalledThreadExitClearsAggregatorGauge(t *testing.T) {
+	srv := NewServer(ServerConfig{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	streamer := NewJobStreamer(AgentConfig{
+		URL: ts.URL, Job: "stall-exit-e2e",
+		BatchSize:     64,
+		FlushInterval: 5 * time.Millisecond,
+	})
+	res, err := workload.Run(workload.Config{
+		Machine: topology.Laptop4Core,
+		App:     stallExitApp{},
+		Srun:    slurm.Options{NTasks: 1, CoresPerTask: 4},
+		Monitor: workload.MonitorConfig{
+			Enabled: true, Period: 100 * sim.Millisecond, CPU: -1,
+			StallTicks: 5,
+			StreamFor:  streamer.StreamFor,
+		},
+		Seed: 19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := streamer.FinishRank(0, res.Ranks[0].Snapshot, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := streamer.Close(); err != nil {
+		t.Fatal(err)
+	}
+
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -99,8 +194,8 @@ func TestStalledLWPReachesAggregatorMetrics(t *testing.T) {
 	if gauge == "" {
 		t.Fatalf("zerosum_lwp_stalled missing from exposition:\n%s", text)
 	}
-	if !strings.Contains(gauge, `job="stall-e2e"`) || !strings.HasSuffix(gauge, " 1") {
-		t.Fatalf("stalled gauge = %q, want job=stall-e2e value 1", gauge)
+	if !strings.Contains(gauge, `job="stall-exit-e2e"`) || !strings.HasSuffix(gauge, " 0") {
+		t.Fatalf("stalled gauge = %q, want job=stall-exit-e2e value 0 after the stalled thread exited", gauge)
 	}
 	checkPrometheusText(t, string(text))
 }

@@ -46,10 +46,15 @@ import (
 // before it is parsed. Version 2 also carries the sending agent's stream
 // epoch so the server can tell a restarted agent (sequence numbers reset)
 // from a retried batch (sequence numbers repeat). Version 3 adds the LWP
-// event's stalled flag (§3.3 progress detection).
+// event's stalled flag (§3.3 progress detection); a version-2 LWP event is
+// identical minus that byte and decodes with Stalled=false, so a fleet can
+// roll agents and aggregators independently during an upgrade.
 const (
-	// WireVersion is the current framing version; Decode rejects others.
+	// WireVersion is the framing version senders emit.
 	WireVersion = 3
+	// MinWireVersion is the oldest version readers still accept: version 2
+	// frames (pre-stall-flag agents) decode during a rolling upgrade.
+	MinWireVersion = 2
 	// MaxFramePayload bounds a frame so a corrupt or hostile length field
 	// cannot make the server allocate unbounded memory.
 	MaxFramePayload = 64 << 20
@@ -283,36 +288,40 @@ func EncodeSnapshotFrame(msg *SnapshotMsg) ([]byte, error) {
 	return finishFrame(frame)
 }
 
-// ReadFrame reads one frame from r and verifies its payload checksum.
-// io.EOF signals a clean end of stream; a truncated frame yields
-// io.ErrUnexpectedEOF.
-func ReadFrame(r io.Reader) (FrameKind, []byte, error) {
+// ReadFrame reads one frame from r and verifies its payload checksum,
+// returning the frame's wire version alongside its kind and payload (batch
+// payloads must be decoded with the version they were framed with; see
+// DecodeBatchPayloadVersionInto). io.EOF signals a clean end of stream; a
+// truncated frame yields io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) (FrameKind, uint8, []byte, error) {
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
-			return 0, nil, io.EOF
+			return 0, 0, nil, io.EOF
 		}
-		return 0, nil, fmt.Errorf("aggd: frame header: %w", io.ErrUnexpectedEOF)
+		return 0, 0, nil, fmt.Errorf("aggd: frame header: %w", io.ErrUnexpectedEOF)
 	}
 	if [4]byte(hdr[:4]) != wireMagic {
-		return 0, nil, fmt.Errorf("aggd: bad frame magic %q", hdr[:4])
+		return 0, 0, nil, fmt.Errorf("aggd: bad frame magic %q", hdr[:4])
 	}
-	if hdr[4] != WireVersion {
-		return 0, nil, fmt.Errorf("aggd: unsupported wire version %d (want %d)", hdr[4], WireVersion)
+	ver := hdr[4]
+	if ver < MinWireVersion || ver > WireVersion {
+		return 0, 0, nil, fmt.Errorf("aggd: unsupported wire version %d (want %d..%d)",
+			ver, MinWireVersion, WireVersion)
 	}
 	kind := FrameKind(hdr[5])
 	n := binary.LittleEndian.Uint32(hdr[6:10])
 	if n > MaxFramePayload {
-		return 0, nil, fmt.Errorf("aggd: frame claims %d payload bytes (max %d)", n, MaxFramePayload)
+		return 0, 0, nil, fmt.Errorf("aggd: frame claims %d payload bytes (max %d)", n, MaxFramePayload)
 	}
 	payload, err := readPayload(r, int(n))
 	if err != nil {
-		return 0, nil, fmt.Errorf("aggd: frame payload: %w", io.ErrUnexpectedEOF)
+		return 0, 0, nil, fmt.Errorf("aggd: frame payload: %w", io.ErrUnexpectedEOF)
 	}
 	if sum := crc32.Checksum(payload, castagnoli); sum != binary.LittleEndian.Uint32(hdr[10:14]) {
-		return 0, nil, fmt.Errorf("aggd: frame payload checksum mismatch (corrupt frame)")
+		return 0, 0, nil, fmt.Errorf("aggd: frame payload checksum mismatch (corrupt frame)")
 	}
-	return kind, payload, nil
+	return kind, ver, payload, nil
 }
 
 // readPayload reads exactly n payload bytes, growing the buffer in bounded
@@ -365,6 +374,7 @@ func (e *CorruptFrameError) Error() string {
 type FrameScanner struct {
 	r       *bufio.Reader
 	payload []byte // reused across Next calls; see readFrameReuse
+	ver     uint8  // wire version of the frame Next last returned
 }
 
 // NewFrameScanner wraps r for resynchronizing frame iteration.
@@ -380,15 +390,21 @@ const maxRetainedPayload = 4 << 20
 // payload buffer so pooled scanners are reused across ingest requests.
 func (s *FrameScanner) Reset(r io.Reader) {
 	s.r.Reset(r)
+	s.ver = 0
 	if cap(s.payload) > maxRetainedPayload {
 		s.payload = nil
 	}
 }
 
+// Version returns the wire version of the frame the last successful Next
+// returned (0 before the first frame). Batch payloads must be decoded with
+// it: DecodeBatchPayloadVersionInto(payload, sc.Version(), bb).
+func (s *FrameScanner) Version() uint8 { return s.ver }
+
 // plausibleHeader reports whether hdr could open a real frame.
 func plausibleHeader(hdr []byte) bool {
 	return [4]byte(hdr[:4]) == wireMagic &&
-		hdr[4] == WireVersion &&
+		hdr[4] >= MinWireVersion && hdr[4] <= WireVersion &&
 		(FrameKind(hdr[5]) == FrameBatch || FrameKind(hdr[5]) == FrameSnapshot) &&
 		binary.LittleEndian.Uint32(hdr[6:10]) <= MaxFramePayload
 }
@@ -447,6 +463,7 @@ func (s *FrameScanner) Next() (FrameKind, []byte, error) {
 // into a local array would heap-allocate it once per frame.
 func (s *FrameScanner) readFrameReuse(hdr []byte) (FrameKind, []byte, error) {
 	kind := FrameKind(hdr[5])
+	ver := hdr[4]
 	n := int(binary.LittleEndian.Uint32(hdr[6:10]))
 	want := binary.LittleEndian.Uint32(hdr[10:14])
 	// Cannot fail: Peek just proved frameHeaderLen buffered bytes.
@@ -460,6 +477,7 @@ func (s *FrameScanner) readFrameReuse(hdr []byte) (FrameKind, []byte, error) {
 	if sum := crc32.Checksum(payload, castagnoli); sum != want {
 		return 0, nil, fmt.Errorf("aggd: frame payload checksum mismatch (corrupt frame)")
 	}
+	s.ver = ver
 	return kind, payload, nil
 }
 
@@ -493,6 +511,7 @@ func (s *FrameScanner) readPayloadReuse(n int) ([]byte, error) {
 type decoder struct {
 	buf []byte
 	off int
+	ver uint8 // wire version the payload was framed with
 }
 
 func (d *decoder) need(n int) ([]byte, error) {
@@ -603,19 +622,32 @@ func (bb *BatchBuf) reset() {
 	}
 }
 
-// DecodeBatchPayload parses a FrameBatch payload into a fresh arena; the
-// result is independently owned by the caller.
+// DecodeBatchPayload parses a current-version FrameBatch payload into a
+// fresh arena; the result is independently owned by the caller.
 func DecodeBatchPayload(payload []byte) (*Batch, error) {
 	return DecodeBatchPayloadInto(payload, new(BatchBuf))
 }
 
-// DecodeBatchPayloadInto parses a FrameBatch payload into bb and returns
-// the arena's batch. See BatchBuf for the aliasing contract.
+// DecodeBatchPayloadInto parses a current-version FrameBatch payload into
+// bb and returns the arena's batch. See BatchBuf for the aliasing contract.
+func DecodeBatchPayloadInto(payload []byte, bb *BatchBuf) (*Batch, error) {
+	return DecodeBatchPayloadVersionInto(payload, WireVersion, bb)
+}
+
+// DecodeBatchPayloadVersionInto parses a FrameBatch payload framed with
+// wire version ver (as reported by ReadFrame or FrameScanner.Version) into
+// bb. Version 2 LWP events carry no stalled flag and decode with
+// Stalled=false, which keeps a mixed-version fleet ingesting during a
+// rolling upgrade.
 //
 //zerosum:wire-decode batch
-func DecodeBatchPayloadInto(payload []byte, bb *BatchBuf) (*Batch, error) {
+func DecodeBatchPayloadVersionInto(payload []byte, ver uint8, bb *BatchBuf) (*Batch, error) {
+	if ver < MinWireVersion || ver > WireVersion {
+		return nil, fmt.Errorf("aggd: unsupported wire version %d (want %d..%d)",
+			ver, MinWireVersion, WireVersion)
+	}
 	bb.reset()
-	d := &decoder{buf: payload}
+	d := &decoder{buf: payload, ver: ver}
 	b := &bb.batch
 	var err error
 	if b.Job, err = d.strInterned(bb.strs); err != nil {
@@ -719,11 +751,15 @@ func decodeEventInto(d *decoder, bb *BatchBuf) (export.Event, error) {
 		if l.State, err = d.u8(); err != nil {
 			return ev, err
 		}
-		var stalled byte
-		if stalled, err = d.u8(); err != nil {
-			return ev, err
+		// The stalled flag is the one v2→v3 layout change: a v2 sender
+		// predates progress detection, so its threads decode as not stalled.
+		if d.ver >= 3 {
+			var stalled byte
+			if stalled, err = d.u8(); err != nil {
+				return ev, err
+			}
+			l.Stalled = stalled != 0
 		}
-		l.Stalled = stalled != 0
 		// The fixed-width tail (2 floats, 5 counters) is bounds-checked once
 		// and decoded with direct loads; per-field reads dominated the
 		// ingest profile.

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
 	"zerosum/internal/export"
@@ -215,6 +216,16 @@ type Monitor struct {
 	tickWallNS   int64
 	stalledCount int
 
+	// selfStatsPub holds the obs.SelfStats snapshot published at the end of
+	// every tick (and by Finish). The monitor itself is single-goroutine and
+	// unsynchronized, so concurrent readers — the /debug/obs HTTP handler in
+	// particular — must read this copy via PublishedSelfStats instead of
+	// calling SelfStats into live state. A mutex-guarded copy rather than an
+	// atomic.Value: storing a struct in an atomic.Value boxes it, and the
+	// publish runs on the zero-allocation Tick path.
+	selfStatsMu  sync.Mutex
+	selfStatsPub obs.SelfStats
+
 	// MPI point-to-point accounting (this rank's row of the heatmap).
 	sentBytes map[int]uint64
 	recvBytes map[int]uint64
@@ -410,7 +421,20 @@ func (m *Monitor) Tick() error {
 	m.tickWallNS += end.Sub(now).Nanoseconds()
 	rec.Record(obs.StageTick, now, end.Sub(now))
 	m.maybeDegrade(t)
+	m.publishSelfStats()
 	return nil
+}
+
+// publishSelfStats refreshes the snapshot served to concurrent readers.
+// Once per tick, uncontended (the only other taker is an occasional debug
+// scrape) and allocation-free — the zero-alloc Tick gates cover it.
+//
+//zerosum:coldpath
+func (m *Monitor) publishSelfStats() {
+	s := m.SelfStats()
+	m.selfStatsMu.Lock()
+	m.selfStatsPub = s
+	m.selfStatsMu.Unlock()
 }
 
 // sampleThreads runs the per-LWP phase of a tick in three steps: list the
@@ -454,10 +478,25 @@ func (m *Monitor) sampleThreads(now time.Time, t float64) error {
 		if !m.seen[tid] && !ts.gone {
 			ts.gone = true
 			// An exited thread is dead, not stalled; keep its stallEvents
-			// history but take it out of the live stalled count.
+			// history but take it out of the live stalled count — and ship
+			// one final not-stalled sample, because downstream gauges keyed
+			// by TID (aggd's zerosum_lwp_stalled) only clear on an explicit
+			// Stalled=false event and would otherwise pin the dead TID for
+			// the rest of the job.
 			if ts.stalled {
 				ts.stalled = false
 				m.stalledCount--
+				m.lwpSample = export.LWPSample{
+					TimeSec: t, TID: ts.tid, Kind: m.kindLabel(ts),
+					State: byte(ts.state),
+					VCtx:  ts.vctx, NVCtx: ts.nvctx,
+					MinFlt: ts.minflt, MajFlt: ts.majflt, NSwap: ts.nswap,
+					CPU: ts.lastCPU,
+				}
+				if m.cfg.KeepSeries {
+					m.lwpSeries = append(m.lwpSeries, m.lwpSample)
+				}
+				m.publish(export.Event{Kind: export.EventLWP, TimeSec: t, LWP: &m.lwpSample})
 			}
 			ts.closeReader()
 		}
@@ -792,6 +831,10 @@ func (m *Monitor) StalledLWPs() int { return m.stalledCount }
 // so far. Under the simulator ticks execute in zero simulated time, so the
 // self LWP's jiffies carry the accounting; on a real host whichever of the
 // two measures is larger is reported.
+//
+// SelfStats reads live monitor state (including the threads map a running
+// Tick mutates), so like every other Monitor method it must not be called
+// concurrently with Tick; concurrent readers use PublishedSelfStats.
 func (m *Monitor) SelfStats() obs.SelfStats {
 	now := m.deps.Clock()
 	if m.done {
@@ -814,6 +857,17 @@ func (m *Monitor) SelfStats() obs.SelfStats {
 	if m.cfg.Budget.Enabled {
 		s.BudgetPct = m.cfg.Budget.WithDefaults().MaxPct
 	}
+	return s
+}
+
+// PublishedSelfStats returns the SelfStats snapshot published by the most
+// recent Tick (or Finish); the zero value before the first tick. Unlike
+// SelfStats it is safe to call from any goroutine while the monitor runs,
+// which is what the /debug/obs handler needs.
+func (m *Monitor) PublishedSelfStats() obs.SelfStats {
+	m.selfStatsMu.Lock()
+	s := m.selfStatsPub
+	m.selfStatsMu.Unlock()
 	return s
 }
 
@@ -887,6 +941,7 @@ func (m *Monitor) Finish() {
 		for _, ts := range m.threads {
 			ts.closeReader()
 		}
+		m.publishSelfStats()
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -662,5 +663,115 @@ func TestTickCountsSkippedThreads(t *testing.T) {
 	snap := m.Snapshot()
 	if snap.LWPReadSkips != 1 || snap.LWPParseSkips != 1 {
 		t.Fatalf("snapshot skips = (%d, %d), want (1, 1)", snap.LWPReadSkips, snap.LWPParseSkips)
+	}
+}
+
+// TestStalledThreadExitEmitsFinalNotStalledSample: when a thread dies while
+// flagged stalled, the monitor must publish one last Stalled=false sample
+// for it — downstream per-TID gauges (aggd's zerosum_lwp_stalled) clear only
+// on an explicit event and would otherwise pin the dead TID forever.
+func TestStalledThreadExitEmitsFinalNotStalledSample(t *testing.T) {
+	fs := newFakeFS()
+	fs.addThread(1001, "worker", proc.StateSleeping, topology.NewCPUSet(1))
+	var stream export.Stream
+	var worker []export.LWPSample
+	stream.Subscribe(func(ev export.Event) {
+		if ev.Kind == export.EventLWP && ev.LWP.TID == 1001 {
+			worker = append(worker, *ev.LWP)
+		}
+	})
+	m, clk := newTestMonitor(t, fs, Config{Period: time.Second, StallTicks: 3, Stream: &stream})
+
+	// The worker never progresses: after StallTicks samples it is stalled.
+	for i := 0; i < 5; i++ {
+		fs.burn(1000, 50, 5)
+		if err := m.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		clk.advance(time.Second)
+	}
+	if got := m.StalledLWPs(); got != 1 {
+		t.Fatalf("StalledLWPs = %d, want 1 before the worker exits", got)
+	}
+	if len(worker) == 0 || !worker[len(worker)-1].Stalled {
+		t.Fatalf("worker's last live sample not stalled: %+v", worker)
+	}
+
+	// The worker exits between ticks: the next listing no longer has it.
+	fs.tasks = []int{1000}
+	fs.burn(1000, 50, 5)
+	if err := m.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	last := worker[len(worker)-1]
+	if last.Stalled {
+		t.Fatal("dead worker's final sample still stalled; downstream gauges would leak")
+	}
+	if got := m.StalledLWPs(); got != 0 {
+		t.Fatalf("StalledLWPs = %d, want 0 after the stalled thread exited", got)
+	}
+	m.Finish()
+	snap := m.Snapshot()
+	for _, l := range snap.LWPs {
+		if l.TID == 1001 {
+			if l.Stalled {
+				t.Fatal("snapshot still flags the dead worker stalled")
+			}
+			if l.StallEvents != 1 {
+				t.Fatalf("stall events = %d, want the episode history kept", l.StallEvents)
+			}
+		}
+	}
+}
+
+// TestPublishedSelfStatsConcurrentWithTicks hammers PublishedSelfStats from
+// another goroutine while the monitor ticks; under `go test -race` this
+// proves the /debug/obs read path shares no unsynchronized state with Tick.
+func TestPublishedSelfStatsConcurrentWithTicks(t *testing.T) {
+	fs := newFakeFS()
+	m, clk := newTestMonitor(t, fs, Config{Period: time.Second})
+
+	if s := m.PublishedSelfStats(); s.Samples != 0 {
+		t.Fatalf("pre-tick published samples = %d, want 0", s.Samples)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		prev := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := m.PublishedSelfStats()
+			if s.Samples < prev {
+				t.Errorf("published samples went backwards: %d after %d", s.Samples, prev)
+				return
+			}
+			prev = s.Samples
+		}
+	}()
+
+	const ticks = 300
+	for i := 0; i < ticks; i++ {
+		fs.burn(1000, 1, 0)
+		if err := m.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		clk.advance(time.Second)
+	}
+	close(stop)
+	wg.Wait()
+	m.Finish()
+
+	if got := m.PublishedSelfStats(); got.Samples != ticks {
+		t.Fatalf("published samples = %d, want %d", got.Samples, ticks)
+	}
+	if live, pub := m.SelfStats(), m.PublishedSelfStats(); live != pub {
+		t.Fatalf("post-Finish published stats diverged:\nlive %+v\npub  %+v", live, pub)
 	}
 }

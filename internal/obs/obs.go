@@ -85,10 +85,14 @@ type Span struct {
 }
 
 // slot is one seqlock-protected ring entry. The sequence is even when the
-// slot is stable; a writer makes it odd, stores the words, then makes it
-// even again. A reader that observes an odd sequence, or a sequence that
-// changed across its reads, discards the torn slot. All words are atomics,
-// so concurrent access is race-detector clean by construction.
+// slot is stable; a writer claims it by CAS-ing the sequence from even to
+// odd, stores the words, then makes it even again. The CAS claim means at
+// most one writer ever owns a slot: a second Record whose pos collides
+// after ring wrap loses the CAS and drops its span body instead of
+// co-writing, so a reader that validates an unchanged even sequence has
+// never seen a torn span. A reader that observes an odd sequence, or a
+// sequence that changed across its reads, discards the slot. All words are
+// atomics, so concurrent access is race-detector clean by construction.
 type slot struct {
 	seq   atomic.Uint64
 	stage atomic.Uint32
@@ -123,6 +127,12 @@ type Recorder struct {
 	pos   atomic.Uint64 // next ring slot (monotonic; masked on use)
 	slots []slot
 	stats [numStages]stageAgg
+
+	// slotDrops counts span bodies discarded because the claimed ring slot
+	// was still owned by a concurrent writer (only reachable when writers
+	// outpace the ring enough to wrap onto each other). The per-stage stats
+	// still account the span; only the ring entry is lost.
+	slotDrops atomic.Uint64
 }
 
 // DefaultRingCapacity is the span ring size NewRecorder(0) uses: enough
@@ -172,11 +182,19 @@ func (r *Recorder) RecordNS(st Stage, startNS, durNS int64) {
 func (r *Recorder) recordSlot(st Stage, startNS, durNS int64) {
 	i := (r.pos.Add(1) - 1) & r.mask
 	s := &r.slots[i]
-	s.seq.Add(1) // odd: slot is being written
-	s.stage.Store(uint32(st))
-	s.start.Store(startNS)
-	s.dur.Store(durNS)
-	s.seq.Add(1) // even: slot is stable
+	seq := s.seq.Load()
+	if seq&1 == 0 && s.seq.CompareAndSwap(seq, seq+1) {
+		// Claimed (odd): this goroutine is the slot's only writer.
+		s.stage.Store(uint32(st))
+		s.start.Store(startNS)
+		s.dur.Store(durNS)
+		s.seq.Store(seq + 2) // even again: slot is stable
+	} else {
+		// Another writer still owns the slot (the ring wrapped onto an
+		// in-flight Record). Co-writing would let a reader validate a torn
+		// span, so drop the ring entry; the stats below still count it.
+		r.slotDrops.Add(1)
+	}
 
 	agg := &r.stats[st]
 	agg.count.Add(1)
@@ -198,6 +216,16 @@ func (r *Recorder) RecordError(st Stage) {
 		return
 	}
 	r.stats[st].errs.Add(1)
+}
+
+// DroppedSpans returns how many span bodies were discarded because their
+// ring slot was mid-write by a concurrent Record (their stage stats were
+// still counted).
+func (r *Recorder) DroppedSpans() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.slotDrops.Load()
 }
 
 // Count returns how many spans of st have been recorded.

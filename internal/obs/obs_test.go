@@ -190,6 +190,90 @@ func TestRecorderConcurrent(t *testing.T) {
 	}
 }
 
+// TestRecordSkipsClaimedSlot: a Record landing on a slot another writer
+// still owns (odd sequence) must drop the span body instead of co-writing
+// it — co-writes are how a reader could validate a torn span.
+func TestRecordSkipsClaimedSlot(t *testing.T) {
+	r := NewRecorder(1) // single-slot ring: every Record collides on slot 0
+	r.slots[0].seq.Store(1)
+	r.RecordNS(StageTick, 5, 7)
+	if got := r.DroppedSpans(); got != 1 {
+		t.Fatalf("DroppedSpans = %d, want 1", got)
+	}
+	if got := r.Count(StageTick); got != 1 {
+		t.Fatalf("Count = %d, want 1 (stats still account dropped spans)", got)
+	}
+	if spans := r.Spans(nil); len(spans) != 0 {
+		t.Fatalf("claimed slot yielded spans %+v", spans)
+	}
+	if got := r.slots[0].seq.Load(); got != 1 {
+		t.Fatalf("losing writer mutated the claimed slot's seq: %d", got)
+	}
+
+	// Once the owning writer releases the slot (even sequence), recording
+	// works again.
+	r.slots[0].seq.Store(2)
+	r.RecordNS(StageScan, 9, 3)
+	spans := r.Spans(nil)
+	if len(spans) != 1 || spans[0].Stage != StageScan || spans[0].StartNS != 9 {
+		t.Fatalf("spans after release = %+v", spans)
+	}
+	if got := r.DroppedSpans(); got != 1 {
+		t.Fatalf("DroppedSpans after release = %d, want still 1", got)
+	}
+}
+
+// TestRecorderConcurrentTinyRing hammers a 2-slot ring with writers whose
+// spans all satisfy start==dur: constant wrap collisions exercise the CAS
+// slot claim, and any span violating the invariant is a torn read.
+func TestRecorderConcurrentTinyRing(t *testing.T) {
+	r := NewRecorder(2)
+	const writers = 8
+	const perWriter = 20000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				v := int64(w*perWriter + i)
+				r.RecordNS(StageTick, v, v)
+			}
+		}(w)
+	}
+
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		buf := make([]Span, 0, 2)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			buf = r.Spans(buf[:0])
+			for _, sp := range buf {
+				if sp.StartNS != sp.DurNS {
+					t.Errorf("torn span: start %d != dur %d", sp.StartNS, sp.DurNS)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	if got := r.Count(StageTick); got != writers*perWriter {
+		t.Fatalf("Count = %d, want %d (drops must still hit stats)", got, writers*perWriter)
+	}
+}
+
 func TestOverhead(t *testing.T) {
 	if got := Overhead(0.5, 0.1, 100); got != 0.5 {
 		t.Fatalf("Overhead = %g, want 0.5 (self-CPU dominates)", got)

@@ -173,8 +173,17 @@ func TestStallScenarioStalled(t *testing.T) {
 	if latest := 1.1 + float64(stallTicks+3)*0.1; first > latest {
 		t.Fatalf("stall flagged at t=%.2f, want <= %.2f", first, latest)
 	}
-	if last := samples[len(samples)-1]; !last.Stalled {
-		t.Fatalf("worker's final sample not stalled (t=%.2f)", last.TimeSec)
+	// The worker exits (with the app) while still flagged, so its very last
+	// sample is the synthetic Stalled=false clear the monitor ships for a
+	// gone thread; every sample in between stays flagged.
+	if len(samples) < 2 {
+		t.Fatalf("want stalled samples plus a final clear, got %d samples", len(samples))
+	}
+	if last := samples[len(samples)-1]; last.Stalled {
+		t.Fatalf("dead worker's final sample still stalled (t=%.2f)", last.TimeSec)
+	}
+	if prev := samples[len(samples)-2]; !prev.Stalled {
+		t.Fatalf("worker's last live sample not stalled (t=%.2f)", prev.TimeSec)
 	}
 	w := workerSummary(t, res, app.workerTID)
 	if w.StallEvents != 1 {
@@ -290,6 +299,58 @@ func TestStallScenarioFlapping(t *testing.T) {
 	}
 	if w.StallEvents != transitions {
 		t.Fatalf("snapshot counted %d episodes, stream saw %d", w.StallEvents, transitions)
+	}
+}
+
+// TestStallScenarioStalledThreadExits: a worker that dies while flagged
+// stalled must ship one final Stalled=false sample — without it, gauges
+// keyed by TID downstream (aggd's zerosum_lwp_stalled) would pin the dead
+// thread as stalled for the rest of the job — and leave the live stalled
+// count at zero.
+func TestStallScenarioStalledThreadExits(t *testing.T) {
+	app := &stallApp{
+		mainUntil: 4 * sim.Second,
+		worker: func(*stallApp) sched.BehaviorFunc {
+			slept := false
+			return func(t *sched.Task, now sim.Time) sched.Action {
+				if now < sim.Second {
+					return sched.Compute{Work: 5 * sim.Millisecond, SysFrac: 0.05}
+				}
+				if !slept {
+					slept = true
+					return sched.Sleep{D: 1500 * sim.Millisecond}
+				}
+				return nil // exit immediately on waking, still flagged stalled
+			}
+		},
+	}
+	res, samples := runStallScenario(t, app, 5)
+
+	sawStalled := false
+	for _, s := range samples {
+		if s.Stalled {
+			sawStalled = true
+			break
+		}
+	}
+	if !sawStalled {
+		t.Fatal("worker never flagged during its 1.5 s stall")
+	}
+	if len(samples) == 0 {
+		t.Fatal("no worker samples streamed")
+	}
+	if last := samples[len(samples)-1]; last.Stalled {
+		t.Fatalf("dead worker's final streamed sample still stalled (t=%.2f); downstream gauges would leak", last.TimeSec)
+	}
+	w := workerSummary(t, res, app.workerTID)
+	if w.Stalled {
+		t.Fatal("dead worker still stalled in the final snapshot")
+	}
+	if w.StallEvents != 1 {
+		t.Fatalf("stall events = %d, want 1", w.StallEvents)
+	}
+	if res.Ranks[0].Snapshot.StalledLWPs != 0 {
+		t.Fatalf("StalledLWPs = %d, want 0 after the stalled thread exited", res.Ranks[0].Snapshot.StalledLWPs)
 	}
 }
 
