@@ -35,7 +35,7 @@ race:
 # baseline (exact for the small deterministic hot-path counts), fails.
 # After an intentional performance change, refresh the baseline with
 # `make bench-record` and commit it. docs/perf.md explains the budgets.
-BENCH_BASELINE ?= BENCH_PR4.json
+BENCH_BASELINE ?= BENCH_PR6.json
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem . | tee bench.out
 	$(GO) run ./cmd/zsbench -baseline $(BENCH_BASELINE) bench.out
@@ -67,6 +67,7 @@ fuzz:
 	$(GO) test ./internal/proc -run '^$$' -fuzz FuzzProcStatParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/export -run '^$$' -fuzz FuzzHeatmapParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/obs -run '^$$' -fuzz FuzzObsSpanDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/tsdb -run '^$$' -fuzz FuzzTSDBBlockDecode -fuzztime $(FUZZTIME)
 
 # golden gates the end-of-run report layout (paper Listing 2, including the
 # §3.3 stalled column) against internal/report/testdata/. After reviewing an

@@ -9,11 +9,20 @@
 //	                             utilization, nvctx, GPU busy %, heartbeats)
 //	GET /api/jobs                known jobs
 //	GET /api/job/<id>/summary    aggregated JobSummary (JSON)
-//	GET /api/job/<id>/heatmap    rank x rank received-bytes matrix (JSON)
+//	GET /api/job/<id>/heatmap    rank x rank received-bytes matrix (JSON);
+//	                             with ?metric= a TSDB series x time matrix
+//	GET /api/job/<id>/query      TSDB range query (raw or stepped+aggregated)
+//	GET /api/job/<id>/topk       top-k series by one aggregate over a window
+//	GET /api/job/<id>/tsdb       compressed block-set dump (ZSTB blob)
+//
+// Every admitted sample also lands in an embedded Gorilla-compressed
+// time-series store (see docs/tsdb.md); -block, -downsample and -retention
+// tune it.
 //
 // Usage:
 //
-//	zsaggd [-addr :9100] [-nvctx-per-sec N] [-v]
+//	zsaggd [-addr :9100] [-nvctx-per-sec N] [-retention 0] [-block 1m]
+//	       [-downsample 5s] [-v]
 package main
 
 import (
@@ -31,19 +40,28 @@ import (
 
 	"zerosum/internal/aggd"
 	"zerosum/internal/core"
+	"zerosum/internal/tsdb"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":9100", "listen address")
-		nvctx    = flag.Float64("nvctx-per-sec", 0, "contention threshold folded into job summaries (0 = default)")
-		verbose  = flag.Bool("v", false, "log every request")
-		pprofSrv = flag.Bool("pprof", false, "also serve /debug/pprof profiling endpoints")
+		addr       = flag.String("addr", ":9100", "listen address")
+		nvctx      = flag.Float64("nvctx-per-sec", 0, "contention threshold folded into job summaries (0 = default)")
+		verbose    = flag.Bool("v", false, "log every request")
+		pprofSrv   = flag.Bool("pprof", false, "also serve /debug/pprof profiling endpoints")
+		block      = flag.Duration("block", tsdb.DefaultBlock, "TSDB block width: head chunks seal on this sample-clock boundary")
+		downsample = flag.Duration("downsample", tsdb.DefaultDownsample, "TSDB rollup bucket width computed at chunk seal")
+		retention  = flag.Duration("retention", 0, "drop sealed TSDB chunks older than this behind each job's newest sample (0 = keep everything)")
 	)
 	flag.Parse()
 
 	srv := aggd.NewServer(aggd.ServerConfig{
 		Thresholds: core.EvalThresholds{NVCtxPerSec: *nvctx},
+		TSDB: tsdb.Options{
+			Block:      *block,
+			Downsample: *downsample,
+			Retention:  *retention,
+		},
 	})
 	var handler http.Handler = srv.Handler()
 	if *pprofSrv {
@@ -75,6 +93,23 @@ func main() {
 		defer cancel()
 		httpSrv.Shutdown(shutdownCtx)
 	}()
+	if *retention > 0 {
+		// Appends already retire expired chunks as they seal; the ticker
+		// covers series that stopped appending (a dead rank's history still
+		// ages out against the job's advancing clock).
+		go func() {
+			tick := time.NewTicker(*block)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					srv.TSDB().EnforceRetention()
+				}
+			}
+		}()
+	}
 
 	log.Printf("zsaggd: listening on %s (POST /api/ingest, GET /metrics)", *addr)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

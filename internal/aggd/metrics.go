@@ -87,6 +87,11 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		{name: "zerosum_gpu_busy_pct", help: "Latest sampled Device Busy % per GPU.", typ: "gauge"},
 		{name: "zerosum_mem_free_kb", help: "Latest sampled free system memory on a rank's node.", typ: "gauge"},
 		{name: "zerosum_mem_rss_kb", help: "Latest sampled process RSS of a rank.", typ: "gauge"},
+		{name: "zerosum_tsdb_samples_total", help: "Samples appended to a job's time-series store.", typ: "counter"},
+		{name: "zerosum_tsdb_series", help: "Live series in a job's time-series store.", typ: "gauge"},
+		{name: "zerosum_tsdb_bytes", help: "Compressed bytes held by a job's time-series store.", typ: "gauge"},
+		{name: "zerosum_tsdb_sealed_chunks", help: "Sealed immutable chunks in a job's time-series store.", typ: "gauge"},
+		{name: "zerosum_tsdb_evicted_samples_total", help: "Samples dropped from a job's store by retention.", typ: "counter"},
 	}
 	const (
 		fBatches = iota
@@ -110,6 +115,11 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		fGPU
 		fMemFree
 		fMemRSS
+		fTSDBSamples
+		fTSDBSeries
+		fTSDBBytes
+		fTSDBSealed
+		fTSDBEvicted
 	)
 	families[fBatches].add("", float64(s.ingestBatches.Load()))
 	families[fEvents].add("", float64(s.ingestEvents.Load()))
@@ -159,6 +169,15 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 			}
 		})
 	})
+	for _, job := range s.store.Jobs() {
+		js := s.store.JobStats(job)
+		labels := fmt.Sprintf(`job="%s"`, escapeLabel(job))
+		families[fTSDBSamples].add(labels, float64(js.Samples))
+		families[fTSDBSeries].add(labels, float64(js.Series))
+		families[fTSDBBytes].add(labels, float64(js.Bytes))
+		families[fTSDBSealed].add(labels, float64(js.SealedChunks))
+		families[fTSDBEvicted].add(labels, float64(js.EvictedSamples))
+	}
 	for _, f := range families {
 		if err := f.write(w); err != nil {
 			return err

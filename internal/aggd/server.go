@@ -17,6 +17,7 @@ import (
 	"zerosum/internal/export"
 	"zerosum/internal/obs"
 	"zerosum/internal/report"
+	"zerosum/internal/tsdb"
 )
 
 // nShards fans the job map out so concurrent streams from many nodes do not
@@ -32,6 +33,9 @@ type ServerConfig struct {
 	Now func() time.Time
 	// MaxBody bounds one ingest request body (default 64 MiB).
 	MaxBody int64
+	// TSDB tunes the embedded time-series store (block width, downsample
+	// step, retention). The zero value takes the store's defaults.
+	TSDB tsdb.Options
 }
 
 // Server accepts agent streams and serves the aggregated views.
@@ -39,6 +43,7 @@ type Server struct {
 	cfg    ServerConfig
 	shards [nShards]shard
 	obs    *obs.Recorder // ingest spans + stage stats, served at /debug/obs
+	store  *tsdb.Store   // every admitted sample, compressed and queryable
 
 	ingestBatches    atomic.Uint64
 	ingestEvents     atomic.Uint64
@@ -49,6 +54,15 @@ type Server struct {
 	dupBatches       atomic.Uint64 // replayed batches skipped by dedup
 	corruptFrames    atomic.Uint64 // frames rejected for checksum/framing damage
 	writeErrors      atomic.Uint64 // response bodies that failed mid-write
+
+	// Admitted events by kind. Dedup runs before these, so each counts a
+	// kind's events exactly once across retries and replays — the soak's
+	// sample-conservation audit divides TSDB sample counts by them.
+	eventsLWP atomic.Uint64
+	eventsHWT atomic.Uint64
+	eventsGPU atomic.Uint64
+	eventsMem atomic.Uint64
+	eventsIO  atomic.Uint64
 }
 
 // ServerStats is a point-in-time snapshot of the aggregator's counters; the
@@ -63,6 +77,11 @@ type ServerStats struct {
 	DupBatches       uint64
 	CorruptFrames    uint64
 	WriteErrors      uint64
+	EventsLWP        uint64
+	EventsHWT        uint64
+	EventsGPU        uint64
+	EventsMem        uint64
+	EventsIO         uint64
 }
 
 // Stats snapshots the server's counters.
@@ -77,6 +96,11 @@ func (s *Server) Stats() ServerStats {
 		DupBatches:       s.dupBatches.Load(),
 		CorruptFrames:    s.corruptFrames.Load(),
 		WriteErrors:      s.writeErrors.Load(),
+		EventsLWP:        s.eventsLWP.Load(),
+		EventsHWT:        s.eventsHWT.Load(),
+		EventsGPU:        s.eventsGPU.Load(),
+		EventsMem:        s.eventsMem.Load(),
+		EventsIO:         s.eventsIO.Load(),
 	}
 }
 
@@ -164,9 +188,6 @@ type rankState struct {
 	stallEvents uint64
 	memFree     uint64
 	memRSS      uint64
-
-	snapshot *core.Snapshot
-	commRow  map[int]uint64
 }
 
 // NewServer builds an aggregator.
@@ -177,7 +198,7 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = 64 << 20
 	}
-	s := &Server{cfg: cfg, obs: obs.NewRecorder(0)}
+	s := &Server{cfg: cfg, obs: obs.NewRecorder(0), store: tsdb.NewStore(cfg.TSDB)}
 	for i := range s.shards {
 		s.shards[i].jobs = make(map[string]*jobStore)
 	}
@@ -187,13 +208,24 @@ func NewServer(cfg ServerConfig) *Server {
 // Obs exposes the server's self-observability recorder (ingest spans).
 func (s *Server) Obs() *obs.Recorder { return s.obs }
 
+// TSDB exposes the embedded time-series store: every admitted sample lands
+// there at ingest, and the summary/heatmap endpoints read their snapshots
+// back out of it. A daemon calls its EnforceRetention on a housekeeping
+// tick.
+func (s *Server) TSDB() *tsdb.Store { return s.store }
+
 // Handler returns the HTTP API:
 //
 //	POST /api/ingest              framed batches/snapshots (gzip accepted)
 //	GET  /metrics                 Prometheus text exposition
 //	GET  /api/jobs                known jobs
 //	GET  /api/job/{id}/summary    aggregated report.JobSummary (JSON)
-//	GET  /api/job/{id}/heatmap    rank x rank received-bytes matrix (JSON)
+//	GET  /api/job/{id}/heatmap    rank x rank received-bytes matrix (JSON);
+//	                              with ?metric= a series x time matrix over
+//	                              an arbitrary window from the TSDB
+//	GET  /api/job/{id}/query      TSDB range query (raw or stepped+aggregated)
+//	GET  /api/job/{id}/topk       top-k series by one aggregate over a window
+//	GET  /api/job/{id}/tsdb       the job's compressed block set (ZSTB blob)
 //	GET  /debug/obs               self-observability span dump (JSON)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -202,6 +234,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/jobs", s.handleJobs)
 	mux.HandleFunc("GET /api/job/{id}/summary", s.handleSummary)
 	mux.HandleFunc("GET /api/job/{id}/heatmap", s.handleHeatmap)
+	mux.HandleFunc("GET /api/job/{id}/query", s.handleQuery)
+	mux.HandleFunc("GET /api/job/{id}/topk", s.handleTopK)
+	mux.HandleFunc("GET /api/job/{id}/tsdb", s.handleTSDBDump)
 	mux.Handle("GET /debug/obs", obs.Handler("zsaggd", s.obs, nil))
 	return mux
 }
@@ -446,11 +481,13 @@ func (s *Server) applyBatch(b *Batch) {
 		return
 	}
 	rs.events += uint64(len(b.Events))
+	var nLWP, nHWT, nGPU, nMem, nIO uint64
 	for i := range b.Events {
 		ev := &b.Events[i]
 		if ev.TimeSec > rs.lastSampleT {
 			rs.lastSampleT = ev.TimeSec
 		}
+		t := tsdb.TimeToNanos(ev.TimeSec)
 		switch ev.Kind {
 		case export.EventLWP:
 			rs.nvctx[ev.LWP.TID] = ev.LWP.NVCtx
@@ -463,19 +500,111 @@ func (s *Server) applyBatch(b *Batch) {
 			} else {
 				delete(rs.stalled, ev.LWP.TID)
 			}
+			nLWP++
+			key := tsdb.SeriesKey{Node: b.Node, Rank: b.Rank, TID: ev.LWP.TID}
+			key.Metric = metricLWPUserPct
+			s.store.Append(b.Job, key, t, ev.LWP.UserPct)
+			key.Metric = metricLWPSysPct
+			s.store.Append(b.Job, key, t, ev.LWP.SysPct)
+			key.Metric = metricLWPVCtx
+			s.store.Append(b.Job, key, t, float64(ev.LWP.VCtx))
+			key.Metric = metricLWPNVCtx
+			s.store.Append(b.Job, key, t, float64(ev.LWP.NVCtx))
+			key.Metric = metricLWPStalled
+			s.store.Append(b.Job, key, t, boolSample(ev.LWP.Stalled))
 		case export.EventHWT:
 			rs.hwt[ev.HWT.CPU] = *ev.HWT
+			nHWT++
+			key := tsdb.SeriesKey{Node: b.Node, Rank: b.Rank, TID: ev.HWT.CPU}
+			key.Metric = metricHWTIdlePct
+			s.store.Append(b.Job, key, t, ev.HWT.IdlePct)
+			key.Metric = metricHWTSysPct
+			s.store.Append(b.Job, key, t, ev.HWT.SysPct)
+			key.Metric = metricHWTUserPct
+			s.store.Append(b.Job, key, t, ev.HWT.UserPct)
 		case export.EventGPU:
 			if ev.GPU.Metric == "Device Busy %" {
 				rs.gpuBusy[ev.GPU.GPU] = ev.GPU.Value
 			}
+			nGPU++
+			key := tsdb.SeriesKey{Node: b.Node, Rank: b.Rank, TID: ev.GPU.GPU,
+				Metric: gpuMetricName(ev.GPU.Metric)}
+			s.store.Append(b.Job, key, t, ev.GPU.Value)
 		case export.EventMem:
 			rs.memFree = ev.Mem.FreeKB
 			rs.memRSS = ev.Mem.ProcRSSKB
+			nMem++
+			key := tsdb.SeriesKey{Node: b.Node, Rank: b.Rank}
+			key.Metric = metricMemFreeKB
+			s.store.Append(b.Job, key, t, float64(ev.Mem.FreeKB))
+			key.Metric = metricMemRSSKB
+			s.store.Append(b.Job, key, t, float64(ev.Mem.ProcRSSKB))
+		case export.EventIO:
+			nIO++
+			key := tsdb.SeriesKey{Node: b.Node, Rank: b.Rank}
+			key.Metric = metricIOReadBytes
+			s.store.Append(b.Job, key, t, float64(ev.IO.ReadBytes))
+			key.Metric = metricIOWriteBytes
+			s.store.Append(b.Job, key, t, float64(ev.IO.WriteBytes))
 		}
 	}
 	s.ingestBatches.Add(1)
 	s.ingestEvents.Add(uint64(len(b.Events)))
+	if nLWP > 0 {
+		s.eventsLWP.Add(nLWP)
+	}
+	if nHWT > 0 {
+		s.eventsHWT.Add(nHWT)
+	}
+	if nGPU > 0 {
+		s.eventsGPU.Add(nGPU)
+	}
+	if nMem > 0 {
+		s.eventsMem.Add(nMem)
+	}
+	if nIO > 0 {
+		s.eventsIO.Add(nIO)
+	}
+}
+
+// TSDB metric names for the streamed sample kinds. The per-thread LWP and
+// per-CPU HWT families reuse the series key's TID field for their natural
+// sub-identity (thread ID, CPU index, GPU index); node-wide samples use
+// TID 0.
+const (
+	metricLWPUserPct   = "lwp.user_pct"
+	metricLWPSysPct    = "lwp.sys_pct"
+	metricLWPVCtx      = "lwp.vctx"
+	metricLWPNVCtx     = "lwp.nvctx"
+	metricLWPStalled   = "lwp.stalled"
+	metricHWTIdlePct   = "hwt.idle_pct"
+	metricHWTSysPct    = "hwt.sys_pct"
+	metricHWTUserPct   = "hwt.user_pct"
+	metricMemFreeKB    = "mem.free_kb"
+	metricMemRSSKB     = "mem.rss_kb"
+	metricIOReadBytes  = "io.read_bytes"
+	metricIOWriteBytes = "io.write_bytes"
+)
+
+// gpuMetricNames maps the sampler's GPU metric labels to stable series
+// names; unknown labels fall through to a "gpu."-prefixed copy (an
+// allocation, but only for metrics outside the known sampler set).
+var gpuMetricNames = map[string]string{
+	"Device Busy %": "gpu.busy_pct",
+}
+
+func gpuMetricName(label string) string {
+	if name, ok := gpuMetricNames[label]; ok {
+		return name
+	}
+	return "gpu." + label
+}
+
+func boolSample(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 func (s *Server) applySnapshot(msg *SnapshotMsg) {
@@ -486,36 +615,19 @@ func (s *Server) applySnapshot(msg *SnapshotMsg) {
 	defer sh.mu.Unlock()
 	rs := sh.rank(rankKey{node: msg.Node, rank: msg.Rank})
 	rs.lastRecv = now
-	snap := msg.Snapshot
-	rs.snapshot = &snap
-	rs.commRow = msg.CommRow
+	s.store.SetSnapshot(msg.Job, msg.Node, msg.Rank, msg.Snapshot, msg.CommRow)
 	s.ingestSnapshots.Add(1)
 }
 
 // snapshots returns the job's stored snapshots ordered by (rank, node) so
 // the fold visits them in the same order a single-process aggregation of
-// rank-sorted results would. It takes each shard lock in turn.
-func (js *jobStore) snapshots() []core.Snapshot {
-	type keyed struct {
-		key  rankKey
-		snap core.Snapshot
-	}
-	var all []keyed
-	js.eachRank(func(key rankKey, rs *rankState) {
-		if rs.snapshot != nil {
-			all = append(all, keyed{key: key, snap: *rs.snapshot})
-		}
+// rank-sorted results would. The documents live in the TSDB store, which
+// already yields them in that order.
+func (s *Server) snapshots(job string) []core.Snapshot {
+	var out []core.Snapshot
+	s.store.EachSnapshot(job, func(node string, rank int, snap *core.Snapshot, row map[int]uint64) {
+		out = append(out, *snap)
 	})
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].key.rank != all[j].key.rank {
-			return all[i].key.rank < all[j].key.rank
-		}
-		return all[i].key.node < all[j].key.node
-	})
-	out := make([]core.Snapshot, len(all))
-	for i, k := range all {
-		out[i] = k.snap
-	}
 	return out
 }
 
@@ -526,7 +638,7 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("aggd: unknown job %q", id), http.StatusNotFound)
 		return
 	}
-	snaps := js.snapshots()
+	snaps := s.snapshots(id)
 	if len(snaps) == 0 {
 		http.Error(w, fmt.Sprintf("aggd: job %q has no snapshots yet", id), http.StatusNotFound)
 		return
@@ -548,6 +660,12 @@ type HeatmapResponse struct {
 }
 
 func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("metric") != "" {
+		// TSDB view: series x time over an arbitrary window. The bare path
+		// keeps serving the rank x rank communication matrix unchanged.
+		s.handleTSDBHeatmap(w, r)
+		return
+	}
 	id := r.PathValue("id")
 	js := s.lookupJob(id)
 	if js == nil {
@@ -556,18 +674,25 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 	}
 	size := 0
 	rows := make(map[int]map[int]uint64)
-	// Reading the captured commRow maps after the shard locks drop is safe:
-	// applySnapshot replaces a rank's row wholesale, never mutates it.
+	// Ranks that streamed batches but have not snapshotted yet still size
+	// the matrix.
 	js.eachRank(func(key rankKey, rs *rankState) {
 		if key.rank+1 > size {
 			size = key.rank + 1
 		}
-		if rs.snapshot != nil && rs.snapshot.Size > size {
-			size = rs.snapshot.Size
+	})
+	// Reading the snapshot documents after the store's lock drops is safe:
+	// SetSnapshot replaces a rank's document wholesale, never mutates it.
+	s.store.EachSnapshot(id, func(node string, rank int, snap *core.Snapshot, row map[int]uint64) {
+		if rank+1 > size {
+			size = rank + 1
 		}
-		if rs.commRow != nil {
-			rows[key.rank] = rs.commRow
-			for src := range rs.commRow {
+		if snap.Size > size {
+			size = snap.Size
+		}
+		if row != nil {
+			rows[rank] = row
+			for src := range row {
 				if src+1 > size {
 					size = src + 1
 				}
@@ -596,15 +721,12 @@ type JobInfo struct {
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	var jobs []JobInfo
 	s.eachJob(func(name string, js *jobStore) {
-		info := JobInfo{Job: name}
+		info := JobInfo{Job: name, Snapshots: s.store.SnapshotCount(name)}
 		nodes := map[string]bool{}
 		js.eachRank(func(key rankKey, rs *rankState) {
 			info.Ranks++
 			nodes[key.node] = true
 			info.Events += rs.events
-			if rs.snapshot != nil {
-				info.Snapshots++
-			}
 		})
 		info.Nodes = len(nodes)
 		jobs = append(jobs, info)

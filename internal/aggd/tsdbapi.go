@@ -1,0 +1,280 @@
+package aggd
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"zerosum/internal/tsdb"
+)
+
+// HTTP views over the embedded time-series store. Times in requests and
+// responses are in seconds on the job's sample clock (the TimeSec domain
+// the agents stream); the store's nanosecond clock stays internal.
+
+// SeriesIdent names one series in a JSON response.
+type SeriesIdent struct {
+	Node string `json:"node"`
+	Rank int    `json:"rank"`
+	TID  int    `json:"tid"`
+}
+
+// QueryPoint is one (time, value) pair of a query response. Aggregated
+// points carry the start of their step bucket.
+type QueryPoint struct {
+	TimeSec float64 `json:"t"`
+	Value   float64 `json:"v"`
+}
+
+// QuerySeries is one series' slice of a query response.
+type QuerySeries struct {
+	SeriesIdent
+	Points []QueryPoint `json:"points"`
+}
+
+// QueryResponse is the JSON shape of /api/job/{id}/query.
+type QueryResponse struct {
+	Job      string        `json:"job"`
+	Metric   string        `json:"metric"`
+	Agg      string        `json:"agg"`
+	StartSec float64       `json:"start_sec"`
+	EndSec   float64       `json:"end_sec"`
+	StepSec  float64       `json:"step_sec"`
+	Series   []QuerySeries `json:"series"`
+}
+
+// TSDBHeatmapResponse is the JSON shape of /api/job/{id}/heatmap?metric=…:
+// a dense series x time-bucket matrix. Cells with no samples are null.
+type TSDBHeatmapResponse struct {
+	Job      string        `json:"job"`
+	Metric   string        `json:"metric"`
+	Agg      string        `json:"agg"`
+	StartSec float64       `json:"start_sec"`
+	EndSec   float64       `json:"end_sec"`
+	StepSec  float64       `json:"step_sec"`
+	Rows     []SeriesIdent `json:"rows"`
+	Values   [][]*float64  `json:"values"`
+}
+
+// TopKEntry is one series' standing in a top-k response.
+type TopKEntry struct {
+	SeriesIdent
+	Value float64 `json:"value"`
+}
+
+// TopKResponse is the JSON shape of /api/job/{id}/topk.
+type TopKResponse struct {
+	Job      string      `json:"job"`
+	Metric   string      `json:"metric"`
+	Agg      string      `json:"agg"`
+	K        int         `json:"k"`
+	StartSec float64     `json:"start_sec"`
+	EndSec   float64     `json:"end_sec"`
+	Entries  []TopKEntry `json:"entries"`
+}
+
+// queryParams parses the shared selector parameters (metric, node, rank,
+// tid, start, end, step, agg). end defaults to just past the job's newest
+// sample so "everything so far" needs no clock knowledge from the caller.
+func (s *Server) queryParams(r *http.Request, job string) (tsdb.QueryOpts, error) {
+	q := r.URL.Query()
+	opts := tsdb.QueryOpts{Metric: q.Get("metric"), Node: q.Get("node"), Rank: -1, TID: -1}
+	if opts.Metric == "" {
+		return opts, fmt.Errorf("missing required parameter metric")
+	}
+	intParam := func(name string, dst *int) error {
+		if v := q.Get(name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("bad %s %q", name, v)
+			}
+			*dst = n
+		}
+		return nil
+	}
+	if err := intParam("rank", &opts.Rank); err != nil {
+		return opts, err
+	}
+	if err := intParam("tid", &opts.TID); err != nil {
+		return opts, err
+	}
+	secParam := func(name string) (float64, bool, error) {
+		v := q.Get(name)
+		if v == "" {
+			return 0, false, nil
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+			return 0, false, fmt.Errorf("bad %s %q", name, v)
+		}
+		return f, true, nil
+	}
+	start, _, err := secParam("start")
+	if err != nil {
+		return opts, err
+	}
+	opts.Start = tsdb.TimeToNanos(start)
+	end, ok, err := secParam("end")
+	if err != nil {
+		return opts, err
+	}
+	if ok {
+		opts.End = tsdb.TimeToNanos(end)
+	} else {
+		opts.End = s.store.JobStats(job).MaxTimeNanos + 1
+	}
+	step, ok, err := secParam("step")
+	if err != nil {
+		return opts, err
+	}
+	if ok {
+		if step <= 0 {
+			return opts, fmt.Errorf("bad step %q", q.Get("step"))
+		}
+		opts.Step = tsdb.TimeToNanos(step)
+	}
+	opts.Agg, err = tsdb.ParseAgg(q.Get("agg"))
+	return opts, err
+}
+
+func ident(key tsdb.SeriesKey) SeriesIdent {
+	return SeriesIdent{Node: key.Node, Rank: key.Rank, TID: key.TID}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.lookupJob(id) == nil {
+		http.Error(w, fmt.Sprintf("aggd: unknown job %q", id), http.StatusNotFound)
+		return
+	}
+	opts, err := s.queryParams(r, id)
+	if err != nil {
+		http.Error(w, "aggd: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	series, err := s.store.Query(id, opts)
+	if err != nil {
+		http.Error(w, "aggd: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := QueryResponse{
+		Job: id, Metric: opts.Metric, Agg: opts.Agg.String(),
+		StartSec: tsdb.NanosToSec(opts.Start),
+		EndSec:   tsdb.NanosToSec(opts.End),
+		StepSec:  tsdb.NanosToSec(opts.Step),
+		Series:   make([]QuerySeries, 0, len(series)),
+	}
+	for _, sr := range series {
+		qs := QuerySeries{SeriesIdent: ident(sr.Key), Points: make([]QueryPoint, len(sr.Points))}
+		for i, p := range sr.Points {
+			qs.Points[i] = QueryPoint{TimeSec: p.Sec(), Value: p.V}
+		}
+		resp.Series = append(resp.Series, qs)
+	}
+	s.writeJSON(w, resp)
+}
+
+// handleTSDBHeatmap serves /api/job/{id}/heatmap?metric=…, the windowed
+// series x time view; the legacy rank x rank communication matrix stays on
+// the bare path (handleHeatmap dispatches here when metric is present).
+func (s *Server) handleTSDBHeatmap(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.lookupJob(id) == nil {
+		http.Error(w, fmt.Sprintf("aggd: unknown job %q", id), http.StatusNotFound)
+		return
+	}
+	opts, err := s.queryParams(r, id)
+	if err != nil {
+		http.Error(w, "aggd: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if opts.Step <= 0 {
+		// Default: carve the window into 60 buckets, mirroring a terminal-
+		// width plot; explicit step always wins.
+		opts.Step = (opts.End - opts.Start + 59) / 60
+		if opts.Step <= 0 {
+			opts.Step = 1
+		}
+	}
+	hm, err := s.store.Heatmap(id, opts)
+	if err != nil {
+		http.Error(w, "aggd: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := TSDBHeatmapResponse{
+		Job: id, Metric: opts.Metric, Agg: opts.Agg.String(),
+		StartSec: tsdb.NanosToSec(opts.Start),
+		EndSec:   tsdb.NanosToSec(opts.End),
+		StepSec:  tsdb.NanosToSec(opts.Step),
+		Rows:     make([]SeriesIdent, len(hm.Rows)),
+		Values:   make([][]*float64, len(hm.Rows)),
+	}
+	for i, key := range hm.Rows {
+		resp.Rows[i] = ident(key)
+		row := make([]*float64, len(hm.Values[i]))
+		for j := range hm.Values[i] {
+			if v := hm.Values[i][j]; !math.IsNaN(v) {
+				row[j] = &hm.Values[i][j]
+			}
+		}
+		resp.Values[i] = row
+	}
+	s.writeJSON(w, resp)
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.lookupJob(id) == nil {
+		http.Error(w, fmt.Sprintf("aggd: unknown job %q", id), http.StatusNotFound)
+		return
+	}
+	opts, err := s.queryParams(r, id)
+	if err != nil {
+		http.Error(w, "aggd: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	k := 10
+	if v := r.URL.Query().Get("k"); v != "" {
+		if k, err = strconv.Atoi(v); err != nil || k <= 0 {
+			http.Error(w, fmt.Sprintf("aggd: bad k %q", v), http.StatusBadRequest)
+			return
+		}
+	}
+	top, err := s.store.TopK(id, opts, k)
+	if err != nil {
+		http.Error(w, "aggd: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := TopKResponse{
+		Job: id, Metric: opts.Metric, Agg: opts.Agg.String(), K: k,
+		StartSec: tsdb.NanosToSec(opts.Start),
+		EndSec:   tsdb.NanosToSec(opts.End),
+		Entries:  make([]TopKEntry, len(top)),
+	}
+	for i, e := range top {
+		resp.Entries[i] = TopKEntry{SeriesIdent: ident(e.Key), Value: e.Value}
+	}
+	s.writeJSON(w, resp)
+}
+
+// handleTSDBDump streams the job's entire compressed block set — the ZSTB
+// blob UnmarshalBlocks reads back — for offline analysis or spill-to-disk.
+func (s *Server) handleTSDBDump(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.lookupJob(id) == nil {
+		http.Error(w, fmt.Sprintf("aggd: unknown job %q", id), http.StatusNotFound)
+		return
+	}
+	blob, err := s.store.MarshalJob(id)
+	if err != nil {
+		// The job exists in the aggregator but holds no samples yet.
+		http.Error(w, "aggd: "+err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+	if _, err := w.Write(blob); err != nil {
+		s.writeErrors.Add(1)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"zerosum/internal/export"
 	"zerosum/internal/report"
 	"zerosum/internal/sim"
+	"zerosum/internal/tsdb"
 )
 
 // SoakConfig parameterizes one chaos soak run. Every random choice in the
@@ -82,7 +83,12 @@ const soakJob = "chaos-soak"
 //     sent is in the aggregator's merged total;
 //   - convergence: after the network heals, the served job summary and
 //     heatmap are byte-identical to the fault-free report.Aggregate ground
-//     truth of the same snapshots.
+//     truth of the same snapshots;
+//   - time-series conservation: the embedded TSDB holds exactly the samples
+//     the admitted events imply (no loss, no double-append across agent
+//     crashes, server restarts, and replayed bodies), a healed-network
+//     range query serves every admitted point back out, and the compressed
+//     block dump decodes to the same sample census.
 //
 // The returned error (nil on a clean pass) joins every violated invariant.
 //
@@ -211,6 +217,7 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	}
 	checkSummary(front.addr, want, &errs)
 	checkHeatmap(front.addr, rows, cfg.Agents, &errs)
+	checkTSDB(front.addr, srv, res.Server, &errs)
 
 	cfg.Logf("soak seed %d: agents %+v", cfg.Seed, res.Agent)
 	cfg.Logf("soak seed %d: server %+v", cfg.Seed, res.Server)
@@ -492,6 +499,67 @@ func checkHeatmap(addr string, rows []map[int]uint64, size int, errs *[]error) {
 				return
 			}
 		}
+	}
+}
+
+// checkTSDB audits the embedded time-series store after the heal. Each
+// admitted event kind appends a fixed number of samples (LWP 5, HWT 3,
+// GPU 1, Mem 2, IO 2), and admission is exactly-once by epoch/seq dedup —
+// so the store's census must equal the per-kind arithmetic no matter how
+// many retries, replays, crashes, or front-end restarts the run survived.
+// The same census must then come back out the read path: a raw range query
+// over the healed network serves one point per admitted event of its
+// metric, and the compressed block dump decodes to the same sample count.
+func checkTSDB(addr string, srv *aggd.Server, st aggd.ServerStats, errs *[]error) {
+	wantSamples := 5*st.EventsLWP + 3*st.EventsHWT + st.EventsGPU + 2*st.EventsMem + 2*st.EventsIO
+	js := srv.TSDB().JobStats(soakJob)
+	if js.Samples != wantSamples {
+		*errs = append(*errs, fmt.Errorf("tsdb conservation: store holds %d samples, admitted events imply %d (lwp %d hwt %d gpu %d mem %d io %d)",
+			js.Samples, wantSamples, st.EventsLWP, st.EventsHWT, st.EventsGPU, st.EventsMem, st.EventsIO))
+	}
+	for _, c := range []struct {
+		metric string
+		want   uint64
+	}{
+		{"lwp.nvctx", st.EventsLWP},
+		{"mem.free_kb", st.EventsMem},
+	} {
+		body, err := get(addr, "/api/job/"+soakJob+"/query?metric="+c.metric)
+		if err != nil {
+			*errs = append(*errs, fmt.Errorf("tsdb query %s: %w", c.metric, err))
+			continue
+		}
+		var qr aggd.QueryResponse
+		if err := json.Unmarshal(body, &qr); err != nil {
+			*errs = append(*errs, fmt.Errorf("tsdb query %s decode: %w", c.metric, err))
+			continue
+		}
+		var got uint64
+		for _, sr := range qr.Series {
+			got += uint64(len(sr.Points))
+		}
+		if got != c.want {
+			*errs = append(*errs, fmt.Errorf("tsdb query %s: served %d points, admitted %d events", c.metric, got, c.want))
+		}
+	}
+	blob, err := get(addr, "/api/job/"+soakJob+"/tsdb")
+	if err != nil {
+		*errs = append(*errs, fmt.Errorf("tsdb dump: %w", err))
+		return
+	}
+	bs, err := tsdb.UnmarshalBlocks(blob)
+	if err != nil {
+		*errs = append(*errs, fmt.Errorf("tsdb dump decode: %w", err))
+		return
+	}
+	var dumped uint64
+	for _, sr := range bs.Series {
+		for _, ch := range sr.Chunks {
+			dumped += uint64(ch.Count)
+		}
+	}
+	if dumped != wantSamples {
+		*errs = append(*errs, fmt.Errorf("tsdb dump: blob carries %d samples, admitted events imply %d", dumped, wantSamples))
 	}
 }
 

@@ -58,11 +58,11 @@ type Options struct {
 // DefaultOptions returns the scopes enforced on the ZeroSum repo itself.
 func DefaultOptions() Options {
 	return Options{
-		ErrcheckScope: []string{"internal/proc", "internal/aggd", "internal/export"},
+		ErrcheckScope: []string{"internal/proc", "internal/aggd", "internal/export", "internal/tsdb"},
 		ClockScope: []string{
 			"internal/core", "internal/sched", "internal/sim",
 			"internal/proc", "internal/export", "internal/aggd",
-			"internal/chaos",
+			"internal/chaos", "internal/tsdb",
 		},
 	}
 }

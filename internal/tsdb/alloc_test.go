@@ -1,0 +1,53 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAppendZeroAllocSteadyState pins the hot-path contract (the
+// //zerosum:hotpath annotations' runtime counterpart, like the monitor's
+// tick gate): once a series is warm and its head chunk has buffer slack,
+// Store.Append allocates nothing — no boxing, no map churn, no bitstream
+// growth inside the measured window.
+func TestAppendZeroAllocSteadyState(t *testing.T) {
+	st := NewStore(Options{Block: 24 * time.Hour}) // no seal inside the test
+	key := SeriesKey{Node: "node0", Rank: 0, TID: 1000, Metric: "lwp.user_pct"}
+	clock := int64(0)
+	tick := func() {
+		clock += 1e9
+		st.Append("job", key, clock, float64(clock%7))
+	}
+	// Warm up: create job, shard map, series, head; then hand the head a
+	// buffer with enough slack that append-doubling cannot fire while we
+	// measure. Reaching into the head is fine — the test owns the store.
+	for i := 0; i < 64; i++ {
+		tick()
+	}
+	db := st.lookupJob("job")
+	sh := db.shardFor(key)
+	sh.mu.Lock()
+	head := sh.series[key].head
+	buf := make([]byte, len(head.w.buf), 1<<20)
+	copy(buf, head.w.buf)
+	head.w.buf = buf
+	sh.mu.Unlock()
+
+	if got := testing.AllocsPerRun(500, tick); got != 0 {
+		t.Fatalf("steady-state Store.Append allocates %.1f times per call, want 0", got)
+	}
+}
+
+// TestChunkAppendZeroAlloc gates the inner layer on its own: with buffer
+// capacity available, chunk.append (codec + bit writer) is allocation-free.
+func TestChunkAppendZeroAlloc(t *testing.T) {
+	c := newChunk(0)
+	c.w.buf = make([]byte, 0, 1<<20)
+	clock := int64(0)
+	if got := testing.AllocsPerRun(1000, func() {
+		clock += 1e9
+		c.append(clock, float64(clock%13))
+	}); got != 0 {
+		t.Fatalf("chunk.append allocates %.1f times per call, want 0", got)
+	}
+}

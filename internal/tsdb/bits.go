@@ -1,0 +1,118 @@
+package tsdb
+
+import "errors"
+
+// bitWriter packs bits most-significant-first into a byte slice. It is the
+// substrate of the Gorilla codec: every append writes a handful of bits, so
+// the writer keeps the partially-filled final byte hot and grows its buffer
+// with ordinary append doubling (amortized; the steady-state append path
+// does not allocate).
+type bitWriter struct {
+	buf  []byte
+	free uint8 // writable low bits remaining in buf's final byte (0 = none)
+}
+
+// reset drops the written stream but keeps the buffer capacity.
+func (w *bitWriter) reset() {
+	w.buf = w.buf[:0]
+	w.free = 0
+}
+
+// bytes returns the packed stream; unused trailing bits are zero.
+func (w *bitWriter) bytes() []byte { return w.buf }
+
+//zerosum:hotpath
+func (w *bitWriter) writeBit(bit byte) {
+	if w.free == 0 {
+		w.buf = append(w.buf, 0)
+		w.free = 8
+	}
+	if bit != 0 {
+		w.buf[len(w.buf)-1] |= 1 << (w.free - 1)
+	}
+	w.free--
+}
+
+//zerosum:hotpath
+func (w *bitWriter) writeByte(b byte) {
+	if w.free == 0 {
+		w.buf = append(w.buf, b)
+		return
+	}
+	// Split across the partial final byte and a fresh one; free is
+	// unchanged because exactly eight bits landed.
+	w.buf[len(w.buf)-1] |= b >> (8 - w.free)
+	w.buf = append(w.buf, b<<w.free)
+}
+
+// writeBits writes the low n bits of v, most significant first. n must be
+// in 1..64.
+//
+//zerosum:hotpath
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	v <<= 64 - n
+	for n >= 8 {
+		w.writeByte(byte(v >> 56))
+		v <<= 8
+		n -= 8
+	}
+	for n > 0 {
+		w.writeBit(byte(v >> 63))
+		v <<= 1
+		n--
+	}
+}
+
+// errShortChunk reports a bitstream that ended before its declared sample
+// count was decoded — the decoder's over-read guard on corrupt chunks.
+var errShortChunk = errors.New("tsdb: chunk bitstream shorter than its sample count")
+
+// bitReader consumes a bitWriter stream. Reads past the end return
+// errShortChunk instead of panicking, which is what the block fuzzer leans
+// on: a corrupt sample count can never walk the reader off its buffer.
+type bitReader struct {
+	buf  []byte
+	off  int   // next byte
+	used uint8 // bits already consumed from buf[off]
+}
+
+func (r *bitReader) init(buf []byte) {
+	r.buf = buf
+	r.off = 0
+	r.used = 0
+}
+
+func (r *bitReader) readBit() (byte, error) {
+	if r.off >= len(r.buf) {
+		return 0, errShortChunk
+	}
+	b := (r.buf[r.off] >> (7 - r.used)) & 1
+	r.used++
+	if r.used == 8 {
+		r.used = 0
+		r.off++
+	}
+	return b, nil
+}
+
+// readBits reads n bits (1..64), most significant first.
+func (r *bitReader) readBits(n uint) (uint64, error) {
+	var v uint64
+	for n >= 8 && r.used == 0 {
+		if r.off >= len(r.buf) {
+			return 0, errShortChunk
+		}
+		v = v<<8 | uint64(r.buf[r.off])
+		r.off++
+		n -= 8
+	}
+	for n > 0 {
+		bit, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(bit)
+		n--
+	}
+	return v, nil
+}

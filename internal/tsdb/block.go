@@ -1,0 +1,369 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Sealed-block wire format (all little endian). One encoded blob carries a
+// whole job's chunk inventory — the checkpoint/transport form of the store,
+// served at GET /api/job/{id}/tsdb and the on-disk spill format of the
+// future:
+//
+//	magic   "ZSTB" (4 bytes)
+//	version uint8 (currently 1)
+//	job     u16 length + bytes
+//	nseries u32
+//	  per series: node, metric (u16 strings), rank i32, tid i32, nchunks u32
+//	    per chunk: part i64, tMin i64, tMax i64, count u32,
+//	               nrollups u32, rollups (bucket i64, count u32,
+//	               min/max/sum/first/last f64, firstT/lastT i64),
+//	               datalen u32 + Gorilla bitstream bytes
+//	crc     u32 (CRC-32C of everything after the magic, before the crc)
+//
+// The decoder is fuzzed (FuzzTSDBBlockDecode): it must reject damage with
+// an error — never panic, never let a hostile count size an allocation the
+// remaining bytes cannot back, never over-read.
+
+const (
+	blockMagic   = "ZSTB"
+	blockVersion = 1
+	// MaxBlockEncoded bounds one encoded job blob, mirroring the frame
+	// limit on the ingest wire.
+	MaxBlockEncoded = 256 << 20
+)
+
+// castagnoli matches the ingest wire's checksum so damage detection is
+// uniform across the two formats.
+var blockCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// BlockChunk is one decoded chunk: metadata, rollups, and the still-
+// compressed bitstream.
+type BlockChunk struct {
+	Part    int64
+	TMin    int64
+	TMax    int64
+	Count   int
+	Rollups []Rollup
+	Data    []byte
+}
+
+// Samples decodes the chunk's bitstream. A corrupt stream yields an error
+// and whatever prefix decoded cleanly.
+func (c *BlockChunk) Samples() ([]Point, error) {
+	pts := make([]Point, 0, c.Count)
+	var it gIter
+	it.init(c.Data, c.Count)
+	for it.Next() {
+		t, v := it.At()
+		pts = append(pts, Point{T: t, V: v})
+	}
+	return pts, it.Err()
+}
+
+// BlockSeries is one decoded series with its chunks in stored order.
+type BlockSeries struct {
+	Key    SeriesKey
+	Chunks []BlockChunk
+}
+
+// BlockSet is one job's decoded block inventory.
+type BlockSet struct {
+	Job    string
+	Series []BlockSeries
+}
+
+// MarshalJob encodes the job's entire chunk inventory — sealed chunks and
+// the live heads — as one ZSTB blob. Series appear in (rank, node, tid,
+// metric) order, so equal store contents marshal to equal bytes.
+func (st *Store) MarshalJob(job string) ([]byte, error) {
+	bs, err := st.snapshotBlocks(job)
+	if err != nil {
+		return nil, err
+	}
+	return marshalBlockSet(bs)
+}
+
+// snapshotBlocks captures the job's chunk inventory as a BlockSet under the
+// shard locks. Sealed chunk data is immutable and shared; head chunk
+// bitstreams are cloned while locked because appends keep mutating them.
+func (st *Store) snapshotBlocks(job string) (*BlockSet, error) {
+	db := st.lookupJob(job)
+	if db == nil {
+		return nil, fmt.Errorf("tsdb: unknown job %q", job)
+	}
+	bs := &BlockSet{Job: job}
+	db.eachShard(func(sh *seriesShard) {
+		for key, s := range sh.series {
+			fs := BlockSeries{Key: key}
+			s.chunks(func(c *chunk) {
+				if c.count == 0 {
+					return
+				}
+				fc := BlockChunk{Part: c.part, TMin: c.tMin, TMax: c.tMax,
+					Count: c.count, Rollups: c.rollups, Data: c.w.bytes()}
+				if !c.sealed {
+					fc.Data = append([]byte(nil), fc.Data...)
+				}
+				fs.Chunks = append(fs.Chunks, fc)
+			})
+			if len(fs.Chunks) > 0 {
+				bs.Series = append(bs.Series, fs)
+			}
+		}
+	})
+	// Insertion sort: series counts per job are modest and marshalling is
+	// not a hot path.
+	s := bs.Series
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && keyLess(s[j].Key, s[j-1].Key); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return bs, nil
+}
+
+// marshalBlockSet renders the ZSTB wire form of a block inventory.
+//
+//zerosum:wire-encode tsdb-block
+func marshalBlockSet(bs *BlockSet) ([]byte, error) {
+	buf := append([]byte(blockMagic), blockVersion)
+	var err error
+	if buf, err = appendBlockString(buf, bs.Job); err != nil {
+		return nil, err
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(bs.Series)))
+	for i := range bs.Series {
+		fs := &bs.Series[i]
+		if buf, err = appendBlockString(buf, fs.Key.Node); err != nil {
+			return nil, err
+		}
+		if buf, err = appendBlockString(buf, fs.Key.Metric); err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(fs.Key.Rank)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(fs.Key.TID)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(fs.Chunks)))
+		for _, fc := range fs.Chunks {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(fc.Part))
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(fc.TMin))
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(fc.TMax))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(fc.Count))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(fc.Rollups)))
+			for i := range fc.Rollups {
+				r := &fc.Rollups[i]
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Bucket))
+				buf = binary.LittleEndian.AppendUint32(buf, r.Count)
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Min))
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Max))
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Sum))
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.First))
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Last))
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(r.FirstT))
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(r.LastT))
+			}
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(fc.Data)))
+			buf = append(buf, fc.Data...)
+		}
+	}
+	if len(buf) > MaxBlockEncoded {
+		return nil, fmt.Errorf("tsdb: encoded job %q is %d bytes (max %d)", bs.Job, len(buf), MaxBlockEncoded)
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf[len(blockMagic):], blockCRC)), nil
+}
+
+func appendBlockString(dst []byte, s string) ([]byte, error) {
+	if len(s) > math.MaxUint16 {
+		return nil, fmt.Errorf("tsdb: string field of %d bytes too long", len(s))
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...), nil
+}
+
+// blockCursor walks an encoded blob with bounds checks everywhere.
+type blockCursor struct {
+	buf []byte
+	off int
+}
+
+func (d *blockCursor) need(n int) ([]byte, error) {
+	if n < 0 || d.off+n > len(d.buf) || d.off+n < d.off {
+		return nil, fmt.Errorf("tsdb: truncated block at offset %d (need %d of %d)", d.off, n, len(d.buf))
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+func (d *blockCursor) u32() (uint32, error) {
+	b, err := d.need(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (d *blockCursor) i64() (int64, error) {
+	b, err := d.need(8)
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(b)), nil
+}
+
+func (d *blockCursor) f64() (float64, error) {
+	v, err := d.i64()
+	return math.Float64frombits(uint64(v)), err
+}
+
+func (d *blockCursor) str() (string, error) {
+	b, err := d.need(2)
+	if err != nil {
+		return "", err
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	raw, err := d.need(n)
+	if err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+// UnmarshalBlocks decodes a ZSTB blob. Damage — bad magic, version, CRC,
+// truncation, or counts the remaining bytes cannot back — returns an
+// error; the function never panics on arbitrary input.
+//
+//zerosum:wire-decode tsdb-block
+func UnmarshalBlocks(data []byte) (*BlockSet, error) {
+	if len(data) > MaxBlockEncoded+4 {
+		return nil, fmt.Errorf("tsdb: block blob of %d bytes exceeds %d", len(data), MaxBlockEncoded)
+	}
+	if len(data) < len(blockMagic)+1+4 || string(data[:len(blockMagic)]) != blockMagic {
+		return nil, fmt.Errorf("tsdb: bad block magic")
+	}
+	if v := data[len(blockMagic)]; v != blockVersion {
+		return nil, fmt.Errorf("tsdb: unsupported block version %d (want %d)", v, blockVersion)
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(body[len(blockMagic):], blockCRC); got != sum {
+		return nil, fmt.Errorf("tsdb: block checksum mismatch (corrupt blob)")
+	}
+	d := &blockCursor{buf: body, off: len(blockMagic) + 1}
+	bs := &BlockSet{}
+	var err error
+	if bs.Job, err = d.str(); err != nil {
+		return nil, err
+	}
+	nSeries, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	// A series costs at least its two string headers plus rank, tid and
+	// chunk count: 16 bytes. Reject counts the body cannot back before the
+	// count sizes anything.
+	if int64(nSeries)*16 > int64(len(body)-d.off) {
+		return nil, fmt.Errorf("tsdb: block claims %d series in %d bytes", nSeries, len(body)-d.off)
+	}
+	bs.Series = make([]BlockSeries, 0, nSeries)
+	for si := uint32(0); si < nSeries; si++ {
+		var s BlockSeries
+		if s.Key.Node, err = d.str(); err != nil {
+			return nil, err
+		}
+		if s.Key.Metric, err = d.str(); err != nil {
+			return nil, err
+		}
+		rank, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		tid, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		s.Key.Rank, s.Key.TID = int(int32(rank)), int(int32(tid))
+		nChunks, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		// A chunk costs at least its fixed header: 36 bytes.
+		if int64(nChunks)*36 > int64(len(body)-d.off) {
+			return nil, fmt.Errorf("tsdb: series %d claims %d chunks in %d bytes", si, nChunks, len(body)-d.off)
+		}
+		s.Chunks = make([]BlockChunk, 0, nChunks)
+		for ci := uint32(0); ci < nChunks; ci++ {
+			var c BlockChunk
+			if c.Part, err = d.i64(); err != nil {
+				return nil, err
+			}
+			if c.TMin, err = d.i64(); err != nil {
+				return nil, err
+			}
+			if c.TMax, err = d.i64(); err != nil {
+				return nil, err
+			}
+			count, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			c.Count = int(count)
+			nRoll, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			// One rollup is 68 fixed bytes.
+			if int64(nRoll)*68 > int64(len(body)-d.off) {
+				return nil, fmt.Errorf("tsdb: chunk claims %d rollups in %d bytes", nRoll, len(body)-d.off)
+			}
+			c.Rollups = make([]Rollup, 0, nRoll)
+			for ri := uint32(0); ri < nRoll; ri++ {
+				var r Rollup
+				if r.Bucket, err = d.i64(); err != nil {
+					return nil, err
+				}
+				if r.Count, err = d.u32(); err != nil {
+					return nil, err
+				}
+				if r.Min, err = d.f64(); err != nil {
+					return nil, err
+				}
+				if r.Max, err = d.f64(); err != nil {
+					return nil, err
+				}
+				if r.Sum, err = d.f64(); err != nil {
+					return nil, err
+				}
+				if r.First, err = d.f64(); err != nil {
+					return nil, err
+				}
+				if r.Last, err = d.f64(); err != nil {
+					return nil, err
+				}
+				if r.FirstT, err = d.i64(); err != nil {
+					return nil, err
+				}
+				if r.LastT, err = d.i64(); err != nil {
+					return nil, err
+				}
+				c.Rollups = append(c.Rollups, r)
+			}
+			dataLen, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			raw, err := d.need(int(dataLen))
+			if err != nil {
+				return nil, err
+			}
+			c.Data = append([]byte(nil), raw...)
+			s.Chunks = append(s.Chunks, c)
+		}
+		bs.Series = append(bs.Series, s)
+	}
+	if d.off != len(body) {
+		return nil, fmt.Errorf("tsdb: %d trailing bytes after block set", len(body)-d.off)
+	}
+	return bs, nil
+}

@@ -1,0 +1,125 @@
+package tsdb
+
+// chunk is one compressed run of a series. While it is the series' head it
+// owns live codec state and accepts appends; seal() freezes it — after
+// that the data is immutable, safe to read without the owning shard lock,
+// and carries rollups so coarse queries never re-decode it.
+type chunk struct {
+	part   int64 // block this chunk belongs to: floorDiv(first t, block)*block
+	w      bitWriter
+	st     gState
+	count  int
+	tMin   int64
+	tMax   int64
+	sealed bool
+	// rollups are per-Downsample-bucket aggregates, sorted by bucket start,
+	// computed once at seal.
+	rollups []Rollup
+}
+
+// Rollup is one downsample bucket's aggregate of a sealed chunk. Sum and
+// Count reconstruct the mean; First/Last (with their timestamps) serve
+// last-value and delta aggregations without decompression.
+type Rollup struct {
+	Bucket int64 // bucket start, sample-clock nanos
+	Count  uint32
+	Min    float64
+	Max    float64
+	Sum    float64
+	First  float64
+	Last   float64
+	FirstT int64
+	LastT  int64
+}
+
+// newChunk opens a head chunk for the block containing t.
+func newChunk(part int64) *chunk {
+	c := &chunk{part: part}
+	c.st.init()
+	return c
+}
+
+// append encodes one sample. Caller (the series) holds the shard lock and
+// has already decided this chunk stays open.
+//
+//zerosum:hotpath
+func (c *chunk) append(t int64, v float64) {
+	c.st.appendSample(&c.w, c.count, t, v)
+	if c.count == 0 || t < c.tMin {
+		c.tMin = t
+	}
+	if c.count == 0 || t > c.tMax {
+		c.tMax = t
+	}
+	c.count++
+}
+
+// overlaps reports whether any sample of the chunk can fall in [start, end).
+func (c *chunk) overlaps(start, end int64) bool {
+	return c.count > 0 && c.tMin < end && c.tMax >= start
+}
+
+// bytes is the chunk's current encoded size.
+func (c *chunk) bytes() int { return len(c.w.buf) }
+
+// seal freezes the chunk and computes its rollups on ds-wide buckets.
+// Sealing decodes the chunk once; it runs when a series crosses a block
+// boundary (rate-limited by construction), never on the steady append path.
+//
+//zerosum:coldpath
+func (c *chunk) seal(ds int64) {
+	if c.sealed {
+		return
+	}
+	c.sealed = true
+	if c.count == 0 {
+		return
+	}
+	// Stragglers can land out of bucket order inside one chunk, so
+	// accumulate in a map and sort the survivors.
+	acc := make(map[int64]*Rollup)
+	var it gIter
+	it.init(c.w.bytes(), c.count)
+	for it.Next() {
+		t, v := it.At()
+		bucket := floorDiv(t, ds) * ds
+		r := acc[bucket]
+		if r == nil {
+			r = &Rollup{Bucket: bucket, Min: v, Max: v,
+				First: v, Last: v, FirstT: t, LastT: t}
+			acc[bucket] = r
+		}
+		r.Count++
+		r.Sum += v
+		if v < r.Min {
+			r.Min = v
+		}
+		if v > r.Max {
+			r.Max = v
+		}
+		if t < r.FirstT {
+			r.FirstT, r.First = t, v
+		}
+		if t >= r.LastT {
+			r.LastT, r.Last = t, v
+		}
+	}
+	// The chunk encoded its own samples; decoding them back cannot fail.
+	// (A decode error here would mean a writer bug, not bad input — the
+	// rollups just come out shorter, and queries fall back to raw decode.)
+	c.rollups = make([]Rollup, 0, len(acc))
+	for _, r := range acc {
+		c.rollups = append(c.rollups, *r)
+	}
+	sortRollups(c.rollups)
+}
+
+func sortRollups(rs []Rollup) {
+	// Insertion sort: rollup lists are short (block/downsample buckets,
+	// 12 at the defaults) and usually already ordered.
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Bucket < rs[j-1].Bucket; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package tsdb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// roundTrip encodes samples with one gState and decodes them back.
+func roundTrip(t *testing.T, samples []Point) []Point {
+	t.Helper()
+	var w bitWriter
+	var st gState
+	st.init()
+	for i, p := range samples {
+		st.appendSample(&w, i, p.T, p.V)
+	}
+	var it gIter
+	it.init(w.bytes(), len(samples))
+	out := make([]Point, 0, len(samples))
+	for it.Next() {
+		pt, v := it.At()
+		out = append(out, Point{T: pt, V: v})
+	}
+	if err := it.Err(); err != nil {
+		t.Fatalf("decode failed after %d of %d samples: %v", len(out), len(samples), err)
+	}
+	return out
+}
+
+// sameBits compares float64s by bit pattern, so NaN payloads and negative
+// zero count.
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func checkLossless(t *testing.T, name string, samples []Point) {
+	t.Helper()
+	got := roundTrip(t, samples)
+	if len(got) != len(samples) {
+		t.Fatalf("%s: decoded %d samples, want %d", name, len(got), len(samples))
+	}
+	for i := range samples {
+		if got[i].T != samples[i].T || !sameBits(got[i].V, samples[i].V) {
+			t.Fatalf("%s: sample %d round-tripped as (%d, %x), want (%d, %x)",
+				name, i, got[i].T, math.Float64bits(got[i].V),
+				samples[i].T, math.Float64bits(samples[i].V))
+		}
+	}
+}
+
+func TestCodecLosslessHandPicked(t *testing.T) {
+	cases := map[string][]Point{
+		"empty":  nil,
+		"single": {{T: 123456789, V: 42.5}},
+		"periodic-constant": {
+			{T: 0, V: 97.0}, {T: 1e9, V: 97.0}, {T: 2e9, V: 97.0}, {T: 3e9, V: 97.0},
+		},
+		"specials": {
+			{T: 0, V: 0}, {T: 1, V: math.Copysign(0, -1)},
+			{T: 2, V: math.NaN()}, {T: 3, V: math.Inf(1)},
+			{T: 4, V: math.Inf(-1)}, {T: 5, V: math.MaxFloat64},
+			{T: 6, V: math.SmallestNonzeroFloat64},
+		},
+		"backwards-time": {
+			{T: 5e9, V: 1}, {T: 6e9, V: 2}, {T: 2e9, V: 3}, {T: 7e9, V: 4},
+		},
+		"extreme-timestamps": {
+			{T: math.MinInt64 / 2, V: 1}, {T: math.MaxInt64 / 2, V: 2}, {T: 0, V: 3},
+		},
+	}
+	for name, samples := range cases {
+		checkLossless(t, name, samples)
+	}
+}
+
+func TestCodecLosslessRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(400)
+		samples := make([]Point, n)
+		tNow := rng.Int63n(1 << 40)
+		for i := range samples {
+			// Mix periodic steps, jitter, and occasional wild jumps in both
+			// directions so every dod bucket gets exercised.
+			switch rng.Intn(5) {
+			case 0:
+				tNow += 1e9
+			case 1:
+				tNow += 1e9 + rng.Int63n(2e6) - 1e6
+			case 2:
+				tNow += rng.Int63n(1 << 30)
+			case 3:
+				tNow -= rng.Int63n(1 << 34)
+			default:
+				tNow += rng.Int63n(1<<50) - 1<<49
+			}
+			var v float64
+			switch rng.Intn(4) {
+			case 0:
+				v = float64(rng.Intn(100)) // flat-ish gauge
+			case 1:
+				v = rng.Float64() * 100
+			case 2:
+				v = math.Float64frombits(rng.Uint64()) // arbitrary bit pattern
+			default:
+				v = float64(i) // counter
+			}
+			samples[i] = Point{T: tNow, V: v}
+		}
+		checkLossless(t, "random", samples)
+	}
+}
+
+// samplerTrace builds the shape the monitor actually emits: a fixed period
+// with bounded scheduler jitter and slowly-moving gauge values.
+func samplerTrace(n int, period int64, jitter int64, rng *rand.Rand) []Point {
+	samples := make([]Point, n)
+	tNow := int64(0)
+	v := 25.0
+	for i := range samples {
+		if i > 0 {
+			tNow += period
+			if jitter > 0 {
+				tNow += rng.Int63n(2*jitter) - jitter
+			}
+		}
+		v += float64(rng.Intn(7)-3) * 0.5
+		samples[i] = Point{T: tNow, V: v}
+	}
+	return samples
+}
+
+func TestCodecLosslessSamplerTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	checkLossless(t, "sampler-jittered", samplerTrace(2000, 1e9, 2e6, rng))
+	checkLossless(t, "sampler-exact", samplerTrace(2000, 1e9, 0, rng))
+}
+
+// TestCodecBytesPerSample pins the acceptance bound: the steady-state
+// sampler trace — the converged periodic regime, one sample per period with
+// gauge values that move a little each tick — must compress to at most 2.5
+// bytes per sample (Gorilla's headline result is ~1.37 bytes for its
+// production workload). A wall-clock trace with scheduler jitter cannot
+// reach that on a nanosecond clock — every non-zero delta-of-delta costs a
+// 24-bit bucket — so the jittered case gets a looser bound that documents
+// the time-dominated cost rather than hiding it.
+func TestCodecBytesPerSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, tc := range []struct {
+		name   string
+		jitter int64
+		bound  float64
+	}{
+		{"steady-state", 0, 2.5},
+		{"wallclock-ms-jitter", 2e6, 6.0},
+	} {
+		samples := samplerTrace(4096, 1e9, tc.jitter, rng)
+		var w bitWriter
+		var st gState
+		st.init()
+		for i, p := range samples {
+			st.appendSample(&w, i, p.T, p.V)
+		}
+		got := float64(len(w.bytes())) / float64(len(samples))
+		t.Logf("%s: %.3f bytes/sample (%d bytes / %d samples)", tc.name, got, len(w.bytes()), len(samples))
+		if got > tc.bound {
+			t.Errorf("%s: %.3f bytes/sample exceeds the %.2f bound", tc.name, got, tc.bound)
+		}
+	}
+	// Integer-valued counters (context switches, bytes, faults) are the
+	// other big zerosum stream shape; their XOR windows are narrow and the
+	// periodic clock is free, so they compress well under a byte.
+	var w bitWriter
+	var st gState
+	st.init()
+	for i := 0; i < 4096; i++ {
+		st.appendSample(&w, i, int64(i)*1e9, float64(100000+i*3))
+	}
+	got := float64(len(w.buf)) / 4096
+	t.Logf("int-counter: %.3f bytes/sample", got)
+	if got > 2.5 {
+		t.Errorf("int-counter: %.3f bytes/sample exceeds the 2.50 bound", got)
+	}
+}
+
+func TestCodecDecoderRejectsTruncation(t *testing.T) {
+	samples := samplerTrace(100, 1e9, 1e6, rand.New(rand.NewSource(9)))
+	var w bitWriter
+	var st gState
+	st.init()
+	for i, p := range samples {
+		st.appendSample(&w, i, p.T, p.V)
+	}
+	full := w.bytes()
+	// Every truncation must either decode a clean prefix or stop with
+	// errShortChunk — never panic, never fabricate all n samples from
+	// missing bytes. (Zero-bit tails can legitimately decode: a run of
+	// '0' control bits means "same dod, same value".)
+	for cut := 0; cut < len(full); cut++ {
+		var it gIter
+		it.init(full[:cut], len(samples))
+		n := 0
+		for it.Next() {
+			n++
+		}
+		if n > len(samples) {
+			t.Fatalf("cut=%d: decoded %d samples from a %d-sample stream", cut, n, len(samples))
+		}
+	}
+	// The full stream with an inflated count must error, not invent data.
+	var it gIter
+	it.init(full, len(samples)+1000)
+	n := 0
+	for it.Next() {
+		n++
+	}
+	if it.Err() == nil {
+		t.Fatalf("inflated count decoded %d samples with no error", n)
+	}
+}
+
+func TestTimeConversion(t *testing.T) {
+	for _, sec := range []float64{0, 0.25, 1, 59.999999999, 12345.6789} {
+		n := TimeToNanos(sec)
+		back := NanosToSec(n)
+		if math.Abs(back-sec) > 1e-9 {
+			t.Errorf("TimeToNanos(%v) = %d -> %v drifted", sec, n, back)
+		}
+		// The conversion must be idempotent through the store: re-encoding
+		// the decoded seconds lands on the same nanos.
+		if TimeToNanos(back) != n {
+			t.Errorf("conversion not stable for %v: %d vs %d", sec, TimeToNanos(back), n)
+		}
+	}
+}

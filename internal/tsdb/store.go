@@ -1,0 +1,285 @@
+package tsdb
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"zerosum/internal/core"
+)
+
+// nSeriesShards fans one job's series map over independent locks, mirroring
+// the aggregator's rank sharding: concurrent ingest streams hash apart and
+// append without serializing on one mutex.
+const nSeriesShards = 8
+
+// Store is the embedded multi-job time-series database. All methods are
+// safe for concurrent use.
+type Store struct {
+	opts Options
+
+	mu   sync.RWMutex
+	jobs map[string]*jobDB
+}
+
+type jobDB struct {
+	shards [nSeriesShards]seriesShard
+
+	maxT           atomic.Int64
+	samples        atomic.Uint64
+	evictedChunks  atomic.Uint64
+	evictedSamples atomic.Uint64
+
+	snapMu sync.RWMutex
+	snaps  map[snapKey]*snapDoc
+}
+
+type seriesShard struct {
+	mu     sync.Mutex
+	series map[SeriesKey]*Series
+}
+
+type snapKey struct {
+	node string
+	rank int
+}
+
+// snapDoc is one rank's end-of-run document: the report snapshot and the
+// communication-matrix row. Docs are replaced wholesale and never mutated,
+// so readers may use them after the lock drops.
+type snapDoc struct {
+	snap *core.Snapshot
+	row  map[int]uint64
+}
+
+// NewStore builds a store; zero-value opts take the defaults.
+func NewStore(opts Options) *Store {
+	return &Store{opts: opts.withDefaults(), jobs: make(map[string]*jobDB)}
+}
+
+// Options returns the store's resolved tuning.
+func (st *Store) Options() Options { return st.opts }
+
+func (st *Store) job(name string) *jobDB {
+	st.mu.RLock()
+	db := st.jobs[name]
+	st.mu.RUnlock()
+	if db != nil {
+		return db
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if db = st.jobs[name]; db == nil {
+		db = &jobDB{}
+		db.maxT.Store(minInt64)
+		st.jobs[name] = db
+	}
+	return db
+}
+
+// lookupJob returns nil for an unknown job.
+func (st *Store) lookupJob(name string) *jobDB {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.jobs[name]
+}
+
+const minInt64 = -1 << 63
+
+// shardFor hashes the series key inline (FNV-1a over node and metric bytes,
+// then rank and tid) — the ingest path cannot afford a hash.Hash
+// allocation.
+//
+//zerosum:hotpath
+func (db *jobDB) shardFor(key SeriesKey) *seriesShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key.Node); i++ {
+		h = (h ^ uint32(key.Node[i])) * 16777619
+	}
+	for i := 0; i < len(key.Metric); i++ {
+		h = (h ^ uint32(key.Metric[i])) * 16777619
+	}
+	r := uint32(key.Rank)<<8 ^ uint32(key.TID)
+	for i := 0; i < 4; i++ {
+		h = (h ^ (r & 0xff)) * 16777619
+		r >>= 8
+	}
+	return &db.shards[h%nSeriesShards]
+}
+
+// Append lands one sample on the job's (key) series, creating job and
+// series on first touch. t is on the sample clock (TimeToNanos of the
+// sample's TimeSec). Steady-state appends — warm series, no block boundary
+// — are allocation-free.
+func (st *Store) Append(job string, key SeriesKey, t int64, v float64) {
+	db := st.job(job)
+	sh := db.shardFor(key)
+	sh.mu.Lock()
+	s := sh.series[key]
+	if s == nil {
+		s = &Series{Key: key}
+		if sh.series == nil {
+			sh.series = make(map[SeriesKey]*Series)
+		}
+		sh.series[key] = s
+	}
+	cutoff := int64(-1)
+	if st.opts.Retention > 0 {
+		if max := db.maxT.Load(); max != minInt64 {
+			cutoff = max - int64(st.opts.Retention)
+		}
+	}
+	ev := s.append(t, v, int64(st.opts.Block), int64(st.opts.Downsample), cutoff)
+	sh.mu.Unlock()
+
+	db.samples.Add(1)
+	if ev.chunks > 0 {
+		db.evictedChunks.Add(uint64(ev.chunks))
+		db.evictedSamples.Add(uint64(ev.samples))
+	}
+	for {
+		cur := db.maxT.Load()
+		if t <= cur || db.maxT.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}
+
+// EnforceRetention sweeps every series of every job against the retention
+// horizon. Appending already retains at each block boundary; this exists
+// for series that stopped receiving samples (a dead rank's history still
+// ages out) and is what a daemon calls on a housekeeping tick.
+func (st *Store) EnforceRetention() {
+	if st.opts.Retention <= 0 {
+		return
+	}
+	st.mu.RLock()
+	dbs := make([]*jobDB, 0, len(st.jobs))
+	for _, db := range st.jobs {
+		dbs = append(dbs, db)
+	}
+	st.mu.RUnlock()
+	for _, db := range dbs {
+		max := db.maxT.Load()
+		if max == minInt64 {
+			continue
+		}
+		cutoff := max - int64(st.opts.Retention)
+		for i := range db.shards {
+			sh := &db.shards[i]
+			sh.mu.Lock()
+			for _, s := range sh.series {
+				ev := s.retain(cutoff)
+				if ev.chunks > 0 {
+					db.evictedChunks.Add(uint64(ev.chunks))
+					db.evictedSamples.Add(uint64(ev.samples))
+				}
+			}
+			sh.mu.Unlock()
+		}
+	}
+}
+
+// SetSnapshot stores (replacing) a rank's end-of-run snapshot and
+// communication row. The snapshot is copied; the row is retained as given
+// and must not be mutated afterwards.
+func (st *Store) SetSnapshot(job, node string, rank int, snap core.Snapshot, row map[int]uint64) {
+	db := st.job(job)
+	db.snapMu.Lock()
+	if db.snaps == nil {
+		db.snaps = make(map[snapKey]*snapDoc)
+	}
+	db.snaps[snapKey{node: node, rank: rank}] = &snapDoc{snap: &snap, row: row}
+	db.snapMu.Unlock()
+}
+
+// EachSnapshot visits the job's snapshots ordered by (rank, node) — the
+// order a single-process aggregation of rank-sorted results would see.
+// The snapshot and row are immutable once stored; the callback may retain
+// them.
+func (st *Store) EachSnapshot(job string, fn func(node string, rank int, snap *core.Snapshot, row map[int]uint64)) {
+	db := st.lookupJob(job)
+	if db == nil {
+		return
+	}
+	db.snapMu.RLock()
+	keys := make([]snapKey, 0, len(db.snaps))
+	for k := range db.snaps {
+		keys = append(keys, k)
+	}
+	docs := make([]*snapDoc, 0, len(keys))
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].rank != keys[j].rank {
+			return keys[i].rank < keys[j].rank
+		}
+		return keys[i].node < keys[j].node
+	})
+	for _, k := range keys {
+		docs = append(docs, db.snaps[k])
+	}
+	db.snapMu.RUnlock()
+	for i, k := range keys {
+		fn(k.node, k.rank, docs[i].snap, docs[i].row)
+	}
+}
+
+// SnapshotCount returns how many rank snapshots the job holds.
+func (st *Store) SnapshotCount(job string) int {
+	db := st.lookupJob(job)
+	if db == nil {
+		return 0
+	}
+	db.snapMu.RLock()
+	defer db.snapMu.RUnlock()
+	return len(db.snaps)
+}
+
+// Jobs lists the store's jobs, sorted.
+func (st *Store) Jobs() []string {
+	st.mu.RLock()
+	names := make([]string, 0, len(st.jobs))
+	for name := range st.jobs {
+		names = append(names, name)
+	}
+	st.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// JobStats snapshots one job's accounting (zero value for unknown jobs).
+func (st *Store) JobStats(job string) JobStats {
+	var js JobStats
+	db := st.lookupJob(job)
+	if db == nil {
+		return js
+	}
+	js.Samples = db.samples.Load()
+	js.EvictedChunks = db.evictedChunks.Load()
+	js.EvictedSamples = db.evictedSamples.Load()
+	if max := db.maxT.Load(); max != minInt64 {
+		js.MaxTimeNanos = max
+	}
+	js.Snapshots = st.SnapshotCount(job)
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.Lock()
+		js.Series += len(sh.series)
+		for _, s := range sh.series {
+			js.SealedChunks += len(s.sealed)
+			js.Bytes += uint64(s.bytes())
+		}
+		sh.mu.Unlock()
+	}
+	return js
+}
+
+// eachShard runs fn under each shard lock of the job in shard order; fn
+// must not call back into the store.
+func (db *jobDB) eachShard(fn func(sh *seriesShard)) {
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.Lock()
+		fn(sh)
+		sh.mu.Unlock()
+	}
+}

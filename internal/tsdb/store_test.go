@@ -1,0 +1,328 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+
+	"zerosum/internal/core"
+)
+
+func testKey(rank, tid int, metric string) SeriesKey {
+	return SeriesKey{Node: "node0", Rank: rank, TID: tid, Metric: metric}
+}
+
+func TestStoreAppendAndStats(t *testing.T) {
+	st := NewStore(Options{Block: time.Minute, Downsample: 5 * time.Second})
+	key := testKey(0, 1000, "lwp.nvctx")
+	for i := 0; i < 100; i++ {
+		st.Append("job1", key, int64(i)*1e9, float64(i))
+	}
+	js := st.JobStats("job1")
+	if js.Samples != 100 || js.Series != 1 {
+		t.Fatalf("stats = %+v, want 100 samples in 1 series", js)
+	}
+	if js.MaxTimeNanos != 99e9 {
+		t.Fatalf("MaxTimeNanos = %d, want %d", js.MaxTimeNanos, int64(99e9))
+	}
+	// 100 seconds at a 1-minute block: the head sealed once.
+	if js.SealedChunks != 1 {
+		t.Fatalf("SealedChunks = %d, want 1", js.SealedChunks)
+	}
+	if js.Bytes == 0 || js.Bytes > 100*16 {
+		t.Fatalf("Bytes = %d, want compressed but non-zero", js.Bytes)
+	}
+	if got := st.Jobs(); len(got) != 1 || got[0] != "job1" {
+		t.Fatalf("Jobs() = %v", got)
+	}
+	if js := st.JobStats("nope"); js.Samples != 0 {
+		t.Fatalf("unknown job stats = %+v", js)
+	}
+}
+
+func TestStoreRetention(t *testing.T) {
+	st := NewStore(Options{
+		Block:      time.Minute,
+		Downsample: 5 * time.Second,
+		Retention:  2 * time.Minute,
+	})
+	key := testKey(0, 0, "mem.rss_kb")
+	// Ten minutes of one-second samples: blocks 0..9, retention keeps the
+	// newest two minutes.
+	for i := 0; i < 600; i++ {
+		st.Append("job1", key, int64(i)*1e9, float64(i))
+	}
+	js := st.JobStats("job1")
+	if js.EvictedChunks == 0 || js.EvictedSamples == 0 {
+		t.Fatalf("nothing evicted: %+v", js)
+	}
+	if js.Samples != 600 {
+		t.Fatalf("Samples = %d (ingest counter must not shrink on eviction)", js.Samples)
+	}
+	// Everything older than maxT - retention is gone from queries.
+	cutoff := int64(599e9) - int64(2*time.Minute)
+	res, err := st.Query("job1", QueryOpts{
+		Metric: "mem.rss_kb", Rank: -1, TID: -1,
+		Start: minInt64 / 2, End: 600e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("got %d series", len(res))
+	}
+	first := res[0].Points[0].T
+	if first > cutoff+int64(time.Minute) {
+		t.Fatalf("oldest surviving sample at %d, far beyond cutoff %d", first, cutoff)
+	}
+	if first >= cutoff && js.EvictedSamples+uint64(len(res[0].Points)) != 600 {
+		t.Fatalf("evicted %d + surviving %d != 600", js.EvictedSamples, len(res[0].Points))
+	}
+
+	// A series that stops appending still ages out via EnforceRetention
+	// when another series advances the job clock.
+	st2 := NewStore(Options{Block: time.Minute, Retention: time.Minute})
+	dead := testKey(1, 0, "gpu.utilization_pct")
+	live := testKey(2, 0, "gpu.utilization_pct")
+	for i := 0; i < 120; i++ {
+		st2.Append("job2", dead, int64(i)*1e9, 1)
+	}
+	for i := 0; i < 600; i++ {
+		st2.Append("job2", live, int64(i)*1e9, 2)
+	}
+	st2.EnforceRetention()
+	res, err = st2.Query("job2", QueryOpts{
+		Metric: "gpu.utilization_pct", Rank: 1, TID: -1, Start: 0, End: 600e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dead series' sealed chunk (block 0) predates the horizon; only
+	// its head (block 1, unsealed) can linger.
+	if len(res) == 1 {
+		for _, p := range res[0].Points {
+			if p.T < 60e9 {
+				t.Fatalf("sample at %d survived a 1-minute retention with maxT=599s", p.T)
+			}
+		}
+	}
+}
+
+func TestStoreRetentionDisabled(t *testing.T) {
+	st := NewStore(Options{Block: time.Second})
+	key := testKey(0, 0, "hwt.idle_pct")
+	for i := 0; i < 1000; i++ {
+		st.Append("job1", key, int64(i)*1e9, float64(i))
+	}
+	st.EnforceRetention()
+	res, err := st.Query("job1", QueryOpts{Metric: "hwt.idle_pct", Rank: -1, TID: -1, Start: 0, End: 1000e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || len(res[0].Points) != 1000 {
+		t.Fatalf("retention disabled but samples missing: %d series", len(res))
+	}
+}
+
+func TestStoreSnapshots(t *testing.T) {
+	st := NewStore(Options{})
+	if st.SnapshotCount("job1") != 0 {
+		t.Fatal("phantom snapshots")
+	}
+	mk := func(rank int) core.Snapshot {
+		var s core.Snapshot
+		s.Rank = rank
+		return s
+	}
+	st.SetSnapshot("job1", "nodeB", 1, mk(1), map[int]uint64{0: 10})
+	st.SetSnapshot("job1", "nodeA", 0, mk(0), nil)
+	st.SetSnapshot("job1", "nodeB", 1, mk(1), map[int]uint64{0: 99}) // replace
+	if got := st.SnapshotCount("job1"); got != 2 {
+		t.Fatalf("SnapshotCount = %d, want 2", got)
+	}
+	var order []int
+	st.EachSnapshot("job1", func(node string, rank int, snap *core.Snapshot, row map[int]uint64) {
+		order = append(order, rank)
+		if rank == 1 && row[0] != 99 {
+			t.Fatalf("stale row after replace: %v", row)
+		}
+		if snap.Rank != rank {
+			t.Fatalf("snapshot/rank mismatch: %d vs %d", snap.Rank, rank)
+		}
+	})
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("visit order %v, want [0 1]", order)
+	}
+	st.EachSnapshot("ghost", func(string, int, *core.Snapshot, map[int]uint64) {
+		t.Fatal("callback for unknown job")
+	})
+}
+
+func TestStoreConcurrentAppend(t *testing.T) {
+	st := NewStore(Options{Block: time.Second, Downsample: 250 * time.Millisecond})
+	const ranks, perRank = 8, 500
+	done := make(chan struct{})
+	for r := 0; r < ranks; r++ {
+		go func(r int) {
+			defer func() { done <- struct{}{} }()
+			key := testKey(r, 1000+r, "lwp.user_pct")
+			for i := 0; i < perRank; i++ {
+				st.Append("job1", key, int64(i)*1e8, float64(i%100))
+			}
+		}(r)
+	}
+	for r := 0; r < ranks; r++ {
+		<-done
+	}
+	js := st.JobStats("job1")
+	if js.Samples != ranks*perRank {
+		t.Fatalf("Samples = %d, want %d", js.Samples, ranks*perRank)
+	}
+	res, err := st.Query("job1", QueryOpts{
+		Metric: "lwp.user_pct", Rank: -1, TID: -1, Start: 0, End: perRank * 1e8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, sr := range res {
+		total += len(sr.Points)
+	}
+	if len(res) != ranks || total != ranks*perRank {
+		t.Fatalf("query saw %d series / %d points, want %d / %d", len(res), total, ranks, ranks*perRank)
+	}
+}
+
+func TestBlockMarshalRoundTrip(t *testing.T) {
+	st := NewStore(Options{Block: 10 * time.Second, Downsample: time.Second})
+	type stream struct {
+		key SeriesKey
+		pts []Point
+	}
+	var streams []stream
+	for r := 0; r < 3; r++ {
+		for _, metric := range []string{"lwp.nvctx", "mem.free_kb"} {
+			s := stream{key: testKey(r, 1000+r, metric)}
+			for i := 0; i < 37; i++ {
+				p := Point{T: int64(i) * 1e9, V: float64(r*1000 + i)}
+				s.pts = append(s.pts, p)
+				st.Append("jobX", s.key, p.T, p.V)
+			}
+			streams = append(streams, s)
+		}
+	}
+	blob, err := st.MarshalJob("jobX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := UnmarshalBlocks(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Job != "jobX" {
+		t.Fatalf("job = %q", bs.Job)
+	}
+	if len(bs.Series) != len(streams) {
+		t.Fatalf("decoded %d series, want %d", len(bs.Series), len(streams))
+	}
+	decoded := make(map[SeriesKey][]Point)
+	for _, s := range bs.Series {
+		var pts []Point
+		for _, c := range s.Chunks {
+			got, err := c.Samples()
+			if err != nil {
+				t.Fatalf("chunk decode for %+v: %v", s.Key, err)
+			}
+			if len(got) != c.Count {
+				t.Fatalf("chunk count %d but %d samples", c.Count, len(got))
+			}
+			pts = append(pts, got...)
+		}
+		decoded[s.Key] = pts
+	}
+	for _, s := range streams {
+		got := decoded[s.key]
+		if len(got) != len(s.pts) {
+			t.Fatalf("series %+v: %d samples, want %d", s.key, len(got), len(s.pts))
+		}
+		for i := range got {
+			if got[i].T != s.pts[i].T || !sameBits(got[i].V, s.pts[i].V) {
+				t.Fatalf("series %+v sample %d: got %+v want %+v", s.key, i, got[i], s.pts[i])
+			}
+		}
+	}
+	// Sealed chunks must carry their rollups across the wire.
+	foundRollup := false
+	for _, s := range bs.Series {
+		for _, c := range s.Chunks {
+			if len(c.Rollups) > 0 {
+				foundRollup = true
+			}
+		}
+	}
+	if !foundRollup {
+		t.Fatal("no rollups survived marshalling")
+	}
+	// Determinism: same store contents, same bytes.
+	blob2, err := st.MarshalJob("jobX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(blob2) {
+		t.Fatal("MarshalJob is not deterministic")
+	}
+	if _, err := st.MarshalJob("ghost"); err == nil {
+		t.Fatal("marshalling an unknown job succeeded")
+	}
+}
+
+func TestUnmarshalBlocksRejectsDamage(t *testing.T) {
+	st := NewStore(Options{Block: time.Second})
+	st.Append("j", testKey(0, 0, "m"), 1e9, 3.5)
+	st.Append("j", testKey(0, 0, "m"), 2e9, 4.5)
+	blob, err := st.MarshalJob("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalBlocks(blob); err != nil {
+		t.Fatalf("clean blob rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"bad-magic", func(b []byte) []byte { b[0] ^= 0xff; return b }},
+		{"bad-version", func(b []byte) []byte { b[4] = 99; return b }},
+		{"flipped-body", func(b []byte) []byte { b[len(b)/2] ^= 0x10; return b }},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-9] }},
+		{"trailing", func(b []byte) []byte { return append(b, 0) }},
+	} {
+		mutated := tc.mut(append([]byte(nil), blob...))
+		if _, err := UnmarshalBlocks(mutated); err == nil {
+			t.Errorf("%s: damaged blob accepted", tc.name)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Block != DefaultBlock || o.Downsample != DefaultDownsample || o.Retention != 0 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	// Downsample coarser than the block clamps down, so rollup buckets
+	// always nest inside a chunk's block.
+	o = Options{Block: time.Second, Downsample: time.Hour}.withDefaults()
+	if o.Downsample != time.Second {
+		t.Fatalf("Downsample = %v, want clamped to block", o.Downsample)
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	for _, tc := range []struct{ a, b, want int64 }{
+		{7, 5, 1}, {-7, 5, -2}, {-5, 5, -1}, {0, 5, 0}, {5, 5, 1},
+	} {
+		if got := floorDiv(tc.a, tc.b); got != tc.want {
+			t.Errorf("floorDiv(%d, %d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
