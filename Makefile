@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-record lint chaos fuzz golden golden-update
+.PHONY: check fmt vet build test race bench bench-record lint lint-baseline lint-self chaos fuzz golden golden-update
 
-check: fmt vet build race lint chaos fuzz golden
+check: fmt vet build race lint lint-self chaos fuzz golden
 
 # gofmt -l prints offending files; fail if it prints anything.
 fmt:
@@ -47,9 +47,21 @@ bench-record:
 
 # zslint enforces the //zerosum:* conventions: hot-path purity, error
 # handling in the sampling tiers, goroutine lifecycles, wire codec
-# synchronization, and injected clocks. See docs/lint.md.
+# synchronization, injected clocks, and the dataflow concurrency checks
+# (guardedby, lockorder, atomic, goroutinestop). See docs/lint.md.
+# Findings are ratcheted against lint-baseline.json: only NEW findings
+# fail; after fixing or deliberately accepting one, refresh with
+# `make lint-baseline` and commit the file.
 lint:
-	$(GO) run ./cmd/zslint ./...
+	$(GO) run ./cmd/zslint -time -diff lint-baseline.json ./...
+
+lint-baseline:
+	$(GO) run ./cmd/zslint -baseline lint-baseline.json ./...
+
+# lint-self runs zslint's fixture self-test: every check replayed over its
+# testdata package and compared against the golden diagnostics.
+lint-self:
+	$(GO) run ./cmd/zslint -self ./...
 
 # chaos runs the multi-agent fault-injection soak (docs/chaos.md) across a
 # range of seeds under the race detector. A failure prints the seed that

@@ -111,13 +111,16 @@ type AgentStats struct {
 type Agent struct {
 	cfg AgentConfig
 
-	mu        sync.Mutex
-	ring      []eventSlot
-	head      int // index of the oldest buffered event
-	count     int
-	enqueued  uint64 // events accepted from the stream (under mu: the
-	ringDrops uint64 // enqueue path already holds it, so plain fields
-	//                  beat per-event atomics on the hot path)
+	mu sync.Mutex
+	// ring/head/count form the bounded drop-oldest buffer (head indexes
+	// the oldest event); enqueued/ringDrops count accepted and evicted
+	// events as plain fields because the enqueue path already holds mu,
+	// so they beat per-event atomics on the hot path.
+	ring      []eventSlot //zerosum:guardedby mu
+	head      int         //zerosum:guardedby mu
+	count     int         //zerosum:guardedby mu
+	enqueued  uint64      //zerosum:guardedby mu
+	ringDrops uint64      //zerosum:guardedby mu
 
 	// Sender-goroutine scratch, reused across batches: takeBatch memmoves
 	// ring slots into slotScratch under the lock, then builds the Events
@@ -142,7 +145,7 @@ type Agent struct {
 	// jitterMu guards rng: post runs on the sender goroutine but also on
 	// whichever goroutine calls PushSnapshot.
 	jitterMu sync.Mutex
-	rng      *sim.RNG
+	rng      *sim.RNG //zerosum:guardedby jitterMu
 }
 
 // NewAgent starts an agent and its sender goroutine.

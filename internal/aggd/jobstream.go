@@ -22,8 +22,8 @@ type JobStreamer struct {
 	base AgentConfig
 
 	mu     sync.Mutex
-	agents map[int]*Agent
-	errs   []error
+	agents map[int]*Agent //zerosum:guardedby mu
+	errs   []error        //zerosum:guardedby mu
 }
 
 // NewJobStreamer prepares a per-rank agent factory; base.Node and base.Rank

@@ -133,6 +133,7 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 
 	now := s.cfg.Now()
 	s.eachJob(func(name string, js *jobStore) {
+		//zerosum:locked rankShard.mu eachRank holds the shard lock around fn
 		js.eachRank(func(key rankKey, rs *rankState) {
 			base := streamLabels(name, key)
 			families[fStreamEvents].add(base, float64(rs.events))

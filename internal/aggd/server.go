@@ -106,7 +106,7 @@ func (s *Server) Stats() ServerStats {
 
 type shard struct {
 	mu   sync.RWMutex
-	jobs map[string]*jobStore
+	jobs map[string]*jobStore //zerosum:guardedby mu
 }
 
 // nRankShards fans one job's per-rank merge state out over independent
@@ -122,7 +122,7 @@ type jobStore struct {
 
 type rankShard struct {
 	mu    sync.Mutex
-	ranks map[rankKey]*rankState
+	ranks map[rankKey]*rankState //zerosum:guardedby mu
 }
 
 type rankKey struct {
@@ -162,32 +162,34 @@ func (js *jobStore) eachRank(fn func(key rankKey, rs *rankState)) {
 
 // rankState is the live view of one (node, rank) stream: the latest sample
 // per resource for /metrics, plus the end-of-run snapshot for the summary.
+// Every field is guarded by the owning rankShard's mutex — rankState cannot
+// name it as a sibling, so the annotations use the lock-class form.
 type rankState struct {
-	lastRecv    time.Time // server receipt time of the latest frame
-	lastSampleT float64   // largest sample timestamp seen
-	events      uint64
+	lastRecv    time.Time //zerosum:guardedby rankShard.mu server receipt time of the latest frame
+	lastSampleT float64   //zerosum:guardedby rankShard.mu largest sample timestamp seen
+	events      uint64    //zerosum:guardedby rankShard.mu
 
 	// Sequence accounting. An agent numbers batches 0,1,2,… within one
 	// epoch (incarnation); retries resend the same (epoch, seq). maxSeq is
 	// the highest applied sequence and holes records skipped-over sequence
 	// numbers still outstanding, so a late retry of a gap batch is merged
 	// exactly once while a replay of an already-applied batch is skipped.
-	epoch   uint64
-	maxSeq  uint64
-	seqSeen bool
-	holes   map[uint64]bool
+	epoch   uint64          //zerosum:guardedby rankShard.mu
+	maxSeq  uint64          //zerosum:guardedby rankShard.mu
+	seqSeen bool            //zerosum:guardedby rankShard.mu
+	holes   map[uint64]bool //zerosum:guardedby rankShard.mu
 
-	hwt     map[int]export.HWTSample
-	gpuBusy map[int]float64
-	nvctx   map[int]uint64 // per TID, cumulative
-	vctx    map[int]uint64
-	stalled map[int]bool // TIDs currently flagged stalled (§3.3)
+	hwt     map[int]export.HWTSample //zerosum:guardedby rankShard.mu
+	gpuBusy map[int]float64          //zerosum:guardedby rankShard.mu
+	nvctx   map[int]uint64           //zerosum:guardedby rankShard.mu per TID, cumulative
+	vctx    map[int]uint64           //zerosum:guardedby rankShard.mu
+	stalled map[int]bool             //zerosum:guardedby rankShard.mu TIDs currently flagged stalled (§3.3)
 	// stallEvents counts false→true transitions of the stalled flag: the
 	// gauge above drops back to zero once a stall clears (or the thread
 	// dies), so this cumulative counter is what proves a stall happened.
-	stallEvents uint64
-	memFree     uint64
-	memRSS      uint64
+	stallEvents uint64 //zerosum:guardedby rankShard.mu
+	memFree     uint64 //zerosum:guardedby rankShard.mu
+	memRSS      uint64 //zerosum:guardedby rankShard.mu
 }
 
 // NewServer builds an aggregator.
@@ -200,7 +202,7 @@ func NewServer(cfg ServerConfig) *Server {
 	}
 	s := &Server{cfg: cfg, obs: obs.NewRecorder(0), store: tsdb.NewStore(cfg.TSDB)}
 	for i := range s.shards {
-		s.shards[i].jobs = make(map[string]*jobStore)
+		s.shards[i].jobs = make(map[string]*jobStore) //zerosum:nolock constructor, not yet shared
 	}
 	return s
 }
@@ -271,7 +273,8 @@ func (s *Server) lookupJob(name string) *jobStore {
 }
 
 // rank returns the shard's state for key, creating it on first contact.
-// Caller holds sh.mu.
+//
+//zerosum:locked mu callers ingest under the shard lock
 func (sh *rankShard) rank(key rankKey) *rankState {
 	rs := sh.ranks[key]
 	if rs == nil {
@@ -414,7 +417,9 @@ const maxTrackedHoles = 1024
 
 // admitBatch decides whether a batch is new data (true) or a replay that
 // must not be merged again (false), updating the stream's sequence
-// accounting. Caller holds the rank's shard lock.
+// accounting.
+//
+//zerosum:locked rankShard.mu caller holds the rank's shard lock
 func (s *Server) admitBatch(rs *rankState, b *Batch) bool {
 	if !rs.seqSeen || b.Epoch > rs.epoch {
 		// First contact, or the agent restarted into a new incarnation:
@@ -453,6 +458,8 @@ func (s *Server) admitBatch(rs *rankState, b *Batch) bool {
 }
 
 // noteGap records sequence numbers [lo, hi) as lost-until-proven-otherwise.
+//
+//zerosum:locked rankShard.mu caller holds the rank's shard lock
 func (s *Server) noteGap(rs *rankState, lo, hi uint64) {
 	if hi <= lo {
 		return
@@ -723,6 +730,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	s.eachJob(func(name string, js *jobStore) {
 		info := JobInfo{Job: name, Snapshots: s.store.SnapshotCount(name)}
 		nodes := map[string]bool{}
+		//zerosum:locked rankShard.mu eachRank holds the shard lock around fn
 		js.eachRank(func(key rankKey, rs *rankState) {
 			info.Ranks++
 			nodes[key.node] = true

@@ -107,9 +107,9 @@ type InjectorStats struct {
 // single sender goroutine.
 type Injector struct {
 	mu       sync.Mutex
-	rng      *sim.RNG
-	p        FaultProfile
-	partLeft int
+	rng      *sim.RNG     //zerosum:guardedby mu draws mutate the RNG stream
+	p        FaultProfile // immutable after NewInjector
+	partLeft int          //zerosum:guardedby mu
 
 	healed atomic.Bool
 

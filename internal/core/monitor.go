@@ -224,7 +224,7 @@ type Monitor struct {
 	// atomic.Value: storing a struct in an atomic.Value boxes it, and the
 	// publish runs on the zero-allocation Tick path.
 	selfStatsMu  sync.Mutex
-	selfStatsPub obs.SelfStats
+	selfStatsPub obs.SelfStats //zerosum:guardedby selfStatsMu
 
 	// MPI point-to-point accounting (this rank's row of the heatmap).
 	sentBytes map[int]uint64

@@ -20,11 +20,11 @@ import (
 // Handler installs signal-driven backtrace reporting.
 type Handler struct {
 	mu        sync.Mutex
-	out       io.Writer
-	extra     []func(io.Writer)
-	ch        chan os.Signal
-	done      chan struct{}
-	installed bool
+	out       io.Writer         //zerosum:guardedby mu
+	extra     []func(io.Writer) //zerosum:guardedby mu
+	ch        chan os.Signal    // read by the signal goroutine without mu
+	done      chan struct{}     // channel ops synchronize themselves
+	installed bool              //zerosum:guardedby mu
 }
 
 // New creates a handler writing reports to out.

@@ -51,7 +51,7 @@ type Subscriber func(Event)
 // to the remaining subscribers continues.
 type Stream struct {
 	mu      sync.Mutex                   // guards Subscribe/Close's copy-on-write
-	closed  bool                         // under mu
+	closed  bool                         //zerosum:guardedby mu
 	subs    atomic.Pointer[[]Subscriber] // immutable snapshot read by Publish
 	n       atomic.Uint64
 	dropped atomic.Uint64

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// atomicCheck enforces atomic-consistency: a struct field accessed through
+// sync/atomic anywhere in the module must be accessed through sync/atomic
+// everywhere. A field updated with atomic.AddUint64 in one place and read
+// with a plain load in another is a data race the race detector only
+// catches if the schedule cooperates; this check catches it statically.
+//
+// Fields whose declared type already comes from sync/atomic (atomic.Uint64
+// and friends) are safe by construction and skipped — the method set is the
+// only access path. //zerosum:nolock <why> on the plain access's line
+// suppresses (e.g. a read inside a section where the writer is quiesced).
+type atomicCheck struct{}
+
+func (atomicCheck) Name() string { return "atomic" }
+
+// fieldUse is one access to a field, classified atomic or plain.
+type fieldUse struct {
+	pos    token.Pos
+	atomic bool
+	expr   string // rendered access, for the message
+}
+
+func (c atomicCheck) Run(p *Program) []Diagnostic {
+	w := p.lockworld()
+	uses := map[*types.Var][]fieldUse{}
+
+	for _, pkg := range p.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(pkg.Info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if f := fieldOf(pkg.Info, sel); f != nil && !isAtomicTyped(f) {
+						uses[f] = append(uses[f], fieldUse{pos: sel.Pos(), atomic: true, expr: types.ExprString(sel)})
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(uses) == 0 {
+		return nil
+	}
+
+	// Second pass: every other selector touching one of those fields is a
+	// plain access — unless it sits inside an atomic call's &arg (already
+	// recorded) or is suppressed.
+	for _, pkg := range p.Pkgs {
+		for _, file := range pkg.Files {
+			covered := w.fileDirectives(file)
+			atomicArgs := map[*ast.SelectorExpr]bool{}
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(pkg.Info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					if un, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && un.Op == token.AND {
+						if sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr); ok {
+							atomicArgs[sel] = true
+						}
+					}
+				}
+				return true
+			})
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || atomicArgs[sel] {
+					return true
+				}
+				f := fieldOf(pkg.Info, sel)
+				if f == nil {
+					return true
+				}
+				if _, tracked := uses[f]; !tracked {
+					return true
+				}
+				line := p.Fset.Position(sel.Pos()).Line
+				if _, ok := covered[line]["nolock"]; ok {
+					return true
+				}
+				uses[f] = append(uses[f], fieldUse{pos: sel.Pos(), atomic: false, expr: types.ExprString(sel)})
+				return true
+			})
+		}
+	}
+
+	var fields []*types.Var
+	for f := range uses {
+		fields = append(fields, f)
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Pos() < fields[j].Pos() })
+
+	var diags []Diagnostic
+	for _, f := range fields {
+		var atomicN, plainN int
+		var firstAtomic token.Pos
+		for _, u := range uses[f] {
+			if u.atomic {
+				atomicN++
+				if firstAtomic == token.NoPos || u.pos < firstAtomic {
+					firstAtomic = u.pos
+				}
+			} else {
+				plainN++
+			}
+		}
+		if atomicN == 0 || plainN == 0 {
+			continue
+		}
+		afile, aline, _ := p.Position(firstAtomic)
+		for _, u := range uses[f] {
+			if u.atomic {
+				continue
+			}
+			diags = append(diags, p.Diag("atomic", u.pos,
+				"field %s accessed plainly here but atomically at %s:%d (%d atomic vs %d plain use(s)); use sync/atomic everywhere or annotate //zerosum:nolock <why>",
+				fieldDisplay(f), afile, aline, atomicN, plainN))
+		}
+	}
+	return diags
+}
+
+// isAtomicCall reports whether a call resolves into package sync/atomic.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// isAtomicTyped reports whether the field's declared type is one of the
+// sync/atomic wrapper types (safe by construction).
+func isAtomicTyped(f *types.Var) bool {
+	t := f.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync/atomic"
+}
+
+func fieldDisplay(f *types.Var) string {
+	name := f.Name()
+	if f.Pkg() != nil {
+		// Walk up to find the owning struct name via the package scope.
+		for _, tn := range scopeTypeNames(f.Pkg()) {
+			if st, ok := tn.Underlying().(*types.Struct); ok {
+				for i := 0; i < st.NumFields(); i++ {
+					if st.Field(i) == f {
+						return tn.Obj().Name() + "." + name
+					}
+				}
+			}
+		}
+	}
+	return name
+}
+
+func scopeTypeNames(pkg *types.Package) []*types.Named {
+	var out []*types.Named
+	scope := pkg.Scope()
+	names := scope.Names()
+	sort.Strings(names)
+	for _, n := range names {
+		if tn, ok := scope.Lookup(n).(*types.TypeName); ok {
+			if named, ok := tn.Type().(*types.Named); ok {
+				out = append(out, named)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline is a recorded set of accepted findings — the ratchet. Entries
+// are keyed by (check, file, message) with a count, deliberately NOT by
+// line: unrelated edits move code, and a baseline that churns on every
+// reflow trains people to regenerate it blindly, which defeats the ratchet.
+// A new finding is one whose key is absent, or whose count exceeded the
+// recorded count (the same latent issue copy-pasted once more is new).
+type Baseline struct {
+	// Version guards the file format; bump on incompatible change.
+	Version int             `json:"version"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry is one accepted finding class.
+type BaselineEntry struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+const baselineVersion = 1
+
+type baselineKey struct {
+	check, file, message string
+}
+
+// NewBaseline records the current findings as the accepted set.
+func NewBaseline(diags []Diagnostic) *Baseline {
+	counts := map[baselineKey]int{}
+	for _, d := range diags {
+		counts[baselineKey{d.Check, d.File, d.Message}]++
+	}
+	b := &Baseline{Version: baselineVersion, Entries: []BaselineEntry{}}
+	for k, n := range counts {
+		b.Entries = append(b.Entries, BaselineEntry{Check: k.check, File: k.file, Message: k.message, Count: n})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Check != c.Check {
+			return a.Check < c.Check
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// Diff returns the findings not covered by the baseline, in canonical
+// order. When count exceeds the accepted count, the surplus findings (in
+// canonical order, the later ones) are returned.
+func (b *Baseline) Diff(diags []Diagnostic) []Diagnostic {
+	budget := map[baselineKey]int{}
+	for _, e := range b.Entries {
+		budget[baselineKey{e.Check, e.File, e.Message}] += e.Count
+	}
+	sorted := append([]Diagnostic(nil), diags...)
+	sortDiagnostics(sorted)
+	var out []Diagnostic
+	for _, d := range sorted {
+		k := baselineKey{d.Check, d.File, d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// WriteBaselineFile saves a baseline as stable, diff-reviewable JSON.
+func WriteBaselineFile(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBaselineFile reads a baseline written by WriteBaselineFile.
+func LoadBaselineFile(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("lint: baseline %s: version %d, want %d (regenerate with -baseline)", path, b.Version, baselineVersion)
+	}
+	return &b, nil
+}

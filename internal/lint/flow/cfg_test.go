@@ -1,0 +1,223 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses src as the body of a function and returns it.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, file)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+func TestExitReachable(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"empty body", ``, true},
+		{"plain statements", `x := 1; _ = x`, true},
+		{"infinite for", `for { }`, false},
+		{"infinite for with work", `for { println(1) }`, false},
+		{"for with break", `for { break }`, true},
+		{"bounded for", `for i := 0; i < 3; i++ { println(i) }`, true},
+		{"infinite receive loop", `ch := make(chan int); for { <-ch }`, false},
+		{"range over channel", `ch := make(chan int); for v := range ch { _ = v }`, true},
+		{"select with return case", `
+			ch := make(chan int)
+			done := make(chan struct{})
+			for {
+				select {
+				case <-ch:
+				case <-done:
+					return
+				}
+			}`, true},
+		{"select no escape", `
+			ch := make(chan int)
+			for {
+				select {
+				case <-ch:
+				}
+			}`, false},
+		{"empty select", `select {}`, false},
+		{"select with default", `
+			ch := make(chan int)
+			select {
+			case <-ch:
+			default:
+			}`, true},
+		{"labeled break from nested loop", `
+		outer:
+			for {
+				for {
+					break outer
+				}
+			}`, true},
+		{"unlabeled break only exits inner", `
+			for {
+				for {
+					break
+				}
+			}`, false},
+		{"labeled continue never exits", `
+		outer:
+			for {
+				for {
+					continue outer
+				}
+			}`, false},
+		{"goto past loop", `
+			goto done
+			for {
+			}
+		done:
+			println(1)`, true},
+		{"goto backward loop", `
+		again:
+			println(1)
+			goto again`, false},
+		{"goto backward with conditional exit", `
+			i := 0
+		again:
+			i++
+			if i > 3 {
+				return
+			}
+			goto again`, true},
+		{"switch all terminate except default", `
+			x := 1
+			switch x {
+			case 1:
+				return
+			default:
+				return
+			}`, true},
+		{"type switch", `
+			var v interface{} = 1
+			switch v.(type) {
+			case int:
+			case string:
+				return
+			}`, true},
+		{"fallthrough", `
+			switch 1 {
+			case 1:
+				fallthrough
+			case 2:
+				println(2)
+			}`, true},
+		{"panic only", `panic("x")`, true}, // panic edges to exit: the goroutine terminates
+		{"if both branches loop", `
+			x := 1
+			if x > 0 {
+				for {
+				}
+			} else {
+				for {
+				}
+			}`, false},
+		{"if one branch escapes", `
+			x := 1
+			if x > 0 {
+				for {
+				}
+			}`, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := New(parseBody(t, tc.src))
+			if got := g.ExitReachable(); got != tc.want {
+				t.Errorf("ExitReachable() = %v, want %v\nsrc:\n%s", got, tc.want, tc.src)
+			}
+		})
+	}
+}
+
+func TestNewNilBody(t *testing.T) {
+	g := New(nil)
+	if !g.ExitReachable() {
+		t.Fatal("nil body must fall through to exit")
+	}
+}
+
+// TestNodesEvaluationOrder checks that decomposing compound statements
+// distributes every executable leaf exactly once across the blocks.
+func TestNodesEvaluationOrder(t *testing.T) {
+	body := parseBody(t, `
+		a := 1
+		if a > 0 {
+			b := 2
+			_ = b
+		} else {
+			c := 3
+			_ = c
+		}
+		d := 4
+		_ = d`)
+	g := New(body)
+
+	seen := make(map[ast.Node]int)
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			seen[n]++
+		}
+	}
+	for n, count := range seen {
+		if count != 1 {
+			t.Errorf("node %T appears in %d blocks, want 1", n, count)
+		}
+	}
+	// The if condition must appear as a block node so dataflow sees it.
+	var condSeen bool
+	cond := body.List[1].(*ast.IfStmt).Cond
+	if _, ok := seen[cond]; ok {
+		condSeen = true
+	}
+	if !condSeen {
+		t.Error("if condition missing from block nodes")
+	}
+}
+
+// TestDefersRecorded checks defers are collected in source order and not
+// placed inline in the block node stream.
+func TestDefersRecorded(t *testing.T) {
+	body := parseBody(t, `
+		defer println(1)
+		if true {
+			defer println(2)
+		}
+		defer println(3)`)
+	g := New(body)
+	if len(g.Defers) != 3 {
+		t.Fatalf("got %d defers, want 3", len(g.Defers))
+	}
+	for i := 1; i < len(g.Defers); i++ {
+		if g.Defers[i].Pos() < g.Defers[i-1].Pos() {
+			t.Errorf("defers out of source order at %d", i)
+		}
+	}
+}
+
+// TestGotoUndefinedLabel must not panic or create an edge.
+func TestGotoEdgeCases(t *testing.T) {
+	// goto jumping into a dead region after return
+	g := New(parseBody(t, `
+		goto skip
+		return
+	skip:
+		println(1)`))
+	if !g.ExitReachable() {
+		t.Error("goto over return should reach exit")
+	}
+}

@@ -1,0 +1,68 @@
+package flow
+
+import "go/ast"
+
+// Lattice defines a forward dataflow problem over a Graph. F is the fact
+// type (e.g. the set of locks that must be held). The solver treats facts
+// as immutable values: Transfer and Meet must return fresh (or unchanged)
+// facts, never mutate their inputs.
+//
+// The solver runs a must-style analysis: a block's entry fact is the Meet
+// over its predecessors' exit facts, and blocks not yet reached contribute
+// nothing (top). With Meet = set intersection this computes "facts that
+// hold on every path", the lattice the guardedby check needs.
+type Lattice[F any] interface {
+	// Entry is the fact at function entry.
+	Entry() F
+	// Meet combines facts at a control-flow merge.
+	Meet(a, b F) F
+	// Transfer flows a fact through one block node.
+	Transfer(fact F, n ast.Node) F
+	// Equal reports whether two facts are the same (fixpoint test).
+	Equal(a, b F) bool
+}
+
+// Solve runs the forward dataflow problem to fixpoint and returns the fact
+// at the entry of every reachable block. Unreachable blocks are absent from
+// the map — their facts are top ("anything may hold"), which a must
+// analysis reads as "no finding possible here".
+//
+// Termination: each iteration either leaves a block's entry fact unchanged
+// or moves it strictly down the lattice; with the finite lattices the lint
+// checks use (subsets of the locks mentioned in one function) the fixpoint
+// is reached in a handful of passes. A generous iteration cap guards
+// against a non-monotone Transfer.
+func Solve[F any](g *Graph, lat Lattice[F]) map[*Block]F {
+	in := make(map[*Block]F, len(g.Blocks))
+	in[g.Entry] = lat.Entry()
+
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	budget := (len(g.Blocks) + 1) * 64
+	for len(work) > 0 && budget > 0 {
+		budget--
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		fact := in[b]
+		for _, n := range b.Nodes {
+			fact = lat.Transfer(fact, n)
+		}
+		for _, succ := range b.Succs {
+			next := fact
+			if old, ok := in[succ]; ok {
+				next = lat.Meet(old, fact)
+				if lat.Equal(old, next) {
+					continue
+				}
+			}
+			in[succ] = next
+			if !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,156 @@
+package flow
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// assignedLattice is a toy must-analysis: the set of variable names that
+// have been assigned on every path. Meet is set intersection, so a name
+// assigned in only one branch of an if does not survive the merge —
+// exactly the shape the guardedby lattice uses for held locks.
+type assignedLattice struct{}
+
+type assignedFact map[string]bool
+
+func (assignedLattice) Entry() assignedFact { return assignedFact{} }
+
+func (assignedLattice) Meet(a, b assignedFact) assignedFact {
+	out := assignedFact{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (assignedLattice) Transfer(fact assignedFact, n ast.Node) assignedFact {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return fact
+	}
+	out := assignedFact{}
+	for k := range fact {
+		out[k] = true
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+			out[id.Name] = true
+		}
+	}
+	return out
+}
+
+func (assignedLattice) Equal(a, b assignedFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func names(f assignedFact) string {
+	var out []string
+	for k := range f {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}
+
+// exitFact computes the fact at the graph exit by transferring through the
+// exit block's own nodes (the exit block is empty, so its entry fact is it).
+func exitFact(t *testing.T, src string) assignedFact {
+	t.Helper()
+	g := New(parseBody(t, src))
+	in := Solve[assignedFact](g, assignedLattice{})
+	f, ok := in[g.Exit]
+	if !ok {
+		t.Fatalf("exit unreachable for:\n%s", src)
+	}
+	return f
+}
+
+func TestSolveStraightLine(t *testing.T) {
+	f := exitFact(t, `
+		a := 1
+		b := 2
+		_, _ = a, b`)
+	if got := names(f); got != "a,b" {
+		t.Fatalf("got %q, want %q", got, "a,b")
+	}
+}
+
+func TestSolveBranchIntersection(t *testing.T) {
+	// "both" is assigned on every path; "only" is not and must be dropped
+	// at the merge.
+	f := exitFact(t, `
+		x := 1
+		both := 0
+		if x > 0 {
+			only := 1
+			both = only
+		} else {
+			both = 2
+		}
+		_ = both`)
+	if !f["both"] || f["only"] {
+		t.Fatalf("got %q, want both without only", names(f))
+	}
+}
+
+func TestSolveLoopFixpoint(t *testing.T) {
+	// The loop body may run zero times, so "inLoop" must not survive to
+	// the exit; "before" must.
+	f := exitFact(t, `
+		before := 1
+		for i := 0; i < 3; i++ {
+			inLoop := i
+			_ = inLoop
+		}
+		_ = before`)
+	if !f["before"] || f["inLoop"] {
+		t.Fatalf("got %q, want before without inLoop", names(f))
+	}
+}
+
+func TestSolveUnreachableBlocksAbsent(t *testing.T) {
+	g := New(parseBody(t, `
+		return
+		a := 1
+		_ = a`))
+	in := Solve[assignedFact](g, assignedLattice{})
+	// The dead block after return must be absent from the result map.
+	for _, b := range g.Blocks {
+		if _, ok := in[b]; !ok {
+			return // found an unreachable block, as expected
+		}
+	}
+	t.Fatal("expected at least one unreachable block after return")
+}
+
+func TestSolveSwitchMerge(t *testing.T) {
+	// Every case assigns v, including default, so v must hold at exit.
+	f := exitFact(t, `
+		x := 1
+		v := 0
+		switch x {
+		case 1:
+			v = 1
+		case 2:
+			v = 2
+		default:
+			v = 3
+		}
+		_ = v`)
+	if !f["v"] {
+		t.Fatalf("got %q, want v assigned on all switch paths", names(f))
+	}
+}

@@ -1,0 +1,341 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// guardedbyCheck enforces //zerosum:guardedby field annotations with the
+// flow engine: every read of an annotated field must happen with the named
+// mutex held (shared or exclusive) on ALL paths reaching the access, and
+// every write with it held exclusively. The lock is named either as a
+// sibling field ("mu": the instance's own mutex, matched precisely against
+// the access's base expression) or as "Type.field" (any held instance of
+// that lock class — the sharded-state pattern, where the mutex lives in an
+// enclosing shard struct).
+//
+// Interprocedural reach is one level, two ways: a module helper that
+// acquires a lock on every path contributes it at call sites (summaries),
+// and a function annotated //zerosum:locked <lock> is analyzed with that
+// lock pre-held — while every call TO it is checked to actually hold the
+// lock. The escape hatch is //zerosum:nolock <why> on the access's line.
+type guardedbyCheck struct{}
+
+func (guardedbyCheck) Name() string { return "guardedby" }
+
+// guardSpec is one annotated field's requirement.
+type guardSpec struct {
+	owner   string // struct type name, for messages
+	field   string
+	sibling string // lock field name when the lock lives in the same struct
+	class   string // lock class (always resolved, used for class matching)
+	declPos token.Pos
+	badSpec string // non-empty when the annotation names a missing sibling
+}
+
+func (c guardedbyCheck) Run(p *Program) []Diagnostic {
+	w := p.lockworld()
+	specs := collectGuards(p)
+	var diags []Diagnostic
+
+	// Annotation sanity: a guardedby naming a sibling field that does not
+	// exist is a silent no-op without this.
+	for _, spec := range orderedSpecs(specs) {
+		if spec.badSpec != "" {
+			diags = append(diags, p.Diag("guardedby", spec.declPos,
+				"field %s.%s: //zerosum:guardedby names %q, which is neither a sibling field nor a Type.field lock class",
+				spec.owner, spec.field, spec.badSpec))
+		}
+	}
+
+	for _, pkg := range p.Pkgs {
+		for _, file := range pkg.Files {
+			covered := w.fileDirectives(file)
+			for _, fn := range functionsIn(file) {
+				a := w.analyze(pkg, file, fn)
+				a.eachNode(func(n ast.Node, fact *lockFact) {
+					for _, acc := range collectAccesses(n) {
+						sel := acc.sel
+						field := fieldOf(pkg.Info, sel)
+						if field == nil {
+							continue
+						}
+						spec := specs[field]
+						if spec == nil || spec.badSpec != "" {
+							continue
+						}
+						line := p.Fset.Position(sel.Pos()).Line
+						if _, ok := covered[line]["nolock"]; ok {
+							continue
+						}
+						need := lockShared
+						verb := "read"
+						if acc.write {
+							need = lockExcl
+							verb = "written"
+						}
+						if holdsGuard(pkg, fact, sel, spec, need) {
+							continue
+						}
+						diags = append(diags, p.Diag("guardedby", sel.Pos(),
+							"field %s.%s %s without %s held%s on all paths; acquire it or annotate //zerosum:nolock <why>",
+							spec.owner, spec.field, verb, guardName(pkg, sel, spec), needSuffix(need)))
+					}
+					// Obligations: calls to //zerosum:locked functions.
+					forEachCall(n, func(call *ast.CallExpr) {
+						callee := calleeFunc(pkg.Info, call)
+						if callee == nil {
+							return
+						}
+						sum := w.summaries[callee]
+						if sum == nil || len(sum.requires) == 0 {
+							return
+						}
+						line := p.Fset.Position(call.Pos()).Line
+						if _, ok := covered[line]["nolock"]; ok {
+							return
+						}
+						lat := a.lat
+						for _, ref := range sum.requires {
+							want, ok := lat.instantiate(ref, call)
+							if !ok {
+								want = lockKey{class: ref.class}
+							}
+							if fact.holds(want, lockExcl) {
+								continue
+							}
+							diags = append(diags, p.Diag("guardedby", call.Pos(),
+								"call to %s requires %s held (//zerosum:locked), but it is not held on all paths here",
+								shortName(callee), want.display()))
+						}
+					})
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// holdsGuard checks one access against its spec. Sibling-form specs demand
+// the access's own base instance ("x.F needs x.mu" — holding some OTHER
+// instance's mutex does not count); class-form specs accept any held lock
+// of the class. One exception keeps sibling specs usable inside closures:
+// a class-only fact (root == nil) comes from a //zerosum:locked
+// precondition, which asserts "an instance of this class is held", and the
+// declared word is accepted.
+func holdsGuard(pkg *Pkg, fact *lockFact, sel *ast.SelectorExpr, spec *guardSpec, need lockMode) bool {
+	if spec.sibling != "" {
+		if root, base, ok := resolvePathExpr(pkg.Info, sel.X); ok {
+			want := lockKey{root: root, path: joinPath(base, spec.sibling), class: spec.class}
+			if m, held := fact.held[want]; held && m >= need {
+				return true
+			}
+			for k, m := range fact.held {
+				if k.root == nil && k.class == spec.class && m >= need {
+					return true
+				}
+			}
+			return false
+		}
+		// Base not a simple path (map element, call result): fall back to
+		// the class so chained expressions do not false-positive.
+	}
+	return fact.holds(lockKey{class: spec.class}, need)
+}
+
+func guardName(pkg *Pkg, sel *ast.SelectorExpr, spec *guardSpec) string {
+	if spec.sibling != "" {
+		if _, base, ok := resolvePathExpr(pkg.Info, sel.X); ok {
+			root, _, _ := resolvePathExpr(pkg.Info, sel.X)
+			name := root.Name()
+			if base != "" {
+				name += "." + base
+			}
+			return name + "." + spec.sibling
+		}
+	}
+	return spec.class
+}
+
+func needSuffix(need lockMode) string {
+	if need == lockExcl {
+		return " exclusively"
+	}
+	return ""
+}
+
+// collectGuards gathers every //zerosum:guardedby field annotation in the
+// module, keyed by the field's type object.
+func collectGuards(p *Program) map[*types.Var]*guardSpec {
+	specs := make(map[*types.Var]*guardSpec)
+	for _, pkg := range p.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, s := range gd.Specs {
+					ts, ok := s.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					collectStructGuards(pkg, ts.Name.Name, st, specs)
+				}
+			}
+		}
+	}
+	return specs
+}
+
+func collectStructGuards(pkg *Pkg, typeName string, st *ast.StructType, specs map[*types.Var]*guardSpec) {
+	fieldNames := make(map[string]bool)
+	for _, f := range st.Fields.List {
+		for _, name := range f.Names {
+			fieldNames[name.Name] = true
+		}
+	}
+	for _, f := range st.Fields.List {
+		arg, ok := fieldDirectives(f)["guardedby"]
+		if !ok {
+			continue
+		}
+		lockName, _, _ := strings.Cut(arg, " ")
+		for _, name := range f.Names {
+			v, ok := pkg.Info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			spec := &guardSpec{owner: typeName, field: name.Name, declPos: name.Pos()}
+			if tn, fn, isClass := strings.Cut(lockName, "."); isClass {
+				spec.class = fieldClass(pkg, tn, fn)
+			} else if fieldNames[lockName] {
+				spec.sibling = lockName
+				spec.class = fieldClass(pkg, typeName, lockName)
+			} else {
+				spec.badSpec = lockName
+			}
+			specs[v] = spec
+		}
+	}
+}
+
+func orderedSpecs(specs map[*types.Var]*guardSpec) []*guardSpec {
+	out := make([]*guardSpec, 0, len(specs))
+	for _, s := range specs {
+		out = append(out, s)
+	}
+	// Position order keeps the bad-annotation diagnostics deterministic.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].declPos < out[j-1].declPos; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// functionsIn lists every function body in a file: declarations plus all
+// function literals (each literal is its own analysis unit — it may run on
+// a different goroutine or under a caller-provided lock, declared with a
+// //zerosum:locked line directive).
+func functionsIn(file *ast.File) []ast.Node {
+	var out []ast.Node
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			out = append(out, fd)
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			out = append(out, fl)
+		}
+		return true
+	})
+	return out
+}
+
+// fieldOf resolves a selector to the struct field it reads or writes (nil
+// for methods, package members, and unresolved selectors).
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// access is one field use found inside a CFG node.
+type access struct {
+	sel   *ast.SelectorExpr
+	write bool
+}
+
+// collectAccesses finds every selector access inside one CFG node, with
+// write/read classification. Function-literal bodies are excluded (they are
+// separate analysis units); for defer/go statements the argument
+// expressions count (evaluated at the statement), the deferred call's
+// effects do not.
+func collectAccesses(n ast.Node) []access {
+	writes := make(map[ast.Expr]bool)
+	markWrite := func(e ast.Expr) {
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				writes[x] = true
+				return
+			default:
+				return
+			}
+		}
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				markWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			markWrite(x.X)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				// Address taken: the pointer may be written through.
+				markWrite(x.X)
+			}
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Obj == nil && id.Name == "delete" && len(x.Args) > 0 {
+				markWrite(x.Args[0])
+			}
+		}
+		return true
+	})
+
+	var out []access
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if sel, ok := x.(*ast.SelectorExpr); ok {
+			out = append(out, access{sel: sel, write: writes[sel]})
+		}
+		return true
+	})
+	return out
+}

@@ -22,6 +22,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding, renderable as "file:line: [check] message".
@@ -75,15 +76,44 @@ func Checks(opt Options) []Check {
 		goleakCheck{},
 		wiresyncCheck{},
 		clockCheck{scope: opt.ClockScope},
+		guardedbyCheck{},
+		lockorderCheck{},
+		atomicCheck{},
+		goroutinestopCheck{},
 	}
 }
 
-// Run executes the checks and returns their findings sorted by position.
+// Run executes the checks and returns their findings in the canonical order.
 func Run(p *Program, checks []Check) []Diagnostic {
+	diags, _ := RunTimed(p, checks)
+	return diags
+}
+
+// CheckTiming is one check's wall-clock cost, for the -time budget report.
+type CheckTiming struct {
+	Check   string
+	Elapsed time.Duration
+}
+
+// RunTimed is Run with per-check wall-clock timings (zslint -time uses it
+// to police the CI runtime budget).
+func RunTimed(p *Program, checks []Check) ([]Diagnostic, []CheckTiming) {
 	var diags []Diagnostic
+	timings := make([]CheckTiming, 0, len(checks))
 	for _, c := range checks {
+		start := time.Now()
 		diags = append(diags, c.Run(p)...)
+		timings = append(timings, CheckTiming{Check: c.Name(), Elapsed: time.Since(start)})
 	}
+	sortDiagnostics(diags)
+	return diags, timings
+}
+
+// sortDiagnostics is THE diagnostic ordering — (file, line, check, col,
+// message) — used by Run, the baseline machinery, and the CLI alike, and
+// pinned by a golden test. Keying check before column keeps the order
+// stable when a check's reported column shifts by a token.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -92,12 +122,14 @@ func Run(p *Program, checks []Check) []Diagnostic {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Check < b.Check
+		return a.Message < b.Message
 	})
-	return diags
 }
 
 // WriteText renders diagnostics one per line.
@@ -138,7 +170,12 @@ func inScope(rel string, scope []string) bool {
 // space after //, like //go:build): //zerosum:hotpath, //zerosum:coldpath,
 // //zerosum:detached <why>, //zerosum:wallclock <why>,
 // //zerosum:wire-encode <group>, //zerosum:wire-decode <group>,
-// //zerosum:nowire <why>.
+// //zerosum:nowire <why>, and the concurrency set — //zerosum:guardedby
+// <lock> on struct fields (lock is a sibling field name or Type.field lock
+// class), //zerosum:locked <lock> [why] on functions or closure lines
+// (declares the caller-holds-lock precondition; checked at call sites),
+// //zerosum:nolock <why> on an access line (suppresses guardedby, atomic
+// and lockorder there).
 
 const directivePrefix = "//zerosum:"
 

@@ -22,6 +22,7 @@ type Program struct {
 	Pkgs    []*Pkg // dependency order (imports before importers)
 
 	funcs map[*types.Func]*FuncSource
+	locks *lockWorld // lazily-built shared state for the concurrency checks
 }
 
 // Pkg is one loaded, type-checked package of the module. Test files are not

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// lockorderCheck builds the module-wide lock-acquisition-order graph over
+// lock classes and reports cycles. An edge A -> B is recorded whenever a
+// lock of class B is acquired while a lock of class A is (must-)held — from
+// direct mutex calls, and from calls to module helpers whose summary says
+// they may acquire B (the one-level interprocedural reach). Two code paths
+// that take the same pair of locks in opposite orders deadlock when they
+// race; a cycle in this graph is exactly that hazard.
+//
+// Suppression: //zerosum:nolock on the acquiring line drops that edge.
+type lockorderCheck struct{}
+
+func (lockorderCheck) Name() string { return "lockorder" }
+
+// lockEdge is one observed ordering with its first witness site.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	what     string // description of the acquiring site
+}
+
+func (c lockorderCheck) Run(p *Program) []Diagnostic {
+	w := p.lockworld()
+	edges := map[[2]string]*lockEdge{}
+	record := func(from, to string, pos token.Pos, what string) {
+		if from == "" || to == "" || from == to {
+			return
+		}
+		k := [2]string{from, to}
+		if prev, ok := edges[k]; ok && prev.pos <= pos {
+			return
+		}
+		edges[k] = &lockEdge{from: from, to: to, pos: pos, what: what}
+	}
+
+	for _, pkg := range p.Pkgs {
+		for _, file := range pkg.Files {
+			covered := w.fileDirectives(file)
+			for _, fn := range functionsIn(file) {
+				a := w.analyze(pkg, file, fn)
+				a.eachNode(func(n ast.Node, fact *lockFact) {
+					forEachCall(n, func(call *ast.CallExpr) {
+						line := p.Fset.Position(call.Pos()).Line
+						if _, ok := covered[line]["nolock"]; ok {
+							return
+						}
+						var acquired []string
+						what := ""
+						if op, lockExpr, ok := mutexOp(pkg.Info, call); ok {
+							if op == opLock || op == opRLock {
+								if cl := lockClass(pkg.Info, lockExpr); cl != "" {
+									acquired = append(acquired, cl)
+									what = cl + ".Lock"
+								}
+							}
+						} else if callee := calleeFunc(pkg.Info, call); callee != nil {
+							if sum := w.summaries[callee]; sum != nil && len(sum.touched) > 0 {
+								acquired = sum.touched
+								what = "call to " + shortName(callee)
+							}
+						}
+						if len(acquired) == 0 {
+							return
+						}
+						heldClasses := map[string]bool{}
+						for k := range fact.held {
+							if k.class != "" {
+								heldClasses[k.class] = true
+							}
+						}
+						for _, to := range acquired {
+							for from := range heldClasses {
+								record(from, to, call.Pos(), what)
+							}
+						}
+						// Advance held state so later calls on the same line
+						// see this acquisition (mu1.Lock(); mu2.Lock() in
+						// one statement). Touched-vs-touched ordering inside
+						// a callee is the callee's own analysis.
+						fact = a.lat.applyCall(fact, call)
+					})
+				})
+			}
+		}
+	}
+
+	// Find cycles: strongly connected components of the class digraph with
+	// more than one node (or a self-loop, excluded at record time).
+	adj := map[string][]string{}
+	for k := range edges {
+		adj[k[0]] = append(adj[k[0]], k[1])
+	}
+	for _, v := range adj {
+		sort.Strings(v)
+	}
+	sccs := stronglyConnected(adj)
+
+	var diags []Diagnostic
+	for _, scc := range sccs {
+		if len(scc) < 2 {
+			continue
+		}
+		sort.Strings(scc)
+		// Witness: the lexicographically first in-cycle edge, for a stable
+		// position to report.
+		var witness *lockEdge
+		for _, from := range scc {
+			for _, to := range scc {
+				if e, ok := edges[[2]string{from, to}]; ok {
+					if witness == nil || e.pos < witness.pos {
+						witness = e
+					}
+				}
+			}
+		}
+		if witness == nil {
+			continue
+		}
+		diags = append(diags, p.Diag("lockorder", witness.pos,
+			"lock-order cycle among {%s}: %s acquires %s while %s is held, but another path orders them the other way — a deadlock when both run",
+			strings.Join(scc, ", "), witness.what, witness.to, witness.from))
+	}
+	return diags
+}
+
+// stronglyConnected is Tarjan's algorithm over a string digraph, returning
+// the components in a deterministic order.
+func stronglyConnected(adj map[string][]string) [][]string {
+	nodes := make([]string, 0, len(adj))
+	seen := map[string]bool{}
+	addNode := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for from, tos := range adj {
+		addNode(from)
+		for _, to := range tos {
+			addNode(to)
+		}
+	}
+	sort.Strings(nodes)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, wn := range adj[v] {
+			if _, ok := index[wn]; !ok {
+				strong(wn)
+				if low[wn] < low[v] {
+					low[v] = low[wn]
+				}
+			} else if onStack[wn] && index[wn] < low[v] {
+				low[v] = index[wn]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				n := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[n] = false
+				scc = append(scc, n)
+				if n == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, n := range nodes {
+		if _, ok := index[n]; !ok {
+			strong(n)
+		}
+	}
+	return sccs
+}

@@ -1,0 +1,778 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"zerosum/internal/lint/flow"
+)
+
+// This file models mutex state for the concurrency checks (guardedby,
+// lockorder). A lock is identified two ways at once:
+//
+//   - a key: the base variable plus selector path that names it in one
+//     function ("sh" + "mu" for sh.mu.Lock()), precise but function-local;
+//   - a class: the package-qualified declaration site ("aggd.rankShard.mu"
+//     for field mu of struct rankShard, "export.mu" for a package-level
+//     var), coarse but stable across functions and packages.
+//
+// The guardedby check matches keys when the annotation names a sibling
+// field (exact instance) and classes when it names a Type.field (any
+// instance — the sharded-state pattern where the mutex lives in an
+// enclosing shard struct). The lockorder graph is built over classes.
+
+// lockMode distinguishes shared (RLock) from exclusive (Lock) holds.
+type lockMode uint8
+
+const (
+	lockShared lockMode = 1
+	lockExcl   lockMode = 2
+)
+
+func (m lockMode) String() string {
+	if m == lockShared {
+		return "read-locked"
+	}
+	return "locked"
+}
+
+// lockKey identifies one lock inside one function's analysis. root is the
+// base variable object (nil for class-only facts, e.g. those seeded by a
+// //zerosum:locked Type.field precondition); path is the selector path from
+// it; class is the declaration-site class ("" for locals with no class).
+type lockKey struct {
+	root  types.Object
+	path  string
+	class string
+}
+
+func (k lockKey) display() string {
+	if k.root == nil {
+		return k.class
+	}
+	name := k.root.Name()
+	if k.path != "" {
+		name += "." + k.path
+	}
+	return name
+}
+
+func joinPath(a, b string) string {
+	if a == "" {
+		return b
+	}
+	if b == "" {
+		return a
+	}
+	return a + "." + b
+}
+
+// lockFact is the dataflow fact: the locks that must be held at a program
+// point, plus the locks this function has released so far on every path
+// (the latter feeds function summaries). nil means "unreached" (top).
+type lockFact struct {
+	held     map[lockKey]lockMode
+	released map[lockKey]bool
+}
+
+func newLockFact() *lockFact {
+	return &lockFact{held: map[lockKey]lockMode{}, released: map[lockKey]bool{}}
+}
+
+func (f *lockFact) clone() *lockFact {
+	n := newLockFact()
+	for k, m := range f.held {
+		n.held[k] = m
+	}
+	for k := range f.released {
+		n.released[k] = true
+	}
+	return n
+}
+
+// holds reports whether the fact satisfies a requirement: an exact key when
+// want.root is non-nil, otherwise any held lock of want.class. need is the
+// weakest acceptable mode (lockShared accepts either).
+func (f *lockFact) holds(want lockKey, need lockMode) bool {
+	if f == nil {
+		return true // unreachable code proves anything
+	}
+	if want.root != nil {
+		if m, ok := f.held[want]; ok && m >= need {
+			return true
+		}
+		// Fall through: an aliased instance of the same class still
+		// satisfies a class-bearing requirement.
+	}
+	if want.class == "" {
+		return false
+	}
+	for k, m := range f.held {
+		if k.class == want.class && m >= need {
+			return true
+		}
+	}
+	return false
+}
+
+// lockLattice implements flow.Lattice for *lockFact.
+type lockLattice struct {
+	w     *lockWorld
+	pkg   *Pkg
+	entry *lockFact
+	// summaries toggles one-level interprocedural effects; off while the
+	// summaries themselves are being computed (keeping them strictly
+	// intraprocedural, the documented depth).
+	summaries bool
+}
+
+func (l *lockLattice) Entry() *lockFact { return l.entry }
+
+func (l *lockLattice) Meet(a, b *lockFact) *lockFact {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	n := newLockFact()
+	for k, m := range a.held {
+		if mb, ok := b.held[k]; ok {
+			if mb < m {
+				m = mb
+			}
+			n.held[k] = m
+		}
+	}
+	for k := range a.released {
+		if b.released[k] {
+			n.released[k] = true
+		}
+	}
+	return n
+}
+
+func (l *lockLattice) Equal(a, b *lockFact) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if len(a.held) != len(b.held) || len(a.released) != len(b.released) {
+		return false
+	}
+	for k, m := range a.held {
+		if mb, ok := b.held[k]; !ok || mb != m {
+			return false
+		}
+	}
+	for k := range a.released {
+		if !b.released[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (l *lockLattice) Transfer(f *lockFact, n ast.Node) *lockFact {
+	if f == nil {
+		return nil
+	}
+	out := f
+	forEachCall(n, func(call *ast.CallExpr) {
+		out = l.applyCall(out, call)
+	})
+	return out
+}
+
+// applyCall flows one call's lock effects.
+func (l *lockLattice) applyCall(f *lockFact, call *ast.CallExpr) *lockFact {
+	if op, lockExpr, ok := mutexOp(l.pkg.Info, call); ok {
+		key := l.w.lockKeyFor(l.pkg, lockExpr)
+		n := f.clone()
+		switch op {
+		case opLock:
+			n.held[key] = lockExcl
+			delete(n.released, key)
+		case opRLock:
+			n.held[key] = lockShared
+			delete(n.released, key)
+		case opUnlock, opRUnlock:
+			delete(n.held, key)
+			n.released[key] = true
+		}
+		return n
+	}
+	if !l.summaries {
+		return f
+	}
+	callee := calleeFunc(l.pkg.Info, call)
+	if callee == nil {
+		return f
+	}
+	sum := l.w.summaries[callee]
+	if sum == nil || (len(sum.acquires) == 0 && len(sum.releases) == 0) {
+		return f
+	}
+	n := f.clone()
+	for _, ref := range sum.releases {
+		key, ok := l.instantiate(ref, call)
+		if !ok {
+			continue
+		}
+		delete(n.held, key)
+		n.released[key] = true
+	}
+	for _, ref := range sum.acquires {
+		key, ok := l.instantiate(ref, call)
+		if !ok {
+			key = lockKey{class: ref.class} // class-only fallback
+			if ref.class == "" {
+				continue
+			}
+		}
+		n.held[key] = ref.mode
+		delete(n.released, key)
+	}
+	return n
+}
+
+// instantiate maps a summary's formal lock reference to a caller-side key.
+func (l *lockLattice) instantiate(ref sumRef, call *ast.CallExpr) (lockKey, bool) {
+	switch ref.kind {
+	case sumGlobal:
+		return lockKey{root: ref.global, path: ref.path, class: ref.class}, true
+	case sumClass:
+		if ref.class == "" {
+			return lockKey{}, false
+		}
+		return lockKey{class: ref.class}, true
+	case sumRecv:
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return lockKey{}, false
+		}
+		root, base, ok := resolvePathExpr(l.pkg.Info, sel.X)
+		if !ok {
+			return lockKey{}, false
+		}
+		return lockKey{root: root, path: joinPath(base, ref.path), class: ref.class}, true
+	case sumParam:
+		if ref.param >= len(call.Args) {
+			return lockKey{}, false
+		}
+		root, base, ok := resolvePathExpr(l.pkg.Info, call.Args[ref.param])
+		if !ok {
+			return lockKey{}, false
+		}
+		return lockKey{root: root, path: joinPath(base, ref.path), class: ref.class}, true
+	}
+	return lockKey{}, false
+}
+
+// ---- mutex call resolution ----
+
+type mutexOpKind int
+
+const (
+	opLock mutexOpKind = iota
+	opRLock
+	opUnlock
+	opRUnlock
+)
+
+// mutexOp recognizes sync.Mutex/RWMutex method calls and returns the lock
+// operand expression (the `sh.mu` of sh.mu.Lock()). TryLock/TryRLock are
+// ignored: their acquisition is conditional on the return value, which a
+// path-insensitive analysis cannot track (a documented soundness limit).
+func mutexOp(info *types.Info, call *ast.CallExpr) (mutexOpKind, ast.Expr, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return 0, nil, false
+	}
+	var op mutexOpKind
+	switch fn.FullName() {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock":
+		op = opLock
+	case "(*sync.RWMutex).RLock":
+		op = opRLock
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock":
+		op = opUnlock
+	case "(*sync.RWMutex).RUnlock":
+		op = opRUnlock
+	default:
+		return 0, nil, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return 0, nil, false
+	}
+	return op, sel.X, true
+}
+
+// resolvePathExpr reduces an expression to (base variable, selector path):
+// sh.mu -> (sh, "mu"), js.shards[i].mu -> (js, "shards[i].mu"), &x -> x's
+// resolution. ok is false for expressions rooted in calls or literals.
+func resolvePathExpr(info *types.Info, e ast.Expr) (types.Object, string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			return v, "", true
+		}
+		return nil, "", false
+	case *ast.SelectorExpr:
+		root, p, ok := resolvePathExpr(info, e.X)
+		if !ok {
+			return nil, "", false
+		}
+		return root, joinPath(p, e.Sel.Name), true
+	case *ast.IndexExpr:
+		root, p, ok := resolvePathExpr(info, e.X)
+		if !ok {
+			return nil, "", false
+		}
+		return root, p + "[" + types.ExprString(e.Index) + "]", true
+	case *ast.StarExpr:
+		return resolvePathExpr(info, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return resolvePathExpr(info, e.X)
+		}
+	}
+	return nil, "", false
+}
+
+// lockClass names a lock's declaration site: "pkg.Type.field" for a struct
+// field, "pkg.var" for a package-level variable, "" for locals.
+func lockClass(info *types.Info, lockExpr ast.Expr) string {
+	switch e := ast.Unparen(lockExpr).(type) {
+	case *ast.SelectorExpr:
+		if sel := info.Selections[e]; sel != nil {
+			if f, ok := sel.Obj().(*types.Var); ok && f.IsField() {
+				if named := namedRecv(sel.Recv()); named != nil && named.Obj().Pkg() != nil {
+					return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + f.Name()
+				}
+			}
+		}
+		// pkg-qualified package-level var: otherpkg.mu
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+	case *ast.IndexExpr:
+		return lockClass(info, e.X)
+	case *ast.StarExpr:
+		return lockClass(info, e.X)
+	}
+	return ""
+}
+
+func namedRecv(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// fieldClass resolves "pkg.Type.field" for field name on struct type named
+// typeName in pkg (used when an annotation names the lock by Type.field).
+func fieldClass(pkg *Pkg, typeName, fieldName string) string {
+	return pkg.Types.Name() + "." + typeName + "." + fieldName
+}
+
+// forEachCall applies fn to every call expression evaluated when node runs:
+// function-literal bodies are skipped (they run when called, not here), and
+// for defer/go statements only the argument expressions count (the call
+// itself runs later / elsewhere). Calls are visited in position order,
+// which matches evaluation order for the straight-line leaves the CFG
+// stores.
+func forEachCall(n ast.Node, fn func(*ast.CallExpr)) {
+	var skipCall *ast.CallExpr
+	switch s := n.(type) {
+	case *ast.DeferStmt:
+		skipCall = s.Call
+	case *ast.GoStmt:
+		skipCall = s.Call
+	case nil:
+		return
+	}
+	var calls []*ast.CallExpr
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if c, ok := x.(*ast.CallExpr); ok && c != skipCall {
+			calls = append(calls, c)
+		}
+		return true
+	})
+	sort.SliceStable(calls, func(i, j int) bool { return calls[i].End() < calls[j].End() })
+	for _, c := range calls {
+		fn(c)
+	}
+}
+
+// ---- function summaries ----
+
+type sumKind int
+
+const (
+	sumRecv sumKind = iota
+	sumParam
+	sumGlobal
+	sumClass
+)
+
+// sumRef is one lock in a function summary, expressed relative to the
+// function's formals so call sites can substitute their actuals.
+type sumRef struct {
+	kind   sumKind
+	param  int
+	global types.Object
+	path   string
+	class  string
+	mode   lockMode
+}
+
+// lockSummary is the one-level interprocedural view of a function: the
+// locks it acquires and releases on every path through to return (net of
+// its deferred unlocks), the lock classes it may touch at all (for the
+// lock-order graph), and the locks its //zerosum:locked annotation obliges
+// callers to hold.
+type lockSummary struct {
+	acquires []sumRef
+	releases []sumRef
+	touched  []string
+	requires []sumRef
+}
+
+// lockWorld is the shared analysis state the concurrency checks draw from:
+// per-function summaries and lazily-computed per-function dataflow results.
+// Built once per Program and cached (the checks run sequentially).
+type lockWorld struct {
+	p         *Program
+	summaries map[*types.Func]*lockSummary
+	analyses  map[ast.Node]*lockAnalysis
+	lineDirs  map[*ast.File]map[int]map[string]string
+}
+
+// lockworld returns the Program's cached lock analysis state.
+func (p *Program) lockworld() *lockWorld {
+	if p.locks == nil {
+		w := &lockWorld{
+			p:         p,
+			summaries: make(map[*types.Func]*lockSummary),
+			analyses:  make(map[ast.Node]*lockAnalysis),
+			lineDirs:  make(map[*ast.File]map[int]map[string]string),
+		}
+		w.buildSummaries()
+		p.locks = w
+	}
+	return p.locks
+}
+
+func (w *lockWorld) fileDirectives(file *ast.File) map[int]map[string]string {
+	m, ok := w.lineDirs[file]
+	if !ok {
+		m = lineDirectives(w.p.Fset, file)
+		w.lineDirs[file] = m
+	}
+	return m
+}
+
+func (w *lockWorld) lockKeyFor(pkg *Pkg, lockExpr ast.Expr) lockKey {
+	class := lockClass(pkg.Info, lockExpr)
+	root, path, ok := resolvePathExpr(pkg.Info, lockExpr)
+	if !ok {
+		return lockKey{class: class}
+	}
+	return lockKey{root: root, path: path, class: class}
+}
+
+func (w *lockWorld) buildSummaries() {
+	for _, pkg := range w.p.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				w.summaries[obj] = w.summarize(pkg, fd)
+			}
+		}
+	}
+}
+
+// requiresOf parses a //zerosum:locked directive value ("mu", "Type.mu", or
+// a comma-separated list; trailing free text after a space is the why).
+func (w *lockWorld) requiresOf(pkg *Pkg, fd *ast.FuncDecl, arg string) []sumRef {
+	spec, _, _ := strings.Cut(arg, " ")
+	var out []sumRef
+	for _, one := range strings.Split(spec, ",") {
+		one = strings.TrimSpace(one)
+		if one == "" {
+			continue
+		}
+		if typeName, fieldName, ok := strings.Cut(one, "."); ok {
+			out = append(out, sumRef{kind: sumClass, class: fieldClass(pkg, typeName, fieldName), mode: lockExcl})
+			continue
+		}
+		// Sibling-field form: the receiver's own lock field.
+		if fd != nil && fd.Recv != nil && len(fd.Recv.List) > 0 {
+			class := ""
+			if named := recvNamed(pkg, fd); named != nil && named.Obj().Pkg() != nil {
+				class = named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + one
+			}
+			out = append(out, sumRef{kind: sumRecv, path: one, class: class, mode: lockExcl})
+		}
+	}
+	return out
+}
+
+func recvNamed(pkg *Pkg, fd *ast.FuncDecl) *types.Named {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	tv, ok := pkg.Info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	return namedRecv(tv.Type)
+}
+
+// summarize runs the strictly intraprocedural lock dataflow over one
+// declaration and lifts the result into formal-relative terms.
+func (w *lockWorld) summarize(pkg *Pkg, fd *ast.FuncDecl) *lockSummary {
+	sum := &lockSummary{}
+	if dirs := directives(fd.Doc); dirs != nil {
+		if arg, ok := dirs["locked"]; ok {
+			sum.requires = w.requiresOf(pkg, fd, arg)
+		}
+	}
+
+	g := flow.New(fd.Body)
+	lat := &lockLattice{w: w, pkg: pkg, entry: w.entryFact(pkg, fd, sum.requires)}
+	facts := flow.Solve[*lockFact](g, lat)
+	exit := facts[g.Exit]
+	if exit != nil {
+		exit = w.applyDefers(lat, g, exit)
+	}
+
+	// Formal objects: receiver and named parameters.
+	var recvObj types.Object
+	params := map[types.Object]int{}
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		recvObj = pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+	}
+	idx := 0
+	for _, f := range fd.Type.Params.List {
+		if len(f.Names) == 0 {
+			idx++
+			continue
+		}
+		for _, name := range f.Names {
+			if obj := pkg.Info.Defs[name]; obj != nil {
+				params[obj] = idx
+			}
+			idx++
+		}
+	}
+	entrySeeded := map[lockKey]bool{}
+	for k := range lat.entry.held {
+		entrySeeded[k] = true
+	}
+	lift := func(k lockKey, mode lockMode) (sumRef, bool) {
+		if k.root == nil {
+			return sumRef{}, false
+		}
+		if k.root == recvObj && recvObj != nil {
+			return sumRef{kind: sumRecv, path: k.path, class: k.class, mode: mode}, true
+		}
+		if i, ok := params[k.root]; ok {
+			return sumRef{kind: sumParam, param: i, path: k.path, class: k.class, mode: mode}, true
+		}
+		if k.root.Pkg() != nil && k.root.Parent() == k.root.Pkg().Scope() {
+			return sumRef{kind: sumGlobal, global: k.root, path: k.path, class: k.class, mode: mode}, true
+		}
+		return sumRef{}, false
+	}
+	if exit != nil {
+		for k, m := range exit.held {
+			if entrySeeded[k] {
+				continue
+			}
+			if ref, ok := lift(k, m); ok {
+				sum.acquires = append(sum.acquires, ref)
+			}
+		}
+		for k := range exit.released {
+			if ref, ok := lift(k, lockExcl); ok {
+				sum.releases = append(sum.releases, ref)
+			}
+		}
+	}
+	sortRefs(sum.acquires)
+	sortRefs(sum.releases)
+
+	// touched: every lock class this body may acquire directly (defers and
+	// goroutine bodies excluded — they run elsewhere in time or space).
+	seen := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, lockExpr, ok := mutexOp(pkg.Info, call); ok && (op == opLock || op == opRLock) {
+				if c := lockClass(pkg.Info, lockExpr); c != "" && !seen[c] {
+					seen[c] = true
+					sum.touched = append(sum.touched, c)
+				}
+			}
+		}
+		return true
+	})
+	sort.Strings(sum.touched)
+	return sum
+}
+
+func sortRefs(refs []sumRef) {
+	sort.Slice(refs, func(i, j int) bool {
+		a, b := refs[i], refs[j]
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		if a.param != b.param {
+			return a.param < b.param
+		}
+		if a.path != b.path {
+			return a.path < b.path
+		}
+		return a.class < b.class
+	})
+}
+
+// entryFact seeds a function's entry with its declared preconditions.
+func (w *lockWorld) entryFact(pkg *Pkg, fd *ast.FuncDecl, requires []sumRef) *lockFact {
+	f := newLockFact()
+	var recvObj types.Object
+	if fd != nil && fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		recvObj = pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+	}
+	for _, ref := range requires {
+		switch ref.kind {
+		case sumClass:
+			f.held[lockKey{class: ref.class}] = ref.mode
+		case sumRecv:
+			if recvObj != nil {
+				f.held[lockKey{root: recvObj, path: ref.path, class: ref.class}] = ref.mode
+			} else if ref.class != "" {
+				f.held[lockKey{class: ref.class}] = ref.mode
+			}
+		}
+	}
+	return f
+}
+
+// applyDefers flows the recorded defer calls through a fact — the state
+// after the function's deferred unlocks run. Deferred closures are scanned
+// for direct mutex operations too (the `defer func() { mu.Unlock() }()`
+// idiom).
+func (w *lockWorld) applyDefers(lat *lockLattice, g *flow.Graph, f *lockFact) *lockFact {
+	for _, call := range g.Defers {
+		if _, _, ok := mutexOp(lat.pkg.Info, call); ok {
+			f = lat.applyCall(f, call)
+			continue
+		}
+		if fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(fl.Body, func(n ast.Node) bool {
+				if inner, ok := n.(*ast.CallExpr); ok {
+					if _, _, ok := mutexOp(lat.pkg.Info, inner); ok {
+						f = lat.applyCall(f, inner)
+					}
+				}
+				return true
+			})
+			continue
+		}
+		if lat.summaries {
+			f = lat.applyCall(f, call)
+		}
+	}
+	return f
+}
+
+// ---- per-function analysis for the checks ----
+
+// lockAnalysis is one function's solved dataflow, replayable node by node.
+type lockAnalysis struct {
+	pkg   *Pkg
+	graph *flow.Graph
+	lat   *lockLattice
+	facts map[*flow.Block]*lockFact
+}
+
+// analyze returns the (cached) lock dataflow for a FuncDecl or FuncLit.
+// file is the file containing it (for //zerosum:locked line directives on
+// function literals).
+func (w *lockWorld) analyze(pkg *Pkg, file *ast.File, fn ast.Node) *lockAnalysis {
+	if a, ok := w.analyses[fn]; ok {
+		return a
+	}
+	var body *ast.BlockStmt
+	entry := newLockFact()
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+		var requires []sumRef
+		if obj, ok := pkg.Info.Defs[fn.Name].(*types.Func); ok {
+			if sum := w.summaries[obj]; sum != nil {
+				requires = sum.requires
+			}
+		}
+		entry = w.entryFact(pkg, fn, requires)
+	case *ast.FuncLit:
+		body = fn.Body
+		line := w.p.Fset.Position(fn.Pos()).Line
+		if arg, ok := w.fileDirectives(file)[line]["locked"]; ok {
+			entry = w.entryFact(pkg, nil, w.requiresOf(pkg, nil, arg))
+		}
+	}
+	g := flow.New(body)
+	lat := &lockLattice{w: w, pkg: pkg, entry: entry, summaries: true}
+	a := &lockAnalysis{pkg: pkg, graph: g, lat: lat, facts: flow.Solve[*lockFact](g, lat)}
+	w.analyses[fn] = a
+	return a
+}
+
+// eachNode replays the transfer function block by block, handing fn the
+// fact in force just before each node executes. Unreachable blocks are
+// skipped (no fact can be wrong in code that cannot run).
+func (a *lockAnalysis) eachNode(fn func(n ast.Node, fact *lockFact)) {
+	for _, b := range a.graph.Blocks {
+		fact, ok := a.facts[b]
+		if !ok || fact == nil {
+			continue
+		}
+		for _, n := range b.Nodes {
+			fn(n, fact)
+			fact = a.lat.Transfer(fact, n)
+		}
+	}
+}

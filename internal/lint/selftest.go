@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// SelfTest is the analyzer's own smoke test, runnable from the built binary
+// (`zslint -self`): it loads every fixture mini-module under
+// <root>/internal/lint/testdata, runs the matching check, and compares the
+// diagnostics against the committed expected.txt goldens. This catches an
+// analyzer built against a toolchain whose go/types behaves differently —
+// each fixture must still produce exactly its known findings and nothing
+// else. Returns false (with details on w) when any fixture diverges.
+func SelfTest(root string, w io.Writer) (bool, error) {
+	fixtures := filepath.Join(root, "internal", "lint", "testdata")
+	entries, err := os.ReadDir(fixtures)
+	if err != nil {
+		return false, fmt.Errorf("lint: self-test fixtures: %w", err)
+	}
+	byName := make(map[string]Check)
+	for _, c := range Checks(Options{ErrcheckScope: []string{""}, ClockScope: []string{""}}) {
+		byName[c.Name()] = c
+	}
+	ok := true
+	ran := 0
+	for _, e := range entries {
+		name := e.Name()
+		check := byName[name]
+		if check == nil {
+			ok = false
+			fmt.Fprintf(w, "self-test: testdata/%s matches no check\n", name)
+			continue
+		}
+		dir := filepath.Join(fixtures, name)
+		prog, err := Load(dir)
+		if err != nil {
+			return false, fmt.Errorf("lint: self-test %s: %w", name, err)
+		}
+		var got strings.Builder
+		if err := WriteText(&got, Run(prog, []Check{check})); err != nil {
+			return false, err
+		}
+		want, err := os.ReadFile(filepath.Join(dir, "expected.txt"))
+		if err != nil {
+			return false, fmt.Errorf("lint: self-test %s: %w", name, err)
+		}
+		if got.String() != string(want) {
+			ok = false
+			fmt.Fprintf(w, "self-test: %s diverged\n--- got ---\n%s--- want ---\n%s", name, got.String(), want)
+		}
+		ran++
+	}
+	if ran < len(byName) {
+		ok = false
+		fmt.Fprintf(w, "self-test: %d fixtures for %d checks\n", ran, len(byName))
+	}
+	return ok, nil
+}

@@ -1,0 +1,42 @@
+// Package atomicfix exercises the atomic-consistency check: a field
+// updated through sync/atomic in one place and read plainly in another is
+// a data race the schedule may never surface; atomic-everywhere,
+// plain-everywhere, and typed-atomic fields are all fine.
+package atomicfix
+
+import "sync/atomic"
+
+// stats mixes access modes on hits — the race this check exists for.
+type stats struct {
+	hits   uint64
+	misses uint64
+	flips  atomic.Bool
+}
+
+// Hit bumps hits atomically.
+func (s *stats) Hit() { atomic.AddUint64(&s.hits, 1) }
+
+// Snapshot reads hits plainly while Hit runs concurrently.
+func (s *stats) Snapshot() uint64 {
+	return s.hits // true positive: plain read of an atomically-written field
+}
+
+// Miss and MissCount agree on plain access; no atomics, no finding.
+func (s *stats) Miss()             { s.misses++ }
+func (s *stats) MissCount() uint64 { return s.misses }
+
+// Flip uses a typed atomic — safe by construction, never flagged.
+func (s *stats) Flip() { s.flips.Store(true) }
+
+// consistent is atomic-everywhere: clean.
+type consistent struct {
+	n int64
+}
+
+func (c *consistent) Add() int64 { return atomic.AddInt64(&c.n, 1) }
+func (c *consistent) Get() int64 { return atomic.LoadInt64(&c.n) }
+
+// Final reads hits after every writer goroutine joined — justified escape.
+func (s *stats) Final() uint64 {
+	return s.hits //zerosum:nolock writers joined before this read
+}

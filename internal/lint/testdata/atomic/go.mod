@@ -1,0 +1,3 @@
+module fixture/atomic
+
+go 1.22

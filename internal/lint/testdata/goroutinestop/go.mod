@@ -1,0 +1,3 @@
+module fixture/goroutinestop
+
+go 1.22

@@ -1,0 +1,3 @@
+module fixture/guardedby
+
+go 1.22

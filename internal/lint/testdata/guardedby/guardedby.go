@@ -1,0 +1,171 @@
+// Package guardedby exercises the guardedby check: annotated fields
+// accessed with and without their lock, across the idioms the dataflow
+// engine must understand — defer-unlock, early-return unlock, branch
+// release, RLock reads, helper-acquired locks, //zerosum:locked
+// preconditions, and the class-form sharded pattern.
+package guardedby
+
+import "sync"
+
+// Counter guards n with its own mutex.
+type Counter struct {
+	mu sync.Mutex
+	n  int //zerosum:guardedby mu
+}
+
+// IncBad writes n without holding mu.
+func (c *Counter) IncBad() {
+	c.n++ // true positive: write without the lock
+}
+
+// IncGood locks around the write.
+func (c *Counter) IncGood() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// IncDefer uses the defer-unlock idiom; the lock is held until return.
+func (c *Counter) IncDefer() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// GetEarly unlocks on the early-return path and re-reads only while held.
+func (c *Counter) GetEarly(skip bool) int {
+	c.mu.Lock()
+	if skip {
+		c.mu.Unlock()
+		return -1
+	}
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+// BranchBad releases on one branch, so the join holds nothing for sure.
+func (c *Counter) BranchBad(flush bool) int {
+	c.mu.Lock()
+	if flush {
+		c.mu.Unlock()
+	}
+	v := c.n // true positive: not held on the flush path
+	if !flush {
+		c.mu.Unlock()
+	}
+	return v
+}
+
+// acquire and release give callers the lock through their summaries.
+func (c *Counter) acquire() { c.mu.Lock() }
+func (c *Counter) release() { c.mu.Unlock() }
+
+// IncViaHelper relies on acquire's one-level summary.
+func (c *Counter) IncViaHelper() {
+	c.acquire()
+	c.n++
+	c.release()
+}
+
+// incLocked runs with mu already held by the caller.
+//
+//zerosum:locked mu callers batch increments under one acquisition
+func (c *Counter) incLocked() {
+	c.n += 2
+}
+
+// Batch holds the lock across the locked helper.
+func (c *Counter) Batch() {
+	c.mu.Lock()
+	c.incLocked()
+	c.mu.Unlock()
+}
+
+// BatchBad calls the locked helper without the lock.
+func (c *Counter) BatchBad() {
+	c.incLocked() // true positive: declared precondition not met
+}
+
+// Snapshot reads n after all writers quiesced — justified escape.
+func (c *Counter) Snapshot() int {
+	return c.n //zerosum:nolock single-threaded at shutdown
+}
+
+// Table guards m with an RWMutex: reads need shared, writes exclusive.
+type Table struct {
+	rw sync.RWMutex
+	m  map[string]int //zerosum:guardedby rw
+}
+
+// LookupGood reads under the read lock.
+func (t *Table) LookupGood(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.m[k]
+}
+
+// StoreBad writes under the read lock: shared mode cannot write.
+func (t *Table) StoreBad(k string, v int) {
+	t.rw.RLock()
+	t.m[k] = v // true positive: write needs the exclusive lock
+	t.rw.RUnlock()
+}
+
+// StoreGood writes under the write lock.
+func (t *Table) StoreGood(k string, v int) {
+	t.rw.Lock()
+	t.m[k] = v
+	t.rw.Unlock()
+}
+
+// shard is the sharded-state pattern: entry fields are guarded by the
+// owning shard's mutex, which the entry cannot name as a sibling — the
+// annotation names the lock class instead.
+type shard struct {
+	mu   sync.Mutex
+	ents map[string]*entry
+}
+
+type entry struct {
+	hits int //zerosum:guardedby shard.mu
+}
+
+// bump mutates an entry under its shard's lock.
+func (s *shard) bump(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.ents[k]
+	e.hits++
+}
+
+// peekBad touches an entry with no shard lock held anywhere.
+func (s *shard) peekBad(k string) int {
+	e := s.ents[k]
+	return e.hits // true positive: no shard.mu instance held
+}
+
+// each runs fn for every entry with the shard lock held.
+func (s *shard) each(fn func(*entry)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.ents {
+		fn(e)
+	}
+}
+
+// Total sums hits; the closure inherits the lock via the line directive.
+func (s *shard) Total() int {
+	n := 0
+	//zerosum:locked shard.mu each invokes fn under the shard lock
+	s.each(func(e *entry) {
+		n += e.hits
+	})
+	return n
+}
+
+// stale demonstrates annotation validation: the named sibling is missing.
+type stale struct {
+	mu  sync.Mutex
+	val int //zerosum:guardedby mux
+}

@@ -1,0 +1,74 @@
+// Package lockorder exercises the lockorder check: two code paths taking
+// the same pair of locks in opposite orders are a deadlock waiting for the
+// right schedule; consistent nesting is fine, and one-level helper
+// summaries contribute edges too.
+package lockorder
+
+import "sync"
+
+var (
+	a sync.Mutex
+	b sync.Mutex
+	c sync.Mutex
+	d sync.Mutex
+	e sync.Mutex
+)
+
+// AB nests a then b.
+func AB() {
+	a.Lock()
+	b.Lock() // true positive witness: a -> b here, b -> a in BA
+	b.Unlock()
+	a.Unlock()
+}
+
+// BA nests b then a: the reverse of AB — a cycle.
+func BA() {
+	b.Lock()
+	a.Lock()
+	a.Unlock()
+	b.Unlock()
+}
+
+// AC nests a then c, the only order c ever sees: no finding.
+func AC() {
+	a.Lock()
+	c.Lock()
+	c.Unlock()
+	a.Unlock()
+}
+
+// COnly takes c alone; single locks order nothing.
+func COnly() {
+	c.Lock()
+	c.Unlock()
+}
+
+// lockE gives callers e through its summary.
+func lockE()   { e.Lock() }
+func unlockE() { e.Unlock() }
+
+// DE orders d before e through the helper.
+func DE() {
+	d.Lock()
+	lockE()
+	unlockE()
+	d.Unlock()
+}
+
+// ED orders e before d directly: cycles with DE's summary edge.
+func ED() {
+	e.Lock()
+	d.Lock()
+	d.Unlock()
+	e.Unlock()
+}
+
+// Shutdown nests c then a — the reverse of AC — but runs single-threaded
+// at process exit, so the edge is suppressed.
+func Shutdown() {
+	c.Lock()
+	a.Lock() //zerosum:nolock single-threaded shutdown path
+	a.Unlock()
+	c.Unlock()
+}

@@ -95,6 +95,7 @@ func (st *Store) snapshotBlocks(job string) (*BlockSet, error) {
 		return nil, fmt.Errorf("tsdb: unknown job %q", job)
 	}
 	bs := &BlockSet{Job: job}
+	//zerosum:locked seriesShard.mu eachShard holds the shard lock around fn
 	db.eachShard(func(sh *seriesShard) {
 		for key, s := range sh.series {
 			fs := BlockSeries{Key: key}

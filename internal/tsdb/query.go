@@ -118,6 +118,7 @@ func (st *Store) Query(job string, opts QueryOpts) ([]SeriesResult, error) {
 	}
 	var out []SeriesResult
 	ds := int64(st.opts.Downsample)
+	//zerosum:locked seriesShard.mu eachShard holds the shard lock around fn
 	db.eachShard(func(sh *seriesShard) {
 		for key, s := range sh.series {
 			if !opts.matches(key) {

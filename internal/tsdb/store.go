@@ -19,7 +19,7 @@ type Store struct {
 	opts Options
 
 	mu   sync.RWMutex
-	jobs map[string]*jobDB
+	jobs map[string]*jobDB //zerosum:guardedby mu
 }
 
 type jobDB struct {
@@ -31,12 +31,12 @@ type jobDB struct {
 	evictedSamples atomic.Uint64
 
 	snapMu sync.RWMutex
-	snaps  map[snapKey]*snapDoc
+	snaps  map[snapKey]*snapDoc //zerosum:guardedby snapMu
 }
 
 type seriesShard struct {
 	mu     sync.Mutex
-	series map[SeriesKey]*Series
+	series map[SeriesKey]*Series //zerosum:guardedby mu
 }
 
 type snapKey struct {
