@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-record lint lint-baseline lint-self chaos fuzz golden golden-update
+.PHONY: check fmt vet build test race bench bench-record lint lint-baseline lint-self chaos chaos-tree fuzz golden golden-update
 
-check: fmt vet build race lint lint-self chaos fuzz golden
+check: fmt vet build race lint lint-self chaos chaos-tree fuzz golden
 
 # gofmt -l prints offending files; fail if it prints anything.
 fmt:
@@ -35,7 +35,7 @@ race:
 # baseline (exact for the small deterministic hot-path counts), fails.
 # After an intentional performance change, refresh the baseline with
 # `make bench-record` and commit it. docs/perf.md explains the budgets.
-BENCH_BASELINE ?= BENCH_PR6.json
+BENCH_BASELINE ?= BENCH_PR8.json
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem . | tee bench.out
 	$(GO) run ./cmd/zsbench -baseline $(BENCH_BASELINE) bench.out
@@ -70,12 +70,20 @@ CHAOS_SEEDS ?= 10
 chaos:
 	$(GO) test ./internal/chaos -race -run TestChaosSoak -seeds=$(CHAOS_SEEDS)
 
+# chaos-tree runs the aggregation-tree soak (docs/aggregation.md): agents
+# hashed over a leaf tier under one root, with leaf crashes, a root bounce,
+# and tier-by-tier conservation audits. Replay a failure with its seed:
+#   go test ./internal/chaos -run TestTreeSoak -seed=<N>
+chaos-tree:
+	$(GO) test ./internal/chaos -race -run TestTreeSoak -seeds=$(CHAOS_SEEDS)
+
 # fuzz smoke-runs each native fuzz target for FUZZTIME on top of its
 # checked-in seed corpus (testdata/fuzz/). Longer exploratory runs:
 #   make fuzz FUZZTIME=10m
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/aggd -run '^$$' -fuzz FuzzWireDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/aggd -run '^$$' -fuzz FuzzRollupFrameDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/proc -run '^$$' -fuzz FuzzProcStatParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/export -run '^$$' -fuzz FuzzHeatmapParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/obs -run '^$$' -fuzz FuzzObsSpanDecode -fuzztime $(FUZZTIME)

@@ -435,3 +435,132 @@ func TestStreamPublishZeroAlloc(t *testing.T) {
 		t.Error("subscriber never ran")
 	}
 }
+
+// BenchmarkRollupEncode measures the leaf→root re-framing cost: eight
+// pre-merged 512-event batches encoded into one rollup frame and decoded
+// back as the root's ingest path would, per iteration. The bytes/event
+// metric is the tree's wire amplification over the flat batch framing.
+func BenchmarkRollupEncode(b *testing.B) {
+	const batches = 8
+	const batchSize = 512
+	ru := &aggd.RollupMsg{LeafID: "leaf-0:9100", LeafEpoch: 1}
+	for r := 0; r < batches; r++ {
+		batch := benchBatch(r, batchSize)
+		batch.Seq = uint64(r)
+		ru.Batches = append(ru.Batches, *batch)
+	}
+	frame, err := aggd.EncodeRollupFrame(ru)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	buf := make([]byte, 0, len(frame))
+	for i := 0; i < b.N; i++ {
+		ru.Seq = uint64(i)
+		buf, err = aggd.AppendRollupFrame(buf[:0], ru)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dec, err := aggd.DecodeRollupPayload(buf[aggd.FrameHeaderLen:], aggd.WireVersion)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(dec.Batches) != batches {
+			b.Fatalf("decoded %d batches", len(dec.Batches))
+		}
+	}
+	b.ReportMetric(float64(len(frame))/(batches*batchSize), "bytes/event")
+}
+
+// BenchmarkTreeIngest measures end-to-end tree throughput: four agents
+// ship 512-event batches into a leaf aggregator that re-frames them as
+// rollups to a root, and the run only passes if the root's admitted count
+// conserves every event — so the number includes leaf admission, forward
+// buffering, rollup framing, and root re-merge, not just the front door.
+func BenchmarkTreeIngest(b *testing.B) {
+	const agents = 4
+	const batchSize = 512
+	root := aggd.NewServer(aggd.ServerConfig{})
+	rootTS := httptest.NewServer(root.Handler())
+	defer rootTS.Close()
+	leaf := aggd.NewServer(aggd.ServerConfig{Forward: &aggd.ForwardConfig{
+		Upstream:      rootTS.URL,
+		LeafID:        "bench-leaf",
+		Epoch:         1,
+		FlushInterval: 2 * time.Millisecond,
+		MaxBuffered:   16 << 20,
+		DisableGzip:   true,
+	}})
+	defer leaf.Close()
+	leafTS := httptest.NewServer(leaf.Handler())
+	defer leafTS.Close()
+	leafTS.Client().Transport.(*http.Transport).MaxIdleConnsPerHost = agents
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errc := make(chan error, agents)
+	for rank := 0; rank < agents; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			client := leafTS.Client()
+			batch := benchBatch(rank, batchSize)
+			var frame []byte
+			var seq uint64
+			for next.Add(1) <= int64(b.N) {
+				batch.Seq = seq
+				seq++
+				var err error
+				frame, err = aggd.AppendBatchFrame(frame[:0], batch)
+				if err != nil {
+					errc <- err
+					return
+				}
+				resp, err := client.Post(leafTS.URL+"/api/ingest", "application/octet-stream", bytes.NewReader(frame))
+				if err != nil {
+					errc <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode/100 != 2 {
+					errc <- fmt.Errorf("leaf ingest returned %s", resp.Status)
+					return
+				}
+			}
+		}(rank)
+	}
+	wg.Wait()
+	// Drain the forward buffer before the clock stops: the benchmark claims
+	// delivered-to-root throughput, not accepted-at-leaf throughput.
+	// Flush serializes with any in-flight shipment, so the books balance
+	// once a flush returns with nothing left pending.
+	for {
+		if !leaf.Forwarder().Flush() {
+			b.Fatalf("leaf flush failed: %+v", leaf.Forwarder().Stats())
+		}
+		fs := leaf.Forwarder().Stats()
+		if fs.PendingEvents == 0 && fs.EnqueuedEvents == fs.AckedEvents+fs.DroppedEvents {
+			break
+		}
+	}
+	b.StopTimer()
+	select {
+	case err := <-errc:
+		b.Fatal(err)
+	default:
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)*batchSize/secs, "events/s")
+	}
+	want := uint64(b.N) * batchSize
+	if fs := leaf.Forwarder().Stats(); fs.DroppedEvents != 0 || fs.AckedEvents != want {
+		b.Fatalf("forwarder lost events: %+v (want %d acked)", fs, want)
+	}
+	if st := root.Stats(); st.IngestEvents != want || st.DupBatches != 0 || st.RollupSkippedEvents != 0 {
+		b.Fatalf("root stats after %d batches: %+v", b.N, st)
+	}
+}

@@ -19,14 +19,25 @@
 // time-series store (see docs/tsdb.md); -block, -downsample and -retention
 // tune it.
 //
+// Daemons compose into an aggregation tree (docs/aggregation.md): a leaf
+// started with -leaf -upstream forwards everything it admits to its parent
+// as rollup frames, agents spread over the leaf tier by consistent hash,
+// and the root answers the job-wide queries exactly as a flat deployment
+// would. -peers publishes the sibling list at GET /api/peers so launchers
+// can discover the failover set; -restore warms a fresh daemon's TSDB from
+// ZSTB dumps.
+//
 // Usage:
 //
 //	zsaggd [-addr :9100] [-nvctx-per-sec N] [-retention 0] [-block 1m]
 //	       [-downsample 5s] [-v]
+//	       [-leaf -upstream http://root:9100 [-leaf-id name]]
+//	       [-peers url1,url2,...] [-restore dump1.zstb,...]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -35,6 +46,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -52,18 +64,50 @@ func main() {
 		block      = flag.Duration("block", tsdb.DefaultBlock, "TSDB block width: head chunks seal on this sample-clock boundary")
 		downsample = flag.Duration("downsample", tsdb.DefaultDownsample, "TSDB rollup bucket width computed at chunk seal")
 		retention  = flag.Duration("retention", 0, "drop sealed TSDB chunks older than this behind each job's newest sample (0 = keep everything)")
+		leaf       = flag.Bool("leaf", false, "run as a leaf aggregator: forward admitted data upstream as rollup frames (requires -upstream)")
+		upstream   = flag.String("upstream", "", "parent aggregator base URL for leaf mode (implies -leaf)")
+		leafID     = flag.String("leaf-id", "", "leaf identity stamped on rollup frames (default: the listen address)")
+		peers      = flag.String("peers", "", "comma-separated sibling leaf URLs served at GET /api/peers for agent failover discovery")
+		restore    = flag.String("restore", "", "comma-separated ZSTB dump files imported into the TSDB at startup")
 	)
 	flag.Parse()
 
-	srv := aggd.NewServer(aggd.ServerConfig{
+	if *leaf && *upstream == "" {
+		fmt.Fprintln(os.Stderr, "zsaggd: -leaf requires -upstream")
+		os.Exit(2)
+	}
+	cfg := aggd.ServerConfig{
 		Thresholds: core.EvalThresholds{NVCtxPerSec: *nvctx},
 		TSDB: tsdb.Options{
 			Block:      *block,
 			Downsample: *downsample,
 			Retention:  *retention,
 		},
-	})
+	}
+	if *upstream != "" {
+		id := *leafID
+		if id == "" {
+			id = *addr
+		}
+		cfg.Forward = &aggd.ForwardConfig{
+			Upstream: *upstream,
+			LeafID:   id,
+			// Wall-clock nanos make every restart a fresh incarnation, so
+			// replays from the previous one dedup at the parent.
+			Epoch: uint64(time.Now().UnixNano()),
+		}
+	}
+	srv := aggd.NewServer(cfg)
+	if *restore != "" {
+		if err := restoreDumps(srv, *restore); err != nil {
+			fmt.Fprintln(os.Stderr, "zsaggd:", err)
+			os.Exit(1)
+		}
+	}
 	var handler http.Handler = srv.Handler()
+	if *peers != "" {
+		handler = withPeers(handler, strings.Split(*peers, ","))
+	}
 	if *pprofSrv {
 		// /debug/obs is always on (it's cheap JSON); CPU/heap profiling of
 		// the daemon itself is opt-in.
@@ -111,12 +155,72 @@ func main() {
 		}()
 	}
 
-	log.Printf("zsaggd: listening on %s (POST /api/ingest, GET /metrics)", *addr)
+	role := "root"
+	if *upstream != "" {
+		role = fmt.Sprintf("leaf -> %s", *upstream)
+	}
+	log.Printf("zsaggd: listening on %s as %s (POST /api/ingest, GET /metrics)", *addr, role)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "zsaggd:", err)
 		os.Exit(1)
 	}
+	// Flush any rollups still buffered in the leaf forwarder before exiting.
+	if err := srv.Close(); err != nil {
+		log.Printf("zsaggd: close: %v", err)
+	}
 	log.Print("zsaggd: shut down")
+}
+
+// restoreDumps imports comma-separated ZSTB dump files into the server's
+// TSDB before it starts serving.
+func restoreDumps(srv *aggd.Server, list string) error {
+	for _, path := range strings.Split(list, ",") {
+		if path = strings.TrimSpace(path); path == "" {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("restore %s: %w", path, err)
+		}
+		bs, err := tsdb.UnmarshalBlocks(data)
+		if err != nil {
+			return fmt.Errorf("restore %s: %w", path, err)
+		}
+		n, err := srv.TSDB().ImportBlockSet(bs)
+		if err != nil {
+			return fmt.Errorf("restore %s: %w", path, err)
+		}
+		log.Printf("zsaggd: restored %d samples of job %q from %s", n, bs.Job, path)
+	}
+	return nil
+}
+
+// withPeers overlays GET /api/peers — the leaf tier's sibling list, for
+// launchers discovering the failover set — on the server handler.
+func withPeers(next http.Handler, peers []string) http.Handler {
+	clean := make([]string, 0, len(peers))
+	for _, p := range peers {
+		if p = strings.TrimSpace(p); p != "" {
+			clean = append(clean, p)
+		}
+	}
+	body, err := json.Marshal(clean)
+	if err != nil {
+		body = []byte("[]")
+	}
+	body = append(body, '\n')
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/api/peers" {
+			if r.Method != http.MethodGet {
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(body)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 func logRequests(next http.Handler) http.Handler {

@@ -18,6 +18,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"zerosum/internal/advisor"
 	"zerosum/internal/aggd"
@@ -50,7 +51,7 @@ func main() {
 		period   = flag.Duration("period", 0, "sampling period (default 1s)")
 		logdir   = flag.String("logdir", "", "write per-rank logs and CSVs here")
 		staged   = flag.Bool("staged", false, "with -logdir: also write per-rank staged .zsbp streams")
-		agg      = flag.String("agg", "", "stream samples to a zsaggd aggregator at this base URL")
+		agg      = flag.String("agg", "", "stream samples to zsaggd aggregator(s): one base URL, or a comma-separated leaf-tier list routed by consistent hash with failover")
 		jobName  = flag.String("job", "zsrun", "job id used when streaming to -agg")
 		trace    = flag.String("trace", "", "write the node-0 scheduling trace (Chrome trace JSON) here")
 		advise   = flag.Bool("advise", false, "run the configuration advisor on the rank-0 report")
@@ -140,8 +141,19 @@ func main() {
 	stagedSinks := map[int]*stagedRank{}
 	wantStaged := *staged && *logdir != "" && !*noMon
 	var streamer *aggd.JobStreamer
+	var aggURLs []string
 	if *agg != "" && !*noMon {
-		streamer = aggd.NewJobStreamer(aggd.AgentConfig{URL: *agg, Job: *jobName})
+		// A comma-separated -agg names a leaf tier: each rank's agent homes
+		// on its consistent-hash leaf and fails over to siblings.
+		for _, u := range strings.Split(*agg, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				aggURLs = append(aggURLs, u)
+			}
+		}
+		if len(aggURLs) == 0 {
+			fatal(fmt.Errorf("-agg %q names no endpoints", *agg))
+		}
+		streamer = aggd.NewJobStreamer(aggd.AgentConfig{URL: aggURLs[0], URLs: aggURLs, Job: *jobName})
 	}
 	if wantStaged || streamer != nil {
 		if wantStaged {
@@ -256,8 +268,10 @@ func main() {
 		st := streamer.Stats()
 		fmt.Printf("# streamed %d events in %d batches to %s (dropped %d)\n",
 			st.SentEvents, st.SentBatches, *agg, st.RingDrops+st.SendDrops)
-		fmt.Printf("#   curl %s/api/job/%s/summary\n", *agg, *jobName)
-		fmt.Printf("#   curl %s/metrics\n", *agg)
+		// In a tree deployment the summary lives at the root, one hop above
+		// these leaves; the first endpoint is only a hint.
+		fmt.Printf("#   curl %s/api/job/%s/summary\n", aggURLs[0], *jobName)
+		fmt.Printf("#   curl %s/metrics\n", aggURLs[0])
 	}
 	for rank, sr := range stagedSinks {
 		if err := sr.sink.Close(); err != nil {

@@ -20,6 +20,13 @@ import (
 type AgentConfig struct {
 	// URL is the aggregator base URL, e.g. "http://aggd:9100".
 	URL string
+	// URLs is the failover-ordered endpoint list for tree deployments
+	// (typically Router.Order for this stream): shipments go to the first
+	// entry, and when a shipment exhausts its retries there the agent
+	// re-homes to the next endpoint whose /healthz answers, bumping its
+	// epoch and restarting sequence numbering (see Rehome semantics on
+	// Agent). Empty falls back to [URL].
+	URLs []string
 	// Job, Node, Rank identify this stream at the aggregator.
 	Job  string
 	Node string
@@ -60,6 +67,12 @@ type AgentConfig struct {
 }
 
 func (c AgentConfig) withDefaults() AgentConfig {
+	if len(c.URLs) == 0 && c.URL != "" {
+		c.URLs = []string{c.URL}
+	}
+	if c.URL == "" && len(c.URLs) > 0 {
+		c.URL = c.URLs[0]
+	}
 	if c.RingCap <= 0 {
 		c.RingCap = 8192
 	}
@@ -100,6 +113,8 @@ type AgentStats struct {
 	SentBatches uint64
 	SentEvents  uint64
 	Retries     uint64
+	Rehomes     uint64 // failovers to a sibling endpoint
+	Epoch       uint64 // current stream epoch (bumped once per re-home)
 }
 
 // Agent is the per-process collector: it consumes a monitor's export.Stream
@@ -134,6 +149,16 @@ type Agent struct {
 	sentBatches atomic.Uint64
 	sentEvents  atomic.Uint64
 	retries     atomic.Uint64
+	rehomes     atomic.Uint64
+
+	// Failover state. urls is the immutable endpoint list (cfg.URLs); cur
+	// indexes the current home. Only the sender goroutine re-homes (and
+	// bumps epoch / resets seq with it) — the snapshot path reads cur and
+	// walks siblings on failure but never moves home — so cur and epoch
+	// are atomics for visibility, not for contended writes.
+	urls  []string
+	cur   atomic.Int32
+	epoch atomic.Uint64
 
 	seq    uint64 // sender-goroutine only
 	kick   chan struct{}
@@ -151,8 +176,8 @@ type Agent struct {
 // NewAgent starts an agent and its sender goroutine.
 func NewAgent(cfg AgentConfig) (*Agent, error) {
 	cfg = cfg.withDefaults()
-	if cfg.URL == "" {
-		return nil, fmt.Errorf("aggd: AgentConfig.URL is required")
+	if len(cfg.URLs) == 0 {
+		return nil, fmt.Errorf("aggd: AgentConfig.URL (or URLs) is required")
 	}
 	if cfg.Job == "" {
 		return nil, fmt.Errorf("aggd: AgentConfig.Job is required")
@@ -165,6 +190,7 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	_, _ = io.WriteString(h, cfg.Node) // hash.Hash Write never fails
 	a := &Agent{
 		cfg:         cfg,
+		urls:        cfg.URLs,
 		ring:        make([]eventSlot, cfg.RingCap),
 		slotScratch: make([]eventSlot, cfg.BatchSize),
 		shipEvents:  make([]export.Event, 0, cfg.BatchSize),
@@ -172,10 +198,14 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		done:        make(chan struct{}),
 		rng:         sim.NewRNG(h.Sum64() ^ uint64(cfg.Rank)<<32 ^ cfg.Epoch),
 	}
+	a.epoch.Store(cfg.Epoch)
 	a.wg.Add(1)
 	go a.run()
 	return a, nil
 }
+
+// currentURL returns the active endpoint's base URL.
+func (a *Agent) currentURL() string { return a.urls[a.cur.Load()] }
 
 // Attach subscribes the agent to a stream. One agent may consume several
 // streams (they share the ring and origin identity).
@@ -292,7 +322,7 @@ func (a *Agent) ship(events []export.Event) {
 	shipStart := a.cfg.Now()
 	b := Batch{
 		Origin: Origin{Job: a.cfg.Job, Node: a.cfg.Node, Rank: a.cfg.Rank},
-		Epoch:  a.cfg.Epoch,
+		Epoch:  a.epoch.Load(),
 		Seq:    a.seq,
 		Events: events,
 	}
@@ -304,9 +334,14 @@ func (a *Agent) ship(events []export.Event) {
 	}
 	a.frameBuf = frame
 	a.seq++
-	if err := a.post(frame); err != nil {
+	if err := a.post(a.currentURL(), frame); err != nil {
+		// The shipment is dropped, never re-sent elsewhere: the home may
+		// have applied it and lost only the ack, so resending it under a
+		// new epoch would double-merge. Conservation counts it lost, and
+		// the agent re-homes so the next batches land somewhere alive.
 		a.sendDrops.Add(uint64(len(events)))
 		a.cfg.Obs.RecordError(obs.StageExport)
+		a.rehome()
 		return
 	}
 	a.sentBatches.Add(1)
@@ -314,10 +349,69 @@ func (a *Agent) ship(events []export.Event) {
 	a.cfg.Obs.Record(obs.StageExport, shipStart, a.cfg.Now().Sub(shipStart))
 }
 
-// post sends one frame with gzip and retry-with-exponential-backoff.
+// rehome moves the stream to the next endpoint whose /healthz answers,
+// walking the failover list in ring order from the current home (the home
+// itself is probed last — if it recovered, staying is fine, but its state
+// may be gone, so the re-home semantics below still apply). Each full pass
+// with no healthy endpoint waits out a jittered, doubling backoff;
+// MaxRetries+1 passes bound the walk so shutdown is never blocked behind
+// a dead fleet.
+//
+// A successful re-home bumps the stream epoch and restarts sequence
+// numbering at 0: the new home has no sequence state for this stream, and
+// an epoch bump is exactly how the dedup protocol says "numbering starts
+// over — not a replay". Sender goroutine only.
+//
+//zerosum:wallclock failover probing waits on real network latency, not sampled time
+func (a *Agent) rehome() {
+	if len(a.urls) <= 1 {
+		return
+	}
+	backoff := a.cfg.BackoffBase
+	for pass := 0; pass <= a.cfg.MaxRetries; pass++ {
+		if a.killed.Load() {
+			return
+		}
+		cur := int(a.cur.Load())
+		for step := 1; step <= len(a.urls); step++ {
+			idx := (cur + step) % len(a.urls)
+			if a.healthy(a.urls[idx]) {
+				a.cur.Store(int32(idx))
+				a.epoch.Add(1)
+				a.seq = 0
+				a.rehomes.Add(1)
+				return
+			}
+		}
+		timer := time.NewTimer(a.jitter(backoff))
+		select {
+		case <-timer.C:
+		case <-a.done:
+			timer.Stop()
+			return
+		}
+		backoff *= 2
+		if backoff > a.cfg.MaxBackoff {
+			backoff = a.cfg.MaxBackoff
+		}
+	}
+}
+
+// healthy probes one endpoint's liveness.
+func (a *Agent) healthy(url string) bool {
+	resp, err := a.cfg.Client.Get(url + "/healthz")
+	if err != nil {
+		return false
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	return resp.StatusCode/100 == 2
+}
+
+// post sends one frame to url with gzip and retry-with-exponential-backoff.
 //
 //zerosum:wallclock retry backoff waits on real network latency, not sampled time
-func (a *Agent) post(frame []byte) error {
+func (a *Agent) post(url string, frame []byte) error {
 	body := frame
 	encoding := ""
 	if !a.cfg.DisableGzip {
@@ -332,7 +426,6 @@ func (a *Agent) post(frame []byte) error {
 			body, encoding = z.buf.Bytes(), "gzip"
 		}
 	}
-	url := a.cfg.URL + "/api/ingest"
 	backoff := a.cfg.BackoffBase
 	maxRetries := a.cfg.MaxRetries
 	var lastErr error
@@ -343,24 +436,9 @@ func (a *Agent) post(frame []byte) error {
 			}
 			return lastErr
 		}
-		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
-		if err != nil {
-			return err
-		}
-		req.Header.Set("Content-Type", "application/x-zerosum-aggd")
-		if encoding != "" {
-			req.Header.Set("Content-Encoding", encoding)
-		}
-		resp, err := a.cfg.Client.Do(req)
+		err := a.attempt(url, body, encoding)
 		if err == nil {
-			// Drain so the transport can reuse the connection; a failed
-			// drain only costs keep-alive, never data.
-			_, _ = io.Copy(io.Discard, resp.Body)
-			_ = resp.Body.Close()
-			if resp.StatusCode/100 == 2 {
-				return nil
-			}
-			err = fmt.Errorf("aggd: aggregator returned %s", resp.Status)
+			return nil
 		}
 		lastErr = err
 		if attempt >= maxRetries {
@@ -389,6 +467,30 @@ func (a *Agent) post(frame []byte) error {
 	}
 }
 
+// attempt makes one ingest POST to url.
+func (a *Agent) attempt(url string, body []byte, encoding string) error {
+	req, err := http.NewRequest(http.MethodPost, url+"/api/ingest", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-zerosum-aggd")
+	if encoding != "" {
+		req.Header.Set("Content-Encoding", encoding)
+	}
+	resp, err := a.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	// Drain so the transport can reuse the connection; a failed drain only
+	// costs keep-alive, never data.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode/100 == 2 {
+		return nil
+	}
+	return fmt.Errorf("aggd: aggregator returned %s", resp.Status)
+}
+
 // jitter spreads a backoff delay uniformly across [d/2, d).
 func (a *Agent) jitter(d time.Duration) time.Duration {
 	a.jitterMu.Lock()
@@ -398,7 +500,11 @@ func (a *Agent) jitter(d time.Duration) time.Duration {
 }
 
 // PushSnapshot synchronously ships a rank's report snapshot and its
-// received-bytes communication row (monitor.RecvBytes()).
+// received-bytes communication row (monitor.RecvBytes()). When the home
+// endpoint stays unreachable through its retries, the other failover
+// endpoints each get one direct attempt — a snapshot is an idempotent
+// wholesale replacement, so unlike a batch it is safe to deliver anywhere
+// (and possibly twice) — without moving the stream's home.
 func (a *Agent) PushSnapshot(snap core.Snapshot, commRow map[int]uint64) error {
 	frame, err := EncodeSnapshotFrame(&SnapshotMsg{
 		Origin:   Origin{Job: a.cfg.Job, Node: a.cfg.Node, Rank: a.cfg.Rank},
@@ -408,7 +514,19 @@ func (a *Agent) PushSnapshot(snap core.Snapshot, commRow map[int]uint64) error {
 	if err != nil {
 		return err
 	}
-	return a.post(frame)
+	cur := int(a.cur.Load())
+	if err = a.post(a.urls[cur], frame); err == nil {
+		return nil
+	}
+	for step := 1; step < len(a.urls); step++ {
+		if a.killed.Load() {
+			return err
+		}
+		if a.attempt(a.urls[(cur+step)%len(a.urls)], frame, "") == nil {
+			return nil
+		}
+	}
+	return err
 }
 
 // Stats snapshots the agent's counters.
@@ -423,6 +541,8 @@ func (a *Agent) Stats() AgentStats {
 		SentBatches: a.sentBatches.Load(),
 		SentEvents:  a.sentEvents.Load(),
 		Retries:     a.retries.Load(),
+		Rehomes:     a.rehomes.Load(),
+		Epoch:       a.epoch.Load(),
 	}
 }
 

@@ -1,0 +1,467 @@
+package aggd
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zerosum/internal/export"
+	"zerosum/internal/obs"
+	"zerosum/internal/sim"
+)
+
+// ForwardConfig tunes a leaf aggregator's upstream forwarder.
+type ForwardConfig struct {
+	// Upstream is the parent aggregator's base URL, e.g. "http://root:9100".
+	Upstream string
+	// LeafID is this leaf's stable identity in rollup frames; the parent
+	// keys its (epoch, seq) rollup dedup on it. Typically host:port.
+	LeafID string
+	// Epoch identifies this incarnation of the leaf process. Rollup
+	// sequence numbers restart at 0 inside each epoch, so a restarted leaf
+	// must bump it or the parent will discard its rollups as replays.
+	Epoch uint64
+
+	// FlushInterval ships buffered rollups at least this often
+	// (default 100 ms).
+	FlushInterval time.Duration
+	// EagerEvents triggers an immediate flush once this many events are
+	// buffered (default 4096).
+	EagerEvents int
+	// MaxBuffered bounds the buffered event count (default 65536). When an
+	// unreachable parent backs the buffer up past it, the oldest pending
+	// batches are dropped (and counted) — backpressure never propagates
+	// down to the agents.
+	MaxBuffered int
+	// MaxRetries is how many times a failed rollup shipment is retried
+	// before its events are counted as dropped (default 3).
+	MaxRetries int
+	// BackoffBase is the first retry delay, doubling per attempt
+	// (default 50 ms), capped at MaxBackoff (default 2 s), jittered like
+	// the agent's so sibling leaves do not reconnect in lockstep.
+	BackoffBase time.Duration
+	MaxBackoff  time.Duration
+	// DisableGzip ships rollups uncompressed.
+	DisableGzip bool
+	// Client overrides the HTTP client (default: 5 s timeout).
+	Client *http.Client
+	// Obs, when non-nil, records one StageExport span per rollup shipment.
+	Obs *obs.Recorder
+	// Now is the wall clock used to time shipments (default time.Now).
+	Now func() time.Time
+}
+
+func (c ForwardConfig) withDefaults() ForwardConfig {
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 100 * time.Millisecond
+	}
+	if c.EagerEvents <= 0 {
+		c.EagerEvents = 4096
+	}
+	if c.MaxBuffered <= 0 {
+		c.MaxBuffered = 65536
+	}
+	if c.EagerEvents > c.MaxBuffered {
+		c.EagerEvents = c.MaxBuffered
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// FwdStats is a point-in-time snapshot of a forwarder's counters. The
+// leaf's conservation invariant — once the forwarder is stopped — is
+//
+//	EnqueuedEvents == AckedEvents + DroppedEvents
+//
+// (while running, events in the pending buffer are in neither bucket),
+// which the tree soak audits against the leaf server's admitted counts.
+type FwdStats struct {
+	EnqueuedEvents uint64 // admitted events handed to the forwarder
+	AckedEvents    uint64 // events in rollups the parent acknowledged
+	DroppedEvents  uint64 // events lost to buffer overflow, failed shipments, or Kill
+	PendingEvents  uint64 // events currently buffered
+	SentRollups    uint64 // rollup frames acknowledged by the parent
+	DroppedRollups uint64 // rollup frames abandoned after exhausting retries
+	SentSnapshots  uint64 // snapshot documents shipped inside acked rollups
+	Retries        uint64
+	Epoch          uint64
+}
+
+// fwdBatch is one admitted agent batch waiting to ride upstream. It keeps
+// the original (origin, epoch, seq) identity so the parent's per-origin
+// dedup also covers the tree: a batch two leaf incarnations both admitted
+// (the agent's retry landed after a leaf restart) merges upstream exactly
+// once. Events are deep-copied into slots because the ingest arena that
+// decoded them is pooled.
+type fwdBatch struct {
+	origin Origin
+	epoch  uint64
+	seq    uint64
+	slots  []eventSlot
+}
+
+// Forwarder turns a server into a leaf: admitted batches and snapshot
+// documents buffer here and flush upstream as rollup frames. The enqueue
+// path runs under the server's rank-shard lock (that is what serializes a
+// single origin's batches into admission order), so it is a bounded
+// append; all I/O happens on the flusher goroutine.
+type Forwarder struct {
+	cfg ForwardConfig
+
+	mu sync.Mutex
+	// pending is the admitted-batch queue in arrival order; pendingEvents
+	// sums their event counts for the overflow and eager-flush thresholds.
+	pending       []*fwdBatch             //zerosum:guardedby mu
+	pendingEvents int                     //zerosum:guardedby mu
+	snaps         map[Origin]*SnapshotMsg //zerosum:guardedby mu latest unshipped snapshot per origin
+
+	// sendMu serializes flushes so rollup sequence numbers leave in order;
+	// seq and the scratch buffers below belong to whoever holds it.
+	sendMu   sync.Mutex
+	seq      uint64 //zerosum:guardedby sendMu
+	frameBuf []byte //zerosum:guardedby sendMu
+
+	enqueuedEvents atomic.Uint64
+	ackedEvents    atomic.Uint64
+	droppedEvents  atomic.Uint64
+	sentRollups    atomic.Uint64
+	droppedRollups atomic.Uint64
+	sentSnapshots  atomic.Uint64
+	retries        atomic.Uint64
+
+	kick   chan struct{}
+	done   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+	killed atomic.Bool
+
+	// jitterMu guards rng: flushes run on the flusher goroutine but also on
+	// whichever goroutine calls Flush.
+	jitterMu sync.Mutex
+	rng      *sim.RNG //zerosum:guardedby jitterMu
+}
+
+// NewForwarder starts a forwarder and its flusher goroutine.
+func NewForwarder(cfg ForwardConfig) (*Forwarder, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Upstream == "" {
+		return nil, fmt.Errorf("aggd: ForwardConfig.Upstream is required")
+	}
+	if cfg.LeafID == "" {
+		return nil, fmt.Errorf("aggd: ForwardConfig.LeafID is required")
+	}
+	// Deterministic jitter, same contract as the agent's: replaying a run
+	// replays the delays; the values only need to differ across leaves.
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, cfg.Upstream) // hash.Hash Write never fails
+	_, _ = io.WriteString(h, cfg.LeafID)   // hash.Hash Write never fails
+	f := &Forwarder{
+		cfg:   cfg,
+		snaps: make(map[Origin]*SnapshotMsg),
+		kick:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+		rng:   sim.NewRNG(h.Sum64() ^ cfg.Epoch),
+	}
+	f.wg.Add(1)
+	go f.run()
+	return f, nil
+}
+
+// EnqueueBatch buffers an admitted batch for the next rollup. The events
+// (and the payloads they point into) are copied before returning, so the
+// caller's decode arena is free to be reused.
+//
+//zerosum:locked rankShard.mu the server enqueues under the origin's shard lock, which is what orders one origin's batches
+func (f *Forwarder) EnqueueBatch(b *Batch) {
+	fb := &fwdBatch{origin: b.Origin, epoch: b.Epoch, seq: b.Seq,
+		slots: make([]eventSlot, len(b.Events))}
+	for i := range b.Events {
+		fb.slots[i].store(b.Events[i])
+	}
+	f.mu.Lock()
+	if f.closed.Load() {
+		f.mu.Unlock()
+		f.droppedEvents.Add(uint64(len(fb.slots)))
+		f.enqueuedEvents.Add(uint64(len(fb.slots)))
+		return
+	}
+	f.enqueuedEvents.Add(uint64(len(fb.slots)))
+	f.pending = append(f.pending, fb)
+	f.pendingEvents += len(fb.slots)
+	// Shed oldest-first when the parent has been unreachable long enough
+	// to back the buffer up; the drop is counted, never silent.
+	var shed int
+	for f.pendingEvents > f.cfg.MaxBuffered && len(f.pending) > 1 {
+		old := f.pending[0]
+		f.pending = f.pending[1:]
+		f.pendingEvents -= len(old.slots)
+		shed += len(old.slots)
+	}
+	eager := f.pendingEvents >= f.cfg.EagerEvents
+	f.mu.Unlock()
+	if shed > 0 {
+		f.droppedEvents.Add(uint64(shed))
+	}
+	if eager {
+		select {
+		case f.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// EnqueueSnapshot buffers a rank's snapshot document for the next rollup.
+// Snapshots are idempotent wholesale replacements, so only the latest
+// unshipped document per origin is kept and a document that fails to ship
+// stays buffered for the next flush.
+func (f *Forwarder) EnqueueSnapshot(msg *SnapshotMsg) {
+	cp := *msg
+	f.mu.Lock()
+	if !f.closed.Load() {
+		f.snaps[msg.Origin] = &cp
+	}
+	f.mu.Unlock()
+}
+
+func (f *Forwarder) run() {
+	defer f.wg.Done()
+	tick := time.NewTicker(f.cfg.FlushInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-f.done:
+			if !f.killed.Load() {
+				f.flushOnce()
+			}
+			return
+		case <-tick.C:
+		case <-f.kick:
+		}
+		f.flushOnce()
+	}
+}
+
+// Flush synchronously ships everything currently buffered (one rollup) and
+// reports whether the shipment was acknowledged. The tree soak uses it to
+// settle the pipeline before auditing; a daemon never needs it.
+func (f *Forwarder) Flush() bool { return f.flushOnce() }
+
+// flushOnce drains the buffer into one rollup frame and posts it. Returns
+// false only when a non-empty rollup was abandoned after its retries.
+func (f *Forwarder) flushOnce() bool {
+	f.sendMu.Lock()
+	defer f.sendMu.Unlock()
+
+	f.mu.Lock()
+	batches := f.pending
+	nEvents := f.pendingEvents
+	f.pending = nil
+	f.pendingEvents = 0
+	var dirty map[Origin]*SnapshotMsg
+	if len(f.snaps) > 0 {
+		dirty = f.snaps
+		f.snaps = make(map[Origin]*SnapshotMsg)
+	}
+	f.mu.Unlock()
+
+	if len(batches) == 0 && len(dirty) == 0 {
+		return true
+	}
+
+	ru := RollupMsg{LeafID: f.cfg.LeafID, LeafEpoch: f.cfg.Epoch, Seq: f.seq}
+	f.seq++
+	ru.Batches = make([]Batch, len(batches))
+	for i, fb := range batches {
+		events := make([]export.Event, len(fb.slots))
+		for j := range fb.slots {
+			events[j] = fb.slots[j].event()
+		}
+		ru.Batches[i] = Batch{Origin: fb.origin, Epoch: fb.epoch, Seq: fb.seq, Events: events}
+	}
+	for _, msg := range dirty {
+		ru.Snapshots = append(ru.Snapshots, *msg)
+	}
+
+	shipStart := f.cfg.Now()
+	frame, err := AppendRollupFrame(f.frameBuf[:0], &ru)
+	if err == nil {
+		f.frameBuf = frame
+		err = f.post(frame)
+	}
+	if err != nil {
+		f.droppedEvents.Add(uint64(nEvents))
+		f.droppedRollups.Add(1)
+		f.cfg.Obs.RecordError(obs.StageExport)
+		// The batches are gone (retrying them under the same rollup seq
+		// after the parent may have applied it risks double-merging), but
+		// snapshots are idempotent: put any not re-dirtied since back.
+		f.mu.Lock()
+		if !f.closed.Load() {
+			for origin, msg := range dirty {
+				if _, ok := f.snaps[origin]; !ok {
+					f.snaps[origin] = msg
+				}
+			}
+		}
+		f.mu.Unlock()
+		return false
+	}
+	f.ackedEvents.Add(uint64(nEvents))
+	f.sentRollups.Add(1)
+	f.sentSnapshots.Add(uint64(len(dirty)))
+	f.cfg.Obs.Record(obs.StageExport, shipStart, f.cfg.Now().Sub(shipStart))
+	return true
+}
+
+// post sends one rollup frame with gzip and retry-with-exponential-backoff,
+// mirroring the agent's shipment path.
+//
+//zerosum:wallclock retry backoff waits on real network latency, not sampled time
+func (f *Forwarder) post(frame []byte) error {
+	body := frame
+	encoding := ""
+	if !f.cfg.DisableGzip {
+		z := gzPool.Get().(*gzScratch)
+		defer gzPool.Put(z)
+		z.buf.Reset()
+		z.zw.Reset(&z.buf)
+		if _, err := z.zw.Write(frame); err == nil && z.zw.Close() == nil {
+			body, encoding = z.buf.Bytes(), "gzip"
+		}
+	}
+	url := f.cfg.Upstream + "/api/ingest"
+	backoff := f.cfg.BackoffBase
+	maxRetries := f.cfg.MaxRetries
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if f.killed.Load() {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("aggd: forwarder killed")
+			}
+			return lastErr
+		}
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/x-zerosum-aggd")
+		if encoding != "" {
+			req.Header.Set("Content-Encoding", encoding)
+		}
+		resp, err := f.cfg.Client.Do(req)
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			if resp.StatusCode/100 == 2 {
+				return nil
+			}
+			err = fmt.Errorf("aggd: upstream returned %s", resp.Status)
+		}
+		lastErr = err
+		if attempt >= maxRetries {
+			return lastErr
+		}
+		f.retries.Add(1)
+		timer := time.NewTimer(f.jitter(backoff))
+		select {
+		case <-timer.C:
+		case <-f.done:
+			timer.Stop()
+			// Closing: one final immediate attempt, then give up.
+			if maxRetries > attempt+1 {
+				maxRetries = attempt + 1
+			}
+		}
+		backoff *= 2
+		if backoff > f.cfg.MaxBackoff {
+			backoff = f.cfg.MaxBackoff
+		}
+	}
+}
+
+// jitter spreads a backoff delay uniformly across [d/2, d).
+func (f *Forwarder) jitter(d time.Duration) time.Duration {
+	f.jitterMu.Lock()
+	v := f.rng.Float64()
+	f.jitterMu.Unlock()
+	return d/2 + time.Duration(v*float64(d/2))
+}
+
+// Stats snapshots the forwarder's counters.
+func (f *Forwarder) Stats() FwdStats {
+	f.mu.Lock()
+	pending := f.pendingEvents
+	f.mu.Unlock()
+	return FwdStats{
+		EnqueuedEvents: f.enqueuedEvents.Load(),
+		AckedEvents:    f.ackedEvents.Load(),
+		DroppedEvents:  f.droppedEvents.Load(),
+		PendingEvents:  uint64(pending),
+		SentRollups:    f.sentRollups.Load(),
+		DroppedRollups: f.droppedRollups.Load(),
+		SentSnapshots:  f.sentSnapshots.Load(),
+		Retries:        f.retries.Load(),
+		Epoch:          f.cfg.Epoch,
+	}
+}
+
+// Close flushes the buffer (one bounded final shipment, like the agent's)
+// and stops the flusher. Idempotent.
+func (f *Forwarder) Close() error {
+	if f.closed.Swap(true) {
+		return nil
+	}
+	close(f.done)
+	f.wg.Wait()
+	f.dropPending()
+	return nil
+}
+
+// Kill stops the forwarder the way a leaf crash would: no final flush, no
+// retry of an in-flight rollup. Buffered events — data a real crash would
+// silently lose — are counted as drops so the leaf's conservation
+// invariant survives the crash. Idempotent, safe to race with Close.
+func (f *Forwarder) Kill() {
+	if f.closed.Swap(true) {
+		return
+	}
+	f.killed.Store(true)
+	close(f.done)
+	f.wg.Wait()
+	f.dropPending()
+}
+
+// dropPending folds whatever is still buffered after shutdown into the
+// dropped counter (snapshot documents are not events and simply vanish).
+func (f *Forwarder) dropPending() {
+	f.mu.Lock()
+	orphaned := f.pendingEvents
+	f.pending = nil
+	f.pendingEvents = 0
+	f.snaps = map[Origin]*SnapshotMsg{}
+	f.mu.Unlock()
+	if orphaned > 0 {
+		f.droppedEvents.Add(uint64(orphaned))
+	}
+}

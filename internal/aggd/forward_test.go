@@ -1,0 +1,145 @@
+package aggd
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// leafFor builds a leaf server forwarding to upstream, with flushes under
+// test control (the interval is an hour; tests call Flush explicitly).
+func leafFor(upstream string, epoch uint64) *Server {
+	return NewServer(ServerConfig{Forward: &ForwardConfig{
+		Upstream:      upstream,
+		LeafID:        "leaf-under-test",
+		Epoch:         epoch,
+		FlushInterval: time.Hour,
+		MaxRetries:    -1, // fail fast; the tests own the retry story
+		BackoffBase:   time.Millisecond,
+		MaxBackoff:    2 * time.Millisecond,
+		DisableGzip:   true,
+	}})
+}
+
+// TestForwarderLeafToRoot pushes batches and a snapshot through a real
+// leaf -> root hop and audits both ends: the root sees exactly the admitted
+// data once, and the leaf's conservation books close after shutdown.
+func TestForwarderLeafToRoot(t *testing.T) {
+	root := NewServer(ServerConfig{})
+	rootTS := httptest.NewServer(root.Handler())
+	defer rootTS.Close()
+
+	leaf := leafFor(rootTS.URL, 1)
+	leaf.applyBatch(mkBatch(1, 0, 3))
+	leaf.applyBatch(mkBatch(1, 1, 2))
+	leaf.applyBatch(mkBatch(1, 1, 2)) // dup: admitted nowhere, forwarded nowhere
+	leaf.applySnapshot(&SnapshotMsg{
+		Origin:   Origin{Job: "j", Node: "n", Rank: 0},
+		Snapshot: testSnapshot(0, "n"),
+	})
+
+	if !leaf.Forwarder().Flush() {
+		t.Fatal("flush to a healthy root failed")
+	}
+	rst := root.Stats()
+	if rst.RollupFrames != 1 || rst.IngestBatches != 2 || rst.IngestEvents != 5 || rst.IngestSnapshots != 1 {
+		t.Fatalf("root after one rollup: %+v", rst)
+	}
+	if rst.DupBatches != 0 || rst.RollupSkippedEvents != 0 {
+		t.Fatalf("root saw replays from a clean leaf: %+v", rst)
+	}
+
+	// An empty flush ships nothing — no rollup frame, no burned seq.
+	if !leaf.Forwarder().Flush() {
+		t.Fatal("empty flush reported failure")
+	}
+	if rst := root.Stats(); rst.RollupFrames != 1 {
+		t.Fatalf("empty flush shipped a rollup: %+v", rst)
+	}
+
+	if err := leaf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fst := leaf.Forwarder().Stats()
+	if fst.EnqueuedEvents != 5 || fst.AckedEvents != 5 || fst.DroppedEvents != 0 || fst.PendingEvents != 0 {
+		t.Fatalf("leaf forwarder books do not close: %+v", fst)
+	}
+	if fst.SentRollups != 1 || fst.SentSnapshots != 1 {
+		t.Fatalf("leaf shipment counters: %+v", fst)
+	}
+}
+
+// TestForwarderDropsBurnSeq checks the failure contract both sides agree
+// on: a rollup abandoned after its retries drops its batches (counted, not
+// resent — the root may have applied it and lost only the ack), burns its
+// sequence number, and the root later books that burned seq as a lost
+// rollup. Snapshots, being idempotent, survive the failure and ride the
+// next successful flush.
+func TestForwarderDropsBurnSeq(t *testing.T) {
+	root := NewServer(ServerConfig{})
+	var failing atomic.Bool
+	failing.Store(true)
+	rootTS := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failing.Load() {
+			http.Error(w, "injected outage", http.StatusServiceUnavailable)
+			return
+		}
+		root.Handler().ServeHTTP(w, r)
+	}))
+	defer rootTS.Close()
+
+	leaf := leafFor(rootTS.URL, 1)
+	defer leaf.Close()
+	leaf.applyBatch(mkBatch(1, 0, 4))
+	leaf.applySnapshot(&SnapshotMsg{
+		Origin:   Origin{Job: "j", Node: "n", Rank: 0},
+		Snapshot: testSnapshot(0, "n"),
+	})
+
+	if leaf.Forwarder().Flush() {
+		t.Fatal("flush through the outage reported success")
+	}
+	fst := leaf.Forwarder().Stats()
+	if fst.DroppedEvents != 4 || fst.DroppedRollups != 1 || fst.AckedEvents != 0 {
+		t.Fatalf("after failed flush: %+v", fst)
+	}
+
+	failing.Store(false)
+	leaf.applyBatch(mkBatch(1, 1, 2))
+	if !leaf.Forwarder().Flush() {
+		t.Fatal("flush after the outage failed")
+	}
+	fst = leaf.Forwarder().Stats()
+	if fst.AckedEvents != 2 || fst.SentSnapshots != 1 {
+		t.Fatalf("snapshot did not ride the recovery flush: %+v", fst)
+	}
+	rst := root.Stats()
+	// The recovery rollup carries seq 1; seq 0 died in the outage and shows
+	// up at the root as exactly one lost rollup.
+	if rst.LostRollups != 1 || rst.RollupFrames != 1 || rst.IngestEvents != 2 || rst.IngestSnapshots != 1 {
+		t.Fatalf("root after recovery: %+v", rst)
+	}
+}
+
+// TestForwarderKillConservation crashes a leaf with data still buffered:
+// everything unshipped folds into the dropped counter so the conservation
+// invariant survives the crash.
+func TestForwarderKillConservation(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // connection refused, instantly
+
+	leaf := leafFor(dead.URL, 1)
+	leaf.applyBatch(mkBatch(1, 0, 7))
+	leaf.Forwarder().Kill()
+	fst := leaf.Forwarder().Stats()
+	if fst.EnqueuedEvents != 7 || fst.DroppedEvents != 7 || fst.AckedEvents != 0 || fst.PendingEvents != 0 {
+		t.Fatalf("killed leaf books do not close: %+v", fst)
+	}
+	// Idempotent, and Close after Kill stays a no-op.
+	leaf.Forwarder().Kill()
+	if err := leaf.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

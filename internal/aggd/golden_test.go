@@ -31,8 +31,10 @@ var update = flag.Bool("update", false, "rewrite golden files under testdata/")
 // goldenIngest loads a deterministic two-node, three-rank job: 25 seconds
 // of per-second samples per rank plus an end-of-run snapshot each. Block
 // width 10s guarantees sealed chunks (and therefore rollup-served buckets)
-// inside the query windows below.
-func goldenIngest(t *testing.T, ts *httptest.Server) []core.Snapshot {
+// inside the query windows below. pick routes each rank's frames to an
+// ingest base URL, so the same fixture drives a flat server (constant pick)
+// or a leaf tier (consistent-hash pick).
+func goldenIngest(t *testing.T, pick func(node string, rank int) string) []core.Snapshot {
 	t.Helper()
 	var snaps []core.Snapshot
 	for rank := 0; rank < 3; rank++ {
@@ -85,7 +87,7 @@ func goldenIngest(t *testing.T, ts *httptest.Server) []core.Snapshot {
 			t.Fatal(err)
 		}
 		frames = append(frames, sf)
-		if resp := postFrames(t, ts.URL, false, frames...); resp.StatusCode != http.StatusNoContent {
+		if resp := postFrames(t, pick(node, rank), false, frames...); resp.StatusCode != http.StatusNoContent {
 			t.Fatalf("ingest rank %d: %s", rank, resp.Status)
 		}
 	}
@@ -100,7 +102,7 @@ func TestTSDBGolden(t *testing.T) {
 	})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	goldenIngest(t, ts)
+	goldenIngest(t, func(string, int) string { return ts.URL })
 
 	cases := []struct {
 		golden string
@@ -154,7 +156,7 @@ func TestSummaryByteIdentityOverTSDB(t *testing.T) {
 	srv := NewServer(ServerConfig{TSDB: tsdb.Options{Block: 10 * time.Second}})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	snaps := goldenIngest(t, ts)
+	snaps := goldenIngest(t, func(string, int) string { return ts.URL })
 
 	summary, err := reportAggregate(snaps, srv.cfg.Thresholds)
 	if err != nil {

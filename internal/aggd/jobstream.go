@@ -19,7 +19,8 @@ import (
 //	... js.FinishRank(rank, snapshot, commRow) per rank ...
 //	js.Close()
 type JobStreamer struct {
-	base AgentConfig
+	base   AgentConfig
+	router *Router // nil unless base.URLs lists several endpoints
 
 	mu     sync.Mutex
 	agents map[int]*Agent //zerosum:guardedby mu
@@ -27,9 +28,22 @@ type JobStreamer struct {
 }
 
 // NewJobStreamer prepares a per-rank agent factory; base.Node and base.Rank
-// are filled per rank.
+// are filled per rank. When base.URLs lists several endpoints (a leaf
+// tier), each rank's agent gets its consistent-hash home and failover
+// order from a Router over them.
 func NewJobStreamer(base AgentConfig) *JobStreamer {
-	return &JobStreamer{base: base, agents: make(map[int]*Agent)}
+	j := &JobStreamer{base: base, agents: make(map[int]*Agent)}
+	if len(base.URLs) > 1 {
+		router, err := NewRouter(base.URLs)
+		if err != nil {
+			// Surfaces at Close, like a per-rank agent failure.
+			j.mu.Lock()
+			j.errs = append(j.errs, err)
+			j.mu.Unlock()
+		}
+		j.router = router
+	}
+	return j
 }
 
 // StreamFor creates the rank's stream with a fresh agent attached.
@@ -37,6 +51,10 @@ func (j *JobStreamer) StreamFor(rank int, node string) *export.Stream {
 	cfg := j.base
 	cfg.Node = node
 	cfg.Rank = rank
+	if j.router != nil {
+		cfg.URLs = j.router.Order(node, rank)
+		cfg.URL = cfg.URLs[0]
+	}
 	stream := &export.Stream{}
 	agent, err := NewAgent(cfg)
 	j.mu.Lock()

@@ -74,6 +74,11 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		{name: "zerosum_recovered_batches_total", help: "Gap batches later delivered by an agent retry.", typ: "counter"},
 		{name: "zerosum_duplicate_batches_total", help: "Replayed batches skipped by sequence dedup.", typ: "counter"},
 		{name: "zerosum_corrupt_frames_total", help: "Ingest frames rejected for checksum or framing damage.", typ: "counter"},
+		{name: "zerosum_rollup_frames_total", help: "Rollup frames received from downstream leaf aggregators.", typ: "counter"},
+		{name: "zerosum_rollup_duplicate_total", help: "Replayed rollups skipped by per-leaf (epoch, seq) dedup.", typ: "counter"},
+		{name: "zerosum_rollup_lost_total", help: "Rollup sequence gaps observed across all leaves.", typ: "counter"},
+		{name: "zerosum_rollup_recovered_total", help: "Gap rollups later delivered by a leaf retry.", typ: "counter"},
+		{name: "zerosum_rollup_skipped_events_total", help: "Events in rollup-embedded batches rejected by per-origin dedup.", typ: "counter"},
 		{name: "zerosum_response_write_errors_total", help: "Response bodies that failed mid-write (client hangups).", typ: "counter"},
 		{name: "zerosum_stream_events_total", help: "Events received per stream.", typ: "counter"},
 		{name: "zerosum_heartbeat_age_seconds", help: "Seconds since the last frame arrived from a stream.", typ: "gauge"},
@@ -102,6 +107,11 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		fRecovered
 		fDup
 		fCorrupt
+		fRollupFrames
+		fRollupDup
+		fRollupLost
+		fRollupRecovered
+		fRollupSkipped
 		fWriteErrors
 		fStreamEvents
 		fHeartbeat
@@ -129,6 +139,11 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	families[fRecovered].add("", float64(s.recoveredBatches.Load()))
 	families[fDup].add("", float64(s.dupBatches.Load()))
 	families[fCorrupt].add("", float64(s.corruptFrames.Load()))
+	families[fRollupFrames].add("", float64(s.rollupFrames.Load()))
+	families[fRollupDup].add("", float64(s.dupRollups.Load()))
+	families[fRollupLost].add("", float64(s.lostRollups.Load()))
+	families[fRollupRecovered].add("", float64(s.recoveredRollups.Load()))
+	families[fRollupSkipped].add("", float64(s.rollupSkippedEvents.Load()))
 	families[fWriteErrors].add("", float64(s.writeErrors.Load()))
 
 	now := s.cfg.Now()

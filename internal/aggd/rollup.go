@@ -1,0 +1,205 @@
+package aggd
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Rollup frames are the tree's upstream wire format: a leaf aggregator
+// admits agent batches (running the usual per-origin dedup), buffers the
+// admitted events, and ships them to its parent pre-merged as one rollup
+// frame per flush. The frame rides the existing ZSAG framing with its own
+// kind byte (FrameRollup, introduced with wire version 3), so leaves and
+// roots share one ingest endpoint and the resyncing FrameScanner skips
+// corrupt rollups exactly like corrupt batches.
+//
+// Rollup payload layout (little endian, after the 14-byte frame header):
+//
+//	leafID    string (u16 length + bytes) — stable identity of the leaf
+//	leafEpoch uint64 — incarnation of the leaf process
+//	seq       uint64 — rollup sequence within the epoch, 0,1,2,…
+//	nBatches  uint32
+//	  nBatches × { len uint32, batch payload (the FrameBatch encoding,
+//	               same wire version as the rollup frame) }
+//	nSnaps    uint32
+//	  nSnaps × { len uint32, SnapshotMsg JSON (the FrameSnapshot payload) }
+//
+// The embedded batches keep their original (origin, epoch, seq) identity,
+// so the parent runs the same per-origin dedup it runs for direct agent
+// traffic: a batch the dying leaf forwarded and its successor forwards
+// again merges exactly once. (leafEpoch, seq) dedup on top makes replaying
+// a whole rollup — a retry racing a lost ack, or a restarted leaf — cheap
+// and idempotent.
+const FrameRollup FrameKind = 3
+
+// RollupMsg is the decoded form of one rollup frame.
+type RollupMsg struct {
+	// LeafID names the forwarding leaf; the parent tracks (LeafEpoch, Seq)
+	// dedup state per leaf ID.
+	LeafID    string
+	LeafEpoch uint64
+	Seq       uint64
+	Batches   []Batch
+	Snapshots []SnapshotMsg
+}
+
+// minRollupPayload is the smallest well-formed rollup payload: an empty
+// leaf ID (2 bytes), epoch and seq (8 each), and two zero counts (4 each).
+const minRollupPayload = 2 + 8 + 8 + 4 + 4
+
+// AppendRollupFrame appends the framed encoding of ru to dst and returns
+// the extended slice, so a forwarder can reuse one scratch buffer per
+// flush. The embedded batches are encoded with the current wire version
+// (a leaf re-encodes whatever version its agents sent, which is how a v2
+// batch crosses a v3 tree).
+//
+//zerosum:wire-encode rollup
+func AppendRollupFrame(dst []byte, ru *RollupMsg) ([]byte, error) {
+	start := len(dst)
+	dst = appendHeader(dst, FrameRollup)
+	var err error
+	if dst, err = appendString(dst, ru.LeafID); err != nil {
+		return nil, err
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, ru.LeafEpoch)
+	dst = binary.LittleEndian.AppendUint64(dst, ru.Seq)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ru.Batches)))
+	for i := range ru.Batches {
+		// Length-prefix each embedded batch payload; the payload bytes are
+		// exactly what AppendBatchFrame would put after its header.
+		lenAt := len(dst)
+		dst = binary.LittleEndian.AppendUint32(dst, 0)
+		bodyAt := len(dst)
+		if dst, err = appendBatchPayload(dst, &ru.Batches[i]); err != nil {
+			return nil, err
+		}
+		binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(dst)-bodyAt))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ru.Snapshots)))
+	for i := range ru.Snapshots {
+		body, err := encodeSnapshotPayload(&ru.Snapshots[i])
+		if err != nil {
+			return nil, err
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(body)))
+		dst = append(dst, body...)
+	}
+	frame, err := finishFrame(dst[start:])
+	if err != nil {
+		return nil, err
+	}
+	return dst[:start+len(frame)], nil
+}
+
+// EncodeRollupFrame encodes ru as one complete frame.
+func EncodeRollupFrame(ru *RollupMsg) ([]byte, error) { return AppendRollupFrame(nil, ru) }
+
+// rollupView is the structural decomposition of a rollup payload: the
+// header fields plus zero-copy slices into the embedded sub-payloads.
+// walkRollupPayload validates the whole structure before the caller
+// commits (leafEpoch, seq) to its dedup state, so a truncated rollup never
+// burns a sequence number at the parent.
+type rollupView struct {
+	leafID    string
+	leafEpoch uint64
+	seq       uint64
+	batches   [][]byte // FrameBatch payload encodings, aliasing the input
+	snaps     [][]byte // SnapshotMsg JSON bodies, aliasing the input
+}
+
+// walkRollupPayload parses the rollup structure into view, reusing its
+// slices. The sub-payloads are not decoded here — only sized and sliced —
+// so hostile counts fail on the length walk before anything allocates in
+// proportion to them.
+//
+//zerosum:wire-decode rollup
+func walkRollupPayload(payload []byte, ver uint8, view *rollupView) error {
+	if ver < 3 {
+		return fmt.Errorf("aggd: rollup frame with wire version %d (introduced in 3)", ver)
+	}
+	if len(payload) < minRollupPayload {
+		return fmt.Errorf("aggd: rollup payload of %d bytes too short", len(payload))
+	}
+	view.batches = view.batches[:0]
+	view.snaps = view.snaps[:0]
+	d := &decoder{buf: payload, ver: ver}
+	var err error
+	if view.leafID, err = d.str(); err != nil {
+		return err
+	}
+	if view.leafEpoch, err = d.u64(); err != nil {
+		return err
+	}
+	if view.seq, err = d.u64(); err != nil {
+		return err
+	}
+	nb, err := d.u32()
+	if err != nil {
+		return err
+	}
+	// Every embedded batch costs at least its length prefix plus the
+	// minimal batch payload (two empty strings, rank, epoch, seq, count),
+	// so a count the remaining bytes cannot hold is rejected before it
+	// sizes anything.
+	const minEmbeddedBatch = 4 + (2 + 2 + 4 + 8 + 8 + 4)
+	if int64(nb)*minEmbeddedBatch > int64(len(payload)-d.off) {
+		return fmt.Errorf("aggd: rollup claims %d batches in %d bytes", nb, len(payload)-d.off)
+	}
+	for i := uint32(0); i < nb; i++ {
+		body, err := d.lenPrefixed()
+		if err != nil {
+			return fmt.Errorf("aggd: rollup batch %d: %w", i, err)
+		}
+		view.batches = append(view.batches, body)
+	}
+	ns, err := d.u32()
+	if err != nil {
+		return err
+	}
+	const minEmbeddedSnap = 4 + 2 // length prefix + "{}"
+	if int64(ns)*minEmbeddedSnap > int64(len(payload)-d.off) {
+		return fmt.Errorf("aggd: rollup claims %d snapshots in %d bytes", ns, len(payload)-d.off)
+	}
+	for i := uint32(0); i < ns; i++ {
+		body, err := d.lenPrefixed()
+		if err != nil {
+			return fmt.Errorf("aggd: rollup snapshot %d: %w", i, err)
+		}
+		view.snaps = append(view.snaps, body)
+	}
+	if d.off != len(payload) {
+		return fmt.Errorf("aggd: %d trailing bytes after rollup", len(payload)-d.off)
+	}
+	return nil
+}
+
+// DecodeRollupPayload parses a rollup payload framed with wire version ver
+// into an independently owned RollupMsg: every embedded batch decodes into
+// its own arena and every snapshot into its own document. The ingest path
+// does not use this (it walks the structure and applies sub-payloads
+// through the pooled arenas instead); it exists for tests, tooling, and
+// the fuzz target's canonicality check.
+//
+//zerosum:wire-decode rollup
+func DecodeRollupPayload(payload []byte, ver uint8) (*RollupMsg, error) {
+	var view rollupView
+	if err := walkRollupPayload(payload, ver, &view); err != nil {
+		return nil, err
+	}
+	ru := &RollupMsg{LeafID: view.leafID, LeafEpoch: view.leafEpoch, Seq: view.seq}
+	for i, body := range view.batches {
+		b, err := DecodeBatchPayloadVersionInto(body, ver, new(BatchBuf))
+		if err != nil {
+			return nil, fmt.Errorf("aggd: rollup batch %d: %w", i, err)
+		}
+		ru.Batches = append(ru.Batches, *b)
+	}
+	for i, body := range view.snaps {
+		msg, err := DecodeSnapshotPayload(body)
+		if err != nil {
+			return nil, fmt.Errorf("aggd: rollup snapshot %d: %w", i, err)
+		}
+		ru.Snapshots = append(ru.Snapshots, *msg)
+	}
+	return ru, nil
+}

@@ -36,6 +36,13 @@ type ServerConfig struct {
 	// TSDB tunes the embedded time-series store (block width, downsample
 	// step, retention). The zero value takes the store's defaults.
 	TSDB tsdb.Options
+	// Forward, when non-nil, runs the server as a leaf of an aggregation
+	// tree: every admitted batch and snapshot document is also queued to a
+	// Forwarder that ships pre-merged rollup frames to Forward.Upstream.
+	// Upstream and LeafID are required — NewServer panics on a Forward
+	// config it cannot start, since a leaf that silently stops forwarding
+	// is worse than one that fails to boot.
+	Forward *ForwardConfig
 }
 
 // Server accepts agent streams and serves the aggregated views.
@@ -44,6 +51,13 @@ type Server struct {
 	shards [nShards]shard
 	obs    *obs.Recorder // ingest spans + stage stats, served at /debug/obs
 	store  *tsdb.Store   // every admitted sample, compressed and queryable
+	fwd    *Forwarder    // nil unless this server is a leaf (cfg.Forward)
+
+	// Per-leaf rollup sequence accounting, keyed by the rollup's leaf ID.
+	// One coarse lock: rollups arrive at flush cadence (per leaf, not per
+	// agent), so this is far off the ingest hot path.
+	leafMu   sync.Mutex
+	leafSeqs map[string]*leafSeq //zerosum:guardedby leafMu
 
 	ingestBatches    atomic.Uint64
 	ingestEvents     atomic.Uint64
@@ -63,6 +77,18 @@ type Server struct {
 	eventsGPU atomic.Uint64
 	eventsMem atomic.Uint64
 	eventsIO  atomic.Uint64
+
+	// Rollup (tree ingest) accounting. rollupSkippedEvents counts events
+	// inside embedded batches the per-origin dedup rejected — the one
+	// legitimate way a parent "loses" data a leaf acked (two leaf
+	// incarnations forwarded the same agent batch, or a stale-epoch batch
+	// straggled in after its agent re-homed). The tree soak's leak audit
+	// closes its books with it.
+	rollupFrames        atomic.Uint64
+	dupRollups          atomic.Uint64 // replayed rollups skipped by (leaf, epoch, seq) dedup
+	lostRollups         atomic.Uint64 // rollup sequence gaps observed across all leaves
+	recoveredRollups    atomic.Uint64 // gap rollups that later arrived via retry
+	rollupSkippedEvents atomic.Uint64
 }
 
 // ServerStats is a point-in-time snapshot of the aggregator's counters; the
@@ -82,6 +108,12 @@ type ServerStats struct {
 	EventsGPU        uint64
 	EventsMem        uint64
 	EventsIO         uint64
+
+	RollupFrames        uint64
+	DupRollups          uint64
+	LostRollups         uint64
+	RecoveredRollups    uint64
+	RollupSkippedEvents uint64
 }
 
 // Stats snapshots the server's counters.
@@ -101,6 +133,12 @@ func (s *Server) Stats() ServerStats {
 		EventsGPU:        s.eventsGPU.Load(),
 		EventsMem:        s.eventsMem.Load(),
 		EventsIO:         s.eventsIO.Load(),
+
+		RollupFrames:        s.rollupFrames.Load(),
+		DupRollups:          s.dupRollups.Load(),
+		LostRollups:         s.lostRollups.Load(),
+		RecoveredRollups:    s.recoveredRollups.Load(),
+		RollupSkippedEvents: s.rollupSkippedEvents.Load(),
 	}
 }
 
@@ -192,7 +230,9 @@ type rankState struct {
 	memRSS      uint64 //zerosum:guardedby rankShard.mu
 }
 
-// NewServer builds an aggregator.
+// NewServer builds an aggregator — the root of a tree (or a flat
+// single-server deployment) when cfg.Forward is nil, a leaf forwarding
+// rollups upstream when it is set.
 func NewServer(cfg ServerConfig) *Server {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
@@ -200,11 +240,36 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = 64 << 20
 	}
-	s := &Server{cfg: cfg, obs: obs.NewRecorder(0), store: tsdb.NewStore(cfg.TSDB)}
+	s := &Server{
+		cfg:      cfg,
+		obs:      obs.NewRecorder(0),
+		store:    tsdb.NewStore(cfg.TSDB),
+		leafSeqs: make(map[string]*leafSeq), //zerosum:nolock constructor, not yet shared
+	}
 	for i := range s.shards {
 		s.shards[i].jobs = make(map[string]*jobStore) //zerosum:nolock constructor, not yet shared
 	}
+	if cfg.Forward != nil {
+		fwd, err := NewForwarder(*cfg.Forward)
+		if err != nil {
+			panic(fmt.Sprintf("aggd: leaf server misconfigured: %v", err))
+		}
+		s.fwd = fwd
+	}
 	return s
+}
+
+// Forwarder exposes the leaf's upstream forwarder (nil on a root/flat
+// server) for stats, explicit flushes, and crash simulation in tests.
+func (s *Server) Forwarder() *Forwarder { return s.fwd }
+
+// Close stops the leaf's forwarder after one final flush; on a root/flat
+// server it is a no-op. Idempotent.
+func (s *Server) Close() error {
+	if s.fwd != nil {
+		return s.fwd.Close()
+	}
+	return nil
 }
 
 // Obs exposes the server's self-observability recorder (ingest spans).
@@ -218,7 +283,8 @@ func (s *Server) TSDB() *tsdb.Store { return s.store }
 
 // Handler returns the HTTP API:
 //
-//	POST /api/ingest              framed batches/snapshots (gzip accepted)
+//	POST /api/ingest              framed batches/snapshots/rollups (gzip accepted)
+//	GET  /healthz                 liveness probe (agents health-check failover targets)
 //	GET  /metrics                 Prometheus text exposition
 //	GET  /api/jobs                known jobs
 //	GET  /api/job/{id}/summary    aggregated report.JobSummary (JSON)
@@ -232,6 +298,7 @@ func (s *Server) TSDB() *tsdb.Store { return s.store }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/ingest", s.handleIngest)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /api/jobs", s.handleJobs)
 	mux.HandleFunc("GET /api/job/{id}/summary", s.handleSummary)
@@ -391,6 +458,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			}
 			s.applySnapshot(msg)
 			frames++
+		case FrameRollup:
+			if err := s.applyRollup(payload, sc.Version(), bb); err != nil {
+				corrupt++
+				s.corruptFrames.Add(1)
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			frames++
 		}
 	}
 	if corrupt > 0 {
@@ -476,7 +553,12 @@ func (s *Server) noteGap(rs *rankState, lo, hi uint64) {
 	}
 }
 
-func (s *Server) applyBatch(b *Batch) {
+// applyBatch merges one batch, reporting whether it was admitted as new
+// data (false: a replay or stale-epoch straggler the dedup skipped). On a
+// leaf, admitted batches are also queued for the upstream rollup — under
+// the same shard lock, which is what keeps one origin's batches in
+// admission order on the wire up the tree.
+func (s *Server) applyBatch(b *Batch) bool {
 	now := s.cfg.Now()
 	js := s.job(b.Job)
 	sh := js.shardFor(rankKey{node: b.Node, rank: b.Rank})
@@ -485,7 +567,10 @@ func (s *Server) applyBatch(b *Batch) {
 	rs := sh.rank(rankKey{node: b.Node, rank: b.Rank})
 	rs.lastRecv = now // even a replay proves the stream is alive
 	if !s.admitBatch(rs, b) {
-		return
+		return false
+	}
+	if s.fwd != nil {
+		s.fwd.EnqueueBatch(b)
 	}
 	rs.events += uint64(len(b.Events))
 	var nLWP, nHWT, nGPU, nMem, nIO uint64
@@ -572,6 +657,136 @@ func (s *Server) applyBatch(b *Batch) {
 	if nIO > 0 {
 		s.eventsIO.Add(nIO)
 	}
+	return true
+}
+
+// leafSeq is one downstream leaf's rollup sequence accounting, the same
+// state machine admitBatch runs per origin, one level up: epoch is the
+// leaf process incarnation, seq its rollup counter within the epoch.
+type leafSeq struct {
+	epoch   uint64          //zerosum:guardedby Server.leafMu
+	maxSeq  uint64          //zerosum:guardedby Server.leafMu
+	seqSeen bool            //zerosum:guardedby Server.leafMu
+	holes   map[uint64]bool //zerosum:guardedby Server.leafMu
+}
+
+// admitRollup decides whether a rollup is new data or a replay that must
+// not be merged again. The answer only gates whole-rollup replays (a retry
+// racing a lost ack, a restarted leaf resending); the embedded batches
+// still run the regular per-origin dedup afterwards, which is what catches
+// the same agent batch arriving via two different leaf incarnations.
+func (s *Server) admitRollup(leafID string, epoch, seq uint64) bool {
+	s.leafMu.Lock()
+	defer s.leafMu.Unlock()
+	ls := s.leafSeqs[leafID]
+	if ls == nil {
+		ls = &leafSeq{}
+		s.leafSeqs[leafID] = ls
+	}
+	if !ls.seqSeen || epoch > ls.epoch {
+		ls.epoch = epoch
+		ls.seqSeen = true
+		ls.maxSeq = seq
+		ls.holes = nil
+		s.noteRollupGap(ls, 0, seq)
+		return true
+	}
+	if epoch < ls.epoch {
+		s.dupRollups.Add(1)
+		return false
+	}
+	switch {
+	case seq == ls.maxSeq+1:
+		ls.maxSeq = seq
+		return true
+	case seq > ls.maxSeq+1:
+		s.noteRollupGap(ls, ls.maxSeq+1, seq)
+		ls.maxSeq = seq
+		return true
+	default:
+		if ls.holes[seq] {
+			delete(ls.holes, seq)
+			s.recoveredRollups.Add(1)
+			return true
+		}
+		s.dupRollups.Add(1)
+		return false
+	}
+}
+
+// noteRollupGap records rollup sequence numbers [lo, hi) as
+// lost-until-proven-otherwise (a leaf burns a seq on every flush attempt,
+// so an abandoned shipment shows up here).
+//
+//zerosum:locked leafMu caller holds the leaf accounting lock
+func (s *Server) noteRollupGap(ls *leafSeq, lo, hi uint64) {
+	if hi <= lo {
+		return
+	}
+	s.lostRollups.Add(hi - lo)
+	for q := lo; q < hi; q++ {
+		if len(ls.holes) >= maxTrackedHoles {
+			return
+		}
+		if ls.holes == nil {
+			ls.holes = make(map[uint64]bool)
+		}
+		ls.holes[q] = true
+	}
+}
+
+// applyRollup validates and merges one rollup frame. The structure is
+// walked — every sub-payload sized and sliced — before (epoch, seq) is
+// committed to the leaf's dedup state, so a structurally damaged rollup
+// never burns a sequence number; after that point, each embedded batch
+// and snapshot applies through the regular ingest paths (per-origin
+// dedup included). A sub-payload that fails to decode despite the frame
+// passing its CRC (an encoder bug, not line damage) is skipped and
+// surfaces as the request's error while the rest of the rollup still
+// merges.
+func (s *Server) applyRollup(payload []byte, ver uint8, bb *BatchBuf) error {
+	var view rollupView
+	if err := walkRollupPayload(payload, ver, &view); err != nil {
+		return err
+	}
+	s.rollupFrames.Add(1)
+	if !s.admitRollup(view.leafID, view.leafEpoch, view.seq) {
+		return nil // replay: everything it carries was already accounted
+	}
+	var firstErr error
+	for i, body := range view.batches {
+		b, err := DecodeBatchPayloadVersionInto(body, ver, bb)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("aggd: rollup batch %d: %w", i, err)
+			}
+			continue
+		}
+		if !s.applyBatch(b) {
+			s.rollupSkippedEvents.Add(uint64(len(b.Events)))
+		}
+	}
+	for i, body := range view.snaps {
+		msg, err := DecodeSnapshotPayload(body)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("aggd: rollup snapshot %d: %w", i, err)
+			}
+			continue
+		}
+		s.applySnapshot(msg)
+	}
+	return firstErr
+}
+
+// handleHealthz answers liveness probes: agents picking a failover target
+// and operators wiring load balancers both ask this before trusting an
+// endpoint with traffic.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := fmt.Fprintf(w, "{\"status\":\"ok\",\"leaf\":%t}\n", s.fwd != nil); err != nil {
+		s.writeErrors.Add(1)
+	}
 }
 
 // TSDB metric names for the streamed sample kinds. The per-thread LWP and
@@ -624,6 +839,11 @@ func (s *Server) applySnapshot(msg *SnapshotMsg) {
 	rs.lastRecv = now
 	s.store.SetSnapshot(msg.Job, msg.Node, msg.Rank, msg.Snapshot, msg.CommRow)
 	s.ingestSnapshots.Add(1)
+	if s.fwd != nil {
+		// Safe to hold past this call: the decoded document is freshly
+		// allocated per frame, never pooled.
+		s.fwd.EnqueueSnapshot(msg)
+	}
 }
 
 // snapshots returns the job's stored snapshots ordered by (rank, node) so

@@ -76,7 +76,9 @@ var wireMagic = [4]byte{'Z', 'S', 'A', 'G'}
 // FrameKind discriminates frame payloads.
 type FrameKind byte
 
-// Frame kinds.
+// Frame kinds. FrameRollup (kind 3, introduced with wire version 3) is
+// declared in rollup.go alongside its codec: a leaf aggregator's pre-merged
+// upstream shipment of admitted batches and snapshot documents.
 const (
 	FrameBatch    FrameKind = 1
 	FrameSnapshot FrameKind = 2
@@ -168,6 +170,24 @@ func boolByte(v bool) byte {
 func AppendBatchFrame(dst []byte, b *Batch) ([]byte, error) {
 	start := len(dst)
 	dst = appendHeader(dst, FrameBatch)
+	dst, err := appendBatchPayload(dst, b)
+	if err != nil {
+		return nil, err
+	}
+	frame, err := finishFrame(dst[start:])
+	if err != nil {
+		return nil, err
+	}
+	return dst[:start+len(frame)], nil
+}
+
+// appendBatchPayload appends the bare batch payload encoding (what follows
+// a FrameBatch header). Rollup frames embed the same encoding
+// length-prefixed, so it is shared rather than inlined in AppendBatchFrame.
+//
+//zerosum:hotpath
+//zerosum:wire-encode batch
+func appendBatchPayload(dst []byte, b *Batch) ([]byte, error) {
 	var err error
 	if dst, err = appendString(dst, b.Job); err != nil {
 		return nil, err
@@ -184,11 +204,7 @@ func AppendBatchFrame(dst []byte, b *Batch) ([]byte, error) {
 			return nil, err
 		}
 	}
-	frame, err := finishFrame(dst[start:])
-	if err != nil {
-		return nil, err
-	}
-	return dst[:start+len(frame)], nil
+	return dst, nil
 }
 
 // EncodeBatchFrame encodes b as one complete frame.
@@ -279,13 +295,23 @@ func appendEvent(dst []byte, ev *export.Event) ([]byte, error) {
 
 // EncodeSnapshotFrame encodes msg as one complete frame.
 func EncodeSnapshotFrame(msg *SnapshotMsg) ([]byte, error) {
-	body, err := json.Marshal(msg)
+	body, err := encodeSnapshotPayload(msg)
 	if err != nil {
-		return nil, fmt.Errorf("aggd: marshal snapshot: %w", err)
+		return nil, err
 	}
 	frame := appendHeader(nil, FrameSnapshot)
 	frame = append(frame, body...)
 	return finishFrame(frame)
+}
+
+// encodeSnapshotPayload renders the bare FrameSnapshot payload (JSON);
+// rollup frames embed the same bytes length-prefixed.
+func encodeSnapshotPayload(msg *SnapshotMsg) ([]byte, error) {
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return nil, fmt.Errorf("aggd: marshal snapshot: %w", err)
+	}
+	return body, nil
 }
 
 // ReadFrame reads one frame from r and verifies its payload checksum,
@@ -401,12 +427,22 @@ func (s *FrameScanner) Reset(r io.Reader) {
 // it: DecodeBatchPayloadVersionInto(payload, sc.Version(), bb).
 func (s *FrameScanner) Version() uint8 { return s.ver }
 
-// plausibleHeader reports whether hdr could open a real frame.
+// plausibleHeader reports whether hdr could open a real frame. Rollup
+// frames only exist from wire version 3 on, so a version-2 header claiming
+// one is garbage to resync past, not a frame.
 func plausibleHeader(hdr []byte) bool {
-	return [4]byte(hdr[:4]) == wireMagic &&
-		hdr[4] >= MinWireVersion && hdr[4] <= WireVersion &&
-		(FrameKind(hdr[5]) == FrameBatch || FrameKind(hdr[5]) == FrameSnapshot) &&
-		binary.LittleEndian.Uint32(hdr[6:10]) <= MaxFramePayload
+	if [4]byte(hdr[:4]) != wireMagic ||
+		hdr[4] < MinWireVersion || hdr[4] > WireVersion ||
+		binary.LittleEndian.Uint32(hdr[6:10]) > MaxFramePayload {
+		return false
+	}
+	switch FrameKind(hdr[5]) {
+	case FrameBatch, FrameSnapshot:
+		return true
+	case FrameRollup:
+		return hdr[4] >= 3
+	}
+	return false
 }
 
 // Next returns the next verified frame. io.EOF signals a clean end of
@@ -561,6 +597,31 @@ func (d *decoder) i32() (int, error) {
 func (d *decoder) f64() (float64, error) {
 	v, err := d.u64()
 	return math.Float64frombits(v), err
+}
+
+// str decodes a u16-length-prefixed string without interning (for
+// low-frequency fields like a rollup's leaf ID, where an arena table
+// buys nothing).
+func (d *decoder) str() (string, error) {
+	b, err := d.need(2)
+	if err != nil {
+		return "", err
+	}
+	raw, err := d.need(int(binary.LittleEndian.Uint16(b)))
+	if err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+// lenPrefixed returns a u32-length-prefixed sub-payload, aliasing the
+// decoder's buffer.
+func (d *decoder) lenPrefixed() ([]byte, error) {
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	return d.need(int(n))
 }
 
 // maxInterned bounds a BatchBuf's string table so a hostile stream of

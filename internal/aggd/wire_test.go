@@ -194,7 +194,7 @@ func TestEncodeRejectsNilPayload(t *testing.T) {
 // v2BatchFrame encodes b as a wire-version-2 frame: the layout an agent
 // from before the stalled flag (§3.3) ships, which the reader must keep
 // accepting through a rolling upgrade.
-func v2BatchFrame(t *testing.T, b *Batch) []byte {
+func v2BatchFrame(t testing.TB, b *Batch) []byte {
 	t.Helper()
 	dst := appendHeader(nil, FrameBatch)
 	dst[4] = 2 // appendHeader stamps the current version; rewrite to v2

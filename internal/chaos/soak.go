@@ -193,7 +193,7 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		addInjStats(&res.Transport, s.inj.Stats())
 	}
 	res.Server = srv.Stats()
-	res.JobEvents = jobEvents(front.addr, &errs)
+	res.JobEvents = jobEvents(front.addr, soakJob, &errs)
 
 	// Invariants. Fed counts what the harness pushed into live agents; a
 	// crash may strand nothing, because Kill folds the ring remainder and
@@ -215,9 +215,9 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		errs = append(errs, fmt.Errorf("lost acknowledged data: agents saw %d events acknowledged, server merged %d",
 			a.SentEvents, res.JobEvents))
 	}
-	checkSummary(front.addr, want, &errs)
-	checkHeatmap(front.addr, rows, cfg.Agents, &errs)
-	checkTSDB(front.addr, srv, res.Server, &errs)
+	checkSummary(front.addr, soakJob, want, &errs)
+	checkHeatmap(front.addr, soakJob, rows, cfg.Agents, &errs)
+	checkTSDB(front.addr, soakJob, srv, res.Server, &errs)
 
 	cfg.Logf("soak seed %d: agents %+v", cfg.Seed, res.Agent)
 	cfg.Logf("soak seed %d: server %+v", cfg.Seed, res.Server)
@@ -302,6 +302,7 @@ func addStats(dst *aggd.AgentStats, s aggd.AgentStats) {
 	dst.SentBatches += s.SentBatches
 	dst.SentEvents += s.SentEvents
 	dst.Retries += s.Retries
+	dst.Rehomes += s.Rehomes
 }
 
 func addInjStats(dst *InjectorStats, s InjectorStats) {
@@ -459,8 +460,8 @@ func synthCommRow(rng *sim.RNG, r, size int) map[int]uint64 {
 
 // checkSummary asserts the served job summary is byte-identical to the
 // fault-free aggregate (same indented encoding the server writes).
-func checkSummary(addr string, want *report.JobSummary, errs *[]error) {
-	body, err := get(addr, "/api/job/"+soakJob+"/summary")
+func checkSummary(addr, job string, want *report.JobSummary, errs *[]error) {
+	body, err := get(addr, "/api/job/"+job+"/summary")
 	if err != nil {
 		*errs = append(*errs, fmt.Errorf("summary: %w", err))
 		return
@@ -477,8 +478,8 @@ func checkSummary(addr string, want *report.JobSummary, errs *[]error) {
 }
 
 // checkHeatmap asserts the served matrix equals the pushed comm rows.
-func checkHeatmap(addr string, rows []map[int]uint64, size int, errs *[]error) {
-	body, err := get(addr, "/api/job/"+soakJob+"/heatmap")
+func checkHeatmap(addr, job string, rows []map[int]uint64, size int, errs *[]error) {
+	body, err := get(addr, "/api/job/"+job+"/heatmap")
 	if err != nil {
 		*errs = append(*errs, fmt.Errorf("heatmap: %w", err))
 		return
@@ -510,9 +511,9 @@ func checkHeatmap(addr string, rows []map[int]uint64, size int, errs *[]error) {
 // The same census must then come back out the read path: a raw range query
 // over the healed network serves one point per admitted event of its
 // metric, and the compressed block dump decodes to the same sample count.
-func checkTSDB(addr string, srv *aggd.Server, st aggd.ServerStats, errs *[]error) {
+func checkTSDB(addr, job string, srv *aggd.Server, st aggd.ServerStats, errs *[]error) {
 	wantSamples := 5*st.EventsLWP + 3*st.EventsHWT + st.EventsGPU + 2*st.EventsMem + 2*st.EventsIO
-	js := srv.TSDB().JobStats(soakJob)
+	js := srv.TSDB().JobStats(job)
 	if js.Samples != wantSamples {
 		*errs = append(*errs, fmt.Errorf("tsdb conservation: store holds %d samples, admitted events imply %d (lwp %d hwt %d gpu %d mem %d io %d)",
 			js.Samples, wantSamples, st.EventsLWP, st.EventsHWT, st.EventsGPU, st.EventsMem, st.EventsIO))
@@ -524,7 +525,7 @@ func checkTSDB(addr string, srv *aggd.Server, st aggd.ServerStats, errs *[]error
 		{"lwp.nvctx", st.EventsLWP},
 		{"mem.free_kb", st.EventsMem},
 	} {
-		body, err := get(addr, "/api/job/"+soakJob+"/query?metric="+c.metric)
+		body, err := get(addr, "/api/job/"+job+"/query?metric="+c.metric)
 		if err != nil {
 			*errs = append(*errs, fmt.Errorf("tsdb query %s: %w", c.metric, err))
 			continue
@@ -542,7 +543,7 @@ func checkTSDB(addr string, srv *aggd.Server, st aggd.ServerStats, errs *[]error
 			*errs = append(*errs, fmt.Errorf("tsdb query %s: served %d points, admitted %d events", c.metric, got, c.want))
 		}
 	}
-	blob, err := get(addr, "/api/job/"+soakJob+"/tsdb")
+	blob, err := get(addr, "/api/job/"+job+"/tsdb")
 	if err != nil {
 		*errs = append(*errs, fmt.Errorf("tsdb dump: %w", err))
 		return
@@ -563,8 +564,8 @@ func checkTSDB(addr string, srv *aggd.Server, st aggd.ServerStats, errs *[]error
 	}
 }
 
-// jobEvents reads the aggregator's merged event count for the soak job.
-func jobEvents(addr string, errs *[]error) uint64 {
+// jobEvents reads the aggregator's merged event count for one job.
+func jobEvents(addr, job string, errs *[]error) uint64 {
 	body, err := get(addr, "/api/jobs")
 	if err != nil {
 		*errs = append(*errs, fmt.Errorf("jobs: %w", err))
@@ -576,11 +577,11 @@ func jobEvents(addr string, errs *[]error) uint64 {
 		return 0
 	}
 	for _, j := range jobs {
-		if j.Job == soakJob {
+		if j.Job == job {
 			return j.Events
 		}
 	}
-	*errs = append(*errs, fmt.Errorf("jobs: %q missing from /api/jobs", soakJob))
+	*errs = append(*errs, fmt.Errorf("jobs: %q missing from /api/jobs", job))
 	return 0
 }
 

@@ -1,0 +1,91 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// treeConfig is the acceptance shape: >= 8 agents hashed over 3 leaves
+// under one root, every leaf crash-killed and restarted mid-run, the root
+// front-end bounced midway.
+func treeConfig(seed uint64, logf func(string, ...any)) TreeSoakConfig {
+	return TreeSoakConfig{
+		Seed:        seed,
+		Agents:      9,
+		Leaves:      3,
+		RestartRoot: true,
+		Logf:        logf,
+	}
+}
+
+// TestTreeSoak runs the aggregation-tree soak for one seed (-seed) or a
+// range (-seeds). Any failure names the seed that reproduces it.
+func TestTreeSoak(t *testing.T) {
+	n := *flagSeeds
+	if n <= 0 {
+		n = 1
+	}
+	for seed := *flagSeed; seed < *flagSeed+uint64(n); seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			lc := StartLeakCheck()
+			res, err := RunTreeSoak(treeConfig(seed, t.Logf))
+			if err != nil {
+				t.Fatalf("tree soak failed (replay: go test ./internal/chaos -run TestTreeSoak -seed=%d): %v", seed, err)
+			}
+			lc.Assert(t)
+			if res.Agent.SentEvents == 0 {
+				t.Fatalf("seed %d: tree soak delivered nothing: %+v", seed, res.Agent)
+			}
+			if res.Root.RollupFrames == 0 {
+				t.Fatalf("seed %d: root never saw a rollup frame: %+v", seed, res.Root)
+			}
+		})
+	}
+}
+
+// TestTreeSoakFaultFree pins the baseline equality chain through the whole
+// tree: with no crashes and a lossless ring, every fed event flows
+// fed == enqueued == sent == leaf-admitted == forwarded == acked == root-admitted
+// with zero drops, duplicates, gaps, or skipped stragglers at any tier.
+func TestTreeSoakFaultFree(t *testing.T) {
+	lc := StartLeakCheck()
+	res, err := RunTreeSoak(TreeSoakConfig{
+		Seed:       42,
+		Agents:     9,
+		Leaves:     3,
+		KillLeaves: -1,
+		RingCap:    4096,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("fault-free tree soak failed: %v", err)
+	}
+	lc.Assert(t)
+	fed := uint64(9 * 240)
+	a, lf, fw, rt := res.Agent, res.Leaf, res.Forward, res.Root
+	if a.SendDrops != 0 || a.RingDrops != 0 || a.Rehomes != 0 {
+		t.Fatalf("fault-free run dropped or re-homed: %+v", a)
+	}
+	for name, got := range map[string]uint64{
+		"agent sent":    a.SentEvents,
+		"leaf admitted": lf.IngestEvents,
+		"fwd enqueued":  fw.EnqueuedEvents,
+		"fwd acked":     fw.AckedEvents,
+		"root admitted": rt.IngestEvents,
+		"root job view": res.JobEvents,
+	} {
+		if got != fed {
+			t.Errorf("fault-free equality chain broken at %s: %d, want %d", name, got, fed)
+		}
+	}
+	if fw.DroppedEvents != 0 || fw.DroppedRollups != 0 {
+		t.Fatalf("fault-free forwarders dropped: %+v", fw)
+	}
+	if rt.DupRollups != 0 || rt.LostRollups != 0 || rt.RollupSkippedEvents != 0 ||
+		rt.DupBatches != 0 || rt.CorruptFrames != 0 {
+		t.Fatalf("fault-free root saw faults: %+v", rt)
+	}
+	if lf.DupBatches != 0 || lf.LostBatches != 0 || lf.CorruptFrames != 0 {
+		t.Fatalf("fault-free leaves saw faults: %+v", lf)
+	}
+}

@@ -1,0 +1,167 @@
+package tsdb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tree-aggregation support: a fleet of leaf aggregators each holds a slice
+// of a job's series, and the root (or an offline audit) needs to combine
+// their ZSTB dumps back into one canonical inventory. Two layers:
+//
+//   - MergeRollups folds bucket-level aggregates without touching sample
+//     data — the cheap path when only coarse stats are needed.
+//   - MergeBlockSets decodes, dedups and re-chunks full sample streams —
+//     the canonical path whose output marshals byte-identically to a flat
+//     single-store run over the same samples.
+//
+// Store.ImportBlockSet replays a decoded set through the normal append
+// path, which is what `zsaggd -restore` uses to warm a fresh daemon from
+// dumps.
+
+// MergeRollups merges two bucket-sorted rollup lists into one, combining
+// entries that share a bucket: counts and sums add, min/max widen, and
+// First/Last resolve by their timestamps exactly as seal() would have
+// resolved the combined sample stream. Inputs are not mutated.
+func MergeRollups(a, b []Rollup) []Rollup {
+	out := make([]Rollup, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Bucket < b[j].Bucket:
+			out = append(out, a[i])
+			i++
+		case b[j].Bucket < a[i].Bucket:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, combineRollup(a[i], b[j]))
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// combineRollup folds two aggregates of the same bucket.
+func combineRollup(x, y Rollup) Rollup {
+	r := x
+	r.Count += y.Count
+	r.Sum += y.Sum
+	if y.Min < r.Min {
+		r.Min = y.Min
+	}
+	if y.Max > r.Max {
+		r.Max = y.Max
+	}
+	if y.FirstT < r.FirstT {
+		r.FirstT, r.First = y.FirstT, y.First
+	}
+	// seal() lets a tie go to the later-seen sample; with two independent
+	// chunks "later-seen" is undefined, so ties keep x's last deliberately.
+	if y.LastT > r.LastT {
+		r.LastT, r.Last = y.LastT, y.Last
+	}
+	return r
+}
+
+// MergeBlockSets combines the block inventories of one job — typically the
+// per-leaf ZSTB dumps of an aggregation tree — into a single canonical
+// set. Every chunk is decoded; samples that appear in several sets with
+// the same (series, timestamp) identity are kept once (first set wins,
+// which makes replaying an agent's stream through two leaf incarnations
+// idempotent); the survivors are re-chunked in time order under opts'
+// block and downsample widths. Marshalling the result therefore yields
+// the same bytes as dumping a flat store that ingested the samples once
+// in time order. Nil sets are skipped; differing job names are an error.
+func MergeBlockSets(opts Options, sets ...*BlockSet) (*BlockSet, error) {
+	opts = opts.withDefaults()
+	out := &BlockSet{}
+	samples := make(map[SeriesKey][]Point)
+	seen := make(map[SeriesKey]map[int64]bool)
+	for _, bs := range sets {
+		if bs == nil {
+			continue
+		}
+		if out.Job == "" {
+			out.Job = bs.Job
+		} else if bs.Job != "" && bs.Job != out.Job {
+			return nil, fmt.Errorf("tsdb: merging block sets of different jobs %q and %q", out.Job, bs.Job)
+		}
+		for si := range bs.Series {
+			s := &bs.Series[si]
+			ts := seen[s.Key]
+			if ts == nil {
+				ts = make(map[int64]bool)
+				seen[s.Key] = ts
+			}
+			for ci := range s.Chunks {
+				pts, err := s.Chunks[ci].Samples()
+				if err != nil {
+					return nil, fmt.Errorf("tsdb: series %v chunk %d: %w", s.Key, ci, err)
+				}
+				for _, p := range pts {
+					if ts[p.T] {
+						continue
+					}
+					ts[p.T] = true
+					samples[s.Key] = append(samples[s.Key], p)
+				}
+			}
+		}
+	}
+	block, ds := int64(opts.Block), int64(opts.Downsample)
+	for key, pts := range samples {
+		sort.Slice(pts, func(i, j int) bool { return pts[i].T < pts[j].T })
+		// Re-chunk through the store's own series machinery so boundaries,
+		// rollups and bitstreams come out exactly as a flat ingest would
+		// have produced them. The final chunk stays an unsealed head,
+		// mirroring what snapshotBlocks captures from a live store.
+		s := &Series{Key: key}
+		for _, p := range pts {
+			s.append(p.T, p.V, block, ds, -1)
+		}
+		fs := BlockSeries{Key: key}
+		s.chunks(func(c *chunk) {
+			if c.count == 0 {
+				return
+			}
+			fs.Chunks = append(fs.Chunks, BlockChunk{Part: c.part, TMin: c.tMin,
+				TMax: c.tMax, Count: c.count, Rollups: c.rollups, Data: c.w.bytes()})
+		})
+		if len(fs.Chunks) > 0 {
+			out.Series = append(out.Series, fs)
+		}
+	}
+	sort.Slice(out.Series, func(i, j int) bool { return keyLess(out.Series[i].Key, out.Series[j].Key) })
+	return out, nil
+}
+
+// ImportBlockSet replays a decoded block set through the store's normal
+// append path, creating the job and its series as needed. Chunks decode
+// oldest-first and samples replay in their stored order, so a dump of a
+// healthy store re-imports into an equivalent one. Returns the number of
+// samples landed; a corrupt bitstream stops the import mid-series with
+// the count so far.
+func (st *Store) ImportBlockSet(bs *BlockSet) (int, error) {
+	if bs == nil {
+		return 0, nil
+	}
+	n := 0
+	for si := range bs.Series {
+		s := &bs.Series[si]
+		for ci := range s.Chunks {
+			pts, err := s.Chunks[ci].Samples()
+			for _, p := range pts {
+				st.Append(bs.Job, s.Key, p.T, p.V)
+				n++
+			}
+			if err != nil {
+				return n, fmt.Errorf("tsdb: import series %v chunk %d: %w", s.Key, ci, err)
+			}
+		}
+	}
+	return n, nil
+}
