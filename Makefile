@@ -33,11 +33,15 @@ race:
 # in bench_test.go) and gates it against the committed baseline: a benchmark
 # more than 20% slower in ns/op, or more than 0.1% over its allocs/op
 # baseline (exact for the small deterministic hot-path counts), fails.
+# The -zero-alloc pass additionally asserts the sampling and wire hot paths
+# report exactly 0 allocs/op, independent of any recorded baseline.
 # After an intentional performance change, refresh the baseline with
 # `make bench-record` and commit it. docs/perf.md explains the budgets.
-BENCH_BASELINE ?= BENCH_PR8.json
+BENCH_BASELINE ?= BENCH_PR9.json
+ZERO_ALLOC_BENCHES ?= BenchmarkMonitorTick,BenchmarkAdaptiveTick,BenchmarkWireEncodeDecode,BenchmarkWireV4EncodeDecode
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem . | tee bench.out
+	$(GO) run ./cmd/zsbench -zero-alloc $(ZERO_ALLOC_BENCHES) bench.out
 	$(GO) run ./cmd/zsbench -baseline $(BENCH_BASELINE) bench.out
 
 bench-record:

@@ -5,6 +5,7 @@
 //
 //	record a baseline:   go test -bench . -benchmem . | zsbench -record BENCH.json
 //	gate a change:       go test -bench . -benchmem . | zsbench -baseline BENCH.json
+//	zero-alloc contract: go test -bench . -benchmem . | zsbench -zero-alloc BenchmarkX,BenchmarkY
 //
 // The gate fails (exit 1) when any benchmark present in both runs is more
 // than -max-ns-regress slower in ns/op (default 20%, absorbing shared-runner
@@ -49,6 +50,7 @@ func main() {
 	maxNs := flag.Float64("max-ns-regress", 0.20, "maximum tolerated fractional ns/op regression")
 	maxAllocs := flag.Float64("max-allocs-regress", 0.001, "maximum tolerated fractional allocs/op regression (sub-1 absolute slack is exact)")
 	note := flag.String("note", "", "free-text provenance stored in a recorded baseline")
+	zeroAlloc := flag.String("zero-alloc", "", "comma-separated benchmark names that must report exactly 0 allocs/op")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -68,6 +70,15 @@ func main() {
 	}
 	if len(results) == 0 {
 		fatal(fmt.Errorf("no benchmark result lines in input"))
+	}
+
+	if *zeroAlloc != "" {
+		if !checkZeroAlloc(os.Stdout, strings.Split(*zeroAlloc, ","), results) {
+			os.Exit(1)
+		}
+		if *record == "" && *baseline == "" {
+			return
+		}
 	}
 
 	switch {
@@ -171,6 +182,39 @@ func readBaseline(path string) (*Baseline, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return &b, nil
+}
+
+// checkZeroAlloc enforces the exact-zero hot-path contract: every named
+// benchmark must be present in the run and report 0 allocs/op. Unlike the
+// fractional baseline gate this needs no recorded file, so CI can assert
+// the invariant even when the baseline itself is being re-recorded.
+// Sub-benchmark names match by prefix ("BenchmarkX" covers "BenchmarkX/Plain").
+func checkZeroAlloc(w io.Writer, names []string, cur []Result) bool {
+	ok := true
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, r := range cur {
+			if r.Name != name && !strings.HasPrefix(r.Name, name+"/") {
+				continue
+			}
+			found = true
+			if r.AllocsPerOp != 0 {
+				fmt.Fprintf(w, "zsbench: %-40s FAIL %g allocs/op, contract is exactly 0\n", r.Name, r.AllocsPerOp)
+				ok = false
+			} else {
+				fmt.Fprintf(w, "zsbench: %-40s 0 allocs/op ok\n", r.Name)
+			}
+		}
+		if !found {
+			fmt.Fprintf(w, "zsbench: %-40s missing from this run (zero-alloc contract unchecked)\n", name)
+			ok = false
+		}
+	}
+	return ok
 }
 
 // compare reports per-benchmark deltas and returns false when the run

@@ -62,6 +62,36 @@ func TestCompareGates(t *testing.T) {
 	}
 }
 
+// TestCheckZeroAlloc pins the -zero-alloc contract: named benchmarks must
+// be present and report exactly 0 allocs/op; sub-benchmarks match by
+// prefix; a missing benchmark fails rather than silently passing.
+func TestCheckZeroAlloc(t *testing.T) {
+	cur := []Result{
+		{Name: "BenchmarkTick", AllocsPerOp: 0},
+		{Name: "BenchmarkWire/Plain", AllocsPerOp: 0},
+		{Name: "BenchmarkWire/Gzip", AllocsPerOp: 2},
+		{Name: "BenchmarkIngest", AllocsPerOp: 75},
+	}
+	cases := []struct {
+		name  string
+		names []string
+		ok    bool
+	}{
+		{"zero passes", []string{"BenchmarkTick"}, true},
+		{"nonzero fails", []string{"BenchmarkIngest"}, false},
+		{"prefix covers subbenchmarks", []string{"BenchmarkWire"}, false},
+		{"missing fails", []string{"BenchmarkNope"}, false},
+		{"blank entries skipped", []string{"BenchmarkTick", " ", ""}, true},
+		{"no prefix match on name stem", []string{"BenchmarkTic"}, false},
+	}
+	for _, tc := range cases {
+		var sb strings.Builder
+		if got := checkZeroAlloc(&sb, tc.names, cur); got != tc.ok {
+			t.Errorf("%s: checkZeroAlloc = %v, want %v\n%s", tc.name, got, tc.ok, sb.String())
+		}
+	}
+}
+
 // TestCompareAllocJitter pins down the shape of the allocs/op gate: exact for
 // small deterministic counts, fractionally tolerant for huge simulation
 // benchmarks whose counts wobble by parts per million run to run.

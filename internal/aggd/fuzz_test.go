@@ -49,7 +49,50 @@ func fuzzSeedFrames(t interface{ Fatalf(string, ...any) }) [][]byte {
 	flipped[len(flipped)/2] ^= 0x40
 	withGarbage := append([]byte("torn-write-residue"), sf...)
 	backToBack := append(append([]byte(nil), bf...), sf...)
-	return [][]byte{bf, sf, truncated, flipped, withGarbage, backToBack}
+
+	// The rolling-upgrade states: the same batch framed at each supported
+	// version, and all three concatenated in one body.
+	v3f, err := AppendBatchFrameVersion(nil, batch, 3)
+	if err != nil {
+		t.Fatalf("seed v3 batch: %v", err)
+	}
+	batch.Events = batch.Events[:2] // heartbeat + LWP: the kinds a v2 agent ships
+	v2f, err := AppendBatchFrameVersion(nil, batch, 2)
+	if err != nil {
+		t.Fatalf("seed v2 batch: %v", err)
+	}
+	mixedVers := append(append(append([]byte(nil), v2f...), v3f...), bf...)
+
+	// Hostile v4 payloads with valid CRCs, so they reach the batch decoder:
+	// a dictionary count the bytes cannot hold, a non-minimal varint, and an
+	// LWP TID delta that overflows int32.
+	truncDict := v4Frame(t, []byte{2, 1, 'x'}) // claims 2 strings, carries 1
+	nonMinimal := v4Frame(t, []byte{0x80, 0x00})
+	overflow := v4Frame(t, append([]byte{
+		1, 0, // dict: one empty string
+		0, 0, // jobRef, nodeRef
+		0,    // rank
+		1, 0, // epoch, seq
+		1,      // one event
+		tagLWP, // LWP event
+		0,      // time delta 0
+	}, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01)) // tid zigzag delta = max uint64
+
+	return [][]byte{bf, sf, truncated, flipped, withGarbage, backToBack,
+		v2f, v3f, mixedVers, truncDict, nonMinimal, overflow}
+}
+
+// v4Frame wraps a raw v4 batch payload in a valid frame (correct magic,
+// version, length, CRC), so fuzz seeds exercise the payload decoder rather
+// than dying at the checksum.
+func v4Frame(t interface{ Fatalf(string, ...any) }, payload []byte) []byte {
+	dst := appendHeader(nil, FrameBatch, WireVersion)
+	dst = append(dst, payload...)
+	frame, err := finishFrame(dst)
+	if err != nil {
+		t.Fatalf("v4 seed frame: %v", err)
+	}
+	return frame
 }
 
 // FuzzWireDecode throws arbitrary bytes at the frame reader, the payload

@@ -1,0 +1,5 @@
+//go:build !race
+
+package aggd
+
+const raceEnabled = false

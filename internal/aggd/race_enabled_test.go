@@ -1,0 +1,8 @@
+//go:build race
+
+package aggd
+
+// raceEnabled lets allocation gates skip under the race detector, which
+// deliberately makes sync.Pool drop puts and gets (to expose lifecycle
+// races), so pooled scratch is re-allocated on purpose there.
+const raceEnabled = true

@@ -56,7 +56,7 @@ const minRollupPayload = 2 + 8 + 8 + 4 + 4
 //zerosum:wire-encode rollup
 func AppendRollupFrame(dst []byte, ru *RollupMsg) ([]byte, error) {
 	start := len(dst)
-	dst = appendHeader(dst, FrameRollup)
+	dst = appendHeader(dst, FrameRollup, WireVersion)
 	var err error
 	if dst, err = appendString(dst, ru.LeafID); err != nil {
 		return nil, err
@@ -70,7 +70,7 @@ func AppendRollupFrame(dst []byte, ru *RollupMsg) ([]byte, error) {
 		lenAt := len(dst)
 		dst = binary.LittleEndian.AppendUint32(dst, 0)
 		bodyAt := len(dst)
-		if dst, err = appendBatchPayload(dst, &ru.Batches[i]); err != nil {
+		if dst, err = appendBatchPayloadVersion(dst, &ru.Batches[i], WireVersion); err != nil {
 			return nil, err
 		}
 		binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(dst)-bodyAt))
@@ -138,10 +138,11 @@ func walkRollupPayload(payload []byte, ver uint8, view *rollupView) error {
 		return err
 	}
 	// Every embedded batch costs at least its length prefix plus the
-	// minimal batch payload (two empty strings, rank, epoch, seq, count),
-	// so a count the remaining bytes cannot hold is rejected before it
-	// sizes anything.
-	const minEmbeddedBatch = 4 + (2 + 2 + 4 + 8 + 8 + 4)
+	// minimal batch payload — since wire v4 that is the varint form (a
+	// one-entry dictionary holding the empty string, two refs, rank, epoch,
+	// seq, count: 8 bytes) — so a count the remaining bytes cannot hold is
+	// rejected before it sizes anything.
+	const minEmbeddedBatch = 4 + 8
 	if int64(nb)*minEmbeddedBatch > int64(len(payload)-d.off) {
 		return fmt.Errorf("aggd: rollup claims %d batches in %d bytes", nb, len(payload)-d.off)
 	}

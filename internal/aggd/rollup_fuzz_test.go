@@ -64,7 +64,7 @@ func rollupFuzzSeeds(t testing.TB) map[string][]byte {
 	// A frame whose CRC is valid but whose batch count could never fit the
 	// remaining bytes: the structural walk must reject it before sizing
 	// anything from the count.
-	dst := appendHeader(nil, FrameRollup)
+	dst := appendHeader(nil, FrameRollup, WireVersion)
 	if dst, err = appendString(dst, "evil"); err != nil {
 		t.Fatalf("seed hostile: %v", err)
 	}

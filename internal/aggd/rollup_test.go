@@ -261,7 +261,7 @@ func TestServerRollupBadEmbeddedBatch(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	dst := appendHeader(nil, FrameRollup)
+	dst := appendHeader(nil, FrameRollup, WireVersion)
 	dst, err := appendString(dst, "L")
 	if err != nil {
 		t.Fatal(err)

@@ -228,6 +228,18 @@ type rankState struct {
 	stallEvents uint64 //zerosum:guardedby rankShard.mu
 	memFree     uint64 //zerosum:guardedby rankShard.mu
 	memRSS      uint64 //zerosum:guardedby rankShard.mu
+
+	// Cached tsdb series handles, resolved once per stream metric and valid
+	// for the store's lifetime (series are never deleted): hashing the
+	// struct-keyed series map per sample dominated the ingest profile, so
+	// the batch path pays the lookup only on each stream's first event.
+	lwpSeries map[int]*lwpSeries            //zerosum:guardedby rankShard.mu per TID
+	hwtSeries map[int]*hwtSeries            //zerosum:guardedby rankShard.mu per CPU
+	gpuSeries map[gpuSeriesKey]*tsdb.Series //zerosum:guardedby rankShard.mu
+	memFreeS  *tsdb.Series                  //zerosum:guardedby rankShard.mu
+	memRSSS   *tsdb.Series                  //zerosum:guardedby rankShard.mu
+	ioReadS   *tsdb.Series                  //zerosum:guardedby rankShard.mu
+	ioWriteS  *tsdb.Series                  //zerosum:guardedby rankShard.mu
 }
 
 // NewServer builds an aggregator — the root of a tree (or a flat
@@ -346,11 +358,14 @@ func (sh *rankShard) rank(key rankKey) *rankState {
 	rs := sh.ranks[key]
 	if rs == nil {
 		rs = &rankState{
-			hwt:     make(map[int]export.HWTSample),
-			gpuBusy: make(map[int]float64),
-			nvctx:   make(map[int]uint64),
-			vctx:    make(map[int]uint64),
-			stalled: make(map[int]bool),
+			hwt:       make(map[int]export.HWTSample),
+			gpuBusy:   make(map[int]float64),
+			nvctx:     make(map[int]uint64),
+			vctx:      make(map[int]uint64),
+			stalled:   make(map[int]bool),
+			lwpSeries: make(map[int]*lwpSeries),
+			hwtSeries: make(map[int]*hwtSeries),
+			gpuSeries: make(map[gpuSeriesKey]*tsdb.Series),
 		}
 		if sh.ranks == nil {
 			sh.ranks = make(map[rankKey]*rankState)
@@ -358,6 +373,55 @@ func (sh *rankShard) rank(key rankKey) *rankState {
 		sh.ranks[key] = rs
 	}
 	return rs
+}
+
+// lwpSeries bundles one LWP stream's cached tsdb handles (one per metric
+// the aggregator derives from an LWP sample).
+type lwpSeries struct {
+	user, sys, vctx, nvctx, stalled *tsdb.Series
+}
+
+// hwtSeries bundles one hardware thread's cached tsdb handles.
+type hwtSeries struct {
+	idle, sys, user *tsdb.Series
+}
+
+type gpuSeriesKey struct {
+	gpu    int
+	metric string
+}
+
+// resolveLWPSeries pays the series-map lookups for a newly seen TID; every
+// later sample of the stream reuses the handles.
+//
+//zerosum:coldpath
+func resolveLWPSeries(ba *tsdb.BatchAppender, node string, rank, tid int) *lwpSeries {
+	key := tsdb.SeriesKey{Node: node, Rank: rank, TID: tid}
+	ls := &lwpSeries{}
+	key.Metric = metricLWPUserPct
+	ls.user = ba.Resolve(key)
+	key.Metric = metricLWPSysPct
+	ls.sys = ba.Resolve(key)
+	key.Metric = metricLWPVCtx
+	ls.vctx = ba.Resolve(key)
+	key.Metric = metricLWPNVCtx
+	ls.nvctx = ba.Resolve(key)
+	key.Metric = metricLWPStalled
+	ls.stalled = ba.Resolve(key)
+	return ls
+}
+
+//zerosum:coldpath
+func resolveHWTSeries(ba *tsdb.BatchAppender, node string, rank, cpu int) *hwtSeries {
+	key := tsdb.SeriesKey{Node: node, Rank: rank, TID: cpu}
+	hs := &hwtSeries{}
+	key.Metric = metricHWTIdlePct
+	hs.idle = ba.Resolve(key)
+	key.Metric = metricHWTSysPct
+	hs.sys = ba.Resolve(key)
+	key.Metric = metricHWTUserPct
+	hs.user = ba.Resolve(key)
+	return hs
 }
 
 // Pooled ingest scratch. Every request needs a gzip inflater (its internal
@@ -574,6 +638,7 @@ func (s *Server) applyBatch(b *Batch) bool {
 	}
 	rs.events += uint64(len(b.Events))
 	var nLWP, nHWT, nGPU, nMem, nIO uint64
+	ba := s.store.BeginBatch(b.Job, b.Node, b.Rank)
 	for i := range b.Events {
 		ev := &b.Events[i]
 		if ev.TimeSec > rs.lastSampleT {
@@ -593,53 +658,61 @@ func (s *Server) applyBatch(b *Batch) bool {
 				delete(rs.stalled, ev.LWP.TID)
 			}
 			nLWP++
-			key := tsdb.SeriesKey{Node: b.Node, Rank: b.Rank, TID: ev.LWP.TID}
-			key.Metric = metricLWPUserPct
-			s.store.Append(b.Job, key, t, ev.LWP.UserPct)
-			key.Metric = metricLWPSysPct
-			s.store.Append(b.Job, key, t, ev.LWP.SysPct)
-			key.Metric = metricLWPVCtx
-			s.store.Append(b.Job, key, t, float64(ev.LWP.VCtx))
-			key.Metric = metricLWPNVCtx
-			s.store.Append(b.Job, key, t, float64(ev.LWP.NVCtx))
-			key.Metric = metricLWPStalled
-			s.store.Append(b.Job, key, t, boolSample(ev.LWP.Stalled))
+			ls := rs.lwpSeries[ev.LWP.TID]
+			if ls == nil {
+				ls = resolveLWPSeries(&ba, b.Node, b.Rank, ev.LWP.TID)
+				rs.lwpSeries[ev.LWP.TID] = ls
+			}
+			ba.Append(ls.user, t, ev.LWP.UserPct)
+			ba.Append(ls.sys, t, ev.LWP.SysPct)
+			ba.Append(ls.vctx, t, float64(ev.LWP.VCtx))
+			ba.Append(ls.nvctx, t, float64(ev.LWP.NVCtx))
+			ba.Append(ls.stalled, t, boolSample(ev.LWP.Stalled))
 		case export.EventHWT:
 			rs.hwt[ev.HWT.CPU] = *ev.HWT
 			nHWT++
-			key := tsdb.SeriesKey{Node: b.Node, Rank: b.Rank, TID: ev.HWT.CPU}
-			key.Metric = metricHWTIdlePct
-			s.store.Append(b.Job, key, t, ev.HWT.IdlePct)
-			key.Metric = metricHWTSysPct
-			s.store.Append(b.Job, key, t, ev.HWT.SysPct)
-			key.Metric = metricHWTUserPct
-			s.store.Append(b.Job, key, t, ev.HWT.UserPct)
+			hs := rs.hwtSeries[ev.HWT.CPU]
+			if hs == nil {
+				hs = resolveHWTSeries(&ba, b.Node, b.Rank, ev.HWT.CPU)
+				rs.hwtSeries[ev.HWT.CPU] = hs
+			}
+			ba.Append(hs.idle, t, ev.HWT.IdlePct)
+			ba.Append(hs.sys, t, ev.HWT.SysPct)
+			ba.Append(hs.user, t, ev.HWT.UserPct)
 		case export.EventGPU:
 			if ev.GPU.Metric == "Device Busy %" {
 				rs.gpuBusy[ev.GPU.GPU] = ev.GPU.Value
 			}
 			nGPU++
-			key := tsdb.SeriesKey{Node: b.Node, Rank: b.Rank, TID: ev.GPU.GPU,
-				Metric: gpuMetricName(ev.GPU.Metric)}
-			s.store.Append(b.Job, key, t, ev.GPU.Value)
+			gk := gpuSeriesKey{gpu: ev.GPU.GPU, metric: ev.GPU.Metric}
+			gs := rs.gpuSeries[gk]
+			if gs == nil {
+				gs = ba.Resolve(tsdb.SeriesKey{Node: b.Node, Rank: b.Rank,
+					TID: ev.GPU.GPU, Metric: gpuMetricName(ev.GPU.Metric)})
+				rs.gpuSeries[gk] = gs
+			}
+			ba.Append(gs, t, ev.GPU.Value)
 		case export.EventMem:
 			rs.memFree = ev.Mem.FreeKB
 			rs.memRSS = ev.Mem.ProcRSSKB
 			nMem++
-			key := tsdb.SeriesKey{Node: b.Node, Rank: b.Rank}
-			key.Metric = metricMemFreeKB
-			s.store.Append(b.Job, key, t, float64(ev.Mem.FreeKB))
-			key.Metric = metricMemRSSKB
-			s.store.Append(b.Job, key, t, float64(ev.Mem.ProcRSSKB))
+			if rs.memFreeS == nil {
+				rs.memFreeS = ba.Resolve(tsdb.SeriesKey{Node: b.Node, Rank: b.Rank, Metric: metricMemFreeKB})
+				rs.memRSSS = ba.Resolve(tsdb.SeriesKey{Node: b.Node, Rank: b.Rank, Metric: metricMemRSSKB})
+			}
+			ba.Append(rs.memFreeS, t, float64(ev.Mem.FreeKB))
+			ba.Append(rs.memRSSS, t, float64(ev.Mem.ProcRSSKB))
 		case export.EventIO:
 			nIO++
-			key := tsdb.SeriesKey{Node: b.Node, Rank: b.Rank}
-			key.Metric = metricIOReadBytes
-			s.store.Append(b.Job, key, t, float64(ev.IO.ReadBytes))
-			key.Metric = metricIOWriteBytes
-			s.store.Append(b.Job, key, t, float64(ev.IO.WriteBytes))
+			if rs.ioReadS == nil {
+				rs.ioReadS = ba.Resolve(tsdb.SeriesKey{Node: b.Node, Rank: b.Rank, Metric: metricIOReadBytes})
+				rs.ioWriteS = ba.Resolve(tsdb.SeriesKey{Node: b.Node, Rank: b.Rank, Metric: metricIOWriteBytes})
+			}
+			ba.Append(rs.ioReadS, t, float64(ev.IO.ReadBytes))
+			ba.Append(rs.ioWriteS, t, float64(ev.IO.WriteBytes))
 		}
 	}
+	ba.End()
 	s.ingestBatches.Add(1)
 	s.ingestEvents.Add(uint64(len(b.Events)))
 	if nLWP > 0 {

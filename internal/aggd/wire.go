@@ -48,10 +48,14 @@ import (
 // from a retried batch (sequence numbers repeat). Version 3 adds the LWP
 // event's stalled flag (§3.3 progress detection); a version-2 LWP event is
 // identical minus that byte and decodes with Stalled=false, so a fleet can
-// roll agents and aggregators independently during an upgrade.
+// roll agents and aggregators independently during an upgrade. Version 4
+// replaces the batch payload encoding wholesale with the dictionary +
+// per-stream delta format of wirev4.go (the framing and the other payload
+// kinds are unchanged); versions 2 and 3 still decode, so a mixed fleet
+// keeps ingesting while agents roll forward.
 const (
 	// WireVersion is the framing version senders emit.
-	WireVersion = 3
+	WireVersion = 4
 	// MinWireVersion is the oldest version readers still accept: version 2
 	// frames (pre-stall-flag agents) decode during a rolling upgrade.
 	MinWireVersion = 2
@@ -126,9 +130,9 @@ const (
 	tagHeartbeat
 )
 
-func appendHeader(dst []byte, kind FrameKind) []byte {
+func appendHeader(dst []byte, kind FrameKind, ver uint8) []byte {
 	dst = append(dst, wireMagic[:]...)
-	dst = append(dst, WireVersion, byte(kind))
+	dst = append(dst, ver, byte(kind))
 	dst = binary.LittleEndian.AppendUint32(dst, 0)  // length, patched by finishFrame
 	return binary.LittleEndian.AppendUint32(dst, 0) // crc, patched by finishFrame
 }
@@ -168,9 +172,23 @@ func boolByte(v bool) byte {
 //zerosum:hotpath
 //zerosum:wire-encode batch
 func AppendBatchFrame(dst []byte, b *Batch) ([]byte, error) {
+	return AppendBatchFrameVersion(dst, b, WireVersion)
+}
+
+// AppendBatchFrameVersion appends b framed with wire version ver, for
+// agents pinned to an older format during a rolling upgrade (and for the
+// mixed-fleet tests and soaks that exercise the server's version spread).
+//
+//zerosum:hotpath
+//zerosum:wire-encode batch
+func AppendBatchFrameVersion(dst []byte, b *Batch, ver uint8) ([]byte, error) {
+	if ver < MinWireVersion || ver > WireVersion {
+		return nil, fmt.Errorf("aggd: unsupported wire version %d (want %d..%d)",
+			ver, MinWireVersion, WireVersion)
+	}
 	start := len(dst)
-	dst = appendHeader(dst, FrameBatch)
-	dst, err := appendBatchPayload(dst, b)
+	dst = appendHeader(dst, FrameBatch, ver)
+	dst, err := appendBatchPayloadVersion(dst, b, ver)
 	if err != nil {
 		return nil, err
 	}
@@ -181,13 +199,17 @@ func AppendBatchFrame(dst []byte, b *Batch) ([]byte, error) {
 	return dst[:start+len(frame)], nil
 }
 
-// appendBatchPayload appends the bare batch payload encoding (what follows
-// a FrameBatch header). Rollup frames embed the same encoding
-// length-prefixed, so it is shared rather than inlined in AppendBatchFrame.
+// appendBatchPayloadVersion appends the bare batch payload encoding at wire
+// version ver (what follows a FrameBatch header). Rollup frames embed the
+// same encoding length-prefixed, so it is shared rather than inlined in
+// AppendBatchFrameVersion.
 //
 //zerosum:hotpath
 //zerosum:wire-encode batch
-func appendBatchPayload(dst []byte, b *Batch) ([]byte, error) {
+func appendBatchPayloadVersion(dst []byte, b *Batch, ver uint8) ([]byte, error) {
+	if ver >= 4 {
+		return appendBatchPayloadV4(dst, b)
+	}
 	var err error
 	if dst, err = appendString(dst, b.Job); err != nil {
 		return nil, err
@@ -200,7 +222,7 @@ func appendBatchPayload(dst []byte, b *Batch) ([]byte, error) {
 	dst = binary.LittleEndian.AppendUint64(dst, b.Seq)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.Events)))
 	for i := range b.Events {
-		if dst, err = appendEvent(dst, &b.Events[i]); err != nil {
+		if dst, err = appendEvent(dst, &b.Events[i], ver); err != nil {
 			return nil, err
 		}
 	}
@@ -210,9 +232,13 @@ func appendBatchPayload(dst []byte, b *Batch) ([]byte, error) {
 // EncodeBatchFrame encodes b as one complete frame.
 func EncodeBatchFrame(b *Batch) ([]byte, error) { return AppendBatchFrame(nil, b) }
 
+// appendEvent is the fixed-width v2/v3 event encoding; ver gates the one
+// layout difference (the v3 stalled byte). Version 4 events live in
+// wirev4.go.
+//
 //zerosum:hotpath
 //zerosum:wire-encode event
-func appendEvent(dst []byte, ev *export.Event) ([]byte, error) {
+func appendEvent(dst []byte, ev *export.Event, ver uint8) ([]byte, error) {
 	var err error
 	switch ev.Kind {
 	case export.EventLWP:
@@ -227,7 +253,9 @@ func appendEvent(dst []byte, ev *export.Event) ([]byte, error) {
 			return nil, err
 		}
 		dst = append(dst, l.State)
-		dst = append(dst, boolByte(l.Stalled))
+		if ver >= 3 {
+			dst = append(dst, boolByte(l.Stalled))
+		}
 		dst = appendF64(dst, l.UserPct)
 		dst = appendF64(dst, l.SysPct)
 		dst = binary.LittleEndian.AppendUint64(dst, l.VCtx)
@@ -299,7 +327,7 @@ func EncodeSnapshotFrame(msg *SnapshotMsg) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	frame := appendHeader(nil, FrameSnapshot)
+	frame := appendHeader(nil, FrameSnapshot, WireVersion)
 	frame = append(frame, body...)
 	return finishFrame(frame)
 }
@@ -667,6 +695,15 @@ type BatchBuf struct {
 	mem   []export.MemSample
 	io    []export.IOSample
 	strs  map[string]string
+
+	// Version-4 decode state: the batch dictionary, its canonical-form
+	// bookkeeping, and the per-stream delta predictors. Kept here (rather
+	// than on a per-call struct) so a pooled warm arena decodes v4 batches
+	// without allocating; resetV4 clears values but keeps the map buckets.
+	dict     []string
+	dictUsed int
+	dictSeen map[string]bool
+	streams  v4Streams
 }
 
 func (bb *BatchBuf) reset() {
@@ -681,6 +718,19 @@ func (bb *BatchBuf) reset() {
 	if bb.strs == nil {
 		bb.strs = make(map[string]string)
 	}
+}
+
+// resetV4 clears the v4-only decode state; split from reset so v2/v3
+// decodes do not pay for maps they never touch.
+func (bb *BatchBuf) resetV4() {
+	bb.dict = bb.dict[:0]
+	bb.dictUsed = 0
+	if bb.dictSeen == nil {
+		bb.dictSeen = make(map[string]bool)
+	} else {
+		clear(bb.dictSeen)
+	}
+	bb.streams.reset()
 }
 
 // DecodeBatchPayload parses a current-version FrameBatch payload into a
@@ -706,6 +756,9 @@ func DecodeBatchPayloadVersionInto(payload []byte, ver uint8, bb *BatchBuf) (*Ba
 	if ver < MinWireVersion || ver > WireVersion {
 		return nil, fmt.Errorf("aggd: unsupported wire version %d (want %d..%d)",
 			ver, MinWireVersion, WireVersion)
+	}
+	if ver >= 4 {
+		return decodeBatchPayloadV4Into(payload, bb)
 	}
 	bb.reset()
 	d := &decoder{buf: payload, ver: ver}

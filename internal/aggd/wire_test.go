@@ -196,8 +196,7 @@ func TestEncodeRejectsNilPayload(t *testing.T) {
 // accepting through a rolling upgrade.
 func v2BatchFrame(t testing.TB, b *Batch) []byte {
 	t.Helper()
-	dst := appendHeader(nil, FrameBatch)
-	dst[4] = 2 // appendHeader stamps the current version; rewrite to v2
+	dst := appendHeader(nil, FrameBatch, 2)
 	var err error
 	if dst, err = appendString(dst, b.Job); err != nil {
 		t.Fatal(err)
@@ -282,12 +281,18 @@ func TestDecodeBatchPayloadV2Compat(t *testing.T) {
 	}
 }
 
-// TestFrameScannerMixedVersions: one body interleaving v2 and v3 frames —
-// the rolling-upgrade wire state — scans cleanly with Version tracking each
-// frame.
+// TestFrameScannerMixedVersions: one body interleaving v2, v3 and v4
+// frames — the rolling-upgrade wire state — scans cleanly with Version
+// tracking each frame.
 func TestFrameScannerMixedVersions(t *testing.T) {
+	v4 := sampleBatch()
+	v4Frame, err := EncodeBatchFrame(v4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	v3 := sampleBatch()
-	v3Frame, err := EncodeBatchFrame(v3)
+	v3.Seq = 5
+	v3Frame, err := AppendBatchFrameVersion(nil, v3, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,10 +306,11 @@ func TestFrameScannerMixedVersions(t *testing.T) {
 		},
 	}
 	body := append(v2BatchFrame(t, v2), v3Frame...)
+	body = append(body, v4Frame...)
 	sc := NewFrameScanner(bytes.NewReader(body))
 
-	wantVers := []uint8{2, 3}
-	wantSeqs := []uint64{9, 9}
+	wantVers := []uint8{2, 3, 4}
+	wantSeqs := []uint64{9, 5, 9}
 	for i := range wantVers {
 		kind, payload, err := sc.Next()
 		if err != nil {

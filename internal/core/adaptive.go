@@ -1,0 +1,115 @@
+package core
+
+// Per-LWP adaptive sampling: quiescent threads are scanned less often.
+//
+// The paper's monitor samples every LWP at a fixed cadence, so a process
+// with hundreds of parked worker threads pays the full /proc read+parse
+// cost on every tick for threads that have not run in minutes. This file
+// adds a per-thread change detector: an EWMA over each sample's activity
+// (utime/stime jiffies plus context-switch deltas). While the smoothed
+// activity stays below a threshold the thread's effective sampling period
+// stretches by doubling — the monitor simply skips its scan for
+// stretch-1 ticks — and any observed activity, or a stall-flag transition
+// in either direction, snaps the thread back to the base rate on the very
+// next tick.
+//
+// The mechanism composes with the two neighbouring controls:
+//
+//   - the §4.1 overhead watchdog (Config.Budget) doubles the global period
+//     when the monitor's own cost exceeds its budget; adaptive stretching
+//     reduces that cost per tick, so the watchdog fires later or not at
+//     all. Per-interval utilization percentages stay correct under both
+//     because applyThread scales the interval by the ticks that actually
+//     elapsed for that thread.
+//   - §3.3 stall detection stays exact in base-tick units: the counters
+//     are cumulative, so a scan that shows zero deltas proves the thread
+//     made no progress on every skipped tick in between, and the stall
+//     streak advances by the full elapsed tick count. When StallTicks is
+//     configured the stretch is additionally capped at StallTicks, so no
+//     thread — stalled or about to be — goes unobserved for longer than
+//     one stall window and flag transitions are never reported later than
+//     a fixed-rate monitor plus one window would report them.
+//
+// All state lives in the threadState record; steady-state ticks with the
+// detector enabled allocate nothing, exactly like fixed-rate ticks
+// (TestMonitorTickZeroSteadyStateAlloc covers both).
+
+// AdaptiveConfig tunes per-LWP adaptive sampling (zero value: disabled).
+type AdaptiveConfig struct {
+	// Enabled turns the per-thread change detector on.
+	Enabled bool
+	// Alpha is the EWMA smoothing factor in (0, 1]; higher weighs the
+	// newest sample more. Default 0.5.
+	Alpha float64
+	// QuiescentBelow is the smoothed-activity threshold under which a
+	// thread is considered quiescent and its sampling period stretches.
+	// Activity is measured in jiffies-plus-context-switches per base
+	// period. Default 0.5.
+	QuiescentBelow float64
+	// MaxStretch caps the period multiplier (always also capped at
+	// StallTicks when stall detection is on). Default 8.
+	MaxStretch int
+}
+
+func (a AdaptiveConfig) withDefaults() AdaptiveConfig {
+	if a.Alpha <= 0 || a.Alpha > 1 {
+		a.Alpha = 0.5
+	}
+	if a.QuiescentBelow <= 0 {
+		a.QuiescentBelow = 0.5
+	}
+	if a.MaxStretch <= 0 {
+		a.MaxStretch = 8
+	}
+	return a
+}
+
+// stretchCap returns the largest period multiplier the configuration
+// allows: MaxStretch, tightened to StallTicks when stall detection needs
+// every thread observed at least once per stall window.
+func (m *Monitor) stretchCap() int {
+	limit := m.cfg.Adaptive.MaxStretch
+	if st := m.cfg.StallTicks; st > 0 && st < limit {
+		limit = st
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	return limit
+}
+
+// updateAdaptive runs the change detector for one freshly applied sample.
+// activity is the raw per-elapsed-period activity, snap forces an
+// immediate return to the base rate (observed progress or a stall-flag
+// transition).
+//
+//zerosum:hotpath
+func (m *Monitor) updateAdaptive(ts *threadState, activity float64, snap bool) {
+	a := m.cfg.Adaptive
+	ts.ewma = a.Alpha*activity + (1-a.Alpha)*ts.ewma
+	if snap {
+		ts.stretch = 1
+		ts.skipLeft = 0
+		return
+	}
+	if ts.ewma >= a.QuiescentBelow {
+		// Quiet sample, but the smoothed activity has not decayed yet:
+		// hold the base rate and let the EWMA decide next tick.
+		ts.skipLeft = 0
+		return
+	}
+	if ts.stretch < 1 {
+		ts.stretch = 1
+	}
+	if limit := m.stretchCap(); ts.stretch < limit {
+		ts.stretch *= 2
+		if ts.stretch > limit {
+			ts.stretch = limit
+		}
+	}
+	ts.skipLeft = ts.stretch - 1
+}
+
+// AdaptiveSkips reports how many per-thread scans adaptive sampling has
+// elided so far (one per thread per skipped tick).
+func (m *Monitor) AdaptiveSkips() uint64 { return m.adaptiveSkips }

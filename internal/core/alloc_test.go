@@ -155,6 +155,70 @@ func TestMonitorTickZeroAllocWithObs(t *testing.T) {
 	}
 }
 
+// TestMonitorTickZeroAllocWithAdaptive re-runs the zero-alloc gate with
+// per-LWP adaptive sampling on. The fixture's counters never change, so
+// every thread quiesces and the skip path — the one adaptive sampling adds
+// to the hot loop — runs on most ticks; neither it nor the EWMA update may
+// touch the heap.
+func TestMonitorTickZeroAllocWithAdaptive(t *testing.T) {
+	root, _ := writeProcTree(t, os.Getpid(), 7001, 7002, 7003)
+	fs := &proc.RealFS{Root: root}
+	defer fs.Close()
+
+	now := time.Unix(0, 0)
+	clock := func() time.Time { now = now.Add(time.Second); return now }
+	m, err := New(Config{
+		KeepSeries: false,
+		Adaptive:   AdaptiveConfig{Enabled: true},
+	}, Deps{FS: fs, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Finish()
+
+	for i := 0; i < 2; i++ {
+		if err := m.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if err := m.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("Tick with adaptive sampling allocates %.1f per run, want 0", avg)
+	}
+	if m.AdaptiveSkips() == 0 {
+		t.Error("static fixture should have triggered adaptive skips")
+	}
+}
+
+// TestAdaptiveStretchCap table-drives the interaction between MaxStretch
+// and StallTicks: stall detection always wins when it is tighter.
+func TestAdaptiveStretchCap(t *testing.T) {
+	cases := []struct {
+		maxStretch, stallTicks, want int
+	}{
+		{8, 0, 8},   // no stall detection: MaxStretch rules
+		{8, 3, 3},   // stall window tighter than MaxStretch
+		{2, 5, 2},   // MaxStretch tighter than the stall window
+		{8, 1, 1},   // one-tick stall window: no stretching at all
+		{0, 0, 8},   // defaults applied
+		{16, 0, 16}, // larger cap honoured
+	}
+	for _, c := range cases {
+		m := &Monitor{cfg: Config{
+			StallTicks: c.stallTicks,
+			Adaptive:   AdaptiveConfig{Enabled: true, MaxStretch: c.maxStretch}.withDefaults(),
+		}}
+		if got := m.stretchCap(); got != c.want {
+			t.Errorf("stretchCap(MaxStretch=%d, StallTicks=%d) = %d, want %d",
+				c.maxStretch, c.stallTicks, got, c.want)
+		}
+	}
+}
+
 // TestMonitorScanWorkersEquivalent runs the same fixture serially and with a
 // sharded scan phase; every published series and summary row must match.
 func TestMonitorScanWorkersEquivalent(t *testing.T) {

@@ -87,11 +87,18 @@ type Config struct {
 	// monitor's own cost exceeds Budget.MaxPct of one core, the sampling
 	// period doubles instead of violating the paper's guarantee.
 	Budget obs.Budget
+	// Adaptive enables per-LWP adaptive sampling: quiescent threads are
+	// scanned less often, snapping back to the base period on activity
+	// (see adaptive.go).
+	Adaptive AdaptiveConfig
 }
 
 func (c Config) withDefaults() Config {
 	if c.Period <= 0 {
 		c.Period = time.Second
+	}
+	if c.Adaptive.Enabled {
+		c.Adaptive = c.Adaptive.withDefaults()
 	}
 	return c
 }
@@ -163,6 +170,15 @@ type threadState struct {
 	stallStreak int
 	stalled     bool
 	stallEvents int // times the thread entered the stalled state
+
+	// Adaptive sampling (adaptive.go): smoothed activity, the current
+	// power-of-two period multiplier, ticks left to skip before the next
+	// scan, and ticks actually skipped since the last applied sample
+	// (the interval scale for per-period percentages).
+	ewma         float64
+	stretch      int
+	skipLeft     int
+	skippedTicks int
 }
 
 // Monitor observes one process.
@@ -211,10 +227,11 @@ type Monitor struct {
 	// Self-observability (§4.1): the effective sampling period (the
 	// watchdog doubles it under overhead pressure), watchdog firings,
 	// accumulated tick wall time, and the current stalled-LWP count.
-	period       time.Duration
-	degradations int
-	tickWallNS   int64
-	stalledCount int
+	period        time.Duration
+	degradations  int
+	tickWallNS    int64
+	stalledCount  int
+	adaptiveSkips uint64 // per-thread scans elided by adaptive sampling
 
 	// selfStatsPub holds the obs.SelfStats snapshot published at the end of
 	// every tick (and by Finish). The monitor itself is single-goroutine and
@@ -453,6 +470,16 @@ func (m *Monitor) sampleThreads(now time.Time, t float64) error {
 	for _, tid := range tids {
 		m.seen[tid] = true
 		ts := m.threads[tid]
+		if ts != nil && ts.skipLeft > 0 {
+			// Adaptive sampling: this thread's smoothed activity earned it a
+			// stretched period; skip the read+parse entirely this tick. It
+			// stays listed (so it is not mistaken for an exited thread) and
+			// its cached descriptors stay open.
+			ts.skipLeft--
+			ts.skippedTicks++
+			m.adaptiveSkips++
+			continue
+		}
 		if ts == nil {
 			// Not registered in m.threads until its first successful scan:
 			// a transient thread that dies before it is ever sampled must
@@ -567,8 +594,12 @@ func (m *Monitor) applyThread(ts *threadState, now time.Time, t float64) {
 		}
 	}
 	// Per-interval utilization percentages, against the effective period
-	// (the watchdog may have degraded it from Config.Period).
-	interval := m.period.Seconds()
+	// (the watchdog may have degraded it from Config.Period) scaled by the
+	// ticks that actually elapsed for this thread — adaptive sampling may
+	// have skipped some, and the cumulative deltas cover all of them.
+	elapsedTicks := 1 + ts.skippedTicks
+	ts.skippedTicks = 0
+	interval := m.period.Seconds() * float64(elapsedTicks)
 	if interval <= 0 {
 		interval = 1
 	}
@@ -583,20 +614,32 @@ func (m *Monitor) applyThread(ts *threadState, now time.Time, t float64) {
 	// would flag itself.
 	progressed := st.UTime != ts.prevUTime || st.STime != ts.prevSTime ||
 		status.VoluntaryCtxt != ts.vctx || status.NonvoluntaryCtx != ts.nvctx
+	stallFlipped := false
 	if progressed {
 		ts.beats++
 		ts.stallStreak = 0
 		if ts.stalled {
 			ts.stalled = false
 			m.stalledCount--
+			stallFlipped = true
 		}
 	} else if m.cfg.StallTicks > 0 && ts.kind != KindZeroSum {
-		ts.stallStreak++
+		// Counters are cumulative, so a no-delta scan proves the thread made
+		// no progress on every skipped tick too: the streak advances in
+		// base-tick units and stall detection timing is unchanged by
+		// adaptive sampling.
+		ts.stallStreak += elapsedTicks
 		if ts.stallStreak >= m.cfg.StallTicks && !ts.stalled {
 			ts.stalled = true
 			ts.stallEvents++
 			m.stalledCount++
+			stallFlipped = true
 		}
+	}
+	if m.cfg.Adaptive.Enabled {
+		jiffies := float64((st.UTime - ts.prevUTime) + (st.STime - ts.prevSTime))
+		ctx := float64((status.VoluntaryCtxt - ts.vctx) + (status.NonvoluntaryCtx - ts.nvctx))
+		m.updateAdaptive(ts, (jiffies+ctx)/float64(elapsedTicks), progressed || stallFlipped)
 	}
 
 	if st.Processor != ts.lastCPU {
@@ -845,13 +888,14 @@ func (m *Monitor) SelfStats() obs.SelfStats {
 		selfCPU = float64((ts.lastUTime-ts.firstUTime)+(ts.lastSTime-ts.firstSTime)) / proc.ClockTick
 	}
 	s := obs.SelfStats{
-		Samples:      m.samples,
-		SelfCPUSec:   selfCPU,
-		TickWallSec:  float64(m.tickWallNS) / 1e9,
-		ElapsedSec:   m.elapsedSec(now),
-		Degradations: m.degradations,
-		PeriodSec:    m.period.Seconds(),
-		StalledLWPs:  m.stalledCount,
+		Samples:       m.samples,
+		SelfCPUSec:    selfCPU,
+		TickWallSec:   float64(m.tickWallNS) / 1e9,
+		ElapsedSec:    m.elapsedSec(now),
+		Degradations:  m.degradations,
+		PeriodSec:     m.period.Seconds(),
+		StalledLWPs:   m.stalledCount,
+		AdaptiveSkips: m.adaptiveSkips,
 	}
 	s.OverheadPct = obs.Overhead(s.SelfCPUSec, s.TickWallSec, s.ElapsedSec)
 	if m.cfg.Budget.Enabled {

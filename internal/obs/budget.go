@@ -28,6 +28,8 @@ type SelfStats struct {
 	PeriodSec float64 `json:"period_sec"`
 	// StalledLWPs is how many observed threads are currently stalled.
 	StalledLWPs int `json:"stalled_lwps"`
+	// AdaptiveSkips counts per-thread scans elided by adaptive sampling.
+	AdaptiveSkips uint64 `json:"adaptive_skips"`
 }
 
 // Overhead computes the reported overhead percentage from its inputs; it

@@ -86,20 +86,25 @@ func (st *Store) lookupJob(name string) *jobDB {
 
 const minInt64 = -1 << 63
 
-// shardFor hashes the series key inline (FNV-1a over node and metric bytes,
-// then rank and tid) — the ingest path cannot afford a hash.Hash
-// allocation.
+// shardFor hashes the series' origin inline (FNV-1a over node bytes, then
+// rank) — the ingest path cannot afford a hash.Hash allocation. Sharding by
+// (node, rank) rather than by the full key puts every series of one rank's
+// batch behind a single lock, so a BatchAppender pays one acquire per batch
+// instead of one per sample; distinct ranks still hash apart and append
+// concurrently, mirroring the aggregator's rank sharding.
 //
 //zerosum:hotpath
 func (db *jobDB) shardFor(key SeriesKey) *seriesShard {
+	return db.shardForOrigin(key.Node, key.Rank)
+}
+
+//zerosum:hotpath
+func (db *jobDB) shardForOrigin(node string, rank int) *seriesShard {
 	h := uint32(2166136261)
-	for i := 0; i < len(key.Node); i++ {
-		h = (h ^ uint32(key.Node[i])) * 16777619
+	for i := 0; i < len(node); i++ {
+		h = (h ^ uint32(node[i])) * 16777619
 	}
-	for i := 0; i < len(key.Metric); i++ {
-		h = (h ^ uint32(key.Metric[i])) * 16777619
-	}
-	r := uint32(key.Rank)<<8 ^ uint32(key.TID)
+	r := uint32(rank)
 	for i := 0; i < 4; i++ {
 		h = (h ^ (r & 0xff)) * 16777619
 		r >>= 8
@@ -110,36 +115,107 @@ func (db *jobDB) shardFor(key SeriesKey) *seriesShard {
 // Append lands one sample on the job's (key) series, creating job and
 // series on first touch. t is on the sample clock (TimeToNanos of the
 // sample's TimeSec). Steady-state appends — warm series, no block boundary
-// — are allocation-free.
+// — are allocation-free. Ingest loops that land many samples per shipment
+// should use BeginBatch, which amortizes this function's per-sample
+// bookkeeping (job lookup, shard lock, retention math, counter updates)
+// over the whole batch.
 func (st *Store) Append(job string, key SeriesKey, t int64, v float64) {
+	ba := st.BeginBatch(job, key.Node, key.Rank)
+	ba.Append(ba.Resolve(key), t, v)
+	ba.End()
+}
+
+// BatchAppender is the amortized ingest path: BeginBatch resolves the job
+// and locks the origin's series shard once, Resolve/Append land samples
+// without further locking or hashing, and End releases the shard and folds
+// the batch's sample count, eviction counters, and high-water timestamp
+// into the job's accounting in one pass. The zero value is not usable;
+// every BeginBatch must be paired with exactly one End.
+type BatchAppender struct {
+	st     *Store
+	db     *jobDB
+	sh     *seriesShard
+	block  int64
+	ds     int64
+	cutoff int64
+
+	samples   uint64
+	maxT      int64
+	evChunks  uint64
+	evSamples uint64
+}
+
+// BeginBatch locks the series shard that owns every (node, rank) series of
+// job and returns an appender over it. The caller must call End (and must
+// not touch the store's query API in between, shard locks do not nest).
+func (st *Store) BeginBatch(job, node string, rank int) BatchAppender {
 	db := st.job(job)
-	sh := db.shardFor(key)
-	sh.mu.Lock()
-	s := sh.series[key]
-	if s == nil {
-		s = &Series{Key: key}
-		if sh.series == nil {
-			sh.series = make(map[SeriesKey]*Series)
-		}
-		sh.series[key] = s
-	}
 	cutoff := int64(-1)
 	if st.opts.Retention > 0 {
 		if max := db.maxT.Load(); max != minInt64 {
 			cutoff = max - int64(st.opts.Retention)
 		}
 	}
-	ev := s.append(t, v, int64(st.opts.Block), int64(st.opts.Downsample), cutoff)
-	sh.mu.Unlock()
+	sh := db.shardForOrigin(node, rank)
+	sh.mu.Lock()
+	return BatchAppender{st: st, db: db, sh: sh,
+		block: int64(st.opts.Block), ds: int64(st.opts.Downsample),
+		cutoff: cutoff, maxT: minInt64}
+}
 
-	db.samples.Add(1)
+// Resolve returns the shard-owned series for key, creating it on first
+// touch. The handle stays valid for the store's lifetime (series are never
+// deleted, only their chunks age out), so an ingester may cache it across
+// batches and skip the map hash entirely — but may only pass it to Append
+// between a BeginBatch and End that cover the same (node, rank) origin.
+// The shard lock is held here: BeginBatch acquired it.
+func (a *BatchAppender) Resolve(key SeriesKey) *Series {
+	s := a.sh.series[key] //zerosum:nolock BeginBatch acquired the shard lock
+	if s == nil {
+		s = &Series{Key: key}
+		if a.sh.series == nil { //zerosum:nolock BeginBatch acquired the shard lock
+			a.sh.series = make(map[SeriesKey]*Series) //zerosum:nolock BeginBatch acquired the shard lock
+		}
+		a.sh.series[key] = s //zerosum:nolock BeginBatch acquired the shard lock
+	}
+	return s
+}
+
+// Append lands one sample on a series resolved under this appender's
+// origin. The shard lock is held here: BeginBatch acquired it.
+//
+//zerosum:hotpath
+func (a *BatchAppender) Append(s *Series, t int64, v float64) {
+	ev := s.append(t, v, a.block, a.ds, a.cutoff)
+	a.samples++
 	if ev.chunks > 0 {
-		db.evictedChunks.Add(uint64(ev.chunks))
-		db.evictedSamples.Add(uint64(ev.samples))
+		a.evChunks += uint64(ev.chunks)
+		a.evSamples += uint64(ev.samples)
+	}
+	if t > a.maxT {
+		a.maxT = t
+	}
+}
+
+// End unlocks the shard and commits the batch's accounting.
+//
+//zerosum:hotpath
+func (a *BatchAppender) End() {
+	a.sh.mu.Unlock()
+	if a.samples > 0 {
+		a.db.samples.Add(a.samples)
+	}
+	if a.evChunks > 0 {
+		a.db.evictedChunks.Add(a.evChunks)
+		a.db.evictedSamples.Add(a.evSamples)
+	}
+	t := a.maxT
+	if t == minInt64 {
+		return
 	}
 	for {
-		cur := db.maxT.Load()
-		if t <= cur || db.maxT.CompareAndSwap(cur, t) {
+		cur := a.db.maxT.Load()
+		if t <= cur || a.db.maxT.CompareAndSwap(cur, t) {
 			return
 		}
 	}

@@ -1,0 +1,230 @@
+package workload
+
+// Deterministic adaptive-sampling scenarios driven by the sched simulator:
+// a quiescent worker's effective sampling period must stretch, observed
+// activity must snap it back to the base rate within one base tick, and
+// stall detection (§3.3) must keep its timing — a stalled or stalling LWP
+// is never observed less often than StallTicks allows.
+
+import (
+	"testing"
+
+	"zerosum/internal/core"
+	"zerosum/internal/export"
+	"zerosum/internal/sched"
+	"zerosum/internal/sim"
+	"zerosum/internal/slurm"
+	"zerosum/internal/topology"
+)
+
+// runAdaptiveScenario runs one rank at a 100 ms base period with adaptive
+// sampling on, returning the result and the worker's streamed LWP samples
+// in arrival order.
+func runAdaptiveScenario(t *testing.T, app *stallApp, stallTicks int, adaptive core.AdaptiveConfig) (*Result, []export.LWPSample) {
+	t.Helper()
+	var stream export.Stream
+	var samples []export.LWPSample
+	workerTID := func() int { return app.workerTID }
+	stream.Subscribe(func(ev export.Event) {
+		if ev.Kind == export.EventLWP && ev.LWP.TID == workerTID() {
+			samples = append(samples, *ev.LWP)
+		}
+	})
+	res, err := Run(Config{
+		Machine: topology.Laptop4Core,
+		App:     app,
+		Srun:    slurm.Options{NTasks: 1, CoresPerTask: 4},
+		Monitor: MonitorConfig{
+			Enabled: true, Period: 100 * sim.Millisecond, CPU: -1,
+			StallTicks: stallTicks,
+			Adaptive:   adaptive,
+			Stream:     &stream,
+		},
+		Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, samples
+}
+
+// sleepAfter computes until busyUntil, then blocks in one long sleep to the
+// end of the run: the canonical quiescent thread.
+func sleepAfter(busyUntil, end sim.Time) func(*stallApp) sched.BehaviorFunc {
+	return func(*stallApp) sched.BehaviorFunc {
+		slept := false
+		return func(t *sched.Task, now sim.Time) sched.Action {
+			if now < busyUntil {
+				return sched.Compute{Work: 5 * sim.Millisecond, SysFrac: 0.05}
+			}
+			if !slept {
+				slept = true
+				return sched.Sleep{D: end - now}
+			}
+			return nil
+		}
+	}
+}
+
+// gaps returns the deltas between consecutive sample times inside [lo, hi].
+func gaps(samples []export.LWPSample, lo, hi float64) []float64 {
+	var out []float64
+	prev := -1.0
+	for _, s := range samples {
+		if s.TimeSec < lo || s.TimeSec > hi {
+			continue
+		}
+		if prev >= 0 {
+			out = append(out, s.TimeSec-prev)
+		}
+		prev = s.TimeSec
+	}
+	return out
+}
+
+// TestAdaptiveQuiescentThreadStretches: once the worker goes to sleep for
+// good, its sampling period must stretch toward MaxStretch — far fewer
+// samples than the base rate, with inter-sample gaps reaching several base
+// periods — while the skip counter accounts for every elided scan.
+func TestAdaptiveQuiescentThreadStretches(t *testing.T) {
+	app := &stallApp{
+		mainUntil: 6 * sim.Second,
+		worker:    sleepAfter(sim.Second, 6*sim.Second),
+	}
+	res, samples := runAdaptiveScenario(t, app, 0, core.AdaptiveConfig{Enabled: true})
+
+	// Quiet window well past the last beat: a fixed 100 ms cadence would
+	// deliver ~35 samples; stretching (2, 4, 8, 8...) must cut that to a
+	// handful.
+	quiet := 0
+	for _, s := range samples {
+		if s.TimeSec >= 2 && s.TimeSec <= 5.5 {
+			quiet++
+		}
+	}
+	if quiet == 0 {
+		t.Fatal("no samples at all in the quiet window")
+	}
+	if quiet > 12 {
+		t.Fatalf("quiescent worker sampled %d times in 3.5 s at a 100 ms base period; period did not stretch", quiet)
+	}
+	maxGap := 0.0
+	for _, g := range gaps(samples, 2, 5.5) {
+		if g > maxGap {
+			maxGap = g
+		}
+	}
+	if maxGap < 0.7 {
+		t.Fatalf("max quiet-window gap %.2f s, want >= 0.7 (stretch toward 8x a 100 ms period)", maxGap)
+	}
+	mon := res.Ranks[0].Monitor
+	if mon.AdaptiveSkips() == 0 {
+		t.Fatal("monitor reports zero adaptive skips despite a quiescent worker")
+	}
+	if got := mon.SelfStats().AdaptiveSkips; got != mon.AdaptiveSkips() {
+		t.Fatalf("SelfStats.AdaptiveSkips = %d, AdaptiveSkips() = %d", got, mon.AdaptiveSkips())
+	}
+}
+
+// TestAdaptiveSnapBackOnActivity: a worker that wakes after a long
+// quiescent phase must be back at the base sampling rate within one base
+// tick of the sample that observed the activity.
+func TestAdaptiveSnapBackOnActivity(t *testing.T) {
+	app := &stallApp{
+		mainUntil: 6 * sim.Second,
+		worker: func(*stallApp) sched.BehaviorFunc {
+			slept := false
+			return func(task *sched.Task, now sim.Time) sched.Action {
+				if now < sim.Second {
+					return sched.Compute{Work: 5 * sim.Millisecond, SysFrac: 0.05}
+				}
+				if !slept {
+					slept = true
+					return sched.Sleep{D: 3500*sim.Millisecond - now}
+				}
+				if now >= 6*sim.Second {
+					return nil
+				}
+				return sched.Compute{Work: 5 * sim.Millisecond, SysFrac: 0.05}
+			}
+		},
+	}
+	_, samples := runAdaptiveScenario(t, app, 0, core.AdaptiveConfig{Enabled: true})
+
+	// The quiescent phase stretched: at least one gap well past the base
+	// period before the wake-up.
+	stretched := 0.0
+	for _, g := range gaps(samples, 1.5, 3.5) {
+		if g > stretched {
+			stretched = g
+		}
+	}
+	if stretched < 0.3 {
+		t.Fatalf("pre-wake max gap %.2f s; period never stretched, snap-back is vacuous", stretched)
+	}
+
+	// First sample at/after the wake observes the activity (the wake's
+	// context switch and the resumed jiffies); the next sample must arrive
+	// one base tick later.
+	post := samples[:0:0]
+	for _, s := range samples {
+		if s.TimeSec >= 3.5 {
+			post = append(post, s)
+		}
+	}
+	if len(post) < 3 {
+		t.Fatalf("want several post-wake samples, got %d", len(post))
+	}
+	if snap := post[1].TimeSec - post[0].TimeSec; snap > 0.25 {
+		t.Fatalf("gap after the spike-observing sample is %.2f s, want <= 0.25 (one base tick plus slack)", snap)
+	}
+	// And it stays at the base rate while the worker keeps computing.
+	for _, g := range gaps(post, 3.5, 5.8) {
+		if g > 0.25 {
+			t.Fatalf("computing worker sampled with a %.2f s gap after snap-back", g)
+		}
+	}
+}
+
+// TestAdaptiveStalledSamplingBoundedByStallTicks: with stall detection on,
+// the stretch is capped at StallTicks — the detector flags the quiescent
+// worker on schedule (the streak advances in base-tick units across
+// skipped ticks) and the flagged thread keeps being observed at least once
+// per stall window so recovery is never missed.
+func TestAdaptiveStalledSamplingBoundedByStallTicks(t *testing.T) {
+	const stallTicks = 3
+	app := &stallApp{
+		mainUntil: 6 * sim.Second,
+		worker:    sleepAfter(sim.Second, 6*sim.Second),
+	}
+	res, samples := runAdaptiveScenario(t, app, stallTicks,
+		core.AdaptiveConfig{Enabled: true, MaxStretch: 8})
+
+	first := -1.0
+	for _, s := range samples {
+		if s.Stalled {
+			first = s.TimeSec
+			break
+		}
+	}
+	if first < 0 {
+		t.Fatal("stalled worker never flagged with adaptive sampling on")
+	}
+	// Last beat ~1.1 s (the sleep's voluntary switch). Skipped ticks count
+	// toward the streak, so the flag appears within the same few base
+	// periods a fixed-rate monitor needs.
+	if latest := 1.1 + float64(stallTicks+5)*0.1; first > latest {
+		t.Fatalf("stall flagged at t=%.2f, want <= %.2f", first, latest)
+	}
+	// No observation gap may exceed the StallTicks cap (3 base periods,
+	// plus scheduling slack) from the last beat onward.
+	for _, g := range gaps(samples, 1.2, 5.8) {
+		if g > float64(stallTicks)*0.1+0.15 {
+			t.Fatalf("stalling worker observed with a %.2f s gap, cap is %d x 100 ms", g, stallTicks)
+		}
+	}
+	w := workerSummary(t, res, app.workerTID)
+	if w.StallEvents != 1 {
+		t.Fatalf("stall events = %d, want 1", w.StallEvents)
+	}
+}

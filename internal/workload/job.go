@@ -69,6 +69,9 @@ type MonitorConfig struct {
 	// Budget enables the §4.1 overhead-budget watchdog on each rank's
 	// monitor; when exceeded, sampling degrades (the period doubles).
 	Budget obs.Budget
+	// Adaptive enables per-LWP adaptive sampling on each rank's monitor:
+	// quiescent threads are scanned less often.
+	Adaptive core.AdaptiveConfig
 	// Obs, when non-nil, receives internal tracing spans from every rank's
 	// monitor (the recorder is safe for concurrent writers).
 	Obs *obs.Recorder
@@ -442,6 +445,7 @@ func injectMonitor(rc *RankCtx, mc MonitorConfig) error {
 		RebindAfter:     mc.RebindAfter,
 		StallTicks:      mc.StallTicks,
 		Budget:          mc.Budget,
+		Adaptive:        mc.Adaptive,
 		Obs:             mc.Obs,
 		Stream:          stream,
 		KeepSeries:      !mc.DropSeries,

@@ -51,6 +51,8 @@ type (
 	MonitorConfig = core.Config
 	// MonitorDeps are the monitor's data sources.
 	MonitorDeps = core.Deps
+	// AdaptiveConfig tunes per-LWP adaptive sampling.
+	AdaptiveConfig = core.AdaptiveConfig
 	// Snapshot is the assembled end-of-run report data.
 	Snapshot = core.Snapshot
 	// Warning is one configuration-evaluation finding.
