@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-record lint lint-baseline lint-self chaos chaos-tree fuzz golden golden-update
+.PHONY: check fmt vet build test race bench bench-record lint lint-baseline lint-self chaos chaos-tree chaos-multijob fuzz golden golden-update
 
-check: fmt vet build race lint lint-self chaos chaos-tree fuzz golden
+check: fmt vet build race lint lint-self chaos chaos-tree chaos-multijob fuzz golden
 
 # gofmt -l prints offending files; fail if it prints anything.
 fmt:
@@ -37,7 +37,7 @@ race:
 # report exactly 0 allocs/op, independent of any recorded baseline.
 # After an intentional performance change, refresh the baseline with
 # `make bench-record` and commit it. docs/perf.md explains the budgets.
-BENCH_BASELINE ?= BENCH_PR9.json
+BENCH_BASELINE ?= BENCH_PR10.json
 ZERO_ALLOC_BENCHES ?= BenchmarkMonitorTick,BenchmarkAdaptiveTick,BenchmarkWireEncodeDecode,BenchmarkWireV4EncodeDecode
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem . | tee bench.out
@@ -80,6 +80,15 @@ chaos:
 #   go test ./internal/chaos -run TestTreeSoak -seed=<N>
 chaos-tree:
 	$(GO) test ./internal/chaos -race -run TestTreeSoak -seeds=$(CHAOS_SEEDS)
+
+# chaos-multijob runs the multi-job isolation soak (docs/scenarios.md): a
+# scenario-generated fleet of 100+ jobs with colliding (node, rank, TID)
+# tuples streamed concurrently through a 3-leaf tree under leaf crashes,
+# with per-job conservation, summary byte-identity, and no-bleed audits.
+# Replay a failure with its seed:
+#   go test ./internal/chaos -run TestMultiJobSoak -seed=<N>
+chaos-multijob:
+	$(GO) test ./internal/chaos -race -run TestMultiJobSoak -seeds=$(CHAOS_SEEDS)
 
 # fuzz smoke-runs each native fuzz target for FUZZTIME on top of its
 # checked-in seed corpus (testdata/fuzz/). Longer exploratory runs:

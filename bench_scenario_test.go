@@ -1,0 +1,143 @@
+package zerosum
+
+// Multi-job scenario benchmarks (PR 10): the fairness scheduler's
+// event-step cost over the fleet preset, and the aggregator's ingest
+// throughput when many jobs' colliding streams share one server — the two
+// hot paths the multi-job soak leans on.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"zerosum/internal/aggd"
+	"zerosum/internal/scenario"
+	"zerosum/internal/scenario/fairness"
+)
+
+// BenchmarkScenarioStep measures the scheduler's per-event cost: one op is
+// one discrete-event step (submit, admit, preempt, or finish with its
+// fair-share rebalancing) of the 120-job fleet preset, re-loading the same
+// generated population whenever a run drains.
+func BenchmarkScenarioStep(b *testing.B) {
+	cfg, err := scenario.Preset("fleet")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := scenario.NewGenerator(cfg, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := gen.Generate()
+	var res *scenario.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for steps := 0; steps < b.N; {
+		sch, err := scenario.NewScheduler(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sch.Load(specs)
+		for sch.Step() {
+			steps++
+		}
+		res = sch.Finish()
+	}
+	b.StopTimer()
+	rep := fairness.Compute(res)
+	if got, want := rep.CPUTimeAllocatedSec, rep.CPUTimeUsedSec; math.Abs(got-want) > 1e-6*want+1e-9 {
+		b.Fatalf("schedule does not conserve CPU time: allocated %v, used %v", got, want)
+	}
+	b.ReportMetric(float64(len(res.Events)), "events/run")
+	b.ReportMetric(float64(res.HorizonSec), "horizon_s")
+}
+
+// BenchmarkMultiJobIngest measures aggregator throughput when 8 jobs post
+// concurrently with deliberately colliding (node, rank, TID) identities —
+// the per-job isolation paths (job-keyed dedup, stores, and TSDB) under
+// contention. One op is one 256-event batch admitted.
+func BenchmarkMultiJobIngest(b *testing.B) {
+	const jobs = 8
+	const batchSize = 256
+	srv := aggd.NewServer(aggd.ServerConfig{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ts.Client().Transport.(*http.Transport).MaxIdleConnsPerHost = jobs
+	b.ReportAllocs()
+	b.ResetTimer()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errc := make(chan error, jobs)
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			client := ts.Client()
+			// Same node and rank 0 in every job: isolation is keyed on the
+			// job dimension alone.
+			batch := benchBatch(0, batchSize)
+			batch.Origin.Job = fmt.Sprintf("mj-%02d", j)
+			var frame []byte
+			var seq uint64
+			for next.Add(1) <= int64(b.N) {
+				batch.Seq = seq
+				seq++
+				var err error
+				frame, err = aggd.AppendBatchFrame(frame[:0], batch)
+				if err != nil {
+					errc <- err
+					return
+				}
+				resp, err := client.Post(ts.URL+"/api/ingest", "application/octet-stream", bytes.NewReader(frame))
+				if err != nil {
+					errc <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode/100 != 2 {
+					errc <- fmt.Errorf("ingest returned %s", resp.Status)
+					return
+				}
+			}
+		}(j)
+	}
+	wg.Wait()
+	b.StopTimer()
+	select {
+	case err := <-errc:
+		b.Fatal(err)
+	default:
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)*batchSize/secs, "events/s")
+	}
+	if st := srv.Stats(); st.IngestBatches != uint64(b.N) || st.DupBatches != 0 || st.IngestErrors != 0 {
+		b.Fatalf("server stats after %d posts: %+v", b.N, st)
+	}
+	// The per-job censuses must close over the global counter — the same
+	// no-bleed identity the chaos soak audits, here under full contention.
+	resp, err := http.Get(ts.URL + "/api/jobs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []aggd.JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		b.Fatal(err)
+	}
+	var sum uint64
+	for _, ji := range list {
+		sum += ji.Events
+	}
+	if sum != uint64(b.N)*batchSize {
+		b.Fatalf("per-job censuses sum to %d events, server admitted %d", sum, uint64(b.N)*batchSize)
+	}
+}

@@ -59,6 +59,11 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		verbose  = flag.Bool("v", false, "print every rank's report (default: rank 0 only)")
 
+		scenarioName  = flag.String("scenario", "", "run a multi-job scenario instead of one app: preset name (smoke, contention, fleet) or JSON config path")
+		scenarioCSV   = flag.String("scenario-csv", "", "with -scenario: write the allocation-history CSV here")
+		scenarioDry   = flag.Bool("scenario-dry", false, "with -scenario: schedule and report fairness only, don't execute the jobs")
+		scenarioScale = flag.Float64("scenario-scale", 0, "with -scenario: simulated-runtime fraction of each job's scheduled duration (default 0.05)")
+
 		stallTicks = flag.Int("stall-ticks", 0, "flag a thread stalled after N samples with no progress (0 = off)")
 		budget     = flag.Float64("budget", 0, "monitor self-overhead budget in percent; exceeding it degrades sampling (0 = off)")
 		selfRep    = flag.Bool("self-report", false, "include the monitor self-report section in reports")
@@ -66,6 +71,42 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/obs and /debug/pprof on this address while the job runs")
 	)
 	flag.Parse()
+
+	if *scenarioName != "" {
+		// Scenario fleets run many jobs back to back, so the node preset
+		// defaults to the small laptop machine unless -machine was given
+		// explicitly.
+		scenMachine := "laptop"
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "machine" {
+				scenMachine = *machine
+			}
+		})
+		var aggURLs []string
+		for _, u := range strings.Split(*agg, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				aggURLs = append(aggURLs, u)
+			}
+		}
+		mc := workload.MonitorConfig{Enabled: !*noMon, CPU: -1}
+		if *period > 0 {
+			mc.Period = sim.Time(period.Nanoseconds())
+		}
+		mc.StallTicks = *stallTicks
+		runScenarioMode(scenarioOpts{
+			name:      *scenarioName,
+			csvPath:   *scenarioCSV,
+			timeScale: *scenarioScale,
+			dryRun:    *scenarioDry,
+			machine:   scenMachine,
+			seed:      *seed,
+			noMonitor: *noMon,
+			aggURLs:   aggURLs,
+			monitor:   mc,
+			verbose:   *verbose,
+		})
+		return
+	}
 
 	mk := func() *topology.Machine {
 		m, err := topology.ByName(*machine)

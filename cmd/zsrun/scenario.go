@@ -1,0 +1,152 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"zerosum/internal/aggd"
+	"zerosum/internal/scenario"
+	"zerosum/internal/scenario/fairness"
+	"zerosum/internal/topology"
+	"zerosum/internal/workload"
+)
+
+// scenarioOpts carries the -scenario* flags into the multi-job path.
+type scenarioOpts struct {
+	name      string // preset name or JSON config path
+	csvPath   string // allocation-history CSV destination ("" = skip)
+	timeScale float64
+	dryRun    bool // schedule + fairness only, no workload execution
+	machine   string
+	seed      uint64
+	noMonitor bool
+	aggURLs   []string
+	monitor   workload.MonitorConfig
+	verbose   bool
+}
+
+// runScenarioMode is zsrun's -scenario path: generate a job population,
+// schedule it against the simulated cluster, report fairness, then (unless
+// -scenario-dry) execute every admitted job through the real workload
+// simulator — each job streaming through its own aggd agents (Job = spec
+// ID) when -agg names an aggregator tier.
+func runScenarioMode(o scenarioOpts) {
+	cfg, err := scenario.Load(o.name)
+	if err != nil {
+		fatal(err)
+	}
+	gen, err := scenario.NewGenerator(cfg, o.seed)
+	if err != nil {
+		fatal(err)
+	}
+	specs := gen.Generate()
+	sch, err := scenario.NewScheduler(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	res := sch.Run(specs)
+
+	fmt.Printf("# scenario %s: %d jobs over %d nodes × %d CPUs (seed %d)\n",
+		cfg.Name, len(specs), cfg.Nodes, cfg.CPUsPerNode, o.seed)
+	rep := fairness.Compute(res)
+	if err := rep.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if o.csvPath != "" {
+		f, err := os.Create(o.csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := fairness.WriteAllocCSV(f, res); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("# allocation history written to", o.csvPath)
+	}
+	if o.dryRun {
+		return
+	}
+
+	mk := func() *topology.Machine {
+		m, err := topology.ByName(o.machine)
+		if err != nil {
+			fatal(err)
+		}
+		return m
+	}
+	// Execute in admission order so the streamed traffic reaching the
+	// aggregator tier follows the schedule's shape.
+	order := make([]*scenario.JobOutcome, 0, len(res.Jobs))
+	for _, out := range res.Jobs {
+		if out.Done {
+			order = append(order, out)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].FirstAdmitSec != order[j].FirstAdmitSec {
+			return order[i].FirstAdmitSec < order[j].FirstAdmitSec
+		}
+		return order[i].Spec.Index < order[j].Spec.Index
+	})
+
+	for _, out := range order {
+		spec := out.Spec
+		jc, err := scenario.BuildJob(spec, len(dedupNodes(out.Placements)), scenario.ExecOptions{
+			Machine:   mk,
+			TimeScale: o.timeScale,
+			Monitor:   o.monitor,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		var streamer *aggd.JobStreamer
+		if len(o.aggURLs) > 0 && !o.noMonitor {
+			streamer = aggd.NewJobStreamer(aggd.AgentConfig{URL: o.aggURLs[0], URLs: o.aggURLs, Job: spec.ID})
+			jc.Monitor.StreamFor = streamer.StreamFor
+		}
+		wr, err := workload.Run(jc)
+		if err != nil {
+			fatal(fmt.Errorf("job %s: %w", spec.ID, err))
+		}
+		if streamer != nil {
+			for _, rr := range wr.Ranks {
+				if rr.Monitor == nil {
+					continue
+				}
+				if err := streamer.FinishRank(rr.Rank, rr.Snapshot, rr.Monitor.RecvBytes()); err != nil {
+					fmt.Fprintf(os.Stderr, "zsrun: %s rank %d snapshot: %v\n", spec.ID, rr.Rank, err)
+				}
+			}
+			if err := streamer.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "zsrun:", err)
+			}
+		}
+		if o.verbose {
+			fmt.Printf("# %-16s queue=%-6s app=%-8s ranks=%d threads=%d wall=%.2fs wait=%.1fs preempts=%d\n",
+				spec.ID, spec.Queue, spec.App, spec.Ranks, spec.Threads,
+				wr.WallSeconds, out.WaitSec, out.Preemptions)
+		}
+	}
+	fmt.Printf("# scenario complete: %d jobs executed", len(order))
+	if len(o.aggURLs) > 0 && !o.noMonitor {
+		fmt.Printf(", streamed to %s (per-job summaries at /api/jobs)", o.aggURLs[0])
+	}
+	fmt.Println()
+}
+
+// dedupNodes counts the distinct nodes a placement set spans.
+func dedupNodes(ps []scenario.Placement) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range ps {
+		if !seen[p.Node] {
+			seen[p.Node] = true
+			out = append(out, p.Node)
+		}
+	}
+	return out
+}

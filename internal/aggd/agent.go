@@ -219,6 +219,12 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 // currentURL returns the active endpoint's base URL.
 func (a *Agent) currentURL() string { return a.urls[a.cur.Load()] }
 
+// Home reports the endpoint the stream currently ships to. It moves when
+// the sender re-homes after a failed shipment, so harnesses that kill an
+// endpoint can wait on the condition "every stream left the dead address"
+// instead of guessing a settle time. Safe from any goroutine.
+func (a *Agent) Home() string { return a.currentURL() }
+
 // Attach subscribes the agent to a stream. One agent may consume several
 // streams (they share the ring and origin identity).
 func (a *Agent) Attach(s *export.Stream) { s.Subscribe(a.Subscriber()) }

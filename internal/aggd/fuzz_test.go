@@ -50,6 +50,18 @@ func fuzzSeedFrames(t interface{ Fatalf(string, ...any) }) [][]byte {
 	withGarbage := append([]byte("torn-write-residue"), sf...)
 	backToBack := append(append([]byte(nil), bf...), sf...)
 
+	// Interleaved multi-job body: a second job whose batch collides with
+	// the first on node, rank, epoch, seq and TID — only the job name
+	// differs — framed back to back with it, the way a shared leaf socket
+	// carries several jobs' streams in one request.
+	peer := *batch
+	peer.Origin.Job = "fuzz2"
+	pf, err := EncodeBatchFrame(&peer)
+	if err != nil {
+		t.Fatalf("seed peer batch: %v", err)
+	}
+	multiJob := append(append(append([]byte(nil), bf...), pf...), sf...)
+
 	// The rolling-upgrade states: the same batch framed at each supported
 	// version, and all three concatenated in one body.
 	v3f, err := AppendBatchFrameVersion(nil, batch, 3)
@@ -79,7 +91,7 @@ func fuzzSeedFrames(t interface{ Fatalf(string, ...any) }) [][]byte {
 	}, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01)) // tid zigzag delta = max uint64
 
 	return [][]byte{bf, sf, truncated, flipped, withGarbage, backToBack,
-		v2f, v3f, mixedVers, truncDict, nonMinimal, overflow}
+		multiJob, v2f, v3f, mixedVers, truncDict, nonMinimal, overflow}
 }
 
 // v4Frame wraps a raw v4 batch payload in a valid frame (correct magic,

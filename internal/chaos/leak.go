@@ -2,8 +2,10 @@ package chaos
 
 import (
 	"fmt"
+	"net"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 )
 
@@ -25,8 +27,21 @@ type LeakCheck struct {
 	fds        int
 }
 
+// netpollInit forces the Go runtime's lazily-created netpoll descriptors
+// (an eventpoll fd plus an eventfd on Linux) into existence before any
+// baseline is taken. `go test` creates them as a side effect of its
+// default -test.timeout timer, but a test binary run by hand does not —
+// and the first listener the harness opens would then read as a two-fd
+// "leak" against a pre-netpoll baseline.
+var netpollInit = sync.OnceFunc(func() {
+	if ln, err := net.Listen("tcp", "127.0.0.1:0"); err == nil {
+		_ = ln.Close()
+	}
+})
+
 // StartLeakCheck records the current goroutine and FD counts.
 func StartLeakCheck() LeakCheck {
+	netpollInit()
 	return LeakCheck{goroutines: runtime.NumGoroutine(), fds: NumFDs()}
 }
 

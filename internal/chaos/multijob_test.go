@@ -1,0 +1,75 @@
+package chaos
+
+import "testing"
+
+// multiJobConfig is the acceptance shape: a scenario-generated fleet of
+// well over 100 jobs streamed concurrently through 3 leaves under one
+// root, every leaf crash-killed and revived mid-run, the root bounced.
+func multiJobConfig(seed uint64, logf func(string, ...any)) MultiJobSoakConfig {
+	return MultiJobSoakConfig{
+		Seed:        seed,
+		Leaves:      3,
+		RestartRoot: true,
+		Logf:        logf,
+	}
+}
+
+// TestMultiJobSoak runs the multi-job isolation soak for one seed (-seed)
+// or a range (-seeds). Any failure names the seed that reproduces it.
+func TestMultiJobSoak(t *testing.T) {
+	n := *flagSeeds
+	if n <= 0 {
+		n = 1
+	}
+	for seed := *flagSeed; seed < *flagSeed+uint64(n); seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			lc := StartLeakCheck()
+			res, err := RunMultiJobSoak(multiJobConfig(seed, t.Logf))
+			if err != nil {
+				t.Fatalf("multi-job soak failed (replay: go test ./internal/chaos -run TestMultiJobSoak -seed=%d): %v", seed, err)
+			}
+			lc.Assert(t)
+			if res.Jobs < 100 {
+				t.Fatalf("seed %d: scenario executed only %d jobs, acceptance floor is 100", seed, res.Jobs)
+			}
+			if res.Agent.SentEvents == 0 {
+				t.Fatalf("seed %d: soak delivered nothing: %+v", seed, res.Agent)
+			}
+			if res.Root.RollupFrames == 0 {
+				t.Fatalf("seed %d: root never saw a rollup frame: %+v", seed, res.Root)
+			}
+			if res.Preemptions == 0 {
+				t.Fatalf("seed %d: the generated fleet never preempted — scenario too idle to exercise contention", seed)
+			}
+		})
+	}
+}
+
+// TestMultiJobSoakFaultFree pins the baseline equality chain per job: with
+// no crashes and a lossless ring, every job's fed events flow untouched to
+// the root and every per-job census closes exactly.
+func TestMultiJobSoakFaultFree(t *testing.T) {
+	lc := StartLeakCheck()
+	res, err := RunMultiJobSoak(MultiJobSoakConfig{
+		Seed:       42,
+		Leaves:     3,
+		KillLeaves: -1,
+		RingCap:    4096,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("fault-free multi-job soak failed: %v", err)
+	}
+	lc.Assert(t)
+	a := res.Agent
+	if a.SendDrops != 0 || a.RingDrops != 0 || a.Rehomes != 0 {
+		t.Fatalf("fault-free run dropped or re-homed: %+v", a)
+	}
+	if a.SentEvents != res.Fed {
+		t.Fatalf("fault-free run: fed %d, agents sent %d", res.Fed, a.SentEvents)
+	}
+	if res.JobEvents != res.Fed {
+		t.Fatalf("fault-free run: fed %d, root's per-job censuses sum to %d", res.Fed, res.JobEvents)
+	}
+}

@@ -87,6 +87,10 @@ type leafHost struct {
 	srv   *aggd.Server
 	past  []*aggd.Server
 	dead  bool
+	// homed is the set of agents whose Home() was this leaf at the moment
+	// it was killed; the revive waits until every one of them has re-homed,
+	// making the failover assertion a condition rather than a race.
+	homed []*aggd.Agent
 }
 
 // RunTreeSoak drives cfg.Agents real aggd agents through a two-level
@@ -179,11 +183,9 @@ func RunTreeSoak(cfg TreeSoakConfig) (*TreeSoakResult, error) {
 	// Agents, each homed by the router with the full ring as failover order.
 	agentTransport := &http.Transport{MaxIdleConnsPerHost: 2}
 	defer agentTransport.CloseIdleConnections()
-	owners := make(map[string]int) // leaf URL -> how many streams it homes
 	slots := make([]*treeSlot, cfg.Agents)
 	for r := range slots {
 		node := fmt.Sprintf("n%02d", r/2)
-		owners[router.Pick(node, r)]++
 		agent, err := aggd.NewAgent(aggd.AgentConfig{
 			URLs:          router.Order(node, r),
 			Job:           treeJob,
@@ -207,10 +209,15 @@ func RunTreeSoak(cfg TreeSoakConfig) (*TreeSoakResult, error) {
 		slots[r] = &treeSlot{rank: r, agent: agent, feed: agent.Subscriber()}
 	}
 
-	// Fault schedule: leaf k dies at a staggered round and revives a window
-	// later with a fresh store under a bumped forwarder epoch; the windows
-	// are long enough (in wall time, via the post-kill sleeps) that homed
-	// agents fail a flush into the dead address and re-home.
+	// Fault schedule: leaf k dies at a staggered round and revives no
+	// earlier than a window later, with a fresh store under a bumped
+	// forwarder epoch. The revive is condition-gated, not tick-counted:
+	// it waits until every agent that homed the leaf at kill time has
+	// re-homed (observable via Agent.Home), so slow scheduling on small
+	// hosts delays the revive instead of racing it. Kills are likewise
+	// deferred while another leaf is still down, preserving the
+	// one-dead-leaf-at-a-time shape the stagger encodes — agents always
+	// have a live sibling to re-home to.
 	killRound := make(map[int]int)
 	reviveRound := make(map[int]int)
 	killedOwned := false
@@ -226,9 +233,6 @@ func RunTreeSoak(cfg TreeSoakConfig) (*TreeSoakResult, error) {
 		for i := 0; i < cfg.KillLeaves; i++ {
 			killRound[i] = (i + 1) * stagger
 			reviveRound[i] = killRound[i] + gap
-			if owners[leafURLs[i]] > 0 {
-				killedOwned = true
-			}
 		}
 	}
 	restartRootAt := -1
@@ -236,28 +240,52 @@ func RunTreeSoak(cfg TreeSoakConfig) (*TreeSoakResult, error) {
 		restartRootAt = cfg.EventsPerAgent / 2
 	}
 
+	anyDead := func() bool {
+		for _, lh := range leaves {
+			if lh.dead {
+				return true
+			}
+		}
+		return false
+	}
+	revive := func(lh *leafHost, round int) error {
+		lh.epoch++
+		lh.srv = newLeafSrv(lh.id, lh.epoch)
+		if err := lh.front.restartWith(lh.srv.Handler()); err != nil {
+			return fmt.Errorf("chaos: revive %s: %w", lh.id, err)
+		}
+		lh.dead = false
+		lh.homed = nil
+		cfg.Logf("revived %s at round %d as epoch %d", lh.id, round, lh.epoch)
+		return nil
+	}
+
 	for i := 0; i < cfg.EventsPerAgent; i++ {
 		for li, lh := range leaves {
 			kill, hasKill := killRound[li]
-			revive, hasRevive := reviveRound[li]
+			rev, hasRevive := reviveRound[li]
 			switch {
-			case hasKill && kill == i && !lh.dead:
+			case hasKill && kill <= i && !lh.dead && !anyDead():
+				delete(killRound, li)
 				lh.front.stop()
 				lh.srv.Forwarder().Kill()
 				lh.past = append(lh.past, lh.srv)
 				lh.dead = true
-				cfg.Logf("killed %s at round %d (epoch %d, %d homed streams)",
-					lh.id, i, lh.epoch, owners[leafURLs[li]])
-				// Let homed agents hit the dead socket and fail over.
-				time.Sleep(4 * time.Millisecond)
-			case hasRevive && revive == i && lh.dead:
-				lh.epoch++
-				lh.srv = newLeafSrv(lh.id, lh.epoch)
-				if err := lh.front.restartWith(lh.srv.Handler()); err != nil {
-					return nil, fmt.Errorf("chaos: revive %s: %w", lh.id, err)
+				for _, s := range slots {
+					if s.agent.Home() == leafURLs[li] {
+						lh.homed = append(lh.homed, s.agent)
+					}
 				}
-				lh.dead = false
-				cfg.Logf("revived %s at round %d as epoch %d", lh.id, i, lh.epoch)
+				if len(lh.homed) > 0 {
+					killedOwned = true
+				}
+				cfg.Logf("killed %s at round %d (epoch %d, %d homed streams)",
+					lh.id, i, lh.epoch, len(lh.homed))
+			case hasRevive && rev <= i && lh.dead && rehomedAway(lh.homed, leafURLs[li]):
+				delete(reviveRound, li)
+				if err := revive(lh, i); err != nil {
+					return nil, err
+				}
 			}
 		}
 		for _, s := range slots {
@@ -272,6 +300,24 @@ func RunTreeSoak(cfg TreeSoakConfig) (*TreeSoakResult, error) {
 		}
 		if i%8 == 7 {
 			time.Sleep(200 * time.Microsecond)
+		}
+	}
+
+	// Any leaf still down when feeding ends revives here, again gated on
+	// its homed streams leaving. Their rings hold the events fed since the
+	// kill, so the flush ticker keeps attempting shipments into the dead
+	// address until the failover fires — no new events are needed. The
+	// deadline turns a wedged failover into a loud assertion, not a hang.
+	deadline := time.Now().Add(10 * time.Second)
+	for li, lh := range leaves {
+		if !lh.dead {
+			continue
+		}
+		for !rehomedAway(lh.homed, leafURLs[li]) && time.Now().Before(deadline) {
+			time.Sleep(500 * time.Microsecond)
+		}
+		if err := revive(lh, cfg.EventsPerAgent); err != nil {
+			return nil, err
 		}
 	}
 
@@ -367,6 +413,17 @@ type treeSlot struct {
 	rank  int
 	agent *aggd.Agent
 	feed  export.Subscriber
+}
+
+// rehomedAway reports whether every agent in homed has moved off deadURL.
+// Vacuously true for an empty set, so unowned leaves revive on schedule.
+func rehomedAway(homed []*aggd.Agent, deadURL string) bool {
+	for _, a := range homed {
+		if a.Home() == deadURL {
+			return false
+		}
+	}
+	return true
 }
 
 // restartWith rebinds the front-end's address with a replacement handler —

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"runtime"
 	"testing"
 )
 
@@ -40,6 +41,28 @@ func TestTreeSoak(t *testing.T) {
 				t.Fatalf("seed %d: root never saw a rollup frame: %+v", seed, res.Root)
 			}
 		})
+	}
+}
+
+// TestTreeSoakRehomeGOMAXPROCS1 pins the PR-9-era flake: under -race on a
+// 1-CPU host, seed 18 could revive a killed leaf before any of its homed
+// agents got scheduled to fail a flush into the dead socket, so no stream
+// ever re-homed and the failover assertion fired. The revive is now gated
+// on every homed stream observably leaving the dead address (Agent.Home),
+// which this test replays at the failing seed with GOMAXPROCS pinned to 1
+// so the starvation shape reproduces on any host.
+func TestTreeSoakRehomeGOMAXPROCS1(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	lc := StartLeakCheck()
+	res, err := RunTreeSoak(treeConfig(18, t.Logf))
+	if err != nil {
+		t.Fatalf("tree soak failed (replay: go test ./internal/chaos -run TestTreeSoakRehome): %v", err)
+	}
+	lc.Assert(t)
+	// Seed 18 kills leaves that home live streams, so the condition-gated
+	// revive guarantees at least one observed failover.
+	if res.Agent.Rehomes == 0 {
+		t.Fatalf("expected at least one re-home at seed 18: %+v", res.Agent)
 	}
 }
 

@@ -59,11 +59,11 @@ type Options struct {
 // DefaultOptions returns the scopes enforced on the ZeroSum repo itself.
 func DefaultOptions() Options {
 	return Options{
-		ErrcheckScope: []string{"internal/proc", "internal/aggd", "internal/export", "internal/tsdb"},
+		ErrcheckScope: []string{"internal/proc", "internal/aggd", "internal/export", "internal/tsdb", "internal/scenario"},
 		ClockScope: []string{
 			"internal/core", "internal/sched", "internal/sim",
 			"internal/proc", "internal/export", "internal/aggd",
-			"internal/chaos", "internal/tsdb",
+			"internal/chaos", "internal/tsdb", "internal/scenario",
 		},
 	}
 }

@@ -1,0 +1,116 @@
+package scenario
+
+import (
+	"fmt"
+
+	"zerosum/internal/sim"
+	"zerosum/internal/slurm"
+	"zerosum/internal/topology"
+	"zerosum/internal/workload"
+)
+
+// ExecOptions shape how a generated JobSpec becomes a runnable
+// workload.Config when a scenario is executed for real (zsrun -scenario)
+// rather than only scheduled.
+type ExecOptions struct {
+	// Machine builds one simulated node (a topology preset constructor);
+	// nil uses the laptop preset — scenario fleets run many jobs, so the
+	// default node is deliberately small.
+	Machine func() *topology.Machine
+	// TimeScale compresses each job's scheduled Duration into simulated
+	// app runtime: simulated ≈ Duration × TimeScale. Default 0.05 — a
+	// 60 s scheduled job simulates ~3 s of app time, keeping a 100-job
+	// fleet tractable while preserving the jobs' relative weights.
+	TimeScale float64
+	// Monitor is applied to every rank of every job (streams wired by the
+	// caller via MonitorConfig.StreamFor).
+	Monitor workload.MonitorConfig
+}
+
+func (o ExecOptions) withDefaults() ExecOptions {
+	if o.Machine == nil {
+		o.Machine = topology.Laptop4Core
+	}
+	if o.TimeScale <= 0 {
+		o.TimeScale = 0.05
+	}
+	return o
+}
+
+// BuildJob maps spec onto a runnable workload.Config: ranks and threads
+// from the spec, the app profile scaled so its simulated runtime tracks
+// the scheduled duration, and the spec's private seed driving all
+// randomness. nodes is how many simulated nodes the job spans (the
+// scheduler's placement count; 0 derives it from the rank count).
+func BuildJob(spec JobSpec, nodes int, opt ExecOptions) (workload.Config, error) {
+	opt = opt.withDefaults()
+	if nodes <= 0 {
+		nodes = (spec.Ranks + 3) / 4
+		if nodes < 1 {
+			nodes = 1
+		}
+	}
+	simDur := sim.Time(float64(spec.Duration) * opt.TimeScale)
+	if simDur < sim.Second {
+		simDur = sim.Second
+	}
+	app, err := buildApp(spec, simDur)
+	if err != nil {
+		return workload.Config{}, err
+	}
+	cfg := workload.Config{
+		Machine: opt.Machine,
+		Nodes:   nodes,
+		App:     app,
+		Srun: slurm.Options{
+			NTasks:       spec.Ranks,
+			CoresPerTask: spec.CPUsPerRank,
+			GPUsPerTask:  spec.GPUsPerRank,
+		},
+		Monitor: opt.Monitor,
+		Seed:    spec.Seed,
+		// Runaway guard: well past the scaled duration but far below the
+		// workload default hour.
+		MaxSimTime: simDur*4 + 10*sim.Second,
+	}
+	return cfg, nil
+}
+
+// buildApp instantiates the spec's app profile, scaling step counts so
+// the simulated runtime is roughly simDur.
+func buildApp(spec JobSpec, simDur sim.Time) (workload.App, error) {
+	switch spec.App {
+	case AppMiniQMC:
+		mq := workload.DefaultMiniQMC()
+		mq.Threads = spec.Threads
+		mq.Steps = clampSteps(simDur, mq.WorkPerStep, 4, 96)
+		return mq, nil
+	case AppPIC:
+		pic := workload.DefaultPICHalo()
+		pic.Steps = clampSteps(simDur, pic.ComputePerStep, 4, 50)
+		return pic, nil
+	case AppStall:
+		st := workload.DefaultStaller()
+		st.Threads = spec.Threads
+		st.Until = simDur
+		st.StallAt = simDur / 3
+		st.StallFor = simDur / 3
+		return st, nil
+	default:
+		return nil, fmt.Errorf("scenario: job %s has unknown app %q", spec.ID, spec.App)
+	}
+}
+
+func clampSteps(simDur, perStep sim.Time, lo, hi int) int {
+	if perStep <= 0 {
+		return lo
+	}
+	n := int(simDur / perStep)
+	if n < lo {
+		return lo
+	}
+	if n > hi {
+		return hi
+	}
+	return n
+}

@@ -1,0 +1,252 @@
+// Package fairness turns a scenario scheduler run into the fairness
+// metrics the paper-adjacent schedulers report: share-over-time per
+// queue, time-averaged dominant-resource share, starvation and
+// preemption counts, and the allocation-history CSV (the golden-tested
+// artifact other tooling consumes). The shape follows KAI-Scheduler's
+// time-aware fairness simulator output.
+package fairness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"zerosum/internal/scenario"
+)
+
+// Point is one step of a queue's share-over-time series: the share held
+// from At until the next point.
+type Point struct {
+	AtSec    float64
+	CPUShare float64
+	GPUShare float64
+}
+
+// QueueMetrics summarizes one queue over the whole run.
+type QueueMetrics struct {
+	Queue     string
+	FairShare float64
+	// TimeAvgCPUShare / TimeAvgGPUShare integrate the share series over
+	// the run horizon; DominantShare is the larger of the two — the DRF
+	// coordinate the scheduler balanced on.
+	TimeAvgCPUShare          float64
+	TimeAvgGPUShare          float64
+	DominantShare            float64
+	PeakCPUShare             float64
+	Jobs, Finished, Rejected int
+	Preemptions, Starved     int
+	AvgWaitSec, MaxWaitSec   float64
+}
+
+// Report is the full fairness verdict for one scheduler run.
+type Report struct {
+	Scenario   string
+	HorizonSec float64
+	Queues     []QueueMetrics
+	// JainIndex is Jain's fairness index over the queues'
+	// dominant-share/fair-share ratios: 1.0 is perfectly weighted-fair.
+	JainIndex float64
+	// CPUTimeAllocatedSec integrates cluster-wide allocated slots over
+	// time; CPUTimeUsedSec sums per-job CPU-seconds — the two agree when
+	// the event history conserves allocations.
+	CPUTimeAllocatedSec float64
+	CPUTimeUsedSec      float64
+	TotalPreemptions    int
+	TotalStarved        int
+	TotalRejected       int
+}
+
+// Series reconstructs a queue's share-over-time from the allocation
+// history (one point per event touching that queue).
+func Series(res *scenario.Result, queue string) []Point {
+	var out []Point
+	var gpuAlloc float64
+	for _, ev := range res.Events {
+		if ev.Queue != queue {
+			continue
+		}
+		gpuAlloc += gpuDelta(ev)
+		gpu := 0.0
+		if res.CapacityGPUs > 0 {
+			gpu = gpuAlloc / float64(res.CapacityGPUs)
+		}
+		out = append(out, Point{AtSec: ev.At.Seconds(), CPUShare: ev.QueueShare, GPUShare: gpu})
+	}
+	return out
+}
+
+// gpuDelta is the change ev makes to its queue's GPU allocation; events
+// only snapshot the CPU side, so the GPU series is replayed from deltas.
+func gpuDelta(ev scenario.Event) float64 {
+	switch ev.Kind {
+	case scenario.EventAdmit:
+		return float64(ev.GPUs)
+	case scenario.EventPreempt, scenario.EventFinish:
+		return -float64(ev.GPUs)
+	default:
+		return 0
+	}
+}
+
+// Compute derives the fairness report from a scheduler run.
+func Compute(res *scenario.Result) *Report {
+	rep := &Report{Scenario: res.Cfg.Name, HorizonSec: res.HorizonSec}
+	type acc struct {
+		cpuInt, gpuInt               float64 // share·seconds integrals
+		peak                         float64
+		lastAt                       float64
+		cpuShare, gpuShare, gpuAlloc float64
+		m                            QueueMetrics
+	}
+	accs := map[string]*acc{}
+	order := []string{}
+	for _, ev := range res.Events {
+		if _, ok := accs[ev.Queue]; !ok {
+			accs[ev.Queue] = &acc{m: QueueMetrics{Queue: ev.Queue, FairShare: ev.FairShare}}
+			order = append(order, ev.Queue)
+		}
+	}
+	sort.Strings(order)
+
+	// Integrate each queue's share between consecutive events, and the
+	// cluster-wide allocation alongside.
+	var lastAt, totalShare float64
+	for _, ev := range res.Events {
+		at := ev.At.Seconds()
+		rep.CPUTimeAllocatedSec += totalShare * (at - lastAt) * float64(res.CapacityCPUs)
+		lastAt = at
+		totalShare = float64(ev.TotalCPUs) / float64(res.CapacityCPUs)
+
+		a := accs[ev.Queue]
+		a.cpuInt += a.cpuShare * (at - a.lastAt)
+		a.gpuInt += a.gpuShare * (at - a.lastAt)
+		a.lastAt = at
+		a.cpuShare = ev.QueueShare
+		a.gpuAlloc += gpuDelta(ev)
+		if res.CapacityGPUs > 0 {
+			a.gpuShare = a.gpuAlloc / float64(res.CapacityGPUs)
+		}
+		if a.cpuShare > a.peak {
+			a.peak = a.cpuShare
+		}
+	}
+	// Close every series at the horizon.
+	for _, name := range order {
+		a := accs[name]
+		a.cpuInt += a.cpuShare * (res.HorizonSec - a.lastAt)
+		a.gpuInt += a.gpuShare * (res.HorizonSec - a.lastAt)
+	}
+
+	for _, o := range res.Jobs {
+		a := accs[o.Spec.Queue]
+		if a == nil {
+			continue
+		}
+		a.m.Jobs++
+		rep.CPUTimeUsedSec += o.CPUSeconds
+		if o.Done {
+			a.m.Finished++
+		}
+		if o.Rejected {
+			a.m.Rejected++
+			rep.TotalRejected++
+		}
+		a.m.Preemptions += o.Preemptions
+		rep.TotalPreemptions += o.Preemptions
+		if o.Starved {
+			a.m.Starved++
+			rep.TotalStarved++
+		}
+		if !o.Rejected {
+			a.m.AvgWaitSec += o.WaitSec
+			if o.WaitSec > a.m.MaxWaitSec {
+				a.m.MaxWaitSec = o.WaitSec
+			}
+		}
+	}
+
+	var ratios []float64
+	for _, name := range order {
+		a := accs[name]
+		if res.HorizonSec > 0 {
+			a.m.TimeAvgCPUShare = a.cpuInt / res.HorizonSec
+			a.m.TimeAvgGPUShare = a.gpuInt / res.HorizonSec
+		}
+		a.m.DominantShare = a.m.TimeAvgCPUShare
+		if a.m.TimeAvgGPUShare > a.m.DominantShare {
+			a.m.DominantShare = a.m.TimeAvgGPUShare
+		}
+		a.m.PeakCPUShare = a.peak
+		if n := a.m.Jobs - a.m.Rejected; n > 0 {
+			a.m.AvgWaitSec /= float64(n)
+		}
+		if a.m.FairShare > 0 {
+			ratios = append(ratios, a.m.DominantShare/a.m.FairShare)
+		}
+		rep.Queues = append(rep.Queues, a.m)
+	}
+	rep.JainIndex = jain(ratios)
+	return rep
+}
+
+// jain computes Jain's fairness index: (Σx)² / (n·Σx²).
+func jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// Write renders the report as a human-readable table.
+func (r *Report) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "scenario %s: horizon %.1fs, jain %.4f, preemptions %d, starved %d, rejected %d\n",
+		r.Scenario, r.HorizonSec, r.JainIndex, r.TotalPreemptions, r.TotalStarved, r.TotalRejected); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "cpu-time allocated %.1fs, used %.1fs\n",
+		r.CPUTimeAllocatedSec, r.CPUTimeUsedSec); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-10s %8s %8s %8s %8s %5s %5s %6s %7s %8s %8s\n",
+		"queue", "fair", "avg-cpu", "avg-gpu", "peak", "jobs", "done", "preempt", "starved", "avg-wait", "max-wait"); err != nil {
+		return err
+	}
+	for _, q := range r.Queues {
+		if _, err := fmt.Fprintf(w, "%-10s %8.4f %8.4f %8.4f %8.4f %5d %5d %6d %7d %7.1fs %7.1fs\n",
+			q.Queue, q.FairShare, q.TimeAvgCPUShare, q.TimeAvgGPUShare, q.PeakCPUShare,
+			q.Jobs, q.Finished, q.Preemptions, q.Starved, q.AvgWaitSec, q.MaxWaitSec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSVHeader is the allocation-history column schema (docs/scenarios.md).
+const CSVHeader = "time_sec,event,job,queue,ranks,cpus,gpus,queue_cpus,queue_share,fair_share,total_cpus,overlap_cpus,pending"
+
+// WriteAllocCSV writes the allocation history as CSV. Output is a pure
+// function of the scheduler run: the same config and seed reproduce
+// byte-identical bytes (golden-tested).
+func WriteAllocCSV(w io.Writer, res *scenario.Result) error {
+	if _, err := fmt.Fprintln(w, CSVHeader); err != nil {
+		return err
+	}
+	for _, ev := range res.Events {
+		if _, err := fmt.Fprintf(w, "%.6f,%s,%s,%s,%d,%d,%d,%d,%.6f,%.6f,%d,%d,%d\n",
+			ev.At.Seconds(), ev.Kind, ev.Job, ev.Queue,
+			ev.Ranks, ev.CPUs, ev.GPUs,
+			ev.QueueCPUs, ev.QueueShare, ev.FairShare,
+			ev.TotalCPUs, ev.OverlapCPUs, ev.Pending); err != nil {
+			return err
+		}
+	}
+	return nil
+}

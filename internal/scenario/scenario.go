@@ -1,0 +1,254 @@
+// Package scenario generates deterministic, seed-replayable multi-job
+// fleets for the simulated testbed: a Generator samples job specs (arrival
+// time, duration, queue, rank/thread counts, app mix, optional GPU demand)
+// from a seeded RNG, and a time-aware Scheduler with configurable queue
+// shares and preemption admits and evicts those jobs against shared
+// simulated nodes — producing the oversubscription and affinity overlap
+// *between* jobs that ZeroSum's node-sharing phenomenology (paper §3–4) is
+// about, and that single-job workloads never exercise. The companion
+// fairness sub-package turns the scheduler's allocation history into
+// share-over-time, dominant-resource-share and starvation metrics plus an
+// allocation-history CSV, directly modeled on KAI-Scheduler's time-aware
+// fairness simulator. Everything derives from the seed: the same seed
+// replays the identical schedule byte-for-byte.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// QueueConfig is one scheduling queue and its relative share weight.
+type QueueConfig struct {
+	Name string `json:"name"`
+	// Weight is the queue's relative fair-share entitlement; fair share is
+	// Weight over the sum of all queue weights.
+	Weight float64 `json:"weight"`
+}
+
+// AppWeight weights one proxy application in the generated mix.
+type AppWeight struct {
+	// App names a proxy application profile: "miniqmc", "pic" or "stall".
+	App string `json:"app"`
+	// Weight is the relative draw probability.
+	Weight float64 `json:"weight"`
+}
+
+// Supported app profile names.
+const (
+	AppMiniQMC = "miniqmc"
+	AppPIC     = "pic"
+	AppStall   = "stall"
+)
+
+// Config describes a whole scenario: the simulated cluster, the queues,
+// and the job population the generator samples.
+type Config struct {
+	// Name labels the scenario in reports and CSV output.
+	Name string `json:"name"`
+
+	// Nodes is the cluster size; CPUsPerNode and GPUsPerNode the per-node
+	// capacity the scheduler allocates against.
+	Nodes       int `json:"nodes"`
+	CPUsPerNode int `json:"cpus_per_node"`
+	GPUsPerNode int `json:"gpus_per_node"`
+	// Oversubscribe scales each node's allocatable CPU slots past its
+	// physical CPUs (1.0 = no oversubscription). Slots beyond the physical
+	// count share physical CPUs with another job — the affinity-overlap
+	// contention the monitor observes as involuntary context switches.
+	Oversubscribe float64 `json:"oversubscribe"`
+
+	// Queues are the scheduling queues (at least one).
+	Queues []QueueConfig `json:"queues"`
+
+	// Jobs is how many jobs the generator samples.
+	Jobs int `json:"jobs"`
+	// ArrivalMeanSec is the mean of the exponential inter-arrival time.
+	ArrivalMeanSec float64 `json:"arrival_mean_sec"`
+	// DurationMinSec + an exponential draw with mean DurationMeanSec give
+	// each job's occupancy duration.
+	DurationMinSec  float64 `json:"duration_min_sec"`
+	DurationMeanSec float64 `json:"duration_mean_sec"`
+	// MaxRanks bounds the per-job rank count (uniform in [1, MaxRanks]).
+	MaxRanks int `json:"max_ranks"`
+	// MaxThreadsPerRank bounds each rank's worker thread count.
+	MaxThreadsPerRank int `json:"max_threads_per_rank"`
+	// CPUsPerRank is the CPU slots one rank occupies; 0 derives it from
+	// the sampled thread count.
+	CPUsPerRank int `json:"cpus_per_rank"`
+	// GPUFrac is the fraction of jobs that demand GPUs; a GPU job asks for
+	// a uniform draw in [1, GPUsPerRankMax] devices per rank.
+	GPUFrac        float64 `json:"gpu_frac"`
+	GPUsPerRankMax int     `json:"gpus_per_rank_max"`
+	// AppMix weights the proxy applications; empty means all miniqmc.
+	AppMix []AppWeight `json:"app_mix"`
+
+	// Preempt enables fairness preemption: a queue far under its fair
+	// share may evict the most recent admission of a queue far over its
+	// share (the evicted job resumes later with its remaining duration).
+	Preempt bool `json:"preempt"`
+	// StarveSec counts a job starved when it waited longer than this for
+	// its first admission (0 disables starvation accounting).
+	StarveSec float64 `json:"starve_sec"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "scenario"
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if c.CPUsPerNode <= 0 {
+		c.CPUsPerNode = 16
+	}
+	if c.GPUsPerNode < 0 {
+		c.GPUsPerNode = 0
+	}
+	if c.Oversubscribe < 1 {
+		c.Oversubscribe = 1
+	}
+	if len(c.Queues) == 0 {
+		c.Queues = []QueueConfig{{Name: "default", Weight: 1}}
+	}
+	if c.Jobs <= 0 {
+		c.Jobs = 16
+	}
+	if c.ArrivalMeanSec <= 0 {
+		c.ArrivalMeanSec = 5
+	}
+	if c.DurationMeanSec <= 0 {
+		c.DurationMeanSec = 30
+	}
+	if c.DurationMinSec <= 0 {
+		c.DurationMinSec = 5
+	}
+	if c.MaxRanks <= 0 {
+		c.MaxRanks = 4
+	}
+	if c.MaxThreadsPerRank <= 0 {
+		c.MaxThreadsPerRank = 4
+	}
+	if c.GPUsPerRankMax <= 0 {
+		c.GPUsPerRankMax = 1
+	}
+	if len(c.AppMix) == 0 {
+		c.AppMix = []AppWeight{{App: AppMiniQMC, Weight: 1}}
+	}
+	return c
+}
+
+// Validate reports the first structural problem with the config.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	seen := map[string]bool{}
+	var wsum float64
+	for _, q := range c.Queues {
+		if q.Name == "" {
+			return fmt.Errorf("scenario: queue with empty name")
+		}
+		if seen[q.Name] {
+			return fmt.Errorf("scenario: duplicate queue %q", q.Name)
+		}
+		seen[q.Name] = true
+		if q.Weight <= 0 {
+			return fmt.Errorf("scenario: queue %q weight %v must be positive", q.Name, q.Weight)
+		}
+		wsum += q.Weight
+	}
+	if wsum <= 0 {
+		return fmt.Errorf("scenario: queue weights sum to %v", wsum)
+	}
+	for _, a := range c.AppMix {
+		switch a.App {
+		case AppMiniQMC, AppPIC, AppStall:
+		default:
+			return fmt.Errorf("scenario: unknown app %q in mix (want %s, %s or %s)",
+				a.App, AppMiniQMC, AppPIC, AppStall)
+		}
+		if a.Weight <= 0 {
+			return fmt.Errorf("scenario: app %q weight %v must be positive", a.App, a.Weight)
+		}
+	}
+	if c.CPUsPerRank > c.CPUsPerNode {
+		return fmt.Errorf("scenario: cpus_per_rank %d exceeds cpus_per_node %d (a rank must fit on one node)",
+			c.CPUsPerRank, c.CPUsPerNode)
+	}
+	if c.GPUsPerRankMax > c.GPUsPerNode && c.GPUFrac > 0 && c.GPUsPerNode > 0 {
+		return fmt.Errorf("scenario: gpus_per_rank_max %d exceeds gpus_per_node %d",
+			c.GPUsPerRankMax, c.GPUsPerNode)
+	}
+	return nil
+}
+
+// Preset returns a named built-in scenario configuration.
+//
+//   - "smoke": 6 small jobs on 2 nodes, 2 queues — fast enough to execute
+//     end to end with real workload simulations (zsrun -scenario smoke).
+//   - "contention": 24 jobs on 4 oversubscribed nodes with preemption —
+//     queue shares collide, jobs overlap on CPUs.
+//   - "fleet": 120 jobs over 16 nodes, 3 queues with preemption — the
+//     traffic shape the multi-job soak and the aggregation tree chew on.
+func Preset(name string) (Config, error) {
+	switch name {
+	case "smoke":
+		return Config{
+			Name: "smoke", Nodes: 2, CPUsPerNode: 4,
+			Queues:         []QueueConfig{{Name: "prod", Weight: 3}, {Name: "batch", Weight: 1}},
+			Jobs:           6,
+			ArrivalMeanSec: 2, DurationMinSec: 2, DurationMeanSec: 4,
+			MaxRanks: 2, MaxThreadsPerRank: 2,
+			AppMix:    []AppWeight{{App: AppMiniQMC, Weight: 2}, {App: AppPIC, Weight: 1}, {App: AppStall, Weight: 1}},
+			StarveSec: 30,
+		}, nil
+	case "contention":
+		return Config{
+			Name: "contention", Nodes: 4, CPUsPerNode: 8, GPUsPerNode: 2,
+			Oversubscribe:  1.5,
+			Queues:         []QueueConfig{{Name: "prod", Weight: 6}, {Name: "batch", Weight: 3}, {Name: "debug", Weight: 1}},
+			Jobs:           24,
+			ArrivalMeanSec: 4, DurationMinSec: 10, DurationMeanSec: 40,
+			MaxRanks: 4, MaxThreadsPerRank: 4,
+			GPUFrac: 0.25, GPUsPerRankMax: 1,
+			AppMix:  []AppWeight{{App: AppMiniQMC, Weight: 3}, {App: AppPIC, Weight: 2}, {App: AppStall, Weight: 1}},
+			Preempt: true, StarveSec: 60,
+		}, nil
+	case "fleet":
+		return Config{
+			Name: "fleet", Nodes: 16, CPUsPerNode: 32, GPUsPerNode: 4,
+			Oversubscribe:  1.25,
+			Queues:         []QueueConfig{{Name: "prod", Weight: 6}, {Name: "batch", Weight: 3}, {Name: "debug", Weight: 1}},
+			Jobs:           120,
+			ArrivalMeanSec: 3, DurationMinSec: 20, DurationMeanSec: 120,
+			MaxRanks: 8, MaxThreadsPerRank: 8,
+			GPUFrac: 0.3, GPUsPerRankMax: 2,
+			AppMix:  []AppWeight{{App: AppMiniQMC, Weight: 3}, {App: AppPIC, Weight: 2}, {App: AppStall, Weight: 1}},
+			Preempt: true, StarveSec: 120,
+		}, nil
+	default:
+		return Config{}, fmt.Errorf("scenario: unknown preset %q (want smoke, contention or fleet)", name)
+	}
+}
+
+// Load reads a scenario config: a built-in preset name, or a path to a
+// JSON file with the Config field grammar (docs/scenarios.md).
+func Load(nameOrPath string) (Config, error) {
+	if cfg, err := Preset(nameOrPath); err == nil {
+		return cfg, nil
+	} else if _, statErr := os.Stat(nameOrPath); statErr != nil {
+		return Config{}, fmt.Errorf("scenario: %q is neither a preset nor a readable file: %w", nameOrPath, err)
+	}
+	data, err := os.ReadFile(nameOrPath)
+	if err != nil {
+		return Config{}, fmt.Errorf("scenario: %w", err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return Config{}, fmt.Errorf("scenario: parse %s: %w", nameOrPath, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, fmt.Errorf("scenario: %s: %w", nameOrPath, err)
+	}
+	return cfg, nil
+}

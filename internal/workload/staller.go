@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"zerosum/internal/sched"
+	"zerosum/internal/sim"
+)
+
+// Staller is the §3.3 stall profile packaged as a launchable proxy app
+// (the test-only scenarios in stall_test.go hand-build behaviors; scenario
+// mixes need a reusable App): Threads workers compute in WorkSlice bursts
+// until Until; starting at StallAt one designated worker goes silent for
+// StallFor — no user-time progress, no voluntary yield pattern change the
+// monitor would excuse — then resumes. With StallTicks enabled the monitor
+// flags exactly that window.
+type Staller struct {
+	// Threads is the worker count; 0 uses the runtime default (one per
+	// cpuset PU).
+	Threads int
+	// Until is each thread's total wall horizon.
+	Until sim.Time
+	// WorkSlice is the compute burst length between scheduler visits.
+	WorkSlice sim.Time
+	// SysFrac is the syscall share of compute time.
+	SysFrac float64
+	// StallAt / StallFor bound the designated worker's dead window.
+	StallAt, StallFor sim.Time
+}
+
+// DefaultStaller stalls one of two workers for a third of a 3 s run.
+func DefaultStaller() *Staller {
+	return &Staller{
+		Threads:   2,
+		Until:     3 * sim.Second,
+		WorkSlice: 5 * sim.Millisecond,
+		SysFrac:   0.05,
+		StallAt:   sim.Second,
+		StallFor:  sim.Second,
+	}
+}
+
+// Name labels the simulated process.
+func (s *Staller) Name() string { return "staller" }
+
+// Build implements App.
+func (s *Staller) Build(rc *RankCtx) error {
+	n := s.Threads
+	if n <= 0 {
+		n = rc.OMP.TeamSize(rc.Proc.Affinity)
+	}
+	slice := s.WorkSlice
+	if slice <= 0 {
+		slice = 5 * sim.Millisecond
+	}
+	until := s.Until
+	if until <= 0 {
+		until = 3 * sim.Second
+	}
+	mkWorker := func(threadNum int) sched.Behavior {
+		stalled := false
+		return sched.BehaviorFunc(func(t *sched.Task, now sim.Time) sched.Action {
+			if now >= until {
+				return nil
+			}
+			// The last worker carries the stall so thread 0 (the "main"
+			// thread in single-thread runs) keeps making progress.
+			if threadNum == n-1 && s.StallFor > 0 && !stalled && now >= s.StallAt {
+				stalled = true
+				return sched.Sleep{D: s.StallFor}
+			}
+			return sched.Compute{Work: slice, SysFrac: s.SysFrac}
+		})
+	}
+	master := rc.K.NewTask(rc.Proc, s.Name(), mkWorker(0))
+	rc.OMP.Launch(rc.Proc, master, n, mkWorker)
+	return nil
+}
